@@ -1,0 +1,374 @@
+//! Probability of strict optimality (the engine behind Figures 1–4).
+//!
+//! The paper plots, against the number `L` of fields smaller than `M`, the
+//! percentage of partial match queries for which each method is certified
+//! strict optimal — "results are computed from sufficient conditions given
+//! for each method". With the paper's independence assumption (each field
+//! specified with the same probability, independently), every
+//! specification pattern is equally likely, so the percentage is
+//! `#certified patterns / 2^n`.
+//!
+//! Two regimes are plotted:
+//!
+//! * Figures 1–2 (`n = 6` and `n = 10`): any two small fields satisfy
+//!   `F_p · F_q ≥ M`; FX uses the `I, U, IU1` cycle.
+//! * Figures 3–4: any two small fields have `F_p · F_q < M` but any three
+//!   reach `M`; FX uses the `I, U, IU2` cycle.
+//!
+//! Beyond the paper, [`empirical_fraction`] measures the *actual* fraction
+//! of strict-optimal patterns by exhaustive checking — an upper envelope
+//! of the certified curves (the conditions are sufficient, not necessary).
+
+use pmr_baselines::conditions::modulo_pattern_guaranteed;
+use pmr_core::assign::{Assignment, AssignmentStrategy};
+use pmr_core::conditions::fx_pattern_guaranteed;
+use pmr_core::method::DistributionMethod;
+use pmr_core::optimality::pattern_strict_optimal;
+use pmr_core::query::Pattern;
+use pmr_core::system::SystemConfig;
+use pmr_core::{FxDistribution, Result};
+
+/// Which regime a figure's systems live in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FigureRegime {
+    /// Any two small fields multiply to at least `M` (Figures 1–2);
+    /// FX cycles `I, U, IU1`.
+    PairProductsCover,
+    /// Pairs fall short of `M` but triples reach it (Figures 3–4);
+    /// FX cycles `I, U, IU2`.
+    TripleProductsCover,
+}
+
+impl FigureRegime {
+    /// The FX strategy the paper uses in this regime.
+    pub fn strategy(self) -> AssignmentStrategy {
+        match self {
+            FigureRegime::PairProductsCover => AssignmentStrategy::CycleIu1,
+            FigureRegime::TripleProductsCover => AssignmentStrategy::CycleIu2,
+        }
+    }
+
+    /// Representative sizes: `(M, small field size, large field size)`.
+    ///
+    /// * Pair regime: `F_small = sqrt(M)` so `F² = M` exactly.
+    /// * Triple regime: `F_small = M^(1/3)` so pairs fall short and
+    ///   triples reach `M` exactly.
+    ///
+    /// Large fields get `F = M`. The certified fractions depend only on
+    /// the regime (which clauses can fire), not the particular sizes, so
+    /// these canonical choices lose no generality — asserted in tests.
+    /// They are kept small enough that a 10-field bucket space still fits
+    /// the 63-bit linear-index budget.
+    pub fn canonical_sizes(self) -> (u64, u64, u64) {
+        match self {
+            FigureRegime::PairProductsCover => (16, 4, 16),
+            FigureRegime::TripleProductsCover => (64, 4, 64),
+        }
+    }
+
+    /// Scaled-down sizes for exhaustive empirical measurement (same
+    /// regime, small enough to brute-force 10-field systems).
+    pub fn empirical_sizes(self) -> (u64, u64, u64) {
+        match self {
+            // F² = M exactly, as in the canonical sizes.
+            FigureRegime::PairProductsCover => (4, 2, 4),
+            // F² < M = F³, as in the canonical sizes.
+            FigureRegime::TripleProductsCover => (8, 2, 8),
+        }
+    }
+}
+
+/// Configuration for one probability figure.
+#[derive(Debug, Clone, Copy)]
+pub struct FigureConfig {
+    /// Number of fields `n`.
+    pub num_fields: usize,
+    /// The size regime.
+    pub regime: FigureRegime,
+}
+
+/// The curves of one figure.
+#[derive(Debug, Clone)]
+pub struct FigureCurves {
+    /// The x axis: number of small fields `L = 0 … n`.
+    pub l_values: Vec<usize>,
+    /// Modulo Distribution certified percentage per `L`.
+    pub md_percent: Vec<f64>,
+    /// FX Distribution certified percentage per `L`.
+    pub fd_percent: Vec<f64>,
+}
+
+/// Builds the system with `l` small fields (first) and `n − l` large
+/// fields, in a regime.
+pub fn regime_system(config: &FigureConfig, l: usize, empirical: bool) -> Result<SystemConfig> {
+    let (m, small, large) = if empirical {
+        config.regime.empirical_sizes()
+    } else {
+        config.regime.canonical_sizes()
+    };
+    let sizes: Vec<u64> = (0..config.num_fields)
+        .map(|i| if i < l { small } else { large })
+        .collect();
+    SystemConfig::new(&sizes, m)
+}
+
+/// Fraction (0–1) of the `2^n` patterns certified by FX's sufficient
+/// conditions.
+pub fn fx_certified_fraction(assignment: &Assignment) -> f64 {
+    let n = assignment.system().num_fields();
+    let certified = Pattern::all(n)
+        .filter(|&p| fx_pattern_guaranteed(assignment, p))
+        .count();
+    certified as f64 / (1u64 << n) as f64
+}
+
+/// Fraction of the `2^n` patterns certified by Disk Modulo's sufficient
+/// conditions.
+pub fn modulo_certified_fraction(sys: &SystemConfig) -> f64 {
+    let n = sys.num_fields();
+    let certified = Pattern::all(n)
+        .filter(|&p| modulo_pattern_guaranteed(sys, p))
+        .count();
+    certified as f64 / (1u64 << n) as f64
+}
+
+/// Fraction of patterns *measured* strict optimal by exhaustive checking.
+/// Exponential in the bucket-space size — use scaled-down systems.
+pub fn empirical_fraction<D: DistributionMethod + ?Sized>(method: &D, sys: &SystemConfig) -> f64 {
+    let n = sys.num_fields();
+    let optimal = Pattern::all(n)
+        .filter(|&p| pattern_strict_optimal(method, sys, p))
+        .count();
+    optimal as f64 / (1u64 << n) as f64
+}
+
+/// Probability that a random query is certified strict optimal when each
+/// field is specified independently with probability `p` (the paper's §5
+/// query model, generalised beyond the implicit `p = 0.5` of
+/// pattern-counting).
+///
+/// Weights pattern `q` by `p^{#specified} · (1 − p)^{#unspecified}`.
+/// At `p = 0.5` this equals [`fx_certified_fraction`].
+pub fn fx_certified_probability(assignment: &Assignment, p: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    let n = assignment.system().num_fields();
+    Pattern::all(n)
+        .filter(|&pat| fx_pattern_guaranteed(assignment, pat))
+        .map(|pat| pattern_weight(pat, n, p))
+        .sum()
+}
+
+/// As [`fx_certified_probability`], for Disk Modulo's conditions.
+pub fn modulo_certified_probability(sys: &SystemConfig, p: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    let n = sys.num_fields();
+    Pattern::all(n)
+        .filter(|&pat| modulo_pattern_guaranteed(sys, pat))
+        .map(|pat| pattern_weight(pat, n, p))
+        .sum()
+}
+
+/// `p^{#specified} (1 − p)^{#unspecified}` for one pattern.
+fn pattern_weight(pattern: Pattern, n: usize, p: f64) -> f64 {
+    let k = pattern.unspecified_count() as i32;
+    p.powi(n as i32 - k) * (1.0 - p).powi(k)
+}
+
+/// Computes a figure's certified-percentage curves (the paper's MD and FD
+/// series).
+pub fn figure_curves(config: &FigureConfig) -> Result<FigureCurves> {
+    let mut l_values = Vec::new();
+    let mut md = Vec::new();
+    let mut fd = Vec::new();
+    for l in 0..=config.num_fields {
+        let sys = regime_system(config, l, false)?;
+        let assignment = Assignment::from_strategy(&sys, config.regime.strategy())?;
+        l_values.push(l);
+        md.push(100.0 * modulo_certified_fraction(&sys));
+        fd.push(100.0 * fx_certified_fraction(&assignment));
+    }
+    Ok(FigureCurves { l_values, md_percent: md, fd_percent: fd })
+}
+
+/// Computes a figure's *empirical* curves on scaled-down systems
+/// (ground truth; an extension beyond the paper).
+pub fn empirical_curves(config: &FigureConfig) -> Result<FigureCurves> {
+    let mut l_values = Vec::new();
+    let mut md = Vec::new();
+    let mut fd = Vec::new();
+    for l in 0..=config.num_fields {
+        let sys = regime_system(config, l, true)?;
+        let fx = FxDistribution::with_strategy(sys.clone(), config.regime.strategy())?;
+        let dm = pmr_baselines::ModuloDistribution::new(sys.clone());
+        l_values.push(l);
+        md.push(100.0 * empirical_fraction(&dm, &sys));
+        fd.push(100.0 * empirical_fraction(&fx, &sys));
+    }
+    Ok(FigureCurves { l_values, md_percent: md, fd_percent: fd })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l_zero_certifies_everything() {
+        // With no small fields every non-trivial pattern has a large
+        // unspecified field → 100% for both methods.
+        for regime in [FigureRegime::PairProductsCover, FigureRegime::TripleProductsCover] {
+            let config = FigureConfig { num_fields: 6, regime };
+            let curves = figure_curves(&config).unwrap();
+            assert_eq!(curves.md_percent[0], 100.0);
+            assert_eq!(curves.fd_percent[0], 100.0);
+        }
+    }
+
+    /// Closed-form check for the MD curve: certified = patterns with ≤ 1
+    /// unspecified field or ≥ 1 large unspecified field, i.e.
+    /// `2^n − (2^L − 1 − L)` out of `2^n`.
+    #[test]
+    fn md_curve_closed_form() {
+        let config =
+            FigureConfig { num_fields: 6, regime: FigureRegime::PairProductsCover };
+        let curves = figure_curves(&config).unwrap();
+        for (idx, &l) in curves.l_values.iter().enumerate() {
+            let n = 6u32;
+            let uncovered = (1u64 << l) - 1 - l as u64;
+            let expected = 100.0 * ((1u64 << n) - uncovered) as f64 / (1u64 << n) as f64;
+            assert!(
+                (curves.md_percent[idx] - expected).abs() < 1e-9,
+                "L = {l}: {} vs {expected}",
+                curves.md_percent[idx]
+            );
+        }
+    }
+
+    /// FX dominates MD at every L, strictly once small-field pairs exist —
+    /// the visual content of Figures 1–4.
+    #[test]
+    fn fx_dominates_md() {
+        for (n, regime) in [
+            (6, FigureRegime::PairProductsCover),
+            (10, FigureRegime::PairProductsCover),
+            (6, FigureRegime::TripleProductsCover),
+            (10, FigureRegime::TripleProductsCover),
+        ] {
+            let curves = figure_curves(&FigureConfig { num_fields: n, regime }).unwrap();
+            for i in 0..curves.l_values.len() {
+                assert!(
+                    curves.fd_percent[i] >= curves.md_percent[i] - 1e-9,
+                    "n = {n} {regime:?} L = {i}"
+                );
+            }
+            assert!(
+                curves.fd_percent[n] > curves.md_percent[n] + 5.0,
+                "n = {n} {regime:?}: FX should clearly win at L = n \
+                 ({} vs {})",
+                curves.fd_percent[n],
+                curves.md_percent[n]
+            );
+        }
+    }
+
+    /// In the pair regime FX stays certified-perfect through L = 2 (any
+    /// two different-kind small fields cover), and in general decays far
+    /// more slowly than MD — "even for the worst case the decrease of
+    /// probability of strict optimality for FX distribution is not much".
+    #[test]
+    fn fx_decay_is_gentle() {
+        let config =
+            FigureConfig { num_fields: 6, regime: FigureRegime::PairProductsCover };
+        let curves = figure_curves(&config).unwrap();
+        assert_eq!(curves.fd_percent[0], 100.0);
+        assert_eq!(curves.fd_percent[1], 100.0);
+        assert_eq!(curves.fd_percent[2], 100.0);
+        // Worst case L = 6 stays high while MD collapses.
+        assert!(curves.fd_percent[6] >= 85.0, "{}", curves.fd_percent[6]);
+        assert!(curves.md_percent[6] <= 15.0, "{}", curves.md_percent[6]);
+    }
+
+    /// The certified fractions depend only on the regime, not on the
+    /// particular representative sizes (canonical vs empirical scaling).
+    #[test]
+    fn certified_fraction_is_scale_invariant() {
+        for regime in [FigureRegime::PairProductsCover, FigureRegime::TripleProductsCover] {
+            let config = FigureConfig { num_fields: 6, regime };
+            for l in 0..=6usize {
+                let big = regime_system(&config, l, false).unwrap();
+                let small = regime_system(&config, l, true).unwrap();
+                let a_big = Assignment::from_strategy(&big, regime.strategy()).unwrap();
+                let a_small = Assignment::from_strategy(&small, regime.strategy()).unwrap();
+                assert!(
+                    (fx_certified_fraction(&a_big) - fx_certified_fraction(&a_small)).abs()
+                        < 1e-12,
+                    "{regime:?} L = {l}"
+                );
+                assert!(
+                    (modulo_certified_fraction(&big) - modulo_certified_fraction(&small))
+                        .abs()
+                        < 1e-12
+                );
+            }
+        }
+    }
+
+    /// The Bernoulli-weighted probability at p = 0.5 coincides with the
+    /// uniform pattern fraction, and the weights always sum to one.
+    #[test]
+    fn certified_probability_matches_fraction_at_half() {
+        let config =
+            FigureConfig { num_fields: 6, regime: FigureRegime::PairProductsCover };
+        for l in 0..=6usize {
+            let sys = regime_system(&config, l, false).unwrap();
+            let a = Assignment::from_strategy(&sys, config.regime.strategy()).unwrap();
+            assert!(
+                (fx_certified_probability(&a, 0.5) - fx_certified_fraction(&a)).abs() < 1e-12
+            );
+            assert!(
+                (modulo_certified_probability(&sys, 0.5) - modulo_certified_fraction(&sys))
+                    .abs()
+                    < 1e-12
+            );
+            // p = 1: every field specified → always certified (clause 1).
+            assert!((fx_certified_probability(&a, 1.0) - 1.0).abs() < 1e-12);
+            // Total probability mass check via the trivially-true
+            // predicate: sum of weights over all patterns is 1.
+            let total: f64 = Pattern::all(6).map(|p| pattern_weight(p, 6, 0.3)).sum();
+            assert!((total - 1.0).abs() < 1e-12);
+        }
+    }
+
+    /// FX dominates MD at every specification probability, not just 0.5.
+    #[test]
+    fn fx_dominates_md_for_all_p() {
+        let config =
+            FigureConfig { num_fields: 6, regime: FigureRegime::TripleProductsCover };
+        let sys = regime_system(&config, 6, false).unwrap();
+        let a = Assignment::from_strategy(&sys, config.regime.strategy()).unwrap();
+        for i in 0..=10 {
+            let p = f64::from(i) / 10.0;
+            let fx = fx_certified_probability(&a, p);
+            let md = modulo_certified_probability(&sys, p);
+            assert!(fx + 1e-12 >= md, "p = {p}: FX {fx} < MD {md}");
+        }
+    }
+
+    /// Empirical (ground-truth) curves are an upper envelope of the
+    /// certified curves.
+    #[test]
+    fn empirical_envelopes_certified() {
+        let config =
+            FigureConfig { num_fields: 6, regime: FigureRegime::PairProductsCover };
+        let certified = figure_curves(&config).unwrap();
+        let empirical = empirical_curves(&config).unwrap();
+        for i in 0..certified.l_values.len() {
+            assert!(
+                empirical.fd_percent[i] + 1e-9 >= certified.fd_percent[i],
+                "L = {i}: empirical {} < certified {}",
+                empirical.fd_percent[i],
+                certified.fd_percent[i]
+            );
+            assert!(empirical.md_percent[i] + 1e-9 >= certified.md_percent[i]);
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! Plain-text rendering: distribution tables (Tables 1–6), result
+//! matrices (Tables 7–9), and figure curves, in the paper's layout.
+
+use crate::probability::FigureCurves;
+use crate::response::ResponseTable;
+use pmr_core::method::DistributionMethod;
+use pmr_core::system::SystemConfig;
+
+/// Renders a bucket-distribution table in the paper's style: one row per
+/// bucket (field values in binary), one device column per method.
+///
+/// This is the generator behind the Table 1–6 reproductions; the outputs
+/// are golden-tested against the paper's figures character for character.
+pub fn distribution_table<D: DistributionMethod + ?Sized>(
+    sys: &SystemConfig,
+    methods: &[(&str, &D)],
+) -> String {
+    let n = sys.num_fields();
+    let mut out = String::new();
+    // Header.
+    let mut header: Vec<String> = (0..n).map(|i| format!("f{}", i + 1)).collect();
+    for (name, _) in methods {
+        header.push(format!("Device No ({name})"));
+    }
+    let widths: Vec<usize> = header
+        .iter()
+        .enumerate()
+        .map(|(col, h)| {
+            if col < n {
+                h.len().max(sys.field_bits(col).max(1) as usize)
+            } else {
+                h.len()
+            }
+        })
+        .collect();
+    push_row(&mut out, &header, &widths);
+    push_separator(&mut out, &widths);
+    // Body: every bucket in odometer order (first field slowest, matching
+    // the paper's tables).
+    let mut bucket = vec![0u64; n];
+    loop {
+        let mut cells: Vec<String> = bucket
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| binary(v, sys.field_bits(i).max(1)))
+            .collect();
+        for (_, m) in methods {
+            cells.push(m.device_of(&bucket).to_string());
+        }
+        push_row(&mut out, &cells, &widths);
+        // Odometer: last field fastest.
+        let mut advanced = false;
+        for i in (0..n).rev() {
+            bucket[i] += 1;
+            if bucket[i] < sys.field_size(i) {
+                advanced = true;
+                break;
+            }
+            bucket[i] = 0;
+        }
+        if !advanced {
+            break;
+        }
+    }
+    out
+}
+
+/// Renders a [`ResponseTable`] in the paper's Tables 7–9 layout.
+pub fn render_response_table(table: &ResponseTable, title: &str) -> String {
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    let mut header = vec!["k".to_owned()];
+    header.extend(table.columns.iter().cloned());
+    let mut rows: Vec<Vec<String>> = vec![header];
+    for row in &table.rows {
+        let mut cells = vec![row.k.to_string()];
+        cells.extend(row.averages.iter().map(|v| format_avg(*v)));
+        cells.push(format_avg(row.optimal));
+        rows.push(cells);
+    }
+    render_matrix(&mut out, &rows);
+    out
+}
+
+/// Renders figure curves as an aligned two-series table (and a crude
+/// text plot of the FD/MD percentages).
+pub fn render_figure(curves: &FigureCurves, title: &str) -> String {
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    let mut rows: Vec<Vec<String>> =
+        vec![vec!["L (small fields)".into(), "MD %".into(), "FD %".into()]];
+    for (i, &l) in curves.l_values.iter().enumerate() {
+        rows.push(vec![
+            l.to_string(),
+            format!("{:.1}", curves.md_percent[i]),
+            format!("{:.1}", curves.fd_percent[i]),
+        ]);
+    }
+    render_matrix(&mut out, &rows);
+    // Text sparkline: one row per L with proportional bars.
+    out.push('\n');
+    for (i, &l) in curves.l_values.iter().enumerate() {
+        let md = (curves.md_percent[i] / 2.0).round() as usize;
+        let fd = (curves.fd_percent[i] / 2.0).round() as usize;
+        out.push_str(&format!("L={l:<2} FD |{}\n", "#".repeat(fd)));
+        out.push_str(&format!("     MD |{}\n", "=".repeat(md)));
+    }
+    out
+}
+
+/// Paper-style average formatting: one decimal place (the tables print
+/// "8.0", "3.2", "128.0", …).
+fn format_avg(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+fn binary(v: u64, bits: u32) -> String {
+    (0..bits).rev().map(|b| if v >> b & 1 == 1 { '1' } else { '0' }).collect()
+}
+
+fn push_row(out: &mut String, cells: &[String], widths: &[usize]) {
+    for (i, cell) in cells.iter().enumerate() {
+        if i > 0 {
+            out.push_str("  ");
+        }
+        let w = widths.get(i).copied().unwrap_or(cell.len());
+        out.push_str(&format!("{cell:>w$}"));
+    }
+    out.push('\n');
+}
+
+fn push_separator(out: &mut String, widths: &[usize]) {
+    let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+}
+
+fn render_matrix(out: &mut String, rows: &[Vec<String>]) {
+    let cols = rows.iter().map(|r| r.len()).max().unwrap_or(0);
+    let widths: Vec<usize> = (0..cols)
+        .map(|c| rows.iter().filter_map(|r| r.get(c)).map(|s| s.len()).max().unwrap_or(0))
+        .collect();
+    for (i, row) in rows.iter().enumerate() {
+        push_row(out, row, &widths);
+        if i == 0 {
+            push_separator(out, &widths);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmr_core::{FxDistribution, SystemConfig};
+
+    #[test]
+    fn table_1_rendering_matches_paper_values() {
+        let sys = SystemConfig::new(&[2, 8], 4).unwrap();
+        let fx = FxDistribution::basic(sys.clone()).unwrap();
+        let methods: [(&str, &dyn DistributionMethod); 1] = [("FX", &fx)];
+        let rendered = distribution_table(&sys, &methods);
+        let cell_rows: Vec<Vec<&str>> = rendered
+            .lines()
+            .skip(2) // header + separator
+            .map(|l| l.split_whitespace().collect())
+            .collect();
+        // Rows of Table 1: <0,000>→0, <0,001>→1, <1,000>→1, <1,111>→2.
+        assert!(cell_rows.contains(&vec!["0", "000", "0"]), "{rendered}");
+        assert!(cell_rows.contains(&vec!["0", "001", "1"]));
+        assert!(cell_rows.contains(&vec!["1", "000", "1"]));
+        assert!(cell_rows.contains(&vec!["1", "111", "2"]));
+        // 16 buckets + header + separator.
+        assert_eq!(rendered.lines().count(), 18);
+    }
+
+    #[test]
+    fn binary_rendering() {
+        assert_eq!(binary(5, 3), "101");
+        assert_eq!(binary(0, 1), "0");
+        assert_eq!(binary(3, 4), "0011");
+    }
+
+    #[test]
+    fn response_table_renders() {
+        use crate::response::{ResponseRow, ResponseTable};
+        let sys = SystemConfig::new(&[4, 4], 4).unwrap();
+        let table = ResponseTable {
+            system: sys,
+            columns: vec!["Modulo".into(), "FX".into(), "Optimal".into()],
+            rows: vec![ResponseRow { k: 2, averages: vec![8.0, 3.2], optimal: 2.0 }],
+        };
+        let s = render_response_table(&table, "Table X");
+        assert!(s.contains("Table X"));
+        assert!(s.contains("Modulo"));
+        assert!(s.contains("8.0"));
+        assert!(s.contains("3.2"));
+        assert!(s.contains("2.0"));
+    }
+
+    #[test]
+    fn figure_renders() {
+        let curves = FigureCurves {
+            l_values: vec![0, 1],
+            md_percent: vec![100.0, 90.0],
+            fd_percent: vec![100.0, 100.0],
+        };
+        let s = render_figure(&curves, "Figure X");
+        assert!(s.contains("Figure X"));
+        assert!(s.contains("90.0"));
+        assert!(s.contains("L=0"));
+        assert!(s.contains('#'));
+    }
+}

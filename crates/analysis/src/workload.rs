@@ -1,0 +1,177 @@
+//! Random partial-match query workloads (the paper's §5 query model).
+//!
+//! "It is assumed that the probability of each field being specified is
+//! same for all fields and some field being specified is independent of
+//! each other." [`WorkloadSpec`] generalises to per-field probabilities
+//! and generates concrete queries; [`evaluate`] runs a workload against a
+//! distribution method and summarises the largest-response distribution
+//! (mean and maximum, plus the strict-optimal hit rate) — the
+//! Monte-Carlo counterpart of the exact per-pattern tables.
+
+use pmr_core::bits::ceil_div;
+use pmr_core::method::DistributionMethod;
+use pmr_core::optimality::largest_response;
+use pmr_core::query::PartialMatchQuery;
+use pmr_core::system::SystemConfig;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A random-workload specification.
+#[derive(Debug, Clone)]
+pub struct WorkloadSpec {
+    /// Per-field probability of being *specified* (the paper's uniform
+    /// case is `vec![p; n]`).
+    pub spec_probability: Vec<f64>,
+    /// Number of queries to draw.
+    pub queries: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// The paper's uniform model: every field specified with probability
+    /// `p`, independently.
+    pub fn uniform(num_fields: usize, p: f64, queries: usize, seed: u64) -> Self {
+        WorkloadSpec { spec_probability: vec![p; num_fields], queries, seed }
+    }
+
+    /// Generates the workload's queries for a system (specified values
+    /// drawn uniformly from each field's domain).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the probability vector's length differs from the
+    /// system's field count or a probability is outside `[0, 1]`.
+    pub fn generate(&self, sys: &SystemConfig) -> Vec<PartialMatchQuery> {
+        assert_eq!(self.spec_probability.len(), sys.num_fields(), "arity mismatch");
+        assert!(
+            self.spec_probability.iter().all(|p| (0.0..=1.0).contains(p)),
+            "probabilities must be in [0, 1]"
+        );
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        (0..self.queries)
+            .map(|_| {
+                let values: Vec<Option<u64>> = self
+                    .spec_probability
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &p)| {
+                        if rng.gen_bool(p) {
+                            Some(rng.gen_range(0..sys.field_size(i)))
+                        } else {
+                            None
+                        }
+                    })
+                    .collect();
+                PartialMatchQuery::new(sys, &values).expect("drawn values are in range")
+            })
+            .collect()
+    }
+}
+
+/// Monte-Carlo summary of a workload run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSummary {
+    /// Queries evaluated.
+    pub queries: usize,
+    /// Mean largest response size.
+    pub mean_largest: f64,
+    /// Worst largest response size seen.
+    pub max_largest: u64,
+    /// Mean of the analytic optima `ceil(|R|/M)`.
+    pub mean_optimal: f64,
+    /// Fraction of queries that were strict optimal.
+    pub strict_optimal_rate: f64,
+}
+
+/// Runs a workload against a method, summarising response balance.
+pub fn evaluate<D: DistributionMethod + ?Sized>(
+    method: &D,
+    sys: &SystemConfig,
+    workload: &[PartialMatchQuery],
+) -> WorkloadSummary {
+    assert!(!workload.is_empty(), "workload must contain at least one query");
+    let mut sum_largest = 0u64;
+    let mut max_largest = 0u64;
+    let mut sum_optimal = 0u64;
+    let mut optimal_hits = 0usize;
+    for q in workload {
+        let largest = largest_response(method, sys, q);
+        let bound = ceil_div(q.qualified_count_in(sys), sys.devices());
+        sum_largest += largest;
+        max_largest = max_largest.max(largest);
+        sum_optimal += bound;
+        if largest <= bound {
+            optimal_hits += 1;
+        }
+    }
+    let n = workload.len();
+    WorkloadSummary {
+        queries: n,
+        mean_largest: sum_largest as f64 / n as f64,
+        max_largest,
+        mean_optimal: sum_optimal as f64 / n as f64,
+        strict_optimal_rate: optimal_hits as f64 / n as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmr_baselines::ModuloDistribution;
+    use pmr_core::{AssignmentStrategy, FxDistribution};
+
+    fn sys() -> SystemConfig {
+        SystemConfig::new(&[8, 8, 8], 16).unwrap()
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_valid() {
+        let sys = sys();
+        let spec = WorkloadSpec::uniform(3, 0.5, 200, 9);
+        let a = spec.generate(&sys);
+        let b = spec.generate(&sys);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 200);
+        // p = 1 ⇒ all exact; p = 0 ⇒ all full scans.
+        let exact = WorkloadSpec::uniform(3, 1.0, 20, 1).generate(&sys);
+        assert!(exact.iter().all(|q| q.unspecified_count() == 0));
+        let scans = WorkloadSpec::uniform(3, 0.0, 20, 1).generate(&sys);
+        assert!(scans.iter().all(|q| q.unspecified_count() == 3));
+    }
+
+    #[test]
+    fn fx_beats_modulo_on_the_uniform_workload() {
+        let sys = sys();
+        let workload = WorkloadSpec::uniform(3, 0.5, 300, 42).generate(&sys);
+        let fx = FxDistribution::with_strategy(sys.clone(), AssignmentStrategy::TheoremNine)
+            .unwrap();
+        let dm = ModuloDistribution::new(sys.clone());
+        let fx_summary = evaluate(&fx, &sys, &workload);
+        let dm_summary = evaluate(&dm, &sys, &workload);
+        // This system has ≤ 3 small fields: FX is perfect optimal.
+        assert_eq!(fx_summary.strict_optimal_rate, 1.0);
+        assert!((fx_summary.mean_largest - fx_summary.mean_optimal).abs() < 1e-9);
+        assert!(dm_summary.strict_optimal_rate < 1.0);
+        assert!(dm_summary.mean_largest > fx_summary.mean_largest);
+        assert_eq!(fx_summary.queries, 300);
+    }
+
+    #[test]
+    fn summary_bounds_hold() {
+        let sys = sys();
+        let workload = WorkloadSpec::uniform(3, 0.3, 100, 7).generate(&sys);
+        let dm = ModuloDistribution::new(sys.clone());
+        let s = evaluate(&dm, &sys, &workload);
+        assert!(s.mean_largest + 1e-9 >= s.mean_optimal);
+        assert!(s.max_largest as f64 + 1e-9 >= s.mean_largest);
+        assert!((0.0..=1.0).contains(&s.strict_optimal_rate));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_checked() {
+        let sys = sys();
+        WorkloadSpec::uniform(2, 0.5, 10, 1).generate(&sys);
+    }
+}

@@ -1,0 +1,92 @@
+//! Published sufficient optimality conditions for Disk Modulo.
+//!
+//! The paper's Figures 1–4 compare the *fraction of query patterns whose
+//! strict optimality each method can guarantee*. For FX those conditions
+//! live in [`pmr_core::conditions`]; this module provides the Disk Modulo
+//! side, from Du & Sobolewski's analysis (restricted to the power-of-two
+//! systems this workspace models, where `F ≥ M ⇔ M | F`):
+//!
+//! 1. Queries with at most one unspecified field are strict optimal — the
+//!    single unspecified field contributes a consecutive integer range,
+//!    which wraps evenly around `Z_M`.
+//! 2. Queries where some unspecified field's size is a multiple of `M`
+//!    (here: `F ≥ M`) are strict optimal — that field alone cycles every
+//!    device equally often, and further unspecified fields only rotate.
+//!
+//! The paper notes that with all sizes powers of two, the FX-certified set
+//! is a superset of the DM-certified set; a test below verifies that
+//! relation on concrete systems.
+
+use pmr_core::query::Pattern;
+use pmr_core::system::SystemConfig;
+
+/// Is Disk Modulo *guaranteed* strict optimal for every query with this
+/// pattern (by the published sufficient conditions)?
+pub fn modulo_pattern_guaranteed(sys: &SystemConfig, pattern: Pattern) -> bool {
+    if pattern.unspecified_count() <= 1 {
+        return true;
+    }
+    pattern
+        .unspecified_fields(sys.num_fields())
+        .iter()
+        .any(|&i| sys.field_covers_devices(i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ModuloDistribution;
+    use pmr_core::assign::Assignment;
+    use pmr_core::conditions::fx_pattern_guaranteed;
+    use pmr_core::optimality::pattern_strict_optimal;
+    use pmr_core::AssignmentStrategy;
+
+    /// Soundness: certified patterns measure strict optimal.
+    #[test]
+    fn modulo_conditions_sound() {
+        for (fields, m) in [
+            (vec![2u64, 8], 4u64),
+            (vec![4, 4], 16),
+            (vec![4, 16, 2], 16),
+            (vec![8, 8, 8], 8),
+        ] {
+            let sys = SystemConfig::new(&fields, m).unwrap();
+            let dm = ModuloDistribution::new(sys.clone());
+            for pattern in Pattern::all(sys.num_fields()) {
+                if modulo_pattern_guaranteed(&sys, pattern) {
+                    assert!(
+                        pattern_strict_optimal(&dm, &sys, pattern),
+                        "{sys} pattern {pattern:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The paper's superset claim: every DM-certified pattern is also
+    /// FX-certified (for any transformation assignment, since the DM
+    /// conditions only involve clauses 1–2 which FX shares).
+    #[test]
+    fn fx_certified_is_superset_of_dm_certified() {
+        for (fields, m, strategy) in [
+            (vec![4u64, 4, 8, 16], 16u64, AssignmentStrategy::CycleIu1),
+            (vec![2, 2, 2, 32], 16, AssignmentStrategy::CycleIu2),
+            (vec![8; 6], 32, AssignmentStrategy::CycleIu1),
+        ] {
+            let sys = SystemConfig::new(&fields, m).unwrap();
+            let assignment = Assignment::from_strategy(&sys, strategy).unwrap();
+            let mut strictly_more = false;
+            for pattern in Pattern::all(sys.num_fields()) {
+                if modulo_pattern_guaranteed(&sys, pattern) {
+                    assert!(
+                        fx_pattern_guaranteed(&assignment, pattern),
+                        "{sys} pattern {pattern:?} DM-certified but not FX-certified"
+                    );
+                } else if fx_pattern_guaranteed(&assignment, pattern) {
+                    strictly_more = true;
+                }
+            }
+            assert!(strictly_more, "{sys}: FX should certify strictly more patterns");
+        }
+    }
+}

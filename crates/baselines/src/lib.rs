@@ -1,0 +1,41 @@
+//! # pmr-baselines — the declustering methods FX is evaluated against
+//!
+//! Kim & Pramanik compare FX distribution with the modulo-family methods of
+//! Du & Sobolewski ("Disk Allocation for Cartesian Product Files on
+//! Multiple-Disk Systems", TODS 1982):
+//!
+//! * [`ModuloDistribution`] — *Disk Modulo* (DM): bucket `<J_1, …, J_n>`
+//!   goes to device `(J_1 + … + J_n) mod M`.
+//! * [`GdmDistribution`] — *Generalized Disk Modulo*: device
+//!   `(c_1·J_1 + … + c_n·J_n) mod M` for a multiplier vector `c`. The paper
+//!   evaluates three parameter sets (GDM1–GDM3) and laments that good
+//!   multipliers "can only be found by trial and error" — [`gdm::search`]
+//!   automates that search.
+//! * [`RandomDistribution`] — a seeded pseudo-random allocation, used as an
+//!   experimental control (not in the paper).
+//! * [`SpanningPathDistribution`] — the short-spanning-path heuristic the
+//!   paper cites from Fang, Lee & Chang (VLDB 1986), as a related-work
+//!   comparator.
+//! * [`binary_cpf`] — the \[Du82\]/\[Sung85\]-style allocators for binary
+//!   cartesian product files (every `F_i = 2`).
+//!
+//! All methods implement [`pmr_core::DistributionMethod`], so every checker
+//! and experiment driver in the workspace measures them with the same
+//! machinery as FX.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+pub mod binary_cpf;
+pub mod conditions;
+pub mod gdm;
+pub mod modulo;
+pub mod random;
+pub mod spanning;
+
+pub use binary_cpf::{BinaryWeightedDistribution, GrayCodeDistribution};
+pub use gdm::GdmDistribution;
+pub use modulo::ModuloDistribution;
+pub use random::RandomDistribution;
+pub use spanning::SpanningPathDistribution;

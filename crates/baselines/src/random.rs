@@ -1,0 +1,101 @@
+//! Random allocation — an experimental control.
+//!
+//! Not part of the paper's comparison, but a standard yard-stick in the
+//! later declustering literature: each bucket is assigned a device by a
+//! seeded hash of its linear index. Expected balance is good *on average*
+//! but carries no worst-case guarantee, which is exactly the gap the
+//! deterministic methods close; the ablation benches quantify it.
+
+use pmr_core::method::DistributionMethod;
+use pmr_core::system::SystemConfig;
+
+/// A seeded pseudo-random bucket-to-device assignment.
+///
+/// Deterministic for a fixed seed (the assignment must be a *function* —
+/// inverse mapping and repeated queries rely on it), via a SplitMix64-style
+/// index hash rather than a stored table, so it scales to bucket spaces
+/// that would not fit in memory.
+#[derive(Debug, Clone)]
+pub struct RandomDistribution {
+    sys: SystemConfig,
+    seed: u64,
+}
+
+impl RandomDistribution {
+    /// Builds a random allocation with the given seed.
+    pub fn new(sys: SystemConfig, seed: u64) -> Self {
+        RandomDistribution { sys, seed }
+    }
+
+    /// SplitMix64 finalizer — a high-quality 64-bit mix.
+    #[inline]
+    fn mix(mut z: u64) -> u64 {
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+impl DistributionMethod for RandomDistribution {
+    #[inline]
+    fn device_of(&self, bucket: &[u64]) -> u64 {
+        let idx = self.sys.linear_index(bucket);
+        Self::mix(idx.wrapping_add(self.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15)))
+            & (self.sys.devices() - 1)
+    }
+
+    fn system(&self) -> &SystemConfig {
+        &self.sys
+    }
+
+    fn name(&self) -> String {
+        format!("Random(seed={})", self.seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmr_core::optimality::response_histogram;
+    use pmr_core::query::PartialMatchQuery;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let sys = SystemConfig::new(&[8, 8], 4).unwrap();
+        let a = RandomDistribution::new(sys.clone(), 1);
+        let b = RandomDistribution::new(sys.clone(), 1);
+        let c = RandomDistribution::new(sys.clone(), 2);
+        let mut buf = Vec::new();
+        let mut differs = false;
+        for idx in sys.all_indices() {
+            sys.decode_index(idx, &mut buf);
+            assert_eq!(a.device_of(&buf), b.device_of(&buf));
+            if a.device_of(&buf) != c.device_of(&buf) {
+                differs = true;
+            }
+        }
+        assert!(differs, "different seeds should give different assignments");
+    }
+
+    #[test]
+    fn devices_in_range_and_roughly_balanced() {
+        let sys = SystemConfig::new(&[32, 32], 8).unwrap();
+        let r = RandomDistribution::new(sys.clone(), 99);
+        let q = PartialMatchQuery::new(&sys, &[None, None]).unwrap();
+        let hist = response_histogram(&r, &sys, &q);
+        let total: u64 = hist.iter().sum();
+        assert_eq!(total, 1024);
+        let mean = total / sys.devices();
+        for &c in &hist {
+            // 1024 buckets over 8 devices: expect 128 ± a generous slack.
+            assert!(c > mean / 2 && c < mean * 2, "badly unbalanced: {hist:?}");
+        }
+    }
+
+    #[test]
+    fn not_shift_invariant_by_default() {
+        let sys = SystemConfig::new(&[8, 8], 4).unwrap();
+        let r = RandomDistribution::new(sys, 1);
+        assert!(!r.histogram_shift_invariant());
+    }
+}

@@ -1,0 +1,193 @@
+//! Spanning-path declustering (after Fang, Lee & Chang, "The idea of
+//! De-clustering and Its Applications", VLDB 1986).
+//!
+//! The paper's related-work section cites "data distribution methods
+//! based on minimal spanning trees and short spanning paths". The idea:
+//! buckets that are *similar* (likely to be qualified by the same partial
+//! match query) should sit on *different* devices. Build a short spanning
+//! path through the bucket space that keeps similar buckets adjacent,
+//! then deal consecutive path vertices to devices round-robin — any `M`
+//! consecutive (hence mutually similar) buckets land on `M` distinct
+//! devices.
+//!
+//! Similarity between buckets is the number of agreeing coordinates — the
+//! number of ways a partial match query can qualify both divided by the
+//! free-field volume, monotone in co-qualification probability under the
+//! paper's independence assumption.
+//!
+//! The construction is a greedy nearest-neighbour path (the classic
+//! "short spanning path" heuristic), `O(B²)` in the bucket count, and
+//! materialises a device table — so it targets the small/medium systems
+//! the 1986 paper itself evaluated. It is a *table-based* method: unlike
+//! FX/DM/GDM there is no arithmetic inverse mapping, which is exactly the
+//! contrast Kim & Pramanik draw when arguing for computable addresses.
+
+use pmr_core::method::DistributionMethod;
+use pmr_core::system::SystemConfig;
+use pmr_core::{Error, Result};
+
+/// Largest bucket space the `O(B²)` construction accepts.
+pub const MAX_BUCKETS: u64 = 1 << 13;
+
+/// Spanning-path declustering: a greedy short-spanning-path order dealt
+/// round-robin onto devices.
+#[derive(Debug, Clone)]
+pub struct SpanningPathDistribution {
+    sys: SystemConfig,
+    /// Device per linear bucket index.
+    table: Vec<u64>,
+}
+
+impl SpanningPathDistribution {
+    /// Builds the path and the device table.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Overflow`] when the bucket space exceeds [`MAX_BUCKETS`]
+    /// (the quadratic construction would be impractical).
+    pub fn build(sys: SystemConfig) -> Result<Self> {
+        let b = sys.total_buckets();
+        if b > MAX_BUCKETS {
+            return Err(Error::Overflow);
+        }
+        let b = b as usize;
+        let n = sys.num_fields();
+        // Decode all buckets once.
+        let mut coords: Vec<u64> = Vec::with_capacity(b * n);
+        let mut buf = Vec::new();
+        for idx in 0..b as u64 {
+            sys.decode_index(idx, &mut buf);
+            coords.extend_from_slice(&buf);
+        }
+        let similarity = |a: usize, c: usize| -> u32 {
+            coords[a * n..a * n + n]
+                .iter()
+                .zip(&coords[c * n..c * n + n])
+                .filter(|(x, y)| x == y)
+                .count() as u32
+        };
+
+        // Greedy nearest-neighbour path from bucket 0: always step to the
+        // unvisited bucket most similar to the current one (ties → lowest
+        // index, for determinism).
+        let mut visited = vec![false; b];
+        let mut order = Vec::with_capacity(b);
+        let mut current = 0usize;
+        visited[0] = true;
+        order.push(0);
+        for _ in 1..b {
+            let mut best = usize::MAX;
+            let mut best_sim = 0u32;
+            for (cand, &seen) in visited.iter().enumerate() {
+                if seen {
+                    continue;
+                }
+                let sim = similarity(current, cand);
+                if best == usize::MAX || sim > best_sim {
+                    best = cand;
+                    best_sim = sim;
+                }
+            }
+            visited[best] = true;
+            order.push(best);
+            current = best;
+        }
+
+        // Deal the path onto devices. Plain round-robin aliases badly when
+        // the path is a serpentine whose period is a multiple of M (every
+        // M-th vertex then shares a device with its whole row); the
+        // classic fix is *diagonal* dealing — advance the device offset by
+        // one every M positions — which spreads each aligned row across
+        // all devices while staying perfectly balanced over any M²
+        // positions.
+        let m = sys.devices();
+        let mut table = vec![0u64; b];
+        for (pos, &bucket) in order.iter().enumerate() {
+            let pos = pos as u64;
+            table[bucket] = (pos + pos / m) % m;
+        }
+        Ok(SpanningPathDistribution { sys, table })
+    }
+}
+
+impl DistributionMethod for SpanningPathDistribution {
+    #[inline]
+    fn device_of(&self, bucket: &[u64]) -> u64 {
+        self.table[self.sys.linear_index(bucket) as usize]
+    }
+
+    fn system(&self) -> &SystemConfig {
+        &self.sys
+    }
+
+    fn name(&self) -> String {
+        "SpanningPath".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmr_core::optimality::{is_k_optimal, response_histogram};
+    use pmr_core::PartialMatchQuery;
+
+    #[test]
+    fn rejects_oversized_spaces() {
+        let sys = SystemConfig::new(&[1 << 7, 1 << 7], 4).unwrap();
+        assert!(matches!(SpanningPathDistribution::build(sys), Err(Error::Overflow)));
+    }
+
+    #[test]
+    fn covers_all_devices_evenly_overall() {
+        let sys = SystemConfig::new(&[8, 8], 4).unwrap();
+        let sp = SpanningPathDistribution::build(sys.clone()).unwrap();
+        let q = PartialMatchQuery::new(&sys, &[None, None]).unwrap();
+        let hist = response_histogram(&sp, &sys, &q);
+        // 64 buckets over 4 devices, dealt round-robin: exactly 16 each.
+        assert_eq!(hist, vec![16, 16, 16, 16]);
+    }
+
+    #[test]
+    fn deterministic() {
+        let sys = SystemConfig::new(&[4, 4, 2], 8).unwrap();
+        let a = SpanningPathDistribution::build(sys.clone()).unwrap();
+        let b = SpanningPathDistribution::build(sys).unwrap();
+        assert_eq!(a.table, b.table);
+    }
+
+    /// The path heuristic keeps single-unspecified-field queries well
+    /// spread on simple systems (adjacent path vertices differ in one
+    /// coordinate, so same-line buckets alternate devices).
+    #[test]
+    fn single_field_queries_reasonably_spread() {
+        let sys = SystemConfig::new(&[8, 8], 8).unwrap();
+        let sp = SpanningPathDistribution::build(sys.clone()).unwrap();
+        for j in 0..8u64 {
+            let q = PartialMatchQuery::new(&sys, &[Some(j), None]).unwrap();
+            let hist = response_histogram(&sp, &sys, &q);
+            let max = hist.iter().max().copied().unwrap();
+            // 8 qualified buckets over 8 devices; allow mild imbalance —
+            // the heuristic has no FX-style guarantee. This bound is a
+            // regression tripwire, not a theorem.
+            assert!(max <= 3, "query f1={j}: {hist:?}");
+        }
+    }
+
+    /// Unlike FX, the spanning path is NOT 1-optimal in general — the
+    /// documented trade-off (heuristic vs algebraic guarantee).
+    #[test]
+    fn not_guaranteed_one_optimal() {
+        let mut found_violation = false;
+        for (fields, m) in [(vec![8u64, 8], 8u64), (vec![4, 4, 4], 8), (vec![16, 4], 8)] {
+            let sys = SystemConfig::new(&fields, m).unwrap();
+            let sp = SpanningPathDistribution::build(sys.clone()).unwrap();
+            if !is_k_optimal(&sp, &sys, 1) {
+                found_violation = true;
+            }
+        }
+        assert!(
+            found_violation,
+            "expected at least one system where the heuristic misses 1-optimality"
+        );
+    }
+}

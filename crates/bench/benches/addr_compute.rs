@@ -1,0 +1,53 @@
+//! §5.2.2 — CPU cost of bucket-address computation.
+//!
+//! FX computes device addresses with XOR/shift/AND only; GDM needs one
+//! multiply per field; Modulo one add per field. The paper counts MC68000
+//! cycles and concludes FX ≈ ⅓ of GDM; on modern hardware multipliers are
+//! fast so the gap narrows, but the ordering Modulo ≤ FX ≤ GDM is expected
+//! to hold. Run with `cargo bench -p pmr-bench --bench addr_compute`.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use pmr_baselines::gdm::PaperGdmSet;
+use pmr_baselines::{GdmDistribution, ModuloDistribution, RandomDistribution};
+use pmr_bench::{cpu_time_system, random_buckets};
+use pmr_core::method::DistributionMethod;
+use pmr_core::{AssignmentStrategy, FxDistribution};
+
+fn bench_addresses(c: &mut Criterion) {
+    let sys = cpu_time_system();
+    let flat = random_buckets(&sys, 4096, 42);
+    let n = sys.num_fields();
+
+    let fx_basic = FxDistribution::basic(sys.clone()).unwrap();
+    let fx = FxDistribution::with_strategy(sys.clone(), AssignmentStrategy::CycleIu1).unwrap();
+    let fx_iu2 = FxDistribution::with_strategy(sys.clone(), AssignmentStrategy::CycleIu2).unwrap();
+    let dm = ModuloDistribution::new(sys.clone());
+    let gdm = GdmDistribution::paper_set(sys.clone(), PaperGdmSet::Gdm1);
+    let random = RandomDistribution::new(sys.clone(), 7);
+
+    let mut group = c.benchmark_group("addr_compute");
+    group.throughput(Throughput::Elements(4096));
+    let cases: [(&str, &dyn DistributionMethod); 6] = [
+        ("modulo", &dm),
+        ("gdm1", &gdm),
+        ("fx_basic", &fx_basic),
+        ("fx_iu1", &fx),
+        ("fx_iu2", &fx_iu2),
+        ("random", &random),
+    ];
+    for (name, method) in cases {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for chunk in flat.chunks_exact(n) {
+                    acc = acc.wrapping_add(method.device_of(black_box(chunk)));
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_addresses);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Bulk distribution throughput: inserting a record batch into a
+//! declustered file (hash → transform → device → append), per method.
+//!
+//! This measures the end-to-end write path the paper's "bucket
+//! distribution … should be fast" remark is about, not just the address
+//! kernel. Run with `cargo bench -p pmr-bench --bench distribution`.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use pmr_baselines::ModuloDistribution;
+use pmr_core::method::DistributionMethod;
+use pmr_core::FxDistribution;
+use pmr_mkh::{FieldType, Record, Schema, Value};
+use pmr_storage::DeclusteredFile;
+
+const BATCH: i64 = 2000;
+
+fn schema() -> Schema {
+    Schema::builder()
+        .field("author", FieldType::Str, 8)
+        .field("year", FieldType::Int, 8)
+        .field("subject", FieldType::Int, 8)
+        .devices(32)
+        .build()
+        .unwrap()
+}
+
+fn records() -> Vec<Record> {
+    (0..BATCH)
+        .map(|i| {
+            Record::new(vec![
+                format!("author{}", i % 97).into(),
+                Value::Int(1900 + i % 100),
+                Value::Int(i % 23),
+            ])
+        })
+        .collect()
+}
+
+fn bench_insert<D: DistributionMethod + Clone + 'static>(
+    group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>,
+    name: &str,
+    method: D,
+) {
+    let recs = records();
+    group.throughput(Throughput::Elements(BATCH as u64));
+    group.bench_function(name, |b| {
+        b.iter_batched(
+            || (DeclusteredFile::new(schema(), method.clone(), 11).unwrap(), recs.clone()),
+            |(mut file, recs)| {
+                file.insert_all(recs).unwrap();
+                file
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_distribution(c: &mut Criterion) {
+    let sys = schema().system().clone();
+    let mut group = c.benchmark_group("bulk_insert");
+    bench_insert(&mut group, "fx_auto", FxDistribution::auto(sys.clone()).unwrap());
+    bench_insert(&mut group, "modulo", ModuloDistribution::new(sys));
+    group.finish();
+}
+
+criterion_group!(benches, bench_distribution);
+criterion_main!(benches);

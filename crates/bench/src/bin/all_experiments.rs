@@ -1,0 +1,29 @@
+//! Runs every experiment regenerator in paper order and prints the
+//! results — the one-shot reproduction of the paper's evaluation section.
+//!
+//! `cargo run --release -p pmr-bench --bin all_experiments`
+
+use pmr_analysis::experiments::{self, Experiment};
+
+fn main() {
+    for exp in Experiment::ALL {
+        let out = match exp {
+            Experiment::Table1
+            | Experiment::Table2
+            | Experiment::Table3
+            | Experiment::Table4
+            | Experiment::Table5
+            | Experiment::Table6 => experiments::table_distribution(exp),
+            Experiment::Table7 | Experiment::Table8 | Experiment::Table9 => {
+                experiments::render_table_response(exp)
+            }
+            Experiment::Figure1
+            | Experiment::Figure2
+            | Experiment::Figure3
+            | Experiment::Figure4 => experiments::render_figure_experiment(exp),
+        }
+        .expect("static experiment configurations are valid");
+        println!("{out}");
+        println!("{}", "=".repeat(72));
+    }
+}

@@ -1,0 +1,38 @@
+//! Cell-by-cell paper-vs-measured comparison for Tables 7–9.
+//!
+//! Prints every published cell next to the freshly computed value, with
+//! OCR-legibility notes. The integration suite asserts that every legible
+//! cell matches to the printed decimal; this binary is the human-readable
+//! version of that claim.
+//!
+//! `cargo run --release -p pmr-bench --bin compare_paper`
+
+use pmr_analysis::experiments::Experiment;
+use pmr_analysis::paper::{compare, render_comparison, CellStatus};
+
+fn main() {
+    let mut legible = 0usize;
+    let mut legible_matched = 0usize;
+    let mut suspect = 0usize;
+    for exp in [Experiment::Table7, Experiment::Table8, Experiment::Table9] {
+        let comparisons = compare(exp).expect("static experiment configuration");
+        print!("{}", render_comparison(exp, &comparisons));
+        println!();
+        for c in &comparisons {
+            match c.status {
+                CellStatus::Legible => {
+                    legible += 1;
+                    if c.matches_printed() {
+                        legible_matched += 1;
+                    }
+                }
+                CellStatus::OcrSuspect => suspect += 1,
+            }
+        }
+    }
+    println!(
+        "summary: {legible_matched}/{legible} legible published cells match to the \
+         printed decimal; {suspect} cells are OCR-suspect in the scan \
+         (see EXPERIMENTS.md for the per-cell reasoning)."
+    );
+}

@@ -1,0 +1,42 @@
+//! Winner/crossover analysis for the Tables 7–9 systems.
+//!
+//! The paper's qualitative claim is about *shape*: FX wins everywhere on
+//! Table 7; on Tables 8 and 9 the hand-tuned GDM sets edge FX out at
+//! k = 2 only, with FX equal to the analytic optimum from k = 3 up. This
+//! binary prints the winner per row and locates the crossovers.
+//!
+//! `cargo run --release -p pmr-bench --bin crossovers`
+
+use pmr_analysis::crossover::crossover_report;
+use pmr_analysis::experiments::{response_setup, Experiment};
+use pmr_baselines::gdm::PaperGdmSet;
+use pmr_baselines::{GdmDistribution, ModuloDistribution};
+use pmr_core::method::DistributionMethod;
+use pmr_core::FxDistribution;
+
+fn main() {
+    for exp in [Experiment::Table7, Experiment::Table8, Experiment::Table9] {
+        let (sys, strategy) = response_setup(exp).expect("static configuration");
+        let dm = ModuloDistribution::new(sys.clone());
+        let gdm1 = GdmDistribution::paper_set(sys.clone(), PaperGdmSet::Gdm1);
+        let gdm2 = GdmDistribution::paper_set(sys.clone(), PaperGdmSet::Gdm2);
+        let fx = FxDistribution::with_strategy(sys.clone(), strategy)
+            .expect("static configuration");
+        let methods: [&dyn DistributionMethod; 4] = [&dm, &gdm1, &gdm2, &fx];
+        let report = crossover_report(&sys, &methods, 2..=sys.num_fields() as u32);
+        println!("== {} — {sys} ==", exp.label());
+        let margins = report.margins();
+        for (i, &k) in report.ks.iter().enumerate() {
+            let winner = &report.series[report.winner[i]];
+            println!(
+                "k = {k}: winner {:<14} ({:.1}; optimal {:.1}; margin {:.2}x over runner-up)",
+                winner.name, winner.averages[i], report.optimal[i], margins[i]
+            );
+        }
+        if report.crossovers.is_empty() {
+            println!("no crossovers: the same method wins every row\n");
+        } else {
+            println!("crossovers at k = {:?}\n", report.crossovers);
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! Regenerates the paper's Figure 4 (probability of strict optimality,
+//! MD vs FX).
+//!
+//! Flags:
+//! * `--empirical` — also print ground-truth curves measured by
+//!   exhaustive checking on scaled-down systems (beyond the paper's
+//!   sufficient-condition curves).
+//! * `--csv` — emit machine-readable CSV instead of the text table.
+fn main() {
+    use pmr_analysis::experiments::{self, Experiment};
+    let exp = Experiment::Figure4;
+    let csv = std::env::args().any(|a| a == "--csv");
+    let empirical = std::env::args().any(|a| a == "--empirical");
+    if csv {
+        let curves = experiments::figure(exp).expect("static experiment configuration");
+        println!("l,md_percent,fd_percent");
+        for (i, &l) in curves.l_values.iter().enumerate() {
+            println!("{l},{:.4},{:.4}", curves.md_percent[i], curves.fd_percent[i]);
+        }
+    } else {
+        let out = experiments::render_figure_experiment(exp)
+            .expect("static experiment configuration is valid");
+        print!("{out}");
+    }
+    if empirical {
+        let config = experiments::figure_config(exp);
+        let curves = pmr_analysis::probability::empirical_curves(&config)
+            .expect("static experiment configuration is valid");
+        if csv {
+            println!("l,md_empirical_percent,fd_empirical_percent");
+            for (i, &l) in curves.l_values.iter().enumerate() {
+                println!("{l},{:.4},{:.4}", curves.md_percent[i], curves.fd_percent[i]);
+            }
+        } else {
+            let title = format!(
+                "{} (empirical ground truth, scaled-down sizes)",
+                exp.label()
+            );
+            print!("\n{}", pmr_analysis::tables::render_figure(&curves, &title));
+        }
+    }
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper's Table 6 (worked bucket-distribution example).
+fn main() {
+    let out = pmr_analysis::experiments::table_distribution(
+        pmr_analysis::experiments::Experiment::Table6,
+    )
+    .expect("static experiment configuration is valid");
+    print!("{out}");
+}

@@ -1,0 +1,9 @@
+//! Regenerates the paper's Table 7 (average largest response size:
+//! Modulo, GDM1-3, FX, Optimal).
+fn main() {
+    let out = pmr_analysis::experiments::render_table_response(
+        pmr_analysis::experiments::Experiment::Table7,
+    )
+    .expect("static experiment configuration is valid");
+    print!("{out}");
+}

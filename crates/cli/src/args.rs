@@ -1,0 +1,144 @@
+//! Minimal flag parsing (no external dependencies).
+
+use pmr_core::AssignmentStrategy;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+pmr — FX declustering for partial match retrieval (Kim & Pramanik, SIGMOD 1988)
+
+USAGE:
+  pmr distribute --fields F1,F2,... --devices M [--strategy S]
+      Print the bucket-to-device table for FX (and Modulo for comparison).
+
+  pmr analyze --fields F1,F2,... --devices M [--strategy S]
+      Report certified and measured optimality per unspecified-field count.
+
+  pmr simulate --fields F1,F2,... --devices M --records N [--seed K]
+      Build a synthetic declustered file and execute sample queries in
+      parallel, reporting balance and simulated speedup.
+
+  pmr experiment <table1..table9|figure1..figure4|all>
+      Regenerate a table/figure of the paper's evaluation.
+
+  pmr optimize --fields F1,F2,... --devices M [--steps N] [--seed K]
+      Anneal generalized-FX transformation tables beyond the paper's
+      closed forms (useful when 4+ fields are smaller than M).
+
+  pmr design --probs P1,P2,... [--bits B]
+      Allocate directory bits to fields from per-field specification
+      probabilities (expected-bucket-access model).
+
+  pmr verify [--max-fields N] [--max-buckets B]
+      Check the paper's theorems against exhaustive ground truth over a
+      grid of systems.
+
+OPTIONS:
+  --fields    comma-separated power-of-two field sizes (e.g. 8,8,8)
+  --devices   power-of-two device count M
+  --strategy  theorem-9 (default) | basic | cycle-iu1 | cycle-iu2
+  --records   number of synthetic records to insert (simulate)
+  --seed      RNG seed (simulate/optimize; default 42)
+  --steps     annealing steps (optimize; default 2000)
+  --probs     comma-separated per-field specification probabilities
+  --bits      total directory bits (design; default 12)";
+
+/// Parsed `--flag value` pairs.
+pub struct Flags<'a> {
+    pairs: Vec<(&'a str, &'a str)>,
+}
+
+impl<'a> Flags<'a> {
+    /// Parses `--name value` pairs; rejects stray arguments.
+    pub fn parse(args: &'a [String]) -> Result<Self, String> {
+        let mut pairs = Vec::new();
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            let Some(name) = flag.strip_prefix("--") else {
+                return Err(format!("unexpected argument {flag:?}"));
+            };
+            let Some(value) = it.next() else {
+                return Err(format!("flag --{name} needs a value"));
+            };
+            pairs.push((name, value.as_str()));
+        }
+        Ok(Flags { pairs })
+    }
+
+    /// The raw value of a flag, if present.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.pairs.iter().find(|(n, _)| *n == name).map(|(_, v)| *v)
+    }
+
+    /// Required flag.
+    pub fn require(&self, name: &str) -> Result<&str, String> {
+        self.get(name).ok_or_else(|| format!("missing required flag --{name}"))
+    }
+
+    /// Parses `--fields 8,8,4` into sizes.
+    pub fn fields(&self) -> Result<Vec<u64>, String> {
+        self.require("fields")?
+            .split(',')
+            .map(|s| s.trim().parse::<u64>().map_err(|e| format!("bad field size {s:?}: {e}")))
+            .collect()
+    }
+
+    /// Parses `--devices M`.
+    pub fn devices(&self) -> Result<u64, String> {
+        self.require("devices")?
+            .parse()
+            .map_err(|e| format!("bad device count: {e}"))
+    }
+
+    /// Parses a u64 flag with a default.
+    pub fn u64_or(&self, name: &str, default: u64) -> Result<u64, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|e| format!("bad --{name}: {e}")),
+        }
+    }
+
+    /// Parses `--strategy` (defaulting to theorem-9).
+    pub fn strategy(&self) -> Result<AssignmentStrategy, String> {
+        match self.get("strategy").unwrap_or("theorem-9") {
+            "theorem-9" => Ok(AssignmentStrategy::TheoremNine),
+            "basic" => Ok(AssignmentStrategy::Basic),
+            "cycle-iu1" => Ok(AssignmentStrategy::CycleIu1),
+            "cycle-iu2" => Ok(AssignmentStrategy::CycleIu2),
+            other => Err(format!(
+                "unknown strategy {other:?} (expected theorem-9|basic|cycle-iu1|cycle-iu2)"
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| (*x).to_owned()).collect()
+    }
+
+    #[test]
+    fn parses_flags() {
+        let args = argv(&["--fields", "8,8,4", "--devices", "16", "--seed", "7"]);
+        let f = Flags::parse(&args).unwrap();
+        assert_eq!(f.fields().unwrap(), vec![8, 8, 4]);
+        assert_eq!(f.devices().unwrap(), 16);
+        assert_eq!(f.u64_or("seed", 42).unwrap(), 7);
+        assert_eq!(f.u64_or("records", 100).unwrap(), 100);
+        assert_eq!(f.strategy().unwrap(), pmr_core::AssignmentStrategy::TheoremNine);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(Flags::parse(&argv(&["stray"])).is_err());
+        assert!(Flags::parse(&argv(&["--fields"])).is_err());
+        let bad_fields = argv(&["--fields", "x"]);
+        assert!(Flags::parse(&bad_fields).unwrap().fields().is_err());
+        let bad_strategy = argv(&["--strategy", "nope"]);
+        assert!(Flags::parse(&bad_strategy).unwrap().strategy().is_err());
+        let empty = argv(&[]);
+        assert!(Flags::parse(&empty).unwrap().require("fields").is_err());
+    }
+}

@@ -1,0 +1,238 @@
+//! Command implementations.
+
+use crate::args::Flags;
+use pmr_analysis::experiments::{self, Experiment};
+use pmr_analysis::probability;
+use pmr_analysis::tables::distribution_table;
+use pmr_baselines::ModuloDistribution;
+use pmr_core::method::DistributionMethod;
+use pmr_core::{FxDistribution, SystemConfig};
+use pmr_mkh::{FieldType, Record, Schema, Value};
+use pmr_storage::exec::execute_parallel;
+use pmr_storage::metrics::BalanceMetrics;
+use pmr_storage::{CostModel, DeclusteredFile};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn system_from(flags: &Flags<'_>) -> Result<SystemConfig, String> {
+    SystemConfig::new(&flags.fields()?, flags.devices()?).map_err(|e| e.to_string())
+}
+
+/// `pmr distribute` — print the bucket map.
+pub fn distribute(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let sys = system_from(&flags)?;
+    if sys.total_buckets() > 4096 {
+        return Err(format!(
+            "{} buckets is too many to print; keep the space under 4096",
+            sys.total_buckets()
+        ));
+    }
+    let fx = FxDistribution::with_strategy(sys.clone(), flags.strategy()?)
+        .map_err(|e| e.to_string())?;
+    let dm = ModuloDistribution::new(sys.clone());
+    println!("{sys} with {}", fx.name());
+    let methods: [(&str, &dyn DistributionMethod); 2] = [("FX", &fx), ("Modulo", &dm)];
+    print!("{}", distribution_table(&sys, &methods));
+    Ok(())
+}
+
+/// `pmr analyze` — certified + measured optimality per k.
+pub fn analyze(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let sys = system_from(&flags)?;
+    if sys.num_fields() > 16 {
+        return Err("analyze supports up to 16 fields".into());
+    }
+    let fx = FxDistribution::with_strategy(sys.clone(), flags.strategy()?)
+        .map_err(|e| e.to_string())?;
+    let report = pmr_core::report::OptimalityReport::analyze(fx.assignment());
+    print!("{}", report.render());
+    if report.measured {
+        let dm_measured =
+            probability::empirical_fraction(&ModuloDistribution::new(sys.clone()), &sys);
+        println!("measured  (Modulo, for comparison): {:.1}%", 100.0 * dm_measured);
+    }
+    Ok(())
+}
+
+/// `pmr simulate` — synthetic file + parallel query execution.
+pub fn simulate(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let sys = system_from(&flags)?;
+    let records = flags.u64_or("records", 10_000)?;
+    let seed = flags.u64_or("seed", 42)?;
+    let strategy = flags.strategy()?;
+
+    let mut builder = Schema::builder();
+    for (i, &size) in sys.field_sizes().iter().enumerate() {
+        builder = builder.field(format!("f{i}"), FieldType::Int, size);
+    }
+    let schema = builder.devices(sys.devices()).build().map_err(|e| e.to_string())?;
+    let fx = FxDistribution::with_strategy(sys.clone(), strategy).map_err(|e| e.to_string())?;
+    let mut file = DeclusteredFile::new(schema, fx, seed).map_err(|e| e.to_string())?;
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    for _ in 0..records {
+        let values: Vec<Value> =
+            (0..sys.num_fields()).map(|_| Value::Int(rng.gen_range(0..1_000_000))).collect();
+        file.insert(Record::new(values)).map_err(|e| e.to_string())?;
+    }
+    println!("inserted {records} records into {} devices", sys.devices());
+    let occupancy = file.record_occupancy();
+    let occ = BalanceMetrics::of(&occupancy);
+    println!(
+        "static record balance: mean {:.1}/device, max {}, stddev {:.1}",
+        occ.mean, occ.largest, occ.std_dev
+    );
+    println!();
+
+    // Execute one query per unspecified-field count (k = 1 … n−1).
+    let cost = CostModel::disk_1988();
+    for k in 1..sys.num_fields() {
+        let values: Vec<Option<u64>> = (0..sys.num_fields())
+            .map(|i| if i < sys.num_fields() - k { Some(rng.gen_range(0..sys.field_size(i))) } else { None })
+            .collect();
+        let q = pmr_core::PartialMatchQuery::new(&sys, &values).map_err(|e| e.to_string())?;
+        let report = execute_parallel(&file, &q, &cost).map_err(|e| e.to_string())?;
+        let metrics = BalanceMetrics::of(&report.histogram());
+        println!(
+            "query {q}: |R| = {}, largest response {} (optimal {}), \
+             simulated {:.1} ms, speedup {:.2}x",
+            q.qualified_count_in(&sys),
+            report.largest_response,
+            metrics.optimal,
+            report.simulated_response_us / 1000.0,
+            report.speedup()
+        );
+    }
+    Ok(())
+}
+
+/// `pmr optimize` — anneal generalized-FX tables for a system.
+pub fn optimize(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let sys = system_from(&flags)?;
+    if sys.num_fields() > 12 || sys.total_buckets() > 1 << 20 {
+        return Err("optimize supports up to 12 fields / 2^20 buckets".into());
+    }
+    let steps = flags.u64_or("steps", 2000)? as usize;
+    let seed = flags.u64_or("seed", 42)?;
+    let options = pmr_analysis::optimize::AnnealOptions {
+        steps,
+        initial_temperature: 4.0,
+        seed,
+        restarts: 4,
+    };
+    let result = pmr_analysis::optimize::anneal(&sys, &options).map_err(|e| e.to_string())?;
+    let total = 1usize << sys.num_fields();
+    println!("{sys}");
+    println!(
+        "objective (sum of largest responses over {total} patterns):"
+    );
+    println!("  theorem-9 start : {}", result.initial_score);
+    println!("  annealed        : {}", result.score);
+    println!("  analytic bound  : {}", result.lower_bound);
+    println!(
+        "strict-optimal patterns: {} -> {} (of {total})",
+        result.initial_optimal_patterns, result.optimal_patterns
+    );
+    println!("accepted moves: {}", result.accepted);
+    println!();
+    for (i, table) in result.distribution.tables().iter().enumerate() {
+        println!("field {i} table: {:?}", &table[..]);
+    }
+    Ok(())
+}
+
+/// `pmr design` — field-size design from specification probabilities.
+pub fn design(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let probs: Vec<f64> = flags
+        .require("probs")?
+        .split(',')
+        .map(|s| s.trim().parse::<f64>().map_err(|e| format!("bad probability {s:?}: {e}")))
+        .collect::<Result<_, _>>()?;
+    let bits = flags.u64_or("bits", 12)? as u32;
+    let input = pmr_mkh::DesignInput {
+        spec_probability: probs.clone(),
+        total_bits: bits,
+        max_bits: None,
+    };
+    let out = pmr_mkh::design_field_bits(&input).map_err(|e| e.to_string())?;
+    println!("specification probabilities: {probs:?}");
+    println!("directory bits: {bits}");
+    println!("bit allocation: {:?}", out.bits);
+    println!("field sizes   : {:?}", out.field_sizes);
+    println!("expected buckets per query: {:.2}", out.expected_buckets);
+    Ok(())
+}
+
+/// `pmr verify` — check the paper's theorems against ground truth.
+pub fn verify(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let max_fields = flags.u64_or("max-fields", 3)? as usize;
+    let max_buckets = flags.u64_or("max-buckets", 512)?;
+    println!(
+        "verifying Theorems 1-9 + the §4.2 summary over all systems with <= \
+         {max_fields} fields (sizes 1/2/4/8, M in 2/4/8/16, <= {max_buckets} buckets)\n"
+    );
+    let mut failed = false;
+    for report in pmr_core::theory::verify_all(max_fields, max_buckets) {
+        let status = if report.verified() { "VERIFIED" } else { "FALSIFIED" };
+        println!(
+            "{status:<10} {:<38} {:>9} instances",
+            report.claim.label(),
+            report.instances
+        );
+        for ce in &report.counterexamples {
+            failed = true;
+            println!("           counterexample: {ce}");
+        }
+    }
+    if failed {
+        Err("counterexamples found".into())
+    } else {
+        Ok(())
+    }
+}
+
+/// `pmr experiment` — regenerate a paper table/figure.
+pub fn experiment(args: &[String]) -> Result<(), String> {
+    let Some(which) = args.first() else {
+        return Err("experiment needs a name (table1..table9, figure1..figure4, all)".into());
+    };
+    let run_one = |exp: Experiment| -> Result<(), String> {
+        let out = match exp {
+            Experiment::Table1
+            | Experiment::Table2
+            | Experiment::Table3
+            | Experiment::Table4
+            | Experiment::Table5
+            | Experiment::Table6 => experiments::table_distribution(exp),
+            Experiment::Table7 | Experiment::Table8 | Experiment::Table9 => {
+                experiments::render_table_response(exp)
+            }
+            _ => experiments::render_figure_experiment(exp),
+        }
+        .map_err(|e| e.to_string())?;
+        println!("{out}");
+        Ok(())
+    };
+    match which.as_str() {
+        "all" => {
+            for exp in Experiment::ALL {
+                run_one(exp)?;
+                println!("{}", "=".repeat(72));
+            }
+            Ok(())
+        }
+        name => {
+            let exp = Experiment::ALL
+                .into_iter()
+                .find(|e| e.label().to_lowercase().replace(' ', "") == name.to_lowercase())
+                .ok_or_else(|| format!("unknown experiment {name:?}"))?;
+            run_one(exp)
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! `pmr` — command-line interface for FX declustering.
+//!
+//! ```text
+//! pmr distribute --fields 2,8 --devices 4 [--strategy theorem-9|basic|cycle-iu1|cycle-iu2]
+//! pmr analyze    --fields 8,8,8,8,8,8 --devices 32 [--strategy …]
+//! pmr simulate   --fields 8,8,8 --devices 16 --records 10000 [--seed N]
+//! pmr experiment <table1..table9|figure1..figure4|all>
+//! ```
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match run(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{}", args::USAGE);
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(argv: &[String]) -> Result<(), String> {
+    let Some(command) = argv.first() else {
+        return Err("missing command".into());
+    };
+    let rest = &argv[1..];
+    match command.as_str() {
+        "distribute" => commands::distribute(rest),
+        "analyze" => commands::analyze(rest),
+        "simulate" => commands::simulate(rest),
+        "optimize" => commands::optimize(rest),
+        "design" => commands::design(rest),
+        "verify" => commands::verify(rest),
+        "experiment" => commands::experiment(rest),
+        "help" | "--help" | "-h" => {
+            println!("{}", args::USAGE);
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}")),
+    }
+}

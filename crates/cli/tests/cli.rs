@@ -1,0 +1,128 @@
+//! Integration tests driving the `pmr` binary end to end.
+
+use std::process::{Command, Output};
+
+fn pmr(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_pmr"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = pmr(&["help"]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("USAGE"));
+    assert!(stdout(&out).contains("distribute"));
+}
+
+#[test]
+fn missing_command_fails_with_usage() {
+    let out = pmr(&[]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("missing command"));
+    assert!(stderr(&out).contains("USAGE"));
+}
+
+#[test]
+fn unknown_command_fails() {
+    let out = pmr(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("unknown command"));
+}
+
+#[test]
+fn distribute_prints_table_1_system() {
+    let out = pmr(&["distribute", "--fields", "2,8", "--devices", "4"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("F = (2, 8), M = 4"));
+    // 16 bucket rows appear.
+    assert!(text.lines().count() >= 18);
+}
+
+#[test]
+fn distribute_rejects_bad_sizes() {
+    let out = pmr(&["distribute", "--fields", "3,8", "--devices", "4"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("power of two"));
+}
+
+#[test]
+fn distribute_rejects_huge_spaces() {
+    let out = pmr(&["distribute", "--fields", "1024,1024", "--devices", "4"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("too many"));
+}
+
+#[test]
+fn analyze_reports_fractions() {
+    let out = pmr(&[
+        "analyze", "--fields", "8,8,8,8,8,8", "--devices", "32", "--strategy", "cycle-iu1",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("FX assignment: I,U,IU1,I,U,IU1"));
+    assert!(text.contains("certified strict-optimal patterns"));
+}
+
+#[test]
+fn simulate_runs_queries() {
+    let out = pmr(&[
+        "simulate", "--fields", "8,8", "--devices", "4", "--records", "500", "--seed", "3",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("inserted 500 records"));
+    assert!(text.contains("speedup"));
+}
+
+#[test]
+fn experiment_table1_matches_regenerator() {
+    let out = pmr(&["experiment", "table1"]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("Table 1"));
+}
+
+#[test]
+fn verify_reports_all_theorems() {
+    let out = pmr(&["verify", "--max-fields", "2", "--max-buckets", "64"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert_eq!(text.matches("VERIFIED").count(), 9);
+    assert!(!text.contains("FALSIFIED"));
+}
+
+#[test]
+fn optimize_prints_tables() {
+    let out = pmr(&[
+        "optimize", "--fields", "2,2,2,2", "--devices", "8", "--steps", "150", "--seed", "1",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("analytic bound"));
+    assert!(text.contains("field 0 table"));
+}
+
+#[test]
+fn design_allocates_bits() {
+    let out = pmr(&["design", "--probs", "0.9,0.1", "--bits", "6"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("bit allocation"));
+}
+
+#[test]
+fn experiment_unknown_name_fails() {
+    let out = pmr(&["experiment", "table99"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("unknown experiment"));
+}

@@ -1,0 +1,365 @@
+//! Transformation assignment: choosing one transform per field.
+//!
+//! FX distribution is parameterised by a per-field transformation vector.
+//! Fields with `F_i ≥ M` must use the identity (the non-identity transforms
+//! are only defined on proper subsets of `Z_M`, and by Theorem 2 such
+//! fields never hurt optimality anyway). For the small fields the *choice*
+//! of transforms determines which partial match queries enjoy strict
+//! optimality — the whole point of the paper's Section 4.
+//!
+//! Strategies implemented:
+//!
+//! * [`AssignmentStrategy::Basic`] — identity everywhere (Basic FX, §3).
+//! * [`AssignmentStrategy::CycleIu1`] — small fields cycle `I, U, IU1` in
+//!   field order; the configuration behind the paper's Figures 1–2 and
+//!   Tables 7–8.
+//! * [`AssignmentStrategy::CycleIu2`] — small fields cycle `I, U, IU2`; the
+//!   configuration behind Figures 3–4 and Table 9.
+//! * [`AssignmentStrategy::TheoremNine`] — when at most three fields are
+//!   small, the constructive assignment from Theorem 9's proof
+//!   (`I` to the largest, `IU2` to the middle, `U` to the smallest), which
+//!   is *perfect optimal*; with four or more small fields it falls back to
+//!   a size-aware `I/U/IU2` cycle that keeps every IU2 field at least as
+//!   large as every U field where possible (the §4.2 (4b)/(5b) hypothesis).
+
+use crate::error::{Error, Result};
+use crate::system::SystemConfig;
+use crate::transform::{Transform, TransformKind};
+use std::fmt;
+
+/// How to choose per-field transformations for an FX distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum AssignmentStrategy {
+    /// Identity on every field — Basic FX distribution.
+    Basic,
+    /// Cycle `I, U, IU1` over the small fields in index order.
+    CycleIu1,
+    /// Cycle `I, U, IU2` over the small fields in index order.
+    CycleIu2,
+    /// The Theorem 9 construction (perfect optimal for ≤ 3 small fields),
+    /// with a size-aware cycle fallback beyond that. This is the
+    /// recommended default.
+    #[default]
+    TheoremNine,
+}
+
+impl fmt::Display for AssignmentStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AssignmentStrategy::Basic => "basic",
+            AssignmentStrategy::CycleIu1 => "cycle-iu1",
+            AssignmentStrategy::CycleIu2 => "cycle-iu2",
+            AssignmentStrategy::TheoremNine => "theorem-9",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A validated per-field transformation vector for a given system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Assignment {
+    sys: SystemConfig,
+    transforms: Vec<Transform>,
+}
+
+impl Assignment {
+    /// Builds an assignment by strategy.
+    pub fn from_strategy(sys: &SystemConfig, strategy: AssignmentStrategy) -> Result<Self> {
+        let kinds = plan_kinds(sys, strategy);
+        Assignment::from_kinds(sys, &kinds)
+    }
+
+    /// Builds an assignment from explicit per-field kinds.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::TransformArityMismatch`] when `kinds.len() != n`.
+    /// * [`Error::TransformRequiresSmallField`] when a non-identity kind is
+    ///   given to a field with `F_i ≥ M`.
+    pub fn from_kinds(sys: &SystemConfig, kinds: &[TransformKind]) -> Result<Self> {
+        if kinds.len() != sys.num_fields() {
+            return Err(Error::TransformArityMismatch {
+                expected: sys.num_fields(),
+                got: kinds.len(),
+            });
+        }
+        let transforms = kinds
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| Transform::new(k, sys.field_size(i), sys.devices()))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Assignment { sys: sys.clone(), transforms })
+    }
+
+    /// Builds an assignment from pre-constructed transforms, verifying each
+    /// one matches its field's size and the system's `M`.
+    pub fn from_transforms(sys: &SystemConfig, transforms: Vec<Transform>) -> Result<Self> {
+        if transforms.len() != sys.num_fields() {
+            return Err(Error::TransformArityMismatch {
+                expected: sys.num_fields(),
+                got: transforms.len(),
+            });
+        }
+        for (i, t) in transforms.iter().enumerate() {
+            if t.devices() != sys.devices() {
+                return Err(Error::DeviceCountMismatch {
+                    transform_m: t.devices(),
+                    system_m: sys.devices(),
+                });
+            }
+            if t.field_size() != sys.field_size(i) {
+                return Err(Error::FieldSizeMismatch {
+                    field: i,
+                    transform_size: t.field_size(),
+                    field_size: sys.field_size(i),
+                });
+            }
+        }
+        Ok(Assignment { sys: sys.clone(), transforms })
+    }
+
+    /// The system this assignment belongs to.
+    #[inline]
+    pub fn system(&self) -> &SystemConfig {
+        &self.sys
+    }
+
+    /// The transform of field `i`.
+    #[inline]
+    pub fn transform(&self, field: usize) -> &Transform {
+        &self.transforms[field]
+    }
+
+    /// All per-field transforms, in field order.
+    #[inline]
+    pub fn transforms(&self) -> &[Transform] {
+        &self.transforms
+    }
+
+    /// The declared kind of field `i`'s transform.
+    #[inline]
+    pub fn kind(&self, field: usize) -> TransformKind {
+        self.transforms[field].kind()
+    }
+
+    /// The *effective* kind of field `i` — `IU2` with `F² ≥ M` reports as
+    /// `IU1` (see [`Transform::effective_kind`]); the sufficient-condition
+    /// predicates reason over effective kinds.
+    #[inline]
+    pub fn effective_kind(&self, field: usize) -> TransformKind {
+        self.transforms[field].effective_kind()
+    }
+
+    /// `true` when every field uses the identity (Basic FX).
+    pub fn is_basic(&self) -> bool {
+        self.transforms.iter().all(|t| t.kind() == TransformKind::Identity)
+    }
+
+    /// Compact human-readable description, e.g. `"I,U,IU1,I,U,IU1"`.
+    pub fn describe(&self) -> String {
+        self.transforms
+            .iter()
+            .map(|t| t.kind().name())
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+}
+
+/// Plans per-field kinds for a strategy (pure helper; exposed for tests and
+/// for the analysis crate's figure drivers, which need to reason about the
+/// planned kinds without building transforms).
+pub fn plan_kinds(sys: &SystemConfig, strategy: AssignmentStrategy) -> Vec<TransformKind> {
+    let n = sys.num_fields();
+    let mut kinds = vec![TransformKind::Identity; n];
+    match strategy {
+        AssignmentStrategy::Basic => kinds,
+        AssignmentStrategy::CycleIu1 => {
+            cycle_assign(sys, &mut kinds, &[TransformKind::Identity, TransformKind::U, TransformKind::Iu1]);
+            kinds
+        }
+        AssignmentStrategy::CycleIu2 => {
+            cycle_assign(sys, &mut kinds, &[TransformKind::Identity, TransformKind::U, TransformKind::Iu2]);
+            kinds
+        }
+        AssignmentStrategy::TheoremNine => {
+            theorem_nine_assign(sys, &mut kinds);
+            kinds
+        }
+    }
+}
+
+/// Assigns `cycle` round-robin over the small fields in index order.
+fn cycle_assign(sys: &SystemConfig, kinds: &mut [TransformKind], cycle: &[TransformKind]) {
+    for (pos, field) in sys.small_fields().into_iter().enumerate() {
+        kinds[field] = cycle[pos % cycle.len()];
+    }
+}
+
+/// The Theorem 9 construction.
+///
+/// With small fields `i, j, k` ordered `F_i ≥ F_k ≥ F_j`, the proof applies
+/// `I(f_i)`, `U(f_j)`, `IU2(f_k)`: if `F_k² ≥ M` then `F_k·F_j`… (first
+/// condition of Lemma 9.1 applies); otherwise the second condition
+/// (`F_k ≥ F_j`, `F_k² < M`) applies. Either way the distribution is
+/// perfect optimal. One or two small fields are the easy sub-cases
+/// (Theorems 7/4 and 1/2).
+///
+/// With `L ≥ 4` small fields no method can be perfect optimal (\[Sung87\]);
+/// we sort small fields by descending size and deal `I, IU2, U` in rotation
+/// so that, within each triple, the IU2 field is at least as large as the U
+/// field — keeping the §4.2 conditions (4b)/(5b) satisfiable as often as
+/// possible.
+fn theorem_nine_assign(sys: &SystemConfig, kinds: &mut [TransformKind]) {
+    let mut small = sys.small_fields();
+    // Descending size; ties broken by field index for determinism.
+    small.sort_by_key(|&i| (std::cmp::Reverse(sys.field_size(i)), i));
+    match small.len() {
+        0 => {}
+        1 => {
+            // A single small field: identity suffices (Theorems 1–2 cover
+            // every query pattern).
+            kinds[small[0]] = TransformKind::Identity;
+        }
+        2 => {
+            // Theorem 7: I on the larger, IU2 on the smaller is perfect
+            // optimal (as are I+U and U+IU2; we follow the theorem the
+            // paper proves most generally).
+            kinds[small[0]] = TransformKind::Identity;
+            kinds[small[1]] = TransformKind::Iu2;
+        }
+        3 => {
+            // Theorem 9 proper: F_i ≥ F_k ≥ F_j → I, IU2, U.
+            kinds[small[0]] = TransformKind::Identity;
+            kinds[small[1]] = TransformKind::Iu2;
+            kinds[small[2]] = TransformKind::U;
+        }
+        _ => {
+            for (pos, &field) in small.iter().enumerate() {
+                kinds[field] = [TransformKind::Identity, TransformKind::Iu2, TransformKind::U]
+                    [pos % 3];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_strategy_is_all_identity() {
+        let sys = SystemConfig::new(&[2, 8, 4], 4).unwrap();
+        let a = Assignment::from_strategy(&sys, AssignmentStrategy::Basic).unwrap();
+        assert!(a.is_basic());
+        assert_eq!(a.describe(), "I,I,I");
+    }
+
+    #[test]
+    fn cycle_iu1_matches_paper_tables_7_and_8() {
+        // Tables 7/8: n = 6, all fields small; "I transformation for fields
+        // 1 and 4, U for 2 and 5, IU1 for 3 and 6" (1-based).
+        let sys = SystemConfig::new(&[8; 6], 32).unwrap();
+        let a = Assignment::from_strategy(&sys, AssignmentStrategy::CycleIu1).unwrap();
+        assert_eq!(a.describe(), "I,U,IU1,I,U,IU1");
+    }
+
+    #[test]
+    fn cycle_iu2_matches_paper_table_9() {
+        let sys = SystemConfig::new(&[8, 8, 8, 16, 16, 16], 512).unwrap();
+        let a = Assignment::from_strategy(&sys, AssignmentStrategy::CycleIu2).unwrap();
+        assert_eq!(a.describe(), "I,U,IU2,I,U,IU2");
+    }
+
+    #[test]
+    fn cycle_skips_large_fields() {
+        // Fields 1 and 3 are large; cycle covers only the small ones.
+        let sys = SystemConfig::new(&[4, 32, 8, 64, 2], 32).unwrap();
+        let a = Assignment::from_strategy(&sys, AssignmentStrategy::CycleIu1).unwrap();
+        assert_eq!(a.describe(), "I,I,U,I,IU1");
+    }
+
+    #[test]
+    fn theorem_nine_three_small_fields() {
+        // Small fields sized 8, 4, 2 (indices 0, 1, 2) on M = 16:
+        // I to the largest (8), IU2 to the middle (4), U to the smallest (2).
+        let sys = SystemConfig::new(&[8, 4, 2, 16], 16).unwrap();
+        let a = Assignment::from_strategy(&sys, AssignmentStrategy::TheoremNine).unwrap();
+        assert_eq!(a.kind(0), TransformKind::Identity);
+        assert_eq!(a.kind(1), TransformKind::Iu2);
+        assert_eq!(a.kind(2), TransformKind::U);
+        assert_eq!(a.kind(3), TransformKind::Identity);
+    }
+
+    #[test]
+    fn theorem_nine_two_small_fields() {
+        let sys = SystemConfig::new(&[4, 2, 16], 16).unwrap();
+        let a = Assignment::from_strategy(&sys, AssignmentStrategy::TheoremNine).unwrap();
+        assert_eq!(a.kind(0), TransformKind::Identity);
+        assert_eq!(a.kind(1), TransformKind::Iu2);
+    }
+
+    #[test]
+    fn theorem_nine_many_small_fields_orders_by_size() {
+        // Six small fields of sizes 16,16,8,8,4,4 on M = 512:
+        // descending deal I,IU2,U,I,IU2,U by size.
+        let sys = SystemConfig::new(&[4, 8, 16, 4, 8, 16], 512).unwrap();
+        let a = Assignment::from_strategy(&sys, AssignmentStrategy::TheoremNine).unwrap();
+        // sorted fields by (desc size, asc index): 2(16),5(16),1(8),4(8),0(4),3(4)
+        assert_eq!(a.kind(2), TransformKind::Identity);
+        assert_eq!(a.kind(5), TransformKind::Iu2);
+        assert_eq!(a.kind(1), TransformKind::U);
+        assert_eq!(a.kind(4), TransformKind::Identity);
+        assert_eq!(a.kind(0), TransformKind::Iu2);
+        assert_eq!(a.kind(3), TransformKind::U);
+    }
+
+    #[test]
+    fn from_kinds_validates() {
+        let sys = SystemConfig::new(&[8, 8], 4).unwrap();
+        assert!(matches!(
+            Assignment::from_kinds(&sys, &[TransformKind::Identity]).unwrap_err(),
+            Error::TransformArityMismatch { expected: 2, got: 1 }
+        ));
+        // Field size 8 ≥ M = 4: U not allowed.
+        assert!(matches!(
+            Assignment::from_kinds(&sys, &[TransformKind::U, TransformKind::Identity])
+                .unwrap_err(),
+            Error::TransformRequiresSmallField { .. }
+        ));
+    }
+
+    #[test]
+    fn from_transforms_validates_consistency() {
+        let sys = SystemConfig::new(&[4, 8], 16).unwrap();
+        let wrong_m = Transform::new(TransformKind::U, 4, 32).unwrap();
+        let ok1 = Transform::new(TransformKind::U, 4, 16).unwrap();
+        let ok2 = Transform::new(TransformKind::Iu1, 8, 16).unwrap();
+        assert!(matches!(
+            Assignment::from_transforms(&sys, vec![wrong_m, ok2]).unwrap_err(),
+            Error::DeviceCountMismatch { transform_m: 32, system_m: 16 }
+        ));
+        let wrong_f = Transform::new(TransformKind::U, 2, 16).unwrap();
+        assert!(matches!(
+            Assignment::from_transforms(&sys, vec![wrong_f, ok2]).unwrap_err(),
+            Error::FieldSizeMismatch { field: 0, transform_size: 2, field_size: 4 }
+        ));
+        assert!(Assignment::from_transforms(&sys, vec![ok1, ok2]).is_ok());
+    }
+
+    #[test]
+    fn effective_kind_degenerates_iu2() {
+        // F = 8, M = 16: F² ≥ M so IU2 is effectively IU1.
+        let sys = SystemConfig::new(&[8, 16], 16).unwrap();
+        let a = Assignment::from_kinds(&sys, &[TransformKind::Iu2, TransformKind::Identity])
+            .unwrap();
+        assert_eq!(a.kind(0), TransformKind::Iu2);
+        assert_eq!(a.effective_kind(0), TransformKind::Iu1);
+    }
+
+    #[test]
+    fn strategy_display() {
+        assert_eq!(AssignmentStrategy::Basic.to_string(), "basic");
+        assert_eq!(AssignmentStrategy::TheoremNine.to_string(), "theorem-9");
+        assert_eq!(AssignmentStrategy::default(), AssignmentStrategy::TheoremNine);
+    }
+}

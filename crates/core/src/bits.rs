@@ -1,0 +1,224 @@
+//! Bit-level algebra underpinning FX distribution.
+//!
+//! The paper's machinery rests on two facts about bitwise XOR over
+//! power-of-two domains:
+//!
+//! * **Lemma 1.1** — for any `k` with `0 <= k < M`, `Z_M ⊕ k = Z_M`:
+//!   XOR-ing every element of `{0, …, M−1}` with a constant permutes the set.
+//! * **Lemma 4.1** — for `L = a·w + b` with `0 <= b < w` and `w` a power of
+//!   two, `W ⊕ L = {a·w, …, (a+1)·w − 1}` where `W = {0, …, w−1}`: XOR-ing an
+//!   aligned window by any constant lands in a single aligned window.
+//!
+//! Both are consequences of XOR acting independently on bit positions; we
+//! expose them as checked helpers (used heavily in tests and in the
+//! fast inverse mapping) together with the truncation map `T_M`.
+
+use crate::error::{Error, Result};
+
+/// Returns `true` when `x` is a power of two (`x >= 1`).
+///
+/// The paper assumes every field size and the device count are powers of
+/// two, "which is common for hash directory files for partitioned or
+/// dynamic hashing schemes".
+#[inline]
+pub fn is_power_of_two(x: u64) -> bool {
+    x != 0 && x & (x - 1) == 0
+}
+
+/// Exact base-2 logarithm of a power of two.
+///
+/// # Errors
+///
+/// Returns [`Error::NotPowerOfTwo`] when `x` is not a power of two.
+#[inline]
+pub fn log2_exact(x: u64) -> Result<u32> {
+    if is_power_of_two(x) {
+        Ok(x.trailing_zeros())
+    } else {
+        Err(Error::NotPowerOfTwo { value: x })
+    }
+}
+
+/// The truncation function `T_M : N → Z_M` returning the rightmost
+/// `log2 M` bits of its argument.
+///
+/// `m` must be a power of two; this is enforced by the callers that
+/// construct validated configurations, so the function itself is branch-free
+/// (`debug_assert!` guards misuse in dev builds).
+#[inline]
+pub fn t_m(x: u64, m: u64) -> u64 {
+    debug_assert!(is_power_of_two(m), "T_M requires a power-of-two modulus");
+    x & (m - 1)
+}
+
+/// `ceil(a / b)` for positive `b`; the bound in the strict-optimality
+/// definition (`ceil(|R(q)| / M)`).
+#[inline]
+pub fn ceil_div(a: u64, b: u64) -> u64 {
+    debug_assert!(b > 0);
+    a.div_ceil(b)
+}
+
+/// Materialises `Z_M ⊕ k` (Lemma 1.1). Intended for tests and exposition —
+/// hot paths use the lemma implicitly instead of allocating.
+pub fn zm_xor_k(m: u64, k: u64) -> Vec<u64> {
+    (0..m).map(|z| z ^ k).collect()
+}
+
+/// Materialises `W ⊕ L` for the aligned window `W = {0, …, w−1}`
+/// (Lemma 4.1). Intended for tests and exposition.
+pub fn window_xor(w: u64, l: u64) -> Vec<u64> {
+    (0..w).map(|x| x ^ l).collect()
+}
+
+/// The aligned window `[a·w, (a+1)·w)` that `W ⊕ L` lands in according to
+/// Lemma 4.1, returned as `(start, end_exclusive)`.
+#[inline]
+pub fn window_of(w: u64, l: u64) -> (u64, u64) {
+    debug_assert!(is_power_of_two(w));
+    let start = l & !(w - 1);
+    (start, start + w)
+}
+
+/// XOR of two sets of integers as defined in the paper:
+/// `X ⊕ Y = { x ⊕ y | x ∈ X, y ∈ Y }` (duplicates collapsed, sorted).
+///
+/// This mirrors the `[+]` operator on sets; it exists for tests and for
+/// reproducing the worked examples (Examples 1–8).
+pub fn xor_sets(xs: &[u64], ys: &[u64]) -> Vec<u64> {
+    let mut out: Vec<u64> = xs
+        .iter()
+        .flat_map(|&x| ys.iter().map(move |&y| x ^ y))
+        .collect();
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// XOR of a scalar with a set: `k ⊕ Y = { k ⊕ y | y ∈ Y }` (sorted, deduped).
+pub fn xor_scalar_set(k: u64, ys: &[u64]) -> Vec<u64> {
+    xor_sets(&[k], ys)
+}
+
+/// Folds `⊕` over an iterator of values (`[+]_{i=1}^{n} Y_i` for scalars).
+#[inline]
+pub fn xor_fold<I: IntoIterator<Item = u64>>(iter: I) -> u64 {
+    iter.into_iter().fold(0, |acc, v| acc ^ v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_of_two_detection() {
+        assert!(is_power_of_two(1));
+        assert!(is_power_of_two(2));
+        assert!(is_power_of_two(1 << 20));
+        assert!(!is_power_of_two(0));
+        assert!(!is_power_of_two(3));
+        assert!(!is_power_of_two(6));
+        assert!(!is_power_of_two(u64::MAX));
+    }
+
+    #[test]
+    fn log2_exact_values() {
+        assert_eq!(log2_exact(1).unwrap(), 0);
+        assert_eq!(log2_exact(2).unwrap(), 1);
+        assert_eq!(log2_exact(1024).unwrap(), 10);
+        assert!(log2_exact(0).is_err());
+        assert!(log2_exact(12).is_err());
+    }
+
+    #[test]
+    fn t_m_truncates_to_low_bits() {
+        assert_eq!(t_m(0b1011, 4), 0b11);
+        assert_eq!(t_m(0b1011, 8), 0b011);
+        assert_eq!(t_m(5, 1), 0);
+        assert_eq!(t_m(255, 16), 15);
+    }
+
+    /// `T_M(A ⊕ B) = T_M(T_M(A) ⊕ T_M(B))` — the identity used in the proof
+    /// of Theorem 1 ("bits whose positions are higher than or equal to
+    /// log2 M do not affect the final result").
+    #[test]
+    fn t_m_distributes_over_xor() {
+        for m in [1u64, 2, 4, 32, 1024] {
+            for a in 0..64u64 {
+                for b in 0..64u64 {
+                    assert_eq!(t_m(a ^ b, m), t_m(t_m(a, m) ^ t_m(b, m), m));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ceil_div_matches_definition() {
+        assert_eq!(ceil_div(0, 4), 0);
+        assert_eq!(ceil_div(1, 4), 1);
+        assert_eq!(ceil_div(4, 4), 1);
+        assert_eq!(ceil_div(5, 4), 2);
+        assert_eq!(ceil_div(64, 32), 2);
+    }
+
+    /// Example 2 from the paper: `Z_8 ⊕ 3 = {3,2,1,0,7,6,5,4} = Z_8`.
+    #[test]
+    fn lemma_1_1_example_2() {
+        let permuted = zm_xor_k(8, 3);
+        assert_eq!(permuted, vec![3, 2, 1, 0, 7, 6, 5, 4]);
+        let mut sorted = permuted;
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..8).collect::<Vec<_>>());
+    }
+
+    /// Lemma 1.1 for every `k < M`: the XOR translate of `Z_M` is `Z_M`.
+    #[test]
+    fn lemma_1_1_exhaustive_small() {
+        for m in [1u64, 2, 4, 8, 16, 64] {
+            for k in 0..m {
+                let mut translated = zm_xor_k(m, k);
+                translated.sort_unstable();
+                assert_eq!(translated, (0..m).collect::<Vec<_>>(), "m={m} k={k}");
+            }
+        }
+    }
+
+    /// Lemma 4.1: `W ⊕ L` is exactly the aligned window containing `L`.
+    #[test]
+    fn lemma_4_1_exhaustive_small() {
+        for w in [1u64, 2, 4, 8, 16] {
+            for l in 0..128u64 {
+                let mut got = window_xor(w, l);
+                got.sort_unstable();
+                let (start, end) = window_of(w, l);
+                assert_eq!(got, (start..end).collect::<Vec<_>>(), "w={w} l={l}");
+                assert!(start <= l && l < end);
+                assert_eq!(start % w, 0, "window must be aligned");
+            }
+        }
+    }
+
+    /// The worked definition example: `X2 = 2`, `Y2 = {0,1,2,3}` gives
+    /// `X2 ⊕ Y2 = {0,1,2,3}`.
+    #[test]
+    fn xor_scalar_set_example() {
+        assert_eq!(xor_scalar_set(2, &[0, 1, 2, 3]), vec![0, 1, 2, 3]);
+        assert_eq!(xor_scalar_set(2, &[3]), vec![1]);
+    }
+
+    #[test]
+    fn xor_sets_cross_product() {
+        // {0,4} ⊕ {0,1} = {0,1,4,5}
+        assert_eq!(xor_sets(&[0, 4], &[0, 1]), vec![0, 1, 4, 5]);
+        // Self-XOR of a group is the group.
+        assert_eq!(xor_sets(&[0, 1, 2, 3], &[0, 1, 2, 3]), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn xor_fold_basics() {
+        assert_eq!(xor_fold([]), 0);
+        assert_eq!(xor_fold([5]), 5);
+        assert_eq!(xor_fold([1, 2, 3]), 0);
+        assert_eq!(xor_fold([0b1010, 0b0110]), 0b1100);
+    }
+}

@@ -1,0 +1,301 @@
+//! Inverse mapping: which qualified buckets live on *this* device?
+//!
+//! After distribution, each device answering a partial match query must
+//! find the qualified buckets it stores — the paper calls this *inverse
+//! mapping* and argues (§4.2, §5.2.2) that FX's XOR structure makes it
+//! cheap, which matters for main-memory databases where address
+//! computation dominates.
+//!
+//! Two paths are provided:
+//!
+//! * [`scan_device_buckets`] — generic: enumerate `R(q)` and filter by
+//!   `device_of`. Works for any [`DistributionMethod`]; cost
+//!   `O(|R(q)| · n)` per device, i.e. `M` times more total work than
+//!   necessary when every device runs it.
+//! * [`FxInverse`] — FX-specific: exploits
+//!   `device = T_M(h ⊕ X_{i₁}(J_{i₁}) ⊕ … ⊕ X_{i_k}(J_{i_k}))` by indexing
+//!   one unspecified field's values by their device-residue class and
+//!   enumerating only the combinations of the *other* unspecified fields.
+//!   Cost `O(|R(q)| / M)` amortised per device (output-sensitive): each
+//!   device enumerates only what it owns, so the `M` devices collectively
+//!   do `O(|R(q)|)` work.
+
+use crate::fx::FxDistribution;
+use crate::method::DistributionMethod;
+use crate::query::PartialMatchQuery;
+use crate::system::SystemConfig;
+
+/// Generic inverse mapping: qualified buckets of `query` on `device`,
+/// found by scanning `R(q)`.
+///
+/// Buckets are returned in query-odometer order.
+pub fn scan_device_buckets<D: DistributionMethod + ?Sized>(
+    method: &D,
+    sys: &SystemConfig,
+    query: &PartialMatchQuery,
+    device: u64,
+) -> Vec<Vec<u64>> {
+    let mut out = Vec::new();
+    let mut it = query.qualified_buckets(sys);
+    while let Some(bucket) = it.next_bucket() {
+        if method.device_of(bucket) == device {
+            out.push(bucket.to_vec());
+        }
+    }
+    out
+}
+
+/// FX-specific fast inverse mapping for one query.
+///
+/// Built once per (distribution, query) pair and then queried per device.
+/// The *pivot* is the unspecified field whose transformed values are
+/// indexed by residue class `T_M(X(J))`; all other unspecified fields are
+/// enumerated by odometer and the pivot values completing the target device
+/// are looked up in O(1).
+///
+/// # Examples
+///
+/// ```
+/// use pmr_core::{FxDistribution, PartialMatchQuery, SystemConfig};
+/// use pmr_core::inverse::FxInverse;
+/// use pmr_core::method::DistributionMethod;
+///
+/// let sys = SystemConfig::new(&[2, 8], 4).unwrap();
+/// let fx = FxDistribution::basic(sys.clone()).unwrap();
+/// let q = PartialMatchQuery::new(&sys, &[Some(1), None]).unwrap();
+/// let inv = FxInverse::new(&fx, &q);
+/// // Device 0 holds <1,1> and <1,5> (Table 1).
+/// assert_eq!(inv.buckets_on(0), vec![vec![1, 1], vec![1, 5]]);
+/// ```
+pub struct FxInverse<'a> {
+    fx: &'a FxDistribution,
+    query: &'a PartialMatchQuery,
+    /// XOR of transformed specified values.
+    h: u64,
+    /// Unspecified fields other than the pivot.
+    free_fields: Vec<usize>,
+    /// The pivot unspecified field, if any.
+    pivot: Option<usize>,
+    /// For the pivot: residue class `T_M(X(J))` → values `J` in that class.
+    pivot_classes: Vec<Vec<u64>>,
+}
+
+impl<'a> FxInverse<'a> {
+    /// Prepares the inverse mapping for `query` under `fx`.
+    pub fn new(fx: &'a FxDistribution, query: &'a PartialMatchQuery) -> Self {
+        let sys = fx.system();
+        debug_assert_eq!(query.values().len(), sys.num_fields());
+        let h = fx.specified_xor(query.values());
+        let mut unspecified = query.pattern().unspecified_fields(sys.num_fields());
+        // Pivot choice: the unspecified field with the largest size, so the
+        // residue index carries the most pruning power (any choice is
+        // correct; this one minimises the enumerated remainder).
+        let pivot = unspecified
+            .iter()
+            .copied()
+            .max_by_key(|&i| (sys.field_size(i), std::cmp::Reverse(i)));
+        if let Some(p) = pivot {
+            unspecified.retain(|&i| i != p);
+        }
+        let m = sys.devices();
+        let pivot_classes = match pivot {
+            None => Vec::new(),
+            Some(p) => {
+                let t = fx.assignment().transform(p);
+                let mut classes = vec![Vec::new(); m as usize];
+                for j in 0..sys.field_size(p) {
+                    let class = crate::bits::t_m(t.apply(j), m);
+                    classes[class as usize].push(j);
+                }
+                classes
+            }
+        };
+        FxInverse { fx, query, h, free_fields: unspecified, pivot, pivot_classes }
+    }
+
+    /// All qualified buckets of the query residing on `device`.
+    pub fn buckets_on(&self, device: u64) -> Vec<Vec<u64>> {
+        let mut out = Vec::new();
+        self.for_each_bucket_on(device, |b| out.push(b.to_vec()));
+        out
+    }
+
+    /// Number of qualified buckets on `device` — the device's response size
+    /// `r_device(q)`, computed without materialising buckets.
+    pub fn response_size(&self, device: u64) -> u64 {
+        let mut count = 0u64;
+        self.for_each_bucket_on(device, |_| count += 1);
+        count
+    }
+
+    /// Visits every qualified bucket on `device`, passing a transient view
+    /// of the bucket tuple.
+    pub fn for_each_bucket_on<F: FnMut(&[u64])>(&self, device: u64, mut f: F) {
+        let sys = self.fx.system();
+        let m = sys.devices();
+        debug_assert!(device < m);
+        let mut bucket: Vec<u64> =
+            self.query.values().iter().map(|v| v.unwrap_or(0)).collect();
+
+        let Some(pivot) = self.pivot else {
+            // Exact-match query: single bucket, on the device iff the
+            // device address matches.
+            if crate::bits::t_m(self.h, m) == device {
+                f(&bucket);
+            }
+            return;
+        };
+
+        let pivot_transform = self.fx.assignment().transform(pivot);
+        // Odometer over the non-pivot unspecified fields; for each setting,
+        // the pivot's transformed value must satisfy
+        //   T_M(h ⊕ acc ⊕ X_p(J_p)) = device
+        // ⇔ T_M(X_p(J_p)) = device ⊕ T_M(h ⊕ acc),
+        // so the candidates are exactly one residue class.
+        loop {
+            let mut acc = self.h;
+            for &fld in &self.free_fields {
+                acc ^= self.fx.assignment().transform(fld).apply(bucket[fld]);
+            }
+            let class = device ^ crate::bits::t_m(acc, m);
+            for &j in &self.pivot_classes[class as usize] {
+                bucket[pivot] = j;
+                debug_assert_eq!(
+                    crate::bits::t_m(acc ^ pivot_transform.apply(j), m),
+                    device
+                );
+                f(&bucket);
+            }
+            // Advance the free-field odometer.
+            let mut advanced = false;
+            for &fld in self.free_fields.iter().rev() {
+                bucket[fld] += 1;
+                if bucket[fld] < sys.field_size(fld) {
+                    advanced = true;
+                    break;
+                }
+                bucket[fld] = 0;
+            }
+            if !advanced {
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assign::AssignmentStrategy;
+    use crate::query::Pattern;
+    use crate::system::SystemConfig;
+
+    fn all_queries(sys: &SystemConfig) -> Vec<PartialMatchQuery> {
+        let mut queries = Vec::new();
+        for pattern in Pattern::all(sys.num_fields()) {
+            crate::optimality::for_each_query(sys, pattern, |q| {
+                queries.push(q.clone());
+                true
+            });
+        }
+        queries
+    }
+
+    /// The fast FX inverse agrees with the generic scan on every query of
+    /// several small systems, for every device.
+    #[test]
+    fn fx_inverse_matches_scan_exhaustive() {
+        let configs: [(&[u64], u64, AssignmentStrategy); 4] = [
+            (&[2, 8], 4, AssignmentStrategy::Basic),
+            (&[4, 4], 16, AssignmentStrategy::CycleIu1),
+            (&[2, 4, 2], 8, AssignmentStrategy::CycleIu1),
+            (&[4, 2, 2], 16, AssignmentStrategy::CycleIu2),
+        ];
+        for (fields, m, strategy) in configs {
+            let sys = SystemConfig::new(fields, m).unwrap();
+            let fx = FxDistribution::with_strategy(sys.clone(), strategy).unwrap();
+            for q in all_queries(&sys) {
+                let inv = FxInverse::new(&fx, &q);
+                for device in 0..sys.devices() {
+                    let mut fast = inv.buckets_on(device);
+                    let mut slow = scan_device_buckets(&fx, &sys, &q, device);
+                    fast.sort();
+                    slow.sort();
+                    assert_eq!(fast, slow, "{sys} query {q} device {device}");
+                }
+            }
+        }
+    }
+
+    /// Response sizes from the inverse mapping match the forward histogram.
+    #[test]
+    fn response_sizes_match_histogram() {
+        let sys = SystemConfig::new(&[4, 4, 2], 8).unwrap();
+        let fx =
+            FxDistribution::with_strategy(sys.clone(), AssignmentStrategy::TheoremNine).unwrap();
+        for q in all_queries(&sys) {
+            let hist = crate::optimality::response_histogram(&fx, &sys, &q);
+            let inv = FxInverse::new(&fx, &q);
+            for device in 0..sys.devices() {
+                assert_eq!(inv.response_size(device), hist[device as usize]);
+            }
+        }
+    }
+
+    /// Union of per-device inverse mappings is exactly R(q), disjointly.
+    #[test]
+    fn inverse_partitions_qualified_set() {
+        let sys = SystemConfig::new(&[4, 8], 8).unwrap();
+        let fx = FxDistribution::auto(sys.clone()).unwrap();
+        let q = PartialMatchQuery::new(&sys, &[None, None]).unwrap();
+        let inv = FxInverse::new(&fx, &q);
+        let mut seen = std::collections::HashSet::new();
+        let mut total = 0u64;
+        for device in 0..sys.devices() {
+            for b in inv.buckets_on(device) {
+                assert!(seen.insert(sys.linear_index(&b)), "duplicate bucket {b:?}");
+                total += 1;
+            }
+        }
+        assert_eq!(total, q.qualified_count_in(&sys));
+    }
+
+    /// Exact-match queries: the single bucket appears on exactly one device.
+    #[test]
+    fn exact_match_single_device() {
+        let sys = SystemConfig::new(&[2, 8], 4).unwrap();
+        let fx = FxDistribution::basic(sys.clone()).unwrap();
+        let q = PartialMatchQuery::exact(&sys, &[1, 3]).unwrap();
+        let inv = FxInverse::new(&fx, &q);
+        let home = fx.device_of(&[1, 3]);
+        for device in 0..sys.devices() {
+            let buckets = inv.buckets_on(device);
+            if device == home {
+                assert_eq!(buckets, vec![vec![1, 3]]);
+            } else {
+                assert!(buckets.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn scan_works_for_arbitrary_methods() {
+        struct SumMod(SystemConfig);
+        impl DistributionMethod for SumMod {
+            fn device_of(&self, b: &[u64]) -> u64 {
+                b.iter().sum::<u64>() % self.0.devices()
+            }
+            fn system(&self) -> &SystemConfig {
+                &self.0
+            }
+            fn name(&self) -> String {
+                "sum-mod".into()
+            }
+        }
+        let sys = SystemConfig::new(&[4, 4], 4).unwrap();
+        let m = SumMod(sys.clone());
+        let q = PartialMatchQuery::new(&sys, &[None, Some(1)]).unwrap();
+        let on_1 = scan_device_buckets(&m, &sys, &q, 1);
+        assert_eq!(on_1, vec![vec![0, 1]]); // only 0+1 ≡ 1 (mod 4)
+    }
+}

@@ -1,0 +1,127 @@
+//! The distribution-method abstraction.
+//!
+//! A *data distribution method* (paper §2) is a function
+//! `FD : f_1 × … × f_n → Z_M` assigning each bucket to a device. FX and the
+//! baselines (Disk Modulo, GDM, …) all implement [`DistributionMethod`];
+//! the optimality checkers, the storage simulator, and the analysis drivers
+//! are written against the trait so every method is measured by identical
+//! machinery.
+
+use crate::system::SystemConfig;
+
+/// A bucket-to-device assignment function `FD : f_1 × … × f_n → Z_M`.
+///
+/// Implementations must be pure (same bucket ⇒ same device) and cheap —
+/// `device_of` sits on the innermost loop of both distribution and
+/// analysis.
+pub trait DistributionMethod: Send + Sync {
+    /// The device (in `0..M`) storing `bucket`.
+    ///
+    /// `bucket` must be a valid tuple for [`Self::system`]; implementations
+    /// may `debug_assert!` validity but skip checks in release builds.
+    fn device_of(&self, bucket: &[u64]) -> u64;
+
+    /// The system this method distributes.
+    fn system(&self) -> &SystemConfig;
+
+    /// Human-readable method name ("FX", "Modulo", "GDM(2,3,5,7,11,13)" …).
+    fn name(&self) -> String;
+
+    /// `true` when, for any fixed specification pattern, changing the
+    /// *values* of the specified fields only permutes the per-device
+    /// response histogram (so its multiset — and hence the largest response
+    /// size and strict-optimality — is invariant).
+    ///
+    /// FX satisfies this via Lemma 1.1 (XOR by a constant permutes `Z_M`);
+    /// Disk Modulo and GDM satisfy it because changing specified values
+    /// adds a constant modulo `M` (a rotation). Analysis uses this to
+    /// evaluate one representative query per pattern instead of all
+    /// `∏ F_specified` of them; methods returning `true` wrongly will be
+    /// caught by the cross-check property tests in `pmr-analysis`.
+    fn histogram_shift_invariant(&self) -> bool {
+        false
+    }
+}
+
+/// Blanket implementation so `&M`, `Box<M>`, `Arc<M>` are methods too.
+impl<M: DistributionMethod + ?Sized> DistributionMethod for &M {
+    fn device_of(&self, bucket: &[u64]) -> u64 {
+        (**self).device_of(bucket)
+    }
+    fn system(&self) -> &SystemConfig {
+        (**self).system()
+    }
+    fn name(&self) -> String {
+        (**self).name()
+    }
+    fn histogram_shift_invariant(&self) -> bool {
+        (**self).histogram_shift_invariant()
+    }
+}
+
+impl<M: DistributionMethod + ?Sized> DistributionMethod for Box<M> {
+    fn device_of(&self, bucket: &[u64]) -> u64 {
+        (**self).device_of(bucket)
+    }
+    fn system(&self) -> &SystemConfig {
+        (**self).system()
+    }
+    fn name(&self) -> String {
+        (**self).name()
+    }
+    fn histogram_shift_invariant(&self) -> bool {
+        (**self).histogram_shift_invariant()
+    }
+}
+
+impl<M: DistributionMethod + ?Sized> DistributionMethod for std::sync::Arc<M> {
+    fn device_of(&self, bucket: &[u64]) -> u64 {
+        (**self).device_of(bucket)
+    }
+    fn system(&self) -> &SystemConfig {
+        (**self).system()
+    }
+    fn name(&self) -> String {
+        (**self).name()
+    }
+    fn histogram_shift_invariant(&self) -> bool {
+        (**self).histogram_shift_invariant()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::SystemConfig;
+
+    /// A toy method for exercising the trait plumbing.
+    struct FirstField(SystemConfig);
+
+    impl DistributionMethod for FirstField {
+        fn device_of(&self, bucket: &[u64]) -> u64 {
+            bucket[0] % self.0.devices()
+        }
+        fn system(&self) -> &SystemConfig {
+            &self.0
+        }
+        fn name(&self) -> String {
+            "first-field".into()
+        }
+    }
+
+    #[test]
+    fn trait_objects_and_smart_pointers() {
+        let sys = SystemConfig::new(&[4, 4], 2).unwrap();
+        let m = FirstField(sys);
+        assert_eq!(m.device_of(&[3, 0]), 1);
+        let boxed: Box<dyn DistributionMethod> = Box::new(m);
+        assert_eq!(boxed.device_of(&[3, 0]), 1);
+        assert_eq!(boxed.name(), "first-field");
+        assert!(!boxed.histogram_shift_invariant());
+        let by_ref: &dyn DistributionMethod = &*boxed;
+        assert_eq!(by_ref.device_of(&[2, 1]), 0);
+        let arc: std::sync::Arc<dyn DistributionMethod> =
+            std::sync::Arc::new(FirstField(SystemConfig::new(&[4, 4], 2).unwrap()));
+        assert_eq!(arc.device_of(&[1, 1]), 1);
+    }
+}

@@ -1,0 +1,88 @@
+//! Errors specific to the multi-key-hashing layer.
+
+use std::fmt;
+
+/// Result alias for `pmr-mkh` operations.
+pub type Result<T, E = MkhError> = std::result::Result<T, E>;
+
+/// Errors raised while building schemas and hashing records.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MkhError {
+    /// A core-layer validation failure (sizes, arities, ranges).
+    Core(pmr_core::Error),
+    /// Two fields in a schema share a name.
+    DuplicateFieldName {
+        /// The repeated name.
+        name: String,
+    },
+    /// A value's type does not match its field's declared type.
+    TypeMismatch {
+        /// Field name.
+        field: String,
+        /// Declared type name.
+        expected: &'static str,
+        /// Supplied value's type name.
+        got: &'static str,
+    },
+    /// A field name was not found in the schema.
+    UnknownField {
+        /// The missing name.
+        name: String,
+    },
+    /// A record had the wrong number of values.
+    RecordArity {
+        /// Expected value count.
+        expected: usize,
+        /// Supplied value count.
+        got: usize,
+    },
+}
+
+impl fmt::Display for MkhError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MkhError::Core(e) => write!(f, "{e}"),
+            MkhError::DuplicateFieldName { name } => {
+                write!(f, "duplicate field name {name:?}")
+            }
+            MkhError::TypeMismatch { field, expected, got } => {
+                write!(f, "field {field:?} expects {expected}, got {got}")
+            }
+            MkhError::UnknownField { name } => write!(f, "unknown field {name:?}"),
+            MkhError::RecordArity { expected, got } => {
+                write!(f, "record has {got} values, schema has {expected} fields")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MkhError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MkhError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<pmr_core::Error> for MkhError {
+    fn from(e: pmr_core::Error) -> Self {
+        MkhError::Core(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = MkhError::from(pmr_core::Error::NoFields);
+        assert_eq!(e.to_string(), "a system must have at least one field");
+        assert!(std::error::Error::source(&e).is_some());
+        let e = MkhError::UnknownField { name: "x".into() };
+        assert_eq!(e.to_string(), "unknown field \"x\"");
+        assert!(std::error::Error::source(&e).is_none());
+    }
+}

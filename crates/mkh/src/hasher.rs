@@ -1,0 +1,286 @@
+//! Per-field hash functions and the multi-key hash `H(r)`.
+//!
+//! Each field `i` owns a [`FieldHasher`] mapping attribute values into
+//! `{0, …, F_i − 1}`. The hashers mix the value's bytes through a 64-bit
+//! FNV-1a/SplitMix pipeline seeded per field (so equal values in different
+//! fields land independently) and then keep the **low** `log2 F_i` bits.
+//! Taking low bits — rather than, say, `hash % F` for arbitrary `F` — is
+//! what lets the dynamic directory double a field size without reshuffling:
+//! the new partition refines the old one bucket-by-bucket.
+
+use crate::error::{MkhError, Result};
+use crate::record::Record;
+use crate::schema::Schema;
+use crate::value::Value;
+use pmr_core::PartialMatchQuery;
+
+/// A hash function for one field, producing values in `{0, …, F − 1}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FieldHasher {
+    seed: u64,
+    size: u64,
+}
+
+impl FieldHasher {
+    /// Builds a hasher for a field of the given (power-of-two) size.
+    pub fn new(seed: u64, size: u64) -> Result<Self> {
+        if !pmr_core::bits::is_power_of_two(size) {
+            return Err(pmr_core::Error::NotPowerOfTwo { value: size }.into());
+        }
+        Ok(FieldHasher { seed, size })
+    }
+
+    /// The field size `F`.
+    pub fn size(&self) -> u64 {
+        self.size
+    }
+
+    /// Full 64-bit mix of a value under this hasher's seed, before
+    /// truncation. Exposed so the directory can re-derive field values at
+    /// larger sizes.
+    pub fn hash64(&self, value: &Value) -> u64 {
+        // FNV-1a over the tagged bytes, then a SplitMix64 finalizer to
+        // spread entropy into the low bits we keep.
+        let mut h = 0xcbf2_9ce4_8422_2325u64 ^ self.seed;
+        for &b in &value.hash_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        let mut z = h.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// The field value `H(value) ∈ {0, …, F − 1}`.
+    pub fn field_value(&self, value: &Value) -> u64 {
+        self.hash64(value) & (self.size - 1)
+    }
+
+    /// A copy of this hasher with doubled size; existing field values are
+    /// refined (`new = old` or `new = old + F`), never reshuffled.
+    pub fn doubled(&self) -> FieldHasher {
+        FieldHasher { seed: self.seed, size: self.size * 2 }
+    }
+}
+
+/// The multi-key hash function `H = (H_1, …, H_n)` of the paper, bound to
+/// a [`Schema`].
+///
+/// # Examples
+///
+/// ```
+/// use pmr_mkh::{FieldType, MultiKeyHash, Schema, Value};
+///
+/// let schema = Schema::builder()
+///     .field("author", FieldType::Str, 8)
+///     .field("year", FieldType::Int, 4)
+///     .devices(8)
+///     .build()
+///     .unwrap();
+/// let mkh = MultiKeyHash::new(schema, 42);
+/// let bucket = mkh
+///     .bucket_of(&pmr_mkh::Record::new(vec!["Knuth".into(), Value::Int(1968)]))
+///     .unwrap();
+/// assert_eq!(bucket.len(), 2);
+/// assert!(bucket[0] < 8 && bucket[1] < 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MultiKeyHash {
+    schema: Schema,
+    hashers: Vec<FieldHasher>,
+}
+
+impl MultiKeyHash {
+    /// Builds the multi-key hash for a schema; `seed` derives independent
+    /// per-field seeds.
+    pub fn new(schema: Schema, seed: u64) -> Self {
+        let hashers = schema
+            .fields()
+            .iter()
+            .enumerate()
+            .map(|(i, f)| {
+                FieldHasher::new(seed.wrapping_add((i as u64 + 1).wrapping_mul(0xa076_1d64_78bd_642f)), f.size)
+                    .expect("schema sizes are validated powers of two")
+            })
+            .collect();
+        MultiKeyHash { schema, hashers }
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The per-field hashers.
+    pub fn hashers(&self) -> &[FieldHasher] {
+        &self.hashers
+    }
+
+    /// `H(r)`: the bucket of a record.
+    ///
+    /// # Errors
+    ///
+    /// * [`MkhError::RecordArity`] on wrong value count.
+    /// * [`MkhError::TypeMismatch`] when a value violates its field type.
+    pub fn bucket_of(&self, record: &Record) -> Result<Vec<u64>> {
+        let values = record.values();
+        if values.len() != self.schema.num_fields() {
+            return Err(MkhError::RecordArity {
+                expected: self.schema.num_fields(),
+                got: values.len(),
+            });
+        }
+        values
+            .iter()
+            .zip(self.schema.fields())
+            .zip(&self.hashers)
+            .map(|((v, f), h)| {
+                if !f.ty.admits(v) {
+                    return Err(MkhError::TypeMismatch {
+                        field: f.name.clone(),
+                        expected: f.ty.name(),
+                        got: v.type_name(),
+                    });
+                }
+                Ok(h.field_value(v))
+            })
+            .collect()
+    }
+
+    /// Builds a [`PartialMatchQuery`] from named specifications: fields in
+    /// `specs` are constrained to the hash class of their value, the rest
+    /// are unspecified.
+    ///
+    /// # Errors
+    ///
+    /// * [`MkhError::UnknownField`] for a name not in the schema.
+    /// * [`MkhError::TypeMismatch`] when a value violates its field type.
+    pub fn query(&self, specs: &[(&str, Value)]) -> Result<PartialMatchQuery> {
+        let mut values: Vec<Option<u64>> = vec![None; self.schema.num_fields()];
+        for (name, value) in specs {
+            let idx = self
+                .schema
+                .field_index(name)
+                .ok_or_else(|| MkhError::UnknownField { name: (*name).to_owned() })?;
+            let f = &self.schema.fields()[idx];
+            if !f.ty.admits(value) {
+                return Err(MkhError::TypeMismatch {
+                    field: f.name.clone(),
+                    expected: f.ty.name(),
+                    got: value.type_name(),
+                });
+            }
+            values[idx] = Some(self.hashers[idx].field_value(value));
+        }
+        Ok(PartialMatchQuery::new(self.schema.system(), &values)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::FieldType;
+
+    fn schema() -> Schema {
+        Schema::builder()
+            .field("a", FieldType::Str, 8)
+            .field("b", FieldType::Int, 4)
+            .devices(8)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn field_hasher_respects_range() {
+        let h = FieldHasher::new(7, 16).unwrap();
+        for i in 0..1000i64 {
+            assert!(h.field_value(&Value::Int(i)) < 16);
+        }
+        assert!(FieldHasher::new(7, 6).is_err());
+    }
+
+    #[test]
+    fn field_hasher_is_deterministic_and_seed_sensitive() {
+        let a = FieldHasher::new(1, 16).unwrap();
+        let b = FieldHasher::new(1, 16).unwrap();
+        let c = FieldHasher::new(2, 16).unwrap();
+        let v = Value::from("hello");
+        assert_eq!(a.field_value(&v), b.field_value(&v));
+        // Different seeds should disagree on at least some values.
+        let disagree = (0..100i64)
+            .any(|i| a.field_value(&Value::Int(i)) != c.field_value(&Value::Int(i)));
+        assert!(disagree);
+    }
+
+    /// The doubling refinement property: new value ≡ old value (mod old F).
+    #[test]
+    fn doubling_refines_partition() {
+        let h = FieldHasher::new(3, 8).unwrap();
+        let h2 = h.doubled();
+        assert_eq!(h2.size(), 16);
+        for i in 0..500i64 {
+            let v = Value::Int(i);
+            assert_eq!(h2.field_value(&v) & 7, h.field_value(&v));
+        }
+    }
+
+    #[test]
+    fn field_values_are_roughly_uniform() {
+        let h = FieldHasher::new(11, 8).unwrap();
+        let mut counts = [0u32; 8];
+        for i in 0..8000i64 {
+            counts[h.field_value(&Value::Int(i)) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((700..1300).contains(&c), "skewed: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn bucket_of_validates() {
+        let mkh = MultiKeyHash::new(schema(), 9);
+        let ok = Record::new(vec!["x".into(), Value::Int(3)]);
+        let bucket = mkh.bucket_of(&ok).unwrap();
+        assert!(bucket[0] < 8 && bucket[1] < 4);
+        let bad_arity = Record::new(vec!["x".into()]);
+        assert!(matches!(
+            mkh.bucket_of(&bad_arity).unwrap_err(),
+            MkhError::RecordArity { expected: 2, got: 1 }
+        ));
+        let bad_type = Record::new(vec![Value::Int(1), Value::Int(3)]);
+        assert!(matches!(
+            mkh.bucket_of(&bad_type).unwrap_err(),
+            MkhError::TypeMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn query_builds_partial_match() {
+        let mkh = MultiKeyHash::new(schema(), 9);
+        let q = mkh.query(&[("b", Value::Int(3))]).unwrap();
+        assert_eq!(q.values()[0], None);
+        assert!(q.values()[1].is_some());
+        assert!(matches!(
+            mkh.query(&[("zzz", Value::Int(1))]).unwrap_err(),
+            MkhError::UnknownField { .. }
+        ));
+        assert!(matches!(
+            mkh.query(&[("b", Value::from("str"))]).unwrap_err(),
+            MkhError::TypeMismatch { .. }
+        ));
+    }
+
+    /// Records equal on a specified field always fall in that query's
+    /// qualified set.
+    #[test]
+    fn query_matches_record_buckets() {
+        let mkh = MultiKeyHash::new(schema(), 1);
+        let q = mkh.query(&[("a", Value::from("knuth"))]).unwrap();
+        for i in 0..50i64 {
+            let r = Record::new(vec!["knuth".into(), Value::Int(i)]);
+            let bucket = mkh.bucket_of(&r).unwrap();
+            assert!(q.matches(&bucket), "record {i} escaped its query");
+        }
+    }
+}

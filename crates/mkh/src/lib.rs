@@ -1,0 +1,44 @@
+//! # pmr-mkh — multi-key hashing substrate
+//!
+//! The paper assumes its file is produced by *multi-key hashing*
+//! ([Rivest 1976], [Rothnie & Lozano 1974]): a record
+//! `r = <r_1, …, r_n>` maps to the bucket
+//! `H(r) = <H_1(r_1), …, H_n(r_n)>` where each `H_i` hashes field `i` into
+//! `{0, …, F_i − 1}`. This crate provides that substrate end to end:
+//!
+//! * [`value`] — typed attribute values (integers, strings, bytes).
+//! * [`hasher`] — per-field hash functions producing power-of-two-ranged
+//!   field values (64-bit mix + low-bit truncation, so doubling a field
+//!   size refines rather than reshuffles the partition — the property
+//!   dynamic hashing directories rely on).
+//! * [`schema`] / [`record`] — named, typed field layouts and records.
+//! * [`MultiKeyHash`] — the `H(r)` of the paper: record → bucket, plus
+//!   partial specification → [`pmr_core::PartialMatchQuery`].
+//! * [`directory`] — a dynamic directory that doubles individual field
+//!   sizes as the file grows (extendible-hashing style), keeping every
+//!   `F_i` a power of two as the paper assumes.
+//! * [`design`] — choosing how many bits to give each field from query
+//!   statistics (the optimization of \[RoLo74\]/\[AhU179\]; NP-hard in general
+//!   \[Du85\], solved exactly for small systems and greedily otherwise).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+pub mod design;
+pub mod error;
+pub mod directory;
+pub mod hasher;
+pub mod record;
+pub mod schema;
+pub mod stats;
+pub mod value;
+
+pub use design::{design_field_bits, DesignInput};
+pub use error::{MkhError, Result};
+pub use directory::DynamicDirectory;
+pub use hasher::{FieldHasher, MultiKeyHash};
+pub use record::Record;
+pub use schema::{FieldDef, FieldType, Schema};
+pub use stats::QueryLog;
+pub use value::Value;

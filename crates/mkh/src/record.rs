@@ -1,0 +1,69 @@
+//! Records: ordered value tuples matching a schema.
+
+use crate::value::Value;
+use std::fmt;
+
+/// A record `r = <r_1, …, r_n>` — one value per schema field, in schema
+/// order.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Record {
+    values: Vec<Value>,
+}
+
+impl Record {
+    /// Builds a record from values (validated against a schema at hash
+    /// time, so records stay schema-independent data).
+    pub fn new(values: Vec<Value>) -> Self {
+        Record { values }
+    }
+
+    /// The field values in order.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Number of values.
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The value at field index `i`, if present.
+    pub fn get(&self, i: usize) -> Option<&Value> {
+        self.values.get(i)
+    }
+}
+
+impl fmt::Display for Record {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ">")
+    }
+}
+
+impl From<Vec<Value>> for Record {
+    fn from(values: Vec<Value>) -> Self {
+        Record::new(values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basics() {
+        let r = Record::new(vec![Value::Int(1), "x".into()]);
+        assert_eq!(r.arity(), 2);
+        assert_eq!(r.get(0), Some(&Value::Int(1)));
+        assert_eq!(r.get(2), None);
+        assert_eq!(r.to_string(), "<1, \"x\">");
+        let r2: Record = vec![Value::Int(1), "x".into()].into();
+        assert_eq!(r, r2);
+    }
+}

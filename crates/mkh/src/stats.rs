@@ -1,0 +1,121 @@
+//! Query statistics: from observed workloads to design inputs.
+//!
+//! The field-size optimization of [`crate::design`] needs per-field
+//! specification probabilities. Rothnie & Lozano assumed these are known;
+//! operationally they come from a query log. [`QueryLog`] accumulates
+//! observed specification patterns and produces the
+//! [`crate::DesignInput`] — with Laplace smoothing so a field never seen
+//! specified still gets a non-zero probability (a fresh log shouldn't
+//! produce a degenerate design).
+
+use crate::design::DesignInput;
+use pmr_core::query::Pattern;
+
+/// An accumulating log of observed query specification patterns.
+#[derive(Debug, Clone)]
+pub struct QueryLog {
+    num_fields: usize,
+    /// Number of queries in which field `i` was specified.
+    specified_counts: Vec<u64>,
+    /// Total queries observed.
+    total: u64,
+}
+
+impl QueryLog {
+    /// An empty log for an `n`-field schema.
+    pub fn new(num_fields: usize) -> Self {
+        QueryLog { num_fields, specified_counts: vec![0; num_fields], total: 0 }
+    }
+
+    /// Number of fields.
+    pub fn num_fields(&self) -> usize {
+        self.num_fields
+    }
+
+    /// Total queries observed.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Records one observed query pattern.
+    pub fn record(&mut self, pattern: Pattern) {
+        for (i, count) in self.specified_counts.iter_mut().enumerate() {
+            if !pattern.is_unspecified(i) {
+                *count += 1;
+            }
+        }
+        self.total += 1;
+    }
+
+    /// Records a batch of patterns.
+    pub fn record_all<I: IntoIterator<Item = Pattern>>(&mut self, patterns: I) {
+        for p in patterns {
+            self.record(p);
+        }
+    }
+
+    /// Laplace-smoothed per-field specification probabilities:
+    /// `(specified + 1) / (total + 2)`.
+    pub fn spec_probabilities(&self) -> Vec<f64> {
+        self.specified_counts
+            .iter()
+            .map(|&c| (c + 1) as f64 / (self.total + 2) as f64)
+            .collect()
+    }
+
+    /// Builds the design input for a total directory-bit budget.
+    pub fn design_input(&self, total_bits: u32) -> DesignInput {
+        DesignInput {
+            spec_probability: self.spec_probabilities(),
+            total_bits,
+            max_bits: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::design_field_bits;
+
+    #[test]
+    fn counts_and_probabilities() {
+        let mut log = QueryLog::new(3);
+        assert_eq!(log.total(), 0);
+        // Field 0 specified twice, field 1 once, field 2 never.
+        log.record(Pattern::from_unspecified(&[1, 2])); // specifies 0
+        log.record(Pattern::from_unspecified(&[2])); // specifies 0, 1
+        assert_eq!(log.total(), 2);
+        let p = log.spec_probabilities();
+        assert_eq!(p, vec![3.0 / 4.0, 2.0 / 4.0, 1.0 / 4.0]);
+    }
+
+    #[test]
+    fn empty_log_is_uniform_half() {
+        let log = QueryLog::new(4);
+        assert_eq!(log.spec_probabilities(), vec![0.5; 4]);
+    }
+
+    #[test]
+    fn design_follows_the_log() {
+        let mut log = QueryLog::new(2);
+        // Field 0 specified in every query; field 1 in none.
+        log.record_all((0..50).map(|_| Pattern::from_unspecified(&[1])));
+        let design = design_field_bits(&log.design_input(6)).unwrap();
+        assert!(
+            design.bits[0] > design.bits[1],
+            "heavily specified field should receive more bits: {:?}",
+            design.bits
+        );
+        assert_eq!(design.bits.iter().sum::<u32>(), 6);
+    }
+
+    #[test]
+    fn record_all_batches() {
+        let mut log = QueryLog::new(2);
+        log.record_all(vec![Pattern::EXACT, Pattern::from_unspecified(&[0, 1])]);
+        assert_eq!(log.total(), 2);
+        // Field counts: specified once each (the exact query).
+        assert_eq!(log.spec_probabilities(), vec![0.5, 0.5]);
+    }
+}

@@ -1,0 +1,130 @@
+//! Typed attribute values.
+
+use std::fmt;
+
+/// An attribute value of a record field.
+///
+/// The variants cover the attribute domains the partial-match-retrieval
+/// literature works over: integer keys, text attributes, and opaque byte
+/// payloads.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Value {
+    /// A signed 64-bit integer attribute.
+    Int(i64),
+    /// A UTF-8 string attribute.
+    Str(String),
+    /// Raw bytes.
+    Bytes(Vec<u8>),
+}
+
+impl Value {
+    /// Stable byte representation fed to the field hashers. Variants are
+    /// tagged so `Int(0x61)` and `Str("a")` never collide by construction.
+    pub fn hash_bytes(&self) -> Vec<u8> {
+        match self {
+            Value::Int(v) => {
+                let mut out = Vec::with_capacity(9);
+                out.push(0x01);
+                out.extend_from_slice(&v.to_le_bytes());
+                out
+            }
+            Value::Str(s) => {
+                let mut out = Vec::with_capacity(1 + s.len());
+                out.push(0x02);
+                out.extend_from_slice(s.as_bytes());
+                out
+            }
+            Value::Bytes(b) => {
+                let mut out = Vec::with_capacity(1 + b.len());
+                out.push(0x03);
+                out.extend_from_slice(b);
+                out
+            }
+        }
+    }
+
+    /// Short type name, for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Int(_) => "int",
+            Value::Str(_) => "str",
+            Value::Bytes(_) => "bytes",
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Bytes(b) => write!(f, "0x{}", hex(b)),
+        }
+    }
+}
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl From<Vec<u8>> for Value {
+    fn from(v: Vec<u8>) -> Self {
+        Value::Bytes(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_bytes_are_tagged() {
+        // "a" as a string vs 0x61 as bytes vs 97 as int: all distinct.
+        let s = Value::from("a").hash_bytes();
+        let b = Value::from(vec![0x61u8]).hash_bytes();
+        let i = Value::from(0x61i64).hash_bytes();
+        assert_ne!(s, b);
+        assert_ne!(s, i);
+        assert_ne!(b, i);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(5i64), Value::Int(5));
+        assert_eq!(Value::from("x"), Value::Str("x".into()));
+        assert_eq!(Value::from(String::from("y")), Value::Str("y".into()));
+        assert_eq!(Value::from(vec![1u8]), Value::Bytes(vec![1]));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::Int(-3).to_string(), "-3");
+        assert_eq!(Value::from("hi").to_string(), "\"hi\"");
+        assert_eq!(Value::from(vec![0xde, 0xad]).to_string(), "0xdead");
+    }
+
+    #[test]
+    fn type_names() {
+        assert_eq!(Value::Int(1).type_name(), "int");
+        assert_eq!(Value::from("s").type_name(), "str");
+        assert_eq!(Value::from(vec![]).type_name(), "bytes");
+    }
+}

@@ -1,0 +1,77 @@
+//! Device cost model.
+//!
+//! The paper splits response time into two components (§5.2): the number
+//! of bucket accesses on the busiest device (dominant for disks) and the
+//! CPU time for bucket-address computation and inverse mapping (dominant
+//! for main-memory databases). [`CostModel`] parameterises both so the
+//! simulator can reproduce either regime.
+
+/// Microsecond-denominated cost parameters for one simulated device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Fixed per-query positioning cost on a device that retrieves at
+    /// least one bucket (seek + rotational latency for disks; ~0 for RAM).
+    pub seek_us: f64,
+    /// Cost to transfer one bucket.
+    pub transfer_us_per_bucket: f64,
+    /// CPU cost to compute one bucket address / inverse-mapping step.
+    pub cpu_us_per_address: f64,
+}
+
+impl CostModel {
+    /// A 1988-ish magnetic disk: ~25 ms average positioning, ~2 ms per
+    /// bucket transfer, address computation in the noise (the paper: "If
+    /// environments are disk based, the computation time is usually not
+    /// much significant compared to disk access time").
+    pub fn disk_1988() -> Self {
+        CostModel { seek_us: 25_000.0, transfer_us_per_bucket: 2_000.0, cpu_us_per_address: 1.0 }
+    }
+
+    /// A main-memory device: no positioning, cheap transfers, and address
+    /// computation a visible fraction of total cost — the regime where the
+    /// paper argues FX's XOR/shift addressing beats GDM's multiplies.
+    pub fn main_memory() -> Self {
+        CostModel { seek_us: 0.0, transfer_us_per_bucket: 0.5, cpu_us_per_address: 0.05 }
+    }
+
+    /// Simulated time for one device to retrieve `buckets` buckets while
+    /// evaluating `addresses` bucket addresses.
+    pub fn device_time_us(&self, buckets: u64, addresses: u64) -> f64 {
+        let io = if buckets > 0 {
+            self.seek_us + self.transfer_us_per_bucket * buckets as f64
+        } else {
+            0.0
+        };
+        io + self.cpu_us_per_address * addresses as f64
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::disk_1988()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn device_time_composition() {
+        let m = CostModel { seek_us: 10.0, transfer_us_per_bucket: 2.0, cpu_us_per_address: 0.5 };
+        assert_eq!(m.device_time_us(0, 0), 0.0);
+        assert_eq!(m.device_time_us(0, 4), 2.0); // CPU only, no seek
+        assert_eq!(m.device_time_us(3, 0), 16.0); // 10 + 3·2
+        assert_eq!(m.device_time_us(3, 4), 18.0);
+    }
+
+    #[test]
+    fn presets_are_sane() {
+        let disk = CostModel::disk_1988();
+        let ram = CostModel::main_memory();
+        // Disk: I/O dominates CPU. RAM: no seek at all.
+        assert!(disk.device_time_us(1, 1) > 100.0 * disk.cpu_us_per_address);
+        assert_eq!(ram.seek_us, 0.0);
+        assert_eq!(CostModel::default(), disk);
+    }
+}

@@ -1,0 +1,192 @@
+//! Record encoding for bucket pages.
+//!
+//! Records are stored inside buckets as length-delimited, type-tagged
+//! byte strings. The format is deliberately simple — one byte of type tag,
+//! a little-endian `u32` length for variable-width variants, then the
+//! payload — so a bucket page is a flat `Bytes` region a device can hand
+//! back without touching per-record allocations until decode time.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use pmr_mkh::{Record, Value};
+use std::fmt;
+
+/// Errors raised while decoding a record region.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Region ended in the middle of a record.
+    Truncated,
+    /// Unknown type tag byte.
+    BadTag(u8),
+    /// A string payload was not valid UTF-8.
+    BadUtf8,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "record region truncated"),
+            DecodeError::BadTag(t) => write!(f, "unknown value tag 0x{t:02x}"),
+            DecodeError::BadUtf8 => write!(f, "string payload is not valid UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+const TAG_INT: u8 = 0x01;
+const TAG_STR: u8 = 0x02;
+const TAG_BYTES: u8 = 0x03;
+
+/// Appends one record to `buf`: a `u32` value count, then each value.
+pub fn encode_record(record: &Record, buf: &mut BytesMut) {
+    buf.put_u32_le(record.arity() as u32);
+    for v in record.values() {
+        match v {
+            Value::Int(i) => {
+                buf.put_u8(TAG_INT);
+                buf.put_i64_le(*i);
+            }
+            Value::Str(s) => {
+                buf.put_u8(TAG_STR);
+                buf.put_u32_le(s.len() as u32);
+                buf.put_slice(s.as_bytes());
+            }
+            Value::Bytes(b) => {
+                buf.put_u8(TAG_BYTES);
+                buf.put_u32_le(b.len() as u32);
+                buf.put_slice(b);
+            }
+        }
+    }
+}
+
+/// Encodes one record into a standalone buffer.
+pub fn encode_one(record: &Record) -> Bytes {
+    let mut buf = BytesMut::with_capacity(16);
+    encode_record(record, &mut buf);
+    buf.freeze()
+}
+
+/// Decodes every record from a region produced by repeated
+/// [`encode_record`] calls.
+pub fn decode_all(mut region: Bytes) -> Result<Vec<Record>, DecodeError> {
+    let mut out = Vec::new();
+    while region.has_remaining() {
+        out.push(decode_record(&mut region)?);
+    }
+    Ok(out)
+}
+
+/// Decodes a single record from the front of `buf`.
+pub fn decode_record(buf: &mut Bytes) -> Result<Record, DecodeError> {
+    if buf.remaining() < 4 {
+        return Err(DecodeError::Truncated);
+    }
+    let arity = buf.get_u32_le() as usize;
+    // Never trust the wire for preallocation: a corrupted arity must fail
+    // with `Truncated` below, not abort on a giant allocation. Every value
+    // costs at least 5 encoded bytes (tag + u32 length), bounding the
+    // plausible arity by the remaining region.
+    let mut values = Vec::with_capacity(arity.min(buf.remaining() / 5 + 1));
+    for _ in 0..arity {
+        if buf.remaining() < 1 {
+            return Err(DecodeError::Truncated);
+        }
+        let tag = buf.get_u8();
+        let value = match tag {
+            TAG_INT => {
+                if buf.remaining() < 8 {
+                    return Err(DecodeError::Truncated);
+                }
+                Value::Int(buf.get_i64_le())
+            }
+            TAG_STR | TAG_BYTES => {
+                if buf.remaining() < 4 {
+                    return Err(DecodeError::Truncated);
+                }
+                let len = buf.get_u32_le() as usize;
+                if buf.remaining() < len {
+                    return Err(DecodeError::Truncated);
+                }
+                let payload = buf.split_to(len);
+                if tag == TAG_STR {
+                    let s = std::str::from_utf8(&payload)
+                        .map_err(|_| DecodeError::BadUtf8)?
+                        .to_owned();
+                    Value::Str(s)
+                } else {
+                    Value::Bytes(payload.to_vec())
+                }
+            }
+            other => return Err(DecodeError::BadTag(other)),
+        };
+        values.push(value);
+    }
+    Ok(Record::new(values))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Record {
+        Record::new(vec![Value::Int(-42), "hello".into(), Value::Bytes(vec![0, 255, 7])])
+    }
+
+    #[test]
+    fn round_trip_single() {
+        let r = sample();
+        let mut bytes = encode_one(&r);
+        let back = decode_record(&mut bytes).unwrap();
+        assert_eq!(back, r);
+        assert!(!bytes.has_remaining());
+    }
+
+    #[test]
+    fn round_trip_region() {
+        let records: Vec<Record> = (0..20)
+            .map(|i| Record::new(vec![Value::Int(i), format!("s{i}").into()]))
+            .collect();
+        let mut buf = BytesMut::new();
+        for r in &records {
+            encode_record(r, &mut buf);
+        }
+        let back = decode_all(buf.freeze()).unwrap();
+        assert_eq!(back, records);
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let bytes = encode_one(&sample());
+        for cut in 1..bytes.len() {
+            let partial = bytes.slice(0..cut);
+            assert!(
+                decode_all(partial).is_err(),
+                "cut at {cut} should not decode cleanly"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_tag_detected() {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(1);
+        buf.put_u8(0x7f);
+        assert_eq!(decode_all(buf.freeze()), Err(DecodeError::BadTag(0x7f)));
+    }
+
+    #[test]
+    fn bad_utf8_detected() {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(1);
+        buf.put_u8(TAG_STR);
+        buf.put_u32_le(2);
+        buf.put_slice(&[0xff, 0xfe]);
+        assert_eq!(decode_all(buf.freeze()), Err(DecodeError::BadUtf8));
+    }
+
+    #[test]
+    fn empty_region_is_empty() {
+        assert_eq!(decode_all(Bytes::new()).unwrap(), vec![]);
+    }
+}

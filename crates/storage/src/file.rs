@@ -1,0 +1,453 @@
+//! Declustered files: schema + multi-key hash + distribution method +
+//! devices.
+
+use crate::device::Device;
+use crate::encode::DecodeError;
+use pmr_core::method::DistributionMethod;
+use pmr_core::{PartialMatchQuery, SystemConfig};
+use pmr_mkh::{MkhError, MultiKeyHash, Record, Schema, Value};
+use std::sync::Arc;
+
+/// Errors raised by file operations.
+#[derive(Debug)]
+pub enum FileError {
+    /// The distribution method was built for a different system than the
+    /// schema induces.
+    SystemMismatch {
+        /// System description from the schema.
+        schema_system: String,
+        /// System description from the method.
+        method_system: String,
+    },
+    /// Hashing/validation failure from the mkh layer.
+    Mkh(MkhError),
+    /// A stored bucket page failed to decode (indicates corruption).
+    Decode(DecodeError),
+}
+
+impl std::fmt::Display for FileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FileError::SystemMismatch { schema_system, method_system } => write!(
+                f,
+                "distribution method system ({method_system}) does not match schema \
+                 system ({schema_system})"
+            ),
+            FileError::Mkh(e) => write!(f, "{e}"),
+            FileError::Decode(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for FileError {}
+
+impl From<MkhError> for FileError {
+    fn from(e: MkhError) -> Self {
+        FileError::Mkh(e)
+    }
+}
+
+impl From<DecodeError> for FileError {
+    fn from(e: DecodeError) -> Self {
+        FileError::Decode(e)
+    }
+}
+
+/// A multi-key-hashed file declustered over `M` simulated devices.
+///
+/// # Examples
+///
+/// ```
+/// use pmr_core::FxDistribution;
+/// use pmr_mkh::{FieldType, Record, Schema, Value};
+/// use pmr_storage::DeclusteredFile;
+///
+/// let schema = Schema::builder()
+///     .field("author", FieldType::Str, 8)
+///     .field("year", FieldType::Int, 8)
+///     .devices(4)
+///     .build()
+///     .unwrap();
+/// let fx = FxDistribution::auto(schema.system().clone()).unwrap();
+/// let mut file = DeclusteredFile::new(schema, fx, 42).unwrap();
+/// file.insert(Record::new(vec!["Codd".into(), Value::Int(1970)])).unwrap();
+/// assert_eq!(file.record_count(), 1);
+/// ```
+pub struct DeclusteredFile<D: DistributionMethod> {
+    mkh: MultiKeyHash,
+    method: D,
+    devices: Vec<Arc<Device>>,
+    record_count: u64,
+    hash_seed: u64,
+}
+
+impl<D: DistributionMethod> DeclusteredFile<D> {
+    /// Creates an empty declustered file.
+    ///
+    /// # Errors
+    ///
+    /// [`FileError::SystemMismatch`] when `method.system()` differs from
+    /// the schema's induced system.
+    pub fn new(schema: Schema, method: D, hash_seed: u64) -> Result<Self, FileError> {
+        if method.system() != schema.system() {
+            return Err(FileError::SystemMismatch {
+                schema_system: schema.system().to_string(),
+                method_system: method.system().to_string(),
+            });
+        }
+        let m = schema.system().devices();
+        let devices = (0..m).map(|i| Arc::new(Device::new(i))).collect();
+        Ok(DeclusteredFile {
+            mkh: MultiKeyHash::new(schema, hash_seed),
+            method,
+            devices,
+            record_count: 0,
+            hash_seed,
+        })
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        self.mkh.schema()
+    }
+
+    /// The bucket space / device count.
+    pub fn system(&self) -> &SystemConfig {
+        self.mkh.schema().system()
+    }
+
+    /// The distribution method.
+    pub fn method(&self) -> &D {
+        &self.method
+    }
+
+    /// The multi-key hash.
+    pub fn mkh(&self) -> &MultiKeyHash {
+        &self.mkh
+    }
+
+    /// The simulated devices.
+    pub fn devices(&self) -> &[Arc<Device>] {
+        &self.devices
+    }
+
+    /// Total records inserted.
+    pub fn record_count(&self) -> u64 {
+        self.record_count
+    }
+
+    /// Inserts a record: multi-key hash → bucket → device → append.
+    /// Returns the `(bucket, device)` placement.
+    pub fn insert(&mut self, record: Record) -> Result<(Vec<u64>, u64), FileError> {
+        let bucket = self.mkh.bucket_of(&record)?;
+        let device = self.method.device_of(&bucket);
+        let index = self.system().linear_index(&bucket);
+        self.devices[device as usize].append(index, &record);
+        self.record_count += 1;
+        Ok((bucket, device))
+    }
+
+    /// Bulk insert.
+    pub fn insert_all<I: IntoIterator<Item = Record>>(
+        &mut self,
+        records: I,
+    ) -> Result<u64, FileError> {
+        let mut inserted = 0;
+        for r in records {
+            self.insert(r)?;
+            inserted += 1;
+        }
+        Ok(inserted)
+    }
+
+    /// Parallel bulk insert: hashes and validates on the caller thread,
+    /// then appends to each device from a dedicated worker (devices are
+    /// independently locked, so workers never contend with each other).
+    ///
+    /// Placement is identical to [`DeclusteredFile::insert_all`]; only the
+    /// append work is parallelised. All-or-nothing on validation errors:
+    /// nothing is appended unless every record hashes cleanly.
+    pub fn insert_all_parallel(&mut self, records: Vec<Record>) -> Result<u64, FileError> {
+        let sys = self.system().clone();
+        let m = sys.devices() as usize;
+        // Phase 1 (serial): hash + route. Fails before any mutation.
+        let mut routed: Vec<Vec<(u64, Record)>> = vec![Vec::new(); m];
+        for record in records {
+            let bucket = self.mkh.bucket_of(&record)?;
+            let device = self.method.device_of(&bucket) as usize;
+            routed[device].push((sys.linear_index(&bucket), record));
+        }
+        // Phase 2 (parallel): per-device appends.
+        let total: u64 = routed.iter().map(|v| v.len() as u64).sum();
+        crossbeam::thread::scope(|scope| {
+            for (device, batch) in self.devices.iter().zip(routed) {
+                scope.spawn(move |_| {
+                    for (index, record) in batch {
+                        device.append(index, &record);
+                    }
+                });
+            }
+        })
+        .expect("insert workers never panic");
+        self.record_count += total;
+        Ok(total)
+    }
+
+    /// Builds a [`PartialMatchQuery`] from named attribute specifications.
+    pub fn query(&self, specs: &[(&str, Value)]) -> Result<PartialMatchQuery, FileError> {
+        Ok(self.mkh.query(specs)?)
+    }
+
+    /// Per-device resident-bucket counts — the static balance of the file.
+    pub fn bucket_occupancy(&self) -> Vec<usize> {
+        self.devices.iter().map(|d| d.resident_bucket_count()).collect()
+    }
+
+    /// Per-device record counts.
+    pub fn record_occupancy(&self) -> Vec<u64> {
+        self.devices.iter().map(|d| d.records_written()).collect()
+    }
+
+    /// Retrieves exactly the records whose *attribute values* equal every
+    /// specification — i.e. [`DeclusteredFile::retrieve_serial`] followed
+    /// by exact post-filtering. Multi-key hashing retrieves hash-class
+    /// matches (possible false positives, never false negatives); this is
+    /// the user-facing "give me the actual rows" call.
+    pub fn retrieve_exact(&self, specs: &[(&str, Value)]) -> Result<Vec<Record>, FileError> {
+        let query = self.query(specs)?;
+        let schema = self.schema();
+        let wanted: Vec<(usize, &Value)> = specs
+            .iter()
+            .map(|(name, value)| {
+                let idx = schema
+                    .field_index(name)
+                    .expect("query() above validated every field name");
+                (idx, value)
+            })
+            .collect();
+        let mut out = self.retrieve_serial(&query)?;
+        out.retain(|r| wanted.iter().all(|&(idx, value)| r.values()[idx] == *value));
+        Ok(out)
+    }
+
+    /// Persistence support: sets the record counter after
+    /// [`crate::persist::load`] installs pages directly on devices.
+    pub(crate) fn set_record_count(&mut self, count: u64) {
+        self.record_count = count;
+    }
+
+    /// Migrates the file to a new schema/method pair (e.g. after a
+    /// [`pmr_mkh::DynamicDirectory`] expansion doubled a field): drains
+    /// every device, re-hashes every resident record under the new
+    /// schema, and re-appends under the new method.
+    ///
+    /// This is the storage half of dynamic growth; the paper's
+    /// power-of-two assumption exists precisely so this operation is a
+    /// per-bucket *split* rather than a global reshuffle (each old bucket
+    /// maps onto exactly two new ones when one field doubles).
+    ///
+    /// # Errors
+    ///
+    /// * [`FileError::SystemMismatch`] when `method.system()` differs from
+    ///   `new_schema.system()`.
+    /// * [`FileError::Decode`] when a resident page fails to decode.
+    /// * [`FileError::Mkh`] when a resident record no longer type-checks
+    ///   against the new schema (only possible if the schema changed
+    ///   types, which growth never does).
+    pub fn redistribute(self, new_schema: Schema, method: D) -> Result<Self, FileError> {
+        if method.system() != new_schema.system() {
+            return Err(FileError::SystemMismatch {
+                schema_system: new_schema.system().to_string(),
+                method_system: method.system().to_string(),
+            });
+        }
+        let mut records = Vec::new();
+        for device in &self.devices {
+            for (_, recs) in device.drain()? {
+                records.extend(recs);
+            }
+        }
+        let mut new_file = DeclusteredFile::new(new_schema, method, self.hash_seed)?;
+        new_file.insert_all(records)?;
+        Ok(new_file)
+    }
+
+    /// Serially retrieves every record matching `query` (reference
+    /// implementation; the parallel path lives in [`crate::exec`]).
+    /// Records whose *attribute values* don't match the original
+    /// specification may appear — multi-key hashing retrieves hash-class
+    /// matches, and exact post-filtering is the caller's concern (as in
+    /// the paper's model, which counts bucket accesses).
+    pub fn retrieve_serial(&self, query: &PartialMatchQuery) -> Result<Vec<Record>, FileError> {
+        let sys = self.system();
+        let mut out = Vec::new();
+        let mut it = query.qualified_buckets(sys);
+        while let Some(bucket) = it.next_bucket() {
+            let device = self.method.device_of(bucket);
+            let index = sys.linear_index(bucket);
+            out.extend(self.devices[device as usize].read_bucket(index)?);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmr_core::FxDistribution;
+    use pmr_mkh::FieldType;
+
+    fn schema() -> Schema {
+        Schema::builder()
+            .field("author", FieldType::Str, 8)
+            .field("year", FieldType::Int, 8)
+            .devices(4)
+            .build()
+            .unwrap()
+    }
+
+    fn sample_records(n: i64) -> Vec<Record> {
+        (0..n)
+            .map(|i| {
+                Record::new(vec![
+                    format!("author{}", i % 10).into(),
+                    Value::Int(1960 + (i % 40)),
+                ])
+            })
+            .collect()
+    }
+
+    #[test]
+    fn insert_places_on_method_device() {
+        let schema = schema();
+        let fx = FxDistribution::auto(schema.system().clone()).unwrap();
+        let mut file = DeclusteredFile::new(schema, fx, 7).unwrap();
+        let r = Record::new(vec!["Codd".into(), Value::Int(1970)]);
+        let (bucket, device) = file.insert(r.clone()).unwrap();
+        assert_eq!(device, file.method().device_of(&bucket));
+        let occupancy = file.record_occupancy();
+        assert_eq!(occupancy.iter().sum::<u64>(), 1);
+        assert_eq!(occupancy[device as usize], 1);
+    }
+
+    #[test]
+    fn system_mismatch_rejected() {
+        let schema = schema();
+        let other_sys = SystemConfig::new(&[8, 8], 8).unwrap();
+        let fx = FxDistribution::auto(other_sys).unwrap();
+        assert!(matches!(
+            DeclusteredFile::new(schema, fx, 7),
+            Err(FileError::SystemMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn serial_retrieval_finds_matching_records() {
+        let schema = schema();
+        let fx = FxDistribution::auto(schema.system().clone()).unwrap();
+        let mut file = DeclusteredFile::new(schema, fx, 7).unwrap();
+        file.insert_all(sample_records(400)).unwrap();
+        assert_eq!(file.record_count(), 400);
+
+        let q = file.query(&[("author", "author3".into())]).unwrap();
+        let got = file.retrieve_serial(&q).unwrap();
+        // Every record with author3 must be present (hash-class matching
+        // may include extra same-class authors, never fewer).
+        let expected = sample_records(400)
+            .into_iter()
+            .filter(|r| r.values()[0] == Value::from("author3"))
+            .count();
+        let with_author3 = got
+            .iter()
+            .filter(|r| r.values()[0] == Value::from("author3"))
+            .count();
+        assert_eq!(with_author3, expected);
+    }
+
+    #[test]
+    fn redistribute_after_growth_preserves_records() {
+        let schema = schema();
+        let fx = FxDistribution::auto(schema.system().clone()).unwrap();
+        let mut file = DeclusteredFile::new(schema.clone(), fx, 7).unwrap();
+        file.insert_all(sample_records(300)).unwrap();
+
+        // Double the first field (8 -> 16) and redistribute.
+        let grown = schema.with_field_size(0, 16).unwrap();
+        let fx2 = FxDistribution::auto(grown.system().clone()).unwrap();
+        let file = file.redistribute(grown, fx2).unwrap();
+        assert_eq!(file.record_count(), 300);
+        assert_eq!(file.record_occupancy().iter().sum::<u64>(), 300);
+
+        // Every original record is still retrievable by exact attribute
+        // specification.
+        for r in sample_records(300).iter().step_by(37) {
+            let q = file
+                .query(&[
+                    ("author", r.values()[0].clone()),
+                    ("year", r.values()[1].clone()),
+                ])
+                .unwrap();
+            assert!(file.retrieve_serial(&q).unwrap().contains(r));
+        }
+    }
+
+    #[test]
+    fn redistribute_rejects_mismatched_method() {
+        let schema = schema();
+        let fx = FxDistribution::auto(schema.system().clone()).unwrap();
+        let mut file = DeclusteredFile::new(schema.clone(), fx, 7).unwrap();
+        file.insert_all(sample_records(10)).unwrap();
+        let grown = schema.with_field_size(0, 16).unwrap();
+        let wrong = FxDistribution::auto(schema.system().clone()).unwrap();
+        assert!(matches!(
+            file.redistribute(grown, wrong),
+            Err(FileError::SystemMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn retrieve_exact_filters_hash_collisions() {
+        let schema = schema();
+        let fx = FxDistribution::auto(schema.system().clone()).unwrap();
+        let mut file = DeclusteredFile::new(schema, fx, 7).unwrap();
+        file.insert_all(sample_records(400)).unwrap();
+        let got = file.retrieve_exact(&[("author", "author3".into())]).unwrap();
+        let expected: Vec<Record> = sample_records(400)
+            .into_iter()
+            .filter(|r| r.values()[0] == Value::from("author3"))
+            .collect();
+        assert_eq!(got.len(), expected.len());
+        assert!(got.iter().all(|r| r.values()[0] == Value::from("author3")));
+    }
+
+    #[test]
+    fn parallel_insert_matches_serial() {
+        let schema = schema();
+        let records = sample_records(1000);
+        let fx = FxDistribution::auto(schema.system().clone()).unwrap();
+        let mut serial = DeclusteredFile::new(schema.clone(), fx.clone(), 7).unwrap();
+        serial.insert_all(records.clone()).unwrap();
+        let mut parallel = DeclusteredFile::new(schema, fx, 7).unwrap();
+        assert_eq!(parallel.insert_all_parallel(records).unwrap(), 1000);
+        assert_eq!(parallel.record_count(), 1000);
+        assert_eq!(serial.record_occupancy(), parallel.record_occupancy());
+        assert_eq!(serial.bucket_occupancy(), parallel.bucket_occupancy());
+        // Same answers to the same query.
+        let q = serial.query(&[("author", "author1".into())]).unwrap();
+        let mut a = serial.retrieve_serial(&q).unwrap();
+        let mut b = parallel.retrieve_serial(&q).unwrap();
+        a.sort_by_key(|r| format!("{r}"));
+        b.sort_by_key(|r| format!("{r}"));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn occupancy_sums_to_total() {
+        let schema = schema();
+        let fx = FxDistribution::auto(schema.system().clone()).unwrap();
+        let mut file = DeclusteredFile::new(schema, fx, 11).unwrap();
+        file.insert_all(sample_records(256)).unwrap();
+        assert_eq!(file.record_occupancy().iter().sum::<u64>(), 256);
+        assert!(file.bucket_occupancy().iter().sum::<usize>() <= 64);
+    }
+}

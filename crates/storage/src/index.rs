@@ -1,0 +1,190 @@
+//! Device-local data construction (the second stage of the paper's
+//! two-stage parallel-processing model).
+//!
+//! "Data construction stage … builds the appropriate structure of the
+//! local data, suitable for accessing by the local processing nodes."
+//! The paper defers this stage (it cites the authors' multi-directory
+//! hashing and HCB-tree work); this module provides a concrete instance:
+//! a **per-device inverted bucket index** mapping each `(field, value)`
+//! pair to the resident buckets carrying it.
+//!
+//! With the index, a device answers "which of my buckets qualify for
+//! query q?" by intersecting the posting lists of q's *specified* fields —
+//! cost proportional to its own data, independent of the global `|R(q)|`,
+//! and needing no knowledge of the distribution method at all. This is
+//! the device-local alternative to the FX-algebraic inverse mapping of
+//! [`pmr_core::inverse`]; the two are cross-checked in tests.
+
+use crate::device::Device;
+use pmr_core::{PartialMatchQuery, SystemConfig};
+use std::collections::HashMap;
+
+/// An inverted index over one device's resident buckets.
+///
+/// Built after loading (or rebuilt after redistribution); lookups then
+/// run against immutable posting lists.
+#[derive(Debug, Clone)]
+pub struct LocalBucketIndex {
+    /// `(field, value)` → sorted resident bucket indices.
+    postings: HashMap<(usize, u64), Vec<u64>>,
+    /// All resident buckets, sorted (the "no specified fields" answer).
+    all: Vec<u64>,
+    num_fields: usize,
+}
+
+impl LocalBucketIndex {
+    /// Builds the index from a device's resident buckets.
+    pub fn build(sys: &SystemConfig, device: &Device) -> Self {
+        let mut postings: HashMap<(usize, u64), Vec<u64>> = HashMap::new();
+        let all = device.resident_buckets();
+        let mut coords = Vec::new();
+        for &bucket in &all {
+            sys.decode_index(bucket, &mut coords);
+            for (field, &value) in coords.iter().enumerate() {
+                postings.entry((field, value)).or_default().push(bucket);
+            }
+        }
+        // resident_buckets() is sorted, so postings inherit sortedness.
+        LocalBucketIndex { postings, all, num_fields: sys.num_fields() }
+    }
+
+    /// Resident buckets qualifying for `query` (sorted).
+    ///
+    /// Intersects the posting lists of the specified fields, starting
+    /// from the shortest list.
+    pub fn qualifying_buckets(&self, query: &PartialMatchQuery) -> Vec<u64> {
+        debug_assert_eq!(query.values().len(), self.num_fields);
+        let mut lists: Vec<&[u64]> = Vec::new();
+        for (field, v) in query.values().iter().enumerate() {
+            if let Some(value) = v {
+                match self.postings.get(&(field, *value)) {
+                    Some(list) => lists.push(list),
+                    None => return Vec::new(), // no resident bucket matches
+                }
+            }
+        }
+        if lists.is_empty() {
+            return self.all.clone();
+        }
+        lists.sort_by_key(|l| l.len());
+        let (first, rest) = lists.split_first().expect("non-empty by construction");
+        first
+            .iter()
+            .copied()
+            .filter(|b| rest.iter().all(|list| list.binary_search(b).is_ok()))
+            .collect()
+    }
+
+    /// Number of resident buckets indexed.
+    pub fn resident_count(&self) -> usize {
+        self.all.len()
+    }
+
+    /// Number of posting lists (distinct `(field, value)` pairs present).
+    pub fn posting_lists(&self) -> usize {
+        self.postings.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::file::DeclusteredFile;
+    use pmr_core::inverse::scan_device_buckets;
+    use pmr_core::FxDistribution;
+    use pmr_mkh::{FieldType, Record, Schema, Value};
+
+    fn build_file(records: i64) -> DeclusteredFile<FxDistribution> {
+        let schema = Schema::builder()
+            .field("a", FieldType::Int, 8)
+            .field("b", FieldType::Int, 4)
+            .field("c", FieldType::Int, 4)
+            .devices(8)
+            .build()
+            .unwrap();
+        let fx = FxDistribution::auto(schema.system().clone()).unwrap();
+        let mut file = DeclusteredFile::new(schema, fx, 13).unwrap();
+        for i in 0..records {
+            file.insert(Record::new(vec![
+                Value::Int(i),
+                Value::Int(i * 7 % 23),
+                Value::Int(i * 3 % 11),
+            ]))
+            .unwrap();
+        }
+        file
+    }
+
+    /// The local index agrees with the global inverse mapping restricted
+    /// to resident buckets, for every device and a spread of queries.
+    #[test]
+    fn index_matches_global_inverse() {
+        let file = build_file(400);
+        let sys = file.system().clone();
+        let queries = [
+            vec![None, None, None],
+            vec![Some(3), None, None],
+            vec![None, Some(1), Some(2)],
+            vec![Some(7), Some(3), Some(0)],
+        ];
+        for device in file.devices() {
+            let index = LocalBucketIndex::build(&sys, device);
+            for values in &queries {
+                let q = PartialMatchQuery::new(&sys, values).unwrap();
+                let via_index = index.qualifying_buckets(&q);
+                // Global path: qualified buckets on this device that are
+                // resident.
+                let resident: std::collections::HashSet<u64> =
+                    device.resident_buckets().into_iter().collect();
+                let mut via_global: Vec<u64> =
+                    scan_device_buckets(file.method(), &sys, &q, device.id())
+                        .into_iter()
+                        .map(|b| sys.linear_index(&b))
+                        .filter(|idx| resident.contains(idx))
+                        .collect();
+                via_global.sort_unstable();
+                assert_eq!(via_index, via_global, "device {} query {q}", device.id());
+            }
+        }
+    }
+
+    #[test]
+    fn empty_device_yields_nothing() {
+        let file = build_file(0);
+        let sys = file.system().clone();
+        let index = LocalBucketIndex::build(&sys, &file.devices()[0]);
+        assert_eq!(index.resident_count(), 0);
+        assert_eq!(index.posting_lists(), 0);
+        let q = PartialMatchQuery::new(&sys, &[None, None, None]).unwrap();
+        assert!(index.qualifying_buckets(&q).is_empty());
+    }
+
+    #[test]
+    fn unmatched_value_short_circuits() {
+        let file = build_file(50);
+        let sys = file.system().clone();
+        let device = &file.devices()[0];
+        let index = LocalBucketIndex::build(&sys, device);
+        // Find a (field, value) pair absent from this device.
+        let mut absent = None;
+        'outer: for field in 0..3usize {
+            for value in 0..sys.field_size(field) {
+                let mut coords = Vec::new();
+                let present = device.resident_buckets().iter().any(|&b| {
+                    sys.decode_index(b, &mut coords);
+                    coords[field] == value
+                });
+                if !present {
+                    absent = Some((field, value));
+                    break 'outer;
+                }
+            }
+        }
+        if let Some((field, value)) = absent {
+            let mut values = vec![None, None, None];
+            values[field] = Some(value);
+            let q = PartialMatchQuery::new(&sys, &values).unwrap();
+            assert!(index.qualifying_buckets(&q).is_empty());
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! # pmr-storage — simulated parallel-device storage
+//!
+//! The paper evaluates distribution methods on a hypothetical symmetric
+//! parallel system: "all parallel devices have the same characteristics,
+//! and the interconnection network topology is symmetric … the response
+//! time for a partial match query is determined by the device which has
+//! the largest number of qualified buckets" (§5.2.1). This crate builds
+//! that testbed:
+//!
+//! * [`cost`] — a parametric device cost model (seek + per-bucket
+//!   transfer + per-address CPU), with presets for disk-like and
+//!   main-memory-like devices.
+//! * [`encode`] — compact record encoding for bucket pages (`bytes`-based).
+//! * [`device`] — a simulated device: bucket-addressed store plus access
+//!   accounting, guarded by a `parking_lot` lock for parallel workers.
+//! * [`mod@file`] — [`DeclusteredFile`]: schema + multi-key hash + distribution
+//!   method + `M` devices; insertion and querying.
+//! * [`exec`] — the parallel query executor (one crossbeam worker per
+//!   device) producing an [`exec::ExecutionReport`] with per-device
+//!   response sizes and simulated response time.
+//! * [`index`] — device-local inverted bucket indexes (the two-stage
+//!   model's data-construction stage).
+//! * [`metrics`] — balance metrics over response histograms.
+//! * [`persist`] — snapshot save/load of declustered files.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+pub mod cost;
+pub mod device;
+pub mod encode;
+pub mod exec;
+pub mod file;
+pub mod index;
+pub mod metrics;
+pub mod persist;
+
+pub use cost::CostModel;
+pub use device::Device;
+pub use exec::ExecutionReport;
+pub use file::DeclusteredFile;

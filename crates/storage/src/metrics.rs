@@ -1,0 +1,119 @@
+//! Balance metrics over response histograms.
+//!
+//! The paper's evaluation reports the *largest response size*; downstream
+//! declustering work standardised a few more lenses on the same histogram
+//! (imbalance versus the analytic optimum, coefficient of variation). All
+//! are provided here so the analysis crate and the examples can report a
+//! rounded picture.
+
+/// Summary statistics of one response histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BalanceMetrics {
+    /// Number of devices (histogram length).
+    pub devices: u64,
+    /// Total qualified buckets `|R(q)|`.
+    pub total: u64,
+    /// Largest response size `MAX r_i(q)`.
+    pub largest: u64,
+    /// The analytic optimum `ceil(total / devices)`.
+    pub optimal: u64,
+    /// `largest / optimal` — 1.0 means strict optimal.
+    pub imbalance: f64,
+    /// Mean response size.
+    pub mean: f64,
+    /// Population standard deviation of response sizes.
+    pub std_dev: f64,
+    /// Devices with zero qualified buckets.
+    pub idle_devices: u64,
+}
+
+impl BalanceMetrics {
+    /// Computes the metrics of a histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty histogram (a system always has `M >= 1`
+    /// devices).
+    pub fn of(histogram: &[u64]) -> Self {
+        assert!(!histogram.is_empty(), "histogram must cover at least one device");
+        let devices = histogram.len() as u64;
+        let total: u64 = histogram.iter().sum();
+        let largest = histogram.iter().copied().max().unwrap_or(0);
+        let optimal = pmr_core::bits::ceil_div(total, devices).max(if total > 0 { 1 } else { 0 });
+        let mean = total as f64 / devices as f64;
+        let var = histogram
+            .iter()
+            .map(|&c| {
+                let d = c as f64 - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / devices as f64;
+        let imbalance = if total == 0 { 1.0 } else { largest as f64 / optimal as f64 };
+        BalanceMetrics {
+            devices,
+            total,
+            largest,
+            optimal,
+            imbalance,
+            mean,
+            std_dev: var.sqrt(),
+            idle_devices: histogram.iter().filter(|&&c| c == 0).count() as u64,
+        }
+    }
+
+    /// `true` when the histogram is strict optimal.
+    pub fn is_strict_optimal(&self) -> bool {
+        self.largest <= self.optimal
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_histogram() {
+        let m = BalanceMetrics::of(&[2, 2, 2, 2]);
+        assert_eq!(m.total, 8);
+        assert_eq!(m.largest, 2);
+        assert_eq!(m.optimal, 2);
+        assert!(m.is_strict_optimal());
+        assert_eq!(m.imbalance, 1.0);
+        assert_eq!(m.std_dev, 0.0);
+        assert_eq!(m.idle_devices, 0);
+    }
+
+    #[test]
+    fn skewed_histogram() {
+        let m = BalanceMetrics::of(&[8, 0, 0, 0]);
+        assert_eq!(m.largest, 8);
+        assert_eq!(m.optimal, 2);
+        assert!(!m.is_strict_optimal());
+        assert_eq!(m.imbalance, 4.0);
+        assert_eq!(m.idle_devices, 3);
+    }
+
+    #[test]
+    fn uneven_but_optimal() {
+        // 5 buckets over 4 devices: optimal bound is 2.
+        let m = BalanceMetrics::of(&[2, 1, 1, 1]);
+        assert!(m.is_strict_optimal());
+        assert_eq!(m.optimal, 2);
+    }
+
+    #[test]
+    fn empty_query() {
+        let m = BalanceMetrics::of(&[0, 0]);
+        assert_eq!(m.total, 0);
+        assert_eq!(m.largest, 0);
+        assert!(m.is_strict_optimal());
+        assert_eq!(m.imbalance, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one device")]
+    fn empty_histogram_panics() {
+        BalanceMetrics::of(&[]);
+    }
+}

@@ -1,0 +1,94 @@
+//! Golden tests: the complete device columns of the paper's Tables 1–6,
+//! checked through the rendering pipeline (`pmr-analysis`), cell for cell.
+//!
+//! The unit tests in `pmr-core` verify the same numbers through
+//! `device_of` directly; this file pins the *rendered* output a user of
+//! the regenerator binaries actually sees.
+
+use pmr::analysis::experiments::{table_distribution, Experiment};
+
+/// Parses a rendered distribution table into rows of whitespace-split
+/// cells (skipping title, header, separator).
+fn rows(exp: Experiment) -> Vec<Vec<String>> {
+    let rendered = table_distribution(exp).expect("static experiment config");
+    rendered
+        .lines()
+        .skip(3)
+        .map(|l| l.split_whitespace().map(str::to_owned).collect())
+        .collect()
+}
+
+fn devices(exp: Experiment, column: usize) -> Vec<u64> {
+    rows(exp)
+        .iter()
+        .map(|r| r[column].parse().expect("device cells are integers"))
+        .collect()
+}
+
+/// Table 1 (Basic FX, F = (2, 8), M = 4): paper's Device No column,
+/// reading the 16 rows top to bottom.
+#[test]
+fn table_1_device_column() {
+    assert_eq!(
+        devices(Experiment::Table1, 2),
+        vec![0, 1, 2, 3, 0, 1, 2, 3, 1, 0, 3, 2, 1, 0, 3, 2]
+    );
+}
+
+/// Table 2 (I+U vs Modulo, F = (4, 4), M = 16): both device columns.
+#[test]
+fn table_2_device_columns() {
+    let fx = devices(Experiment::Table2, 2);
+    let modulo = devices(Experiment::Table2, 3);
+    assert_eq!(fx, vec![0, 4, 8, 12, 1, 5, 9, 13, 2, 6, 10, 14, 3, 7, 11, 15]);
+    assert_eq!(modulo, vec![0, 1, 2, 3, 1, 2, 3, 4, 2, 3, 4, 5, 3, 4, 5, 6]);
+}
+
+/// Table 3 (I+IU1, F = (4, 4), M = 16).
+#[test]
+fn table_3_device_column() {
+    assert_eq!(
+        devices(Experiment::Table3, 2),
+        vec![0, 5, 10, 15, 1, 4, 11, 14, 2, 7, 8, 13, 3, 6, 9, 12]
+    );
+}
+
+/// Table 4 (I, U, IU1 on F = (2, 4, 2), M = 8).
+#[test]
+fn table_4_device_column() {
+    assert_eq!(
+        devices(Experiment::Table4, 3),
+        vec![0, 5, 2, 7, 4, 1, 6, 3, 1, 4, 3, 6, 5, 0, 7, 2]
+    );
+}
+
+/// Table 5 (I+IU2, F = (8, 2), M = 16).
+#[test]
+fn table_5_device_column() {
+    assert_eq!(
+        devices(Experiment::Table5, 2),
+        vec![0, 13, 1, 12, 2, 15, 3, 14, 4, 9, 5, 8, 6, 11, 7, 10]
+    );
+}
+
+/// Table 6 (I, U, IU2 on F = (4, 2, 2), M = 16).
+#[test]
+fn table_6_device_column() {
+    assert_eq!(
+        devices(Experiment::Table6, 3),
+        vec![0, 13, 8, 5, 1, 12, 9, 4, 2, 15, 10, 7, 3, 14, 11, 6]
+    );
+}
+
+/// Field-value columns render in binary with the field's full width, in
+/// odometer order (first field slowest) — the paper's row order.
+#[test]
+fn field_columns_are_binary_odometer() {
+    let rows = rows(Experiment::Table1);
+    assert_eq!(rows.len(), 16);
+    assert_eq!(rows[0][0], "0");
+    assert_eq!(rows[0][1], "000");
+    assert_eq!(rows[7][1], "111");
+    assert_eq!(rows[8][0], "1");
+    assert_eq!(rows[8][1], "000");
+}
