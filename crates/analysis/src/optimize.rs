@@ -23,8 +23,7 @@ use pmr_core::optimality::{pattern_largest_response, pattern_strict_optimal};
 use pmr_core::query::Pattern;
 use pmr_core::system::SystemConfig;
 use pmr_core::{Assignment, AssignmentStrategy, GeneralFxDistribution, Result};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use pmr_rt::Rng;
 
 /// Options for the annealing run.
 #[derive(Debug, Clone)]
@@ -157,7 +156,7 @@ pub fn anneal_from(
     let sys = start.system().clone();
     let m = sys.devices();
     let small_fields: Vec<usize> = sys.small_fields();
-    let mut rng = StdRng::seed_from_u64(options.seed);
+    let mut rng = Rng::seed_from_u64(options.seed);
 
     let patterns = 1u64 << sys.num_fields();
     let (initial_sum, initial_non_optimal) = objective_detail(&start, &sys);

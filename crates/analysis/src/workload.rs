@@ -13,8 +13,7 @@ use pmr_core::method::DistributionMethod;
 use pmr_core::optimality::largest_response;
 use pmr_core::query::PartialMatchQuery;
 use pmr_core::system::SystemConfig;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use pmr_rt::Rng;
 
 /// A random-workload specification.
 #[derive(Debug, Clone)]
@@ -48,7 +47,7 @@ impl WorkloadSpec {
             self.spec_probability.iter().all(|p| (0.0..=1.0).contains(p)),
             "probabilities must be in [0, 1]"
         );
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = Rng::seed_from_u64(self.seed);
         (0..self.queries)
             .map(|_| {
                 let values: Vec<Option<u64>> = self

@@ -1,4 +1,5 @@
-//! Property-based tests for the analysis engine.
+//! Property-based tests for the analysis engine, running under the
+//! [`pmr_rt::check`] harness.
 
 use pmr_analysis::optimize::{objective, objective_lower_bound};
 use pmr_analysis::probability::{
@@ -7,31 +8,31 @@ use pmr_analysis::probability::{
 use pmr_analysis::response::{average_largest_response, optimal_average};
 use pmr_baselines::ModuloDistribution;
 use pmr_core::{Assignment, AssignmentStrategy, FxDistribution, SystemConfig};
-use proptest::prelude::*;
+use pmr_rt::check::Source;
+use pmr_rt::rt_proptest;
 
-fn arb_system() -> impl Strategy<Value = SystemConfig> {
-    (proptest::collection::vec(0u32..=3, 1..=4), 1u32..=4).prop_map(
-        |(field_bits, m_bits)| {
-            let sizes: Vec<u64> = field_bits.iter().map(|&b| 1u64 << b).collect();
-            SystemConfig::new(&sizes, 1 << m_bits).expect("powers of two are valid")
-        },
-    )
+fn gen_system(src: &mut Source) -> SystemConfig {
+    let field_bits = src.vec_of(1..=4, |s| s.u32_in(0..=3));
+    let m_bits = src.u32_in(1..=4).max(1);
+    let sizes: Vec<u64> = field_bits.iter().map(|&b| 1u64 << b).collect();
+    SystemConfig::new(&sizes, 1 << m_bits).expect("powers of two are valid")
 }
 
-fn arb_strategy() -> impl Strategy<Value = AssignmentStrategy> {
-    prop_oneof![
-        Just(AssignmentStrategy::Basic),
-        Just(AssignmentStrategy::CycleIu1),
-        Just(AssignmentStrategy::CycleIu2),
-        Just(AssignmentStrategy::TheoremNine),
-    ]
+fn gen_strategy(src: &mut Source) -> AssignmentStrategy {
+    [
+        AssignmentStrategy::Basic,
+        AssignmentStrategy::CycleIu1,
+        AssignmentStrategy::CycleIu2,
+        AssignmentStrategy::TheoremNine,
+    ][src.arm(4)]
 }
 
-proptest! {
+rt_proptest! {
     /// Per-k averages are bounded below by the optimal average and above
     /// by the qualified count, for FX and Modulo alike.
-    #[test]
-    fn averages_are_bounded((sys, strategy) in (arb_system(), arb_strategy())) {
+    fn averages_are_bounded(src) {
+        let sys = gen_system(src);
+        let strategy = gen_strategy(src);
         let fx = FxDistribution::with_strategy(sys.clone(), strategy).unwrap();
         let dm = ModuloDistribution::new(sys.clone());
         for k in 0..=sys.num_fields() as u32 {
@@ -40,56 +41,59 @@ proptest! {
                 average_largest_response(&fx, &sys, k),
                 average_largest_response(&dm, &sys, k),
             ] {
-                prop_assert!(avg + 1e-9 >= opt, "k = {k}: {avg} < {opt}");
+                assert!(avg + 1e-9 >= opt, "k = {k}: {avg} < {opt}");
                 // A largest response can never exceed the full qualified
                 // count of the biggest pattern at this k.
                 let max_qualified = pmr_core::query::Pattern::with_unspecified_count(
-                    sys.num_fields(), k
+                    sys.num_fields(),
+                    k,
                 )
                 .map(|p| p.qualified_count(&sys))
                 .max()
                 .unwrap() as f64;
-                prop_assert!(avg <= max_qualified + 1e-9);
+                assert!(avg <= max_qualified + 1e-9);
             }
         }
     }
 
     /// Certified fraction never exceeds the measured fraction
     /// (sufficient ⇒ one-sided), for any strategy and system.
-    #[test]
-    fn certified_below_empirical((sys, strategy) in (arb_system(), arb_strategy())) {
+    fn certified_below_empirical(src) {
+        let sys = gen_system(src);
+        let strategy = gen_strategy(src);
         let assignment = Assignment::from_strategy(&sys, strategy).unwrap();
         let fx = FxDistribution::with_assignment(assignment.clone());
         let certified = fx_certified_fraction(&assignment);
         let measured = empirical_fraction(&fx, &sys);
-        prop_assert!(certified <= measured + 1e-12, "{certified} > {measured} on {sys}");
+        assert!(certified <= measured + 1e-12, "{certified} > {measured} on {sys}");
     }
 
     /// The Bernoulli-weighted certified probability is monotone-bounded:
     /// it lies in [certified-at-p, 1] trivially at the endpoints and is a
     /// proper probability everywhere.
-    #[test]
-    fn certified_probability_is_probability(
-        (sys, strategy, p) in (arb_system(), arb_strategy(), 0.0f64..=1.0)
-    ) {
+    fn certified_probability_is_probability(src) {
+        let sys = gen_system(src);
+        let strategy = gen_strategy(src);
+        let p = src.f64_in(0.0, 1.0);
         let assignment = Assignment::from_strategy(&sys, strategy).unwrap();
         let prob = fx_certified_probability(&assignment, p);
-        prop_assert!((0.0..=1.0 + 1e-12).contains(&prob));
+        assert!((0.0..=1.0 + 1e-12).contains(&prob));
         // p = 1 certifies everything (exact match is clause 1).
-        prop_assert!((fx_certified_probability(&assignment, 1.0) - 1.0).abs() < 1e-12);
+        assert!((fx_certified_probability(&assignment, 1.0) - 1.0).abs() < 1e-12);
     }
 
     /// The annealing objective of any FX variant is bounded below by the
     /// analytic bound, and Basic FX ties the bound exactly when no field
     /// is small.
-    #[test]
-    fn objective_bounds((sys, strategy) in (arb_system(), arb_strategy())) {
+    fn objective_bounds(src) {
+        let sys = gen_system(src);
+        let strategy = gen_strategy(src);
         let fx = FxDistribution::with_strategy(sys.clone(), strategy).unwrap();
         let score = objective(&fx, &sys);
         let bound = objective_lower_bound(&sys);
-        prop_assert!(score >= bound);
+        assert!(score >= bound);
         if sys.small_fields().is_empty() {
-            prop_assert_eq!(score, bound, "no small fields ⇒ Basic FX is perfect");
+            assert_eq!(score, bound, "no small fields ⇒ Basic FX is perfect");
         }
     }
 }

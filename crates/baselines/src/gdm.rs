@@ -16,8 +16,7 @@ use pmr_core::method::DistributionMethod;
 use pmr_core::optimality::pattern_largest_response;
 use pmr_core::query::Pattern;
 use pmr_core::system::SystemConfig;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use pmr_rt::Rng;
 
 /// The three GDM multiplier sets evaluated in the paper's Tables 7–9
 /// (defined for the 6-field systems used there).
@@ -153,7 +152,7 @@ pub struct SearchResult {
 /// need (the paper's own fix for Table 2's system multiplies the second
 /// field by 4).
 pub fn search(sys: &SystemConfig, candidates: usize, max_multiplier: u64, seed: u64) -> SearchResult {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let n = sys.num_fields();
     let patterns: Vec<Pattern> = Pattern::all(n).collect();
     let lower_bound: u64 = patterns

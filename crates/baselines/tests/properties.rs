@@ -1,4 +1,5 @@
-//! Property-based tests for the baseline distribution methods.
+//! Property-based tests for the baseline distribution methods, running
+//! under the [`pmr_rt::check`] harness.
 
 use pmr_baselines::conditions::modulo_pattern_guaranteed;
 use pmr_baselines::{GdmDistribution, ModuloDistribution, RandomDistribution};
@@ -8,40 +9,39 @@ use pmr_core::optimality::{
 };
 use pmr_core::query::{PartialMatchQuery, Pattern};
 use pmr_core::system::SystemConfig;
-use proptest::prelude::*;
+use pmr_rt::check::Source;
+use pmr_rt::rt_proptest;
 
-fn arb_system() -> impl Strategy<Value = SystemConfig> {
-    (proptest::collection::vec(0u32..=4, 1..=4), 1u32..=5).prop_map(
-        |(field_bits, m_bits)| {
-            let sizes: Vec<u64> = field_bits.iter().map(|&b| 1u64 << b).collect();
-            SystemConfig::new(&sizes, 1 << m_bits).expect("powers of two are valid")
-        },
-    )
+fn gen_system(src: &mut Source) -> SystemConfig {
+    let field_bits = src.vec_of(1..=4, |s| s.u32_in(0..=4));
+    let m_bits = src.u32_in(1..=5).max(1);
+    let sizes: Vec<u64> = field_bits.iter().map(|&b| 1u64 << b).collect();
+    SystemConfig::new(&sizes, 1 << m_bits).expect("powers of two are valid")
 }
 
-fn arb_multipliers(n: usize) -> impl Strategy<Value = Vec<u64>> {
-    proptest::collection::vec(1u64..64, n..=n)
+fn gen_multipliers(src: &mut Source, n: usize) -> Vec<u64> {
+    (0..n).map(|_| src.int_in(1, 63).max(1)).collect()
 }
 
-proptest! {
+rt_proptest! {
     /// DM is always 0- and 1-optimal on power-of-two systems.
-    #[test]
-    fn modulo_zero_one_optimal(sys in arb_system()) {
+    fn modulo_zero_one_optimal(src) {
+        let sys = gen_system(src);
         let dm = ModuloDistribution::new(sys.clone());
-        prop_assert!(is_k_optimal(&dm, &sys, 0));
-        prop_assert!(is_k_optimal(&dm, &sys, 1));
+        assert!(is_k_optimal(&dm, &sys, 0));
+        assert!(is_k_optimal(&dm, &sys, 1));
     }
 
     /// DM's published sufficient conditions are sound: certified patterns
     /// measure strict optimal.
-    #[test]
-    fn modulo_conditions_sound(sys in arb_system()) {
+    fn modulo_conditions_sound(src) {
+        let sys = gen_system(src);
         let dm = ModuloDistribution::new(sys.clone());
         for pattern in Pattern::all(sys.num_fields()) {
             if modulo_pattern_guaranteed(&sys, pattern) {
-                prop_assert!(
+                assert!(
                     pattern_strict_optimal(&dm, &sys, pattern),
-                    "{} pattern {:?}", sys, pattern
+                    "{sys} pattern {pattern:?}"
                 );
             }
         }
@@ -49,41 +49,37 @@ proptest! {
 
     /// DM and GDM histograms really are shift-invariant (the fast-path
     /// declaration both make), for arbitrary multipliers.
-    #[test]
-    fn modulo_and_gdm_shift_invariance(
-        (sys, multipliers) in arb_system().prop_flat_map(|sys| {
-            let n = sys.num_fields();
-            (Just(sys), arb_multipliers(n))
-        })
-    ) {
+    fn modulo_and_gdm_shift_invariance(src) {
+        let sys = gen_system(src);
+        let multipliers = gen_multipliers(src, sys.num_fields());
         let dm = ModuloDistribution::new(sys.clone());
         let gdm = GdmDistribution::new(sys.clone(), multipliers).unwrap();
         let methods: [&dyn DistributionMethod; 2] = [&dm, &gdm];
         for method in methods {
-            prop_assert!(method.histogram_shift_invariant());
+            assert!(method.histogram_shift_invariant());
             for pattern in Pattern::all(sys.num_fields()) {
-                let mut reference =
-                    response_histogram(method, &sys, &PartialMatchQuery::zero_representative(&sys, pattern));
+                let mut reference = response_histogram(
+                    method,
+                    &sys,
+                    &PartialMatchQuery::zero_representative(&sys, pattern),
+                );
                 reference.sort_unstable();
                 let ok = for_each_query(&sys, pattern, |q| {
                     let mut h = response_histogram(method, &sys, q);
                     h.sort_unstable();
                     h == reference
                 });
-                prop_assert!(ok, "{} {:?} pattern {:?}", sys, method.name(), pattern);
+                assert!(ok, "{} {:?} pattern {:?}", sys, method.name(), pattern);
             }
         }
     }
 
     /// Histogram conservation for every baseline: devices in range, counts
     /// sum to |R(q)|.
-    #[test]
-    fn baseline_histogram_conservation(
-        (sys, multipliers, seed) in arb_system().prop_flat_map(|sys| {
-            let n = sys.num_fields();
-            (Just(sys), arb_multipliers(n), any::<u64>())
-        })
-    ) {
+    fn baseline_histogram_conservation(src) {
+        let sys = gen_system(src);
+        let multipliers = gen_multipliers(src, sys.num_fields());
+        let seed = src.any_u64();
         let dm = ModuloDistribution::new(sys.clone());
         let gdm = GdmDistribution::new(sys.clone(), multipliers).unwrap();
         let random = RandomDistribution::new(sys.clone(), seed);
@@ -94,15 +90,15 @@ proptest! {
         );
         for method in methods {
             let hist = response_histogram(method, &sys, &q);
-            prop_assert_eq!(hist.len() as u64, sys.devices());
-            prop_assert_eq!(hist.iter().sum::<u64>(), sys.total_buckets());
+            assert_eq!(hist.len() as u64, sys.devices());
+            assert_eq!(hist.iter().sum::<u64>(), sys.total_buckets());
         }
     }
 
     /// GDM with all multipliers ≡ 1 (mod M) behaves exactly like DM on
     /// every bucket.
-    #[test]
-    fn gdm_reduces_to_dm(sys in arb_system()) {
+    fn gdm_reduces_to_dm(src) {
+        let sys = gen_system(src);
         let m = sys.devices();
         let n = sys.num_fields();
         let gdm = GdmDistribution::new(sys.clone(), vec![m + 1; n]).unwrap();
@@ -110,7 +106,7 @@ proptest! {
         let mut buf = Vec::new();
         for idx in sys.all_indices().take(4096) {
             sys.decode_index(idx, &mut buf);
-            prop_assert_eq!(gdm.device_of(&buf), dm.device_of(&buf));
+            assert_eq!(gdm.device_of(&buf), dm.device_of(&buf));
         }
     }
 }

@@ -6,16 +6,18 @@
 //! fast so the gap narrows, but the ordering Modulo ≤ FX ≤ GDM is expected
 //! to hold. Run with `cargo bench -p pmr-bench --bench addr_compute`.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use pmr_baselines::gdm::PaperGdmSet;
 use pmr_baselines::{GdmDistribution, ModuloDistribution, RandomDistribution};
 use pmr_bench::{cpu_time_system, random_buckets};
 use pmr_core::method::DistributionMethod;
 use pmr_core::{AssignmentStrategy, FxDistribution};
+use pmr_rt::bench::{black_box, Group};
 
-fn bench_addresses(c: &mut Criterion) {
+const SEED: u64 = 42;
+
+fn main() {
     let sys = cpu_time_system();
-    let flat = random_buckets(&sys, 4096, 42);
+    let flat = random_buckets(&sys, 4096, pmr_rt::seed_from_env_or(SEED));
     let n = sys.num_fields();
 
     let fx_basic = FxDistribution::basic(sys.clone()).unwrap();
@@ -25,8 +27,7 @@ fn bench_addresses(c: &mut Criterion) {
     let gdm = GdmDistribution::paper_set(sys.clone(), PaperGdmSet::Gdm1);
     let random = RandomDistribution::new(sys.clone(), 7);
 
-    let mut group = c.benchmark_group("addr_compute");
-    group.throughput(Throughput::Elements(4096));
+    let mut group = Group::new("addr_compute");
     let cases: [(&str, &dyn DistributionMethod); 6] = [
         ("modulo", &dm),
         ("gdm1", &gdm),
@@ -36,18 +37,12 @@ fn bench_addresses(c: &mut Criterion) {
         ("random", &random),
     ];
     for (name, method) in cases {
-        group.bench_function(name, |b| {
-            b.iter(|| {
-                let mut acc = 0u64;
-                for chunk in flat.chunks_exact(n) {
-                    acc = acc.wrapping_add(method.device_of(black_box(chunk)));
-                }
-                acc
-            })
+        group.bench(name, || {
+            let mut acc = 0u64;
+            for chunk in flat.chunks_exact(n) {
+                acc = acc.wrapping_add(method.device_of(black_box(chunk)));
+            }
+            acc
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_addresses);
-criterion_main!(benches);

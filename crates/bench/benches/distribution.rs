@@ -5,11 +5,11 @@
 //! distribution … should be fast" remark is about, not just the address
 //! kernel. Run with `cargo bench -p pmr-bench --bench distribution`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use pmr_baselines::ModuloDistribution;
 use pmr_core::method::DistributionMethod;
 use pmr_core::FxDistribution;
 use pmr_mkh::{FieldType, Record, Schema, Value};
+use pmr_rt::bench::Group;
 use pmr_storage::DeclusteredFile;
 
 const BATCH: i64 = 2000;
@@ -36,32 +36,20 @@ fn records() -> Vec<Record> {
         .collect()
 }
 
-fn bench_insert<D: DistributionMethod + Clone + 'static>(
-    group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>,
-    name: &str,
-    method: D,
-) {
+fn bench_insert<D: DistributionMethod + Clone + 'static>(group: &mut Group, name: &str, method: D) {
     let recs = records();
-    group.throughput(Throughput::Elements(BATCH as u64));
-    group.bench_function(name, |b| {
-        b.iter_batched(
-            || (DeclusteredFile::new(schema(), method.clone(), 11).unwrap(), recs.clone()),
-            |(mut file, recs)| {
-                file.insert_all(recs).unwrap();
-                file
-            },
-            BatchSize::SmallInput,
-        )
+    group.bench(name, || {
+        // A fresh file per iteration so every timed pass exercises the
+        // cold append path (first-touch page creation included).
+        let mut file = DeclusteredFile::new(schema(), method.clone(), 11).unwrap();
+        file.insert_all(recs.clone()).unwrap();
+        file.record_occupancy().iter().sum()
     });
 }
 
-fn bench_distribution(c: &mut Criterion) {
+fn main() {
     let sys = schema().system().clone();
-    let mut group = c.benchmark_group("bulk_insert");
+    let mut group = Group::new("bulk_insert");
     bench_insert(&mut group, "fx_auto", FxDistribution::auto(sys.clone()).unwrap());
     bench_insert(&mut group, "modulo", ModuloDistribution::new(sys));
-    group.finish();
 }
-
-criterion_group!(benches, bench_distribution);
-criterion_main!(benches);

@@ -7,44 +7,33 @@
 //! (`M·|R(q)|` total); `FxInverse` enumerates only the owned buckets
 //! (`|R(q)|` total). Run with `cargo bench -p pmr-bench --bench inverse`.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use pmr_core::inverse::{scan_device_buckets, FxInverse};
 use pmr_core::{AssignmentStrategy, FxDistribution, PartialMatchQuery, SystemConfig};
+use pmr_rt::bench::{black_box, Group};
 
-fn bench_inverse(c: &mut Criterion) {
+fn main() {
     let sys = SystemConfig::new(&[8; 6], 32).unwrap();
     let fx = FxDistribution::with_strategy(sys.clone(), AssignmentStrategy::CycleIu1).unwrap();
     // Three unspecified fields: |R(q)| = 512 over 32 devices.
     let query =
         PartialMatchQuery::new(&sys, &[Some(3), None, Some(1), None, Some(7), None]).unwrap();
-    let qualified = query.qualified_count_in(&sys);
 
-    let mut group = c.benchmark_group("inverse_mapping");
-    group.throughput(Throughput::Elements(qualified));
+    let mut group = Group::new("inverse_mapping");
 
-    group.bench_function("fx_fast_all_devices", |b| {
-        b.iter(|| {
-            let inv = FxInverse::new(&fx, &query);
-            let mut total = 0u64;
-            for device in 0..sys.devices() {
-                total += inv.response_size(black_box(device));
-            }
-            total
-        })
+    group.bench("fx_fast_all_devices", || {
+        let inv = FxInverse::new(&fx, &query);
+        let mut total = 0u64;
+        for device in 0..sys.devices() {
+            total += inv.response_size(black_box(device));
+        }
+        total
     });
 
-    group.bench_function("generic_scan_all_devices", |b| {
-        b.iter(|| {
-            let mut total = 0u64;
-            for device in 0..sys.devices() {
-                total += scan_device_buckets(&fx, &sys, &query, black_box(device)).len() as u64;
-            }
-            total
-        })
+    group.bench("generic_scan_all_devices", || {
+        let mut total = 0u64;
+        for device in 0..sys.devices() {
+            total += scan_device_buckets(&fx, &sys, &query, black_box(device)).len() as u64;
+        }
+        total
     });
-
-    group.finish();
 }
-
-criterion_group!(benches, bench_inverse);
-criterion_main!(benches);

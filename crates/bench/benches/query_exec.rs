@@ -3,11 +3,11 @@
 //!
 //! Run with `cargo bench -p pmr-bench --bench query_exec`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use pmr_baselines::ModuloDistribution;
 use pmr_core::method::DistributionMethod;
 use pmr_core::FxDistribution;
 use pmr_mkh::{FieldType, Record, Schema, Value};
+use pmr_rt::bench::Group;
 use pmr_storage::exec::{execute_parallel, execute_parallel_fx};
 use pmr_storage::{CostModel, DeclusteredFile};
 
@@ -36,7 +36,7 @@ fn filled<D: DistributionMethod>(method: D) -> DeclusteredFile<D> {
     file
 }
 
-fn bench_query_exec(c: &mut Criterion) {
+fn main() {
     let sys = schema().system().clone();
     let fx_file = filled(FxDistribution::auto(sys.clone()).unwrap());
     let dm_file = filled(ModuloDistribution::new(sys));
@@ -44,21 +44,17 @@ fn bench_query_exec(c: &mut Criterion) {
     let query = fx_file.query(&[("b", Value::Int(7))]).unwrap();
     let dm_query = dm_file.query(&[("b", Value::Int(7))]).unwrap();
 
-    let mut group = c.benchmark_group("query_exec");
-    group.bench_function("fx_generic_executor", |b| {
-        b.iter(|| execute_parallel(&fx_file, &query, &cost).unwrap().largest_response)
+    let mut group = Group::new("query_exec");
+    group.bench("fx_generic_executor", || {
+        execute_parallel(&fx_file, &query, &cost).unwrap().largest_response
     });
-    group.bench_function("fx_fast_executor", |b| {
-        b.iter(|| execute_parallel_fx(&fx_file, &query, &cost).unwrap().largest_response)
+    group.bench("fx_fast_executor", || {
+        execute_parallel_fx(&fx_file, &query, &cost).unwrap().largest_response
     });
-    group.bench_function("modulo_generic_executor", |b| {
-        b.iter(|| execute_parallel(&dm_file, &dm_query, &cost).unwrap().largest_response)
+    group.bench("modulo_generic_executor", || {
+        execute_parallel(&dm_file, &dm_query, &cost).unwrap().largest_response
     });
-    group.bench_function("fx_serial_reference", |b| {
-        b.iter(|| fx_file.retrieve_serial(&query).unwrap().len())
+    group.bench("fx_serial_reference", || {
+        fx_file.retrieve_serial(&query).unwrap().len() as u64
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_query_exec);
-criterion_main!(benches);

@@ -2,10 +2,10 @@
 //!
 //! Run with `cargo bench -p pmr-bench --bench transforms`.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use pmr_core::transform::{Transform, TransformKind};
+use pmr_rt::bench::{black_box, Group};
 
-fn bench_transforms(c: &mut Criterion) {
+fn main() {
     const F: u64 = 256;
     const M: u64 = 4096;
     let transforms: Vec<(&str, Transform)> = vec![
@@ -15,37 +15,26 @@ fn bench_transforms(c: &mut Criterion) {
         ("iu2", Transform::new(TransformKind::Iu2, F, M).unwrap()),
     ];
 
-    let mut apply = c.benchmark_group("transform_apply");
-    apply.throughput(Throughput::Elements(F));
+    let mut apply = Group::new("transform_apply");
     for (name, t) in &transforms {
-        apply.bench_function(*name, |b| {
-            b.iter(|| {
-                let mut acc = 0u64;
-                for l in 0..F {
-                    acc ^= t.apply(black_box(l));
-                }
-                acc
-            })
+        apply.bench(name, || {
+            let mut acc = 0u64;
+            for l in 0..F {
+                acc ^= t.apply(black_box(l));
+            }
+            acc
         });
     }
-    apply.finish();
 
-    let mut invert = c.benchmark_group("transform_invert");
-    invert.throughput(Throughput::Elements(F));
+    let mut invert = Group::new("transform_invert");
     for (name, t) in &transforms {
         let images: Vec<u64> = (0..F).map(|l| t.apply(l)).collect();
-        invert.bench_function(*name, |b| {
-            b.iter(|| {
-                let mut acc = 0u64;
-                for &v in &images {
-                    acc ^= t.invert(black_box(v)).expect("image point inverts");
-                }
-                acc
-            })
+        invert.bench(name, || {
+            let mut acc = 0u64;
+            for &v in &images {
+                acc ^= t.invert(black_box(v)).expect("image point inverts");
+            }
+            acc
         });
     }
-    invert.finish();
 }
-
-criterion_group!(benches, bench_transforms);
-criterion_main!(benches);

@@ -19,7 +19,7 @@ use pmr_core::{AssignmentStrategy, FxDistribution};
 
 fn main() {
     let sys = cpu_time_system();
-    let flat = random_buckets(&sys, 4096, 42);
+    let flat = random_buckets(&sys, 4096, pmr_rt::seed_from_env_or(42));
     let repeats = 2000;
 
     let fx = FxDistribution::with_strategy(sys.clone(), AssignmentStrategy::CycleIu1)

@@ -32,7 +32,7 @@ fn main() {
 
     for (label, sys) in systems {
         println!("== {label}: {sys} ==");
-        let result = search(&sys, 4000, 64, 2024);
+        let result = search(&sys, 4000, 64, pmr_rt::seed_from_env_or(2024));
         println!(
             "searched {} candidates -> best multipliers {:?}",
             result.evaluated, result.multipliers

@@ -39,7 +39,12 @@ fn main() {
             }
         }
 
-        let options = AnnealOptions { steps: 4_000, initial_temperature: 4.0, seed: 7, restarts: 6 };
+        let options = AnnealOptions {
+            steps: 4_000,
+            initial_temperature: 4.0,
+            seed: pmr_rt::seed_from_env_or(7),
+            restarts: 6,
+        };
         let result = anneal(&sys, &options).expect("valid system");
         println!(
             "  annealed ({} steps)    objective {} (lower bound {}), \

@@ -30,7 +30,12 @@ fn main() {
     println!("{}", "-".repeat(64));
     for &(label, sizes, m) in cases {
         let sys = SystemConfig::new(sizes, m).expect("probe systems are valid");
-        let options = AnnealOptions { steps: 20_000, initial_temperature: 3.0, seed: 11, restarts: 4 };
+        let options = AnnealOptions {
+            steps: 20_000,
+            initial_temperature: 3.0,
+            seed: pmr_rt::seed_from_env_or(11),
+            restarts: 4,
+        };
         let result = anneal(&sys, &options).expect("valid system");
         let total = 1usize << sys.num_fields();
         let verdict = if result.score == result.lower_bound {

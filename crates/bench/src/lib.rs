@@ -1,13 +1,15 @@
 //! # pmr-bench — benchmark harness and experiment regenerators
 //!
 //! One binary per paper table/figure (`table1` … `table9`,
-//! `figure1` … `figure4`, `cpu_time`, `all_experiments`) plus Criterion
-//! benches (`addr_compute`, `distribution`, `inverse`) reproducing the
-//! paper's §5.2.2 CPU-time comparison on the host CPU.
+//! `figure1` … `figure4`, `cpu_time`, `all_experiments`) plus
+//! [`pmr_rt::bench`] micro-benches (`addr_compute`, `distribution`,
+//! `inverse`) reproducing the paper's §5.2.2 CPU-time comparison on the
+//! host CPU. Benches emit JSON lines with deterministic checksums; see
+//! the `pmr_rt::bench` module docs for the format and environment knobs.
 //!
 //! The library part hosts the pieces the binaries and benches share:
 //! deterministic workload generation and a steady-clock kernel timer used
-//! by the `cpu_time` regenerator (Criterion gives the rigorous numbers;
+//! by the `cpu_time` regenerator (the benches give the rigorous numbers;
 //! `cpu_time` prints a quick paper-shaped summary table).
 
 #![warn(missing_docs)]
@@ -16,14 +18,13 @@
 
 use pmr_core::method::DistributionMethod;
 use pmr_core::SystemConfig;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use pmr_rt::Rng;
 use std::time::Instant;
 
 /// Generates `count` random valid buckets for a system (deterministic per
 /// seed), flattened row-major for cache-friendly iteration.
 pub fn random_buckets(sys: &SystemConfig, count: usize, seed: u64) -> Vec<u64> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let n = sys.num_fields();
     let mut out = Vec::with_capacity(count * n);
     for _ in 0..count {

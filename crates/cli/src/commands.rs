@@ -11,8 +11,7 @@ use pmr_mkh::{FieldType, Record, Schema, Value};
 use pmr_storage::exec::execute_parallel;
 use pmr_storage::metrics::BalanceMetrics;
 use pmr_storage::{CostModel, DeclusteredFile};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use pmr_rt::Rng;
 
 fn system_from(flags: &Flags<'_>) -> Result<SystemConfig, String> {
     SystemConfig::new(&flags.fields()?, flags.devices()?).map_err(|e| e.to_string())
@@ -72,10 +71,10 @@ pub fn simulate(args: &[String]) -> Result<(), String> {
     let fx = FxDistribution::with_strategy(sys.clone(), strategy).map_err(|e| e.to_string())?;
     let mut file = DeclusteredFile::new(schema, fx, seed).map_err(|e| e.to_string())?;
 
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     for _ in 0..records {
         let values: Vec<Value> =
-            (0..sys.num_fields()).map(|_| Value::Int(rng.gen_range(0..1_000_000))).collect();
+            (0..sys.num_fields()).map(|_| Value::Int(rng.gen_range(0..1_000_000i64))).collect();
         file.insert(Record::new(values)).map_err(|e| e.to_string())?;
     }
     println!("inserted {records} records into {} devices", sys.devices());

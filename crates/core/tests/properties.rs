@@ -2,169 +2,154 @@
 //!
 //! These complement the unit tests by sampling random systems,
 //! assignments, and queries, and asserting the paper's lemmas and theorems
-//! as universally-quantified properties.
+//! as universally-quantified properties. They run under the
+//! [`pmr_rt::check`] harness (`rt_proptest!`): seeded case generation,
+//! shrinking by halving, `PMR_CHECK_SEED` replay.
 
 use pmr_core::assign::{Assignment, AssignmentStrategy};
 use pmr_core::bits;
 use pmr_core::conditions::fx_pattern_reason;
 use pmr_core::inverse::{scan_device_buckets, FxInverse};
 use pmr_core::method::DistributionMethod;
-use pmr_core::optimality::{
-    is_k_optimal, pattern_strict_optimal, response_histogram,
-};
+use pmr_core::optimality::{is_k_optimal, pattern_strict_optimal, response_histogram};
 use pmr_core::query::{PartialMatchQuery, Pattern};
 use pmr_core::system::SystemConfig;
 use pmr_core::transform::{Transform, TransformKind};
 use pmr_core::{FxDistribution, GeneralFxDistribution};
-use proptest::prelude::*;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use pmr_rt::check::Source;
+use pmr_rt::{rt_assume, rt_proptest};
 
 /// Random small system: 1–4 fields, sizes 2^0..2^4, devices 2^1..2^5,
 /// bounded so exhaustive checks stay fast.
-fn arb_system() -> impl Strategy<Value = SystemConfig> {
-    (
-        proptest::collection::vec(0u32..=4, 1..=4),
-        1u32..=5,
-    )
-        .prop_map(|(field_bits, m_bits)| {
-            let sizes: Vec<u64> = field_bits.iter().map(|&b| 1u64 << b).collect();
-            SystemConfig::new(&sizes, 1 << m_bits).expect("powers of two are valid")
-        })
+fn gen_system(src: &mut Source) -> SystemConfig {
+    let field_bits = src.vec_of(1..=4, |s| s.u32_in(0..=4));
+    let m_bits = src.u32_in(1..=5).max(1);
+    let sizes: Vec<u64> = field_bits.iter().map(|&b| 1u64 << b).collect();
+    SystemConfig::new(&sizes, 1 << m_bits).expect("powers of two are valid")
 }
 
-fn arb_strategy() -> impl Strategy<Value = AssignmentStrategy> {
-    prop_oneof![
-        Just(AssignmentStrategy::Basic),
-        Just(AssignmentStrategy::CycleIu1),
-        Just(AssignmentStrategy::CycleIu2),
-        Just(AssignmentStrategy::TheoremNine),
-    ]
+fn gen_strategy(src: &mut Source) -> AssignmentStrategy {
+    [
+        AssignmentStrategy::Basic,
+        AssignmentStrategy::CycleIu1,
+        AssignmentStrategy::CycleIu2,
+        AssignmentStrategy::TheoremNine,
+    ][src.arm(4)]
 }
 
 /// Random kind legal for a (field size, devices) pair.
-fn arb_kind_for(small: bool) -> impl Strategy<Value = TransformKind> {
+fn gen_kind_for(src: &mut Source, small: bool) -> TransformKind {
     if small {
-        prop_oneof![
-            Just(TransformKind::Identity),
-            Just(TransformKind::U),
-            Just(TransformKind::Iu1),
-            Just(TransformKind::Iu2),
-        ]
-        .boxed()
+        TransformKind::ALL[src.arm(4)]
     } else {
-        Just(TransformKind::Identity).boxed()
+        TransformKind::Identity
     }
 }
 
-fn arb_fx() -> impl Strategy<Value = FxDistribution> {
-    arb_system().prop_flat_map(|sys| {
-        let kinds: Vec<_> = (0..sys.num_fields())
-            .map(|i| arb_kind_for(sys.is_small_field(i)))
-            .collect();
-        (Just(sys), kinds).prop_map(|(sys, kinds)| {
-            let a = Assignment::from_kinds(&sys, &kinds).expect("kinds respect smallness");
-            FxDistribution::with_assignment(a)
-        })
-    })
+fn gen_fx(src: &mut Source) -> FxDistribution {
+    let sys = gen_system(src);
+    let kinds: Vec<TransformKind> = (0..sys.num_fields())
+        .map(|i| gen_kind_for(src, sys.is_small_field(i)))
+        .collect();
+    let a = Assignment::from_kinds(&sys, &kinds).expect("kinds respect smallness");
+    FxDistribution::with_assignment(a)
 }
 
 /// Random valid query for a system.
-fn arb_query(sys: &SystemConfig) -> impl Strategy<Value = PartialMatchQuery> {
-    let per_field: Vec<_> = (0..sys.num_fields())
+fn gen_query(src: &mut Source, sys: &SystemConfig) -> PartialMatchQuery {
+    let values: Vec<Option<u64>> = (0..sys.num_fields())
         .map(|i| {
             let f = sys.field_size(i);
-            prop_oneof![Just(None), (0..f).prop_map(Some)]
+            if src.weighted(0.5) {
+                None
+            } else {
+                Some(src.int_in(0, f - 1).min(f - 1))
+            }
         })
         .collect();
-    let sys = sys.clone();
-    per_field.prop_map(move |values| {
-        PartialMatchQuery::new(&sys, &values).expect("values drawn in range")
-    })
+    PartialMatchQuery::new(sys, &values).expect("values drawn in range")
 }
 
-proptest! {
+rt_proptest! {
     /// Lemma 1.1 as a property over wide ranges.
-    #[test]
-    fn lemma_1_1(m_bits in 0u32..16, k in 0u64..65536) {
+    fn lemma_1_1(src) {
+        let m_bits = src.u32_in(0..=15);
+        let k = src.int_in(0, 65535);
         let m = 1u64 << m_bits;
         let k = k & (m - 1);
         let mut translated = bits::zm_xor_k(m, k);
         translated.sort_unstable();
-        prop_assert!(translated.iter().copied().eq(0..m));
+        assert!(translated.iter().copied().eq(0..m));
     }
 
     /// Lemma 4.1 as a property.
-    #[test]
-    fn lemma_4_1(w_bits in 0u32..12, l in 0u64..(1 << 20)) {
+    fn lemma_4_1(src) {
+        let w_bits = src.u32_in(0..=11);
+        let l = src.int_in(0, (1 << 20) - 1);
         let w = 1u64 << w_bits;
         let mut got = bits::window_xor(w, l);
         got.sort_unstable();
         let (start, end) = bits::window_of(w, l);
-        prop_assert!(got.iter().copied().eq(start..end));
-        prop_assert_eq!(start % w, 0);
-        prop_assert!((start..end).contains(&l));
+        assert!(got.iter().copied().eq(start..end));
+        assert_eq!(start % w, 0);
+        assert!((start..end).contains(&l));
     }
 
     /// Every transform is injective and lands in Z_M (Lemmas 5.1 / 7.1).
-    #[test]
-    fn transforms_injective(
-        m_bits in 1u32..20,
-        f_bits_delta in 1u32..20,
-        kind_idx in 0usize..4,
-    ) {
+    fn transforms_injective(src) {
+        let m_bits = src.u32_in(1..=19).max(1);
+        let f_bits_delta = src.u32_in(1..=19).max(1);
+        let kind_idx = src.arm(4);
         let m = 1u64 << m_bits;
         let f_bits = m_bits.saturating_sub(f_bits_delta.min(m_bits));
         let f = 1u64 << f_bits;
-        prop_assume!(f < m || kind_idx == 0);
+        rt_assume!(f < m || kind_idx == 0);
         let kind = TransformKind::ALL[kind_idx];
         let t = Transform::new(kind, f, m).unwrap();
         let mut image: Vec<u64> = (0..f.min(4096)).map(|l| t.apply(l)).collect();
-        prop_assert!(image.iter().all(|&v| v < m));
+        assert!(image.iter().all(|&v| v < m));
         image.sort_unstable();
         image.dedup();
-        prop_assert_eq!(image.len() as u64, f.min(4096));
+        assert_eq!(image.len() as u64, f.min(4096));
     }
 
     /// Transform inversion round-trips on random values.
-    #[test]
-    fn transform_invert_roundtrip(
-        m_bits in 1u32..20,
-        f_bits in 0u32..19,
-        kind_idx in 0usize..4,
-        l in 0u64..(1 << 19),
-    ) {
-        prop_assume!(f_bits < m_bits);
+    fn transform_invert_roundtrip(src) {
+        let m_bits = src.u32_in(1..=19).max(1);
+        let f_bits = src.u32_in(0..=18);
+        let kind_idx = src.arm(4);
+        let l = src.int_in(0, (1 << 19) - 1);
+        rt_assume!(f_bits < m_bits);
         let m = 1u64 << m_bits;
         let f = 1u64 << f_bits;
         let l = l & (f - 1);
         let kind = TransformKind::ALL[kind_idx];
         let t = Transform::new(kind, f, m).unwrap();
-        prop_assert_eq!(t.invert(t.apply(l)), Some(l));
+        assert_eq!(t.invert(t.apply(l)), Some(l));
     }
 
     /// Theorem 1: every FX distribution (any assignment) is 0- and
     /// 1-optimal.
-    #[test]
-    fn theorem_1_any_assignment(fx in arb_fx()) {
+    fn theorem_1_any_assignment(src) {
+        let fx = gen_fx(src);
         let sys = fx.system().clone();
-        prop_assert!(is_k_optimal(&fx, &sys, 0));
-        prop_assert!(is_k_optimal(&fx, &sys, 1));
+        assert!(is_k_optimal(&fx, &sys, 0));
+        assert!(is_k_optimal(&fx, &sys, 1));
     }
 
     /// Theorem 2: any pattern containing a large unspecified field is
     /// strict optimal, for any assignment.
-    #[test]
-    fn theorem_2_any_assignment(fx in arb_fx()) {
+    fn theorem_2_any_assignment(src) {
+        let fx = gen_fx(src);
         let sys = fx.system().clone();
         for pattern in Pattern::all(sys.num_fields()) {
             let unspecified = pattern.unspecified_fields(sys.num_fields());
             if unspecified.len() >= 2
                 && unspecified.iter().any(|&i| sys.field_covers_devices(i))
             {
-                prop_assert!(
+                assert!(
                     pattern_strict_optimal(&fx, &sys, pattern),
-                    "{} pattern {:?}", sys, pattern
+                    "{sys} pattern {pattern:?}"
                 );
             }
         }
@@ -172,16 +157,19 @@ proptest! {
 
     /// Soundness of the §4.2 sufficient conditions on random assignments:
     /// certified ⇒ measured optimal.
-    #[test]
-    fn sufficient_conditions_sound(fx in arb_fx()) {
+    fn sufficient_conditions_sound(src) {
+        let fx = gen_fx(src);
         let sys = fx.system().clone();
         for pattern in Pattern::all(sys.num_fields()) {
             let reason = fx_pattern_reason(fx.assignment(), pattern);
             if reason.is_guaranteed() {
-                prop_assert!(
+                assert!(
                     pattern_strict_optimal(&fx, &sys, pattern),
                     "{} [{}] pattern {:?} reason {:?}",
-                    sys, fx.assignment().describe(), pattern, reason
+                    sys,
+                    fx.assignment().describe(),
+                    pattern,
+                    reason
                 );
             }
         }
@@ -189,20 +177,22 @@ proptest! {
 
     /// Theorem 9: the auto strategy is perfect optimal whenever at most
     /// three fields are small.
-    #[test]
-    fn theorem_9_auto_perfect(sys in arb_system()) {
-        prop_assume!(sys.small_fields().len() <= 3);
+    fn theorem_9_auto_perfect(src) {
+        let sys = gen_system(src);
+        rt_assume!(sys.small_fields().len() <= 3);
         let fx = FxDistribution::auto(sys.clone()).unwrap();
-        prop_assert!(
+        assert!(
             pmr_core::optimality::is_perfect_optimal(&fx, &sys),
-            "{} [{}]", sys, fx.assignment().describe()
+            "{} [{}]",
+            sys,
+            fx.assignment().describe()
         );
     }
 
     /// Histogram shift-invariance holds for FX: the sorted response
     /// histogram is identical across all queries of a pattern.
-    #[test]
-    fn fx_histograms_shift_invariant(fx in arb_fx()) {
+    fn fx_histograms_shift_invariant(src) {
+        let fx = gen_fx(src);
         let sys = fx.system().clone();
         for pattern in Pattern::all(sys.num_fields()) {
             let reference = {
@@ -216,21 +206,17 @@ proptest! {
                 h.sort_unstable();
                 h == reference
             });
-            prop_assert!(ok, "{} pattern {:?}", sys, pattern);
+            assert!(ok, "{sys} pattern {pattern:?}");
         }
     }
 
     /// The FX fast inverse mapping agrees with the generic scan for random
     /// systems, strategies, and queries.
-    #[test]
-    fn inverse_matches_scan(
-        (fx, query) in arb_system().prop_flat_map(|sys| {
-            let q = arb_query(&sys);
-            (arb_strategy(), Just(sys), q)
-        }).prop_map(|(strategy, sys, q)| {
-            (FxDistribution::with_strategy(sys, strategy).unwrap(), q)
-        })
-    ) {
+    fn inverse_matches_scan(src) {
+        let strategy = gen_strategy(src);
+        let sys = gen_system(src);
+        let query = gen_query(src, &sys);
+        let fx = FxDistribution::with_strategy(sys, strategy).unwrap();
         let sys = fx.system().clone();
         let inv = FxInverse::new(&fx, &query);
         let mut total = 0u64;
@@ -239,20 +225,17 @@ proptest! {
             let mut slow = scan_device_buckets(&fx, &sys, &query, device);
             fast.sort();
             slow.sort();
-            prop_assert_eq!(&fast, &slow, "{} device {}", sys, device);
+            assert_eq!(&fast, &slow, "{sys} device {device}");
             total += fast.len() as u64;
         }
-        prop_assert_eq!(total, query.qualified_count_in(&sys));
+        assert_eq!(total, query.qualified_count_in(&sys));
     }
 
     /// Generalized FX with random valid tables keeps Theorems 1–2:
     /// 0/1-optimality always, and strict optimality for patterns with a
     /// large unspecified field.
-    #[test]
-    fn general_fx_keeps_theorems_1_2(
-        (sys, seed) in (arb_system(), any::<u64>())
-    ) {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    fn general_fx_keeps_theorems_1_2(src) {
+        let sys = gen_system(src);
         let m = sys.devices();
         let tables: Vec<Vec<u64>> = (0..sys.num_fields())
             .map(|i| {
@@ -260,29 +243,28 @@ proptest! {
                 if f < m {
                     // Random injective map into Z_M.
                     let mut pool: Vec<u64> = (0..m).collect();
-                    pool.shuffle(&mut rng);
+                    src.rng().shuffle(&mut pool);
                     pool.truncate(f as usize);
                     pool
                 } else {
-                    // Random M-regular table: shuffle the identity within
-                    // residue classes preserved (identity is M-regular;
+                    // Random M-regular table: the identity is M-regular and
                     // shuffling the whole thing preserves the residue
-                    // multiset).
+                    // multiset.
                     let mut t: Vec<u64> = (0..f).collect();
-                    t.shuffle(&mut rng);
+                    src.rng().shuffle(&mut t);
                     t
                 }
             })
             .collect();
         let g = GeneralFxDistribution::new(sys.clone(), tables).expect("constructed valid");
-        prop_assert!(is_k_optimal(&g, &sys, 0));
-        prop_assert!(is_k_optimal(&g, &sys, 1));
+        assert!(is_k_optimal(&g, &sys, 0));
+        assert!(is_k_optimal(&g, &sys, 1));
         for pattern in Pattern::all(sys.num_fields()) {
             let unspec = pattern.unspecified_fields(sys.num_fields());
             if unspec.len() >= 2 && unspec.iter().any(|&i| sys.field_covers_devices(i)) {
-                prop_assert!(
+                assert!(
                     pattern_strict_optimal(&g, &sys, pattern),
-                    "{} pattern {:?}", sys, pattern
+                    "{sys} pattern {pattern:?}"
                 );
             }
         }
@@ -290,16 +272,12 @@ proptest! {
 
     /// Devices returned by FX are always in range, and the histogram always
     /// sums to |R(q)|.
-    #[test]
-    fn histogram_conservation(
-        (fx, query) in arb_fx().prop_flat_map(|fx| {
-            let q = arb_query(fx.system());
-            (Just(fx), q)
-        })
-    ) {
+    fn histogram_conservation(src) {
+        let fx = gen_fx(src);
+        let query = gen_query(src, fx.system());
         let sys = fx.system().clone();
         let hist = response_histogram(&fx, &sys, &query);
-        prop_assert_eq!(hist.len() as u64, sys.devices());
-        prop_assert_eq!(hist.iter().sum::<u64>(), query.qualified_count_in(&sys));
+        assert_eq!(hist.len() as u64, sys.devices());
+        assert_eq!(hist.iter().sum::<u64>(), query.qualified_count_in(&sys));
     }
 }

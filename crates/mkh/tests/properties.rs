@@ -1,60 +1,63 @@
-//! Property-based tests for the multi-key hashing substrate.
+//! Property-based tests for the multi-key hashing substrate, running
+//! under the [`pmr_rt::check`] harness.
 
 use pmr_mkh::{FieldHasher, FieldType, MultiKeyHash, Record, Schema, Value};
-use proptest::prelude::*;
+use pmr_rt::check::Source;
+use pmr_rt::rt_proptest;
 
-fn arb_value() -> impl Strategy<Value = Value> {
-    prop_oneof![
-        any::<i64>().prop_map(Value::Int),
-        "[a-z]{0,12}".prop_map(Value::Str),
-        proptest::collection::vec(any::<u8>(), 0..16).prop_map(Value::Bytes),
-    ]
+fn gen_value(src: &mut Source) -> Value {
+    match src.arm(3) {
+        0 => Value::Int(src.any_i64()),
+        1 => Value::Str(src.string_of('a'..='z', 0..=12)),
+        _ => Value::Bytes(src.vec_of(0..=16, |s| s.any_u8())),
+    }
 }
 
-fn arb_schema() -> impl Strategy<Value = Schema> {
-    (proptest::collection::vec(0u32..=5, 1..=5), 0u32..=4).prop_map(|(bits, m_bits)| {
-        let mut b = Schema::builder();
-        for (i, &fb) in bits.iter().enumerate() {
-            b = b.field(format!("f{i}"), FieldType::Int, 1u64 << fb);
-        }
-        b.devices(1 << m_bits).build().expect("generated schema is valid")
-    })
+fn gen_schema(src: &mut Source) -> Schema {
+    let bits = src.vec_of(1..=5, |s| s.u32_in(0..=5));
+    let m_bits = src.u32_in(0..=4);
+    let mut b = Schema::builder();
+    for (i, &fb) in bits.iter().enumerate() {
+        b = b.field(format!("f{i}"), FieldType::Int, 1u64 << fb);
+    }
+    b.devices(1 << m_bits).build().expect("generated schema is valid")
 }
 
-proptest! {
+rt_proptest! {
     /// Field hashing is a function: equal values hash equal, and every
     /// hash is in range.
-    #[test]
-    fn hashing_is_functional(seed in any::<u64>(), size_bits in 0u32..=10, v in arb_value()) {
+    fn hashing_is_functional(src) {
+        let seed = src.any_u64();
+        let size_bits = src.u32_in(0..=10);
+        let v = gen_value(src);
         let h = FieldHasher::new(seed, 1 << size_bits).unwrap();
         let a = h.field_value(&v);
         let b = h.field_value(&v.clone());
-        prop_assert_eq!(a, b);
-        prop_assert!(a < (1 << size_bits));
+        assert_eq!(a, b);
+        assert!(a < (1 << size_bits));
     }
 
     /// Doubling refines: `new mod old_size == old` for any value.
-    #[test]
-    fn doubling_refines(seed in any::<u64>(), size_bits in 0u32..=9, v in arb_value()) {
+    fn doubling_refines(src) {
+        let seed = src.any_u64();
+        let size_bits = src.u32_in(0..=9);
+        let v = gen_value(src);
         let h = FieldHasher::new(seed, 1 << size_bits).unwrap();
         let h2 = h.doubled();
-        prop_assert_eq!(h2.field_value(&v) & ((1 << size_bits) - 1), h.field_value(&v));
+        assert_eq!(h2.field_value(&v) & ((1 << size_bits) - 1), h.field_value(&v));
     }
 
     /// A record's bucket is always valid for its schema, and a query built
     /// from any subset of the record's attributes matches that bucket.
-    #[test]
-    fn record_buckets_and_queries_agree(
-        (schema, values, mask) in arb_schema().prop_flat_map(|schema| {
-            let n = schema.num_fields();
-            let values = proptest::collection::vec(any::<i64>(), n..=n);
-            (Just(schema), values, any::<u32>())
-        })
-    ) {
+    fn record_buckets_and_queries_agree(src) {
+        let schema = gen_schema(src);
+        let n = schema.num_fields();
+        let values: Vec<i64> = (0..n).map(|_| src.any_i64()).collect();
+        let mask = src.rng().next_u32();
         let mkh = MultiKeyHash::new(schema.clone(), 99);
         let record = Record::new(values.iter().map(|&v| Value::Int(v)).collect());
         let bucket = mkh.bucket_of(&record).unwrap();
-        prop_assert!(schema.system().validate_bucket(&bucket).is_ok());
+        assert!(schema.system().validate_bucket(&bucket).is_ok());
 
         // Build a query from the masked subset of fields.
         let specs: Vec<(String, Value)> = (0..schema.num_fields())
@@ -64,20 +67,20 @@ proptest! {
         let spec_refs: Vec<(&str, Value)> =
             specs.iter().map(|(n, v)| (n.as_str(), v.clone())).collect();
         let q = mkh.query(&spec_refs).unwrap();
-        prop_assert!(q.matches(&bucket), "record escaped its own partial query");
+        assert!(q.matches(&bucket), "record escaped its own partial query");
     }
 
     /// Hash-class cardinality: hashing many distinct integers into F
     /// classes touches every class (for small F and enough samples) —
     /// guards against degenerate hashers that waste directory bits.
-    #[test]
-    fn hashing_covers_classes(seed in any::<u64>()) {
+    fn hashing_covers_classes(src) {
+        let seed = src.any_u64();
         let f = 8u64;
         let h = FieldHasher::new(seed, f).unwrap();
         let mut seen = vec![false; f as usize];
         for i in 0..512i64 {
             seen[h.field_value(&Value::Int(i)) as usize] = true;
         }
-        prop_assert!(seen.iter().all(|&s| s), "some hash class never hit: {:?}", seen);
+        assert!(seen.iter().all(|&s| s), "some hash class never hit: {seen:?}");
     }
 }

@@ -1,0 +1,190 @@
+//! A micro-benchmark harness: warmup, N timed iterations, robust summary
+//! statistics, JSON-lines output.
+//!
+//! Each benchmark is a closure returning a `u64` checksum. The checksum
+//! serves two purposes: it defeats dead-code elimination (the closure's
+//! work feeds an observable value), and it makes correctness auditable —
+//! for a fixed seed the checksum is identical run-to-run, so a perf
+//! regression can be distinguished from a behavior change by diffing the
+//! JSON lines and ignoring only the timing fields.
+//!
+//! Output format (one JSON object per line on stdout):
+//!
+//! ```json
+//! {"bench":"group/name","iters":200,"median_ns":1234.5,"p95_ns":2000.0,
+//!  "mean_ns":1300.0,"min_ns":1200.0,"max_ns":2400.0,"checksum":42}
+//! ```
+//!
+//! Environment knobs: `PMR_BENCH_ITERS` (timed iterations, default 60),
+//! `PMR_BENCH_WARMUP` (warmup iterations, default 10). Smoke-testing a
+//! bench binary offline: `PMR_BENCH_ITERS=2 PMR_BENCH_WARMUP=0`.
+
+use std::hint::black_box as std_black_box;
+use std::time::Instant;
+
+/// Opaque value barrier preventing the optimizer from deleting benchmarked
+/// work (re-export shape benches import).
+#[inline]
+pub fn black_box<T>(v: T) -> T {
+    std_black_box(v)
+}
+
+/// Summary statistics of one benchmark's timed iterations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stats {
+    /// Fully qualified name (`group/name`).
+    pub bench: String,
+    /// Timed iterations.
+    pub iters: usize,
+    /// Median nanoseconds per iteration.
+    pub median_ns: f64,
+    /// 95th-percentile nanoseconds per iteration.
+    pub p95_ns: f64,
+    /// Mean nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Fastest iteration.
+    pub min_ns: f64,
+    /// Slowest iteration.
+    pub max_ns: f64,
+    /// Checksum returned by the final iteration (deterministic for a
+    /// fixed seed; timing-independent).
+    pub checksum: u64,
+}
+
+impl Stats {
+    /// The JSON-lines rendering.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"bench\":\"{}\",\"iters\":{},\"median_ns\":{:.1},\"p95_ns\":{:.1},\
+             \"mean_ns\":{:.1},\"min_ns\":{:.1},\"max_ns\":{:.1},\"checksum\":{}}}",
+            self.bench,
+            self.iters,
+            self.median_ns,
+            self.p95_ns,
+            self.mean_ns,
+            self.min_ns,
+            self.max_ns,
+            self.checksum
+        )
+    }
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.trim().parse().ok()).unwrap_or(default)
+}
+
+/// A named group of benchmarks sharing configuration; results print as
+/// JSON lines as each benchmark finishes.
+pub struct Group {
+    name: String,
+    warmup: usize,
+    iters: usize,
+    results: Vec<Stats>,
+}
+
+impl Group {
+    /// A group with iteration counts from the environment (or defaults).
+    pub fn new(name: &str) -> Self {
+        Group {
+            name: name.to_string(),
+            warmup: env_usize("PMR_BENCH_WARMUP", 10),
+            iters: env_usize("PMR_BENCH_ITERS", 60).max(1),
+            results: Vec::new(),
+        }
+    }
+
+    /// Overrides the timed iteration count.
+    pub fn iters(mut self, iters: usize) -> Self {
+        self.iters = iters.max(1);
+        self
+    }
+
+    /// Runs one benchmark: `warmup` untimed iterations, then `iters` timed
+    /// ones. `f` returns a checksum; see the module docs.
+    pub fn bench<F: FnMut() -> u64>(&mut self, name: &str, mut f: F) -> &Stats {
+        for _ in 0..self.warmup {
+            std_black_box(f());
+        }
+        let mut samples_ns = Vec::with_capacity(self.iters);
+        let mut checksum = 0u64;
+        for _ in 0..self.iters {
+            let start = Instant::now();
+            checksum = std_black_box(f());
+            samples_ns.push(start.elapsed().as_nanos() as f64);
+        }
+        samples_ns.sort_by(|a, b| a.partial_cmp(b).expect("durations are not NaN"));
+        let stats = Stats {
+            bench: format!("{}/{}", self.name, name),
+            iters: self.iters,
+            median_ns: percentile(&samples_ns, 50.0),
+            p95_ns: percentile(&samples_ns, 95.0),
+            mean_ns: samples_ns.iter().sum::<f64>() / samples_ns.len() as f64,
+            min_ns: samples_ns[0],
+            max_ns: samples_ns[samples_ns.len() - 1],
+            checksum,
+        };
+        println!("{}", stats.to_json());
+        self.results.push(stats);
+        self.results.last().expect("just pushed")
+    }
+
+    /// All results recorded so far.
+    pub fn results(&self) -> &[Stats] {
+        &self.results
+    }
+}
+
+/// Percentile of an ascending-sorted sample set (nearest-rank with linear
+/// interpolation).
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "no samples");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_interpolates() {
+        let s = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile(&s, 0.0), 10.0);
+        assert_eq!(percentile(&s, 100.0), 40.0);
+        assert_eq!(percentile(&s, 50.0), 25.0);
+        assert_eq!(percentile(&[7.0], 95.0), 7.0);
+    }
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut group = Group::new("selftest").iters(5);
+        let stats = group.bench("sum", || (0..1000u64).sum::<u64>()).clone();
+        assert_eq!(stats.bench, "selftest/sum");
+        assert_eq!(stats.iters, 5);
+        assert_eq!(stats.checksum, 499_500);
+        assert!(stats.min_ns <= stats.median_ns);
+        assert!(stats.median_ns <= stats.max_ns);
+        assert!(stats.median_ns <= stats.p95_ns + 1e-9);
+        let json = stats.to_json();
+        assert!(json.starts_with("{\"bench\":\"selftest/sum\""));
+        assert!(json.contains("\"checksum\":499500"));
+        assert_eq!(group.results().len(), 1);
+    }
+
+    #[test]
+    fn checksums_are_deterministic() {
+        let run = || {
+            let mut group = Group::new("det").iters(2);
+            let mut rng = crate::rng::Rng::seed_from_u64(42);
+            let data: Vec<u64> = (0..256).map(|_| rng.next_u64()).collect();
+            group.bench("xor", || data.iter().fold(0u64, |a, &b| a ^ b)).checksum
+        };
+        assert_eq!(run(), run());
+    }
+}

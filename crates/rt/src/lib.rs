@@ -1,0 +1,35 @@
+//! # pmr-rt — hermetic runtime for the pmr workspace
+//!
+//! The workspace's entire runtime substrate, with zero external
+//! dependencies, so the whole reproduction builds and tests offline:
+//!
+//! * [`rng`] — seedable xoshiro256++ PRNG (SplitMix64-seeded) with ranges,
+//!   shuffling, byte filling, and reproducible stream-splitting. Every
+//!   experiment seed in the workspace flows through this generator, which
+//!   is what makes the paper-table regenerators byte-for-byte replayable.
+//! * [`pool`] — scoped worker pool over `std::thread::scope` and channels
+//!   with ordered results and panic propagation; the parallel query
+//!   executor's one-worker-per-device model.
+//! * [`buf`] — append buffer / frozen sliceable region pair with
+//!   little-endian integer vocabulary ([`buf::Buf`]/[`buf::BufMut`]) for
+//!   the bucket-page wire format.
+//! * [`check`] — a property-testing harness: seeded case generation,
+//!   shrinking by halving, failure-seed replay. See
+//!   [`rt_proptest!`].
+//! * [`bench`] — micro-benchmark harness (warmup, timed iterations,
+//!   median/p95, JSON-lines output, checksums for run-to-run
+//!   comparability).
+//! * [`sync`] — poison-free one-word aliases over `std::sync` locks.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+pub mod bench;
+pub mod buf;
+pub mod check;
+pub mod pool;
+pub mod rng;
+pub mod sync;
+
+pub use rng::{seed_from_env_or, Rng};

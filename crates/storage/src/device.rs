@@ -2,12 +2,13 @@
 //!
 //! Each device owns a bucket-addressed store (linear bucket index →
 //! encoded record region) plus access counters. The store is guarded by a
-//! `parking_lot::RwLock`, so the executor's per-device workers and
-//! concurrent readers coexist without contending on a global lock.
+//! per-device [`pmr_rt::sync::RwLock`], so the executor's per-device
+//! workers and concurrent readers coexist without contending on a global
+//! lock.
 
 use crate::encode::{self, DecodeError};
-use bytes::{Bytes, BytesMut};
-use parking_lot::RwLock;
+use pmr_rt::buf::{Bytes, BytesMut};
+use pmr_rt::sync::RwLock;
 use pmr_mkh::Record;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};

@@ -6,7 +6,7 @@
 //! payload — so a bucket page is a flat `Bytes` region a device can hand
 //! back without touching per-record allocations until decode time.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use pmr_rt::buf::{Buf, BufMut, Bytes, BytesMut};
 use pmr_mkh::{Record, Value};
 use std::fmt;
 

@@ -1,11 +1,12 @@
 //! Parallel query execution over simulated devices.
 //!
-//! One crossbeam worker per device: each worker enumerates the query's
-//! qualified buckets *resident on its device* (inverse mapping), reads
-//! them, and reports its response size. The simulated response time is the
-//! maximum per-device time — the paper's symmetric-topology assumption
-//! (§5.2.1): "the response time for a partial match query is determined by
-//! the device which has the largest number of qualified buckets".
+//! One [`pmr_rt::pool`] worker per device: each worker enumerates the
+//! query's qualified buckets *resident on its device* (inverse mapping),
+//! reads them, and reports its response size. The simulated response time
+//! is the maximum per-device time — the paper's symmetric-topology
+//! assumption (§5.2.1): "the response time for a partial match query is
+//! determined by the device which has the largest number of qualified
+//! buckets". Worker panics propagate to the caller through the pool.
 
 use crate::cost::CostModel;
 use crate::file::{DeclusteredFile, FileError};
@@ -80,15 +81,7 @@ pub fn execute_parallel<D: DistributionMethod>(
     let total_qualified = query.qualified_count_in(sys);
 
     let results: Vec<Result<(DeviceReport, Vec<Record>), FileError>> =
-        crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = (0..m)
-                .map(|device| {
-                    scope.spawn(move |_| device_worker(file, query, device, cost))
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-        })
-        .expect("executor scope panicked");
+        pmr_rt::pool::scope_map(0..m, |device| device_worker(file, query, device, cost));
 
     let mut per_device = Vec::with_capacity(m as usize);
     let mut records = Vec::new();
@@ -135,49 +128,40 @@ pub fn execute_parallel_fx(
     let inverse = &inverse;
 
     let results: Vec<Result<(DeviceReport, Vec<Record>), FileError>> =
-        crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = (0..m)
-                .map(|device| {
-                    scope.spawn(move |_| {
-                        let dev = &file.devices()[device as usize];
-                        let mut records = Vec::new();
-                        let mut qualified_buckets = 0u64;
-                        let mut decode_error = None;
-                        inverse.for_each_bucket_on(device, |bucket| {
-                            if decode_error.is_some() {
-                                return;
-                            }
-                            qualified_buckets += 1;
-                            let index = sys.linear_index(bucket);
-                            match dev.read_bucket(index) {
-                                Ok(recs) => records.extend(recs),
-                                Err(e) => decode_error = Some(e),
-                            }
-                        });
-                        if let Some(e) = decode_error {
-                            return Err(FileError::Decode(e));
-                        }
-                        // Address work: one residue lookup per free-field
-                        // combination plus the owned buckets themselves.
-                        let addresses_computed = qualified_buckets.max(1);
-                        let simulated_us =
-                            cost.device_time_us(qualified_buckets, addresses_computed);
-                        Ok((
-                            DeviceReport {
-                                device,
-                                qualified_buckets,
-                                records: records.len() as u64,
-                                addresses_computed,
-                                simulated_us,
-                            },
-                            records,
-                        ))
-                    })
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-        })
-        .expect("executor scope panicked");
+        pmr_rt::pool::scope_map(0..m, |device| {
+            let dev = &file.devices()[device as usize];
+            let mut records = Vec::new();
+            let mut qualified_buckets = 0u64;
+            let mut decode_error = None;
+            inverse.for_each_bucket_on(device, |bucket| {
+                if decode_error.is_some() {
+                    return;
+                }
+                qualified_buckets += 1;
+                let index = sys.linear_index(bucket);
+                match dev.read_bucket(index) {
+                    Ok(recs) => records.extend(recs),
+                    Err(e) => decode_error = Some(e),
+                }
+            });
+            if let Some(e) = decode_error {
+                return Err(FileError::Decode(e));
+            }
+            // Address work: one residue lookup per free-field
+            // combination plus the owned buckets themselves.
+            let addresses_computed = qualified_buckets.max(1);
+            let simulated_us = cost.device_time_us(qualified_buckets, addresses_computed);
+            Ok((
+                DeviceReport {
+                    device,
+                    qualified_buckets,
+                    records: records.len() as u64,
+                    addresses_computed,
+                    simulated_us,
+                },
+                records,
+            ))
+        });
 
     let mut per_device = Vec::with_capacity(m as usize);
     let mut records = Vec::new();

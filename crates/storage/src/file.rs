@@ -179,16 +179,11 @@ impl<D: DistributionMethod> DeclusteredFile<D> {
         }
         // Phase 2 (parallel): per-device appends.
         let total: u64 = routed.iter().map(|v| v.len() as u64).sum();
-        crossbeam::thread::scope(|scope| {
-            for (device, batch) in self.devices.iter().zip(routed) {
-                scope.spawn(move |_| {
-                    for (index, record) in batch {
-                        device.append(index, &record);
-                    }
-                });
+        pmr_rt::pool::scope_map(self.devices.iter().zip(routed), |(device, batch)| {
+            for (index, record) in batch {
+                device.append(index, &record);
             }
-        })
-        .expect("insert workers never panic");
+        });
         self.record_count += total;
         Ok(total)
     }

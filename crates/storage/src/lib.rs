@@ -10,13 +10,14 @@
 //! * [`cost`] — a parametric device cost model (seek + per-bucket
 //!   transfer + per-address CPU), with presets for disk-like and
 //!   main-memory-like devices.
-//! * [`encode`] — compact record encoding for bucket pages (`bytes`-based).
+//! * [`encode`] — compact record encoding for bucket pages, built on the
+//!   [`pmr_rt::buf`] zero-copy buffers.
 //! * [`device`] — a simulated device: bucket-addressed store plus access
-//!   accounting, guarded by a `parking_lot` lock for parallel workers.
+//!   accounting, guarded by a [`pmr_rt::sync`] lock for parallel workers.
 //! * [`mod@file`] — [`DeclusteredFile`]: schema + multi-key hash + distribution
 //!   method + `M` devices; insertion and querying.
-//! * [`exec`] — the parallel query executor (one crossbeam worker per
-//!   device) producing an [`exec::ExecutionReport`] with per-device
+//! * [`exec`] — the parallel query executor (one [`pmr_rt::pool`] worker
+//!   per device) producing an [`exec::ExecutionReport`] with per-device
 //!   response sizes and simulated response time.
 //! * [`index`] — device-local inverted bucket indexes (the two-stage
 //!   model's data-construction stage).

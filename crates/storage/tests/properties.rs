@@ -1,67 +1,64 @@
-//! Property-based tests for the storage layer.
+//! Property-based tests for the storage layer, running under the
+//! [`pmr_rt::check`] harness.
 
-use bytes::BytesMut;
 use pmr_core::FxDistribution;
 use pmr_mkh::{FieldType, Record, Schema, Value};
+use pmr_rt::buf::{Bytes, BytesMut};
+use pmr_rt::check::Source;
+use pmr_rt::rt_proptest;
 use pmr_storage::encode;
 use pmr_storage::exec::{execute_parallel, execute_parallel_fx};
 use pmr_storage::{CostModel, DeclusteredFile};
-use proptest::prelude::*;
 
-fn arb_record() -> impl Strategy<Value = Record> {
-    proptest::collection::vec(
-        prop_oneof![
-            any::<i64>().prop_map(Value::Int),
-            "[ -~]{0,20}".prop_map(Value::Str),
-            proptest::collection::vec(any::<u8>(), 0..24).prop_map(Value::Bytes),
-        ],
-        0..6,
-    )
-    .prop_map(Record::new)
+fn gen_record(src: &mut Source) -> Record {
+    let values = src.vec_of(0..=5, |s| match s.arm(3) {
+        0 => Value::Int(s.any_i64()),
+        1 => Value::Str(s.string_of(' '..='~', 0..=20)),
+        _ => Value::Bytes(s.vec_of(0..=23, |s| s.any_u8())),
+    });
+    Record::new(values)
 }
 
-proptest! {
+rt_proptest! {
     /// Record encoding round-trips arbitrary values, including empty
     /// records and empty payloads.
-    #[test]
-    fn encode_round_trip(records in proptest::collection::vec(arb_record(), 0..20)) {
+    fn encode_round_trip(src) {
+        let records = src.vec_of(0..=19, gen_record);
         let mut buf = BytesMut::new();
         for r in &records {
             encode::encode_record(r, &mut buf);
         }
         let decoded = encode::decode_all(buf.freeze()).unwrap();
-        prop_assert_eq!(decoded, records);
+        assert_eq!(decoded, records);
     }
 
     /// Any strict prefix of an encoded non-empty region fails to decode
     /// (no silent truncation).
-    #[test]
-    fn encode_prefixes_fail(record in arb_record()) {
+    fn encode_prefixes_fail(src) {
+        let record = gen_record(src);
         let bytes = encode::encode_one(&record);
         for cut in 0..bytes.len() {
             if cut == 0 {
                 // Zero bytes decode to zero records — allowed.
                 continue;
             }
-            prop_assert!(encode::decode_all(bytes.slice(0..cut)).is_err(), "cut {}", cut);
+            assert!(encode::decode_all(bytes.slice(0..cut)).is_err(), "cut {cut}");
         }
     }
 
     /// Decoding arbitrary bytes never panics: it returns records or an
     /// error (fuzz-shaped robustness for the page format).
-    #[test]
-    fn decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
-        let _ = encode::decode_all(bytes::Bytes::from(bytes));
+    fn decode_never_panics(src) {
+        let bytes = src.vec_of(0..=255, |s| s.any_u8());
+        let _ = encode::decode_all(Bytes::from(bytes));
     }
 
     /// End-to-end conservation: N inserted records are split across
     /// devices summing to N, and a full-scan query retrieves all of them,
     /// identically under the generic and FX-specialised executors.
-    #[test]
-    fn file_conserves_records(
-        keys in proptest::collection::vec((any::<i64>(), any::<i64>()), 1..80),
-        seed in any::<u64>(),
-    ) {
+    fn file_conserves_records(src) {
+        let keys = src.vec_of(1..=79, |s| (s.any_i64(), s.any_i64()));
+        let seed = src.any_u64();
         let schema = Schema::builder()
             .field("a", FieldType::Int, 8)
             .field("b", FieldType::Int, 4)
@@ -73,14 +70,35 @@ proptest! {
         for &(a, b) in &keys {
             file.insert(Record::new(vec![Value::Int(a), Value::Int(b)])).unwrap();
         }
-        prop_assert_eq!(file.record_count(), keys.len() as u64);
-        prop_assert_eq!(file.record_occupancy().iter().sum::<u64>(), keys.len() as u64);
+        assert_eq!(file.record_count(), keys.len() as u64);
+        assert_eq!(file.record_occupancy().iter().sum::<u64>(), keys.len() as u64);
 
         let q = file.query(&[]).unwrap();
         let generic = execute_parallel(&file, &q, &CostModel::main_memory()).unwrap();
         let fx_exec = execute_parallel_fx(&file, &q, &CostModel::main_memory()).unwrap();
-        prop_assert_eq!(generic.records.len(), keys.len());
-        prop_assert_eq!(fx_exec.records.len(), keys.len());
-        prop_assert_eq!(generic.histogram(), fx_exec.histogram());
+        assert_eq!(generic.records.len(), keys.len());
+        assert_eq!(fx_exec.records.len(), keys.len());
+        assert_eq!(generic.histogram(), fx_exec.histogram());
+    }
+
+    /// Golden-bytes cross-check: a pmr-rt buffer filled through the
+    /// [`pmr_rt::buf::BufMut`] API byte-for-byte matches the storage
+    /// encoder's output for the same record.
+    fn buffer_matches_encoder_golden_bytes(src) {
+        use pmr_rt::buf::BufMut;
+        let i = src.any_i64();
+        let s = src.string_of('a'..='z', 0..=12);
+        let record = Record::new(vec![Value::Int(i), Value::Str(s.clone())]);
+        let encoded = encode::encode_one(&record);
+
+        // Hand-rolled frame: u32 arity, tagged int, tagged string.
+        let mut expected = BytesMut::new();
+        expected.put_u32_le(2);
+        expected.put_u8(0x01);
+        expected.put_i64_le(i);
+        expected.put_u8(0x02);
+        expected.put_u32_le(s.len() as u32);
+        expected.put_slice(s.as_bytes());
+        assert_eq!(&encoded[..], &expected[..]);
     }
 }

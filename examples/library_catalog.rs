@@ -15,8 +15,11 @@ use pmr::mkh::{FieldType, Record, Schema, Value};
 use pmr::storage::exec::execute_parallel;
 use pmr::storage::metrics::BalanceMetrics;
 use pmr::storage::{CostModel, DeclusteredFile};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use pmr::rt::Rng;
+
+/// Catalog seed — override with `PMR_SEED` for a different synthetic
+/// library.
+const SEED: u64 = 7;
 
 const AUTHORS: &[&str] = &[
     "Knuth", "Codd", "Rivest", "Gray", "Stonebraker", "Dijkstra", "Lamport",
@@ -40,12 +43,12 @@ fn catalog_schema() -> Schema {
 }
 
 fn synthetic_catalog(n: usize, seed: u64) -> Vec<Record> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     (0..n)
         .map(|_| {
             Record::new(vec![
                 (*AUTHORS[rng.gen_range(0..AUTHORS.len())]).into(),
-                Value::Int(1950 + rng.gen_range(0..75)),
+                Value::Int(1950 + rng.gen_range(0..75i64)),
                 (*SUBJECTS[rng.gen_range(0..SUBJECTS.len())]).into(),
                 (*LANGUAGES[rng.gen_range(0..LANGUAGES.len())]).into(),
             ])
@@ -56,7 +59,8 @@ fn synthetic_catalog(n: usize, seed: u64) -> Vec<Record> {
 fn run_workload<D: DistributionMethod>(label: &str, method: D) {
     let schema = catalog_schema();
     let mut file = DeclusteredFile::new(schema, method, 2024).expect("system matches");
-    file.insert_all(synthetic_catalog(50_000, 7)).expect("inserts succeed");
+    file.insert_all(synthetic_catalog(50_000, pmr::rt::seed_from_env_or(SEED)))
+        .expect("inserts succeed");
 
     let cost = CostModel::disk_1988();
     let queries: Vec<(&str, Vec<(&str, Value)>)> = vec![

@@ -17,6 +17,10 @@
 //!   model, declustered files, parallel executors, persistence.
 //! * [`analysis`] — the experiment engine regenerating every table and
 //!   figure of the paper's evaluation, plus the annealing optimizer.
+//! * [`rt`] — the hermetic runtime: seedable PRNG, scoped worker pool,
+//!   zero-copy buffers, property-test and micro-benchmark harnesses. The
+//!   workspace has **zero external dependencies**; everything that would
+//!   otherwise come from a registry crate lives here.
 //!
 //! ## End-to-end example
 //!
@@ -67,4 +71,5 @@ pub use pmr_analysis as analysis;
 pub use pmr_baselines as baselines;
 pub use pmr_core as core;
 pub use pmr_mkh as mkh;
+pub use pmr_rt as rt;
 pub use pmr_storage as storage;

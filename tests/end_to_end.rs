@@ -7,9 +7,9 @@ use pmr::core::FxDistribution;
 use pmr::mkh::{FieldType, Record, Schema, Value};
 use pmr::storage::exec::execute_parallel;
 use pmr::storage::metrics::BalanceMetrics;
+use pmr::rt::rng::SliceRandom;
+use pmr::rt::Rng;
 use pmr::storage::{CostModel, DeclusteredFile};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 fn schema() -> Schema {
     Schema::builder()
@@ -22,27 +22,17 @@ fn schema() -> Schema {
 }
 
 fn events(n: usize, seed: u64) -> Vec<Record> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let actions = ["view", "click", "buy", "share"];
     (0..n)
         .map(|_| {
             Record::new(vec![
-                Value::Int(rng.gen_range(0..5000)),
-                (*actions.choose_ref(&mut rng)).into(),
-                Value::Int(rng.gen_range(0..50)),
+                Value::Int(rng.gen_range(0..5000i64)),
+                (*actions.choose(&mut rng).expect("actions is non-empty")).into(),
+                Value::Int(rng.gen_range(0..50i64)),
             ])
         })
         .collect()
-}
-
-trait ChooseRef<T> {
-    fn choose_ref(&self, rng: &mut StdRng) -> &T;
-}
-
-impl<T> ChooseRef<T> for [T] {
-    fn choose_ref(&self, rng: &mut StdRng) -> &T {
-        &self[rng.gen_range(0..self.len())]
-    }
 }
 
 fn pipeline_roundtrip<D: DistributionMethod>(method: D) {

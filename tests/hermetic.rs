@@ -1,0 +1,109 @@
+//! Hermetic-build guard: the workspace must have **zero** registry
+//! dependencies.
+//!
+//! Every crate builds from path dependencies only (the `pmr-*` crates and
+//! the standard library); anything else would break the offline build.
+//! This test walks every `Cargo.toml` in the workspace and fails on any
+//! dependency that is not a path/workspace dependency, so a stray
+//! `cargo add` shows up as a test failure rather than a resolution error
+//! on the next offline machine.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// All Cargo.toml files in the workspace: the root manifest plus one per
+/// crate under `crates/`.
+fn workspace_manifests() -> Vec<PathBuf> {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut manifests = vec![root.join("Cargo.toml")];
+    let crates = root.join("crates");
+    for entry in fs::read_dir(&crates).expect("crates/ directory exists") {
+        let manifest = entry.expect("readable dir entry").path().join("Cargo.toml");
+        if manifest.is_file() {
+            manifests.push(manifest);
+        }
+    }
+    assert!(manifests.len() >= 8, "expected the root + 7 crates, found {manifests:?}");
+    manifests
+}
+
+/// `true` for section headers that declare dependencies.
+fn is_dependency_section(header: &str) -> bool {
+    header == "dependencies"
+        || header == "dev-dependencies"
+        || header == "build-dependencies"
+        || header == "workspace.dependencies"
+        || header.ends_with(".dependencies")
+        || header.ends_with(".dev-dependencies")
+        || header.ends_with(".build-dependencies")
+}
+
+/// `true` when the dependency line resolves locally: a `path = "..."`
+/// table, or `workspace = true` inheritance (resolved against the root's
+/// `[workspace.dependencies]`, which this test also checks).
+fn is_local_dependency(spec: &str) -> bool {
+    spec.contains("path") && spec.contains('=') || spec.contains("workspace = true")
+}
+
+#[test]
+fn all_dependencies_are_path_or_workspace() {
+    let mut offenders = Vec::new();
+    for manifest in workspace_manifests() {
+        let text = fs::read_to_string(&manifest)
+            .unwrap_or_else(|e| panic!("cannot read {}: {e}", manifest.display()));
+        let mut section = String::new();
+        for raw in text.lines() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(header) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                section = header.trim().to_string();
+                continue;
+            }
+            if !is_dependency_section(&section) {
+                continue;
+            }
+            let Some((name, spec)) = line.split_once('=') else {
+                continue;
+            };
+            let (name, spec) = (name.trim(), spec.trim());
+            // Dotted-key inheritance form: `dep.workspace = true`.
+            let dotted_workspace = name.ends_with(".workspace") && spec == "true";
+            if !dotted_workspace && !is_local_dependency(spec) {
+                offenders.push(format!(
+                    "{}: [{}] {} = {}",
+                    manifest.display(),
+                    section,
+                    name,
+                    spec
+                ));
+            }
+        }
+    }
+    assert!(
+        offenders.is_empty(),
+        "non-path dependencies found (the build must stay hermetic):\n{}",
+        offenders.join("\n")
+    );
+}
+
+/// The six dependencies pmr-rt replaced must never come back by name.
+#[test]
+fn replaced_dependencies_stay_gone() {
+    const BANNED: [&str; 6] =
+        ["rand", "proptest", "criterion", "crossbeam", "parking_lot", "bytes"];
+    for manifest in workspace_manifests() {
+        let text = fs::read_to_string(&manifest).expect("manifest readable");
+        for line in text.lines() {
+            let line = line.split('#').next().unwrap_or("").trim();
+            let Some((name, _)) = line.split_once('=') else { continue };
+            let name = name.trim().trim_matches('"');
+            assert!(
+                !BANNED.contains(&name),
+                "{}: banned dependency {name:?} reappeared",
+                manifest.display()
+            );
+        }
+    }
+}
