@@ -73,6 +73,18 @@ impl DistributionMethod for BinaryWeightedDistribution {
         sum & (self.sys.devices() - 1)
     }
 
+    /// All fields are binary, so field `i` is bit `i` of the packed code:
+    /// the weighted sum reads each bit directly.
+    #[inline]
+    fn device_of_packed(&self, code: u64) -> u64 {
+        let sum = self
+            .weights
+            .iter()
+            .enumerate()
+            .fold(0u64, |acc, (i, &w)| acc.wrapping_add(((code >> i) & 1).wrapping_mul(w)));
+        sum & (self.sys.devices() - 1)
+    }
+
     fn system(&self) -> &SystemConfig {
         &self.sys
     }
@@ -123,6 +135,19 @@ impl DistributionMethod for GrayCodeDistribution {
     #[inline]
     fn device_of(&self, bucket: &[u64]) -> u64 {
         self.gray_rank(bucket) & (self.sys.devices() - 1)
+    }
+
+    /// The packed code is the Gray codeword itself (all-binary fields, bit
+    /// `i` = field `i`): decode it without touching the tuple.
+    #[inline]
+    fn device_of_packed(&self, code: u64) -> u64 {
+        let mut b = code;
+        let mut shift = 1;
+        while shift < 64 {
+            b ^= b >> shift;
+            shift <<= 1;
+        }
+        b & (self.sys.devices() - 1)
     }
 
     fn system(&self) -> &SystemConfig {

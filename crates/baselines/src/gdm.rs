@@ -111,6 +111,17 @@ impl DistributionMethod for GdmDistribution {
         sum & (self.sys.devices() - 1)
     }
 
+    /// Weighted sum of the fields extracted straight from the packed code.
+    #[inline]
+    fn device_of_packed(&self, code: u64) -> u64 {
+        let layout = self.sys.packed_layout();
+        let mut sum = 0u64;
+        for (i, &c) in self.multipliers.iter().enumerate() {
+            sum = sum.wrapping_add(layout.field(code, i).wrapping_mul(c));
+        }
+        sum & (self.sys.devices() - 1)
+    }
+
     fn system(&self) -> &SystemConfig {
         &self.sys
     }

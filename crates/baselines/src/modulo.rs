@@ -47,6 +47,17 @@ impl DistributionMethod for ModuloDistribution {
         sum & (self.sys.devices() - 1)
     }
 
+    /// Sums field values straight out of the packed code: shift, mask, add.
+    #[inline]
+    fn device_of_packed(&self, code: u64) -> u64 {
+        let layout = self.sys.packed_layout();
+        let mut sum = 0u64;
+        for i in 0..layout.num_fields() {
+            sum = sum.wrapping_add(layout.field(code, i));
+        }
+        sum & (self.sys.devices() - 1)
+    }
+
     fn system(&self) -> &SystemConfig {
         &self.sys
     }

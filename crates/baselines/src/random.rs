@@ -44,6 +44,13 @@ impl DistributionMethod for RandomDistribution {
             & (self.sys.devices() - 1)
     }
 
+    /// The packed code *is* the linear index, so the hash applies directly.
+    #[inline]
+    fn device_of_packed(&self, code: u64) -> u64 {
+        Self::mix(code.wrapping_add(self.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15)))
+            & (self.sys.devices() - 1)
+    }
+
     fn system(&self) -> &SystemConfig {
         &self.sys
     }

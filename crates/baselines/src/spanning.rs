@@ -116,6 +116,12 @@ impl DistributionMethod for SpanningPathDistribution {
         self.table[self.sys.linear_index(bucket) as usize]
     }
 
+    /// The table is keyed by linear index, which is exactly the packed code.
+    #[inline]
+    fn device_of_packed(&self, code: u64) -> u64 {
+        self.table[code as usize]
+    }
+
     fn system(&self) -> &SystemConfig {
         &self.sys
     }

@@ -6,43 +6,8 @@
 //! fast so the gap narrows, but the ordering Modulo ≤ FX ≤ GDM is expected
 //! to hold. Run with `cargo bench -p pmr-bench --bench addr_compute`.
 
-use pmr_baselines::gdm::PaperGdmSet;
-use pmr_baselines::{GdmDistribution, ModuloDistribution, RandomDistribution};
-use pmr_bench::{cpu_time_system, random_buckets};
-use pmr_core::method::DistributionMethod;
-use pmr_core::{AssignmentStrategy, FxDistribution};
-use pmr_rt::bench::{black_box, Group};
-
-const SEED: u64 = 42;
+use pmr_bench::suite::{addr_compute, SuiteOpts};
 
 fn main() {
-    let sys = cpu_time_system();
-    let flat = random_buckets(&sys, 4096, pmr_rt::seed_from_env_or(SEED));
-    let n = sys.num_fields();
-
-    let fx_basic = FxDistribution::basic(sys.clone()).unwrap();
-    let fx = FxDistribution::with_strategy(sys.clone(), AssignmentStrategy::CycleIu1).unwrap();
-    let fx_iu2 = FxDistribution::with_strategy(sys.clone(), AssignmentStrategy::CycleIu2).unwrap();
-    let dm = ModuloDistribution::new(sys.clone());
-    let gdm = GdmDistribution::paper_set(sys.clone(), PaperGdmSet::Gdm1);
-    let random = RandomDistribution::new(sys.clone(), 7);
-
-    let mut group = Group::new("addr_compute");
-    let cases: [(&str, &dyn DistributionMethod); 6] = [
-        ("modulo", &dm),
-        ("gdm1", &gdm),
-        ("fx_basic", &fx_basic),
-        ("fx_iu1", &fx),
-        ("fx_iu2", &fx_iu2),
-        ("random", &random),
-    ];
-    for (name, method) in cases {
-        group.bench(name, || {
-            let mut acc = 0u64;
-            for chunk in flat.chunks_exact(n) {
-                acc = acc.wrapping_add(method.device_of(black_box(chunk)));
-            }
-            acc
-        });
-    }
+    addr_compute(&SuiteOpts::standard());
 }

@@ -5,51 +5,8 @@
 //! distribution … should be fast" remark is about, not just the address
 //! kernel. Run with `cargo bench -p pmr-bench --bench distribution`.
 
-use pmr_baselines::ModuloDistribution;
-use pmr_core::method::DistributionMethod;
-use pmr_core::FxDistribution;
-use pmr_mkh::{FieldType, Record, Schema, Value};
-use pmr_rt::bench::Group;
-use pmr_storage::DeclusteredFile;
-
-const BATCH: i64 = 2000;
-
-fn schema() -> Schema {
-    Schema::builder()
-        .field("author", FieldType::Str, 8)
-        .field("year", FieldType::Int, 8)
-        .field("subject", FieldType::Int, 8)
-        .devices(32)
-        .build()
-        .unwrap()
-}
-
-fn records() -> Vec<Record> {
-    (0..BATCH)
-        .map(|i| {
-            Record::new(vec![
-                format!("author{}", i % 97).into(),
-                Value::Int(1900 + i % 100),
-                Value::Int(i % 23),
-            ])
-        })
-        .collect()
-}
-
-fn bench_insert<D: DistributionMethod + Clone + 'static>(group: &mut Group, name: &str, method: D) {
-    let recs = records();
-    group.bench(name, || {
-        // A fresh file per iteration so every timed pass exercises the
-        // cold append path (first-touch page creation included).
-        let mut file = DeclusteredFile::new(schema(), method.clone(), 11).unwrap();
-        file.insert_all(recs.clone()).unwrap();
-        file.record_occupancy().iter().sum()
-    });
-}
+use pmr_bench::suite::{bulk_insert, SuiteOpts};
 
 fn main() {
-    let sys = schema().system().clone();
-    let mut group = Group::new("bulk_insert");
-    bench_insert(&mut group, "fx_auto", FxDistribution::auto(sys.clone()).unwrap());
-    bench_insert(&mut group, "modulo", ModuloDistribution::new(sys));
+    bulk_insert(&SuiteOpts::standard());
 }

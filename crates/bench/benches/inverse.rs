@@ -1,5 +1,5 @@
 //! Inverse-mapping cost: FX's residue-indexed fast path vs the generic
-//! per-device scan.
+//! per-device scan, plus the packed-vs-tuple comparison.
 //!
 //! The paper (§4.2) argues inverse mapping must be cheap in main-memory
 //! databases because every device repeats it per query. The generic scan
@@ -7,33 +7,10 @@
 //! (`M·|R(q)|` total); `FxInverse` enumerates only the owned buckets
 //! (`|R(q)|` total). Run with `cargo bench -p pmr-bench --bench inverse`.
 
-use pmr_core::inverse::{scan_device_buckets, FxInverse};
-use pmr_core::{AssignmentStrategy, FxDistribution, PartialMatchQuery, SystemConfig};
-use pmr_rt::bench::{black_box, Group};
+use pmr_bench::suite::{inverse_mapping, packed_vs_vec, SuiteOpts};
 
 fn main() {
-    let sys = SystemConfig::new(&[8; 6], 32).unwrap();
-    let fx = FxDistribution::with_strategy(sys.clone(), AssignmentStrategy::CycleIu1).unwrap();
-    // Three unspecified fields: |R(q)| = 512 over 32 devices.
-    let query =
-        PartialMatchQuery::new(&sys, &[Some(3), None, Some(1), None, Some(7), None]).unwrap();
-
-    let mut group = Group::new("inverse_mapping");
-
-    group.bench("fx_fast_all_devices", || {
-        let inv = FxInverse::new(&fx, &query);
-        let mut total = 0u64;
-        for device in 0..sys.devices() {
-            total += inv.response_size(black_box(device));
-        }
-        total
-    });
-
-    group.bench("generic_scan_all_devices", || {
-        let mut total = 0u64;
-        for device in 0..sys.devices() {
-            total += scan_device_buckets(&fx, &sys, &query, black_box(device)).len() as u64;
-        }
-        total
-    });
+    let opts = SuiteOpts::standard();
+    inverse_mapping(&opts);
+    packed_vs_vec(&opts);
 }

@@ -1,60 +1,13 @@
 //! End-to-end query execution through the storage stack: parallel
-//! retrieval latency per method, and generic vs FX-specialised executors.
+//! retrieval latency per method, generic vs FX-specialised executors, and
+//! the `execute_parallel` fast-path dispatcher.
 //!
 //! Run with `cargo bench -p pmr-bench --bench query_exec`.
 
-use pmr_baselines::ModuloDistribution;
-use pmr_core::method::DistributionMethod;
-use pmr_core::FxDistribution;
-use pmr_mkh::{FieldType, Record, Schema, Value};
-use pmr_rt::bench::Group;
-use pmr_storage::exec::{execute_parallel, execute_parallel_fx};
-use pmr_storage::{CostModel, DeclusteredFile};
-
-fn schema() -> Schema {
-    Schema::builder()
-        .field("a", FieldType::Int, 16)
-        .field("b", FieldType::Int, 8)
-        .field("c", FieldType::Int, 8)
-        .devices(8)
-        .build()
-        .unwrap()
-}
-
-fn filled<D: DistributionMethod>(method: D) -> DeclusteredFile<D> {
-    let mut file = DeclusteredFile::new(schema(), method, 3).unwrap();
-    let records: Vec<Record> = (0..20_000i64)
-        .map(|i| {
-            Record::new(vec![
-                Value::Int(i),
-                Value::Int(i * 17 % 101),
-                Value::Int(i * 29 % 53),
-            ])
-        })
-        .collect();
-    file.insert_all_parallel(records).unwrap();
-    file
-}
+use pmr_bench::suite::{exec_fast_path, query_exec, SuiteOpts};
 
 fn main() {
-    let sys = schema().system().clone();
-    let fx_file = filled(FxDistribution::auto(sys.clone()).unwrap());
-    let dm_file = filled(ModuloDistribution::new(sys));
-    let cost = CostModel::main_memory();
-    let query = fx_file.query(&[("b", Value::Int(7))]).unwrap();
-    let dm_query = dm_file.query(&[("b", Value::Int(7))]).unwrap();
-
-    let mut group = Group::new("query_exec");
-    group.bench("fx_generic_executor", || {
-        execute_parallel(&fx_file, &query, &cost).unwrap().largest_response
-    });
-    group.bench("fx_fast_executor", || {
-        execute_parallel_fx(&fx_file, &query, &cost).unwrap().largest_response
-    });
-    group.bench("modulo_generic_executor", || {
-        execute_parallel(&dm_file, &dm_query, &cost).unwrap().largest_response
-    });
-    group.bench("fx_serial_reference", || {
-        fx_file.retrieve_serial(&query).unwrap().len() as u64
-    });
+    let opts = SuiteOpts::standard();
+    query_exec(&opts);
+    exec_fast_path(&opts);
 }

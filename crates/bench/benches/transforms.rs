@@ -2,39 +2,8 @@
 //!
 //! Run with `cargo bench -p pmr-bench --bench transforms`.
 
-use pmr_core::transform::{Transform, TransformKind};
-use pmr_rt::bench::{black_box, Group};
+use pmr_bench::suite::{transforms, SuiteOpts};
 
 fn main() {
-    const F: u64 = 256;
-    const M: u64 = 4096;
-    let transforms: Vec<(&str, Transform)> = vec![
-        ("identity", Transform::new(TransformKind::Identity, F, M).unwrap()),
-        ("u", Transform::new(TransformKind::U, F, M).unwrap()),
-        ("iu1", Transform::new(TransformKind::Iu1, F, M).unwrap()),
-        ("iu2", Transform::new(TransformKind::Iu2, F, M).unwrap()),
-    ];
-
-    let mut apply = Group::new("transform_apply");
-    for (name, t) in &transforms {
-        apply.bench(name, || {
-            let mut acc = 0u64;
-            for l in 0..F {
-                acc ^= t.apply(black_box(l));
-            }
-            acc
-        });
-    }
-
-    let mut invert = Group::new("transform_invert");
-    for (name, t) in &transforms {
-        let images: Vec<u64> = (0..F).map(|l| t.apply(l)).collect();
-        invert.bench(name, || {
-            let mut acc = 0u64;
-            for &v in &images {
-                acc ^= t.invert(black_box(v)).expect("image point inverts");
-            }
-            acc
-        });
-    }
+    transforms(&SuiteOpts::standard());
 }

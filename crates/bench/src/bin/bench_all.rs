@@ -1,0 +1,24 @@
+//! `bench_all` — runs the full benchmark suite and records the results
+//! as the repo's JSON-lines baselines.
+//!
+//! Writes `BENCH_core.json` (pmr-core kernels) and `BENCH_exec.json`
+//! (storage-stack end-to-end) into `PMR_BENCH_OUT_DIR` (default: the
+//! current directory). Iteration counts honour `PMR_BENCH_ITERS` /
+//! `PMR_BENCH_WARMUP`; checksum fields are deterministic across runs, so
+//! two baselines can be diffed for behaviour changes independently of
+//! timing noise. See EXPERIMENTS.md for the schema and comparison
+//! workflow.
+
+use pmr_bench::suite::{run_all, write_baselines, SuiteOpts};
+use std::path::PathBuf;
+
+fn main() {
+    let out_dir = std::env::var_os("PMR_BENCH_OUT_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."));
+    let files = run_all(&SuiteOpts::standard());
+    let written = write_baselines(&files, &out_dir).expect("baseline files are writable");
+    for path in written {
+        eprintln!("wrote {}", path.display());
+    }
+}

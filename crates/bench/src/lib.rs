@@ -16,6 +16,8 @@
 #![warn(rust_2018_idioms)]
 #![forbid(unsafe_code)]
 
+pub mod suite;
+
 use pmr_core::method::DistributionMethod;
 use pmr_core::SystemConfig;
 use pmr_rt::Rng;

@@ -1,0 +1,388 @@
+//! The shared benchmark suite: every bench group as a reusable builder.
+//!
+//! Each function assembles one [`Group`], runs it, and returns it so the
+//! caller can collect [`Stats`]. The five standalone bench binaries
+//! (`cargo bench -p pmr-bench --bench …`) are thin wrappers over these
+//! builders; the `bench_all` binary runs the whole suite and records the
+//! results as JSON-lines baselines (`BENCH_core.json`, `BENCH_exec.json`)
+//! — see EXPERIMENTS.md for the schema and how to compare runs.
+//!
+//! [`SuiteOpts::smoke`] shrinks workloads and iteration counts so the
+//! entire suite runs in well under a second; the `bench_smoke` integration
+//! test exercises every group that way on each `cargo test`.
+
+use crate::{cpu_time_system, random_buckets};
+use pmr_baselines::gdm::PaperGdmSet;
+use pmr_baselines::{GdmDistribution, ModuloDistribution, RandomDistribution};
+use pmr_core::inverse::{for_each_device_code, scan_device_buckets, FxInverse};
+use pmr_core::method::DistributionMethod;
+use pmr_core::transform::{Transform, TransformKind};
+use pmr_core::{AssignmentStrategy, FxDistribution, PartialMatchQuery};
+use pmr_mkh::{FieldType, Record, Schema, Value};
+use pmr_rt::bench::{black_box, Group, Stats};
+use pmr_storage::exec::{execute_parallel, execute_parallel_fx, execute_parallel_scan};
+use pmr_storage::{CostModel, DeclusteredFile};
+use std::io::Write as _;
+use std::path::Path;
+
+/// Suite-wide knobs: iteration overrides and workload scaling.
+#[derive(Debug, Clone, Copy)]
+pub struct SuiteOpts {
+    /// Timed iterations per bench; `None` honours `PMR_BENCH_ITERS`.
+    pub iters: Option<usize>,
+    /// Warmup iterations per bench; `None` honours `PMR_BENCH_WARMUP`.
+    pub warmup: Option<usize>,
+    /// Shrink workload sizes (record counts, batch sizes) for smoke runs.
+    pub fast: bool,
+}
+
+impl SuiteOpts {
+    /// Full-size workloads, iteration counts from the environment — what
+    /// `cargo bench` and `bench_all` use.
+    pub fn standard() -> Self {
+        SuiteOpts { iters: None, warmup: None, fast: false }
+    }
+
+    /// Minimal workloads and two unwarmed iterations per bench — fast
+    /// enough for `cargo test`, still exercising every code path.
+    pub fn smoke() -> Self {
+        SuiteOpts { iters: Some(2), warmup: Some(0), fast: true }
+    }
+
+    fn group(&self, name: &str) -> Group {
+        let mut g = Group::new(name);
+        if let Some(i) = self.iters {
+            g = g.iters(i);
+        }
+        if let Some(w) = self.warmup {
+            g = g.warmup(w);
+        }
+        g
+    }
+
+    /// `full` normally, `fast` under smoke scaling.
+    fn scaled(&self, full: usize, fast: usize) -> usize {
+        if self.fast { fast } else { full }
+    }
+}
+
+/// §5.2.2 address-computation kernel: `device_of` per method over a
+/// random bucket batch.
+pub fn addr_compute(opts: &SuiteOpts) -> Group {
+    let sys = cpu_time_system();
+    let count = opts.scaled(4096, 64);
+    let flat = random_buckets(&sys, count, pmr_rt::seed_from_env_or(42));
+    let n = sys.num_fields();
+
+    let fx_basic = FxDistribution::basic(sys.clone()).unwrap();
+    let fx = FxDistribution::with_strategy(sys.clone(), AssignmentStrategy::CycleIu1).unwrap();
+    let fx_iu2 = FxDistribution::with_strategy(sys.clone(), AssignmentStrategy::CycleIu2).unwrap();
+    let dm = ModuloDistribution::new(sys.clone());
+    let gdm = GdmDistribution::paper_set(sys.clone(), PaperGdmSet::Gdm1);
+    let random = RandomDistribution::new(sys.clone(), 7);
+
+    let mut group = opts.group("addr_compute");
+    let cases: [(&str, &dyn DistributionMethod); 6] = [
+        ("modulo", &dm),
+        ("gdm1", &gdm),
+        ("fx_basic", &fx_basic),
+        ("fx_iu1", &fx),
+        ("fx_iu2", &fx_iu2),
+        ("random", &random),
+    ];
+    for (name, method) in cases {
+        group.bench(name, || {
+            let mut acc = 0u64;
+            for chunk in flat.chunks_exact(n) {
+                acc = acc.wrapping_add(method.device_of(black_box(chunk)));
+            }
+            acc
+        });
+    }
+    group
+}
+
+/// Transformation kernels forward (`transform_apply`) and inverse
+/// (`transform_invert`); two groups because the paper discusses the costs
+/// separately (distribution vs inverse mapping).
+pub fn transforms(opts: &SuiteOpts) -> Vec<Group> {
+    let f: u64 = if opts.fast { 64 } else { 256 };
+    const M: u64 = 4096;
+    let transforms: Vec<(&str, Transform)> = vec![
+        ("identity", Transform::new(TransformKind::Identity, f, M).unwrap()),
+        ("u", Transform::new(TransformKind::U, f, M).unwrap()),
+        ("iu1", Transform::new(TransformKind::Iu1, f, M).unwrap()),
+        ("iu2", Transform::new(TransformKind::Iu2, f, M).unwrap()),
+    ];
+
+    let mut apply = opts.group("transform_apply");
+    for (name, t) in &transforms {
+        apply.bench(name, || {
+            let mut acc = 0u64;
+            for l in 0..f {
+                acc ^= t.apply(black_box(l));
+            }
+            acc
+        });
+    }
+
+    let mut invert = opts.group("transform_invert");
+    for (name, t) in &transforms {
+        let images: Vec<u64> = (0..f).map(|l| t.apply(l)).collect();
+        invert.bench(name, || {
+            let mut acc = 0u64;
+            for &v in &images {
+                acc ^= t.invert(black_box(v)).expect("image point inverts");
+            }
+            acc
+        });
+    }
+    vec![apply, invert]
+}
+
+/// Inverse-mapping cost on the paper's 6-field system: FX's
+/// residue-indexed fast path vs the generic per-device scan.
+pub fn inverse_mapping(opts: &SuiteOpts) -> Group {
+    let sys = cpu_time_system();
+    let fx = FxDistribution::with_strategy(sys.clone(), AssignmentStrategy::CycleIu1).unwrap();
+    // Three unspecified fields: |R(q)| = 512 over 32 devices.
+    let query =
+        PartialMatchQuery::new(&sys, &[Some(3), None, Some(1), None, Some(7), None]).unwrap();
+
+    let mut group = opts.group("inverse_mapping");
+
+    group.bench("fx_fast_all_devices", || {
+        let inv = FxInverse::new(&fx, &query);
+        let mut total = 0u64;
+        for device in 0..sys.devices() {
+            total += inv.response_size(black_box(device));
+        }
+        total
+    });
+
+    group.bench("generic_scan_all_devices", || {
+        let mut total = 0u64;
+        for device in 0..sys.devices() {
+            total += scan_device_buckets(&fx, &sys, &query, black_box(device)).len() as u64;
+        }
+        total
+    });
+    group
+}
+
+/// Packed codes vs tuple `Vec`s on the acceptance system
+/// (`F = (8,…,8)`, `M = 32`): the legacy allocating scan, the
+/// allocation-free packed scan, and FX's packed fast inverse, all
+/// counting the same qualified buckets across all devices.
+pub fn packed_vs_vec(opts: &SuiteOpts) -> Group {
+    let sys = cpu_time_system();
+    let fx = FxDistribution::with_strategy(sys.clone(), AssignmentStrategy::CycleIu1).unwrap();
+    let query =
+        PartialMatchQuery::new(&sys, &[Some(3), None, Some(1), None, Some(7), None]).unwrap();
+
+    let mut group = opts.group("packed_vs_vec");
+
+    group.bench("vec_scan_all_devices", || {
+        let mut total = 0u64;
+        for device in 0..sys.devices() {
+            total += scan_device_buckets(&fx, &sys, &query, black_box(device)).len() as u64;
+        }
+        total
+    });
+
+    group.bench("packed_scan_all_devices", || {
+        let mut total = 0u64;
+        for device in 0..sys.devices() {
+            for_each_device_code(&fx, &sys, &query, black_box(device), |_| total += 1);
+        }
+        total
+    });
+
+    group.bench("packed_fx_fast_all_devices", || {
+        let inv = FxInverse::new(&fx, &query);
+        let mut total = 0u64;
+        for device in 0..sys.devices() {
+            inv.for_each_code_on(black_box(device), |_| total += 1);
+        }
+        total
+    });
+    group
+}
+
+fn insert_schema() -> Schema {
+    Schema::builder()
+        .field("author", FieldType::Str, 8)
+        .field("year", FieldType::Int, 8)
+        .field("subject", FieldType::Int, 8)
+        .devices(32)
+        .build()
+        .unwrap()
+}
+
+fn bench_insert<D: DistributionMethod + Clone>(
+    group: &mut Group,
+    name: &str,
+    method: D,
+    recs: &[Record],
+) {
+    group.bench(name, || {
+        // A fresh file per iteration so every timed pass exercises the
+        // cold append path (first-touch page creation included).
+        let mut file = DeclusteredFile::new(insert_schema(), method.clone(), 11).unwrap();
+        file.insert_all(recs.to_vec()).unwrap();
+        file.record_occupancy().iter().sum()
+    });
+}
+
+/// Bulk distribution throughput: inserting a record batch into a
+/// declustered file (hash → transform → device → append), per method.
+pub fn bulk_insert(opts: &SuiteOpts) -> Group {
+    let batch = opts.scaled(2000, 100) as i64;
+    let recs: Vec<Record> = (0..batch)
+        .map(|i| {
+            Record::new(vec![
+                format!("author{}", i % 97).into(),
+                Value::Int(1900 + i % 100),
+                Value::Int(i % 23),
+            ])
+        })
+        .collect();
+    let sys = insert_schema().system().clone();
+
+    let mut group = opts.group("bulk_insert");
+    bench_insert(&mut group, "fx_auto", FxDistribution::auto(sys.clone()).unwrap(), &recs);
+    bench_insert(&mut group, "modulo", ModuloDistribution::new(sys), &recs);
+    group
+}
+
+fn exec_schema() -> Schema {
+    Schema::builder()
+        .field("a", FieldType::Int, 16)
+        .field("b", FieldType::Int, 8)
+        .field("c", FieldType::Int, 8)
+        .devices(8)
+        .build()
+        .unwrap()
+}
+
+fn exec_filled<D: DistributionMethod>(method: D, records: i64) -> DeclusteredFile<D> {
+    let mut file = DeclusteredFile::new(exec_schema(), method, 3).unwrap();
+    let records: Vec<Record> = (0..records)
+        .map(|i| {
+            Record::new(vec![
+                Value::Int(i),
+                Value::Int(i * 17 % 101),
+                Value::Int(i * 29 % 53),
+            ])
+        })
+        .collect();
+    file.insert_all_parallel(records).unwrap();
+    file
+}
+
+/// End-to-end query execution through the storage stack: forced generic
+/// scan vs FX-specialised executor, plus a Modulo file and a serial
+/// reference.
+pub fn query_exec(opts: &SuiteOpts) -> Group {
+    let records = opts.scaled(20_000, 1000) as i64;
+    let sys = exec_schema().system().clone();
+    let fx_file = exec_filled(FxDistribution::auto(sys.clone()).unwrap(), records);
+    let dm_file = exec_filled(ModuloDistribution::new(sys), records);
+    let cost = CostModel::main_memory();
+    let query = fx_file.query(&[("b", Value::Int(7))]).unwrap();
+    let dm_query = dm_file.query(&[("b", Value::Int(7))]).unwrap();
+
+    let mut group = opts.group("query_exec");
+    group.bench("fx_generic_executor", || {
+        execute_parallel_scan(&fx_file, &query, &cost).unwrap().largest_response
+    });
+    group.bench("fx_fast_executor", || {
+        execute_parallel_fx(&fx_file, &query, &cost).unwrap().largest_response
+    });
+    group.bench("modulo_generic_executor", || {
+        execute_parallel(&dm_file, &dm_query, &cost).unwrap().largest_response
+    });
+    group.bench("fx_serial_reference", || {
+        fx_file.retrieve_serial(&query).unwrap().len() as u64
+    });
+    group
+}
+
+/// The dispatcher's fast path end-to-end: `execute_parallel` on an FX
+/// file (auto-dispatches onto [`FxInverse`]) vs the forced generic scan
+/// on the same file, at two selectivities.
+pub fn exec_fast_path(opts: &SuiteOpts) -> Group {
+    let records = opts.scaled(20_000, 1000) as i64;
+    let sys = exec_schema().system().clone();
+    let file = exec_filled(FxDistribution::auto(sys).unwrap(), records);
+    let cost = CostModel::main_memory();
+    let narrow = file.query(&[("a", Value::Int(11)), ("b", Value::Int(7))]).unwrap();
+    let wide = file.query(&[("b", Value::Int(7))]).unwrap();
+
+    let mut group = opts.group("exec_fast_path");
+    group.bench("dispatch_narrow", || {
+        execute_parallel(&file, &narrow, &cost).unwrap().largest_response
+    });
+    group.bench("scan_narrow", || {
+        execute_parallel_scan(&file, &narrow, &cost).unwrap().largest_response
+    });
+    group.bench("dispatch_wide", || {
+        execute_parallel(&file, &wide, &cost).unwrap().largest_response
+    });
+    group.bench("scan_wide", || {
+        execute_parallel_scan(&file, &wide, &cost).unwrap().largest_response
+    });
+    group
+}
+
+/// One baseline file of the `bench_all` run: output file name plus the
+/// stats of every group it records.
+pub struct BaselineFile {
+    /// File name (`BENCH_core.json` or `BENCH_exec.json`).
+    pub name: &'static str,
+    /// All stats, in group order.
+    pub stats: Vec<Stats>,
+}
+
+/// Runs the full suite and partitions the results into the two baseline
+/// files: `BENCH_core.json` (pmr-core kernels: address computation,
+/// transforms, inverse mapping, packed-vs-vec) and `BENCH_exec.json`
+/// (storage-stack end-to-end: bulk insert, query execution, fast-path
+/// dispatch).
+pub fn run_all(opts: &SuiteOpts) -> Vec<BaselineFile> {
+    let mut core_stats = Vec::new();
+    core_stats.extend_from_slice(addr_compute(opts).results());
+    for g in transforms(opts) {
+        core_stats.extend_from_slice(g.results());
+    }
+    core_stats.extend_from_slice(inverse_mapping(opts).results());
+    core_stats.extend_from_slice(packed_vs_vec(opts).results());
+
+    let mut exec_stats = Vec::new();
+    exec_stats.extend_from_slice(bulk_insert(opts).results());
+    exec_stats.extend_from_slice(query_exec(opts).results());
+    exec_stats.extend_from_slice(exec_fast_path(opts).results());
+
+    vec![
+        BaselineFile { name: "BENCH_core.json", stats: core_stats },
+        BaselineFile { name: "BENCH_exec.json", stats: exec_stats },
+    ]
+}
+
+/// Writes each baseline file as JSON lines under `dir`. Returns the
+/// written paths.
+pub fn write_baselines(
+    files: &[BaselineFile],
+    dir: &Path,
+) -> std::io::Result<Vec<std::path::PathBuf>> {
+    let mut written = Vec::new();
+    for file in files {
+        let path = dir.join(file.name);
+        let mut out = std::fs::File::create(&path)?;
+        for s in &file.stats {
+            writeln!(out, "{}", s.to_json())?;
+        }
+        written.push(path);
+    }
+    Ok(written)
+}

@@ -95,9 +95,12 @@ pub fn simulate(args: &[String]) -> Result<(), String> {
         let q = pmr_core::PartialMatchQuery::new(&sys, &values).map_err(|e| e.to_string())?;
         let report = execute_parallel(&file, &q, &cost).map_err(|e| e.to_string())?;
         let metrics = BalanceMetrics::of(&report.histogram());
+        // FX files take the fast inverse path, so this stays O(|R|)
+        // rather than O(M·|R|).
+        let addresses: u64 = report.per_device.iter().map(|d| d.addresses_computed).sum();
         println!(
             "query {q}: |R| = {}, largest response {} (optimal {}), \
-             simulated {:.1} ms, speedup {:.2}x",
+             {addresses} addresses computed, simulated {:.1} ms, speedup {:.2}x",
             q.qualified_count_in(&sys),
             report.largest_response,
             metrics.optimal,

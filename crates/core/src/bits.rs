@@ -106,6 +106,135 @@ pub fn xor_fold<I: IntoIterator<Item = u64>>(iter: I) -> u64 {
     iter.into_iter().fold(0, |acc, v| acc ^ v)
 }
 
+/// The packed bucket representation: per-field shift/mask pairs mapping a
+/// bucket tuple `<J_1, …, J_n>` to a single `u64` code.
+///
+/// Because every field size is a power of two (`F_i = 2^{b_i}`), a bucket
+/// is losslessly the bit concatenation of its coordinates: field 0
+/// occupies the lowest `b_0` bits, field 1 the next `b_1`, and so on, for
+/// `Σ b_i ≤ 63` bits in total. The packed code **is** the dense linear
+/// index of [`crate::SystemConfig::linear_index`] — the layout merely
+/// makes the per-field arithmetic (`shift`, `mask`) first-class so hot
+/// paths can extract or rewrite a coordinate with two instructions and no
+/// allocation.
+///
+/// # Examples
+///
+/// ```
+/// use pmr_core::bits::PackedLayout;
+///
+/// let layout = PackedLayout::new(&[4, 2, 8]).unwrap();
+/// let code = layout.pack(&[3, 1, 5]);
+/// assert_eq!(code, 3 | (1 << 2) | (5 << 3));
+/// assert_eq!(layout.field(code, 2), 5);
+/// assert_eq!(layout.unpack(code), vec![3, 1, 5]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PackedLayout {
+    /// Bit offset of each field within the code (field 0 lowest).
+    shifts: Vec<u32>,
+    /// In-field mask `F_i − 1` of each field (pre-shift).
+    masks: Vec<u64>,
+    /// `Σ log2 F_i`.
+    total_bits: u32,
+}
+
+impl PackedLayout {
+    /// Derives the layout from the field sizes.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::NotPowerOfTwo`] when any size is not a power of two.
+    /// * [`Error::Overflow`] when the packed code would exceed 63 bits.
+    pub fn new(field_sizes: &[u64]) -> Result<Self> {
+        let mut shifts = Vec::with_capacity(field_sizes.len());
+        let mut masks = Vec::with_capacity(field_sizes.len());
+        let mut offset = 0u32;
+        for &f in field_sizes {
+            let bits = log2_exact(f)?;
+            shifts.push(offset);
+            masks.push(f - 1);
+            offset = offset.checked_add(bits).ok_or(Error::Overflow)?;
+        }
+        if offset > 63 {
+            return Err(Error::Overflow);
+        }
+        Ok(PackedLayout { shifts, masks, total_bits: offset })
+    }
+
+    /// Number of fields.
+    #[inline]
+    pub fn num_fields(&self) -> usize {
+        self.shifts.len()
+    }
+
+    /// Bit offset of field `i` within the code.
+    #[inline]
+    pub fn shift(&self, field: usize) -> u32 {
+        self.shifts[field]
+    }
+
+    /// In-field mask `F_i − 1` (apply after shifting right).
+    #[inline]
+    pub fn mask(&self, field: usize) -> u64 {
+        self.masks[field]
+    }
+
+    /// Total width of the code in bits (`Σ log2 F_i`).
+    #[inline]
+    pub fn total_bits(&self) -> u32 {
+        self.total_bits
+    }
+
+    /// Mask covering every valid code bit: `∏ F_i − 1`.
+    #[inline]
+    pub fn code_mask(&self) -> u64 {
+        (1u64 << self.total_bits) - 1
+    }
+
+    /// Packs a bucket tuple into its code. Values must be in range
+    /// (`debug_assert!`ed).
+    #[inline]
+    pub fn pack(&self, bucket: &[u64]) -> u64 {
+        debug_assert_eq!(bucket.len(), self.num_fields());
+        let mut code = 0u64;
+        for ((&v, &shift), &mask) in bucket.iter().zip(&self.shifts).zip(&self.masks) {
+            debug_assert!(v <= mask, "value {v} exceeds field mask {mask}");
+            code |= v << shift;
+        }
+        code
+    }
+
+    /// Extracts field `i` from a code.
+    #[inline]
+    pub fn field(&self, code: u64, field: usize) -> u64 {
+        (code >> self.shifts[field]) & self.masks[field]
+    }
+
+    /// Returns `code` with field `i` replaced by `value`.
+    #[inline]
+    pub fn with_field(&self, code: u64, field: usize, value: u64) -> u64 {
+        debug_assert!(value <= self.masks[field]);
+        (code & !(self.masks[field] << self.shifts[field])) | (value << self.shifts[field])
+    }
+
+    /// Unpacks a code into the supplied buffer (must be `num_fields` long).
+    #[inline]
+    pub fn unpack_into(&self, code: u64, out: &mut [u64]) {
+        debug_assert_eq!(out.len(), self.num_fields());
+        for ((slot, &shift), &mask) in out.iter_mut().zip(&self.shifts).zip(&self.masks) {
+            *slot = (code >> shift) & mask;
+        }
+    }
+
+    /// Unpacks a code into a freshly allocated bucket tuple.
+    pub fn unpack(&self, code: u64) -> Vec<u64> {
+        let mut out = vec![0u64; self.num_fields()];
+        self.unpack_into(code, &mut out);
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -212,6 +341,53 @@ mod tests {
         assert_eq!(xor_sets(&[0, 4], &[0, 1]), vec![0, 1, 4, 5]);
         // Self-XOR of a group is the group.
         assert_eq!(xor_sets(&[0, 1, 2, 3], &[0, 1, 2, 3]), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn packed_layout_round_trips() {
+        let layout = PackedLayout::new(&[4, 2, 8, 1]).unwrap();
+        assert_eq!(layout.num_fields(), 4);
+        assert_eq!(layout.total_bits(), 2 + 1 + 3);
+        assert_eq!(layout.code_mask(), (1 << 6) - 1);
+        let mut buf = [0u64; 4];
+        for a in 0..4 {
+            for b in 0..2 {
+                for c in 0..8 {
+                    let bucket = [a, b, c, 0];
+                    let code = layout.pack(&bucket);
+                    assert!(code <= layout.code_mask());
+                    layout.unpack_into(code, &mut buf);
+                    assert_eq!(buf, bucket);
+                    assert_eq!(layout.unpack(code), bucket);
+                    for i in 0..4 {
+                        assert_eq!(layout.field(code, i), bucket[i]);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn packed_layout_with_field_rewrites_one_coordinate() {
+        let layout = PackedLayout::new(&[8, 4, 16]).unwrap();
+        let code = layout.pack(&[5, 2, 9]);
+        let rewritten = layout.with_field(code, 1, 3);
+        assert_eq!(layout.unpack(rewritten), vec![5, 3, 9]);
+        // All other fields untouched, including high bits.
+        assert_eq!(layout.field(rewritten, 0), 5);
+        assert_eq!(layout.field(rewritten, 2), 9);
+    }
+
+    #[test]
+    fn packed_layout_rejects_bad_sizes() {
+        assert!(matches!(
+            PackedLayout::new(&[3]).unwrap_err(),
+            Error::NotPowerOfTwo { value: 3 }
+        ));
+        assert!(matches!(
+            PackedLayout::new(&[1 << 40, 1 << 40]).unwrap_err(),
+            Error::Overflow
+        ));
     }
 
     #[test]

@@ -19,9 +19,14 @@
 use crate::assign::{Assignment, AssignmentStrategy};
 use crate::bits::t_m;
 use crate::error::Result;
+use crate::inverse::InversePlan;
 use crate::method::DistributionMethod;
+use crate::query::Pattern;
 use crate::system::SystemConfig;
 use crate::transform::Transform;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
 
 /// The FX distribution method.
 ///
@@ -46,6 +51,36 @@ pub struct FxDistribution {
     assignment: Assignment,
     /// Precomputed address kernel (see [`Kernel`]).
     kernel: Kernel,
+    /// Per-pattern inverse-mapping plans, built lazily and shared across
+    /// clones (see [`FxDistribution::inverse_plan`]).
+    plans: PlanCache,
+}
+
+/// Lazily-built per-[`Pattern`] inverse plans. Shared across clones of the
+/// distribution (an `Arc`), so a plan is built once per (distribution,
+/// pattern) no matter how many queries or executor runs reuse it. Lock
+/// poisoning is ignored — plans are insert-only and a panicking builder
+/// leaves the map in a consistent state.
+#[derive(Clone, Default)]
+struct PlanCache(Arc<std::sync::RwLock<HashMap<Pattern, Arc<InversePlan>>>>);
+
+impl PlanCache {
+    fn get(&self, pattern: Pattern) -> Option<Arc<InversePlan>> {
+        self.0.read().unwrap_or_else(|e| e.into_inner()).get(&pattern).cloned()
+    }
+
+    fn insert(&self, pattern: Pattern, plan: Arc<InversePlan>) -> Arc<InversePlan> {
+        // First writer wins so concurrent builders share one plan.
+        let mut map = self.0.write().unwrap_or_else(|e| e.into_inner());
+        map.entry(pattern).or_insert(plan).clone()
+    }
+}
+
+impl fmt::Debug for PlanCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let len = self.0.read().unwrap_or_else(|e| e.into_inner()).len();
+        write!(f, "PlanCache({len} patterns)")
+    }
 }
 
 /// Field sizes above this threshold make a materialised per-field table
@@ -61,8 +96,17 @@ const MAX_TABLE_SIZE: u64 = 1 << 16;
 /// with huge fields fall back to shift computation.
 #[derive(Debug, Clone)]
 enum Kernel {
-    /// One lookup table per field (covers every experimental system).
-    Tables(Vec<Box<[u64]>>),
+    /// One lookup table per field (covers every experimental system),
+    /// alongside the packed layout's shift/mask pairs so the packed hot
+    /// path is extract → load → XOR per field.
+    Tables {
+        /// Transform image per field (`tables[i][J] = X_i(J)`).
+        tables: Vec<Box<[u64]>>,
+        /// Bit offset of each field within a packed code.
+        shifts: Box<[u32]>,
+        /// In-field mask `F_i − 1` of each field.
+        masks: Box<[u64]>,
+    },
     /// Shift-computed transforms for systems with fields over
     /// [`MAX_TABLE_SIZE`].
     Computed(Vec<Transform>),
@@ -72,13 +116,16 @@ impl Kernel {
     fn for_assignment(assignment: &Assignment) -> Kernel {
         let sys = assignment.system();
         if (0..sys.num_fields()).all(|i| sys.field_size(i) <= MAX_TABLE_SIZE) {
-            Kernel::Tables(
-                assignment
+            let layout = sys.packed_layout();
+            Kernel::Tables {
+                tables: assignment
                     .transforms()
                     .iter()
                     .map(|t| t.image().into_boxed_slice())
                     .collect(),
-            )
+                shifts: (0..sys.num_fields()).map(|i| layout.shift(i)).collect(),
+                masks: (0..sys.num_fields()).map(|i| layout.mask(i)).collect(),
+            }
         } else {
             Kernel::Computed(assignment.transforms().to_vec())
         }
@@ -87,7 +134,7 @@ impl Kernel {
     #[inline]
     fn xor_all(&self, bucket: &[u64]) -> u64 {
         match self {
-            Kernel::Tables(tables) => {
+            Kernel::Tables { tables, .. } => {
                 let mut acc = 0u64;
                 for (table, &v) in tables.iter().zip(bucket) {
                     acc ^= table[v as usize];
@@ -101,6 +148,40 @@ impl Kernel {
                 }
                 acc
             }
+        }
+    }
+
+    /// XOR of all transformed fields of a packed code — the packed
+    /// counterpart of [`Kernel::xor_all`], needing no tuple at all.
+    #[inline]
+    fn xor_packed(&self, code: u64, sys: &SystemConfig) -> u64 {
+        match self {
+            Kernel::Tables { tables, shifts, masks } => {
+                let mut acc = 0u64;
+                for ((table, &shift), &mask) in tables.iter().zip(shifts.iter()).zip(masks.iter())
+                {
+                    acc ^= table[((code >> shift) & mask) as usize];
+                }
+                acc
+            }
+            Kernel::Computed(transforms) => {
+                let layout = sys.packed_layout();
+                let mut acc = 0u64;
+                for (i, t) in transforms.iter().enumerate() {
+                    acc ^= t.apply(layout.field(code, i));
+                }
+                acc
+            }
+        }
+    }
+
+    /// Applies field `i`'s transform to one value: a table index when the
+    /// kernel is materialised, the closed form otherwise.
+    #[inline]
+    fn apply_field(&self, field: usize, value: u64) -> u64 {
+        match self {
+            Kernel::Tables { tables, .. } => tables[field][value as usize],
+            Kernel::Computed(transforms) => transforms[field].apply(value),
         }
     }
 }
@@ -127,7 +208,7 @@ impl FxDistribution {
     /// Extended FX from an explicit assignment.
     pub fn with_assignment(assignment: Assignment) -> Self {
         let kernel = Kernel::for_assignment(&assignment);
-        FxDistribution { assignment, kernel }
+        FxDistribution { assignment, kernel, plans: PlanCache::default() }
     }
 
     /// The per-field transformation assignment.
@@ -154,8 +235,34 @@ impl FxDistribution {
         values
             .iter()
             .enumerate()
-            .filter_map(|(i, v)| v.map(|val| self.assignment.transform(i).apply(val)))
+            .filter_map(|(i, v)| v.map(|val| self.kernel.apply_field(i, val)))
             .fold(0, |acc, t| acc ^ t)
+    }
+
+    /// Applies field `i`'s transformation `X_i` to one value through the
+    /// precomputed kernel: a single table load for every experimental
+    /// system (fields ≤ 2¹⁶), the closed form otherwise. Equals
+    /// `self.assignment().transform(i).apply(value)` by construction —
+    /// property-tested against the closed forms.
+    #[inline]
+    pub fn apply_field(&self, field: usize, value: u64) -> u64 {
+        self.kernel.apply_field(field, value)
+    }
+
+    /// The inverse-mapping plan for a query pattern, built on first use
+    /// and cached (shared across clones of this distribution).
+    ///
+    /// The plan — pivot choice and pivot residue classes — depends only on
+    /// the *pattern*, not on the specified values (those enter through
+    /// [`FxDistribution::specified_xor`], which merely rotates the residue
+    /// lookup by Lemma 1.1). Caching it makes repeated queries of the same
+    /// shape pay the `O(F_pivot)` class construction once.
+    pub fn inverse_plan(&self, pattern: Pattern) -> Arc<InversePlan> {
+        if let Some(plan) = self.plans.get(pattern) {
+            return plan;
+        }
+        let plan = Arc::new(InversePlan::build(self, pattern));
+        self.plans.insert(pattern, plan)
     }
 }
 
@@ -165,6 +272,16 @@ impl DistributionMethod for FxDistribution {
         let sys = self.assignment.system();
         debug_assert_eq!(bucket.len(), sys.num_fields());
         t_m(self.kernel.xor_all(bucket), sys.devices())
+    }
+
+    #[inline]
+    fn device_of_packed(&self, code: u64) -> u64 {
+        let sys = self.assignment.system();
+        t_m(self.kernel.xor_packed(code, sys), sys.devices())
+    }
+
+    fn as_fx(&self) -> Option<&FxDistribution> {
+        Some(self)
     }
 
     fn system(&self) -> &SystemConfig {
@@ -371,5 +488,53 @@ mod tests {
         let sys = SystemConfig::new(&[2, 8], 4).unwrap();
         let fx = FxDistribution::basic(sys).unwrap();
         assert!(fx.histogram_shift_invariant());
+    }
+
+    /// The packed override agrees with the tuple path on every bucket,
+    /// under both kernels (tables and computed).
+    #[test]
+    fn device_of_packed_matches_tuple_path() {
+        let sys = SystemConfig::new(&[4, 8, 2], 8).unwrap();
+        let fx = FxDistribution::auto(sys.clone()).unwrap();
+        let mut buf = Vec::new();
+        for code in sys.all_indices() {
+            sys.decode_index(code, &mut buf);
+            assert_eq!(fx.device_of_packed(code), fx.device_of(&buf), "code {code}");
+        }
+        // Force the computed kernel with a field over the table threshold.
+        let big = SystemConfig::new(&[1 << 17, 4], 8).unwrap();
+        let fx_big = FxDistribution::auto(big.clone()).unwrap();
+        let layout = big.packed_layout();
+        for bucket in [[0u64, 0], [5, 3], [(1 << 17) - 1, 1], [1 << 16, 2]] {
+            assert_eq!(fx_big.device_of_packed(layout.pack(&bucket)), fx_big.device_of(&bucket));
+        }
+    }
+
+    /// `apply_field` (kernel table) equals the closed-form transform.
+    #[test]
+    fn apply_field_matches_closed_form() {
+        let sys = SystemConfig::new(&[2, 4, 8], 32).unwrap();
+        let fx = FxDistribution::auto(sys.clone()).unwrap();
+        for i in 0..sys.num_fields() {
+            let t = fx.assignment().transform(i);
+            for v in 0..sys.field_size(i) {
+                assert_eq!(fx.apply_field(i, v), t.apply(v), "field {i} value {v}");
+            }
+        }
+    }
+
+    /// Plans are cached per pattern and shared across clones.
+    #[test]
+    fn inverse_plans_are_cached_and_shared() {
+        let sys = SystemConfig::new(&[2, 8], 4).unwrap();
+        let fx = FxDistribution::basic(sys).unwrap();
+        let p = crate::query::Pattern::from_unspecified(&[1]);
+        let a = fx.inverse_plan(p);
+        let b = fx.inverse_plan(p);
+        assert!(Arc::ptr_eq(&a, &b), "same pattern must reuse the plan");
+        let clone = fx.clone();
+        let c = clone.inverse_plan(p);
+        assert!(Arc::ptr_eq(&a, &c), "clones share the plan cache");
+        assert_ne!(format!("{:?}", fx), "", "debug impl renders");
     }
 }

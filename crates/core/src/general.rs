@@ -152,6 +152,17 @@ impl DistributionMethod for GeneralFxDistribution {
         t_m(acc, self.sys.devices())
     }
 
+    /// Table lookups straight off the packed bits — no tuple needed.
+    #[inline]
+    fn device_of_packed(&self, code: u64) -> u64 {
+        let layout = self.sys.packed_layout();
+        let mut acc = 0u64;
+        for (i, table) in self.tables.iter().enumerate() {
+            acc ^= table[layout.field(code, i) as usize];
+        }
+        t_m(acc, self.sys.devices())
+    }
+
     fn system(&self) -> &SystemConfig {
         &self.sys
     }

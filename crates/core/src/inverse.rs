@@ -22,13 +22,17 @@
 
 use crate::fx::FxDistribution;
 use crate::method::DistributionMethod;
-use crate::query::PartialMatchQuery;
+use crate::query::{PartialMatchQuery, Pattern};
 use crate::system::SystemConfig;
+use std::sync::Arc;
 
 /// Generic inverse mapping: qualified buckets of `query` on `device`,
 /// found by scanning `R(q)`.
 ///
-/// Buckets are returned in query-odometer order.
+/// Buckets are returned in query-odometer order. This allocates one
+/// `Vec<u64>` per owned bucket — a compatibility shim over
+/// [`for_each_device_bucket`]; hot paths should use the `for_each`
+/// variants (or the packed [`for_each_device_code`]) instead.
 pub fn scan_device_buckets<D: DistributionMethod + ?Sized>(
     method: &D,
     sys: &SystemConfig,
@@ -36,13 +40,144 @@ pub fn scan_device_buckets<D: DistributionMethod + ?Sized>(
     device: u64,
 ) -> Vec<Vec<u64>> {
     let mut out = Vec::new();
+    for_each_device_bucket(method, sys, query, device, |b| out.push(b.to_vec()));
+    out
+}
+
+/// Allocation-free generic inverse mapping: visits every qualified bucket
+/// of `query` on `device` as a transient tuple view, in query-odometer
+/// order.
+pub fn for_each_device_bucket<D, F>(
+    method: &D,
+    sys: &SystemConfig,
+    query: &PartialMatchQuery,
+    device: u64,
+    mut f: F,
+) where
+    D: DistributionMethod + ?Sized,
+    F: FnMut(&[u64]),
+{
     let mut it = query.qualified_buckets(sys);
     while let Some(bucket) = it.next_bucket() {
         if method.device_of(bucket) == device {
-            out.push(bucket.to_vec());
+            f(bucket);
         }
     }
-    out
+}
+
+/// Packed generic inverse mapping: visits the packed code of every
+/// qualified bucket of `query` on `device`, in query-odometer order.
+///
+/// Codes are linear indices ([`SystemConfig::packed_layout`]), so they key
+/// device stores directly; the whole scan touches no tuple at all.
+pub fn for_each_device_code<D, F>(
+    method: &D,
+    sys: &SystemConfig,
+    query: &PartialMatchQuery,
+    device: u64,
+    mut f: F,
+) where
+    D: DistributionMethod + ?Sized,
+    F: FnMut(u64),
+{
+    let mut it = query.qualified_buckets(sys);
+    while let Some(code) = it.next_code() {
+        if method.device_of_packed(code) == device {
+            f(code);
+        }
+    }
+}
+
+/// One free (non-pivot unspecified) field of an [`InversePlan`]: its index
+/// plus the packed shift/mask needed to run the odometer directly on a
+/// code.
+#[derive(Debug, Clone, Copy)]
+struct FreeField {
+    field: usize,
+    shift: u32,
+    /// `F − 1` (pre-shift).
+    mask: u64,
+}
+
+/// The pattern-level part of FX's fast inverse mapping: pivot choice and
+/// pivot residue classes.
+///
+/// Everything here depends only on the (distribution, [`Pattern`]) pair —
+/// the specified *values* of a concrete query enter later as the XOR
+/// constant `h`, which by Lemma 1.1 merely rotates the residue lookup.
+/// Plans are therefore built once per pattern and cached on the
+/// distribution ([`FxDistribution::inverse_plan`]).
+#[derive(Debug)]
+pub struct InversePlan {
+    pattern: Pattern,
+    /// The pivot unspecified field, if any.
+    pivot: Option<usize>,
+    /// Unspecified fields other than the pivot, in field order.
+    free_fields: Vec<FreeField>,
+    /// For the pivot: residue class `T_M(X(J))` → values `J` in that class.
+    pivot_classes: Vec<Vec<u64>>,
+    /// The same classes with each value pre-shifted into packed position
+    /// (`J << pivot_shift`), so emitting a code is a single OR.
+    pivot_class_codes: Vec<Vec<u64>>,
+}
+
+impl InversePlan {
+    /// Builds the plan for a pattern under `fx`. Exposed for
+    /// [`FxDistribution::inverse_plan`]; use that accessor to get caching.
+    pub fn build(fx: &FxDistribution, pattern: Pattern) -> InversePlan {
+        let sys = fx.system();
+        let layout = sys.packed_layout();
+        let mut unspecified = pattern.unspecified_fields(sys.num_fields());
+        // Pivot choice: the unspecified field with the largest size, so the
+        // residue index carries the most pruning power (any choice is
+        // correct; this one minimises the enumerated remainder).
+        let pivot = unspecified
+            .iter()
+            .copied()
+            .max_by_key(|&i| (sys.field_size(i), std::cmp::Reverse(i)));
+        if let Some(p) = pivot {
+            unspecified.retain(|&i| i != p);
+        }
+        let m = sys.devices();
+        let (pivot_classes, pivot_class_codes) = match pivot {
+            None => (Vec::new(), Vec::new()),
+            Some(p) => {
+                let shift = layout.shift(p);
+                let mut classes = vec![Vec::new(); m as usize];
+                let mut codes = vec![Vec::new(); m as usize];
+                for j in 0..sys.field_size(p) {
+                    let class = crate::bits::t_m(fx.apply_field(p, j), m) as usize;
+                    classes[class].push(j);
+                    codes[class].push(j << shift);
+                }
+                (classes, codes)
+            }
+        };
+        let free_fields = unspecified
+            .iter()
+            .map(|&i| FreeField { field: i, shift: layout.shift(i), mask: layout.mask(i) })
+            .collect();
+        InversePlan { pattern, pivot, free_fields, pivot_classes, pivot_class_codes }
+    }
+
+    /// The pattern this plan serves.
+    #[inline]
+    pub fn pattern(&self) -> Pattern {
+        self.pattern
+    }
+
+    /// The pivot field, if the pattern has any unspecified field.
+    #[inline]
+    pub fn pivot(&self) -> Option<usize> {
+        self.pivot
+    }
+
+    /// Pivot values in residue class `class` (empty for exact-match
+    /// patterns). Class `c` holds exactly the `J` with `T_M(X_p(J)) = c`.
+    #[inline]
+    pub fn pivot_class(&self, class: u64) -> &[u64] {
+        &self.pivot_classes[class as usize]
+    }
 }
 
 /// FX-specific fast inverse mapping for one query.
@@ -69,48 +204,33 @@ pub fn scan_device_buckets<D: DistributionMethod + ?Sized>(
 /// ```
 pub struct FxInverse<'a> {
     fx: &'a FxDistribution,
-    query: &'a PartialMatchQuery,
     /// XOR of transformed specified values.
     h: u64,
-    /// Unspecified fields other than the pivot.
-    free_fields: Vec<usize>,
-    /// The pivot unspecified field, if any.
-    pivot: Option<usize>,
-    /// For the pivot: residue class `T_M(X(J))` → values `J` in that class.
-    pivot_classes: Vec<Vec<u64>>,
+    /// Packed code of the query's specified values (unspecified bits 0).
+    base_code: u64,
+    /// The pattern-level plan (pivot + residue classes), from the
+    /// distribution's per-pattern cache.
+    plan: Arc<InversePlan>,
 }
 
 impl<'a> FxInverse<'a> {
     /// Prepares the inverse mapping for `query` under `fx`.
+    ///
+    /// The pattern-level work (pivot choice, residue classes) comes from
+    /// the distribution's plan cache; only the query-specific XOR constant
+    /// `h` and the packed base code are computed here.
     pub fn new(fx: &'a FxDistribution, query: &'a PartialMatchQuery) -> Self {
         let sys = fx.system();
         debug_assert_eq!(query.values().len(), sys.num_fields());
         let h = fx.specified_xor(query.values());
-        let mut unspecified = query.pattern().unspecified_fields(sys.num_fields());
-        // Pivot choice: the unspecified field with the largest size, so the
-        // residue index carries the most pruning power (any choice is
-        // correct; this one minimises the enumerated remainder).
-        let pivot = unspecified
+        let layout = sys.packed_layout();
+        let base_code = query
+            .values()
             .iter()
-            .copied()
-            .max_by_key(|&i| (sys.field_size(i), std::cmp::Reverse(i)));
-        if let Some(p) = pivot {
-            unspecified.retain(|&i| i != p);
-        }
-        let m = sys.devices();
-        let pivot_classes = match pivot {
-            None => Vec::new(),
-            Some(p) => {
-                let t = fx.assignment().transform(p);
-                let mut classes = vec![Vec::new(); m as usize];
-                for j in 0..sys.field_size(p) {
-                    let class = crate::bits::t_m(t.apply(j), m);
-                    classes[class as usize].push(j);
-                }
-                classes
-            }
-        };
-        FxInverse { fx, query, h, free_fields: unspecified, pivot, pivot_classes }
+            .enumerate()
+            .fold(0u64, |acc, (i, v)| acc | (v.unwrap_or(0) << layout.shift(i)));
+        let plan = fx.inverse_plan(query.pattern());
+        FxInverse { fx, h, base_code, plan }
     }
 
     /// All qualified buckets of the query residing on `device`.
@@ -124,62 +244,83 @@ impl<'a> FxInverse<'a> {
     /// `r_device(q)`, computed without materialising buckets.
     pub fn response_size(&self, device: u64) -> u64 {
         let mut count = 0u64;
-        self.for_each_bucket_on(device, |_| count += 1);
+        self.for_each_code_on(device, |_| count += 1);
         count
     }
 
     /// Visits every qualified bucket on `device`, passing a transient view
-    /// of the bucket tuple.
+    /// of the bucket tuple. A convenience wrapper over
+    /// [`FxInverse::for_each_code_on`] (one unpack per owned bucket).
     pub fn for_each_bucket_on<F: FnMut(&[u64])>(&self, device: u64, mut f: F) {
+        let layout = self.fx.system().packed_layout();
+        let mut buf = vec![0u64; layout.num_fields()];
+        self.for_each_code_on(device, |code| {
+            layout.unpack_into(code, &mut buf);
+            f(&buf);
+        });
+    }
+
+    /// Visits the packed code of every qualified bucket on `device` —
+    /// the allocation-free hot path. Codes are linear indices, directly
+    /// usable as device-store keys.
+    ///
+    /// Cost: `O(|R(q)| / F_pivot)` free-field odometer settings, each
+    /// emitting exactly its share of owned buckets — `O(|R(q)| / M)`
+    /// amortised per device, `O(|R(q)|)` across all `M` devices, versus
+    /// `O(M · |R(q)|)` for the generic per-device scan.
+    pub fn for_each_code_on<F: FnMut(u64)>(&self, device: u64, mut f: F) {
         let sys = self.fx.system();
         let m = sys.devices();
         debug_assert!(device < m);
-        let mut bucket: Vec<u64> =
-            self.query.values().iter().map(|v| v.unwrap_or(0)).collect();
+        let plan = &*self.plan;
 
-        let Some(pivot) = self.pivot else {
+        if plan.pivot.is_none() {
             // Exact-match query: single bucket, on the device iff the
             // device address matches.
             if crate::bits::t_m(self.h, m) == device {
-                f(&bucket);
+                f(self.base_code);
             }
             return;
-        };
+        }
 
-        let pivot_transform = self.fx.assignment().transform(pivot);
-        // Odometer over the non-pivot unspecified fields; for each setting,
-        // the pivot's transformed value must satisfy
+        // Odometer over the non-pivot unspecified fields, run directly on
+        // the packed code; for each setting, the pivot's transformed value
+        // must satisfy
         //   T_M(h ⊕ acc ⊕ X_p(J_p)) = device
         // ⇔ T_M(X_p(J_p)) = device ⊕ T_M(h ⊕ acc),
-        // so the candidates are exactly one residue class.
+        // so the candidates are exactly one residue class, pre-shifted
+        // into packed position.
+        let mut code = self.base_code;
         loop {
             let mut acc = self.h;
-            for &fld in &self.free_fields {
-                acc ^= self.fx.assignment().transform(fld).apply(bucket[fld]);
+            for ff in &plan.free_fields {
+                acc ^= self.fx.apply_field(ff.field, (code >> ff.shift) & ff.mask);
             }
             let class = device ^ crate::bits::t_m(acc, m);
-            for &j in &self.pivot_classes[class as usize] {
-                bucket[pivot] = j;
-                debug_assert_eq!(
-                    crate::bits::t_m(acc ^ pivot_transform.apply(j), m),
-                    device
-                );
-                f(&bucket);
+            for &jcode in &plan.pivot_class_codes[class as usize] {
+                debug_assert_eq!(self.fx.device_of_packed(code | jcode), device);
+                f(code | jcode);
             }
-            // Advance the free-field odometer.
+            // Advance the free-field odometer (last field fastest).
             let mut advanced = false;
-            for &fld in self.free_fields.iter().rev() {
-                bucket[fld] += 1;
-                if bucket[fld] < sys.field_size(fld) {
+            for ff in plan.free_fields.iter().rev() {
+                if (code >> ff.shift) & ff.mask < ff.mask {
+                    code += 1u64 << ff.shift;
                     advanced = true;
                     break;
                 }
-                bucket[fld] = 0;
+                code &= !(ff.mask << ff.shift);
             }
             if !advanced {
                 return;
             }
         }
+    }
+
+    /// The pattern-level plan backing this inverse mapping.
+    #[inline]
+    pub fn plan(&self) -> &InversePlan {
+        &self.plan
     }
 }
 
@@ -276,6 +417,56 @@ mod tests {
                 assert!(buckets.is_empty());
             }
         }
+    }
+
+    /// Packed enumeration (`for_each_code_on` / `for_each_device_code`)
+    /// agrees with the tuple paths on every query of small systems.
+    #[test]
+    fn packed_paths_match_tuple_paths() {
+        let configs: [(&[u64], u64, AssignmentStrategy); 3] = [
+            (&[2, 8], 4, AssignmentStrategy::Basic),
+            (&[2, 4, 2], 8, AssignmentStrategy::CycleIu1),
+            (&[4, 2, 2], 16, AssignmentStrategy::CycleIu2),
+        ];
+        for (fields, m, strategy) in configs {
+            let sys = SystemConfig::new(fields, m).unwrap();
+            let fx = FxDistribution::with_strategy(sys.clone(), strategy).unwrap();
+            for q in all_queries(&sys) {
+                let inv = FxInverse::new(&fx, &q);
+                for device in 0..sys.devices() {
+                    let mut fast_codes = Vec::new();
+                    inv.for_each_code_on(device, |c| fast_codes.push(c));
+                    let mut scan_codes = Vec::new();
+                    for_each_device_code(&fx, &sys, &q, device, |c| scan_codes.push(c));
+                    let mut from_buckets: Vec<u64> = scan_device_buckets(&fx, &sys, &q, device)
+                        .iter()
+                        .map(|b| sys.linear_index(b))
+                        .collect();
+                    fast_codes.sort_unstable();
+                    scan_codes.sort_unstable();
+                    from_buckets.sort_unstable();
+                    assert_eq!(fast_codes, scan_codes, "{sys} query {q} device {device}");
+                    assert_eq!(fast_codes, from_buckets, "{sys} query {q} device {device}");
+                }
+            }
+        }
+    }
+
+    /// Two queries sharing a pattern reuse the cached plan; the plan's
+    /// residue classes partition the pivot's value range.
+    #[test]
+    fn plan_is_shared_across_queries_of_a_pattern() {
+        let sys = SystemConfig::new(&[4, 8], 8).unwrap();
+        let fx = FxDistribution::auto(sys.clone()).unwrap();
+        let q1 = PartialMatchQuery::new(&sys, &[Some(1), None]).unwrap();
+        let q2 = PartialMatchQuery::new(&sys, &[Some(3), None]).unwrap();
+        let i1 = FxInverse::new(&fx, &q1);
+        let i2 = FxInverse::new(&fx, &q2);
+        assert!(std::ptr::eq(i1.plan(), i2.plan()), "same pattern, same plan");
+        let plan = i1.plan();
+        assert_eq!(plan.pivot(), Some(1));
+        let total: usize = (0..sys.devices()).map(|c| plan.pivot_class(c).len()).sum();
+        assert_eq!(total as u64, sys.field_size(1));
     }
 
     #[test]

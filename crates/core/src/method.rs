@@ -7,7 +7,14 @@
 //! are written against the trait so every method is measured by identical
 //! machinery.
 
+use crate::fx::FxDistribution;
 use crate::system::SystemConfig;
+
+/// Stack-buffer capacity for the default [`DistributionMethod::device_of_packed`]
+/// unpacking path. Systems with more fields (possible only via degenerate
+/// `F_i = 1` fields, since the code is capped at 63 bits) fall back to a
+/// heap buffer.
+const MAX_STACK_FIELDS: usize = 64;
 
 /// A bucket-to-device assignment function `FD : f_1 × … × f_n → Z_M`.
 ///
@@ -20,6 +27,37 @@ pub trait DistributionMethod: Send + Sync {
     /// `bucket` must be a valid tuple for [`Self::system`]; implementations
     /// may `debug_assert!` validity but skip checks in release builds.
     fn device_of(&self, bucket: &[u64]) -> u64;
+
+    /// The device storing the bucket with packed `code`
+    /// (see [`SystemConfig::packed_layout`]; the code equals the bucket's
+    /// linear index).
+    ///
+    /// The default implementation unpacks into a stack buffer and defers
+    /// to [`Self::device_of`]; methods whose address arithmetic works
+    /// directly on the packed bits (FX, Modulo, GDM, the table-based
+    /// baselines) override it to skip the tuple entirely. Must agree with
+    /// `device_of` on every valid bucket — the packed-equivalence property
+    /// suite enforces this for every in-tree method.
+    #[inline]
+    fn device_of_packed(&self, code: u64) -> u64 {
+        let layout = self.system().packed_layout();
+        let n = layout.num_fields();
+        if n <= MAX_STACK_FIELDS {
+            let mut buf = [0u64; MAX_STACK_FIELDS];
+            layout.unpack_into(code, &mut buf[..n]);
+            self.device_of(&buf[..n])
+        } else {
+            self.device_of(&layout.unpack(code))
+        }
+    }
+
+    /// Downcast hook: `Some(self)` when this method is an
+    /// [`FxDistribution`], letting generic executors dispatch onto the
+    /// residue-indexed fast inverse mapping without knowing the concrete
+    /// type. The default is `None`; wrappers forward it.
+    fn as_fx(&self) -> Option<&FxDistribution> {
+        None
+    }
 
     /// The system this method distributes.
     fn system(&self) -> &SystemConfig;
@@ -48,6 +86,12 @@ impl<M: DistributionMethod + ?Sized> DistributionMethod for &M {
     fn device_of(&self, bucket: &[u64]) -> u64 {
         (**self).device_of(bucket)
     }
+    fn device_of_packed(&self, code: u64) -> u64 {
+        (**self).device_of_packed(code)
+    }
+    fn as_fx(&self) -> Option<&FxDistribution> {
+        (**self).as_fx()
+    }
     fn system(&self) -> &SystemConfig {
         (**self).system()
     }
@@ -63,6 +107,12 @@ impl<M: DistributionMethod + ?Sized> DistributionMethod for Box<M> {
     fn device_of(&self, bucket: &[u64]) -> u64 {
         (**self).device_of(bucket)
     }
+    fn device_of_packed(&self, code: u64) -> u64 {
+        (**self).device_of_packed(code)
+    }
+    fn as_fx(&self) -> Option<&FxDistribution> {
+        (**self).as_fx()
+    }
     fn system(&self) -> &SystemConfig {
         (**self).system()
     }
@@ -77,6 +127,12 @@ impl<M: DistributionMethod + ?Sized> DistributionMethod for Box<M> {
 impl<M: DistributionMethod + ?Sized> DistributionMethod for std::sync::Arc<M> {
     fn device_of(&self, bucket: &[u64]) -> u64 {
         (**self).device_of(bucket)
+    }
+    fn device_of_packed(&self, code: u64) -> u64 {
+        (**self).device_of_packed(code)
+    }
+    fn as_fx(&self) -> Option<&FxDistribution> {
+        (**self).as_fx()
     }
     fn system(&self) -> &SystemConfig {
         (**self).system()
@@ -118,10 +174,24 @@ mod tests {
         assert_eq!(boxed.device_of(&[3, 0]), 1);
         assert_eq!(boxed.name(), "first-field");
         assert!(!boxed.histogram_shift_invariant());
+        assert!(boxed.as_fx().is_none());
         let by_ref: &dyn DistributionMethod = &*boxed;
         assert_eq!(by_ref.device_of(&[2, 1]), 0);
         let arc: std::sync::Arc<dyn DistributionMethod> =
             std::sync::Arc::new(FirstField(SystemConfig::new(&[4, 4], 2).unwrap()));
         assert_eq!(arc.device_of(&[1, 1]), 1);
+    }
+
+    /// The default packed path agrees with `device_of` for a method that
+    /// only implements the tuple form.
+    #[test]
+    fn default_device_of_packed_unpacks() {
+        let sys = SystemConfig::new(&[4, 2, 8], 2).unwrap();
+        let m = FirstField(sys.clone());
+        let mut buf = Vec::new();
+        for code in sys.all_indices() {
+            sys.decode_index(code, &mut buf);
+            assert_eq!(m.device_of_packed(code), m.device_of(&buf));
+        }
     }
 }

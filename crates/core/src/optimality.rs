@@ -30,8 +30,8 @@ pub fn response_histogram<D: DistributionMethod + ?Sized>(
 ) -> Vec<u64> {
     let mut hist = vec![0u64; sys.devices() as usize];
     let mut it = query.qualified_buckets(sys);
-    while let Some(bucket) = it.next_bucket() {
-        hist[method.device_of(bucket) as usize] += 1;
+    while let Some(code) = it.next_code() {
+        hist[method.device_of_packed(code) as usize] += 1;
     }
     hist
 }

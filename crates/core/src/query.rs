@@ -203,18 +203,37 @@ impl fmt::Display for PartialMatchQuery {
     }
 }
 
+/// One odometer digit of a [`QualifiedBuckets`] enumeration: an
+/// unspecified field together with the packed-layout geometry needed to
+/// advance the tuple and the packed code in lockstep.
+#[derive(Debug, Clone, Copy)]
+struct OdometerDigit {
+    field: usize,
+    /// `F_field`; the digit wraps when it reaches this.
+    limit: u64,
+    /// Bit offset of the field inside the packed code.
+    shift: u32,
+}
+
 /// Iterator over the qualified buckets `R(q)` of a query.
 ///
 /// Yields `&[u64]` views of an internal buffer via the lending-iterator
-/// pattern (`next_bucket`), plus a standard [`Iterator`] implementation that
-/// clones the buffer per item for convenience.
+/// pattern (`next_bucket`), packed `u64` codes via [`next_code`] for
+/// allocation-free hot loops, plus a standard [`Iterator`] implementation
+/// that clones the buffer per item for convenience. `next_bucket` and
+/// `next_code` share one cursor and yield the same enumeration order (last
+/// unspecified field fastest), so interleaving them walks `R(q)` once.
+///
+/// [`next_code`]: QualifiedBuckets::next_code
 pub struct QualifiedBuckets<'a> {
     query: &'a PartialMatchQuery,
     sys: &'a SystemConfig,
     /// Current bucket tuple; unspecified coordinates are the odometer.
     current: Vec<u64>,
-    /// Unspecified field indices, odometer digits from last to first.
-    unspecified: Vec<usize>,
+    /// Packed code of `current`, maintained incrementally.
+    code: u64,
+    /// Unspecified fields as odometer digits, advanced from last to first.
+    digits: Vec<OdometerDigit>,
     remaining: u64,
     started: bool,
 }
@@ -224,9 +243,20 @@ impl<'a> QualifiedBuckets<'a> {
         debug_assert_eq!(query.values.len(), sys.num_fields());
         let current: Vec<u64> =
             query.values.iter().map(|v| v.unwrap_or(0)).collect();
-        let unspecified = query.pattern.unspecified_fields(sys.num_fields());
+        let layout = sys.packed_layout();
+        let code = layout.pack(&current);
+        let digits = query
+            .pattern
+            .unspecified_fields(sys.num_fields())
+            .into_iter()
+            .map(|field| OdometerDigit {
+                field,
+                limit: sys.field_size(field),
+                shift: layout.shift(field),
+            })
+            .collect();
         let remaining = query.qualified_count_in(sys);
-        QualifiedBuckets { query, sys, current, unspecified, remaining, started: false }
+        QualifiedBuckets { query, sys, current, code, digits, remaining, started: false }
     }
 
     /// Total number of buckets this iterator will yield.
@@ -240,34 +270,50 @@ impl<'a> QualifiedBuckets<'a> {
         self.len() == 0
     }
 
-    /// Lending-iterator step: advances to the next qualified bucket and
-    /// returns a view of it, or `None` when exhausted. Use this in hot loops
-    /// to avoid per-bucket allocation.
-    pub fn next_bucket(&mut self) -> Option<&[u64]> {
+    /// Advances the shared cursor; `true` when positioned on a bucket.
+    #[inline]
+    fn step(&mut self) -> bool {
         if self.remaining == 0 {
-            return None;
+            return false;
         }
         if !self.started {
             self.started = true;
             self.remaining -= 1;
-            return Some(&self.current);
+            return true;
         }
         // Odometer increment over unspecified coordinates, last field
-        // fastest.
-        for &field in self.unspecified.iter().rev() {
-            let limit = self.sys.field_size(field);
-            self.current[field] += 1;
-            if self.current[field] < limit {
+        // fastest; the packed code advances in lockstep (add `1 << shift`
+        // to bump a field, clear its bit range on wrap).
+        for d in self.digits.iter().rev() {
+            self.current[d.field] += 1;
+            if self.current[d.field] < d.limit {
+                self.code += 1 << d.shift;
                 self.remaining -= 1;
-                return Some(&self.current);
+                return true;
             }
-            self.current[field] = 0;
+            self.current[d.field] = 0;
+            self.code &= !((d.limit - 1) << d.shift);
         }
         // All digits wrapped: exhausted (remaining bookkeeping guarantees we
         // never reach this with remaining > 0 unless there are zero
         // unspecified fields, which the `started` branch already handled).
         self.remaining = 0;
-        None
+        false
+    }
+
+    /// Lending-iterator step: advances to the next qualified bucket and
+    /// returns a view of it, or `None` when exhausted. Use this in hot loops
+    /// to avoid per-bucket allocation.
+    pub fn next_bucket(&mut self) -> Option<&[u64]> {
+        if self.step() { Some(&self.current) } else { None }
+    }
+
+    /// Packed twin of [`next_bucket`](Self::next_bucket): the next qualified
+    /// bucket's packed code (= its linear index), or `None` when exhausted.
+    /// No tuple is materialised; the code is maintained incrementally, so
+    /// the per-bucket cost is one add (amortised) regardless of arity.
+    pub fn next_code(&mut self) -> Option<u64> {
+        if self.step() { Some(self.code) } else { None }
     }
 }
 
@@ -380,6 +426,60 @@ mod tests {
         }
         assert_eq!(cloned, lent);
         assert_eq!(cloned.len(), 16);
+    }
+
+    /// `next_code` yields exactly `linear_index(next_bucket)` in the same
+    /// order, including across field wraps.
+    #[test]
+    fn next_code_matches_linear_index_of_next_bucket() {
+        let sys = SystemConfig::new(&[4, 2, 8], 8).unwrap();
+        for values in [
+            [None, None, None],
+            [Some(3), None, None],
+            [None, Some(1), None],
+            [None, None, Some(5)],
+            [Some(2), Some(0), Some(7)],
+        ] {
+            let q = PartialMatchQuery::new(&sys, &values).unwrap();
+            let mut by_bucket = Vec::new();
+            let mut it = q.qualified_buckets(&sys);
+            while let Some(b) = it.next_bucket() {
+                by_bucket.push(sys.linear_index(b));
+            }
+            let mut by_code = Vec::new();
+            let mut it = q.qualified_buckets(&sys);
+            while let Some(c) = it.next_code() {
+                by_code.push(c);
+            }
+            assert_eq!(by_bucket, by_code, "query {q}");
+        }
+    }
+
+    /// The two lending steps share one cursor: interleaving them still
+    /// walks `R(q)` exactly once.
+    #[test]
+    fn next_bucket_and_next_code_share_a_cursor() {
+        let sys = sys_2_8_m4();
+        let q = PartialMatchQuery::new(&sys, &[None, None]).unwrap();
+        let mut want = Vec::new();
+        let mut reference = q.qualified_buckets(&sys);
+        while let Some(b) = reference.next_bucket() {
+            want.push(sys.linear_index(b));
+        }
+        let mut it = q.qualified_buckets(&sys);
+        let mut seen = Vec::new();
+        loop {
+            match it.next_bucket() {
+                Some(b) => seen.push(sys.linear_index(b)),
+                None => break,
+            }
+            match it.next_code() {
+                Some(c) => seen.push(c),
+                None => break,
+            }
+        }
+        assert_eq!(seen, want);
+        assert_eq!(seen.len(), 16);
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! power of two) together with the number of parallel devices `M` (also a
 //! power of two). [`SystemConfig`] validates and carries exactly that.
 
-use crate::bits::{is_power_of_two, log2_exact};
+use crate::bits::{is_power_of_two, log2_exact, PackedLayout};
 use crate::error::{Error, Result};
 use std::fmt;
 use std::sync::Arc;
@@ -46,6 +46,9 @@ struct Inner {
     device_bits: u32,
     /// `∏ F_i`.
     total_buckets: u64,
+    /// The packed bucket representation (shifts/masks per field). The
+    /// packed code of a bucket equals its linear index.
+    packed: PackedLayout,
 }
 
 impl SystemConfig {
@@ -76,6 +79,7 @@ impl SystemConfig {
         if offset > 63 {
             return Err(Error::Overflow);
         }
+        let packed = PackedLayout::new(field_sizes)?;
         Ok(SystemConfig {
             inner: Arc::new(Inner {
                 field_sizes: field_sizes.to_vec(),
@@ -84,6 +88,7 @@ impl SystemConfig {
                 devices,
                 device_bits,
                 total_buckets: total,
+                packed,
             }),
         })
     }
@@ -170,11 +175,21 @@ impl SystemConfig {
         Ok(())
     }
 
+    /// The packed bucket representation: per-field shift/mask pairs over
+    /// the dense linear index. The packed code of a bucket **is** its
+    /// linear index, so device stores keyed by linear index need no
+    /// translation to work with packed codes.
+    #[inline]
+    pub fn packed_layout(&self) -> &PackedLayout {
+        &self.inner.packed
+    }
+
     /// Linearises a bucket tuple into a dense index in `[0, total_buckets)`.
     ///
     /// Because every `F_i` is a power of two the linear index is a plain bit
     /// concatenation: field 0 occupies the lowest `log2 F_0` bits, field 1
-    /// the next `log2 F_1` bits, and so on.
+    /// the next `log2 F_1` bits, and so on — i.e. the index is exactly the
+    /// [`PackedLayout::pack`] code.
     #[inline]
     pub fn linear_index(&self, bucket: &[u64]) -> u64 {
         debug_assert_eq!(bucket.len(), self.num_fields());
@@ -309,6 +324,21 @@ mod tests {
             }
         }
         assert_eq!(seen.len() as u64, sys.total_buckets());
+    }
+
+    /// The packed code equals the linear index for every bucket.
+    #[test]
+    fn packed_layout_is_the_linear_index() {
+        let sys = SystemConfig::new(&[4, 2, 8], 16).unwrap();
+        let layout = sys.packed_layout();
+        let mut buf = Vec::new();
+        for idx in sys.all_indices() {
+            sys.decode_index(idx, &mut buf);
+            assert_eq!(layout.pack(&buf), idx);
+            assert_eq!(layout.pack(&buf), sys.linear_index(&buf));
+            assert_eq!(layout.unpack(idx), buf);
+        }
+        assert_eq!(layout.total_bits(), 2 + 1 + 3);
     }
 
     #[test]

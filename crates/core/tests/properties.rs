@@ -270,6 +270,26 @@ rt_proptest! {
         }
     }
 
+    /// The per-field transform tables precomputed at `FxDistribution`
+    /// construction agree with the closed-form `Transform::apply` on every
+    /// field value, and the packed device path agrees with the tuple path
+    /// on every bucket — the table microfix and packed layout are lossless.
+    fn transform_tables_match_closed_form(src) {
+        let fx = gen_fx(src);
+        let sys = fx.system().clone();
+        for i in 0..sys.num_fields() {
+            let t = fx.assignment().transform(i);
+            for v in 0..sys.field_size(i) {
+                assert_eq!(fx.apply_field(i, v), t.apply(v), "{sys} field {i} value {v}");
+            }
+        }
+        let mut buf = Vec::new();
+        for code in sys.all_indices() {
+            sys.decode_index(code, &mut buf);
+            assert_eq!(fx.device_of_packed(code), fx.device_of(&buf), "{sys} code {code}");
+        }
+    }
+
     /// Devices returned by FX are always in range, and the histogram always
     /// sums to |R(q)|.
     fn histogram_conservation(src) {

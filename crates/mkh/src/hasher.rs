@@ -148,6 +148,39 @@ impl MultiKeyHash {
             .collect()
     }
 
+    /// `H(r)` as a packed bucket code (see
+    /// [`SystemConfig::packed_layout`][pmr_core::SystemConfig::packed_layout]):
+    /// each field's hash lands directly in its bit range, no tuple `Vec`
+    /// allocated. Equals `system().linear_index(&bucket_of(r)?)`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Self::bucket_of`].
+    pub fn bucket_code_of(&self, record: &Record) -> Result<u64> {
+        let values = record.values();
+        if values.len() != self.schema.num_fields() {
+            return Err(MkhError::RecordArity {
+                expected: self.schema.num_fields(),
+                got: values.len(),
+            });
+        }
+        let layout = self.schema.system().packed_layout();
+        let mut code = 0u64;
+        for (i, ((v, f), h)) in
+            values.iter().zip(self.schema.fields()).zip(&self.hashers).enumerate()
+        {
+            if !f.ty.admits(v) {
+                return Err(MkhError::TypeMismatch {
+                    field: f.name.clone(),
+                    expected: f.ty.name(),
+                    got: v.type_name(),
+                });
+            }
+            code |= h.field_value(v) << layout.shift(i);
+        }
+        Ok(code)
+    }
+
     /// Builds a [`PartialMatchQuery`] from named specifications: fields in
     /// `specs` are constrained to the hash class of their value, the rest
     /// are unspecified.
@@ -251,6 +284,29 @@ mod tests {
         let bad_type = Record::new(vec![Value::Int(1), Value::Int(3)]);
         assert!(matches!(
             mkh.bucket_of(&bad_type).unwrap_err(),
+            MkhError::TypeMismatch { .. }
+        ));
+    }
+
+    /// The packed code agrees with packing the tuple, and fails on the
+    /// same invalid records.
+    #[test]
+    fn bucket_code_matches_linear_index() {
+        let mkh = MultiKeyHash::new(schema(), 9);
+        let sys = mkh.schema().system().clone();
+        for i in 0..50i64 {
+            let r = Record::new(vec![format!("r{i}").as_str().into(), Value::Int(i)]);
+            let bucket = mkh.bucket_of(&r).unwrap();
+            assert_eq!(mkh.bucket_code_of(&r).unwrap(), sys.linear_index(&bucket));
+        }
+        let bad_arity = Record::new(vec!["x".into()]);
+        assert!(matches!(
+            mkh.bucket_code_of(&bad_arity).unwrap_err(),
+            MkhError::RecordArity { expected: 2, got: 1 }
+        ));
+        let bad_type = Record::new(vec![Value::Int(1), Value::Int(3)]);
+        assert!(matches!(
+            mkh.bucket_code_of(&bad_type).unwrap_err(),
             MkhError::TypeMismatch { .. }
         ));
     }

@@ -99,6 +99,13 @@ impl Group {
         self
     }
 
+    /// Overrides the warmup iteration count (zero is allowed — smoke
+    /// tests run benches with no warmup at all).
+    pub fn warmup(mut self, warmup: usize) -> Self {
+        self.warmup = warmup;
+        self
+    }
+
     /// Runs one benchmark: `warmup` untimed iterations, then `iters` timed
     /// ones. `f` returns a checksum; see the module docs.
     pub fn bench<F: FnMut() -> u64>(&mut self, name: &str, mut f: F) -> &Stats {
@@ -175,6 +182,18 @@ mod tests {
         assert!(json.starts_with("{\"bench\":\"selftest/sum\""));
         assert!(json.contains("\"checksum\":499500"));
         assert_eq!(group.results().len(), 1);
+    }
+
+    #[test]
+    fn warmup_override_is_respected() {
+        let mut calls = 0u64;
+        let mut group = Group::new("warmup").iters(3).warmup(0);
+        group.bench("count", || {
+            calls += 1;
+            calls
+        });
+        // No warmup: exactly the timed iterations ran.
+        assert_eq!(calls, 3);
     }
 
     #[test]

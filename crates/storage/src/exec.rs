@@ -7,13 +7,30 @@
 //! assumption (§5.2.1): "the response time for a partial match query is
 //! determined by the device which has the largest number of qualified
 //! buckets". Worker panics propagate to the caller through the pool.
+//!
+//! Two inverse mappings back the executor:
+//!
+//! * the **generic scan** ([`execute_parallel_scan`]) — every device
+//!   enumerates all of `R(q)` by packed code and keeps its own buckets:
+//!   `O(M · |R(q)|)` address computations in total, for any
+//!   [`DistributionMethod`];
+//! * the **FX fast path** ([`execute_parallel_fx`]) — each device asks
+//!   [`FxInverse`] for exactly the codes it owns: `O(|R(q)|)` in total.
+//!
+//! [`execute_parallel`] picks automatically: files declustered by an
+//! [`FxDistribution`] (detected via
+//! [`DistributionMethod::as_fx`]) take the fast path, everything else
+//! falls back to the scan. Results are identical either way — only
+//! `addresses_computed` differs.
 
 use crate::cost::CostModel;
+use crate::device::Device;
 use crate::file::{DeclusteredFile, FileError};
-use pmr_core::inverse::{scan_device_buckets, FxInverse};
+use pmr_core::inverse::{for_each_device_code, FxInverse};
 use pmr_core::method::DistributionMethod;
-use pmr_core::PartialMatchQuery;
+use pmr_core::{FxDistribution, PartialMatchQuery, SystemConfig};
 use pmr_mkh::Record;
+use std::sync::Arc;
 
 /// Per-device outcome of one query execution.
 #[derive(Debug, Clone, PartialEq)]
@@ -49,9 +66,16 @@ pub struct ExecutionReport {
 }
 
 impl ExecutionReport {
-    /// Parallel speedup over a serial scan of the same buckets.
+    /// Parallel speedup over a serial scan of the same buckets:
+    /// `serial / parallel`.
+    ///
+    /// A truly empty execution (both times zero) reports `1.0` — nothing
+    /// was done, nothing was sped up. A zero parallel time with nonzero
+    /// serial time yields `f64::INFINITY` (the true ratio), which can only
+    /// arise from externally constructed reports: with our aggregation,
+    /// `max = 0` over non-negative device times forces `sum = 0`.
     pub fn speedup(&self) -> f64 {
-        if self.simulated_response_us == 0.0 {
+        if self.simulated_serial_us == 0.0 {
             1.0
         } else {
             self.simulated_serial_us / self.simulated_response_us
@@ -64,25 +88,11 @@ impl ExecutionReport {
     }
 }
 
-/// Executes `query` against `file` with one worker per device.
-///
-/// The inverse mapping is the generic per-device scan over `R(q)` —
-/// correct for every [`DistributionMethod`]. (An FX-specialised executor
-/// exploiting [`pmr_core::inverse::FxInverse`] is benchmarked separately
-/// in `pmr-bench`; results are identical, only address-computation counts
-/// differ.)
-pub fn execute_parallel<D: DistributionMethod>(
-    file: &DeclusteredFile<D>,
-    query: &PartialMatchQuery,
-    cost: &CostModel,
+/// Assembles per-worker results into an [`ExecutionReport`].
+fn collect_report(
+    results: Vec<Result<(DeviceReport, Vec<Record>), FileError>>,
+    m: u64,
 ) -> Result<ExecutionReport, FileError> {
-    let sys = file.system();
-    let m = sys.devices();
-    let total_qualified = query.qualified_count_in(sys);
-
-    let results: Vec<Result<(DeviceReport, Vec<Record>), FileError>> =
-        pmr_rt::pool::scope_map(0..m, |device| device_worker(file, query, device, cost));
-
     let mut per_device = Vec::with_capacity(m as usize);
     let mut records = Vec::new();
     for r in results {
@@ -95,10 +105,6 @@ pub fn execute_parallel<D: DistributionMethod>(
     let simulated_response_us =
         per_device.iter().map(|d| d.simulated_us).fold(0.0f64, f64::max);
     let simulated_serial_us: f64 = per_device.iter().map(|d| d.simulated_us).sum();
-    debug_assert_eq!(
-        per_device.iter().map(|d| d.qualified_buckets).sum::<u64>(),
-        total_qualified
-    );
     Ok(ExecutionReport {
         per_device,
         records,
@@ -108,38 +114,100 @@ pub fn execute_parallel<D: DistributionMethod>(
     })
 }
 
-/// Executes `query` against an FX-declustered file using the
-/// residue-indexed fast inverse mapping ([`FxInverse`]).
+/// Executes `query` against `file` with one worker per device, using the
+/// cheapest inverse mapping the file's method supports.
 ///
-/// Functionally identical to [`execute_parallel`], but each device worker
-/// enumerates only the buckets it owns: the per-device address work drops
-/// from `|R(q)|` to `|R(q)|/M + F_pivot` — the difference the paper's
-/// "complexity of distribution method should be an important criterion
-/// for main memory database systems" remark is about. The reported
-/// `addresses_computed` reflects the cheaper path.
-pub fn execute_parallel_fx(
-    file: &DeclusteredFile<pmr_core::FxDistribution>,
+/// FX-declustered files (any method whose
+/// [`DistributionMethod::as_fx`] returns `Some`) are dispatched onto the
+/// residue-indexed fast inverse ([`FxInverse`]); all other methods use
+/// the generic packed scan. The two paths return identical reports apart
+/// from `addresses_computed` — the equivalence property suite pins this.
+pub fn execute_parallel<D: DistributionMethod>(
+    file: &DeclusteredFile<D>,
+    query: &PartialMatchQuery,
+    cost: &CostModel,
+) -> Result<ExecutionReport, FileError> {
+    match file.method().as_fx() {
+        Some(fx) => run_fx(file.devices(), file.system(), fx, query, cost),
+        None => execute_parallel_scan(file, query, cost),
+    }
+}
+
+/// Executes `query` with the generic per-device scan over `R(q)`,
+/// regardless of the file's method — correct for every
+/// [`DistributionMethod`], at `O(M · |R(q)|)` total address computations.
+///
+/// [`execute_parallel`] already picks the cheapest path; this entry point
+/// exists so benchmarks and equivalence tests can measure the scan on
+/// files whose method *would* qualify for the fast path.
+pub fn execute_parallel_scan<D: DistributionMethod>(
+    file: &DeclusteredFile<D>,
     query: &PartialMatchQuery,
     cost: &CostModel,
 ) -> Result<ExecutionReport, FileError> {
     let sys = file.system();
     let m = sys.devices();
-    let inverse = FxInverse::new(file.method(), query);
+    let total_qualified = query.qualified_count_in(sys);
+
+    let results: Vec<Result<(DeviceReport, Vec<Record>), FileError>> =
+        pmr_rt::pool::scope_map(0..m, |device| device_worker(file, query, device, cost));
+
+    let report = collect_report(results, m)?;
+    debug_assert_eq!(
+        report.per_device.iter().map(|d| d.qualified_buckets).sum::<u64>(),
+        total_qualified
+    );
+    Ok(report)
+}
+
+/// Executes `query` against an FX-declustered file using the
+/// residue-indexed fast inverse mapping ([`FxInverse`]).
+///
+/// Functionally identical to [`execute_parallel_scan`], but each device
+/// worker enumerates only the buckets it owns: the per-device address work
+/// drops from `|R(q)|` to `|R(q)|/F_pivot + r_i(q)` — the difference the
+/// paper's "complexity of distribution method should be an important
+/// criterion for main memory database systems" remark is about. The
+/// reported `addresses_computed` reflects the cheaper path.
+pub fn execute_parallel_fx(
+    file: &DeclusteredFile<FxDistribution>,
+    query: &PartialMatchQuery,
+    cost: &CostModel,
+) -> Result<ExecutionReport, FileError> {
+    run_fx(file.devices(), file.system(), file.method(), query, cost)
+}
+
+/// The FX fast path, shared by [`execute_parallel_fx`] and the
+/// [`execute_parallel`] dispatcher.
+fn run_fx(
+    devices: &[Arc<Device>],
+    sys: &SystemConfig,
+    fx: &FxDistribution,
+    query: &PartialMatchQuery,
+    cost: &CostModel,
+) -> Result<ExecutionReport, FileError> {
+    let m = sys.devices();
+    let inverse = FxInverse::new(fx, query);
     let inverse = &inverse;
+    // Address work per device: one residue-class lookup per free-field
+    // combination, plus each owned bucket.
+    let free_combos = match inverse.plan().pivot() {
+        Some(p) => query.qualified_count_in(sys) / sys.field_size(p),
+        None => 1,
+    };
 
     let results: Vec<Result<(DeviceReport, Vec<Record>), FileError>> =
         pmr_rt::pool::scope_map(0..m, |device| {
-            let dev = &file.devices()[device as usize];
+            let dev = &devices[device as usize];
             let mut records = Vec::new();
             let mut qualified_buckets = 0u64;
             let mut decode_error = None;
-            inverse.for_each_bucket_on(device, |bucket| {
+            inverse.for_each_code_on(device, |code| {
                 if decode_error.is_some() {
                     return;
                 }
                 qualified_buckets += 1;
-                let index = sys.linear_index(bucket);
-                match dev.read_bucket(index) {
+                match dev.read_bucket(code) {
                     Ok(recs) => records.extend(recs),
                     Err(e) => decode_error = Some(e),
                 }
@@ -147,9 +215,7 @@ pub fn execute_parallel_fx(
             if let Some(e) = decode_error {
                 return Err(FileError::Decode(e));
             }
-            // Address work: one residue lookup per free-field
-            // combination plus the owned buckets themselves.
-            let addresses_computed = qualified_buckets.max(1);
+            let addresses_computed = free_combos + qualified_buckets;
             let simulated_us = cost.device_time_us(qualified_buckets, addresses_computed);
             Ok((
                 DeviceReport {
@@ -163,28 +229,12 @@ pub fn execute_parallel_fx(
             ))
         });
 
-    let mut per_device = Vec::with_capacity(m as usize);
-    let mut records = Vec::new();
-    for r in results {
-        let (report, mut recs) = r?;
-        per_device.push(report);
-        records.append(&mut recs);
-    }
-    per_device.sort_by_key(|d| d.device);
-    let largest_response = per_device.iter().map(|d| d.qualified_buckets).max().unwrap_or(0);
-    let simulated_response_us =
-        per_device.iter().map(|d| d.simulated_us).fold(0.0f64, f64::max);
-    let simulated_serial_us: f64 = per_device.iter().map(|d| d.simulated_us).sum();
-    Ok(ExecutionReport {
-        per_device,
-        records,
-        largest_response,
-        simulated_response_us,
-        simulated_serial_us,
-    })
+    collect_report(results, m)
 }
 
-/// The per-device worker: inverse mapping + bucket reads.
+/// The generic per-device worker: packed inverse scan + bucket reads.
+/// Allocation-free enumeration — qualified buckets stream through as
+/// packed codes (which are the device page keys), no tuple `Vec`s.
 fn device_worker<D: DistributionMethod>(
     file: &DeclusteredFile<D>,
     query: &PartialMatchQuery,
@@ -196,14 +246,23 @@ fn device_worker<D: DistributionMethod>(
     // and keep ours. (|R(q)| address computations per device — exactly the
     // inverse-mapping cost the paper's §5.2.2 worries about.)
     let addresses_computed = query.qualified_count_in(sys);
-    let mine = scan_device_buckets(file.method(), sys, query, device);
     let dev = &file.devices()[device as usize];
     let mut records = Vec::new();
-    for bucket in &mine {
-        let index = sys.linear_index(bucket);
-        records.extend(dev.read_bucket(index)?);
+    let mut qualified_buckets = 0u64;
+    let mut decode_error = None;
+    for_each_device_code(file.method(), sys, query, device, |code| {
+        if decode_error.is_some() {
+            return;
+        }
+        qualified_buckets += 1;
+        match dev.read_bucket(code) {
+            Ok(recs) => records.extend(recs),
+            Err(e) => decode_error = Some(e),
+        }
+    });
+    if let Some(e) = decode_error {
+        return Err(FileError::Decode(e));
     }
-    let qualified_buckets = mine.len() as u64;
     let simulated_us = cost.device_time_us(qualified_buckets, addresses_computed);
     Ok((
         DeviceReport {
@@ -268,11 +327,32 @@ mod tests {
         let file = build_file(2000);
         let q = file.query(&[]).unwrap(); // full scan: 64 buckets
         let cost = CostModel { seek_us: 0.0, transfer_us_per_bucket: 1.0, cpu_us_per_address: 0.0 };
-        let report = execute_parallel(&file, &q, &cost).unwrap();
+        let report = execute_parallel_scan(&file, &q, &cost).unwrap();
         // Perfectly balanced 64 buckets over 4 devices: speedup 4.
         assert!((report.speedup() - 4.0).abs() < 1e-9, "speedup {}", report.speedup());
         assert_eq!(report.simulated_response_us, 16.0);
         assert_eq!(report.simulated_serial_us, 64.0);
+    }
+
+    /// `speedup` handles the degenerate time combinations: all-zero is a
+    /// no-op (1.0), and a hand-built report with serial work but zero
+    /// parallel time yields the true ratio (+∞), never a bogus 1.0.
+    #[test]
+    fn speedup_degenerate_times() {
+        let empty = ExecutionReport {
+            per_device: Vec::new(),
+            records: Vec::new(),
+            largest_response: 0,
+            simulated_response_us: 0.0,
+            simulated_serial_us: 0.0,
+        };
+        assert_eq!(empty.speedup(), 1.0);
+        let inconsistent = ExecutionReport {
+            simulated_response_us: 0.0,
+            simulated_serial_us: 3.5,
+            ..empty
+        };
+        assert_eq!(inconsistent.speedup(), f64::INFINITY);
     }
 
     #[test]
@@ -280,7 +360,7 @@ mod tests {
         let file = build_file(800);
         for specs in [vec![("cat", Value::Int(5))], vec![], vec![("k", Value::Int(2))]] {
             let q = file.query(&specs).unwrap();
-            let generic = execute_parallel(&file, &q, &CostModel::main_memory()).unwrap();
+            let generic = execute_parallel_scan(&file, &q, &CostModel::main_memory()).unwrap();
             let fx_exec = execute_parallel_fx(&file, &q, &CostModel::main_memory()).unwrap();
             assert_eq!(generic.histogram(), fx_exec.histogram());
             assert_eq!(generic.largest_response, fx_exec.largest_response);
@@ -295,6 +375,29 @@ mod tests {
             let fx_addr: u64 =
                 fx_exec.per_device.iter().map(|d| d.addresses_computed).sum();
             assert!(fx_addr <= generic_addr);
+        }
+    }
+
+    /// `execute_parallel` on an FX file takes the fast path: total address
+    /// work is `O(|R(q)|)` (bounded here by `2·|R(q)|`), while the forced
+    /// scan pays the full `M · |R(q)|`.
+    #[test]
+    fn execute_parallel_dispatches_fx_fast_path() {
+        let file = build_file(800);
+        let m = file.system().devices();
+        for specs in [vec![("cat", Value::Int(5))], vec![], vec![("k", Value::Int(2))]] {
+            let q = file.query(&specs).unwrap();
+            let rq = q.qualified_count_in(file.system());
+            let auto = execute_parallel(&file, &q, &CostModel::main_memory()).unwrap();
+            let scan = execute_parallel_scan(&file, &q, &CostModel::main_memory()).unwrap();
+            let auto_addr: u64 = auto.per_device.iter().map(|d| d.addresses_computed).sum();
+            let scan_addr: u64 = scan.per_device.iter().map(|d| d.addresses_computed).sum();
+            assert_eq!(scan_addr, m * rq, "scan is O(M·|R(q)|)");
+            assert!(
+                auto_addr <= 2 * rq,
+                "dispatcher did not take the fast path: {auto_addr} addresses for |R(q)| = {rq}"
+            );
+            assert_eq!(auto.histogram(), scan.histogram());
         }
     }
 
@@ -314,7 +417,7 @@ mod tests {
         file.devices()[device as usize].inject_corruption(index, &[0xff; 7]);
         let q = file.query(&[]).unwrap();
         assert!(matches!(
-            execute_parallel(&file, &q, &CostModel::main_memory()),
+            execute_parallel_scan(&file, &q, &CostModel::main_memory()),
             Err(crate::file::FileError::Decode(_))
         ));
         assert!(matches!(

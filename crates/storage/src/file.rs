@@ -136,15 +136,14 @@ impl<D: DistributionMethod> DeclusteredFile<D> {
         self.record_count
     }
 
-    /// Inserts a record: multi-key hash → bucket → device → append.
-    /// Returns the `(bucket, device)` placement.
+    /// Inserts a record: multi-key hash → packed bucket code → device →
+    /// append. Returns the `(bucket, device)` placement.
     pub fn insert(&mut self, record: Record) -> Result<(Vec<u64>, u64), FileError> {
-        let bucket = self.mkh.bucket_of(&record)?;
-        let device = self.method.device_of(&bucket);
-        let index = self.system().linear_index(&bucket);
-        self.devices[device as usize].append(index, &record);
+        let code = self.mkh.bucket_code_of(&record)?;
+        let device = self.method.device_of_packed(code);
+        self.devices[device as usize].append(code, &record);
         self.record_count += 1;
-        Ok((bucket, device))
+        Ok((self.system().packed_layout().unpack(code), device))
     }
 
     /// Bulk insert.
@@ -170,12 +169,13 @@ impl<D: DistributionMethod> DeclusteredFile<D> {
     pub fn insert_all_parallel(&mut self, records: Vec<Record>) -> Result<u64, FileError> {
         let sys = self.system().clone();
         let m = sys.devices() as usize;
-        // Phase 1 (serial): hash + route. Fails before any mutation.
+        // Phase 1 (serial): hash + route by packed code. Fails before any
+        // mutation.
         let mut routed: Vec<Vec<(u64, Record)>> = vec![Vec::new(); m];
         for record in records {
-            let bucket = self.mkh.bucket_of(&record)?;
-            let device = self.method.device_of(&bucket) as usize;
-            routed[device].push((sys.linear_index(&bucket), record));
+            let code = self.mkh.bucket_code_of(&record)?;
+            let device = self.method.device_of_packed(code) as usize;
+            routed[device].push((code, record));
         }
         // Phase 2 (parallel): per-device appends.
         let total: u64 = routed.iter().map(|v| v.len() as u64).sum();
@@ -277,10 +277,9 @@ impl<D: DistributionMethod> DeclusteredFile<D> {
         let sys = self.system();
         let mut out = Vec::new();
         let mut it = query.qualified_buckets(sys);
-        while let Some(bucket) = it.next_bucket() {
-            let device = self.method.device_of(bucket);
-            let index = sys.linear_index(bucket);
-            out.extend(self.devices[device as usize].read_bucket(index)?);
+        while let Some(code) = it.next_code() {
+            let device = self.method.device_of_packed(code);
+            out.extend(self.devices[device as usize].read_bucket(code)?);
         }
         Ok(out)
     }

@@ -34,14 +34,17 @@ pub struct LocalBucketIndex {
 
 impl LocalBucketIndex {
     /// Builds the index from a device's resident buckets.
+    ///
+    /// Bucket keys are packed codes (see [`SystemConfig::packed_layout`]),
+    /// so field values come straight out of each key's bit ranges — no
+    /// tuple decoding.
     pub fn build(sys: &SystemConfig, device: &Device) -> Self {
         let mut postings: HashMap<(usize, u64), Vec<u64>> = HashMap::new();
         let all = device.resident_buckets();
-        let mut coords = Vec::new();
+        let layout = sys.packed_layout();
         for &bucket in &all {
-            sys.decode_index(bucket, &mut coords);
-            for (field, &value) in coords.iter().enumerate() {
-                postings.entry((field, value)).or_default().push(bucket);
+            for field in 0..layout.num_fields() {
+                postings.entry((field, layout.field(bucket, field))).or_default().push(bucket);
             }
         }
         // resident_buckets() is sorted, so postings inherit sortedness.
@@ -90,7 +93,7 @@ impl LocalBucketIndex {
 mod tests {
     use super::*;
     use crate::file::DeclusteredFile;
-    use pmr_core::inverse::scan_device_buckets;
+    use pmr_core::inverse::for_each_device_code;
     use pmr_core::FxDistribution;
     use pmr_mkh::{FieldType, Record, Schema, Value};
 
@@ -136,12 +139,12 @@ mod tests {
                 // resident.
                 let resident: std::collections::HashSet<u64> =
                     device.resident_buckets().into_iter().collect();
-                let mut via_global: Vec<u64> =
-                    scan_device_buckets(file.method(), &sys, &q, device.id())
-                        .into_iter()
-                        .map(|b| sys.linear_index(&b))
-                        .filter(|idx| resident.contains(idx))
-                        .collect();
+                let mut via_global = Vec::new();
+                for_each_device_code(file.method(), &sys, &q, device.id(), |code| {
+                    if resident.contains(&code) {
+                        via_global.push(code);
+                    }
+                });
                 via_global.sort_unstable();
                 assert_eq!(via_index, via_global, "device {} query {q}", device.id());
             }

@@ -1,0 +1,92 @@
+//! Smoke-runs the full `bench_all` suite in fast mode on every
+//! `cargo test`: each group executes end-to-end with tiny workloads, the
+//! emitted stats round-trip through the JSON-lines format, and every
+//! expected `group/name` pair is present. This keeps the bench binaries
+//! from rotting between (manual) baseline runs.
+
+use pmr_bench::suite::{run_all, write_baselines, SuiteOpts};
+
+/// Minimal JSON-lines sanity check: one object per line with the fields
+/// the `pmr_rt::bench::Stats::to_json` schema promises. (No JSON parser
+/// in-tree; the format is flat and machine-written, so field probes are
+/// exact.)
+fn assert_json_line(line: &str) {
+    assert!(line.starts_with("{\"bench\":\""), "not a stats object: {line}");
+    assert!(line.ends_with('}'), "unterminated object: {line}");
+    for key in ["\"bench\":", "\"iters\":", "\"median_ns\":", "\"p95_ns\":", "\"mean_ns\":", "\"min_ns\":", "\"max_ns\":", "\"checksum\":"] {
+        assert!(line.contains(key), "missing {key} in {line}");
+    }
+}
+
+#[test]
+fn bench_all_fast_mode_produces_every_group() {
+    let files = run_all(&SuiteOpts::smoke());
+    assert_eq!(files.len(), 2);
+    assert_eq!(files[0].name, "BENCH_core.json");
+    assert_eq!(files[1].name, "BENCH_exec.json");
+
+    let expected_core = [
+        "addr_compute/modulo",
+        "addr_compute/gdm1",
+        "addr_compute/fx_basic",
+        "addr_compute/fx_iu1",
+        "addr_compute/fx_iu2",
+        "addr_compute/random",
+        "transform_apply/identity",
+        "transform_apply/u",
+        "transform_apply/iu1",
+        "transform_apply/iu2",
+        "transform_invert/identity",
+        "transform_invert/u",
+        "transform_invert/iu1",
+        "transform_invert/iu2",
+        "inverse_mapping/fx_fast_all_devices",
+        "inverse_mapping/generic_scan_all_devices",
+        "packed_vs_vec/vec_scan_all_devices",
+        "packed_vs_vec/packed_scan_all_devices",
+        "packed_vs_vec/packed_fx_fast_all_devices",
+    ];
+    let expected_exec = [
+        "bulk_insert/fx_auto",
+        "bulk_insert/modulo",
+        "query_exec/fx_generic_executor",
+        "query_exec/fx_fast_executor",
+        "query_exec/modulo_generic_executor",
+        "query_exec/fx_serial_reference",
+        "exec_fast_path/dispatch_narrow",
+        "exec_fast_path/scan_narrow",
+        "exec_fast_path/dispatch_wide",
+        "exec_fast_path/scan_wide",
+    ];
+    for (file, expected) in files.iter().zip([&expected_core[..], &expected_exec[..]]) {
+        let names: Vec<&str> = file.stats.iter().map(|s| s.bench.as_str()).collect();
+        assert_eq!(names, expected.to_vec(), "{} group set changed", file.name);
+        for s in &file.stats {
+            assert_json_line(&s.to_json());
+            assert!(s.median_ns.is_finite() && s.median_ns >= 0.0);
+        }
+    }
+
+    // All three packed_vs_vec variants count the same qualified buckets.
+    let pvv: Vec<u64> = files[0]
+        .stats
+        .iter()
+        .filter(|s| s.bench.starts_with("packed_vs_vec/"))
+        .map(|s| s.checksum)
+        .collect();
+    assert_eq!(pvv, vec![512, 512, 512]);
+
+    // Baseline files write as valid JSON lines.
+    let dir = std::env::temp_dir().join("pmr_bench_smoke");
+    std::fs::create_dir_all(&dir).unwrap();
+    let written = write_baselines(&files, &dir).unwrap();
+    assert_eq!(written.len(), 2);
+    for path in written {
+        let content = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = content.lines().collect();
+        assert!(!lines.is_empty());
+        for line in lines {
+            assert_json_line(line);
+        }
+    }
+}
