@@ -335,6 +335,65 @@ pub fn exec_fast_path(opts: &SuiteOpts) -> Group {
     group
 }
 
+/// Observability overhead: the disabled-path cost of `span!` and
+/// `counter_add` (the contract is one relaxed atomic load + early
+/// return), against the enabled memory-sink path and a raw atomic load
+/// floor for scale.
+pub fn obs_overhead(opts: &SuiteOpts) -> Group {
+    use pmr_rt::obs::{self, TraceConfig};
+    let per_iter = opts.scaled(4096, 64);
+
+    let mut group = opts.group("obs_overhead");
+
+    // Floor: the cheapest conceivable guard, one relaxed atomic load.
+    let flag = std::sync::atomic::AtomicU8::new(1);
+    group.bench("atomic_load_floor", || {
+        let mut acc = 0u64;
+        for _ in 0..per_iter {
+            acc += black_box(&flag).load(std::sync::atomic::Ordering::Relaxed) as u64;
+        }
+        acc
+    });
+
+    obs::install(TraceConfig::Off).expect("off sink installs");
+    group.bench("span_disabled", || {
+        let mut acc = 0u64;
+        for i in 0..per_iter as u64 {
+            let span = pmr_rt::span!("bench.obs", i = black_box(i));
+            acc += span.is_recording() as u64;
+        }
+        acc
+    });
+    group.bench("counter_disabled", || {
+        for i in 0..per_iter as u64 {
+            obs::counter_add("bench.obs.counter", black_box(i) & 1);
+        }
+        obs::counter_total("bench.obs.counter")
+    });
+
+    obs::install(TraceConfig::Memory).expect("memory sink installs");
+    group.bench("span_enabled_memory", || {
+        let mut acc = 0u64;
+        for i in 0..per_iter as u64 {
+            let span = pmr_rt::span!("bench.obs", i = black_box(i));
+            acc += span.is_recording() as u64;
+        }
+        obs::drain_events();
+        acc
+    });
+    group.bench("counter_enabled_memory", || {
+        for i in 0..per_iter as u64 {
+            obs::counter_add("bench.obs.counter", black_box(i) & 1);
+        }
+        obs::counter_total("bench.obs.counter")
+    });
+
+    // Leave tracing off so later groups time the production default.
+    obs::install(TraceConfig::Off).expect("off sink installs");
+    obs::reset();
+    group
+}
+
 /// One baseline file of the `bench_all` run: output file name plus the
 /// stats of every group it records.
 pub struct BaselineFile {
@@ -362,6 +421,7 @@ pub fn run_all(opts: &SuiteOpts) -> Vec<BaselineFile> {
     exec_stats.extend_from_slice(bulk_insert(opts).results());
     exec_stats.extend_from_slice(query_exec(opts).results());
     exec_stats.extend_from_slice(exec_fast_path(opts).results());
+    exec_stats.extend_from_slice(obs_overhead(opts).results());
 
     vec![
         BaselineFile { name: "BENCH_core.json", stats: core_stats },

@@ -14,11 +14,16 @@ USAGE:
       Report certified and measured optimality per unspecified-field count.
 
   pmr simulate --fields F1,F2,... --devices M --records N [--seed K]
+               [--trace T] [--json]
       Build a synthetic declustered file and execute sample queries in
       parallel, reporting balance and simulated speedup.
 
-  pmr experiment <table1..table9|figure1..figure4|all>
+  pmr experiment <table1..table9|figure1..figure4|all> [--trace T]
       Regenerate a table/figure of the paper's evaluation.
+
+  pmr stats <trace.jsonl>
+      Aggregate a JSON-lines trace (recorded via --trace or PMR_TRACE)
+      into per-span, per-device, and per-counter tables.
 
   pmr optimize --fields F1,F2,... --devices M [--steps N] [--seed K]
       Anneal generalized-FX transformation tables beyond the paper's
@@ -40,15 +45,22 @@ OPTIONS:
   --seed      RNG seed (simulate/optimize; default 42)
   --steps     annealing steps (optimize; default 2000)
   --probs     comma-separated per-field specification probabilities
-  --bits      total directory bits (design; default 12)";
+  --bits      total directory bits (design; default 12)
+  --trace     trace sink: a file path or 'stderr' (records spans/metrics
+              as JSON lines; PMR_TRACE sets the same thing globally)
+  --json      machine-readable JSON-lines output (simulate)";
 
 /// Parsed `--flag value` pairs.
 pub struct Flags<'a> {
     pairs: Vec<(&'a str, &'a str)>,
 }
 
+/// Flags that take no value; present means `true`.
+const BOOLEAN_FLAGS: [&str; 1] = ["json"];
+
 impl<'a> Flags<'a> {
-    /// Parses `--name value` pairs; rejects stray arguments.
+    /// Parses `--name value` pairs (and bare boolean flags like
+    /// `--json`); rejects stray arguments.
     pub fn parse(args: &'a [String]) -> Result<Self, String> {
         let mut pairs = Vec::new();
         let mut it = args.iter();
@@ -56,12 +68,21 @@ impl<'a> Flags<'a> {
             let Some(name) = flag.strip_prefix("--") else {
                 return Err(format!("unexpected argument {flag:?}"));
             };
+            if BOOLEAN_FLAGS.contains(&name) {
+                pairs.push((name, "true"));
+                continue;
+            }
             let Some(value) = it.next() else {
                 return Err(format!("flag --{name} needs a value"));
             };
             pairs.push((name, value.as_str()));
         }
         Ok(Flags { pairs })
+    }
+
+    /// `true` when a boolean flag (e.g. `--json`) was given.
+    pub fn has(&self, name: &str) -> bool {
+        self.get(name).is_some()
     }
 
     /// The raw value of a flag, if present.
@@ -128,6 +149,18 @@ mod tests {
         assert_eq!(f.u64_or("seed", 42).unwrap(), 7);
         assert_eq!(f.u64_or("records", 100).unwrap(), 100);
         assert_eq!(f.strategy().unwrap(), pmr_core::AssignmentStrategy::TheoremNine);
+        assert!(!f.has("json"));
+    }
+
+    /// `--json` is a bare boolean flag: it consumes no value, so flags
+    /// after it still parse.
+    #[test]
+    fn parses_boolean_flags() {
+        let args = argv(&["--json", "--seed", "9", "--trace", "out.jsonl"]);
+        let f = Flags::parse(&args).unwrap();
+        assert!(f.has("json"));
+        assert_eq!(f.u64_or("seed", 42).unwrap(), 9);
+        assert_eq!(f.get("trace"), Some("out.jsonl"));
     }
 
     #[test]

@@ -11,10 +11,22 @@ use pmr_mkh::{FieldType, Record, Schema, Value};
 use pmr_storage::exec::execute_parallel;
 use pmr_storage::metrics::BalanceMetrics;
 use pmr_storage::{CostModel, DeclusteredFile};
+use pmr_rt::obs::{self, TraceConfig};
 use pmr_rt::Rng;
 
 fn system_from(flags: &Flags<'_>) -> Result<SystemConfig, String> {
     SystemConfig::new(&flags.fields()?, flags.devices()?).map_err(|e| e.to_string())
+}
+
+/// Installs the trace sink requested by `--trace` (a path, `stderr`, or
+/// `off`). Without the flag the ambient `PMR_TRACE` selection stands.
+/// Returns whether tracing is on afterwards.
+fn install_trace(flags: &Flags<'_>) -> Result<bool, String> {
+    if let Some(value) = flags.get("trace") {
+        obs::install(TraceConfig::from_str_lossy(value))
+            .map_err(|e| format!("cannot open trace sink {value:?}: {e}"))?;
+    }
+    Ok(obs::enabled())
 }
 
 /// `pmr distribute` — print the bucket map.
@@ -56,12 +68,19 @@ pub fn analyze(args: &[String]) -> Result<(), String> {
 }
 
 /// `pmr simulate` — synthetic file + parallel query execution.
+///
+/// `--trace <path|stderr>` records spans and metrics as JSON lines
+/// (aggregate them later with `pmr stats`); `--json` switches stdout to
+/// machine-readable JSON lines, one object per query, embedding each
+/// [`pmr_storage::exec::ExecutionReport`] and its trace summary.
 pub fn simulate(args: &[String]) -> Result<(), String> {
     let flags = Flags::parse(args)?;
     let sys = system_from(&flags)?;
     let records = flags.u64_or("records", 10_000)?;
     let seed = flags.u64_or("seed", 42)?;
     let strategy = flags.strategy()?;
+    let json = flags.has("json");
+    let traced = install_trace(&flags)?;
 
     let mut builder = Schema::builder();
     for (i, &size) in sys.field_sizes().iter().enumerate() {
@@ -72,19 +91,31 @@ pub fn simulate(args: &[String]) -> Result<(), String> {
     let mut file = DeclusteredFile::new(schema, fx, seed).map_err(|e| e.to_string())?;
 
     let mut rng = Rng::seed_from_u64(seed);
-    for _ in 0..records {
-        let values: Vec<Value> =
-            (0..sys.num_fields()).map(|_| Value::Int(rng.gen_range(0..1_000_000i64))).collect();
-        file.insert(Record::new(values)).map_err(|e| e.to_string())?;
+    {
+        let _span = pmr_rt::span!("cli.simulate.insert", records = records);
+        for _ in 0..records {
+            let values: Vec<Value> = (0..sys.num_fields())
+                .map(|_| Value::Int(rng.gen_range(0..1_000_000i64)))
+                .collect();
+            file.insert(Record::new(values)).map_err(|e| e.to_string())?;
+        }
     }
-    println!("inserted {records} records into {} devices", sys.devices());
     let occupancy = file.record_occupancy();
     let occ = BalanceMetrics::of(&occupancy);
-    println!(
-        "static record balance: mean {:.1}/device, max {}, stddev {:.1}",
-        occ.mean, occ.largest, occ.std_dev
-    );
-    println!();
+    if json {
+        println!(
+            "{{\"system\":\"{sys}\",\"records\":{records},\"seed\":{seed},\
+             \"record_balance\":{{\"mean\":{:.3},\"largest\":{},\"std_dev\":{:.3}}}}}",
+            occ.mean, occ.largest, occ.std_dev
+        );
+    } else {
+        println!("inserted {records} records into {} devices", sys.devices());
+        println!(
+            "static record balance: mean {:.1}/device, max {}, stddev {:.1}",
+            occ.mean, occ.largest, occ.std_dev
+        );
+        println!();
+    }
 
     // Execute one query per unspecified-field count (k = 1 … n−1).
     let cost = CostModel::disk_1988();
@@ -95,6 +126,15 @@ pub fn simulate(args: &[String]) -> Result<(), String> {
         let q = pmr_core::PartialMatchQuery::new(&sys, &values).map_err(|e| e.to_string())?;
         let report = execute_parallel(&file, &q, &cost).map_err(|e| e.to_string())?;
         let metrics = BalanceMetrics::of(&report.histogram());
+        if json {
+            println!(
+                "{{\"query\":\"{q}\",\"qualified\":{},\"optimal\":{},\"report\":{}}}",
+                q.qualified_count_in(&sys),
+                metrics.optimal,
+                report.to_json()
+            );
+            continue;
+        }
         // FX files take the fast inverse path, so this stays O(|R|)
         // rather than O(M·|R|).
         let addresses: u64 = report.per_device.iter().map(|d| d.addresses_computed).sum();
@@ -107,7 +147,35 @@ pub fn simulate(args: &[String]) -> Result<(), String> {
             report.simulated_response_us / 1000.0,
             report.speedup()
         );
+        if let Some(trace) = &report.trace {
+            println!(
+                "  trace: {} spans, plan cache {} hit / {} miss, {} codes enumerated",
+                trace.spans,
+                trace.counter("inverse.plan_cache.hit"),
+                trace.counter("inverse.plan_cache.miss"),
+                trace.counter("inverse.codes_enumerated"),
+            );
+        }
     }
+    if traced {
+        // Final registry state into the trace file, for `pmr stats`.
+        obs::flush();
+    }
+    Ok(())
+}
+
+/// `pmr stats` — aggregate a JSON-lines trace into tables.
+pub fn stats(args: &[String]) -> Result<(), String> {
+    let Some(path) = args.first() else {
+        return Err("stats needs a trace file (recorded with --trace or PMR_TRACE)".into());
+    };
+    if args.len() > 1 {
+        return Err(format!("unexpected argument {:?}", args[1]));
+    }
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
+    let stats = pmr_rt::obs::agg::TraceStats::from_lines(&text)
+        .map_err(|e| format!("{path}: {e}"))?;
+    print!("{}", stats.render());
     Ok(())
 }
 
@@ -200,11 +268,17 @@ pub fn verify(args: &[String]) -> Result<(), String> {
 }
 
 /// `pmr experiment` — regenerate a paper table/figure.
+///
+/// `--trace <path|stderr>` records the run's spans and metrics so the
+/// cost of regenerating a table can be inspected with `pmr stats`.
 pub fn experiment(args: &[String]) -> Result<(), String> {
     let Some(which) = args.first() else {
         return Err("experiment needs a name (table1..table9, figure1..figure4, all)".into());
     };
+    let flags = Flags::parse(&args[1..])?;
+    let traced = install_trace(&flags)?;
     let run_one = |exp: Experiment| -> Result<(), String> {
+        let _span = pmr_rt::span!("cli.experiment");
         let out = match exp {
             Experiment::Table1
             | Experiment::Table2
@@ -221,7 +295,7 @@ pub fn experiment(args: &[String]) -> Result<(), String> {
         println!("{out}");
         Ok(())
     };
-    match which.as_str() {
+    let result = match which.as_str() {
         "all" => {
             for exp in Experiment::ALL {
                 run_one(exp)?;
@@ -236,5 +310,9 @@ pub fn experiment(args: &[String]) -> Result<(), String> {
                 .ok_or_else(|| format!("unknown experiment {name:?}"))?;
             run_one(exp)
         }
+    };
+    if traced {
+        obs::flush();
     }
+    result
 }

@@ -3,8 +3,9 @@
 //! ```text
 //! pmr distribute --fields 2,8 --devices 4 [--strategy theorem-9|basic|cycle-iu1|cycle-iu2]
 //! pmr analyze    --fields 8,8,8,8,8,8 --devices 32 [--strategy …]
-//! pmr simulate   --fields 8,8,8 --devices 16 --records 10000 [--seed N]
-//! pmr experiment <table1..table9|figure1..figure4|all>
+//! pmr simulate   --fields 8,8,8 --devices 16 --records 10000 [--seed N] [--trace T] [--json]
+//! pmr experiment <table1..table9|figure1..figure4|all> [--trace T]
+//! pmr stats      <trace.jsonl>
 //! ```
 
 mod args;
@@ -38,6 +39,7 @@ fn run(argv: &[String]) -> Result<(), String> {
         "design" => commands::design(rest),
         "verify" => commands::verify(rest),
         "experiment" => commands::experiment(rest),
+        "stats" => commands::stats(rest),
         "help" | "--help" | "-h" => {
             println!("{}", args::USAGE);
             Ok(())

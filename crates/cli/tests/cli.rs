@@ -86,6 +86,60 @@ fn simulate_runs_queries() {
     assert!(text.contains("speedup"));
 }
 
+/// `--json` switches simulate to machine-readable JSON lines: a header
+/// object plus one object per query embedding the execution report.
+#[test]
+fn simulate_json_is_machine_readable() {
+    let out = pmr(&[
+        "simulate", "--fields", "8,8", "--devices", "4", "--records", "200", "--seed", "3",
+        "--json",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+    assert_eq!(lines.len(), 2, "header + one query (2-field system): {text}");
+    assert!(lines[0].contains("\"records\":200"));
+    assert!(lines[0].contains("\"record_balance\""));
+    assert!(lines[1].contains("\"query\""));
+    assert!(lines[1].contains("\"simulated_response_us\""));
+    assert!(lines[1].contains("\"speedup\""));
+    // Every line is a flat-enough JSON object (starts/ends as one).
+    for line in &lines {
+        assert!(line.starts_with('{') && line.ends_with('}'), "not JSON: {line}");
+    }
+}
+
+/// A `--trace` run writes JSON lines that `pmr stats` aggregates into
+/// per-device and per-counter tables — the full round trip.
+#[test]
+fn simulate_trace_round_trips_through_stats() {
+    let path = std::env::temp_dir().join(format!("pmr-cli-trace-{}.jsonl", std::process::id()));
+    let path_str = path.to_str().expect("utf-8 temp path");
+    let out = pmr(&[
+        "simulate", "--fields", "8,8", "--devices", "4", "--records", "300", "--seed", "7",
+        "--trace", path_str,
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    // Human output now carries the per-query trace summary.
+    assert!(stdout(&out).contains("trace:"), "{}", stdout(&out));
+
+    let stats = pmr(&["stats", path_str]);
+    std::fs::remove_file(&path).ok();
+    assert!(stats.status.success(), "{}", stderr(&stats));
+    let text = stdout(&stats);
+    assert!(text.contains("exec.device"), "{text}");
+    assert!(text.contains("device"), "{text}");
+    assert!(text.contains("inverse.plan_cache.miss"), "{text}");
+    assert!(text.contains("exec.fast_path.dispatched"), "{text}");
+}
+
+#[test]
+fn stats_rejects_missing_file() {
+    let out = pmr(&["stats", "/nonexistent/trace.jsonl"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("cannot read"));
+}
+
 #[test]
 fn experiment_table1_matches_regenerator() {
     let out = pmr(&["experiment", "table1"]);

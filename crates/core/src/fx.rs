@@ -115,7 +115,9 @@ enum Kernel {
 impl Kernel {
     fn for_assignment(assignment: &Assignment) -> Kernel {
         let sys = assignment.system();
+        let _span = pmr_rt::span!("fx.kernel.build", fields = sys.num_fields() as u64);
         if (0..sys.num_fields()).all(|i| sys.field_size(i) <= MAX_TABLE_SIZE) {
+            pmr_rt::obs::counter_add("fx.kernel.tables_built", sys.num_fields() as u64);
             let layout = sys.packed_layout();
             Kernel::Tables {
                 tables: assignment
@@ -259,8 +261,11 @@ impl FxDistribution {
     /// shape pay the `O(F_pivot)` class construction once.
     pub fn inverse_plan(&self, pattern: Pattern) -> Arc<InversePlan> {
         if let Some(plan) = self.plans.get(pattern) {
+            pmr_rt::obs::counter_add("inverse.plan_cache.hit", 1);
             return plan;
         }
+        pmr_rt::obs::counter_add("inverse.plan_cache.miss", 1);
+        let _span = pmr_rt::span!("inverse.plan.build", pattern = pattern.0 as u64);
         let plan = Arc::new(InversePlan::build(self, pattern));
         self.plans.insert(pattern, plan)
     }

@@ -80,12 +80,16 @@ pub fn for_each_device_code<D, F>(
     D: DistributionMethod + ?Sized,
     F: FnMut(u64),
 {
+    let mut owned = 0u64;
     let mut it = query.qualified_buckets(sys);
     while let Some(code) = it.next_code() {
         if method.device_of_packed(code) == device {
+            owned += 1;
             f(code);
         }
     }
+    pmr_rt::obs::counter_add("inverse.codes_scanned", query.qualified_count_in(sys));
+    pmr_rt::obs::counter_add("inverse.codes_enumerated", owned);
 }
 
 /// One free (non-pivot unspecified) field of an [`InversePlan`]: its index
@@ -279,9 +283,11 @@ impl<'a> FxInverse<'a> {
             // device address matches.
             if crate::bits::t_m(self.h, m) == device {
                 f(self.base_code);
+                pmr_rt::obs::counter_add("inverse.codes_enumerated", 1);
             }
             return;
         }
+        let mut emitted = 0u64;
 
         // Odometer over the non-pivot unspecified fields, run directly on
         // the packed code; for each setting, the pivot's transformed value
@@ -297,7 +303,9 @@ impl<'a> FxInverse<'a> {
                 acc ^= self.fx.apply_field(ff.field, (code >> ff.shift) & ff.mask);
             }
             let class = device ^ crate::bits::t_m(acc, m);
-            for &jcode in &plan.pivot_class_codes[class as usize] {
+            let class_codes = &plan.pivot_class_codes[class as usize];
+            emitted += class_codes.len() as u64;
+            for &jcode in class_codes {
                 debug_assert_eq!(self.fx.device_of_packed(code | jcode), device);
                 f(code | jcode);
             }
@@ -312,6 +320,7 @@ impl<'a> FxInverse<'a> {
                 code &= !(ff.mask << ff.shift);
             }
             if !advanced {
+                pmr_rt::obs::counter_add("inverse.codes_enumerated", emitted);
                 return;
             }
         }

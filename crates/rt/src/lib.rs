@@ -20,6 +20,10 @@
 //!   median/p95, JSON-lines output, checksums for run-to-run
 //!   comparability).
 //! * [`sync`] — poison-free one-word aliases over `std::sync` locks.
+//! * [`obs`] — observability: structured spans ([`span!`]), a metrics
+//!   registry (counters + fixed-bucket histograms), and JSON-lines /
+//!   in-memory trace sinks selected via `PMR_TRACE`. Branch-cheap when
+//!   disabled, so instrumentation stays on permanently.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -28,6 +32,7 @@
 pub mod bench;
 pub mod buf;
 pub mod check;
+pub mod obs;
 pub mod pool;
 pub mod rng;
 pub mod sync;

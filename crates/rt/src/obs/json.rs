@@ -1,0 +1,235 @@
+//! A minimal flat-JSON reader for trace lines.
+//!
+//! The observability sinks emit one flat JSON object per line (the same
+//! vocabulary [`crate::bench`] uses for its baselines): string keys,
+//! values that are strings, numbers, `null`, or arrays of numbers. This
+//! parser reads exactly that subset back — enough for the `cli stats`
+//! aggregator and the round-trip contract tests, with zero dependencies.
+
+/// One value of a flat trace object.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// Any JSON number (integers are exact up to 2⁵³).
+    Num(f64),
+    /// A string (escapes decoded).
+    Str(String),
+    /// An array of numbers (trace events never nest further).
+    Arr(Vec<f64>),
+}
+
+impl JsonValue {
+    /// The value as a finite number, if it is one.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer, if it is one.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one flat JSON object (`{"k":v,...}`) into its key/value pairs,
+/// in source order.
+pub fn parse_object(line: &str) -> Result<Vec<(String, JsonValue)>, String> {
+    let mut p = Parser { bytes: line.as_bytes(), pos: 0 };
+    p.skip_ws();
+    p.expect(b'{')?;
+    let mut pairs = Vec::new();
+    p.skip_ws();
+    if p.peek() == Some(b'}') {
+        p.pos += 1;
+        return p.finish(pairs);
+    }
+    loop {
+        p.skip_ws();
+        let key = p.string()?;
+        p.skip_ws();
+        p.expect(b':')?;
+        p.skip_ws();
+        let value = p.value()?;
+        pairs.push((key, value));
+        p.skip_ws();
+        match p.next() {
+            Some(b',') => continue,
+            Some(b'}') => return p.finish(pairs),
+            other => return Err(format!("expected ',' or '}}', found {other:?}")),
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, want: u8) -> Result<(), String> {
+        match self.next() {
+            Some(b) if b == want => Ok(()),
+            other => Err(format!("expected {:?}, found {other:?}", want as char)),
+        }
+    }
+
+    fn finish(
+        &mut self,
+        pairs: Vec<(String, JsonValue)>,
+    ) -> Result<Vec<(String, JsonValue)>, String> {
+        self.skip_ws();
+        if self.pos == self.bytes.len() {
+            Ok(pairs)
+        } else {
+            Err(format!("trailing bytes after object at {}", self.pos))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.next() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.next() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    other => return Err(format!("unsupported escape {other:?}")),
+                },
+                Some(b) => out.push(b as char),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<f64, String> {
+        let start = self.pos;
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits");
+        text.parse::<f64>().map_err(|e| format!("bad number {text:?}: {e}"))
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        match self.peek() {
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b'n') => {
+                if self.bytes[self.pos..].starts_with(b"null") {
+                    self.pos += 4;
+                    Ok(JsonValue::Null)
+                } else {
+                    Err("expected null".into())
+                }
+            }
+            Some(b'[') => {
+                self.pos += 1;
+                let mut arr = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(JsonValue::Arr(arr));
+                }
+                loop {
+                    self.skip_ws();
+                    arr.push(self.number()?);
+                    self.skip_ws();
+                    match self.next() {
+                        Some(b',') => continue,
+                        Some(b']') => return Ok(JsonValue::Arr(arr)),
+                        other => return Err(format!("expected ',' or ']', found {other:?}")),
+                    }
+                }
+            }
+            Some(b'0'..=b'9' | b'-') => Ok(JsonValue::Num(self.number()?)),
+            other => Err(format!("unexpected value start {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_span_line() {
+        let pairs = parse_object(
+            "{\"event\":\"span\",\"name\":\"exec.device\",\"id\":5,\"parent\":2,\
+             \"start_us\":123,\"elapsed_ns\":4567.5,\"device\":3}",
+        )
+        .unwrap();
+        assert_eq!(pairs[0], ("event".into(), JsonValue::Str("span".into())));
+        assert_eq!(pairs[2].1.as_u64(), Some(5));
+        assert_eq!(pairs[5].1.as_num(), Some(4567.5));
+        assert_eq!(pairs[6], ("device".into(), JsonValue::Num(3.0)));
+    }
+
+    #[test]
+    fn parses_arrays_null_and_escapes() {
+        let pairs = parse_object(
+            "{ \"bounds\" : [10, 100.5, 1e3] , \"parent\" : null , \"s\" : \"a\\\"b\" }",
+        )
+        .unwrap();
+        assert_eq!(pairs[0].1, JsonValue::Arr(vec![10.0, 100.5, 1000.0]));
+        assert_eq!(pairs[1].1, JsonValue::Null);
+        assert_eq!(pairs[2].1.as_str(), Some("a\"b"));
+        assert_eq!(parse_object("{}").unwrap(), vec![]);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse_object("").is_err());
+        assert!(parse_object("{\"a\":1").is_err());
+        assert!(parse_object("{\"a\":}").is_err());
+        assert!(parse_object("{\"a\":1} extra").is_err());
+        assert!(parse_object("{\"a\":[1,]}").is_err());
+        assert!(parse_object("{\"a\":nope}").is_err());
+    }
+
+    #[test]
+    fn negative_numbers_are_not_u64() {
+        let pairs = parse_object("{\"a\":-3,\"b\":1.5}").unwrap();
+        assert_eq!(pairs[0].1.as_num(), Some(-3.0));
+        assert_eq!(pairs[0].1.as_u64(), None);
+        assert_eq!(pairs[1].1.as_u64(), None);
+    }
+}

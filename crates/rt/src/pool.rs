@@ -40,6 +40,7 @@ where
     F: Fn(I::Item) -> T + Sync,
 {
     let items: Vec<I::Item> = items.into_iter().collect();
+    let _span = crate::span!("pool.scope_map", items = items.len() as u64);
     let f = &f;
     std::thread::scope(|scope| {
         let handles: Vec<_> =
@@ -84,10 +85,15 @@ impl Pool {
         F: FnOnce() -> T + Send,
     {
         let n = tasks.len();
+        let _span =
+            crate::span!("pool.run", tasks = n as u64, workers = self.workers as u64);
         let (task_tx, task_rx) = mpsc::channel::<(usize, F)>();
         let task_rx = Mutex::new(task_rx);
-        for pair in tasks.into_iter().enumerate() {
-            task_tx.send(pair).expect("receiver alive until scope ends");
+        {
+            let _queue_span = crate::span!("pool.queue", tasks = n as u64);
+            for pair in tasks.into_iter().enumerate() {
+                task_tx.send(pair).expect("receiver alive until scope ends");
+            }
         }
         drop(task_tx);
 
@@ -96,18 +102,26 @@ impl Pool {
             for _ in 0..self.workers.min(n.max(1)) {
                 let task_rx = &task_rx;
                 let out_tx = out_tx.clone();
-                scope.spawn(move || loop {
-                    // Hold the lock only to pull the next task, not to run it.
-                    let next = task_rx.lock().unwrap_or_else(|e| e.into_inner()).recv();
-                    match next {
-                        Ok((index, task)) => {
-                            let result = catch_unwind(AssertUnwindSafe(task));
-                            if out_tx.send((index, result)).is_err() {
-                                return; // collector gone: a peer panicked
+                scope.spawn(move || {
+                    let _drain_span = crate::span!("pool.drain");
+                    let mut executed = 0u64;
+                    loop {
+                        // Hold the lock only to pull the next task, not to
+                        // run it.
+                        let next =
+                            task_rx.lock().unwrap_or_else(|e| e.into_inner()).recv();
+                        match next {
+                            Ok((index, task)) => {
+                                let result = catch_unwind(AssertUnwindSafe(task));
+                                executed += 1;
+                                if out_tx.send((index, result)).is_err() {
+                                    break; // collector gone: a peer panicked
+                                }
                             }
+                            Err(_) => break, // queue drained
                         }
-                        Err(_) => return, // queue drained
                     }
+                    crate::obs::counter_add("pool.tasks_executed", executed);
                 });
             }
             drop(out_tx);

@@ -30,6 +30,7 @@ use pmr_core::inverse::{for_each_device_code, FxInverse};
 use pmr_core::method::DistributionMethod;
 use pmr_core::{FxDistribution, PartialMatchQuery, SystemConfig};
 use pmr_mkh::Record;
+use pmr_rt::obs::{self, TraceSummary};
 use std::sync::Arc;
 
 /// Per-device outcome of one query execution.
@@ -63,19 +64,22 @@ pub struct ExecutionReport {
     /// Simulated serial time: `Σ_i` device time (what a single-device
     /// system would pay) — `serial / parallel` is the speedup.
     pub simulated_serial_us: f64,
+    /// What the observability layer recorded during this execution
+    /// (counter deltas, spans) — `None` when tracing is off.
+    pub trace: Option<TraceSummary>,
 }
 
 impl ExecutionReport {
     /// Parallel speedup over a serial scan of the same buckets:
     /// `serial / parallel`.
     ///
-    /// A truly empty execution (both times zero) reports `1.0` — nothing
-    /// was done, nothing was sped up. A zero parallel time with nonzero
-    /// serial time yields `f64::INFINITY` (the true ratio), which can only
-    /// arise from externally constructed reports: with our aggregation,
-    /// `max = 0` over non-negative device times forces `sum = 0`.
+    /// Degenerate time combinations are clamped to `1.0` rather than
+    /// producing `NaN` or `f64::INFINITY`: a zero parallel time means no
+    /// device did measurable work, so nothing was sped up — this covers
+    /// both the truly empty execution (`sum = 0` because `max = 0`) and
+    /// externally constructed reports with inconsistent fields.
     pub fn speedup(&self) -> f64 {
-        if self.simulated_serial_us == 0.0 {
+        if self.simulated_response_us == 0.0 {
             1.0
         } else {
             self.simulated_serial_us / self.simulated_response_us
@@ -86,12 +90,45 @@ impl ExecutionReport {
     pub fn histogram(&self) -> Vec<u64> {
         self.per_device.iter().map(|d| d.qualified_buckets).collect()
     }
+
+    /// Machine-readable rendering: one flat JSON object (the workspace's
+    /// JSON-lines vocabulary), including the per-device breakdown and the
+    /// [`TraceSummary`] when tracing was on. Retrieved records are
+    /// summarised by count, not serialised.
+    pub fn to_json(&self) -> String {
+        let devices = self
+            .per_device
+            .iter()
+            .map(|d| {
+                format!(
+                    "{{\"device\":{},\"qualified_buckets\":{},\"records\":{},\
+                     \"addresses_computed\":{},\"simulated_us\":{:.3}}}",
+                    d.device, d.qualified_buckets, d.records, d.addresses_computed, d.simulated_us
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            "{{\"largest_response\":{},\"records\":{},\"simulated_response_us\":{:.3},\
+             \"simulated_serial_us\":{:.3},\"speedup\":{:.4},\"per_device\":[{devices}],\
+             \"trace\":{}}}",
+            self.largest_response,
+            self.records.len(),
+            self.simulated_response_us,
+            self.simulated_serial_us,
+            self.speedup(),
+            self.trace.as_ref().map_or("null".to_string(), TraceSummary::to_json)
+        )
+    }
 }
 
-/// Assembles per-worker results into an [`ExecutionReport`].
+/// Assembles per-worker results into an [`ExecutionReport`], closing the
+/// trace capture (if tracing is on) and batching the per-device tallies
+/// into the metrics registry.
 fn collect_report(
     results: Vec<Result<(DeviceReport, Vec<Record>), FileError>>,
     m: u64,
+    capture: Option<obs::TraceCapture>,
 ) -> Result<ExecutionReport, FileError> {
     let mut per_device = Vec::with_capacity(m as usize);
     let mut records = Vec::new();
@@ -105,12 +142,24 @@ fn collect_report(
     let simulated_response_us =
         per_device.iter().map(|d| d.simulated_us).fold(0.0f64, f64::max);
     let simulated_serial_us: f64 = per_device.iter().map(|d| d.simulated_us).sum();
+    if obs::enabled() {
+        obs::counter_add(
+            "exec.addresses_computed",
+            per_device.iter().map(|d| d.addresses_computed).sum(),
+        );
+        obs::counter_add(
+            "exec.qualified_buckets",
+            per_device.iter().map(|d| d.qualified_buckets).sum(),
+        );
+        obs::observe_us("exec.simulated_response_us", simulated_response_us);
+    }
     Ok(ExecutionReport {
         per_device,
         records,
         largest_response,
         simulated_response_us,
         simulated_serial_us,
+        trace: capture.map(obs::TraceCapture::finish),
     })
 }
 
@@ -148,11 +197,14 @@ pub fn execute_parallel_scan<D: DistributionMethod>(
     let sys = file.system();
     let m = sys.devices();
     let total_qualified = query.qualified_count_in(sys);
+    let capture = obs::capture();
+    obs::counter_add("exec.scan.dispatched", 1);
+    let _span = pmr_rt::span!("exec.query", devices = m, qualified = total_qualified);
 
     let results: Vec<Result<(DeviceReport, Vec<Record>), FileError>> =
         pmr_rt::pool::scope_map(0..m, |device| device_worker(file, query, device, cost));
 
-    let report = collect_report(results, m)?;
+    let report = collect_report(results, m, capture)?;
     debug_assert_eq!(
         report.per_device.iter().map(|d| d.qualified_buckets).sum::<u64>(),
         total_qualified
@@ -187,6 +239,10 @@ fn run_fx(
     cost: &CostModel,
 ) -> Result<ExecutionReport, FileError> {
     let m = sys.devices();
+    let capture = obs::capture();
+    obs::counter_add("exec.fast_path.dispatched", 1);
+    let _span =
+        pmr_rt::span!("exec.query", devices = m, qualified = query.qualified_count_in(sys));
     let inverse = FxInverse::new(fx, query);
     let inverse = &inverse;
     // Address work per device: one residue-class lookup per free-field
@@ -198,6 +254,7 @@ fn run_fx(
 
     let results: Vec<Result<(DeviceReport, Vec<Record>), FileError>> =
         pmr_rt::pool::scope_map(0..m, |device| {
+            let _span = pmr_rt::span!("exec.device", device = device);
             let dev = &devices[device as usize];
             let mut records = Vec::new();
             let mut qualified_buckets = 0u64;
@@ -217,6 +274,7 @@ fn run_fx(
             }
             let addresses_computed = free_combos + qualified_buckets;
             let simulated_us = cost.device_time_us(qualified_buckets, addresses_computed);
+            obs::observe_us("exec.device.simulated_us", simulated_us);
             Ok((
                 DeviceReport {
                     device,
@@ -229,7 +287,7 @@ fn run_fx(
             ))
         });
 
-    collect_report(results, m)
+    collect_report(results, m, capture)
 }
 
 /// The generic per-device worker: packed inverse scan + bucket reads.
@@ -241,6 +299,7 @@ fn device_worker<D: DistributionMethod>(
     device: u64,
     cost: &CostModel,
 ) -> Result<(DeviceReport, Vec<Record>), FileError> {
+    let _span = pmr_rt::span!("exec.device", device = device);
     let sys = file.system();
     // Generic inverse mapping: evaluate every qualified bucket's address
     // and keep ours. (|R(q)| address computations per device — exactly the
@@ -264,6 +323,7 @@ fn device_worker<D: DistributionMethod>(
         return Err(FileError::Decode(e));
     }
     let simulated_us = cost.device_time_us(qualified_buckets, addresses_computed);
+    obs::observe_us("exec.device.simulated_us", simulated_us);
     Ok((
         DeviceReport {
             device,
@@ -334,9 +394,11 @@ mod tests {
         assert_eq!(report.simulated_serial_us, 64.0);
     }
 
-    /// `speedup` handles the degenerate time combinations: all-zero is a
-    /// no-op (1.0), and a hand-built report with serial work but zero
-    /// parallel time yields the true ratio (+∞), never a bogus 1.0.
+    /// `speedup` clamps every degenerate time combination to a finite
+    /// value: all-zero is a no-op (1.0), and a hand-built report with
+    /// serial work but zero parallel time clamps to 1.0 as well — a zero
+    /// parallel time means no device did measurable work, so reporting an
+    /// infinite speedup would be meaningless.
     #[test]
     fn speedup_degenerate_times() {
         let empty = ExecutionReport {
@@ -345,6 +407,7 @@ mod tests {
             largest_response: 0,
             simulated_response_us: 0.0,
             simulated_serial_us: 0.0,
+            trace: None,
         };
         assert_eq!(empty.speedup(), 1.0);
         let inconsistent = ExecutionReport {
@@ -352,7 +415,14 @@ mod tests {
             simulated_serial_us: 3.5,
             ..empty
         };
-        assert_eq!(inconsistent.speedup(), f64::INFINITY);
+        assert_eq!(inconsistent.speedup(), 1.0);
+        assert!(inconsistent.speedup().is_finite());
+        let serial_only = ExecutionReport {
+            simulated_response_us: 2.0,
+            simulated_serial_us: 0.0,
+            ..inconsistent
+        };
+        assert_eq!(serial_only.speedup(), 0.0);
     }
 
     #[test]
@@ -424,6 +494,31 @@ mod tests {
             execute_parallel_fx(&file, &q, &CostModel::main_memory()),
             Err(crate::file::FileError::Decode(_))
         ));
+    }
+
+    #[test]
+    fn report_json_is_machine_readable() {
+        let file = build_file(100);
+        let q = file.query(&[("k", Value::Int(7))]).unwrap();
+        let report = execute_parallel(&file, &q, &CostModel::main_memory()).unwrap();
+        let json = report.to_json();
+        assert!(json.starts_with("{\"largest_response\":2,"));
+        assert!(json.contains("\"per_device\":[{\"device\":0,"));
+        assert!(json.contains("\"speedup\":"));
+        // Tracing is off in unit tests, so the trace slot is null.
+        if report.trace.is_none() {
+            assert!(json.ends_with("\"trace\":null}"));
+        }
+    }
+
+    /// The `trace` field mirrors the observability state: populated
+    /// exactly when tracing is on (off in the default test environment).
+    #[test]
+    fn trace_field_reflects_obs_state() {
+        let file = build_file(10);
+        let q = file.query(&[]).unwrap();
+        let report = execute_parallel(&file, &q, &CostModel::main_memory()).unwrap();
+        assert_eq!(report.trace.is_some(), pmr_rt::obs::enabled());
     }
 
     #[test]

@@ -111,6 +111,56 @@ mod tests {
         assert_eq!(m.imbalance, 1.0);
     }
 
+    /// A single-device histogram: the device is the whole system, so the
+    /// largest response, total, and optimum all coincide.
+    #[test]
+    fn single_device_histogram() {
+        let m = BalanceMetrics::of(&[7]);
+        assert_eq!(m.devices, 1);
+        assert_eq!(m.total, 7);
+        assert_eq!(m.largest, 7);
+        assert_eq!(m.optimal, 7);
+        assert_eq!(m.imbalance, 1.0);
+        assert!(m.is_strict_optimal());
+        assert_eq!(m.mean, 7.0);
+        assert_eq!(m.std_dev, 0.0);
+        assert_eq!(m.idle_devices, 0);
+    }
+
+    /// All-idle histogram (`total == 0`): `optimal` is 0, and `imbalance`
+    /// is defined as 1.0 (no work is trivially balanced) rather than the
+    /// `0/0` NaN the naive ratio would produce.
+    #[test]
+    fn all_idle_histogram() {
+        let m = BalanceMetrics::of(&[0, 0, 0, 0, 0, 0, 0, 0]);
+        assert_eq!(m.total, 0);
+        assert_eq!(m.largest, 0);
+        assert_eq!(m.optimal, 0);
+        assert_eq!(m.imbalance, 1.0);
+        assert!(!m.imbalance.is_nan());
+        assert!(m.is_strict_optimal());
+        assert_eq!(m.mean, 0.0);
+        assert_eq!(m.std_dev, 0.0);
+        assert_eq!(m.idle_devices, 8);
+    }
+
+    /// `optimal == 0` happens only when `total == 0`; any non-zero total
+    /// forces `optimal >= 1` even when `total < devices`, so the
+    /// `imbalance` ratio never divides by zero.
+    #[test]
+    fn imbalance_never_divides_by_zero() {
+        // total = 1 over 4 devices: ceil(1/4) = 1, not 0.
+        let m = BalanceMetrics::of(&[0, 1, 0, 0]);
+        assert_eq!(m.optimal, 1);
+        assert_eq!(m.imbalance, 1.0);
+        assert!(m.imbalance.is_finite());
+        // The only zero-optimal case is the all-idle one, pinned above to
+        // imbalance 1.0 by definition rather than division.
+        let idle = BalanceMetrics::of(&[0]);
+        assert_eq!(idle.optimal, 0);
+        assert_eq!(idle.imbalance, 1.0);
+    }
+
     #[test]
     #[should_panic(expected = "at least one device")]
     fn empty_histogram_panics() {

@@ -6,7 +6,10 @@
 //! → parallel retrieval — and compares FX against Disk Modulo on the same
 //! workload.
 //!
-//! Run with `cargo run --example library_catalog`.
+//! Run with `cargo run --example library_catalog`. Set
+//! `PMR_TRACE=stderr` (or a file path) to watch the executor's spans and
+//! counters stream by; the per-workload trace summary prints either way
+//! when tracing is on.
 
 use pmr::baselines::ModuloDistribution;
 use pmr::core::method::DistributionMethod;
@@ -76,11 +79,17 @@ fn run_workload<D: DistributionMethod>(label: &str, method: D) {
 
     println!("== {label} ==");
     let mut worst_imbalance: f64 = 1.0;
+    let mut spans = 0u64;
+    let mut fast = 0u64;
     for (desc, specs) in queries {
         let q = file.query(&specs).expect("query is valid");
         let report = execute_parallel(&file, &q, &cost).expect("execution succeeds");
         let m = BalanceMetrics::of(&report.histogram());
         worst_imbalance = worst_imbalance.max(m.imbalance);
+        if let Some(trace) = &report.trace {
+            spans += trace.spans;
+            fast += trace.counter("exec.fast_path.dispatched");
+        }
         println!(
             "  {desc:<42} buckets/device max {:>3} (optimal {:>3}) \
              records {:>5} time {:>6.1} ms speedup {:>5.2}x",
@@ -91,7 +100,13 @@ fn run_workload<D: DistributionMethod>(label: &str, method: D) {
             report.speedup(),
         );
     }
-    println!("  worst bucket-imbalance across workload: {worst_imbalance:.2}x optimal\n");
+    println!("  worst bucket-imbalance across workload: {worst_imbalance:.2}x optimal");
+    if pmr::rt::obs::enabled() {
+        println!(
+            "  trace: {spans} spans across the workload, {fast}/5 queries on the FX fast path"
+        );
+    }
+    println!();
 }
 
 fn main() {

@@ -5,7 +5,9 @@
 //! and prints the average largest response size and the simulated response
 //! time for FX, GDM, and Disk Modulo side by side.
 //!
-//! Run with `cargo run --release --example parallel_disks`.
+//! Run with `cargo run --release --example parallel_disks`. Set
+//! `PMR_TRACE=<path>` to record the sweep's inverse-mapping metrics as
+//! JSON lines, then aggregate with `pmr stats <path>`.
 
 use pmr::analysis::response::{average_largest_response, optimal_average};
 use pmr::baselines::gdm::PaperGdmSet;
@@ -49,4 +51,13 @@ fn main() {
          pays up to {}x more I/O on the busiest disk.",
         (average_largest_response(&dm, &sys, 3) / optimal_average(&sys, 3)).round()
     );
+    if pmr::rt::obs::enabled() {
+        // With PMR_TRACE set, leave the final registry totals in the
+        // trace so `pmr stats` can aggregate the sweep.
+        println!();
+        for (name, total) in pmr::rt::obs::counters_snapshot() {
+            println!("trace counter {name} = {total}");
+        }
+        pmr::rt::obs::flush();
+    }
 }

@@ -57,6 +57,11 @@ fn bench_all_fast_mode_produces_every_group() {
         "exec_fast_path/scan_narrow",
         "exec_fast_path/dispatch_wide",
         "exec_fast_path/scan_wide",
+        "obs_overhead/atomic_load_floor",
+        "obs_overhead/span_disabled",
+        "obs_overhead/counter_disabled",
+        "obs_overhead/span_enabled_memory",
+        "obs_overhead/counter_enabled_memory",
     ];
     for (file, expected) in files.iter().zip([&expected_core[..], &expected_exec[..]]) {
         let names: Vec<&str> = file.stats.iter().map(|s| s.bench.as_str()).collect();

@@ -88,6 +88,38 @@ fn all_dependencies_are_path_or_workspace() {
     );
 }
 
+/// The foundation crate carries the whole runtime — including the
+/// `pmr_rt::obs` tracing/metrics subsystem — on the standard library
+/// alone. Its `[dependencies]` section must stay literally empty: obs is
+/// exactly the kind of feature that tends to pull in `tracing`/`serde`,
+/// and this pins it to zero dependencies of any kind (even in-workspace
+/// ones, which would invert the layering).
+#[test]
+fn rt_has_no_dependencies_at_all() {
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR")).join("crates/rt/Cargo.toml");
+    let text = fs::read_to_string(&manifest).expect("rt manifest readable");
+    let mut section = String::new();
+    let mut deps = Vec::new();
+    for raw in text.lines() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+            section = header.trim().to_string();
+            continue;
+        }
+        if is_dependency_section(&section) {
+            deps.push(format!("[{section}] {line}"));
+        }
+    }
+    assert!(
+        deps.is_empty(),
+        "pmr-rt must stay dependency-free (std only), found:\n{}",
+        deps.join("\n")
+    );
+}
+
 /// The six dependencies pmr-rt replaced must never come back by name.
 #[test]
 fn replaced_dependencies_stay_gone() {

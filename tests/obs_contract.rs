@@ -1,0 +1,155 @@
+//! The observability contract, end to end through the storage stack:
+//!
+//! 1. With tracing off, an executor run records **zero** events — the
+//!    disabled path is inert, not merely unflushed.
+//! 2. With tracing on, `execute_parallel` emits exactly one
+//!    `exec.device` span per device, each tagged with a distinct device.
+//! 3. A file-sink trace round-trips: the JSON lines parse through the
+//!    same aggregator `pmr stats` uses, and the aggregate agrees with
+//!    the report's own `TraceSummary`.
+//!
+//! The obs layer is global process state, so every test takes `lock()`.
+
+use pmr_mkh::{FieldType, Record, Schema, Value};
+use pmr_rt::obs::{self, agg::TraceStats, Event, TraceConfig};
+use pmr_storage::exec::execute_parallel;
+use pmr_storage::{CostModel, DeclusteredFile};
+use std::sync::{Mutex, MutexGuard};
+
+fn lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+const DEVICES: u64 = 8;
+
+/// A small FX-declustered file: 3 fields over 8 devices, 600 records.
+fn fixture() -> DeclusteredFile<pmr_core::FxDistribution> {
+    let schema = Schema::builder()
+        .field("a", FieldType::Int, 16)
+        .field("b", FieldType::Int, 8)
+        .field("c", FieldType::Int, 8)
+        .devices(DEVICES)
+        .build()
+        .unwrap();
+    let sys = schema.system().clone();
+    let fx = pmr_core::FxDistribution::auto(sys).unwrap();
+    let mut file = DeclusteredFile::new(schema, fx, 5).unwrap();
+    let records: Vec<Record> = (0..600)
+        .map(|i| {
+            Record::new(vec![
+                Value::Int(i),
+                Value::Int(i * 17 % 101),
+                Value::Int(i * 29 % 53),
+            ])
+        })
+        .collect();
+    file.insert_all(records).unwrap();
+    file
+}
+
+#[test]
+fn disabled_tracing_records_zero_events() {
+    let _guard = lock();
+    obs::install(TraceConfig::Off).unwrap();
+    obs::reset();
+
+    let file = fixture();
+    let query = file.query(&[("b", Value::Int(7))]).unwrap();
+    let report = execute_parallel(&file, &query, &CostModel::main_memory()).unwrap();
+
+    assert!(report.trace.is_none(), "no capture when tracing is off");
+    assert_eq!(obs::spans_recorded(), 0, "no spans recorded");
+    assert!(obs::counters_snapshot().is_empty(), "no counters touched");
+    assert!(obs::drain_events().is_empty(), "no events emitted");
+    assert!(report.largest_response > 0, "the run itself still works");
+}
+
+#[test]
+fn traced_run_emits_one_device_span_per_device() {
+    let _guard = lock();
+    obs::install(TraceConfig::Memory).unwrap();
+    obs::reset();
+    obs::drain_events();
+
+    let file = fixture();
+    let query = file.query(&[("b", Value::Int(7))]).unwrap();
+    let report = execute_parallel(&file, &query, &CostModel::main_memory()).unwrap();
+    let events = obs::drain_events();
+    obs::install(TraceConfig::Off).unwrap();
+    obs::reset();
+
+    let device_spans: Vec<&obs::SpanEvent> = events
+        .iter()
+        .filter_map(|e| match e {
+            Event::Span(s) if s.name == "exec.device" => Some(s),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(device_spans.len() as u64, DEVICES, "one exec.device span per device");
+
+    let mut devices: Vec<u64> = device_spans
+        .iter()
+        .map(|s| {
+            s.attrs
+                .iter()
+                .find(|(k, _)| k == "device")
+                .expect("exec.device span carries a device attr")
+                .1
+        })
+        .collect();
+    devices.sort_unstable();
+    assert_eq!(devices, (0..DEVICES).collect::<Vec<u64>>(), "each device exactly once");
+
+    // The report's summary saw the same run.
+    let trace = report.trace.expect("capture attached while tracing");
+    assert!(trace.spans >= DEVICES, "summary counts at least the device spans");
+    assert_eq!(trace.counter("exec.fast_path.dispatched"), 1);
+    assert!(trace.counter("exec.addresses_computed") > 0);
+}
+
+#[test]
+fn file_trace_round_trips_through_the_aggregator() {
+    let _guard = lock();
+    let path = std::env::temp_dir()
+        .join(format!("pmr-obs-contract-{}.jsonl", std::process::id()));
+    obs::install(TraceConfig::File(path.clone())).unwrap();
+    obs::reset();
+
+    let file = fixture();
+    let query = file.query(&[("b", Value::Int(7))]).unwrap();
+    let report = execute_parallel(&file, &query, &CostModel::main_memory()).unwrap();
+    obs::flush();
+    obs::install(TraceConfig::Off).unwrap();
+    obs::reset();
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    let stats = TraceStats::from_lines(&text).expect("trace file parses");
+
+    // Per-device aggregation matches the executor's fan-out.
+    let per_device: Vec<u64> = stats
+        .by_device
+        .keys()
+        .filter(|(name, _)| name == "exec.device")
+        .map(|&(_, device)| device)
+        .collect();
+    assert_eq!(per_device, (0..DEVICES).collect::<Vec<u64>>());
+    let exec_device = stats.spans.get("exec.device").expect("exec.device aggregated");
+    assert_eq!(exec_device.count, DEVICES);
+
+    // Flushed counter totals agree with the report's own summary.
+    let trace = report.trace.expect("capture attached while tracing");
+    for name in ["exec.fast_path.dispatched", "exec.addresses_computed", "exec.qualified_buckets"]
+    {
+        assert_eq!(
+            stats.counters.get(name).copied().unwrap_or(0),
+            trace.counter(name),
+            "counter {name} must round-trip"
+        );
+    }
+    // The file carries every span the summary counted (plus the
+    // enclosing exec.query span, which closes after the capture).
+    let file_spans: u64 = stats.spans.values().map(|s| s.count).sum();
+    assert!(file_spans >= trace.spans, "{file_spans} file spans < {} summary", trace.spans);
+}
