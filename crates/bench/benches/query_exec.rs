@@ -1,13 +1,15 @@
 //! End-to-end query execution through the storage stack: parallel
-//! retrieval latency per method, generic vs FX-specialised executors, and
-//! the `execute_parallel` fast-path dispatcher.
+//! retrieval latency per method, generic vs FX-specialised executors,
+//! the `execute_parallel` fast-path dispatcher, and the fault-hook
+//! overhead on the bucket-read hot path.
 //!
 //! Run with `cargo bench -p pmr-bench --bench query_exec`.
 
-use pmr_bench::suite::{exec_fast_path, query_exec, SuiteOpts};
+use pmr_bench::suite::{exec_fast_path, fault_overhead, query_exec, SuiteOpts};
 
 fn main() {
     let opts = SuiteOpts::standard();
     query_exec(&opts);
     exec_fast_path(&opts);
+    fault_overhead(&opts);
 }

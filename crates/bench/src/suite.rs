@@ -394,6 +394,65 @@ pub fn obs_overhead(opts: &SuiteOpts) -> Group {
     group
 }
 
+/// Fault-hook overhead on the bucket-read hot path. The contract
+/// (ISSUE: "Deterministic fault injection") is that a device with no
+/// plan installed pays one relaxed atomic load + branch over the plain
+/// `read_bucket`, and that the fault-aware executor without faults
+/// tracks the strict dispatcher.
+pub fn fault_overhead(opts: &SuiteOpts) -> Group {
+    use pmr_rt::fault::{FaultPlan, RetryPolicy};
+    use pmr_storage::exec::{execute_parallel_with, ExecPolicy};
+    use std::sync::Arc;
+
+    let records = opts.scaled(20_000, 1000) as i64;
+    let sys = exec_schema().system().clone();
+    let file = exec_filled(FxDistribution::auto(sys).unwrap(), records);
+    let cost = CostModel::main_memory();
+    let query = file.query(&[("b", Value::Int(7))]).unwrap();
+    let dev = file.devices()[0].clone();
+    let codes = dev.resident_buckets();
+
+    let mut group = opts.group("fault_overhead");
+    group.bench("read_bucket_baseline", || {
+        let mut n = 0u64;
+        for &c in &codes {
+            n += dev.read_bucket(black_box(c)).map(|r| r.len() as u64).unwrap_or(0);
+        }
+        n
+    });
+    group.bench("read_attempt_no_plan", || {
+        let mut n = 0u64;
+        for &c in &codes {
+            n += dev
+                .read_bucket_attempt(black_box(c), 0)
+                .map(|r| r.records.len() as u64)
+                .unwrap_or(0);
+        }
+        n
+    });
+    dev.set_fault_plan(Some(Arc::new(FaultPlan::new(9).with_read_error(0.001))));
+    group.bench("read_attempt_plan_installed", || {
+        let mut n = 0u64;
+        for &c in &codes {
+            n += dev
+                .read_bucket_attempt(black_box(c), 0)
+                .map(|r| r.records.len() as u64)
+                .unwrap_or(0);
+        }
+        n
+    });
+    dev.set_fault_plan(None);
+
+    group.bench("strict_dispatch", || {
+        execute_parallel(&file, &query, &cost).unwrap().largest_response
+    });
+    let policy = ExecPolicy { retry: RetryPolicy::default(), failover: false, seed: 9 };
+    group.bench("policy_no_faults", || {
+        execute_parallel_with(&file, &query, &cost, &policy).unwrap().largest_response
+    });
+    group
+}
+
 /// One baseline file of the `bench_all` run: output file name plus the
 /// stats of every group it records.
 pub struct BaselineFile {
@@ -422,6 +481,7 @@ pub fn run_all(opts: &SuiteOpts) -> Vec<BaselineFile> {
     exec_stats.extend_from_slice(query_exec(opts).results());
     exec_stats.extend_from_slice(exec_fast_path(opts).results());
     exec_stats.extend_from_slice(obs_overhead(opts).results());
+    exec_stats.extend_from_slice(fault_overhead(opts).results());
 
     vec![
         BaselineFile { name: "BENCH_core.json", stats: core_stats },

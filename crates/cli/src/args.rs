@@ -14,9 +14,21 @@ USAGE:
       Report certified and measured optimality per unspecified-field count.
 
   pmr simulate --fields F1,F2,... --devices M --records N [--seed K]
-               [--trace T] [--json]
+               [--trace T] [--json] [--faults SPEC] [--retry POLICY]
+               [--mirror]
       Build a synthetic declustered file and execute sample queries in
-      parallel, reporting balance and simulated speedup.
+      parallel, reporting balance and simulated speedup. With --faults /
+      --retry / --mirror the fault-aware executor runs instead: injected
+      faults are retried, failed over to buddy mirrors, and reported as
+      coverage + per-device outcomes.
+
+  pmr chaos [--fields F1,F2,... --devices M] [--records N] [--seed K]
+            [--rates R1,R2,...] [--queries Q] [--retry POLICY]
+            [--outage D] [--no-mirror] [--json]
+      Sweep fault-injection rates over a system (default: the paper's
+      Table 7 system, F = 8^6, M = 32) and print a coverage /
+      response-time-inflation table. Mirroring + failover are on unless
+      --no-mirror; all fault decisions derive from the seed (PMR_SEED).
 
   pmr experiment <table1..table9|figure1..figure4|all> [--trace T]
       Regenerate a table/figure of the paper's evaluation.
@@ -48,7 +60,19 @@ OPTIONS:
   --bits      total directory bits (design; default 12)
   --trace     trace sink: a file path or 'stderr' (records spans/metrics
               as JSON lines; PMR_TRACE sets the same thing globally)
-  --json      machine-readable JSON-lines output (simulate)";
+  --json      machine-readable JSON-lines output (simulate/chaos)
+  --faults    fault spec: comma-separated key=value of read=P, corrupt=P,
+              latency=P:US or latency=P:LO..HI, outage=D, outage-rate=P
+              (e.g. read=0.01,latency=0.1:200..2000,outage=3)
+  --retry     retry policy: attempts=N,base=US,cap=US,budget=US (defaults
+              3,100,10000,1000000) or the literal 'none'
+  --mirror    simulate: mirror each bucket onto its buddy device
+              (d XOR M/2) and fail reads over to the mirror copy
+  --rates     chaos: comma-separated fault rates to sweep
+              (default 0,0.001,0.01,0.05,0.1)
+  --queries   chaos: sample queries per rate (default 8)
+  --outage    chaos: additionally kill device D at every swept rate
+  --no-mirror chaos: disable mirroring/failover (shows degradation)";
 
 /// Parsed `--flag value` pairs.
 pub struct Flags<'a> {
@@ -56,7 +80,7 @@ pub struct Flags<'a> {
 }
 
 /// Flags that take no value; present means `true`.
-const BOOLEAN_FLAGS: [&str; 1] = ["json"];
+const BOOLEAN_FLAGS: [&str; 3] = ["json", "mirror", "no-mirror"];
 
 impl<'a> Flags<'a> {
     /// Parses `--name value` pairs (and bare boolean flags like
@@ -156,9 +180,11 @@ mod tests {
     /// after it still parse.
     #[test]
     fn parses_boolean_flags() {
-        let args = argv(&["--json", "--seed", "9", "--trace", "out.jsonl"]);
+        let args = argv(&["--json", "--mirror", "--seed", "9", "--trace", "out.jsonl"]);
         let f = Flags::parse(&args).unwrap();
         assert!(f.has("json"));
+        assert!(f.has("mirror"));
+        assert!(!f.has("no-mirror"));
         assert_eq!(f.u64_or("seed", 42).unwrap(), 9);
         assert_eq!(f.get("trace"), Some("out.jsonl"));
     }

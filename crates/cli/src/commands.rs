@@ -8,11 +8,13 @@ use pmr_baselines::ModuloDistribution;
 use pmr_core::method::DistributionMethod;
 use pmr_core::{FxDistribution, SystemConfig};
 use pmr_mkh::{FieldType, Record, Schema, Value};
-use pmr_storage::exec::execute_parallel;
+use pmr_storage::exec::{execute_parallel, execute_parallel_with, DeviceOutcome, ExecPolicy};
 use pmr_storage::metrics::BalanceMetrics;
 use pmr_storage::{CostModel, DeclusteredFile};
+use pmr_rt::fault::{FaultPlan, RetryPolicy};
 use pmr_rt::obs::{self, TraceConfig};
 use pmr_rt::Rng;
+use std::sync::Arc;
 
 fn system_from(flags: &Flags<'_>) -> Result<SystemConfig, String> {
     SystemConfig::new(&flags.fields()?, flags.devices()?).map_err(|e| e.to_string())
@@ -73,6 +75,13 @@ pub fn analyze(args: &[String]) -> Result<(), String> {
 /// (aggregate them later with `pmr stats`); `--json` switches stdout to
 /// machine-readable JSON lines, one object per query, embedding each
 /// [`pmr_storage::exec::ExecutionReport`] and its trace summary.
+///
+/// Any of `--faults <spec>` / `--retry <policy>` / `--mirror` switches
+/// the query loop to the fault-aware executor
+/// ([`execute_parallel_with`]): injected faults are retried with
+/// simulated-time backoff, failed over to buddy mirrors when `--mirror`
+/// is on, and reported as coverage + per-device outcomes instead of
+/// errors.
 pub fn simulate(args: &[String]) -> Result<(), String> {
     let flags = Flags::parse(args)?;
     let sys = system_from(&flags)?;
@@ -80,6 +89,10 @@ pub fn simulate(args: &[String]) -> Result<(), String> {
     let seed = flags.u64_or("seed", 42)?;
     let strategy = flags.strategy()?;
     let json = flags.has("json");
+    let fault_spec = flags.get("faults");
+    let retry_spec = flags.get("retry");
+    let mirror = flags.has("mirror");
+    let fault_mode = fault_spec.is_some() || retry_spec.is_some() || mirror;
     let traced = install_trace(&flags)?;
 
     let mut builder = Schema::builder();
@@ -89,6 +102,9 @@ pub fn simulate(args: &[String]) -> Result<(), String> {
     let schema = builder.devices(sys.devices()).build().map_err(|e| e.to_string())?;
     let fx = FxDistribution::with_strategy(sys.clone(), strategy).map_err(|e| e.to_string())?;
     let mut file = DeclusteredFile::new(schema, fx, seed).map_err(|e| e.to_string())?;
+    if mirror && !file.enable_mirroring() {
+        return Err("--mirror needs at least 2 devices".into());
+    }
 
     let mut rng = Rng::seed_from_u64(seed);
     {
@@ -117,6 +133,19 @@ pub fn simulate(args: &[String]) -> Result<(), String> {
         println!();
     }
 
+    if let Some(spec) = fault_spec {
+        let plan = FaultPlan::parse(spec, seed)?;
+        file.install_fault_plan(Some(Arc::new(plan)));
+    }
+    let policy = ExecPolicy {
+        retry: match retry_spec {
+            Some(spec) => RetryPolicy::parse(spec)?,
+            None => RetryPolicy::default(),
+        },
+        failover: mirror,
+        seed,
+    };
+
     // Execute one query per unspecified-field count (k = 1 … n−1).
     let cost = CostModel::disk_1988();
     for k in 1..sys.num_fields() {
@@ -124,7 +153,11 @@ pub fn simulate(args: &[String]) -> Result<(), String> {
             .map(|i| if i < sys.num_fields() - k { Some(rng.gen_range(0..sys.field_size(i))) } else { None })
             .collect();
         let q = pmr_core::PartialMatchQuery::new(&sys, &values).map_err(|e| e.to_string())?;
-        let report = execute_parallel(&file, &q, &cost).map_err(|e| e.to_string())?;
+        let report = if fault_mode {
+            execute_parallel_with(&file, &q, &cost, &policy).map_err(|e| e.to_string())?
+        } else {
+            execute_parallel(&file, &q, &cost).map_err(|e| e.to_string())?
+        };
         let metrics = BalanceMetrics::of(&report.histogram());
         if json {
             println!(
@@ -147,6 +180,24 @@ pub fn simulate(args: &[String]) -> Result<(), String> {
             report.simulated_response_us / 1000.0,
             report.speedup()
         );
+        if fault_mode {
+            let mut retries = 0u32;
+            let (mut failed_over, mut lost_devices) = (0usize, 0usize);
+            for d in &report.per_device {
+                match d.outcome {
+                    DeviceOutcome::Ok => {}
+                    DeviceOutcome::Retried(n) => retries += n,
+                    DeviceOutcome::FailedOver => failed_over += 1,
+                    DeviceOutcome::Lost => lost_devices += 1,
+                }
+            }
+            println!(
+                "  coverage {:.4}: {retries} retries, {failed_over} devices failed over, \
+                 {lost_devices} devices lost buckets ({} lost total)",
+                report.coverage,
+                report.lost_buckets.len()
+            );
+        }
         if let Some(trace) = &report.trace {
             println!(
                 "  trace: {} spans, plan cache {} hit / {} miss, {} codes enumerated",
@@ -159,6 +210,193 @@ pub fn simulate(args: &[String]) -> Result<(), String> {
     }
     if traced {
         // Final registry state into the trace file, for `pmr stats`.
+        obs::flush();
+    }
+    Ok(())
+}
+
+/// `pmr chaos` — sweep fault-injection rates and print a coverage /
+/// response-time-inflation table.
+///
+/// Defaults to the paper's Table 7 system (six 8-ary fields on M = 32)
+/// with buddy-device mirroring + failover on. Each swept rate `r`
+/// installs a [`FaultPlan`] with read-error probability `r`, corruption
+/// `r/4`, and latency spikes at probability `r` in 200–2000 simulated
+/// µs; `--outage D` additionally holds device `D` dead at every rate.
+/// All fault decisions derive deterministically from the seed
+/// (`--seed`, default `PMR_SEED` or 42). Response-time inflation is
+/// relative to a fault-free run of the same query set, so `1.00x` means
+/// retries and failovers cost nothing.
+pub fn chaos(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    // The paper's Table 7 system unless both --fields and --devices
+    // override it.
+    let (fields, devices): (Vec<u64>, u64) =
+        if flags.get("fields").is_some() || flags.get("devices").is_some() {
+            (flags.fields()?, flags.devices()?)
+        } else {
+            (vec![8; 6], 32)
+        };
+    let sys = SystemConfig::new(&fields, devices).map_err(|e| e.to_string())?;
+    let records = flags.u64_or("records", 20_000)?;
+    let seed = flags.u64_or("seed", pmr_rt::seed_from_env_or(42))?;
+    let queries = flags.u64_or("queries", 8)? as usize;
+    let json = flags.has("json");
+    let mirror = !flags.has("no-mirror");
+    let strategy = flags.strategy()?;
+    let retry = match flags.get("retry") {
+        Some(spec) => RetryPolicy::parse(spec)?,
+        None => RetryPolicy::default(),
+    };
+    let dead_device = flags
+        .get("outage")
+        .map(|v| v.parse::<u64>().map_err(|e| format!("bad --outage: {e}")))
+        .transpose()?;
+    if let Some(d) = dead_device {
+        if d >= sys.devices() {
+            return Err(format!("--outage {d} out of range (M = {})", sys.devices()));
+        }
+    }
+    let rates: Vec<f64> = match flags.get("rates") {
+        None => vec![0.0, 0.001, 0.01, 0.05, 0.1],
+        Some(spec) => spec
+            .split(',')
+            .map(|s| {
+                let r = s.trim().parse::<f64>().map_err(|e| format!("bad rate {s:?}: {e}"))?;
+                if !(0.0..=1.0).contains(&r) {
+                    return Err(format!("rate {r} outside [0, 1]"));
+                }
+                Ok(r)
+            })
+            .collect::<Result<_, _>>()?,
+    };
+    let traced = install_trace(&flags)?;
+    // The injected/retry/failover counters only record while tracing is
+    // on; fall back to the in-memory sink so the table has them.
+    if !obs::enabled() {
+        obs::install(TraceConfig::Memory).map_err(|e| e.to_string())?;
+    }
+
+    let mut builder = Schema::builder();
+    for (i, &size) in sys.field_sizes().iter().enumerate() {
+        builder = builder.field(format!("f{i}"), FieldType::Int, size);
+    }
+    let schema = builder.devices(sys.devices()).build().map_err(|e| e.to_string())?;
+    let fx = FxDistribution::with_strategy(sys.clone(), strategy).map_err(|e| e.to_string())?;
+    let mut file = DeclusteredFile::new(schema, fx, seed).map_err(|e| e.to_string())?;
+    if mirror && !file.enable_mirroring() {
+        return Err("mirroring needs at least 2 devices (or pass --no-mirror)".into());
+    }
+    let mut rng = Rng::seed_from_u64(seed);
+    {
+        let _span = pmr_rt::span!("cli.chaos.insert", records = records);
+        for _ in 0..records {
+            let values: Vec<Value> = (0..sys.num_fields())
+                .map(|_| Value::Int(rng.gen_range(0..1_000_000i64)))
+                .collect();
+            file.insert(Record::new(values)).map_err(|e| e.to_string())?;
+        }
+    }
+
+    // A fixed query set reused at every rate: unspecified-field count
+    // cycles 1 … n−1, positions and values drawn from the seeded RNG.
+    let n = sys.num_fields();
+    let queryset: Vec<pmr_core::PartialMatchQuery> = (0..queries)
+        .map(|i| {
+            let k = 1 + (i % (n.max(2) - 1));
+            let mut order: Vec<usize> = (0..n).collect();
+            for j in 0..k.min(n) {
+                let pick = j + rng.gen_range(0..(n - j) as u64) as usize;
+                order.swap(j, pick);
+            }
+            let unspecified = &order[..k.min(n)];
+            let values: Vec<Option<u64>> = (0..n)
+                .map(|f| (!unspecified.contains(&f)).then(|| rng.gen_range(0..sys.field_size(f))))
+                .collect();
+            pmr_core::PartialMatchQuery::new(&sys, &values).map_err(|e| e.to_string())
+        })
+        .collect::<Result<_, _>>()?;
+
+    let policy = ExecPolicy { retry, failover: mirror, seed };
+    let cost = CostModel::disk_1988();
+    let baseline_total: f64 = {
+        let mut total = 0.0;
+        for q in &queryset {
+            total += execute_parallel_with(&file, q, &cost, &policy)
+                .map_err(|e| e.to_string())?
+                .simulated_response_us;
+        }
+        total
+    };
+
+    if json {
+        println!(
+            "{{\"system\":\"{sys}\",\"records\":{records},\"seed\":{seed},\"queries\":{},\
+             \"mirror\":{mirror},\"baseline_us\":{baseline_total:.1}}}",
+            queryset.len()
+        );
+    } else {
+        println!(
+            "chaos sweep over {sys}: {records} records, {} queries/rate, mirroring {}",
+            queryset.len(),
+            if mirror { "on" } else { "off" }
+        );
+        println!(
+            "retry attempts={} base={}µs cap={}µs budget={}µs; fault seed {seed}",
+            retry.max_attempts, retry.base_us, retry.cap_us, retry.budget_us
+        );
+        if let Some(d) = dead_device {
+            println!("device {d} held dead at every rate");
+        }
+        println!();
+        println!(
+            "{:>8}  {:>9}  {:>12}  {:>9}  {:>8}  {:>10}  {:>6}",
+            "rate", "coverage", "rt-inflation", "injected", "retries", "failovers", "lost"
+        );
+    }
+
+    for &rate in &rates {
+        let mut plan = FaultPlan::new(seed)
+            .with_read_error(rate)
+            .with_corruption(rate / 4.0)
+            .with_latency(rate, 200, 2_000);
+        if let Some(d) = dead_device {
+            plan = plan.with_dead_device(d);
+        }
+        file.install_fault_plan(Some(Arc::new(plan)));
+        let injected0 = obs::counter_total("fault.injected");
+        let retries0 = obs::counter_total("exec.retries");
+        let failovers0 = obs::counter_total("exec.failover");
+        let (mut total_us, mut qualified, mut served, mut lost) = (0.0f64, 0u64, 0u64, 0u64);
+        for q in &queryset {
+            let report =
+                execute_parallel_with(&file, q, &cost, &policy).map_err(|e| e.to_string())?;
+            total_us += report.simulated_response_us;
+            let rq = q.qualified_count_in(&sys);
+            qualified += rq;
+            lost += report.lost_buckets.len() as u64;
+            served += rq - report.lost_buckets.len() as u64;
+        }
+        let coverage = if qualified == 0 { 1.0 } else { served as f64 / qualified as f64 };
+        let inflation = if baseline_total > 0.0 { total_us / baseline_total } else { 1.0 };
+        let injected = obs::counter_total("fault.injected") - injected0;
+        let retries = obs::counter_total("exec.retries") - retries0;
+        let failovers = obs::counter_total("exec.failover") - failovers0;
+        if json {
+            println!(
+                "{{\"rate\":{rate},\"coverage\":{coverage:.6},\"rt_inflation\":{inflation:.4},\
+                 \"injected\":{injected},\"retries\":{retries},\"failovers\":{failovers},\
+                 \"lost\":{lost}}}"
+            );
+        } else {
+            println!(
+                "{rate:>8.4}  {coverage:>9.4}  {inflation:>11.2}x  {injected:>9}  {retries:>8}  \
+                 {failovers:>10}  {lost:>6}"
+            );
+        }
+    }
+    file.install_fault_plan(None);
+    if traced {
         obs::flush();
     }
     Ok(())

@@ -51,6 +51,39 @@ pub fn t_m(x: u64, m: u64) -> u64 {
     x & (m - 1)
 }
 
+/// The buddy mask pairing devices for mirrored placement: `m >> 1` (the
+/// top device-id bit) for power-of-two `m ≥ 2`, `None` for `m = 1`
+/// (a single device has no buddy).
+///
+/// By Lemma 1.1, XOR-ing every device id with a fixed non-zero constant
+/// `< M` permutes `Z_M`, and XOR by a single bit is an involution with no
+/// fixed points — so `d ↦ d ⊕ buddy_mask` tiles the devices into disjoint
+/// pairs `{d, d ⊕ M/2}`. Mirroring each bucket onto its home device's
+/// buddy therefore places the copy on a device whose *primary* bucket set
+/// is disjoint from the home's (FX assigns by `T_M(J_1 ⊕ … ⊕ J_n)`, and
+/// translating the device id translates the preimage), giving failover
+/// reads a deterministic second location that never collides with the
+/// primary.
+///
+/// # Examples
+///
+/// ```
+/// use pmr_core::bits::buddy_mask;
+///
+/// assert_eq!(buddy_mask(32), Some(16)); // Table 7: buddy of d is d ⊕ 16
+/// assert_eq!(buddy_mask(2), Some(1));
+/// assert_eq!(buddy_mask(1), None);
+/// assert_eq!(buddy_mask(12), None); // not a power of two
+/// ```
+#[inline]
+pub fn buddy_mask(m: u64) -> Option<u64> {
+    if is_power_of_two(m) && m >= 2 {
+        Some(m >> 1)
+    } else {
+        None
+    }
+}
+
 /// `ceil(a / b)` for positive `b`; the bound in the strict-optimality
 /// definition (`ceil(|R(q)| / M)`).
 #[inline]
@@ -359,8 +392,8 @@ mod tests {
                     layout.unpack_into(code, &mut buf);
                     assert_eq!(buf, bucket);
                     assert_eq!(layout.unpack(code), bucket);
-                    for i in 0..4 {
-                        assert_eq!(layout.field(code, i), bucket[i]);
+                    for (i, &coord) in bucket.iter().enumerate() {
+                        assert_eq!(layout.field(code, i), coord);
                     }
                 }
             }
@@ -388,6 +421,25 @@ mod tests {
             PackedLayout::new(&[1 << 40, 1 << 40]).unwrap_err(),
             Error::Overflow
         ));
+    }
+
+    /// Buddying is an involution with no fixed points, tiling `Z_M` into
+    /// disjoint pairs — the property failover placement relies on.
+    #[test]
+    fn buddy_mask_pairs_devices() {
+        for m in [2u64, 4, 8, 16, 32, 64] {
+            let mask = buddy_mask(m).unwrap();
+            assert_eq!(mask, m / 2);
+            for d in 0..m {
+                let buddy = d ^ mask;
+                assert!(buddy < m, "buddy stays in Z_M");
+                assert_ne!(buddy, d, "no device is its own buddy");
+                assert_eq!(buddy ^ mask, d, "buddying is an involution");
+            }
+        }
+        assert_eq!(buddy_mask(1), None);
+        assert_eq!(buddy_mask(0), None);
+        assert_eq!(buddy_mask(6), None);
     }
 
     #[test]

@@ -468,11 +468,8 @@ mod tests {
         }
         let mut it = q.qualified_buckets(&sys);
         let mut seen = Vec::new();
-        loop {
-            match it.next_bucket() {
-                Some(b) => seen.push(sys.linear_index(b)),
-                None => break,
-            }
+        while let Some(b) = it.next_bucket() {
+            seen.push(sys.linear_index(b));
             match it.next_code() {
                 Some(c) => seen.push(c),
                 None => break,

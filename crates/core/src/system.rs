@@ -238,6 +238,25 @@ impl SystemConfig {
     pub fn field_covers_devices(&self, field: usize) -> bool {
         self.inner.field_sizes[field] >= self.inner.devices
     }
+
+    /// The buddy mask for mirrored placement: `M / 2` when `M ≥ 2`, `None`
+    /// for a single device. See [`crate::bits::buddy_mask`] for why XOR by
+    /// this mask tiles `Z_M` into disjoint device pairs.
+    #[inline]
+    pub fn buddy_mask(&self) -> Option<u64> {
+        crate::bits::buddy_mask(self.inner.devices)
+    }
+
+    /// The buddy of `device` (`device ⊕ M/2`), or `None` when `M = 1`.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts `device < M`.
+    #[inline]
+    pub fn buddy_of(&self, device: u64) -> Option<u64> {
+        debug_assert!(device < self.inner.devices);
+        self.buddy_mask().map(|mask| device ^ mask)
+    }
 }
 
 impl fmt::Debug for SystemConfig {
@@ -373,6 +392,20 @@ mod tests {
     fn all_indices_covers_space() {
         let sys = SystemConfig::new(&[2, 4], 2).unwrap();
         assert_eq!(sys.all_indices().count() as u64, sys.total_buckets());
+    }
+
+    #[test]
+    fn buddy_pairs_partition_devices() {
+        let sys = SystemConfig::new(&[8; 6], 32).unwrap(); // Table 7
+        assert_eq!(sys.buddy_mask(), Some(16));
+        for d in 0..32 {
+            let buddy = sys.buddy_of(d).unwrap();
+            assert_eq!(sys.buddy_of(buddy), Some(d));
+            assert_ne!(buddy, d);
+        }
+        let single = SystemConfig::new(&[2, 8], 1).unwrap();
+        assert_eq!(single.buddy_mask(), None);
+        assert_eq!(single.buddy_of(0), None);
     }
 
     #[test]

@@ -20,6 +20,10 @@
 //!   median/p95, JSON-lines output, checksums for run-to-run
 //!   comparability).
 //! * [`sync`] — poison-free one-word aliases over `std::sync` locks.
+//! * [`fault`] — deterministic fault injection ([`fault::FaultPlan`]) and
+//!   retry policy ([`fault::RetryPolicy`]): seeded per-(device, bucket,
+//!   attempt) decisions and capped exponential backoff in *simulated*
+//!   microseconds, so chaos experiments replay bit-for-bit.
 //! * [`obs`] — observability: structured spans ([`span!`]), a metrics
 //!   registry (counters + fixed-bucket histograms), and JSON-lines /
 //!   in-memory trace sinks selected via `PMR_TRACE`. Branch-cheap when
@@ -32,6 +36,7 @@
 pub mod bench;
 pub mod buf;
 pub mod check;
+pub mod fault;
 pub mod obs;
 pub mod pool;
 pub mod rng;

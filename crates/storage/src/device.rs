@@ -8,10 +8,47 @@
 
 use crate::encode::{self, DecodeError};
 use pmr_rt::buf::{Bytes, BytesMut};
+use pmr_rt::fault::{FaultKind, FaultPlan};
+use pmr_rt::obs;
 use pmr_rt::sync::RwLock;
 use pmr_mkh::Record;
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A fault surfaced by a single bucket-read attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReadFault {
+    /// The device is fully down; further attempts on it cannot succeed.
+    Outage,
+    /// Transient I/O error — a retry may succeed.
+    Io,
+    /// The page failed to decode, either from injected transient
+    /// corruption or from genuinely corrupt bytes at rest.
+    Decode(DecodeError),
+}
+
+impl std::fmt::Display for ReadFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReadFault::Outage => write!(f, "device outage"),
+            ReadFault::Io => write!(f, "transient read error"),
+            ReadFault::Decode(e) => write!(f, "page decode failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReadFault {}
+
+/// A successful bucket read plus any injected latency to charge to the
+/// simulated clock.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BucketRead {
+    /// The bucket's records (empty when the bucket holds no data).
+    pub records: Vec<Record>,
+    /// Simulated microseconds of injected latency spike (0 when none).
+    pub injected_latency_us: u64,
+}
 
 /// One simulated device: resident buckets plus access accounting.
 #[derive(Debug)]
@@ -20,10 +57,19 @@ pub struct Device {
     /// Bucket index → encoded records. BTreeMap keeps bucket scans in
     /// address order, mirroring a physical layout.
     store: RwLock<BTreeMap<u64, BytesMut>>,
+    /// Mirror pages this device holds *for its buddy* — kept apart from
+    /// `store` so occupancy counts, persistence snapshots, and
+    /// redistribution drains only ever see primary data.
+    mirror_store: RwLock<BTreeMap<u64, BytesMut>>,
     /// Number of bucket reads served (lifetime).
     bucket_reads: AtomicU64,
     /// Number of records appended (lifetime).
     records_written: AtomicU64,
+    /// Fast flag mirroring `fault_plan.is_some()` — the disabled-path
+    /// cost of the fault hook is this one relaxed load plus a branch.
+    faults_on: AtomicBool,
+    /// The installed fault plan, if any.
+    fault_plan: RwLock<Option<Arc<FaultPlan>>>,
 }
 
 impl Device {
@@ -32,8 +78,11 @@ impl Device {
         Device {
             id,
             store: RwLock::new(BTreeMap::new()),
+            mirror_store: RwLock::new(BTreeMap::new()),
             bucket_reads: AtomicU64::new(0),
             records_written: AtomicU64::new(0),
+            faults_on: AtomicBool::new(false),
+            fault_plan: RwLock::new(None),
         }
     }
 
@@ -66,6 +115,131 @@ impl Device {
                 encode::decode_all(snapshot)
             }
         }
+    }
+
+    /// Installs (or removes, with `None`) the fault plan consulted by
+    /// [`Device::read_bucket_attempt`]. A plan with no active rates is
+    /// treated as absent, keeping the hot path on its fast branch.
+    pub fn set_fault_plan(&self, plan: Option<Arc<FaultPlan>>) {
+        let active = plan.as_ref().is_some_and(|p| p.is_active());
+        *self.fault_plan.write() = if active { plan } else { None };
+        self.faults_on.store(active, Ordering::Release);
+    }
+
+    /// The fault decision for this read attempt, if a plan is installed.
+    /// Disabled path: one relaxed load plus a branch.
+    #[inline]
+    fn consult_faults(&self, bucket_index: u64, attempt: u32) -> Option<FaultKind> {
+        if !self.faults_on.load(Ordering::Relaxed) {
+            return None;
+        }
+        let guard = self.fault_plan.read();
+        let kind = guard.as_ref()?.decide(self.id, bucket_index, attempt)?;
+        obs::counter_add("fault.injected", 1);
+        Some(kind)
+    }
+
+    /// One fault-aware read attempt against the **primary** store.
+    ///
+    /// With no plan installed this is [`Device::read_bucket`] plus one
+    /// relaxed atomic load. With a plan, the seeded per-(device, bucket,
+    /// attempt) decision may surface as [`ReadFault::Io`] /
+    /// [`ReadFault::Decode`] (both transient — a later attempt re-rolls),
+    /// [`ReadFault::Outage`] (permanent for the run), or an extra
+    /// simulated-µs latency charge on an otherwise clean read. Genuinely
+    /// corrupt pages at rest surface as [`ReadFault::Decode`] regardless
+    /// of the plan.
+    pub fn read_bucket_attempt(
+        &self,
+        bucket_index: u64,
+        attempt: u32,
+    ) -> Result<BucketRead, ReadFault> {
+        let mut injected_latency_us = 0;
+        match self.consult_faults(bucket_index, attempt) {
+            Some(FaultKind::Outage) => return Err(ReadFault::Outage),
+            Some(FaultKind::ReadError) => {
+                // The access was still issued: charge it to the counter.
+                self.bucket_reads.fetch_add(1, Ordering::Relaxed);
+                return Err(ReadFault::Io);
+            }
+            Some(FaultKind::Corruption) => {
+                self.bucket_reads.fetch_add(1, Ordering::Relaxed);
+                // Transient bus/DMA corruption: the page *read* garbage
+                // but the bytes at rest are intact, so a retry re-rolls.
+                return Err(ReadFault::Decode(DecodeError::Truncated));
+            }
+            Some(FaultKind::LatencySpike(us)) => injected_latency_us = us,
+            None => {}
+        }
+        let records = self.read_bucket(bucket_index).map_err(ReadFault::Decode)?;
+        Ok(BucketRead { records, injected_latency_us })
+    }
+
+    /// One fault-aware read attempt against the **mirror** store — the
+    /// failover path, called on the buddy of a failed home device. The
+    /// same fault plan applies (the buddy can be out too).
+    pub fn read_mirror_attempt(
+        &self,
+        bucket_index: u64,
+        attempt: u32,
+    ) -> Result<BucketRead, ReadFault> {
+        let mut injected_latency_us = 0;
+        match self.consult_faults(bucket_index, attempt) {
+            Some(FaultKind::Outage) => return Err(ReadFault::Outage),
+            Some(FaultKind::ReadError) => {
+                self.bucket_reads.fetch_add(1, Ordering::Relaxed);
+                return Err(ReadFault::Io);
+            }
+            Some(FaultKind::Corruption) => {
+                self.bucket_reads.fetch_add(1, Ordering::Relaxed);
+                return Err(ReadFault::Decode(DecodeError::Truncated));
+            }
+            Some(FaultKind::LatencySpike(us)) => injected_latency_us = us,
+            None => {}
+        }
+        self.bucket_reads.fetch_add(1, Ordering::Relaxed);
+        let store = self.mirror_store.read();
+        let records = match store.get(&bucket_index) {
+            None => Vec::new(),
+            Some(region) => {
+                let snapshot: Bytes = Bytes::copy_from_slice(region);
+                encode::decode_all(snapshot).map_err(ReadFault::Decode)?
+            }
+        };
+        Ok(BucketRead { records, injected_latency_us })
+    }
+
+    /// Appends a record to a **mirror** bucket this device holds for its
+    /// buddy. Mirror writes do not count toward `records_written` —
+    /// occupancy accounting tracks primary placement only.
+    pub fn append_mirror(&self, bucket_index: u64, record: &Record) {
+        let mut store = self.mirror_store.write();
+        let region = store.entry(bucket_index).or_default();
+        encode::encode_record(record, region);
+    }
+
+    /// Installs a pre-encoded page into the mirror store (bulk
+    /// re-mirroring path), replacing any previous mirror page.
+    pub fn install_mirror_page(&self, bucket_index: u64, page: &[u8]) {
+        let mut store = self.mirror_store.write();
+        let region = store.entry(bucket_index).or_default();
+        region.clear();
+        region.extend_from_slice(page);
+    }
+
+    /// Indices of the mirror buckets this device holds, in address order.
+    pub fn mirror_buckets(&self) -> Vec<u64> {
+        self.mirror_store.read().keys().copied().collect()
+    }
+
+    /// Number of resident mirror pages.
+    pub fn mirror_bucket_count(&self) -> usize {
+        self.mirror_store.read().len()
+    }
+
+    /// Drops all mirror pages (primary data untouched).
+    pub fn clear_mirror(&self) {
+        self.mirror_store.write().clear();
     }
 
     /// Indices of the buckets with resident data, in address order.
@@ -116,17 +290,20 @@ impl Device {
         region.extend_from_slice(bytes);
     }
 
-    /// Drops all resident data and resets counters (used when a file is
-    /// redistributed after a directory expansion).
+    /// Drops all resident data (primary and mirror) and resets counters
+    /// (used when a file is redistributed after a directory expansion).
     pub fn clear(&self) {
         self.store.write().clear();
+        self.mirror_store.write().clear();
         self.bucket_reads.store(0, Ordering::Relaxed);
         self.records_written.store(0, Ordering::Relaxed);
     }
 
     /// Drains all resident (bucket, records) pairs, leaving the device
-    /// empty. Used for redistribution.
+    /// empty. Used for redistribution: mirror pages are derived data, so
+    /// they are dropped rather than returned (re-mirroring rebuilds them).
     pub fn drain(&self) -> Result<Vec<(u64, Vec<Record>)>, DecodeError> {
+        self.mirror_store.write().clear();
         let mut store = self.store.write();
         let drained = std::mem::take(&mut *store);
         drained
@@ -192,6 +369,83 @@ mod tests {
         // Other buckets are unaffected.
         d.append(4, &rec(2));
         assert_eq!(d.read_bucket(4).unwrap(), vec![rec(2)]);
+    }
+
+    #[test]
+    fn attempt_read_without_plan_matches_read_bucket() {
+        let d = Device::new(2);
+        d.append(9, &rec(7));
+        let got = d.read_bucket_attempt(9, 0).unwrap();
+        assert_eq!(got.records, vec![rec(7)]);
+        assert_eq!(got.injected_latency_us, 0);
+        assert_eq!(d.read_bucket_attempt(10, 0).unwrap().records, vec![]);
+        // Decode failures surface as typed faults even with faults off.
+        d.inject_corruption(9, &[0xff, 0x01]);
+        assert!(matches!(d.read_bucket_attempt(9, 1), Err(ReadFault::Decode(_))));
+    }
+
+    #[test]
+    fn installed_plan_injects_and_inactive_plan_is_ignored() {
+        let d = Device::new(0);
+        d.append(1, &rec(1));
+        d.set_fault_plan(Some(Arc::new(FaultPlan::new(1).with_dead_device(0))));
+        assert_eq!(d.read_bucket_attempt(1, 0), Err(ReadFault::Outage));
+        assert_eq!(d.read_mirror_attempt(1, 0), Err(ReadFault::Outage));
+        // Removing the plan restores clean reads.
+        d.set_fault_plan(None);
+        assert_eq!(d.read_bucket_attempt(1, 0).unwrap().records, vec![rec(1)]);
+        // An all-zero-rate plan is treated as absent.
+        d.set_fault_plan(Some(Arc::new(FaultPlan::new(1))));
+        assert_eq!(d.read_bucket_attempt(1, 0).unwrap().records, vec![rec(1)]);
+    }
+
+    #[test]
+    fn latency_spikes_ride_on_successful_reads() {
+        let d = Device::new(0);
+        d.append(0, &rec(1));
+        d.set_fault_plan(Some(Arc::new(FaultPlan::new(11).with_latency(1.0, 40, 60))));
+        let got = d.read_bucket_attempt(0, 0).unwrap();
+        assert_eq!(got.records, vec![rec(1)]);
+        assert!((40..=60).contains(&got.injected_latency_us));
+        // Deterministic: the same attempt spikes identically.
+        assert_eq!(d.read_bucket_attempt(0, 0).unwrap(), got);
+    }
+
+    #[test]
+    fn mirror_store_is_separate_from_primary() {
+        let d = Device::new(1);
+        d.append(4, &rec(1));
+        d.append_mirror(5, &rec(2));
+        d.append_mirror(5, &rec(3));
+        assert_eq!(d.resident_buckets(), vec![4]);
+        assert_eq!(d.mirror_buckets(), vec![5]);
+        assert_eq!(d.mirror_bucket_count(), 1);
+        // Mirror writes don't count toward primary occupancy.
+        assert_eq!(d.records_written(), 1);
+        assert_eq!(d.read_mirror_attempt(5, 0).unwrap().records, vec![rec(2), rec(3)]);
+        assert_eq!(d.read_mirror_attempt(4, 0).unwrap().records, vec![]);
+        // install_mirror_page replaces, append_mirror appends.
+        let page = d.raw_page(4).unwrap();
+        d.install_mirror_page(5, &page);
+        assert_eq!(d.read_mirror_attempt(5, 0).unwrap().records, vec![rec(1)]);
+        d.clear_mirror();
+        assert_eq!(d.mirror_bucket_count(), 0);
+        assert_eq!(d.resident_buckets(), vec![4]);
+    }
+
+    #[test]
+    fn drain_and_clear_drop_mirror_pages() {
+        let d = Device::new(0);
+        d.append(1, &rec(1));
+        d.append_mirror(2, &rec(2));
+        let drained = d.drain().unwrap();
+        assert_eq!(drained, vec![(1, vec![rec(1)])]);
+        assert_eq!(d.mirror_bucket_count(), 0);
+        d.append(1, &rec(1));
+        d.append_mirror(2, &rec(2));
+        d.clear();
+        assert_eq!(d.resident_bucket_count(), 0);
+        assert_eq!(d.mirror_bucket_count(), 0);
     }
 
     #[test]

@@ -24,14 +24,65 @@
 //! `addresses_computed` differs.
 
 use crate::cost::CostModel;
-use crate::device::Device;
+use crate::device::{Device, ReadFault};
 use crate::file::{DeclusteredFile, FileError};
 use pmr_core::inverse::{for_each_device_code, FxInverse};
 use pmr_core::method::DistributionMethod;
 use pmr_core::{FxDistribution, PartialMatchQuery, SystemConfig};
 use pmr_mkh::Record;
+use pmr_rt::fault::RetryPolicy;
 use pmr_rt::obs::{self, TraceSummary};
+use std::fmt;
 use std::sync::Arc;
+
+/// How one device's share of a query was ultimately served.
+///
+/// Ordered by degradation severity: aggregation across a device's buckets
+/// keeps the worst case (any lost bucket → [`DeviceOutcome::Lost`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviceOutcome {
+    /// Every bucket read succeeded first try.
+    Ok,
+    /// All buckets served from the primary, after this many retries.
+    Retried(u32),
+    /// At least one bucket was served from the buddy's mirror copy.
+    FailedOver,
+    /// At least one bucket could not be served from either copy.
+    Lost,
+}
+
+impl fmt::Display for DeviceOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceOutcome::Ok => write!(f, "ok"),
+            DeviceOutcome::Retried(n) => write!(f, "retried({n})"),
+            DeviceOutcome::FailedOver => write!(f, "failed_over"),
+            DeviceOutcome::Lost => write!(f, "lost"),
+        }
+    }
+}
+
+/// Execution policy for the fault-aware path
+/// ([`execute_parallel_with`]): how hard to retry, whether to fail over
+/// to buddy mirrors, and the seed for backoff jitter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecPolicy {
+    /// Per-copy retry policy (backoff in simulated µs).
+    pub retry: RetryPolicy,
+    /// Fail over to the buddy's mirror copy when the primary is
+    /// exhausted (requires [`DeclusteredFile::enable_mirroring`]).
+    pub failover: bool,
+    /// Seed for backoff jitter — conventionally the run's `PMR_SEED`, so
+    /// retry schedules replay with the fault decisions.
+    pub seed: u64,
+}
+
+impl Default for ExecPolicy {
+    /// Default retry policy, failover on, seed 0.
+    fn default() -> Self {
+        ExecPolicy { retry: RetryPolicy::default(), failover: true, seed: 0 }
+    }
+}
 
 /// Per-device outcome of one query execution.
 #[derive(Debug, Clone, PartialEq)]
@@ -46,8 +97,12 @@ pub struct DeviceReport {
     pub records: u64,
     /// Bucket addresses this worker evaluated during inverse mapping.
     pub addresses_computed: u64,
-    /// Simulated device time under the execution's cost model.
+    /// Simulated device time under the execution's cost model, including
+    /// injected latency, retry backoff, and failover reads.
     pub simulated_us: f64,
+    /// How this device's share was served (always [`DeviceOutcome::Ok`]
+    /// on the strict, non-policy paths).
+    pub outcome: DeviceOutcome,
 }
 
 /// Outcome of one parallel query execution.
@@ -64,6 +119,13 @@ pub struct ExecutionReport {
     /// Simulated serial time: `Σ_i` device time (what a single-device
     /// system would pay) — `serial / parallel` is the speedup.
     pub simulated_serial_us: f64,
+    /// Fraction of `R(q)` actually served: `(qualified − lost) /
+    /// qualified`, `1.0` for an empty query. Below `1.0` the execution is
+    /// **degraded** — `records` is missing the lost buckets' contents.
+    pub coverage: f64,
+    /// Packed codes of the qualified buckets that could not be served
+    /// from either copy, sorted. Empty on a fully-covered execution.
+    pub lost_buckets: Vec<u64>,
     /// What the observability layer recorded during this execution
     /// (counter deltas, spans) — `None` when tracing is off.
     pub trace: Option<TraceSummary>,
@@ -91,6 +153,12 @@ impl ExecutionReport {
         self.per_device.iter().map(|d| d.qualified_buckets).collect()
     }
 
+    /// `true` when every qualified bucket was served (possibly via
+    /// retries or failover) — the negation of *degraded*.
+    pub fn is_complete(&self) -> bool {
+        self.lost_buckets.is_empty()
+    }
+
     /// Machine-readable rendering: one flat JSON object (the workspace's
     /// JSON-lines vocabulary), including the per-device breakdown and the
     /// [`TraceSummary`] when tracing was on. Retrieved records are
@@ -102,55 +170,81 @@ impl ExecutionReport {
             .map(|d| {
                 format!(
                     "{{\"device\":{},\"qualified_buckets\":{},\"records\":{},\
-                     \"addresses_computed\":{},\"simulated_us\":{:.3}}}",
-                    d.device, d.qualified_buckets, d.records, d.addresses_computed, d.simulated_us
+                     \"addresses_computed\":{},\"simulated_us\":{:.3},\"outcome\":\"{}\"}}",
+                    d.device,
+                    d.qualified_buckets,
+                    d.records,
+                    d.addresses_computed,
+                    d.simulated_us,
+                    d.outcome
                 )
             })
             .collect::<Vec<_>>()
             .join(",");
+        let lost = self
+            .lost_buckets
+            .iter()
+            .map(u64::to_string)
+            .collect::<Vec<_>>()
+            .join(",");
         format!(
             "{{\"largest_response\":{},\"records\":{},\"simulated_response_us\":{:.3},\
-             \"simulated_serial_us\":{:.3},\"speedup\":{:.4},\"per_device\":[{devices}],\
+             \"simulated_serial_us\":{:.3},\"speedup\":{:.4},\"coverage\":{:.6},\
+             \"lost_buckets\":[{lost}],\"per_device\":[{devices}],\
              \"trace\":{}}}",
             self.largest_response,
             self.records.len(),
             self.simulated_response_us,
             self.simulated_serial_us,
             self.speedup(),
+            self.coverage,
             self.trace.as_ref().map_or("null".to_string(), TraceSummary::to_json)
         )
     }
 }
 
+/// One worker's yield: its report, its records, and the packed codes of
+/// any buckets it could not serve (always empty on the strict paths).
+type WorkerYield = (DeviceReport, Vec<Record>, Vec<u64>);
+
 /// Assembles per-worker results into an [`ExecutionReport`], closing the
 /// trace capture (if tracing is on) and batching the per-device tallies
 /// into the metrics registry.
 fn collect_report(
-    results: Vec<Result<(DeviceReport, Vec<Record>), FileError>>,
+    results: Vec<Result<WorkerYield, FileError>>,
     m: u64,
     capture: Option<obs::TraceCapture>,
 ) -> Result<ExecutionReport, FileError> {
     let mut per_device = Vec::with_capacity(m as usize);
     let mut records = Vec::new();
+    let mut lost_buckets = Vec::new();
     for r in results {
-        let (report, mut recs) = r?;
+        let (report, mut recs, mut lost) = r?;
         per_device.push(report);
         records.append(&mut recs);
+        lost_buckets.append(&mut lost);
     }
     per_device.sort_by_key(|d| d.device);
+    lost_buckets.sort_unstable();
     let largest_response = per_device.iter().map(|d| d.qualified_buckets).max().unwrap_or(0);
     let simulated_response_us =
         per_device.iter().map(|d| d.simulated_us).fold(0.0f64, f64::max);
     let simulated_serial_us: f64 = per_device.iter().map(|d| d.simulated_us).sum();
+    let total_qualified: u64 = per_device.iter().map(|d| d.qualified_buckets).sum();
+    let coverage = if total_qualified == 0 {
+        1.0
+    } else {
+        (total_qualified - lost_buckets.len() as u64) as f64 / total_qualified as f64
+    };
+    if coverage < 1.0 {
+        obs::counter_add("exec.degraded", 1);
+    }
     if obs::enabled() {
         obs::counter_add(
             "exec.addresses_computed",
             per_device.iter().map(|d| d.addresses_computed).sum(),
         );
-        obs::counter_add(
-            "exec.qualified_buckets",
-            per_device.iter().map(|d| d.qualified_buckets).sum(),
-        );
+        obs::counter_add("exec.qualified_buckets", total_qualified);
         obs::observe_us("exec.simulated_response_us", simulated_response_us);
     }
     Ok(ExecutionReport {
@@ -159,6 +253,8 @@ fn collect_report(
         largest_response,
         simulated_response_us,
         simulated_serial_us,
+        coverage,
+        lost_buckets,
         trace: capture.map(obs::TraceCapture::finish),
     })
 }
@@ -201,7 +297,7 @@ pub fn execute_parallel_scan<D: DistributionMethod>(
     obs::counter_add("exec.scan.dispatched", 1);
     let _span = pmr_rt::span!("exec.query", devices = m, qualified = total_qualified);
 
-    let results: Vec<Result<(DeviceReport, Vec<Record>), FileError>> =
+    let results: Vec<Result<WorkerYield, FileError>> =
         pmr_rt::pool::scope_map(0..m, |device| device_worker(file, query, device, cost));
 
     let report = collect_report(results, m, capture)?;
@@ -252,7 +348,7 @@ fn run_fx(
         None => 1,
     };
 
-    let results: Vec<Result<(DeviceReport, Vec<Record>), FileError>> =
+    let results: Vec<Result<WorkerYield, FileError>> =
         pmr_rt::pool::scope_map(0..m, |device| {
             let _span = pmr_rt::span!("exec.device", device = device);
             let dev = &devices[device as usize];
@@ -282,12 +378,204 @@ fn run_fx(
                     records: records.len() as u64,
                     addresses_computed,
                     simulated_us,
+                    outcome: DeviceOutcome::Ok,
                 },
                 records,
+                Vec::new(),
             ))
         });
 
     collect_report(results, m, capture)
+}
+
+/// Executes `query` under an [`ExecPolicy`]: the fault-aware, gracefully
+/// degrading path.
+///
+/// Each qualified bucket is read with per-attempt fault decisions from
+/// the devices' installed [`pmr_rt::fault::FaultPlan`] (none installed →
+/// clean reads). Transient faults are retried per `policy.retry`, with
+/// capped exponential backoff charged to the *simulated* clock. When the
+/// primary copy is exhausted and `policy.failover` is on, the read fails
+/// over to the buddy's mirror copy (requires
+/// [`DeclusteredFile::enable_mirroring`]). Buckets lost from both copies
+/// degrade the report — `coverage < 1.0` and their codes land in
+/// `lost_buckets` — instead of erroring: a partial answer with an honest
+/// account beats no answer.
+///
+/// With no fault plan and no mirroring this produces the same report as
+/// [`execute_parallel`] (outcomes all [`DeviceOutcome::Ok`]), except that
+/// a genuinely corrupt page at rest is *lost* (degrading coverage) rather
+/// than failing the whole execution.
+///
+/// # Errors
+///
+/// Only from query validation; faults never error this path.
+pub fn execute_parallel_with<D: DistributionMethod>(
+    file: &DeclusteredFile<D>,
+    query: &PartialMatchQuery,
+    cost: &CostModel,
+    policy: &ExecPolicy,
+) -> Result<ExecutionReport, FileError> {
+    let sys = file.system();
+    let m = sys.devices();
+    let total_qualified = query.qualified_count_in(sys);
+    let capture = obs::capture();
+    let _span = pmr_rt::span!("exec.query", devices = m, qualified = total_qualified);
+    let devices = file.devices();
+    let pairing = if policy.failover { file.mirroring().copied() } else { None };
+    let inverse = file.method().as_fx().map(|fx| FxInverse::new(fx, query));
+    let free_combos = match inverse.as_ref().and_then(|inv| inv.plan().pivot()) {
+        Some(p) => total_qualified / sys.field_size(p),
+        None => 1,
+    };
+
+    let results: Vec<Result<WorkerYield, FileError>> =
+        pmr_rt::pool::scope_map(0..m, |device| {
+            let _span = pmr_rt::span!("exec.device", device = device);
+            let mut codes = Vec::new();
+            match &inverse {
+                Some(inv) => inv.for_each_code_on(device, |code| codes.push(code)),
+                None => {
+                    for_each_device_code(file.method(), sys, query, device, |code| {
+                        codes.push(code)
+                    })
+                }
+            }
+            let addresses_computed = if inverse.is_some() {
+                free_combos + codes.len() as u64
+            } else {
+                total_qualified
+            };
+            Ok(resilient_device_read(
+                devices,
+                device,
+                &codes,
+                pairing.as_ref().map(|p| p.buddy_of(device)),
+                cost,
+                policy,
+                addresses_computed,
+            ))
+        });
+
+    collect_report(results, m, capture)
+}
+
+/// Reads every code on one device under the policy: retry → failover →
+/// lose. Returns the device report, its records, and the lost codes.
+fn resilient_device_read(
+    devices: &[Arc<Device>],
+    device: u64,
+    codes: &[u64],
+    buddy: Option<u64>,
+    cost: &CostModel,
+    policy: &ExecPolicy,
+    addresses_computed: u64,
+) -> WorkerYield {
+    let dev = &devices[device as usize];
+    let mut records = Vec::new();
+    let mut lost = Vec::new();
+    let mut extra_us = 0.0f64;
+    let mut retries_total = 0u32;
+    let mut failed_over = false;
+    for &code in codes {
+        let (primary, primary_us, primary_retries) =
+            read_with_retry(policy, device, code, |attempt| dev.read_bucket_attempt(code, attempt));
+        extra_us += primary_us;
+        retries_total += primary_retries;
+        if let Some(recs) = primary {
+            records.extend(recs);
+            continue;
+        }
+        if let Some(buddy_id) = buddy {
+            let buddy_dev = &devices[buddy_id as usize];
+            let (mirror, mirror_us, mirror_retries) = read_with_retry(policy, buddy_id, code, |attempt| {
+                buddy_dev.read_mirror_attempt(code, attempt)
+            });
+            // The failover read and its backoff are charged to the home
+            // worker — it is the one waiting on the bucket.
+            extra_us += mirror_us + cost.device_time_us(1, 0);
+            retries_total += mirror_retries;
+            if let Some(recs) = mirror {
+                obs::counter_add("exec.failover", 1);
+                failed_over = true;
+                records.extend(recs);
+                continue;
+            }
+        }
+        lost.push(code);
+    }
+    let qualified_buckets = codes.len() as u64;
+    let simulated_us = cost.device_time_us(qualified_buckets, addresses_computed) + extra_us;
+    obs::observe_us("exec.device.simulated_us", simulated_us);
+    let outcome = if !lost.is_empty() {
+        DeviceOutcome::Lost
+    } else if failed_over {
+        DeviceOutcome::FailedOver
+    } else if retries_total > 0 {
+        DeviceOutcome::Retried(retries_total)
+    } else {
+        DeviceOutcome::Ok
+    };
+    (
+        DeviceReport {
+            device,
+            qualified_buckets,
+            records: records.len() as u64,
+            addresses_computed,
+            simulated_us,
+            outcome,
+        },
+        records,
+        lost,
+    )
+}
+
+/// One copy's retry loop: attempts `read(attempt)` up to
+/// `policy.retry.max_attempts` times, charging jittered backoff between
+/// attempts to the simulated clock, bounded by the policy's backoff
+/// budget. Outages short-circuit (retrying a dead device cannot help).
+/// Returns `(records-or-None, simulated µs charged, retries performed)`.
+fn read_with_retry<F>(
+    policy: &ExecPolicy,
+    device: u64,
+    code: u64,
+    mut read: F,
+) -> (Option<Vec<Record>>, f64, u32)
+where
+    F: FnMut(u32) -> Result<crate::device::BucketRead, ReadFault>,
+{
+    let mut charged_us = 0.0f64;
+    let mut backoff_spent = 0u64;
+    let mut retries = 0u32;
+    let mut attempt = 0u32;
+    loop {
+        match read(attempt) {
+            Ok(read) => {
+                charged_us += read.injected_latency_us as f64;
+                return (Some(read.records), charged_us, retries);
+            }
+            Err(ReadFault::Outage) => return (None, charged_us, retries),
+            Err(_) => {
+                let next = attempt + 1;
+                if next >= policy.retry.max_attempts {
+                    return (None, charged_us, retries);
+                }
+                let backoff = policy.retry.backoff_us(next, policy.seed, device, code);
+                if policy.retry.budget_us > 0
+                    && backoff_spent.saturating_add(backoff) > policy.retry.budget_us
+                {
+                    // Budget exhausted: forfeit the remaining attempts.
+                    return (None, charged_us, retries);
+                }
+                backoff_spent += backoff;
+                charged_us += backoff as f64;
+                retries += 1;
+                obs::counter_add("exec.retries", 1);
+                obs::observe_us("exec.retry_delay_us", backoff as f64);
+                attempt = next;
+            }
+        }
+    }
 }
 
 /// The generic per-device worker: packed inverse scan + bucket reads.
@@ -298,7 +586,7 @@ fn device_worker<D: DistributionMethod>(
     query: &PartialMatchQuery,
     device: u64,
     cost: &CostModel,
-) -> Result<(DeviceReport, Vec<Record>), FileError> {
+) -> Result<WorkerYield, FileError> {
     let _span = pmr_rt::span!("exec.device", device = device);
     let sys = file.system();
     // Generic inverse mapping: evaluate every qualified bucket's address
@@ -331,8 +619,10 @@ fn device_worker<D: DistributionMethod>(
             records: records.len() as u64,
             addresses_computed,
             simulated_us,
+            outcome: DeviceOutcome::Ok,
         },
         records,
+        Vec::new(),
     ))
 }
 
@@ -407,6 +697,8 @@ mod tests {
             largest_response: 0,
             simulated_response_us: 0.0,
             simulated_serial_us: 0.0,
+            coverage: 1.0,
+            lost_buckets: Vec::new(),
             trace: None,
         };
         assert_eq!(empty.speedup(), 1.0);
@@ -528,5 +820,212 @@ mod tests {
         let report = execute_parallel(&file, &q, &CostModel::disk_1988()).unwrap();
         assert!(report.records.is_empty());
         assert_eq!(report.histogram().iter().sum::<u64>(), 8);
+        assert_eq!(report.coverage, 1.0);
+        assert!(report.is_complete());
+    }
+
+    /// With no fault plan and no mirroring, the policy path reproduces
+    /// the strict path's report exactly — results, histogram, addresses,
+    /// and simulated times — with all-Ok outcomes. This is the acceptance
+    /// criterion "faults disabled → `execute_parallel` results unchanged"
+    /// extended to the new API.
+    #[test]
+    fn policy_path_without_faults_matches_strict() {
+        let file = build_file(600);
+        for specs in [vec![("cat", Value::Int(5))], vec![], vec![("k", Value::Int(2))]] {
+            let q = file.query(&specs).unwrap();
+            let strict = execute_parallel(&file, &q, &CostModel::main_memory()).unwrap();
+            let policied =
+                execute_parallel_with(&file, &q, &CostModel::main_memory(), &ExecPolicy::default())
+                    .unwrap();
+            assert_eq!(strict.histogram(), policied.histogram());
+            assert_eq!(strict.largest_response, policied.largest_response);
+            assert_eq!(strict.simulated_response_us, policied.simulated_response_us);
+            assert_eq!(policied.coverage, 1.0);
+            assert!(policied.lost_buckets.is_empty());
+            assert!(policied
+                .per_device
+                .iter()
+                .all(|d| d.outcome == DeviceOutcome::Ok));
+            let mut a = strict.records.clone();
+            let mut b = policied.records.clone();
+            a.sort_by_key(|r| format!("{r}"));
+            b.sort_by_key(|r| format!("{r}"));
+            assert_eq!(a, b);
+            for (s, p) in strict.per_device.iter().zip(&policied.per_device) {
+                assert_eq!(s.addresses_computed, p.addresses_computed);
+                assert_eq!(s.simulated_us, p.simulated_us);
+            }
+        }
+    }
+
+    /// Transient read errors retried to success: full coverage, Retried
+    /// outcomes, response-time inflation from backoff.
+    #[test]
+    fn transient_faults_are_retried_to_success() {
+        let file = build_file(400);
+        let q = file.query(&[]).unwrap();
+        let clean =
+            execute_parallel_with(&file, &q, &CostModel::main_memory(), &ExecPolicy::default())
+                .unwrap();
+        file.install_fault_plan(Some(Arc::new(
+            pmr_rt::fault::FaultPlan::new(42).with_read_error(0.3),
+        )));
+        // Generous attempt allowance: every 30%-likely transient fault
+        // re-rolls to success well within 12 attempts.
+        let policy = ExecPolicy {
+            retry: pmr_rt::fault::RetryPolicy {
+                max_attempts: 12,
+                base_us: 100,
+                cap_us: 10_000,
+                budget_us: 10_000_000,
+            },
+            failover: false,
+            seed: 42,
+        };
+        let faulted =
+            execute_parallel_with(&file, &q, &CostModel::main_memory(), &policy).unwrap();
+        assert_eq!(faulted.coverage, 1.0, "lost {:?}", faulted.lost_buckets);
+        let mut a = clean.records.clone();
+        let mut b = faulted.records.clone();
+        a.sort_by_key(|r| format!("{r}"));
+        b.sort_by_key(|r| format!("{r}"));
+        assert_eq!(a, b, "retried run must retrieve the same records");
+        assert!(
+            faulted.per_device.iter().any(|d| matches!(d.outcome, DeviceOutcome::Retried(_))),
+            "rate 0.3 over 64 buckets should retry somewhere: {:?}",
+            faulted.per_device.iter().map(|d| d.outcome).collect::<Vec<_>>()
+        );
+        assert!(
+            faulted.simulated_response_us > clean.simulated_response_us,
+            "backoff must inflate the simulated response time"
+        );
+        file.install_fault_plan(None);
+    }
+
+    /// A dead device with mirroring on: full coverage via failover, and
+    /// record-set equality with the fault-free run.
+    #[test]
+    fn outage_with_mirroring_fails_over_to_full_coverage() {
+        let mut file = build_file(500);
+        assert!(file.enable_mirroring());
+        let q = file.query(&[("cat", Value::Int(3))]).unwrap();
+        let clean =
+            execute_parallel_with(&file, &q, &CostModel::main_memory(), &ExecPolicy::default())
+                .unwrap();
+        file.install_fault_plan(Some(Arc::new(
+            pmr_rt::fault::FaultPlan::new(7).with_dead_device(1),
+        )));
+        let policy = ExecPolicy { seed: 7, ..ExecPolicy::default() };
+        let faulted =
+            execute_parallel_with(&file, &q, &CostModel::main_memory(), &policy).unwrap();
+        assert_eq!(faulted.coverage, 1.0);
+        assert!(faulted.lost_buckets.is_empty());
+        assert_eq!(faulted.per_device[1].outcome, DeviceOutcome::FailedOver);
+        let mut a = clean.records.clone();
+        let mut b = faulted.records.clone();
+        a.sort_by_key(|r| format!("{r}"));
+        b.sort_by_key(|r| format!("{r}"));
+        assert_eq!(a, b, "failover must retrieve the same records");
+        file.install_fault_plan(None);
+    }
+
+    /// A dead device with no mirror degrades the report instead of
+    /// erroring: coverage < 1, lost buckets listed, outcome Lost.
+    #[test]
+    fn outage_without_mirroring_degrades() {
+        let file = build_file(300);
+        file.install_fault_plan(Some(Arc::new(
+            pmr_rt::fault::FaultPlan::new(7).with_dead_device(2),
+        )));
+        let q = file.query(&[]).unwrap();
+        let report =
+            execute_parallel_with(&file, &q, &CostModel::main_memory(), &ExecPolicy::default())
+                .unwrap();
+        let expected_lost = report.per_device[2].qualified_buckets;
+        assert_eq!(report.lost_buckets.len() as u64, expected_lost);
+        assert_eq!(report.per_device[2].outcome, DeviceOutcome::Lost);
+        assert!(!report.is_complete());
+        let total: u64 = report.histogram().iter().sum();
+        let want = (total - expected_lost) as f64 / total as f64;
+        assert!((report.coverage - want).abs() < 1e-12);
+        // The JSON surfaces the degradation.
+        let json = report.to_json();
+        assert!(json.contains("\"outcome\":\"lost\""));
+        assert!(json.contains("\"lost_buckets\":["));
+        file.install_fault_plan(None);
+    }
+
+    /// Persistent at-rest corruption on the primary is served from the
+    /// mirror copy; without a mirror it is lost, not a panic or error.
+    #[test]
+    fn at_rest_corruption_fails_over_or_degrades() {
+        let mut file = build_file(0);
+        let r = Record::new(vec![Value::Int(1), Value::Int(2)]);
+        let bucket = file.mkh().bucket_of(&r).unwrap();
+        let device = file.method().device_of(&bucket);
+        file.enable_mirroring();
+        file.insert(r.clone()).unwrap();
+        let index = file.system().linear_index(&bucket);
+        file.devices()[device as usize].inject_corruption(index, &[0xff; 7]);
+        let q = file.query(&[]).unwrap();
+        let report =
+            execute_parallel_with(&file, &q, &CostModel::main_memory(), &ExecPolicy::default())
+                .unwrap();
+        assert_eq!(report.coverage, 1.0, "mirror copy must serve the corrupted bucket");
+        assert!(report.records.contains(&r));
+        assert_eq!(report.per_device[device as usize].outcome, DeviceOutcome::FailedOver);
+        // Without failover, the bucket is lost but the execution completes.
+        let no_failover = ExecPolicy { failover: false, ..ExecPolicy::default() };
+        let degraded =
+            execute_parallel_with(&file, &q, &CostModel::main_memory(), &no_failover).unwrap();
+        assert_eq!(degraded.lost_buckets, vec![index]);
+        assert!(degraded.coverage < 1.0);
+    }
+
+    /// Policy path on a non-FX method exercises the generic enumeration.
+    #[test]
+    fn policy_path_covers_generic_methods() {
+        /// Disk-Modulo-like toy method: sum of coordinates mod `M`,
+        /// deliberately *not* an `FxDistribution`, so `as_fx()` is `None`
+        /// and the policy path must use the generic scan.
+        struct SumMod(SystemConfig);
+        impl pmr_core::method::DistributionMethod for SumMod {
+            fn device_of(&self, bucket: &[u64]) -> u64 {
+                bucket.iter().sum::<u64>() % self.0.devices()
+            }
+            fn system(&self) -> &SystemConfig {
+                &self.0
+            }
+            fn name(&self) -> String {
+                "sum-mod".into()
+            }
+        }
+        let schema = Schema::builder()
+            .field("k", FieldType::Int, 8)
+            .field("cat", FieldType::Int, 8)
+            .devices(4)
+            .build()
+            .unwrap();
+        let method = SumMod(schema.system().clone());
+        let mut file = DeclusteredFile::new(schema, method, 5).unwrap();
+        for i in 0..200 {
+            file.insert(Record::new(vec![Value::Int(i), Value::Int(i % 16)])).unwrap();
+        }
+        file.enable_mirroring();
+        file.install_fault_plan(Some(Arc::new(
+            pmr_rt::fault::FaultPlan::new(9).with_dead_device(0),
+        )));
+        let q = file.query(&[("cat", Value::Int(1))]).unwrap();
+        let report =
+            execute_parallel_with(&file, &q, &CostModel::main_memory(), &ExecPolicy::default())
+                .unwrap();
+        assert_eq!(report.coverage, 1.0);
+        let mut got = report.records.clone();
+        file.install_fault_plan(None);
+        let mut want = file.retrieve_serial(&q).unwrap();
+        got.sort_by_key(|r| format!("{r}"));
+        want.sort_by_key(|r| format!("{r}"));
+        assert_eq!(got, want);
     }
 }

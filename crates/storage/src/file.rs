@@ -3,9 +3,11 @@
 
 use crate::device::Device;
 use crate::encode::DecodeError;
+use crate::mirror::Mirroring;
 use pmr_core::method::DistributionMethod;
 use pmr_core::{PartialMatchQuery, SystemConfig};
 use pmr_mkh::{MkhError, MultiKeyHash, Record, Schema, Value};
+use pmr_rt::fault::FaultPlan;
 use std::sync::Arc;
 
 /// Errors raised by file operations.
@@ -79,6 +81,9 @@ pub struct DeclusteredFile<D: DistributionMethod> {
     devices: Vec<Arc<Device>>,
     record_count: u64,
     hash_seed: u64,
+    /// Buddy-device mirroring, when enabled
+    /// ([`DeclusteredFile::enable_mirroring`]).
+    mirroring: Option<Mirroring>,
 }
 
 impl<D: DistributionMethod> DeclusteredFile<D> {
@@ -103,7 +108,39 @@ impl<D: DistributionMethod> DeclusteredFile<D> {
             devices,
             record_count: 0,
             hash_seed,
+            mirroring: None,
         })
+    }
+
+    /// Enables buddy-device mirroring: every resident page is copied to
+    /// the buddy of its home device (`d ⊕ M/2`, see
+    /// [`crate::mirror::Mirroring`]) and every future insert double-writes.
+    /// Returns `false` (mirroring impossible) on a single-device system.
+    /// Idempotent — re-enabling re-mirrors the resident data.
+    pub fn enable_mirroring(&mut self) -> bool {
+        match Mirroring::new(self.system().devices()) {
+            None => false,
+            Some(pairing) => {
+                pairing.mirror_resident(&self.devices);
+                self.mirroring = Some(pairing);
+                true
+            }
+        }
+    }
+
+    /// The active buddy pairing, when mirroring is enabled.
+    pub fn mirroring(&self) -> Option<&Mirroring> {
+        self.mirroring.as_ref()
+    }
+
+    /// Installs (or removes, with `None`) a fault plan on every device.
+    /// The executor's policy-driven path
+    /// ([`crate::exec::execute_parallel_with`]) then sees the plan's
+    /// injected faults on each read attempt.
+    pub fn install_fault_plan(&self, plan: Option<Arc<FaultPlan>>) {
+        for device in &self.devices {
+            device.set_fault_plan(plan.clone());
+        }
     }
 
     /// The schema.
@@ -142,6 +179,9 @@ impl<D: DistributionMethod> DeclusteredFile<D> {
         let code = self.mkh.bucket_code_of(&record)?;
         let device = self.method.device_of_packed(code);
         self.devices[device as usize].append(code, &record);
+        if let Some(pairing) = &self.mirroring {
+            pairing.mirror_record(&self.devices, device, code, &record);
+        }
         self.record_count += 1;
         Ok((self.system().packed_layout().unpack(code), device))
     }
@@ -170,20 +210,34 @@ impl<D: DistributionMethod> DeclusteredFile<D> {
         let sys = self.system().clone();
         let m = sys.devices() as usize;
         // Phase 1 (serial): hash + route by packed code. Fails before any
-        // mutation.
+        // mutation. With mirroring on, each record is also routed to the
+        // home device's buddy as a mirror append.
         let mut routed: Vec<Vec<(u64, Record)>> = vec![Vec::new(); m];
+        let mut mirror_routed: Vec<Vec<(u64, Record)>> = vec![Vec::new(); m];
         for record in records {
             let code = self.mkh.bucket_code_of(&record)?;
             let device = self.method.device_of_packed(code) as usize;
+            if let Some(pairing) = &self.mirroring {
+                mirror_routed[pairing.buddy_of(device as u64) as usize]
+                    .push((code, record.clone()));
+            }
             routed[device].push((code, record));
         }
-        // Phase 2 (parallel): per-device appends.
+        // Phase 2 (parallel): per-device appends. Each worker owns one
+        // device, writing both its primary batch and the mirror batch it
+        // holds for its buddy — no cross-device lock contention.
         let total: u64 = routed.iter().map(|v| v.len() as u64).sum();
-        pmr_rt::pool::scope_map(self.devices.iter().zip(routed), |(device, batch)| {
-            for (index, record) in batch {
-                device.append(index, &record);
-            }
-        });
+        pmr_rt::pool::scope_map(
+            self.devices.iter().zip(routed.into_iter().zip(mirror_routed)),
+            |(device, (batch, mirror_batch))| {
+                for (index, record) in batch {
+                    device.append(index, &record);
+                }
+                for (index, record) in mirror_batch {
+                    device.append_mirror(index, &record);
+                }
+            },
+        );
         self.record_count += total;
         Ok(total)
     }
@@ -263,6 +317,9 @@ impl<D: DistributionMethod> DeclusteredFile<D> {
             }
         }
         let mut new_file = DeclusteredFile::new(new_schema, method, self.hash_seed)?;
+        if self.mirroring.is_some() {
+            new_file.enable_mirroring();
+        }
         new_file.insert_all(records)?;
         Ok(new_file)
     }
@@ -433,6 +490,85 @@ mod tests {
         a.sort_by_key(|r| format!("{r}"));
         b.sort_by_key(|r| format!("{r}"));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mirroring_double_writes_without_touching_occupancy() {
+        let schema = schema();
+        let fx = FxDistribution::auto(schema.system().clone()).unwrap();
+        let mut file = DeclusteredFile::new(schema, fx, 7).unwrap();
+        // Enable on a file that already holds data: resident pages get
+        // re-mirrored, later inserts double-write.
+        file.insert_all(sample_records(100)).unwrap();
+        assert!(file.mirroring().is_none());
+        assert!(file.enable_mirroring());
+        file.insert_all(sample_records(50)).unwrap();
+        let pairing = *file.mirroring().unwrap();
+        // Every primary page has an identical mirror page on the buddy.
+        for device in file.devices() {
+            let buddy = &file.devices()[pairing.buddy_of(device.id()) as usize];
+            for bucket in device.resident_buckets() {
+                assert_eq!(
+                    device.read_bucket(bucket).unwrap(),
+                    buddy.read_mirror_attempt(bucket, 0).unwrap().records,
+                    "mirror mismatch on bucket {bucket}"
+                );
+            }
+        }
+        // Occupancy accounting only sees primaries.
+        assert_eq!(file.record_occupancy().iter().sum::<u64>(), 150);
+    }
+
+    #[test]
+    fn parallel_insert_mirrors_identically_to_serial() {
+        let schema = schema();
+        let records = sample_records(400);
+        let fx = FxDistribution::auto(schema.system().clone()).unwrap();
+        let mut serial = DeclusteredFile::new(schema.clone(), fx.clone(), 7).unwrap();
+        serial.enable_mirroring();
+        serial.insert_all(records.clone()).unwrap();
+        let mut parallel = DeclusteredFile::new(schema, fx, 7).unwrap();
+        parallel.enable_mirroring();
+        parallel.insert_all_parallel(records).unwrap();
+        for (a, b) in serial.devices().iter().zip(parallel.devices()) {
+            assert_eq!(a.mirror_buckets(), b.mirror_buckets());
+            for bucket in a.mirror_buckets() {
+                assert_eq!(
+                    a.read_mirror_attempt(bucket, 0).unwrap().records,
+                    b.read_mirror_attempt(bucket, 0).unwrap().records
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn redistribute_preserves_mirroring() {
+        let schema = schema();
+        let fx = FxDistribution::auto(schema.system().clone()).unwrap();
+        let mut file = DeclusteredFile::new(schema.clone(), fx, 7).unwrap();
+        file.enable_mirroring();
+        file.insert_all(sample_records(60)).unwrap();
+        let grown = schema.with_field_size(0, 16).unwrap();
+        let fx2 = FxDistribution::auto(grown.system().clone()).unwrap();
+        let file = file.redistribute(grown, fx2).unwrap();
+        assert!(file.mirroring().is_some());
+        let mirrored: usize =
+            file.devices().iter().map(|d| d.mirror_bucket_count()).sum();
+        let primary: usize = file.bucket_occupancy().iter().sum();
+        assert_eq!(mirrored, primary);
+    }
+
+    #[test]
+    fn single_device_cannot_mirror() {
+        let schema = Schema::builder()
+            .field("k", FieldType::Int, 8)
+            .devices(1)
+            .build()
+            .unwrap();
+        let fx = FxDistribution::auto(schema.system().clone()).unwrap();
+        let mut file = DeclusteredFile::new(schema, fx, 7).unwrap();
+        assert!(!file.enable_mirroring());
+        assert!(file.mirroring().is_none());
     }
 
     #[test]

@@ -19,6 +19,8 @@
 //! * [`exec`] — the parallel query executor (one [`pmr_rt::pool`] worker
 //!   per device) producing an [`exec::ExecutionReport`] with per-device
 //!   response sizes and simulated response time.
+//! * [`mirror`] — buddy-device mirroring (`d ⊕ M/2`): the failover copy
+//!   placement behind degraded execution.
 //! * [`index`] — device-local inverted bucket indexes (the two-stage
 //!   model's data-construction stage).
 //! * [`metrics`] — balance metrics over response histograms.
@@ -35,9 +37,10 @@ pub mod exec;
 pub mod file;
 pub mod index;
 pub mod metrics;
+pub mod mirror;
 pub mod persist;
 
 pub use cost::CostModel;
-pub use device::Device;
-pub use exec::ExecutionReport;
+pub use device::{BucketRead, Device, ReadFault};
+pub use exec::{DeviceOutcome, ExecPolicy, ExecutionReport};
 pub use file::DeclusteredFile;

@@ -25,6 +25,11 @@ use std::path::Path;
 /// Magic bytes and version of the manifest format.
 const MAGIC: &[u8; 8] = b"PMRSNAP1";
 
+/// Sanity cap on a single bucket page. A corrupted length field must not
+/// be allowed to demand a multi-gigabyte allocation before the short read
+/// is even noticed — any claimed length beyond this is a [`PersistError::BadFrame`].
+const MAX_PAGE_BYTES: u32 = 1 << 28; // 256 MiB
+
 /// Errors raised by snapshot save/load.
 #[derive(Debug)]
 pub enum PersistError {
@@ -166,7 +171,16 @@ pub fn load<D: DistributionMethod>(
                 Err(e) => return Err(e.into()),
             }
             let bucket = u64::from_le_bytes(bucket_bytes);
-            let len = read_u32(&mut input)? as usize;
+            let len = read_u32(&mut input).map_err(|e| {
+                PersistError::BadFrame(format!("bucket {bucket}: truncated length field ({e})"))
+            })?;
+            if len > MAX_PAGE_BYTES {
+                return Err(PersistError::BadFrame(format!(
+                    "bucket {bucket}: claimed page length {len} exceeds the \
+                     {MAX_PAGE_BYTES}-byte cap (corrupted frame?)"
+                )));
+            }
+            let len = len as usize;
             let mut page = vec![0u8; len];
             input.read_exact(&mut page).map_err(|e| {
                 PersistError::BadFrame(format!("bucket {bucket}: short page ({e})"))
@@ -293,6 +307,84 @@ mod tests {
         assert!(matches!(
             load(&dir, schema, fx, 3),
             Err(PersistError::BadManifest(_))
+        ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Byte-level truncation at EVERY offset of the manifest — covering
+    /// each section boundary (mid-magic, after magic, inside the shape
+    /// length, inside each shape value, inside the record count) — must
+    /// surface a [`PersistError`], never a panic.
+    #[test]
+    fn manifest_truncated_at_every_byte_errors() {
+        let dir = temp_dir("truncmanifest");
+        save(&build(30, 5), &dir).unwrap();
+        let manifest_path = dir.join("manifest.pmr");
+        let full = fs::read(&manifest_path).unwrap();
+        // Manifest layout: magic(8) + shape_len(4) + shape(3×8) + count(8).
+        assert_eq!(full.len(), 8 + 4 + 3 * 8 + 8);
+        for keep in 0..full.len() {
+            fs::write(&manifest_path, &full[..keep]).unwrap();
+            let schema = schema();
+            let fx = FxDistribution::auto(schema.system().clone()).unwrap();
+            let err = load(&dir, schema, fx, 5)
+                .err()
+                .unwrap_or_else(|| panic!("truncation to {keep} bytes must fail"));
+            assert!(
+                matches!(err, PersistError::Io(_) | PersistError::BadManifest(_)),
+                "truncation to {keep} bytes gave unexpected error: {err}"
+            );
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Byte-level truncation at EVERY offset of a device file — covering
+    /// each frame boundary (mid-bucket-index, mid-length, mid-page, and
+    /// exactly between frames) — must surface a [`PersistError`], never a
+    /// panic. Between-frame truncations look structurally valid, so they
+    /// are caught by the manifest record-count cross-check instead.
+    #[test]
+    fn device_file_truncated_at_every_byte_errors() {
+        let dir = temp_dir("truncdevice");
+        save(&build(40, 6), &dir).unwrap();
+        let victim = (0..4)
+            .map(|i| dir.join(format!("device-{i}.pmr")))
+            .find(|p| p.exists() && fs::metadata(p).unwrap().len() > 24)
+            .expect("some device holds data");
+        let full = fs::read(&victim).unwrap();
+        for keep in 0..full.len() {
+            fs::write(&victim, &full[..keep]).unwrap();
+            let schema = schema();
+            let fx = FxDistribution::auto(schema.system().clone()).unwrap();
+            assert!(
+                load(&dir, schema, fx, 6).is_err(),
+                "device file truncated to {keep}/{} bytes must fail to load",
+                full.len()
+            );
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// A corrupted length field claiming a multi-gigabyte page is
+    /// rejected as a bad frame without attempting the allocation.
+    #[test]
+    fn absurd_page_length_rejected() {
+        let dir = temp_dir("hugelen");
+        save(&build(20, 7), &dir).unwrap();
+        let victim = (0..4)
+            .map(|i| dir.join(format!("device-{i}.pmr")))
+            .find(|p| p.exists() && fs::metadata(p).unwrap().len() > 12)
+            .expect("some device holds data");
+        let mut bytes = fs::read(&victim).unwrap();
+        // Overwrite the first frame's length field (bytes 8..12) with
+        // u32::MAX.
+        bytes[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+        fs::write(&victim, &bytes).unwrap();
+        let schema = schema();
+        let fx = FxDistribution::auto(schema.system().clone()).unwrap();
+        assert!(matches!(
+            load(&dir, schema, fx, 7),
+            Err(PersistError::BadFrame(_))
         ));
         fs::remove_dir_all(&dir).unwrap();
     }

@@ -62,6 +62,11 @@ fn bench_all_fast_mode_produces_every_group() {
         "obs_overhead/counter_disabled",
         "obs_overhead/span_enabled_memory",
         "obs_overhead/counter_enabled_memory",
+        "fault_overhead/read_bucket_baseline",
+        "fault_overhead/read_attempt_no_plan",
+        "fault_overhead/read_attempt_plan_installed",
+        "fault_overhead/strict_dispatch",
+        "fault_overhead/policy_no_faults",
     ];
     for (file, expected) in files.iter().zip([&expected_core[..], &expected_exec[..]]) {
         let names: Vec<&str> = file.stats.iter().map(|s| s.bench.as_str()).collect();
@@ -80,6 +85,20 @@ fn bench_all_fast_mode_produces_every_group() {
         .map(|s| s.checksum)
         .collect();
     assert_eq!(pvv, vec![512, 512, 512]);
+
+    // The fault hook without a plan is a pure pass-through, and the
+    // fault-aware executor without faults reproduces the strict
+    // dispatcher (ISSUE: disabled faults change nothing).
+    let fo = |name: &str| -> u64 {
+        files[1]
+            .stats
+            .iter()
+            .find(|s| s.bench == format!("fault_overhead/{name}"))
+            .expect("group present")
+            .checksum
+    };
+    assert_eq!(fo("read_bucket_baseline"), fo("read_attempt_no_plan"));
+    assert_eq!(fo("strict_dispatch"), fo("policy_no_faults"));
 
     // Baseline files write as valid JSON lines.
     let dir = std::env::temp_dir().join("pmr_bench_smoke");

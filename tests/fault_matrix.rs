@@ -1,0 +1,230 @@
+//! Fault-injection matrix over executor paths × mirroring × fault kinds.
+//!
+//! The degraded executor (PR: "Deterministic fault injection") must keep
+//! its promises on every combination of enumeration path ({generic scan,
+//! FX fast inverse}), copy placement ({no-mirror, buddy-mirror}), and
+//! fault kind ({transient read error, transient corruption, device
+//! outage, at-rest corruption}):
+//!
+//! * served records are always a subset of the fault-free result, and
+//!   `coverage` is exactly the served fraction of `|R(q)|`;
+//! * transient faults are retried to full coverage;
+//! * a dead device degrades without mirroring and fails over with it;
+//! * at-rest corruption (bytes injected under a primary copy) is
+//!   unrecoverable by retry but fully recoverable from the mirror.
+//!
+//! All fault decisions are pure functions of the pinned seed, so every
+//! assertion here is deterministic.
+
+use pmr_baselines::ModuloDistribution;
+use pmr_core::method::DistributionMethod;
+use pmr_core::{FxDistribution, PartialMatchQuery, SystemConfig};
+use pmr_mkh::{FieldType, Record, Schema, Value};
+use pmr_rt::fault::{FaultPlan, RetryPolicy};
+use pmr_rt::rt_proptest;
+use pmr_storage::exec::{execute_parallel, execute_parallel_with, DeviceOutcome, ExecPolicy};
+use pmr_storage::{CostModel, DeclusteredFile, ExecutionReport};
+use std::sync::{Arc, OnceLock};
+
+const SEED: u64 = 0xFA11;
+
+/// Eight retries drain a 0.3-rate transient fault stream to full
+/// coverage (per-bucket loss probability 0.3^8 ≈ 6.6e-5; deterministic
+/// for the pinned seed either way).
+fn patient_retry() -> RetryPolicy {
+    RetryPolicy { max_attempts: 8, base_us: 10, cap_us: 1_000, budget_us: 1_000_000 }
+}
+
+fn build_file<D: DistributionMethod>(
+    sys: &SystemConfig,
+    method: D,
+    records: i64,
+    mirror: bool,
+) -> DeclusteredFile<D> {
+    let mut builder = Schema::builder();
+    for (i, &size) in sys.field_sizes().iter().enumerate() {
+        builder = builder.field(format!("f{i}"), FieldType::Int, size);
+    }
+    let schema = builder.devices(sys.devices()).build().expect("system is valid");
+    let mut file = DeclusteredFile::new(schema, method, SEED).expect("schema matches system");
+    if mirror {
+        assert!(file.enable_mirroring(), "M >= 2 systems mirror");
+    }
+    for i in 0..records {
+        let values: Vec<Value> =
+            (0..sys.num_fields()).map(|f| Value::Int(i * 131 + f as i64 * 7)).collect();
+        file.insert(Record::new(values)).expect("records type-check");
+    }
+    file
+}
+
+fn sorted_records(report: &ExecutionReport) -> Vec<String> {
+    let mut v: Vec<String> = report.records.iter().map(|r| format!("{r}")).collect();
+    v.sort_unstable();
+    v
+}
+
+/// The matrix body for one distribution method (one enumeration path).
+fn run_matrix<D: DistributionMethod>(sys: &SystemConfig, make: impl Fn() -> D, label: &str) {
+    let cost = CostModel::main_memory();
+    let query =
+        PartialMatchQuery::new(sys, &vec![None; sys.num_fields()]).expect("all-unspecified");
+    let rq = query.qualified_count_in(sys);
+    for mirror in [false, true] {
+        let file = build_file(sys, make(), 400, mirror);
+        let policy = ExecPolicy { retry: patient_retry(), failover: mirror, seed: SEED };
+        let reference =
+            execute_parallel_with(&file, &query, &cost, &policy).expect("fault-free run");
+        assert_eq!(reference.coverage, 1.0, "{label} mirror={mirror} fault-free");
+        let reference_records = sorted_records(&reference);
+
+        for (fault, spec) in
+            [("read", "read=0.3"), ("corrupt", "corrupt=0.3"), ("outage", "outage=2")]
+        {
+            let ctx = format!("{label} {fault} mirror={mirror}");
+            let plan = FaultPlan::parse(spec, SEED).expect("spec parses");
+            file.install_fault_plan(Some(Arc::new(plan)));
+            let report =
+                execute_parallel_with(&file, &query, &cost, &policy).expect("degrades, not errors");
+            file.install_fault_plan(None);
+
+            // Coverage is exactly the served fraction, and served records
+            // are a subset of the fault-free result.
+            let expect_cov = (rq - report.lost_buckets.len() as u64) as f64 / rq as f64;
+            assert!((report.coverage - expect_cov).abs() < 1e-12, "{ctx}: coverage accounting");
+            for r in sorted_records(&report) {
+                assert!(reference_records.binary_search(&r).is_ok(), "{ctx}: phantom record {r}");
+            }
+
+            match (fault, mirror) {
+                ("outage", false) => {
+                    assert!(report.coverage < 1.0, "{ctx}: device 2 owns qualified buckets");
+                    assert_eq!(report.per_device[2].outcome, DeviceOutcome::Lost, "{ctx}");
+                    assert!(!report.is_complete());
+                    for &code in &report.lost_buckets {
+                        assert_eq!(
+                            file.method().device_of_packed(code),
+                            2,
+                            "{ctx}: lost bucket {code} not on the dead device"
+                        );
+                    }
+                }
+                ("outage", true) => {
+                    assert_eq!(report.coverage, 1.0, "{ctx}: buddy serves the dead device");
+                    assert_eq!(report.per_device[2].outcome, DeviceOutcome::FailedOver, "{ctx}");
+                    assert_eq!(sorted_records(&report), reference_records, "{ctx}");
+                }
+                _ => {
+                    // Transient faults: retries drain the fault stream.
+                    assert_eq!(report.coverage, 1.0, "{ctx}: retries recover transients");
+                    assert_eq!(sorted_records(&report), reference_records, "{ctx}");
+                }
+            }
+        }
+    }
+}
+
+/// F = (4, 4, 4), M = 8: the FX fast-inverse enumeration path.
+#[test]
+fn fault_matrix_fx_path() {
+    let sys = SystemConfig::new(&[4, 4, 4], 8).unwrap();
+    run_matrix(&sys, || FxDistribution::auto(sys.clone()).unwrap(), "fx");
+}
+
+/// Same system through Modulo: the generic packed-scan path.
+#[test]
+fn fault_matrix_scan_path() {
+    let sys = SystemConfig::new(&[4, 4, 4], 8).unwrap();
+    run_matrix(&sys, || ModuloDistribution::new(sys.clone()), "scan");
+}
+
+/// At-rest corruption round trip: bytes injected under a primary copy
+/// make the strict executor error and the policy executor lose exactly
+/// that bucket — unless the buddy mirror still holds a clean copy.
+#[test]
+fn at_rest_corruption_round_trip() {
+    let sys = SystemConfig::new(&[4, 4, 4], 8).unwrap();
+    let cost = CostModel::main_memory();
+    let query =
+        PartialMatchQuery::new(&sys, &vec![None; sys.num_fields()]).expect("all-unspecified");
+
+    for mirror in [false, true] {
+        let file = build_file(&sys, FxDistribution::auto(sys.clone()).unwrap(), 400, mirror);
+        let policy = ExecPolicy { retry: patient_retry(), failover: mirror, seed: SEED };
+        let reference = execute_parallel_with(&file, &query, &cost, &policy).unwrap();
+        let victim_device = 3u64;
+        let victim_code = file.devices()[victim_device as usize]
+            .resident_buckets()
+            .first()
+            .copied()
+            .expect("400 records reach every device");
+        file.devices()[victim_device as usize].inject_corruption(victim_code, b"\x00garbage");
+
+        // Strict paths surface the decode failure as an error, never a
+        // panic (satellite: decode failures are typed even with faults
+        // off).
+        assert!(execute_parallel(&file, &query, &cost).is_err());
+
+        let report = execute_parallel_with(&file, &query, &cost, &policy).unwrap();
+        if mirror {
+            assert_eq!(report.coverage, 1.0, "mirror copy serves the corrupted bucket");
+            assert_eq!(sorted_records(&report), sorted_records(&reference));
+            assert_eq!(report.per_device[victim_device as usize].outcome, DeviceOutcome::FailedOver);
+        } else {
+            assert_eq!(report.lost_buckets, vec![victim_code]);
+            assert_eq!(report.per_device[victim_device as usize].outcome, DeviceOutcome::Lost);
+            assert!(report.coverage < 1.0);
+        }
+    }
+}
+
+/// The mirrored Table 7 file (F = 8^6, M = 32), built once: property
+/// cases only install fault plans (reads are unaffected by plan swaps
+/// between runs).
+fn table7_file() -> &'static DeclusteredFile<FxDistribution> {
+    static FILE: OnceLock<DeclusteredFile<FxDistribution>> = OnceLock::new();
+    FILE.get_or_init(|| {
+        let sys = SystemConfig::new(&[8; 6], 32).unwrap();
+        build_file(&sys, FxDistribution::auto(sys.clone()).unwrap(), 4_000, true)
+    })
+}
+
+rt_proptest! {
+    /// Mirroring turns ANY single-device outage into a non-event: every
+    /// random Table 7 query completes with full coverage and exactly the
+    /// fault-free record set (ISSUE acceptance property).
+    fn single_outage_with_mirroring_is_invisible(src) {
+        let file = table7_file();
+        let sys = file.system().clone();
+        let dead = src.int_in(0, sys.devices() - 1);
+        // 1–3 unspecified fields keeps |R(q)| <= 512 per case.
+        let unspecified = src.int_in(1, 3) as usize;
+        let values: Vec<Option<u64>> = (0..sys.num_fields())
+            .map(|i| {
+                if i < sys.num_fields() - unspecified {
+                    Some(src.int_in(0, sys.field_size(i) - 1))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        let query = PartialMatchQuery::new(&sys, &values).expect("values in range");
+        let cost = CostModel::main_memory();
+        let policy = ExecPolicy { retry: RetryPolicy::none(), failover: true, seed: SEED };
+
+        file.install_fault_plan(None);
+        let clean = execute_parallel_with(file, &query, &cost, &policy).expect("fault-free");
+
+        file.install_fault_plan(Some(Arc::new(FaultPlan::new(SEED).with_dead_device(dead))));
+        let degraded = execute_parallel_with(file, &query, &cost, &policy).expect("degrades");
+        file.install_fault_plan(None);
+
+        assert_eq!(degraded.coverage, 1.0, "device {dead} outage, query {query}");
+        assert!(degraded.is_complete());
+        assert_eq!(
+            sorted_records(&degraded),
+            sorted_records(&clean),
+            "device {dead} outage, query {query}"
+        );
+    }
+}
