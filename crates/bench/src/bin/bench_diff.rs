@@ -1,0 +1,90 @@
+//! `bench_diff` — gates a fresh `bench_all` run against the committed
+//! baselines.
+//!
+//! ```text
+//! bench_diff <committed_dir> <fresh_dir> [threshold]
+//! ```
+//!
+//! Reads `BENCH_core.json` and `BENCH_exec.json` from both directories
+//! and fails (exit 1) when any gated bench (`query_exec/*`,
+//! `exec_fast_path/*`, `throughput/*`) has a fresh median more than
+//! `threshold`× (default 2×) the committed one, or has vanished from the
+//! fresh run. Typical verify-flow usage:
+//!
+//! ```text
+//! PMR_BENCH_OUT_DIR=/tmp/fresh cargo run --release -p pmr-bench --bin bench_all
+//! cargo run --release -p pmr-bench --bin bench_diff -- . /tmp/fresh
+//! ```
+
+use pmr_bench::diff::{compare, parse_baseline, DEFAULT_THRESHOLD};
+use std::path::Path;
+use std::process::ExitCode;
+
+const FILES: &[&str] = &["BENCH_core.json", "BENCH_exec.json"];
+
+fn load(dir: &Path, name: &str) -> Result<std::collections::BTreeMap<String, f64>, String> {
+    let path = dir.join(name);
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    parse_baseline(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (committed, fresh, threshold) = match args.as_slice() {
+        [c, f] => (c, f, DEFAULT_THRESHOLD),
+        [c, f, t] => match t.parse::<f64>() {
+            Ok(t) if t > 0.0 => (c, f, t),
+            _ => {
+                eprintln!("bench_diff: threshold must be a positive number, got {t:?}");
+                return ExitCode::FAILURE;
+            }
+        },
+        _ => {
+            eprintln!("usage: bench_diff <committed_dir> <fresh_dir> [threshold]");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut failed = false;
+    for name in FILES {
+        let (base, new) = match (load(Path::new(committed), name), load(Path::new(fresh), name)) {
+            (Ok(b), Ok(n)) => (b, n),
+            (b, n) => {
+                for err in [b.err(), n.err()].into_iter().flatten() {
+                    eprintln!("bench_diff: {err}");
+                }
+                failed = true;
+                continue;
+            }
+        };
+        let report = compare(&base, &new, threshold);
+        println!(
+            "{name}: {} gated benches compared against committed medians (gate: {threshold}x)",
+            report.compared
+        );
+        for r in &report.regressions {
+            println!(
+                "  REGRESSED {}: {:.0} ns -> {:.0} ns ({:.2}x)",
+                r.bench, r.baseline_ns, r.fresh_ns, r.ratio
+            );
+        }
+        for bench in &report.missing {
+            println!("  MISSING {bench}: in committed baseline but not in fresh run");
+        }
+        for bench in &report.added {
+            println!("  new gated bench {bench} (not in committed baseline)");
+        }
+        if !report.passed() {
+            failed = true;
+        }
+    }
+
+    if failed {
+        eprintln!("bench_diff: FAILED");
+        ExitCode::FAILURE
+    } else {
+        println!("bench_diff: OK");
+        ExitCode::SUCCESS
+    }
+}

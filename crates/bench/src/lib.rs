@@ -16,6 +16,7 @@
 #![warn(rust_2018_idioms)]
 #![forbid(unsafe_code)]
 
+pub mod diff;
 pub mod suite;
 
 use pmr_core::method::DistributionMethod;

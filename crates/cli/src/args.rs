@@ -15,12 +15,21 @@ USAGE:
 
   pmr simulate --fields F1,F2,... --devices M --records N [--seed K]
                [--trace T] [--json] [--faults SPEC] [--retry POLICY]
-               [--mirror]
+               [--mirror] [--batch B]
       Build a synthetic declustered file and execute sample queries in
       parallel, reporting balance and simulated speedup. With --faults /
       --retry / --mirror the fault-aware executor runs instead: injected
       faults are retried, failed over to buddy mirrors, and reported as
-      coverage + per-device outcomes.
+      coverage + per-device outcomes. --batch B additionally pushes B
+      sample queries through one resident executor batch and reports
+      throughput.
+
+  pmr throughput [--fields F1,F2,... --devices M] [--records N]
+                 [--batch B] [--seed K] [--json]
+      Time one query batch (default: the paper's Table 7 system, 64
+      queries) through the resident batch executor, spawn-per-query
+      execution, and the serial reference; all variants must return the
+      same records, and queries/sec are reported for each.
 
   pmr chaos [--fields F1,F2,... --devices M] [--records N] [--seed K]
             [--rates R1,R2,...] [--queries Q] [--retry POLICY]
@@ -68,6 +77,7 @@ OPTIONS:
               3,100,10000,1000000) or the literal 'none'
   --mirror    simulate: mirror each bucket onto its buddy device
               (d XOR M/2) and fail reads over to the mirror copy
+  --batch     simulate/throughput: queries per resident executor batch
   --rates     chaos: comma-separated fault rates to sweep
               (default 0,0.001,0.01,0.05,0.1)
   --queries   chaos: sample queries per rate (default 8)

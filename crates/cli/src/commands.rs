@@ -208,9 +208,180 @@ pub fn simulate(args: &[String]) -> Result<(), String> {
             );
         }
     }
+    // `--batch B`: push B additional sample queries through one resident
+    // batch (the long-lived per-device executor) and report throughput.
+    if let Some(spec) = flags.get("batch") {
+        let batch: usize = spec.parse().map_err(|e| format!("bad --batch: {e}"))?;
+        if batch == 0 {
+            return Err("--batch needs at least one query".into());
+        }
+        let queries: Vec<pmr_core::PartialMatchQuery> = (0..batch)
+            .map(|j| {
+                let k = (1 + j % 3).min(sys.num_fields());
+                let values: Vec<Option<u64>> = (0..sys.num_fields())
+                    .map(|i| {
+                        if i < sys.num_fields() - k {
+                            Some(rng.gen_range(0..sys.field_size(i)))
+                        } else {
+                            None
+                        }
+                    })
+                    .collect();
+                pmr_core::PartialMatchQuery::new(&sys, &values).map_err(|e| e.to_string())
+            })
+            .collect::<Result<_, _>>()?;
+        let exec = pmr_storage::exec::Executor::new(&file, cost);
+        let start = std::time::Instant::now();
+        let reports = exec.execute_batch(&queries, &policy);
+        let elapsed = start.elapsed();
+        let total_records: u64 = reports.iter().map(|r| r.records.len() as u64).sum();
+        let mean_coverage =
+            reports.iter().map(|r| r.coverage).sum::<f64>() / reports.len() as f64;
+        let qps = batch as f64 / elapsed.as_secs_f64().max(f64::EPSILON);
+        if json {
+            println!(
+                "{{\"batch\":{batch},\"workers\":{},\"records_returned\":{total_records},\
+                 \"mean_coverage\":{mean_coverage:.4},\"wall_us\":{},\"queries_per_sec\":{qps:.0}}}",
+                exec.workers(),
+                elapsed.as_micros()
+            );
+        } else {
+            println!();
+            println!(
+                "resident batch: {batch} queries on {} pinned workers in {:.2} ms \
+                 ({qps:.0} queries/sec)",
+                exec.workers(),
+                elapsed.as_secs_f64() * 1e3
+            );
+            println!(
+                "  {total_records} records returned, mean coverage {mean_coverage:.4}"
+            );
+        }
+    }
     if traced {
         // Final registry state into the trace file, for `pmr stats`.
         obs::flush();
+    }
+    Ok(())
+}
+
+/// `pmr throughput` — compare the resident batch executor against
+/// spawn-per-query and serial execution on one batch of sample queries.
+///
+/// Defaults to the paper's Table 7 system (six 8-ary fields on M = 32).
+/// All three variants answer the identical query batch; the command
+/// verifies they return the same record totals before reporting
+/// queries/sec, so a throughput win is never a correctness trade.
+pub fn throughput(args: &[String]) -> Result<(), String> {
+    use pmr_storage::exec::Executor;
+    use std::time::Instant;
+
+    let flags = Flags::parse(args)?;
+    let (fields, devices): (Vec<u64>, u64) =
+        if flags.get("fields").is_some() || flags.get("devices").is_some() {
+            (flags.fields()?, flags.devices()?)
+        } else {
+            (vec![8; 6], 32)
+        };
+    let sys = SystemConfig::new(&fields, devices).map_err(|e| e.to_string())?;
+    let records = flags.u64_or("records", 5_000)?;
+    let batch = flags.u64_or("batch", 64)? as usize;
+    if batch == 0 {
+        return Err("--batch needs at least one query".into());
+    }
+    let seed = flags.u64_or("seed", pmr_rt::seed_from_env_or(42))?;
+    let json = flags.has("json");
+
+    let mut builder = Schema::builder();
+    for (i, &size) in sys.field_sizes().iter().enumerate() {
+        builder = builder.field(format!("f{i}"), FieldType::Int, size);
+    }
+    let schema = builder.devices(sys.devices()).build().map_err(|e| e.to_string())?;
+    let fx = FxDistribution::with_strategy(sys.clone(), flags.strategy()?)
+        .map_err(|e| e.to_string())?;
+    let mut file = DeclusteredFile::new(schema, fx, seed).map_err(|e| e.to_string())?;
+    let mut rng = Rng::seed_from_u64(seed);
+    let recs: Vec<Record> = (0..records)
+        .map(|_| {
+            Record::new(
+                (0..sys.num_fields())
+                    .map(|_| Value::Int(rng.gen_range(0..1_000_000i64)))
+                    .collect(),
+            )
+        })
+        .collect();
+    file.insert_all_parallel(recs).map_err(|e| e.to_string())?;
+
+    let queries: Vec<pmr_core::PartialMatchQuery> = (0..batch)
+        .map(|j| {
+            let k = (1 + j % 3).min(sys.num_fields());
+            let values: Vec<Option<u64>> = (0..sys.num_fields())
+                .map(|i| {
+                    if i < sys.num_fields() - k {
+                        Some(rng.gen_range(0..sys.field_size(i)))
+                    } else {
+                        None
+                    }
+                })
+                .collect();
+            pmr_core::PartialMatchQuery::new(&sys, &values).map_err(|e| e.to_string())
+        })
+        .collect::<Result<_, _>>()?;
+
+    let cost = CostModel::main_memory();
+    let policy = ExecPolicy::default();
+    let exec = Executor::new(&file, cost);
+
+    let time = |f: &dyn Fn() -> u64| -> Result<(f64, u64), String> {
+        let warm = f(); // one unwarmed pass populates plan caches
+        let start = Instant::now();
+        let total = f();
+        let secs = start.elapsed().as_secs_f64().max(f64::EPSILON);
+        if warm != total {
+            return Err("nondeterministic record totals across passes".into());
+        }
+        Ok((secs, total))
+    };
+    let (resident_s, resident_n) =
+        time(&|| exec.execute_batch(&queries, &policy).iter().map(|r| r.records.len() as u64).sum())?;
+    let (spawn_s, spawn_n) = time(&|| {
+        queries
+            .iter()
+            .map(|q| {
+                execute_parallel_with(&file, q, &cost, &policy)
+                    .map(|r| r.records.len() as u64)
+                    .unwrap_or(0)
+            })
+            .sum()
+    })?;
+    let (serial_s, serial_n) = time(&|| {
+        queries.iter().map(|q| file.retrieve_serial(q).map(|r| r.len() as u64).unwrap_or(0)).sum()
+    })?;
+    if resident_n != spawn_n || resident_n != serial_n {
+        return Err(format!(
+            "variants disagree: resident {resident_n}, spawn {spawn_n}, serial {serial_n} records"
+        ));
+    }
+
+    let qps = |secs: f64| batch as f64 / secs;
+    if json {
+        println!(
+            "{{\"system\":\"{sys}\",\"batch\":{batch},\"records_returned\":{resident_n},\
+             \"resident_qps\":{:.0},\"spawn_qps\":{:.0},\"serial_qps\":{:.0}}}",
+            qps(resident_s),
+            qps(spawn_s),
+            qps(serial_s)
+        );
+    } else {
+        println!("{sys}: {batch} queries, {resident_n} records returned by every variant");
+        println!(
+            "  resident batch   {:>10.0} queries/sec ({:.2}x vs spawn, {:.2}x vs serial)",
+            qps(resident_s),
+            spawn_s / resident_s,
+            serial_s / resident_s
+        );
+        println!("  spawn per query  {:>10.0} queries/sec", qps(spawn_s));
+        println!("  serial reference {:>10.0} queries/sec", qps(serial_s));
     }
     Ok(())
 }

@@ -4,7 +4,8 @@
 //! pmr distribute --fields 2,8 --devices 4 [--strategy theorem-9|basic|cycle-iu1|cycle-iu2]
 //! pmr analyze    --fields 8,8,8,8,8,8 --devices 32 [--strategy …]
 //! pmr simulate   --fields 8,8,8 --devices 16 --records 10000 [--seed N] [--trace T] [--json]
-//!                [--faults SPEC] [--retry POLICY] [--mirror]
+//!                [--faults SPEC] [--retry POLICY] [--mirror] [--batch B]
+//! pmr throughput [--fields F1,... --devices M] [--records N] [--batch B] [--json]
 //! pmr chaos      [--rates R1,R2,...] [--outage D] [--no-mirror] [--json]
 //! pmr experiment <table1..table9|figure1..figure4|all> [--trace T]
 //! pmr stats      <trace.jsonl>
@@ -37,6 +38,7 @@ fn run(argv: &[String]) -> Result<(), String> {
         "distribute" => commands::distribute(rest),
         "analyze" => commands::analyze(rest),
         "simulate" => commands::simulate(rest),
+        "throughput" => commands::throughput(rest),
         "chaos" => commands::chaos(rest),
         "optimize" => commands::optimize(rest),
         "design" => commands::design(rest),

@@ -331,6 +331,29 @@ impl<'a> FxInverse<'a> {
     pub fn plan(&self) -> &InversePlan {
         &self.plan
     }
+
+    /// Decomposes the mapping into its query-level parts: the XOR
+    /// constant `h`, the packed base code, and the shared pattern plan.
+    /// Together with [`FxInverse::from_parts`] this lets a batch executor
+    /// derive the parts once per query and rebuild the mapping on every
+    /// per-device worker without re-entering the plan cache.
+    #[inline]
+    pub fn into_parts(self) -> (u64, u64, Arc<InversePlan>) {
+        (self.h, self.base_code, self.plan)
+    }
+
+    /// Rebuilds a mapping from parts produced by
+    /// [`FxInverse::into_parts`] under the same distribution and query —
+    /// no transforms applied, no plan-cache lookup, just an `Arc` clone.
+    #[inline]
+    pub fn from_parts(
+        fx: &'a FxDistribution,
+        h: u64,
+        base_code: u64,
+        plan: Arc<InversePlan>,
+    ) -> Self {
+        FxInverse { fx, h, base_code, plan }
+    }
 }
 
 #[cfg(test)]

@@ -12,12 +12,21 @@
 //!
 //! ```json
 //! {"bench":"group/name","iters":200,"median_ns":1234.5,"p95_ns":2000.0,
-//!  "mean_ns":1300.0,"min_ns":1200.0,"max_ns":2400.0,"checksum":42}
+//!  "mean_ns":1300.0,"min_ns":1200.0,"max_ns":2400.0,"outliers":1,
+//!  "checksum":42}
 //! ```
 //!
 //! Environment knobs: `PMR_BENCH_ITERS` (timed iterations, default 60),
 //! `PMR_BENCH_WARMUP` (warmup iterations, default 10). Smoke-testing a
 //! bench binary offline: `PMR_BENCH_ITERS=2 PMR_BENCH_WARMUP=0`.
+//!
+//! **Warmup floor:** at least one untimed iteration always runs, even
+//! with `warmup(0)` / `PMR_BENCH_WARMUP=0` — the first pass over a fresh
+//! workload pays one-time costs (page faults, lazy allocations, cold
+//! caches) that would otherwise pollute `max_ns` with a sample up to
+//! several times the median. Timed samples more than 2× the median are
+//! still counted in `outliers`, so a noisy run is visible in the JSON
+//! without distorting the robust statistics (`median_ns`, `p95_ns`).
 
 use std::hint::black_box as std_black_box;
 use std::time::Instant;
@@ -46,6 +55,10 @@ pub struct Stats {
     pub min_ns: f64,
     /// Slowest iteration.
     pub max_ns: f64,
+    /// Timed samples above 2× the median — one-off interference (page
+    /// faults, scheduler preemption) that the robust statistics already
+    /// exclude, surfaced so noisy runs are visible in the baseline.
+    pub outliers: usize,
     /// Checksum returned by the final iteration (deterministic for a
     /// fixed seed; timing-independent).
     pub checksum: u64,
@@ -56,7 +69,8 @@ impl Stats {
     pub fn to_json(&self) -> String {
         format!(
             "{{\"bench\":\"{}\",\"iters\":{},\"median_ns\":{:.1},\"p95_ns\":{:.1},\
-             \"mean_ns\":{:.1},\"min_ns\":{:.1},\"max_ns\":{:.1},\"checksum\":{}}}",
+             \"mean_ns\":{:.1},\"min_ns\":{:.1},\"max_ns\":{:.1},\"outliers\":{},\
+             \"checksum\":{}}}",
             self.bench,
             self.iters,
             self.median_ns,
@@ -64,6 +78,7 @@ impl Stats {
             self.mean_ns,
             self.min_ns,
             self.max_ns,
+            self.outliers,
             self.checksum
         )
     }
@@ -99,17 +114,18 @@ impl Group {
         self
     }
 
-    /// Overrides the warmup iteration count (zero is allowed — smoke
-    /// tests run benches with no warmup at all).
+    /// Overrides the warmup iteration count. A floor of one untimed
+    /// iteration always applies (see the module docs) — `warmup(0)` means
+    /// "the minimum", not "none".
     pub fn warmup(mut self, warmup: usize) -> Self {
         self.warmup = warmup;
         self
     }
 
-    /// Runs one benchmark: `warmup` untimed iterations, then `iters` timed
-    /// ones. `f` returns a checksum; see the module docs.
+    /// Runs one benchmark: `max(warmup, 1)` untimed iterations, then
+    /// `iters` timed ones. `f` returns a checksum; see the module docs.
     pub fn bench<F: FnMut() -> u64>(&mut self, name: &str, mut f: F) -> &Stats {
-        for _ in 0..self.warmup {
+        for _ in 0..self.warmup.max(1) {
             std_black_box(f());
         }
         let mut samples_ns = Vec::with_capacity(self.iters);
@@ -120,14 +136,16 @@ impl Group {
             samples_ns.push(start.elapsed().as_nanos() as f64);
         }
         samples_ns.sort_by(|a, b| a.partial_cmp(b).expect("durations are not NaN"));
+        let median_ns = percentile(&samples_ns, 50.0);
         let stats = Stats {
             bench: format!("{}/{}", self.name, name),
             iters: self.iters,
-            median_ns: percentile(&samples_ns, 50.0),
+            median_ns,
             p95_ns: percentile(&samples_ns, 95.0),
             mean_ns: samples_ns.iter().sum::<f64>() / samples_ns.len() as f64,
             min_ns: samples_ns[0],
             max_ns: samples_ns[samples_ns.len() - 1],
+            outliers: samples_ns.iter().filter(|&&s| s > 2.0 * median_ns).count(),
             checksum,
         };
         println!("{}", stats.to_json());
@@ -180,6 +198,7 @@ mod tests {
         assert!(stats.median_ns <= stats.p95_ns + 1e-9);
         let json = stats.to_json();
         assert!(json.starts_with("{\"bench\":\"selftest/sum\""));
+        assert!(json.contains("\"outliers\":"));
         assert!(json.contains("\"checksum\":499500"));
         assert_eq!(group.results().len(), 1);
     }
@@ -192,8 +211,41 @@ mod tests {
             calls += 1;
             calls
         });
-        // No warmup: exactly the timed iterations ran.
-        assert_eq!(calls, 3);
+        // warmup(0) still runs the one-iteration floor, then the timed
+        // iterations: the first (cold) pass never lands in the samples.
+        assert_eq!(calls, 4);
+
+        let mut calls = 0u64;
+        let mut group = Group::new("warmup").iters(3).warmup(5);
+        group.bench("count", || {
+            calls += 1;
+            calls
+        });
+        assert_eq!(calls, 8);
+    }
+
+    /// `outliers` counts timed samples above 2× the median; a constant
+    /// workload has none.
+    #[test]
+    fn outliers_counted_against_median() {
+        let mut group = Group::new("outliers").iters(9).warmup(0);
+        let stats = group.bench("steady", || {
+            std::hint::black_box((0..2000u64).sum::<u64>())
+        });
+        assert!(
+            stats.outliers <= stats.iters,
+            "outlier count {} exceeds sample count {}",
+            stats.outliers,
+            stats.iters
+        );
+        // The definition, re-applied: the field is derived from samples,
+        // all of which sit between min and max.
+        assert!(stats.min_ns <= stats.median_ns && stats.median_ns <= stats.max_ns);
+        if stats.max_ns <= 2.0 * stats.median_ns {
+            assert_eq!(stats.outliers, 0);
+        } else {
+            assert!(stats.outliers >= 1);
+        }
     }
 
     #[test]

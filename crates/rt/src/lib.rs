@@ -7,7 +7,8 @@
 //!   shuffling, byte filling, and reproducible stream-splitting. Every
 //!   experiment seed in the workspace flows through this generator, which
 //!   is what makes the paper-table regenerators byte-for-byte replayable.
-//! * [`pool`] — scoped worker pool over `std::thread::scope` and channels
+//! * [`pool`] — scoped worker pool over `std::thread::scope` and channels,
+//!   plus resident pinned workers ([`pool::resident`]) for query streams
 //!   with ordered results and panic propagation; the parallel query
 //!   executor's one-worker-per-device model.
 //! * [`buf`] — append buffer / frozen sliceable region pair with

@@ -481,13 +481,24 @@ impl Drop for SpanGuard {
 /// Opens a [`SpanGuard`] named `$name` with optional `key = value`
 /// attributes (values coerced to `u64`).
 ///
+/// The enabled check runs **before** any attribute expression is
+/// evaluated: with tracing off the whole call is one `#[inline]` relaxed
+/// atomic load — the attribute slice is never built and `$val`
+/// expressions are not executed (so keep them side-effect free). The
+/// `obs_overhead/span_disabled` bench pins this cost against the raw
+/// atomic-load floor.
+///
 /// ```
 /// let _span = pmr_rt::span!("exec.device", device = 3u64);
 /// ```
 #[macro_export]
 macro_rules! span {
     ($name:expr $(, $key:ident = $val:expr)* $(,)?) => {
-        $crate::obs::SpanGuard::begin($name, &[$((stringify!($key), ($val) as u64)),*])
+        if $crate::obs::enabled() {
+            $crate::obs::SpanGuard::begin($name, &[$((stringify!($key), ($val) as u64)),*])
+        } else {
+            $crate::obs::SpanGuard::disabled()
+        }
     };
 }
 

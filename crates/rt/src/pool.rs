@@ -9,11 +9,16 @@
 //! * [`Pool::run`] — a fixed number of workers draining a channel of
 //!   tasks, for work lists longer than the device count. Results are
 //!   returned in task order regardless of which worker ran them.
+//! * [`resident::ResidentPool`] — long-lived pinned workers with
+//!   per-worker mailboxes, for query *streams* where per-call spawn/join
+//!   overhead dominates (see the submodule docs).
 //!
 //! Both propagate panics: a panicking worker aborts the whole operation
 //! by re-raising the panic on the calling thread (after every worker has
 //! been joined), so a failed assertion inside a worker is never silently
 //! swallowed.
+
+pub mod resident;
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::mpsc;

@@ -19,21 +19,29 @@
 //!
 //! [`execute_parallel`] picks automatically: files declustered by an
 //! [`FxDistribution`] (detected via
-//! [`DistributionMethod::as_fx`]) take the fast path, everything else
-//! falls back to the scan. Results are identical either way — only
+//! [`DistributionMethod::as_fx`]) take the fast path *when the cost
+//! heuristic says it pays* ([`fx_fast_path_pays_off`]) — on narrow
+//! queries the fast inverse's setup cost exceeds the scan it avoids, so
+//! those fall back to the scan. Results are identical either way — only
 //! `addresses_computed` differs.
+//!
+//! For query *streams*, [`Executor`] keeps the device workers resident
+//! ([`pmr_rt::pool::resident`]) and pipelines whole batches through them
+//! with no per-query thread spawn/join ([`Executor::execute_batch`]).
 
 use crate::cost::CostModel;
 use crate::device::{Device, ReadFault};
 use crate::file::{DeclusteredFile, FileError};
-use pmr_core::inverse::{for_each_device_code, FxInverse};
+use crate::mirror::Mirroring;
+use pmr_core::inverse::{for_each_device_code, FxInverse, InversePlan};
 use pmr_core::method::DistributionMethod;
 use pmr_core::{FxDistribution, PartialMatchQuery, SystemConfig};
 use pmr_mkh::Record;
 use pmr_rt::fault::RetryPolicy;
 use pmr_rt::obs::{self, TraceSummary};
+use pmr_rt::pool::resident::{ResidentPool, WorkerScratch};
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{mpsc, Arc};
 
 /// How one device's share of a query was ultimately served.
 ///
@@ -106,7 +114,11 @@ pub struct DeviceReport {
 }
 
 /// Outcome of one parallel query execution.
-#[derive(Debug)]
+///
+/// `PartialEq` compares every field, including the simulated times
+/// bit-for-bit — the equivalence contract between the strict, policy,
+/// and batch executors is pinned with whole-report equality.
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExecutionReport {
     /// Per-device breakdown, indexed by device id.
     pub per_device: Vec<DeviceReport>,
@@ -215,16 +227,29 @@ fn collect_report(
     m: u64,
     capture: Option<obs::TraceCapture>,
 ) -> Result<ExecutionReport, FileError> {
-    let mut per_device = Vec::with_capacity(m as usize);
+    let mut yields = Vec::with_capacity(m as usize);
+    for r in results {
+        yields.push(r?);
+    }
+    Ok(assemble(yields, capture))
+}
+
+/// Core aggregation shared by the scoped executors (via
+/// [`collect_report`]) and the resident batch executor: orders yields by
+/// device, concatenates records in device order (so every path reports
+/// records in the same order), and derives the report-level aggregates.
+/// The `f64` folds run in device order — part of the bit-equality
+/// contract between the executors.
+fn assemble(mut yields: Vec<WorkerYield>, capture: Option<obs::TraceCapture>) -> ExecutionReport {
+    yields.sort_by_key(|(report, _, _)| report.device);
+    let mut per_device = Vec::with_capacity(yields.len());
     let mut records = Vec::new();
     let mut lost_buckets = Vec::new();
-    for r in results {
-        let (report, mut recs, mut lost) = r?;
+    for (report, mut recs, mut lost) in yields {
         per_device.push(report);
         records.append(&mut recs);
         lost_buckets.append(&mut lost);
     }
-    per_device.sort_by_key(|d| d.device);
     lost_buckets.sort_unstable();
     let largest_response = per_device.iter().map(|d| d.qualified_buckets).max().unwrap_or(0);
     let simulated_response_us =
@@ -247,7 +272,7 @@ fn collect_report(
         obs::counter_add("exec.qualified_buckets", total_qualified);
         obs::observe_us("exec.simulated_response_us", simulated_response_us);
     }
-    Ok(ExecutionReport {
+    ExecutionReport {
         per_device,
         records,
         largest_response,
@@ -256,7 +281,58 @@ fn collect_report(
         coverage,
         lost_buckets,
         trace: capture.map(obs::TraceCapture::finish),
-    })
+    }
+}
+
+/// Estimated fixed overhead of the FX fast path, in address-computation
+/// units: looking up (or building) the per-`Pattern`
+/// [`pmr_core::inverse::InversePlan`] and setting up the residue-class
+/// walk costs roughly this many `device_of_packed` evaluations.
+/// Calibrated against the recorded `exec_fast_path` bench group, where
+/// narrow queries (`|R(q)| = 8` on an `M = 8` system) measured faster
+/// under the brute scan and wide ones under the fast inverse.
+const FAST_PATH_SETUP_ADDR: u64 = 96;
+
+/// The cost heuristic shared by every dispatching executor: take the FX
+/// fast inverse only when its estimated address work undercuts the
+/// generic scan's `M · |R(q)|`.
+///
+/// Fast-path work is `|R(q)|` (each qualified bucket enumerated exactly
+/// once across all devices) plus `M` residue-class lookups per
+/// free-field combination, plus a fixed setup charge
+/// ([`FAST_PATH_SETUP_ADDR`]). On narrow queries the setup dominates and
+/// the scan wins — dispatching those onto the fast path anyway was the
+/// `exec_fast_path/dispatch_narrow` regression.
+pub fn fx_fast_path_pays_off(
+    sys: &SystemConfig,
+    fx: &FxDistribution,
+    query: &PartialMatchQuery,
+) -> bool {
+    fast_path_plan(sys, fx, query, query.qualified_count_in(sys)).0
+}
+
+/// `(take_fast_path, free_combos, inverse)` for one query. `free_combos`
+/// is the per-device residue-lookup count the fast path's
+/// `addresses_computed` accounting charges (`|R(q)| / F_pivot`). The
+/// inverse built for the decision is returned so fast-path callers never
+/// derive it twice. Cheap when the query's pattern has been seen before:
+/// the plan lookup hits the per-`Pattern` cache on the
+/// [`FxDistribution`].
+fn fast_path_plan<'a>(
+    sys: &SystemConfig,
+    fx: &'a FxDistribution,
+    query: &'a PartialMatchQuery,
+    total_qualified: u64,
+) -> (bool, u64, FxInverse<'a>) {
+    let inverse = FxInverse::new(fx, query);
+    let free_combos = match inverse.plan().pivot() {
+        Some(p) => total_qualified / sys.field_size(p),
+        None => 1,
+    };
+    let m = sys.devices();
+    let fast =
+        FAST_PATH_SETUP_ADDR + total_qualified + m * free_combos < m * total_qualified;
+    (fast, free_combos, inverse)
 }
 
 /// Executes `query` against `file` with one worker per device, using the
@@ -264,17 +340,21 @@ fn collect_report(
 ///
 /// FX-declustered files (any method whose
 /// [`DistributionMethod::as_fx`] returns `Some`) are dispatched onto the
-/// residue-indexed fast inverse ([`FxInverse`]); all other methods use
-/// the generic packed scan. The two paths return identical reports apart
-/// from `addresses_computed` — the equivalence property suite pins this.
+/// residue-indexed fast inverse ([`FxInverse`]) when the cost heuristic
+/// says the setup pays for itself ([`fx_fast_path_pays_off`]); narrow
+/// queries and non-FX methods use the generic packed scan. The two paths
+/// return identical reports apart from `addresses_computed` — the
+/// equivalence property suite pins this.
 pub fn execute_parallel<D: DistributionMethod>(
     file: &DeclusteredFile<D>,
     query: &PartialMatchQuery,
     cost: &CostModel,
 ) -> Result<ExecutionReport, FileError> {
     match file.method().as_fx() {
-        Some(fx) => run_fx(file.devices(), file.system(), fx, query, cost),
-        None => execute_parallel_scan(file, query, cost),
+        Some(fx) if fx_fast_path_pays_off(file.system(), fx, query) => {
+            run_fx(file.devices(), file.system(), fx, query, cost)
+        }
+        _ => execute_parallel_scan(file, query, cost),
     }
 }
 
@@ -423,7 +503,12 @@ pub fn execute_parallel_with<D: DistributionMethod>(
     let _span = pmr_rt::span!("exec.query", devices = m, qualified = total_qualified);
     let devices = file.devices();
     let pairing = if policy.failover { file.mirroring().copied() } else { None };
-    let inverse = file.method().as_fx().map(|fx| FxInverse::new(fx, query));
+    // Same dispatch heuristic as the strict paths, so the policy path and
+    // [`Executor::execute_batch`] stay bit-equal to them when fault-free.
+    let inverse = file.method().as_fx().and_then(|fx| {
+        let (fast, _, inverse) = fast_path_plan(sys, fx, query, total_qualified);
+        fast.then_some(inverse)
+    });
     let free_combos = match inverse.as_ref().and_then(|inv| inv.plan().pivot()) {
         Some(p) => total_qualified / sys.field_size(p),
         None => 1,
@@ -576,6 +661,213 @@ where
             }
         }
     }
+}
+
+/// A resident query executor: `M` long-lived pinned workers (one per
+/// device — the paper's symmetric-device model) fed through per-device
+/// mailboxes, so a stream of queries pays zero thread spawn/join.
+///
+/// [`Executor::new`] snapshots the file's devices, method, mirroring
+/// pairing, and a cost model; [`Executor::execute_batch`] then pipelines
+/// any number of queries through the workers. Devices are shared by
+/// `Arc`, so a [`pmr_rt::fault::FaultPlan`] installed on the file *after*
+/// construction is honoured by the resident workers. The mirroring
+/// pairing, by contrast, is snapshotted — construct the executor after
+/// [`DeclusteredFile::enable_mirroring`].
+///
+/// Fault-free batch reports are bit-equal to per-query
+/// [`execute_parallel_with`] (which itself matches the strict
+/// [`execute_parallel`]): same records in the same order, same
+/// per-device reports, same simulated times. The one exception is
+/// `trace`, always `None` on batch reports — per-query trace capture
+/// would serialise the pipeline.
+pub struct Executor<D> {
+    devices: Vec<Arc<Device>>,
+    sys: SystemConfig,
+    method: Arc<D>,
+    mirroring: Option<Mirroring>,
+    cost: CostModel,
+    pool: ResidentPool,
+}
+
+/// Per-query dispatch decision, computed once on the caller thread and
+/// shared by all `M` workers.
+struct QueryPlan {
+    query: PartialMatchQuery,
+    /// Fast-path inverse, pre-decomposed (`h`, base code, pattern plan):
+    /// workers rebuild their [`FxInverse`] from these with one `Arc`
+    /// clone instead of re-deriving the transforms and re-entering the
+    /// plan cache per device. `None` dispatches the generic scan.
+    inverse: Option<(u64, u64, Arc<InversePlan>)>,
+    total_qualified: u64,
+    free_combos: u64,
+}
+
+/// Everything a resident worker needs for one batch, crossing into the
+/// `'static` jobs behind a single `Arc`.
+struct BatchCtx<D> {
+    devices: Vec<Arc<Device>>,
+    sys: SystemConfig,
+    method: Arc<D>,
+    /// Buddy pairing, already gated on `policy.failover`.
+    buddies: Option<Mirroring>,
+    cost: CostModel,
+    policy: ExecPolicy,
+    plans: Vec<QueryPlan>,
+}
+
+impl<D: DistributionMethod + Clone + Send + Sync + 'static> Executor<D> {
+    /// Starts `M` resident workers for `file`'s system and snapshots the
+    /// execution context (see the type docs for what is shared vs
+    /// snapshotted).
+    pub fn new(file: &DeclusteredFile<D>, cost: CostModel) -> Executor<D> {
+        let sys = file.system().clone();
+        let m = sys.devices() as usize;
+        Executor {
+            devices: file.devices().to_vec(),
+            sys,
+            method: Arc::new(file.method().clone()),
+            mirroring: file.mirroring().copied(),
+            cost,
+            pool: ResidentPool::new(m),
+        }
+    }
+
+    /// Number of resident device workers (`M`).
+    pub fn workers(&self) -> u64 {
+        self.sys.devices()
+    }
+
+    /// Executes a batch of queries, pipelined: each worker receives one
+    /// job per batch and loops over every query for its device, reusing
+    /// its scratch codes buffer and the per-`Pattern` plan cache across
+    /// the whole batch. Reports come back in query order.
+    ///
+    /// Fault handling is [`execute_parallel_with`]'s policy path running
+    /// unchanged on resident workers — degraded coverage, never an error.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises a worker panic on the calling thread, like the scoped
+    /// executors do.
+    pub fn execute_batch(
+        &self,
+        queries: &[PartialMatchQuery],
+        policy: &ExecPolicy,
+    ) -> Vec<ExecutionReport> {
+        if queries.is_empty() {
+            return Vec::new();
+        }
+        let m = self.sys.devices();
+        let _span =
+            pmr_rt::span!("exec.batch", queries = queries.len() as u64, devices = m);
+        obs::counter_add("exec.batch.queries", queries.len() as u64);
+        let plans: Vec<QueryPlan> = queries
+            .iter()
+            .map(|query| {
+                let total_qualified = query.qualified_count_in(&self.sys);
+                let (inverse, free_combos) = match self.method.as_fx() {
+                    Some(fx) => {
+                        let (fast, free_combos, inverse) =
+                            fast_path_plan(&self.sys, fx, query, total_qualified);
+                        (fast.then(|| inverse.into_parts()), free_combos)
+                    }
+                    None => (None, 1),
+                };
+                obs::counter_add(
+                    if inverse.is_some() {
+                        "exec.fast_path.dispatched"
+                    } else {
+                        "exec.scan.dispatched"
+                    },
+                    1,
+                );
+                QueryPlan { query: query.clone(), inverse, total_qualified, free_combos }
+            })
+            .collect();
+        let queries_in_batch = plans.len();
+        let ctx = Arc::new(BatchCtx {
+            devices: self.devices.clone(),
+            sys: self.sys.clone(),
+            method: self.method.clone(),
+            buddies: if policy.failover { self.mirroring } else { None },
+            cost: self.cost,
+            policy: policy.clone(),
+            plans,
+        });
+        let (tx, rx) = mpsc::channel::<Vec<(usize, WorkerYield)>>();
+        for device in 0..m {
+            let ctx = Arc::clone(&ctx);
+            let tx = tx.clone();
+            self.pool.submit(device as usize, move |scratch| {
+                batch_worker(&ctx, device, scratch, &tx)
+            });
+        }
+        drop(tx);
+        let mut yields: Vec<Vec<WorkerYield>> =
+            (0..queries_in_batch).map(|_| Vec::with_capacity(m as usize)).collect();
+        for worker_yields in rx {
+            for (query_index, yielded) in worker_yields {
+                yields[query_index].push(yielded);
+            }
+        }
+        if yields.iter().any(|q| q.len() != m as usize) {
+            // A worker died mid-batch; surface its panic like the scoped
+            // executors would.
+            if let Some(payload) = self.pool.take_panic() {
+                std::panic::resume_unwind(payload);
+            }
+            panic!("resident worker stopped without reporting a panic");
+        }
+        yields.into_iter().map(|q| assemble(q, None)).collect()
+    }
+}
+
+/// One resident worker's share of a batch: for each query, enumerate the
+/// codes this device owns (fast inverse or generic scan, per the
+/// caller-computed plan), read them under the policy, and accumulate the
+/// yield tagged with its query index. All yields post back in **one**
+/// message per worker per batch — per-yield sends would wake the
+/// collector up to `queries × M` times, which on loaded (or few-core)
+/// hosts costs more in futex traffic than the reads themselves. The
+/// codes buffer lives in the worker's scratch — allocated once per
+/// worker lifetime, not once per query.
+fn batch_worker<D: DistributionMethod>(
+    ctx: &BatchCtx<D>,
+    device: u64,
+    scratch: &mut WorkerScratch,
+    results: &mpsc::Sender<Vec<(usize, WorkerYield)>>,
+) {
+    let buddy = ctx.buddies.map(|p| p.buddy_of(device));
+    let mut out = Vec::with_capacity(ctx.plans.len());
+    for (query_index, plan) in ctx.plans.iter().enumerate() {
+        let _span = pmr_rt::span!("exec.device", device = device);
+        let codes: &mut Vec<u64> = scratch.get_or_default();
+        codes.clear();
+        let addresses_computed = if let Some((h, base_code, inv_plan)) = &plan.inverse {
+            let fx = ctx.method.as_fx().expect("a fast plan implies an FX method");
+            let inverse = FxInverse::from_parts(fx, *h, *base_code, Arc::clone(inv_plan));
+            inverse.for_each_code_on(device, |code| codes.push(code));
+            plan.free_combos + codes.len() as u64
+        } else {
+            for_each_device_code(&*ctx.method, &ctx.sys, &plan.query, device, |code| {
+                codes.push(code)
+            });
+            plan.total_qualified
+        };
+        let yielded = resilient_device_read(
+            &ctx.devices,
+            device,
+            codes,
+            buddy,
+            &ctx.cost,
+            &ctx.policy,
+            addresses_computed,
+        );
+        out.push((query_index, yielded));
+    }
+    // Collector gone (batch abandoned) is fine to ignore.
+    let _ = results.send(out);
 }
 
 /// The generic per-device worker: packed inverse scan + bucket reads.
@@ -740,27 +1032,109 @@ mod tests {
         }
     }
 
-    /// `execute_parallel` on an FX file takes the fast path: total address
-    /// work is `O(|R(q)|)` (bounded here by `2·|R(q)|`), while the forced
-    /// scan pays the full `M · |R(q)|`.
+    /// `execute_parallel` dispatches per the cost heuristic, pinning the
+    /// crossover: a wide query (the empty query, `|R(q)| = 64`) takes the
+    /// FX fast inverse (total address work `O(|R(q)|)`), while narrow
+    /// queries (`|R(q)| = 8`) take the generic scan — dispatching narrow
+    /// queries onto the fast path was the
+    /// `exec_fast_path/dispatch_narrow` regression this fixes.
     #[test]
-    fn execute_parallel_dispatches_fx_fast_path() {
+    fn dispatch_follows_cost_heuristic() {
         let file = build_file(800);
-        let m = file.system().devices();
-        for specs in [vec![("cat", Value::Int(5))], vec![], vec![("k", Value::Int(2))]] {
+        let sys = file.system();
+        let m = sys.devices();
+        let wide = file.query(&[]).unwrap();
+        assert!(fx_fast_path_pays_off(sys, file.method(), &wide));
+        let rq = wide.qualified_count_in(sys);
+        let auto = execute_parallel(&file, &wide, &CostModel::main_memory()).unwrap();
+        let auto_addr: u64 = auto.per_device.iter().map(|d| d.addresses_computed).sum();
+        assert!(
+            auto_addr <= 2 * rq,
+            "wide query must take the fast path: {auto_addr} addresses for |R(q)| = {rq}"
+        );
+        for specs in [vec![("cat", Value::Int(5))], vec![("k", Value::Int(2))]] {
             let q = file.query(&specs).unwrap();
-            let rq = q.qualified_count_in(file.system());
+            assert!(!fx_fast_path_pays_off(sys, file.method(), &q));
+            let rq = q.qualified_count_in(sys);
             let auto = execute_parallel(&file, &q, &CostModel::main_memory()).unwrap();
             let scan = execute_parallel_scan(&file, &q, &CostModel::main_memory()).unwrap();
             let auto_addr: u64 = auto.per_device.iter().map(|d| d.addresses_computed).sum();
-            let scan_addr: u64 = scan.per_device.iter().map(|d| d.addresses_computed).sum();
-            assert_eq!(scan_addr, m * rq, "scan is O(M·|R(q)|)");
-            assert!(
-                auto_addr <= 2 * rq,
-                "dispatcher did not take the fast path: {auto_addr} addresses for |R(q)| = {rq}"
-            );
+            assert_eq!(auto_addr, m * rq, "narrow query must take the generic scan");
             assert_eq!(auto.histogram(), scan.histogram());
         }
+        // The crossover itself, on this 8×8-bucket, M = 4 system: with
+        // `free_combos = |R(q)|/8`, fast wins iff
+        // `96 + |R(q)| + 4·|R(q)|/8 < 4·|R(q)|`, i.e. |R(q)| > 38.4 —
+        // so the full grid (64) is fast and a one-field query (8) scans.
+        let fully_specified = file.query(&[("k", Value::Int(1)), ("cat", Value::Int(2))]).unwrap();
+        assert!(!fx_fast_path_pays_off(sys, file.method(), &fully_specified));
+    }
+
+    /// `execute_batch` on a resident [`Executor`] is bit-equal to the
+    /// per-query policy path on fault-free runs, apart from the always-
+    /// `None` trace slot — whole-report equality, including record order
+    /// and simulated times.
+    #[test]
+    fn batch_matches_per_query_policy_path() {
+        let file = build_file(600);
+        let exec = Executor::new(&file, CostModel::main_memory());
+        let policy = ExecPolicy::default();
+        let queries: Vec<_> = [
+            vec![("cat", Value::Int(5))],
+            vec![],
+            vec![("k", Value::Int(2))],
+            vec![("k", Value::Int(1)), ("cat", Value::Int(2))],
+        ]
+        .iter()
+        .map(|specs| file.query(specs).unwrap())
+        .collect();
+        let batch = exec.execute_batch(&queries, &policy);
+        assert_eq!(batch.len(), queries.len());
+        for (q, got) in queries.iter().zip(&batch) {
+            let mut want =
+                execute_parallel_with(&file, q, &CostModel::main_memory(), &policy).unwrap();
+            want.trace = None;
+            assert_eq!(got, &want);
+        }
+    }
+
+    /// The fault/retry/failover policy path runs unchanged on resident
+    /// workers: under a dead device with mirroring, the batch report
+    /// equals the scoped policy path's, failover outcome included.
+    #[test]
+    fn batch_preserves_fault_policy_semantics() {
+        let mut file = build_file(500);
+        assert!(file.enable_mirroring());
+        let exec = Executor::new(&file, CostModel::main_memory());
+        file.install_fault_plan(Some(Arc::new(
+            pmr_rt::fault::FaultPlan::new(7).with_dead_device(1),
+        )));
+        let policy = ExecPolicy { seed: 7, ..ExecPolicy::default() };
+        let q = file.query(&[("cat", Value::Int(3))]).unwrap();
+        let batch = exec.execute_batch(std::slice::from_ref(&q), &policy);
+        let mut want =
+            execute_parallel_with(&file, &q, &CostModel::main_memory(), &policy).unwrap();
+        want.trace = None;
+        assert_eq!(batch[0], want);
+        assert_eq!(batch[0].per_device[1].outcome, DeviceOutcome::FailedOver);
+        assert_eq!(batch[0].coverage, 1.0);
+        file.install_fault_plan(None);
+    }
+
+    /// One executor serves many batches; identical queries yield
+    /// identical reports within and across batches, and an empty batch is
+    /// a no-op.
+    #[test]
+    fn executor_is_reusable_across_batches() {
+        let file = build_file(300);
+        let exec = Executor::new(&file, CostModel::main_memory());
+        let policy = ExecPolicy::default();
+        let q = file.query(&[("k", Value::Int(7))]).unwrap();
+        let first = exec.execute_batch(std::slice::from_ref(&q), &policy);
+        let second = exec.execute_batch(&[q.clone(), q.clone()], &policy);
+        assert_eq!(first[0], second[0]);
+        assert_eq!(second[0], second[1]);
+        assert!(exec.execute_batch(&[], &policy).is_empty());
     }
 
     /// A corrupted resident page fails the whole execution with a decode

@@ -1,0 +1,132 @@
+//! Batch-vs-serial equivalence property for the resident executor.
+//!
+//! The resident [`Executor`] (PR: "Resident per-device executor") must be
+//! a pure throughput optimisation: for any batch of queries,
+//! `execute_batch` reports are **bit-identical** to running the same
+//! queries one at a time through the scoped policy path
+//! ([`execute_parallel_with`]) — same records in the same order, same
+//! per-device reports, same simulated times, same coverage — apart from
+//! the `trace` slot, which is always `None` on batch reports. This must
+//! hold on fault-free runs *and* under an installed [`FaultPlan`] with
+//! mirroring, where the retry/failover/lose policy runs on the resident
+//! workers.
+//!
+//! The property samples random Table 7 query mixes, batch sizes, policy
+//! seeds, and fault plans under the [`pmr_rt::check`] harness
+//! (`PMR_CHECK_SEED` replays a failure).
+
+use pmr_core::{FxDistribution, PartialMatchQuery, SystemConfig};
+use pmr_mkh::{FieldType, Record, Schema, Value};
+use pmr_rt::check::Source;
+use pmr_rt::fault::{FaultPlan, RetryPolicy};
+use pmr_rt::rt_proptest;
+use pmr_storage::exec::{execute_parallel_with, ExecPolicy, Executor};
+use pmr_storage::{CostModel, DeclusteredFile};
+use std::sync::{Arc, OnceLock};
+
+const SEED: u64 = 0xBA7C;
+
+/// The paper's Table 7 system (6 fields of 8 buckets, M = 32), mirrored,
+/// built once: the resident executor's 32 workers are shared by every
+/// case, which is exactly the deployment model under test.
+fn table7() -> (&'static DeclusteredFile<FxDistribution>, &'static Executor<FxDistribution>) {
+    static STATE: OnceLock<(DeclusteredFile<FxDistribution>, Executor<FxDistribution>)> =
+        OnceLock::new();
+    let (file, exec) = STATE.get_or_init(|| {
+        let sys = SystemConfig::new(&[8; 6], 32).unwrap();
+        let mut builder = Schema::builder();
+        for (i, &size) in sys.field_sizes().iter().enumerate() {
+            builder = builder.field(format!("f{i}"), FieldType::Int, size);
+        }
+        let schema = builder.devices(sys.devices()).build().expect("system is valid");
+        let fx = FxDistribution::auto(sys.clone()).expect("auto always assigns");
+        let mut file = DeclusteredFile::new(schema, fx, SEED).expect("schema matches system");
+        assert!(file.enable_mirroring());
+        for i in 0..2_000i64 {
+            let values: Vec<Value> =
+                (0..sys.num_fields()).map(|f| Value::Int(i * 131 + f as i64 * 7)).collect();
+            file.insert(Record::new(values)).expect("records type-check");
+        }
+        // Mirroring is enabled before construction: the executor
+        // snapshots the buddy pairing.
+        let exec = Executor::new(&file, CostModel::main_memory());
+        (file, exec)
+    });
+    (file, exec)
+}
+
+/// Random Table 7 query with 1–3 unspecified fields (|R(q)| ≤ 512),
+/// unspecified positions scattered rather than suffix-only.
+fn gen_query(src: &mut Source, sys: &SystemConfig) -> PartialMatchQuery {
+    let unspecified = src.int_in(1, 3) as usize;
+    let n = sys.num_fields();
+    let mut free: Vec<usize> = Vec::new();
+    while free.len() < unspecified {
+        let f = src.int_in(0, n as u64 - 1) as usize;
+        if !free.contains(&f) {
+            free.push(f);
+        }
+    }
+    let values: Vec<Option<u64>> = (0..n)
+        .map(|i| {
+            if free.contains(&i) { None } else { Some(src.int_in(0, sys.field_size(i) - 1)) }
+        })
+        .collect();
+    PartialMatchQuery::new(sys, &values).expect("values in range")
+}
+
+rt_proptest! {
+    /// ISSUE acceptance property: `execute_batch` ≡ per-query
+    /// `execute_parallel_with`, bit-for-bit, across random query mixes,
+    /// batch sizes, seeds, and fault plans (including none), with
+    /// mirroring enabled throughout.
+    fn batch_is_bit_equal_to_per_query_execution(src) {
+        let (file, exec) = table7();
+        let sys = file.system().clone();
+        let cost = CostModel::main_memory();
+
+        let batch_size = src.int_in(1, 8) as usize;
+        let queries: Vec<PartialMatchQuery> =
+            (0..batch_size).map(|_| gen_query(src, &sys)).collect();
+        let policy = ExecPolicy {
+            retry: RetryPolicy { max_attempts: 4, base_us: 10, cap_us: 1_000, budget_us: 100_000 },
+            failover: src.weighted(0.8),
+            seed: src.any_u64(),
+        };
+        let plan = if src.weighted(0.5) {
+            let mut plan = FaultPlan::new(src.any_u64());
+            if src.weighted(0.6) {
+                plan = plan.with_read_error(0.2);
+            }
+            if src.weighted(0.4) {
+                plan = plan.with_dead_device(src.int_in(0, sys.devices() - 1));
+            }
+            Some(Arc::new(plan))
+        } else {
+            None
+        };
+
+        file.install_fault_plan(plan.clone());
+        let batch = exec.execute_batch(&queries, &policy);
+        let serial: Vec<_> = queries
+            .iter()
+            .map(|q| {
+                let mut report =
+                    execute_parallel_with(file, q, &cost, &policy).expect("policy path never errors");
+                report.trace = None;
+                report
+            })
+            .collect();
+        file.install_fault_plan(None);
+
+        assert_eq!(batch.len(), serial.len());
+        for (i, (got, want)) in batch.iter().zip(&serial).enumerate() {
+            assert_eq!(
+                got, want,
+                "query {i}/{batch_size} ({}) diverged under plan {:?}",
+                queries[i],
+                plan.is_some()
+            );
+        }
+    }
+}

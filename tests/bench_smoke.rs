@@ -67,6 +67,15 @@ fn bench_all_fast_mode_produces_every_group() {
         "fault_overhead/read_attempt_plan_installed",
         "fault_overhead/strict_dispatch",
         "fault_overhead/policy_no_faults",
+        "throughput/resident_batch_1",
+        "throughput/spawn_per_query_1",
+        "throughput/serial_1",
+        "throughput/resident_batch_16",
+        "throughput/spawn_per_query_16",
+        "throughput/serial_16",
+        "throughput/resident_batch_256",
+        "throughput/spawn_per_query_256",
+        "throughput/serial_256",
     ];
     for (file, expected) in files.iter().zip([&expected_core[..], &expected_exec[..]]) {
         let names: Vec<&str> = file.stats.iter().map(|s| s.bench.as_str()).collect();
@@ -99,6 +108,23 @@ fn bench_all_fast_mode_produces_every_group() {
     };
     assert_eq!(fo("read_bucket_baseline"), fo("read_attempt_no_plan"));
     assert_eq!(fo("strict_dispatch"), fo("policy_no_faults"));
+
+    // At each batch size the resident batch, spawn-per-query, and serial
+    // throughput variants answer the same queries: identical record
+    // totals (ISSUE: batch path is a pure throughput optimisation).
+    let tp = |name: &str| -> u64 {
+        files[1]
+            .stats
+            .iter()
+            .find(|s| s.bench == format!("throughput/{name}"))
+            .expect("group present")
+            .checksum
+    };
+    for batch in [1, 16, 256] {
+        let resident = tp(&format!("resident_batch_{batch}"));
+        assert_eq!(resident, tp(&format!("spawn_per_query_{batch}")), "batch {batch}");
+        assert_eq!(resident, tp(&format!("serial_{batch}")), "batch {batch}");
+    }
 
     // Baseline files write as valid JSON lines.
     let dir = std::env::temp_dir().join("pmr_bench_smoke");
