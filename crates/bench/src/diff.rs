@@ -3,8 +3,8 @@
 //!
 //! Timing medians are noisy across machines, so this is deliberately a
 //! coarse gate: only benches in the [`GATED_PREFIXES`] groups
-//! (`query_exec`, `exec_fast_path`, `throughput` — the end-to-end paths
-//! the perf PRs pin) are compared, and only a median more than
+//! (`query_exec`, `exec_fast_path`, `throughput`, `serve` — the
+//! end-to-end paths the perf PRs pin) are compared, and only a median more than
 //! [`DEFAULT_THRESHOLD`]× the committed one counts as a regression. A
 //! gated bench that *disappears* from the fresh run also fails: renames
 //! must update the baselines in the same change. The `bench_diff` binary
@@ -15,7 +15,8 @@ use std::collections::BTreeMap;
 
 /// Bench-name prefixes the diff gate applies to. Everything else is
 /// compared for information only.
-pub const GATED_PREFIXES: &[&str] = &["query_exec/", "exec_fast_path/", "throughput/"];
+pub const GATED_PREFIXES: &[&str] =
+    &["query_exec/", "exec_fast_path/", "throughput/", "serve/"];
 
 /// A fresh median this many times the committed one fails the gate.
 pub const DEFAULT_THRESHOLD: f64 = 2.0;

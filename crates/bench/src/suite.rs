@@ -546,6 +546,91 @@ pub fn throughput(opts: &SuiteOpts) -> Group {
     group
 }
 
+/// Sharded scatter/gather service throughput (`pmr-net`): a 4-node
+/// in-process cluster over the paper's Table 7 system versus the same
+/// batch on a single-process resident executor, plus the wire-protocol
+/// encode/decode cost in isolation. The cluster and single-process
+/// benches answer the identical seeded narrow mix (0–2 unspecified
+/// fields — the `pmr loadgen` default workload) and share a checksum,
+/// so the `serve/` gate pins both the service's throughput and its
+/// bit-equality overhead story.
+pub fn serve(opts: &SuiteOpts) -> Group {
+    use pmr_net::wire::{decode_message, encode_message, GatherResponse, Message};
+    use pmr_net::{loadgen, Cluster, ClusterConfig};
+    use pmr_storage::exec::{ExecPolicy, Executor};
+
+    let sys = cpu_time_system();
+    let mut builder = Schema::builder();
+    for (i, &size) in sys.field_sizes().iter().enumerate() {
+        builder = builder.field(format!("f{i}"), FieldType::Int, size);
+    }
+    let schema = builder.devices(sys.devices()).build().unwrap();
+    let mut file =
+        DeclusteredFile::new(schema, FxDistribution::auto(sys.clone()).unwrap(), 13).unwrap();
+    file.enable_mirroring();
+    let records = opts.scaled(20_000, 300) as i64;
+    let recs: Vec<Record> = (0..records)
+        .map(|i| {
+            Record::new(
+                (0..sys.num_fields()).map(|f| Value::Int(i * 131 + f as i64 * 7)).collect(),
+            )
+        })
+        .collect();
+    file.insert_all_parallel(recs).unwrap();
+
+    let batch = opts.scaled(256, 8);
+    let queries = loadgen::query_mix(&sys, batch, pmr_rt::seed_from_env_or(42), 2);
+    let policy = ExecPolicy::default();
+    let exec = Executor::new(&file, CostModel::main_memory());
+    let cluster = Cluster::new(&file, CostModel::main_memory(), ClusterConfig::default());
+    let frontend = cluster.frontend();
+
+    // One canned node response for the wire micro-benches: what node 0
+    // actually ships back for this batch.
+    let yields = exec.execute_planned(
+        &queries.iter().map(|q| pmr_storage::exec::plan_query(&sys, file.method(), q)).collect::<Vec<_>>(),
+        &policy,
+    );
+    let response = Message::Response(GatherResponse {
+        request_id: 1,
+        node: 0,
+        busy_us: 0,
+        queries: yields,
+    });
+    let frame = encode_message(&response);
+
+    let mut group = opts.group("serve");
+    if opts.iters.is_none() && std::env::var("PMR_BENCH_ITERS").is_err() {
+        group = group.iters(20);
+    }
+    if opts.warmup.is_none() && std::env::var("PMR_BENCH_WARMUP").is_err() {
+        group = group.warmup(2);
+    }
+    group.bench(&format!("cluster4_batch_{batch}"), || {
+        frontend
+            .execute_batch(&queries, &policy)
+            .iter()
+            .map(|r| r.records.len() as u64)
+            .sum()
+    });
+    group.bench(&format!("single_process_batch_{batch}"), || {
+        exec.execute_batch(&queries, &policy)
+            .iter()
+            .map(|r| r.records.len() as u64)
+            .sum()
+    });
+    group.bench(&format!("wire_encode_response_{batch}"), || {
+        black_box(encode_message(black_box(&response))).len() as u64
+    });
+    group.bench(&format!("wire_decode_response_{batch}"), || {
+        match decode_message(black_box(&frame)).unwrap() {
+            Message::Response(r) => r.queries.len() as u64,
+            _ => unreachable!(),
+        }
+    });
+    group
+}
+
 /// One baseline file of the `bench_all` run: output file name plus the
 /// stats of every group it records.
 pub struct BaselineFile {
@@ -576,6 +661,7 @@ pub fn run_all(opts: &SuiteOpts) -> Vec<BaselineFile> {
     exec_stats.extend_from_slice(obs_overhead(opts).results());
     exec_stats.extend_from_slice(fault_overhead(opts).results());
     exec_stats.extend_from_slice(throughput(opts).results());
+    exec_stats.extend_from_slice(serve(opts).results());
 
     vec![
         BaselineFile { name: "BENCH_core.json", stats: core_stats },

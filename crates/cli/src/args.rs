@@ -39,6 +39,24 @@ USAGE:
       response-time-inflation table. Mirroring + failover are on unless
       --no-mirror; all fault decisions derive from the seed (PMR_SEED).
 
+  pmr serve [--fields F1,F2,... --devices M] [--records N] [--nodes K]
+            [--seed S] [--deadline-ms D] [--queries Q] [--json]
+      Boot a sharded in-process cluster — K nodes, each a resident
+      executor over a contiguous device subrange behind the pmr-net wire
+      protocol — run a seeded smoke batch through the scatter/gather
+      frontend, and report per-node topology, coverage, and counters.
+
+  pmr loadgen [--fields F1,F2,... --devices M] [--records N] [--nodes K]
+              [--queries Q] [--batch B] [--concurrency C] [--spread U]
+              [--seed S] [--deadline-ms D] [--drop P] [--kill-node I]
+              [--kill-at Q] [--check] [--json]
+      Drive a seeded query mix through the cluster closed-loop and
+      report queries/sec with p50/p99 latency in wall and simulated
+      time, degradation tallies, and an order-independent checksum.
+      --check cross-verifies the checksum against a single-process run;
+      --kill-node/--kill-at kill a node mid-run (coverage degrades,
+      nothing errors); --drop P drops responses with seeded probability.
+
   pmr experiment <table1..table9|figure1..figure4|all> [--trace T]
       Regenerate a table/figure of the paper's evaluation.
 
@@ -80,7 +98,16 @@ OPTIONS:
   --batch     simulate/throughput: queries per resident executor batch
   --rates     chaos: comma-separated fault rates to sweep
               (default 0,0.001,0.01,0.05,0.1)
-  --queries   chaos: sample queries per rate (default 8)
+  --queries   chaos: sample queries per rate (default 8);
+              serve: smoke-batch size; loadgen: total queries
+  --nodes     serve/loadgen: node count (default 4)
+  --concurrency  loadgen: closed-loop caller threads (default 2)
+  --spread    loadgen: max unspecified fields per query (default 2)
+  --deadline-ms  serve/loadgen: per-request gather deadline (default 250)
+  --drop      loadgen: seeded response-drop probability (default 0)
+  --kill-node loadgen: node index to kill mid-run
+  --kill-at   loadgen: query index at which the kill fires (default half)
+  --check     loadgen: verify the checksum against a single-process run
   --outage    chaos: additionally kill device D at every swept rate
   --no-mirror chaos: disable mirroring/failover (shows degradation)";
 
@@ -90,7 +117,7 @@ pub struct Flags<'a> {
 }
 
 /// Flags that take no value; present means `true`.
-const BOOLEAN_FLAGS: [&str; 3] = ["json", "mirror", "no-mirror"];
+const BOOLEAN_FLAGS: [&str; 4] = ["json", "mirror", "no-mirror", "check"];
 
 impl<'a> Flags<'a> {
     /// Parses `--name value` pairs (and bare boolean flags like

@@ -725,3 +725,261 @@ pub fn experiment(args: &[String]) -> Result<(), String> {
     }
     result
 }
+
+// ---------------------------------------------------------------------
+// Sharded multi-node service (pmr-net)
+// ---------------------------------------------------------------------
+
+/// Builds a mirrored declustered file plus an N-node in-process cluster
+/// over it — the shared setup for `pmr serve` and `pmr loadgen`.
+///
+/// Every random choice (record values, query mixes, fault plans)
+/// derives from `seed`, which itself defaults to `PMR_SEED`, so a whole
+/// multi-node run replays from one number.
+fn build_cluster(
+    flags: &Flags<'_>,
+) -> Result<(DeclusteredFile<FxDistribution>, pmr_net::Cluster<FxDistribution>, u64), String> {
+    let (fields, devices): (Vec<u64>, u64) =
+        if flags.get("fields").is_some() || flags.get("devices").is_some() {
+            (flags.fields()?, flags.devices()?)
+        } else {
+            (vec![8; 6], 32)
+        };
+    let sys = SystemConfig::new(&fields, devices).map_err(|e| e.to_string())?;
+    let seed = flags.u64_or("seed", pmr_rt::seed_from_env_or(42))?;
+    let records = flags.u64_or("records", 5_000)?;
+    let nodes = flags.u64_or("nodes", 4)? as usize;
+    if nodes == 0 || nodes as u64 > sys.devices() {
+        return Err(format!(
+            "--nodes must be between 1 and the device count ({})",
+            sys.devices()
+        ));
+    }
+    let deadline_ms = flags.u64_or("deadline-ms", 250)?;
+    let drop_probability = match flags.get("drop") {
+        None => 0.0,
+        Some(v) => {
+            let p: f64 = v.parse().map_err(|e| format!("bad --drop: {e}"))?;
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("--drop must be a probability, got {p}"));
+            }
+            p
+        }
+    };
+
+    let mut builder = Schema::builder();
+    for (i, &size) in sys.field_sizes().iter().enumerate() {
+        builder = builder.field(format!("f{i}"), FieldType::Int, size);
+    }
+    let schema = builder.devices(sys.devices()).build().map_err(|e| e.to_string())?;
+    let fx = FxDistribution::with_strategy(sys.clone(), flags.strategy()?)
+        .map_err(|e| e.to_string())?;
+    let mut file = DeclusteredFile::new(schema, fx, seed).map_err(|e| e.to_string())?;
+    file.enable_mirroring();
+    let mut rng = Rng::seed_from_u64(seed);
+    let recs: Vec<Record> = (0..records)
+        .map(|_| {
+            Record::new(
+                (0..sys.num_fields())
+                    .map(|_| Value::Int(rng.gen_range(0..1_000_000i64)))
+                    .collect(),
+            )
+        })
+        .collect();
+    file.insert_all_parallel(recs).map_err(|e| e.to_string())?;
+
+    let cfg = pmr_net::ClusterConfig {
+        nodes,
+        frontend: pmr_net::FrontendConfig {
+            deadline: std::time::Duration::from_millis(deadline_ms),
+            down_after: 3,
+        },
+        net_faults: (drop_probability > 0.0)
+            .then(|| pmr_net::NetFaultPlan::new(seed, drop_probability)),
+    };
+    let cluster = pmr_net::Cluster::new(&file, CostModel::main_memory(), cfg);
+    Ok((file, cluster, seed))
+}
+
+/// `pmr serve` — boot a sharded in-process cluster and smoke it.
+///
+/// K nodes each run a resident executor over a contiguous device
+/// subrange and speak the pmr-net wire protocol to a scatter/gather
+/// frontend; the command reports the topology, pushes one seeded smoke
+/// batch through the frontend, and prints coverage plus per-node
+/// counters. It demonstrates (and exercises end-to-end) exactly the
+/// pipeline `pmr loadgen` measures.
+pub fn serve(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let traced = install_trace(&flags)?;
+    let json = flags.has("json");
+    let smoke = flags.u64_or("queries", 16)? as usize;
+    let (file, cluster, seed) = build_cluster(&flags)?;
+    let sys = file.system().clone();
+
+    let queries = pmr_net::loadgen::query_mix(&sys, smoke, seed, 2);
+    let start = std::time::Instant::now();
+    let reports = cluster.frontend().execute_batch(&queries, &ExecPolicy::default());
+    let wall = start.elapsed();
+    let records: usize = reports.iter().map(|r| r.records.len()).sum();
+    let mean_coverage =
+        reports.iter().map(|r| r.coverage).sum::<f64>() / reports.len().max(1) as f64;
+    let stats = cluster.frontend().node_stats();
+
+    if json {
+        let nodes = stats
+            .iter()
+            .map(|s| {
+                format!(
+                    "{{\"node\":{},\"devices\":[{},{}],\"requests\":{},\"responses\":{},\
+                     \"timeouts\":{},\"down\":{}}}",
+                    s.node, s.devices.start, s.devices.end, s.requests, s.responses,
+                    s.timeouts, s.down
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        println!(
+            "{{\"system\":\"{sys}\",\"seed\":{seed},\"nodes\":{},\"smoke_queries\":{smoke},\
+             \"records\":{records},\"mean_coverage\":{mean_coverage:.6},\
+             \"wall_us\":{:.1},\"node_stats\":[{nodes}]}}",
+            cluster.nodes(),
+            wall.as_secs_f64() * 1e6,
+        );
+    } else {
+        println!("{sys}: {} nodes over the pmr-net wire protocol (seed {seed})", cluster.nodes());
+        for s in &stats {
+            println!(
+                "  node {} serves devices {:>3}..{:<3} — {} request(s), {} response(s)",
+                s.node, s.devices.start, s.devices.end, s.requests, s.responses
+            );
+        }
+        println!(
+            "smoke batch: {smoke} queries → {records} records, mean coverage \
+             {mean_coverage:.4}, {:.2} ms",
+            wall.as_secs_f64() * 1e3
+        );
+    }
+    drop(cluster);
+    if traced {
+        obs::flush();
+    }
+    Ok(())
+}
+
+/// `pmr loadgen` — closed-loop load generation against the cluster.
+///
+/// Generates a seeded query mix, drives it from `--concurrency` caller
+/// threads in `--batch`-sized scatter requests, and reports qps,
+/// wall/simulated latency percentiles, degradation, and the
+/// order-independent report checksum. `--check` re-executes the same
+/// mix on a single-process resident executor and verifies checksum
+/// equality — the wire adds zero semantic drift. `--kill-node I
+/// --kill-at Q` crashes a node mid-run: queries keep answering with
+/// per-query degraded coverage.
+pub fn loadgen(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let traced = install_trace(&flags)?;
+    let json = flags.has("json");
+    let total = flags.u64_or("queries", 20_000)? as usize;
+    let batch = flags.u64_or("batch", 512)? as usize;
+    let concurrency = flags.u64_or("concurrency", 2)? as usize;
+    let spread = flags.u64_or("spread", 2)? as usize;
+    if total == 0 || batch == 0 || concurrency == 0 {
+        return Err("--queries, --batch and --concurrency all need at least 1".into());
+    }
+    let kill = match flags.get("kill-node") {
+        None => None,
+        Some(v) => {
+            let node: usize = v.parse().map_err(|e| format!("bad --kill-node: {e}"))?;
+            let at_query = flags.u64_or("kill-at", total as u64 / 2)? as usize;
+            Some(pmr_net::KillSpec { node, at_query })
+        }
+    };
+
+    let (file, cluster, seed) = build_cluster(&flags)?;
+    if let Some(k) = kill {
+        if k.node >= cluster.nodes() {
+            return Err(format!(
+                "--kill-node {} out of range ({} nodes)",
+                k.node,
+                cluster.nodes()
+            ));
+        }
+    }
+    let sys = file.system().clone();
+    let queries = pmr_net::loadgen::query_mix(&sys, total, seed, spread);
+    let policy = ExecPolicy::default();
+    let opts = pmr_net::LoadgenOpts { concurrency, batch, kill };
+    let summary = pmr_net::loadgen::run(&cluster, &queries, &policy, &opts);
+
+    if flags.has("check") {
+        if kill.is_some() || flags.get("drop").is_some() {
+            return Err("--check needs a fault-free run (drop --kill-node/--drop)".into());
+        }
+        let exec = pmr_storage::exec::Executor::new(&file, CostModel::main_memory());
+        let local = exec.execute_batch(&queries, &policy);
+        let expected = pmr_net::loadgen::reports_checksum(local.iter());
+        if summary.checksum != expected {
+            return Err(format!(
+                "checksum mismatch: cluster {:016x}, single-process {expected:016x}",
+                summary.checksum
+            ));
+        }
+    }
+
+    if json {
+        println!("{}", summary.to_json());
+    } else {
+        println!(
+            "{sys}: {} queries in {} batches over {} node(s), {} caller thread(s)",
+            summary.queries,
+            summary.batches,
+            cluster.nodes(),
+            concurrency
+        );
+        println!(
+            "  throughput  {:>12.0} queries/sec  ({:.3} s wall)",
+            summary.qps, summary.wall_s
+        );
+        println!(
+            "  batch wall  p50 {:>9.1} µs   p99 {:>9.1} µs",
+            summary.batch_p50_us, summary.batch_p99_us
+        );
+        println!(
+            "  simulated   p50 {:>9.3} µs   p99 {:>9.3} µs  (per query)",
+            summary.sim_p50_us, summary.sim_p99_us
+        );
+        println!(
+            "  degradation mean coverage {:.6}, {} degraded quer{}, {} lost bucket(s), \
+             {} timeout(s)",
+            summary.mean_coverage,
+            summary.degraded,
+            if summary.degraded == 1 { "y" } else { "ies" },
+            summary.lost_buckets,
+            summary.timeouts
+        );
+        println!("  checksum    {:016x}{}", summary.checksum, if flags.has("check") {
+            "  (verified against single-process execution)"
+        } else {
+            ""
+        });
+        for s in &summary.node_stats {
+            println!(
+                "  node {} [{:>3}..{:<3}] {:>6} req {:>6} resp {:>4} timeout{}",
+                s.node,
+                s.devices.start,
+                s.devices.end,
+                s.requests,
+                s.responses,
+                s.timeouts,
+                if s.down { "  DOWN" } else { "" }
+            );
+        }
+    }
+    drop(cluster);
+    if traced {
+        obs::flush();
+    }
+    Ok(())
+}

@@ -6,6 +6,9 @@
 //! pmr simulate   --fields 8,8,8 --devices 16 --records 10000 [--seed N] [--trace T] [--json]
 //!                [--faults SPEC] [--retry POLICY] [--mirror] [--batch B]
 //! pmr throughput [--fields F1,... --devices M] [--records N] [--batch B] [--json]
+//! pmr serve      [--nodes K] [--deadline-ms D] [--queries Q] [--json]
+//! pmr loadgen    [--nodes K] [--queries Q] [--batch B] [--concurrency C]
+//!                [--kill-node I --kill-at Q] [--drop P] [--check] [--json]
 //! pmr chaos      [--rates R1,R2,...] [--outage D] [--no-mirror] [--json]
 //! pmr experiment <table1..table9|figure1..figure4|all> [--trace T]
 //! pmr stats      <trace.jsonl>
@@ -39,6 +42,8 @@ fn run(argv: &[String]) -> Result<(), String> {
         "analyze" => commands::analyze(rest),
         "simulate" => commands::simulate(rest),
         "throughput" => commands::throughput(rest),
+        "serve" => commands::serve(rest),
+        "loadgen" => commands::loadgen(rest),
         "chaos" => commands::chaos(rest),
         "optimize" => commands::optimize(rest),
         "design" => commands::design(rest),

@@ -1,0 +1,76 @@
+//! Deterministic network-level fault injection.
+//!
+//! The storage layer's [`pmr_rt::fault::FaultPlan`] decides per-bucket
+//! device faults; this is its network sibling: a seeded, replayable
+//! decision of whether node `n` swallows the response to request `r`.
+//! A swallowed response looks exactly like a slow or dead node to the
+//! frontend — the gather deadline expires and the node's devices degrade
+//! to `Lost` — so one seed replays a full multi-node degradation
+//! scenario end-to-end (the `PMR_SEED` contract).
+
+use pmr_rt::rng::Rng;
+
+/// Domain separator so net-fault decisions never correlate with storage
+/// fault or backoff streams derived from the same run seed.
+const NET_FAULT_DOMAIN: u64 = 0x6e65_745f_6661_756c;
+
+/// Seeded drop-response plan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetFaultPlan {
+    /// Probability that a node drops (never answers) one request.
+    pub drop_probability: f64,
+    /// Decision seed — conventionally the run's `PMR_SEED`.
+    pub seed: u64,
+}
+
+impl NetFaultPlan {
+    /// A plan that drops each (node, request) pair with probability `p`.
+    pub fn new(seed: u64, drop_probability: f64) -> NetFaultPlan {
+        NetFaultPlan { drop_probability, seed }
+    }
+
+    /// Deterministic per-(node, request) decision: the same seed replays
+    /// the same drops regardless of thread timing.
+    pub fn drops(&self, node: u32, request_id: u64) -> bool {
+        if self.drop_probability <= 0.0 {
+            return false;
+        }
+        let stream = ((node as u64) << 48) ^ request_id;
+        Rng::stream(self.seed ^ NET_FAULT_DOMAIN, stream).gen_bool(self.drop_probability)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::NetFaultPlan;
+
+    #[test]
+    fn decisions_are_deterministic_and_seed_sensitive() {
+        let a = NetFaultPlan::new(7, 0.5);
+        let b = NetFaultPlan::new(7, 0.5);
+        let c = NetFaultPlan::new(8, 0.5);
+        let mut diverged = false;
+        for req in 0..64 {
+            for node in 0..4 {
+                assert_eq!(a.drops(node, req), b.drops(node, req));
+                diverged |= a.drops(node, req) != c.drops(node, req);
+            }
+        }
+        assert!(diverged, "different seeds should disagree somewhere");
+    }
+
+    #[test]
+    fn zero_probability_never_drops() {
+        let plan = NetFaultPlan::new(1, 0.0);
+        assert!((0..256).all(|r| !plan.drops(0, r)));
+    }
+
+    #[test]
+    fn drop_rate_tracks_probability() {
+        let plan = NetFaultPlan::new(42, 0.3);
+        let drops =
+            (0..2000).filter(|&r| plan.drops((r % 4) as u32, r)).count();
+        let rate = drops as f64 / 2000.0;
+        assert!((rate - 0.3).abs() < 0.05, "drop rate {rate} far from 0.3");
+    }
+}

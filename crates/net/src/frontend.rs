@@ -1,0 +1,412 @@
+//! The scatter/gather frontend.
+//!
+//! The frontend plans each query **once** ([`pmr_storage::exec::plan_query`]
+//! — the same cost heuristic the single-process executor uses), encodes
+//! the batch into **one** request frame, and broadcasts it to every
+//! live node; each node executes its device subrange and ships raw
+//! per-device yields back. Gathering merges the yields with
+//! [`pmr_storage::exec::merge_device_yields`], so a fully-answered
+//! request is bit-equal to a single-process
+//! [`Executor::execute_batch`](pmr_storage::exec::Executor::execute_batch)
+//! over the same file.
+//!
+//! ## Deadlines and node failure
+//!
+//! Gathering waits at most [`FrontendConfig::deadline`] (wall clock) per
+//! request. A node that misses the deadline — dead, killed, or dropped
+//! by a [`crate::chaos::NetFaultPlan`] — does not fail the request:
+//! the frontend synthesizes `Lost` yields for every device in that
+//! node's range (it can enumerate their qualified buckets itself, from
+//! the plan), and the merged report degrades exactly like a device
+//! outage does — `coverage < 1`, lost codes listed. After
+//! [`FrontendConfig::down_after`] consecutive timeouts a node is marked
+//! **down** and skipped entirely, so a dead node costs one deadline a
+//! few times, not one per request forever. Simulated time is never
+//! charged for wall-clock waits: a timed-out node's devices report
+//! `simulated_us = 0` and `outcome = Lost`.
+//!
+//! Responses are routed by one collector thread per node into a shared
+//! pending table keyed by request id, so any number of callers may have
+//! requests in flight concurrently (the closed-loop `loadgen` drives
+//! this). A response that arrives after its deadline is counted
+//! (`net.late_responses`) and discarded.
+
+use crate::transport::{Duplex, FrameRx, FrameTx};
+use crate::wire::{self, GatherResponse, Message, ScatterRequest, WirePolicy, WireQuery};
+use pmr_core::inverse::{for_each_device_code, FxInverse};
+use pmr_core::method::DistributionMethod;
+use pmr_core::{PartialMatchQuery, SystemConfig};
+use pmr_rt::obs;
+use pmr_storage::exec::{
+    merge_device_yields, plan_query, DeviceOutcome, DeviceReport, DeviceYield, ExecPolicy,
+    ExecutionReport, PlannedQuery,
+};
+use std::collections::HashMap;
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Gather/degradation tuning.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrontendConfig {
+    /// Per-request gather deadline: how long to wait for all scattered
+    /// nodes before degrading the missing ones.
+    pub deadline: Duration,
+    /// Consecutive timeouts before a node is marked down and skipped
+    /// (the circuit breaker). `0` disables the breaker.
+    pub down_after: u32,
+}
+
+impl Default for FrontendConfig {
+    /// 250 ms deadline, down after 3 consecutive timeouts.
+    fn default() -> Self {
+        FrontendConfig { deadline: Duration::from_millis(250), down_after: 3 }
+    }
+}
+
+/// One node's live counters, snapshotted by [`Frontend::node_stats`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeStats {
+    /// Node index.
+    pub node: u32,
+    /// The device subrange the node serves.
+    pub devices: Range<u64>,
+    /// Requests scattered to this node.
+    pub requests: u64,
+    /// Responses gathered in time.
+    pub responses: u64,
+    /// Requests that missed the gather deadline.
+    pub timeouts: u64,
+    /// Whether the circuit breaker has removed the node.
+    pub down: bool,
+}
+
+/// Shared mutable node state (collector threads and callers both touch
+/// it).
+struct NodeState {
+    down: AtomicBool,
+    consecutive_timeouts: AtomicU32,
+    requests: AtomicU64,
+    responses: AtomicU64,
+    timeouts: AtomicU64,
+}
+
+struct NodeLink {
+    tx: Mutex<Box<dyn FrameTx>>,
+    range: Range<u64>,
+    state: Arc<NodeState>,
+}
+
+/// Response routing table: request id → one slot per node, filled by the
+/// collectors, awaited under the condvar by `execute_planned`.
+struct Pending {
+    slots: Mutex<HashMap<u64, Vec<Option<GatherResponse>>>>,
+    ready: Condvar,
+}
+
+/// The scatter/gather query frontend — see the module docs.
+///
+/// Shareable across caller threads (`Arc<Frontend<_>>`): request ids are
+/// allocated atomically and gathers are routed per id, so any number of
+/// batches may be in flight at once.
+pub struct Frontend<D> {
+    sys: SystemConfig,
+    method: Arc<D>,
+    nodes: Vec<NodeLink>,
+    pending: Arc<Pending>,
+    next_id: AtomicU64,
+    cfg: FrontendConfig,
+    collectors: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl<D> Frontend<D> {
+    /// Number of nodes (live or down).
+    pub fn nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The system this frontend plans against.
+    pub fn system(&self) -> &SystemConfig {
+        &self.sys
+    }
+
+    /// Per-node counters, in node order.
+    pub fn node_stats(&self) -> Vec<NodeStats> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, link)| NodeStats {
+                node: i as u32,
+                devices: link.range.clone(),
+                requests: link.state.requests.load(Ordering::Relaxed),
+                responses: link.state.responses.load(Ordering::Relaxed),
+                timeouts: link.state.timeouts.load(Ordering::Relaxed),
+                down: link.state.down.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+
+    /// Asks every node to exit its serve loop. Idempotent; called by
+    /// `Drop` as well.
+    pub fn shutdown(&self) {
+        let frame = wire::encode_message(&Message::Shutdown);
+        for link in &self.nodes {
+            // Down or already-exited nodes are fine to miss.
+            let _ = link.tx.lock().unwrap().send_frame(&frame);
+        }
+    }
+
+    fn mark_down(&self, node: usize) {
+        if !self.nodes[node].state.down.swap(true, Ordering::Relaxed) {
+            obs::counter_add("net.node_down", 1);
+        }
+    }
+}
+
+impl<D: DistributionMethod + Clone + Send + Sync + 'static> Frontend<D> {
+    /// Wires a frontend to its nodes: one `(connection, device range)`
+    /// per node, in node-index order. Spawns one collector thread per
+    /// node.
+    pub fn new(
+        sys: SystemConfig,
+        method: Arc<D>,
+        links: Vec<(Duplex, Range<u64>)>,
+        cfg: FrontendConfig,
+    ) -> Frontend<D> {
+        let pending = Arc::new(Pending { slots: Mutex::new(HashMap::new()), ready: Condvar::new() });
+        let mut nodes = Vec::with_capacity(links.len());
+        let mut collectors = Vec::with_capacity(links.len());
+        for (i, (duplex, range)) in links.into_iter().enumerate() {
+            let Duplex { tx, rx } = duplex;
+            let state = Arc::new(NodeState {
+                down: AtomicBool::new(false),
+                consecutive_timeouts: AtomicU32::new(0),
+                requests: AtomicU64::new(0),
+                responses: AtomicU64::new(0),
+                timeouts: AtomicU64::new(0),
+            });
+            collectors.push(spawn_collector(i as u32, rx, Arc::clone(&pending)));
+            nodes.push(NodeLink { tx: Mutex::new(tx), range, state });
+        }
+        Frontend { sys, method, nodes, pending, next_id: AtomicU64::new(1), cfg, collectors }
+    }
+
+    /// Plans, scatters, gathers, and merges one batch. The distributed
+    /// equivalent of [`Executor::execute_batch`]: with every node
+    /// answering, reports are bit-equal to the single-process batch
+    /// (trace slot `None` included); with nodes missing, their devices
+    /// degrade to `Lost` instead of erroring.
+    ///
+    /// [`Executor::execute_batch`]: pmr_storage::exec::Executor::execute_batch
+    pub fn execute_batch(
+        &self,
+        queries: &[PartialMatchQuery],
+        policy: &ExecPolicy,
+    ) -> Vec<ExecutionReport> {
+        if queries.is_empty() {
+            return Vec::new();
+        }
+        let planned: Vec<PlannedQuery> =
+            queries.iter().map(|q| plan_query(&self.sys, &*self.method, q)).collect();
+        self.execute_planned(&planned, policy)
+    }
+
+    /// [`Frontend::execute_batch`] for already-planned queries.
+    pub fn execute_planned(
+        &self,
+        planned: &[PlannedQuery],
+        policy: &ExecPolicy,
+    ) -> Vec<ExecutionReport> {
+        if planned.is_empty() {
+            return Vec::new();
+        }
+        let n = self.nodes.len();
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.pending.slots.lock().unwrap().insert(id, (0..n).map(|_| None).collect());
+
+        // Scatter: encode once, broadcast to every live node.
+        let mut scattered = vec![false; n];
+        {
+            let _span = pmr_rt::span!(
+                "net.scatter",
+                queries = planned.len() as u64,
+                nodes = n as u64
+            );
+            let request = Message::Request(ScatterRequest {
+                request_id: id,
+                policy: WirePolicy::from_policy(policy),
+                queries: planned.iter().map(WireQuery::from_planned).collect(),
+            });
+            let frame = wire::encode_message(&request);
+            for (i, link) in self.nodes.iter().enumerate() {
+                if link.state.down.load(Ordering::Relaxed) {
+                    continue;
+                }
+                link.state.requests.fetch_add(1, Ordering::Relaxed);
+                obs::counter_add("net.requests", 1);
+                match link.tx.lock().unwrap().send_frame(&frame) {
+                    Ok(()) => scattered[i] = true,
+                    Err(_) => self.mark_down(i),
+                }
+            }
+        }
+
+        // Gather: wait for every scattered node, bounded by the deadline.
+        let deadline = Instant::now() + self.cfg.deadline;
+        let responses: Vec<Option<GatherResponse>> = {
+            let _span = pmr_rt::span!(
+                "net.gather",
+                nodes = scattered.iter().filter(|&&s| s).count() as u64
+            );
+            let mut slots = self.pending.slots.lock().unwrap();
+            loop {
+                let filled = slots.get(&id).expect("pending entry lives until removal");
+                let complete = scattered
+                    .iter()
+                    .enumerate()
+                    .all(|(i, &sent)| !sent || filled[i].is_some());
+                if complete {
+                    break;
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let (relocked, _) =
+                    self.pending.ready.wait_timeout(slots, deadline - now).unwrap();
+                slots = relocked;
+            }
+            slots.remove(&id).expect("pending entry lives until removal")
+        };
+
+        // Account per-node outcomes and drive the circuit breaker.
+        for (i, link) in self.nodes.iter().enumerate() {
+            if !scattered[i] {
+                continue;
+            }
+            match &responses[i] {
+                Some(resp) => {
+                    link.state.consecutive_timeouts.store(0, Ordering::Relaxed);
+                    link.state.responses.fetch_add(1, Ordering::Relaxed);
+                    obs::counter_add("net.responses", 1);
+                    obs::observe_us("net.node_rt_us", resp.busy_us as f64);
+                }
+                None => {
+                    link.state.timeouts.fetch_add(1, Ordering::Relaxed);
+                    obs::counter_add("net.timeouts", 1);
+                    let consecutive =
+                        link.state.consecutive_timeouts.fetch_add(1, Ordering::Relaxed) + 1;
+                    if self.cfg.down_after > 0 && consecutive >= self.cfg.down_after {
+                        self.mark_down(i);
+                    }
+                }
+            }
+        }
+
+        // Merge: answered nodes contribute their yields; missing nodes
+        // degrade to synthesized Lost yields for their whole range.
+        let mut per_node: Vec<Option<std::vec::IntoIter<Vec<DeviceYield>>>> = responses
+            .into_iter()
+            .map(|r| r.map(|resp| resp.queries.into_iter()))
+            .collect();
+        planned
+            .iter()
+            .map(|p| {
+                let mut yields = Vec::with_capacity(self.sys.devices() as usize);
+                for (i, link) in self.nodes.iter().enumerate() {
+                    match per_node[i].as_mut().and_then(Iterator::next) {
+                        Some(node_yields) => yields.extend(node_yields),
+                        None => {
+                            for device in link.range.clone() {
+                                yields.push(lost_yield(&self.sys, &*self.method, p, device));
+                            }
+                        }
+                    }
+                }
+                merge_device_yields(yields)
+            })
+            .collect()
+    }
+}
+
+impl<D> Drop for Frontend<D> {
+    /// Shuts the nodes down and joins the collectors: nodes exit on the
+    /// `Shutdown` frame (or on the senders dropping), which closes the
+    /// collectors' receive sides.
+    fn drop(&mut self) {
+        let frame = wire::encode_message(&Message::Shutdown);
+        for link in &self.nodes {
+            let _ = link.tx.lock().unwrap().send_frame(&frame);
+        }
+        self.nodes.clear();
+        for collector in self.collectors.drain(..) {
+            let _ = collector.join();
+        }
+    }
+}
+
+fn spawn_collector(
+    node: u32,
+    mut rx: Box<dyn FrameRx>,
+    pending: Arc<Pending>,
+) -> std::thread::JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(format!("pmr-net-gather-{node}"))
+        .spawn(move || while let Ok(frame) = rx.recv_frame() {
+            match wire::decode_message(&frame) {
+                Ok(Message::Response(resp)) => {
+                    let mut slots = pending.slots.lock().unwrap();
+                    let (request_id, slot) = (resp.request_id, resp.node as usize);
+                    match slots.get_mut(&request_id) {
+                        Some(filled) if slot < filled.len() => {
+                            filled[slot] = Some(resp);
+                            pending.ready.notify_all();
+                        }
+                        // Deadline already expired and the entry is gone,
+                        // or the node id is nonsense.
+                        _ => obs::counter_add("net.late_responses", 1),
+                    }
+                }
+                _ => obs::counter_add("net.decode_errors", 1),
+            }
+        })
+        .expect("spawn collector thread")
+}
+
+/// The degraded stand-in for one device of a node that never answered:
+/// the frontend enumerates the device's qualified buckets itself (it has
+/// the plan) and reports them all lost. `simulated_us` stays `0` — wall
+/// deadlines are not simulated device time.
+fn lost_yield<D: DistributionMethod>(
+    sys: &SystemConfig,
+    method: &D,
+    planned: &PlannedQuery,
+    device: u64,
+) -> DeviceYield {
+    let mut codes = Vec::new();
+    if planned.fast_path {
+        let fx = method.as_fx().expect("a fast plan implies an FX method");
+        FxInverse::new(fx, &planned.query).for_each_code_on(device, |code| codes.push(code));
+    } else {
+        for_each_device_code(method, sys, &planned.query, device, |code| codes.push(code));
+    }
+    let qualified_buckets = codes.len() as u64;
+    let addresses_computed = if planned.fast_path {
+        planned.free_combos + qualified_buckets
+    } else {
+        planned.total_qualified
+    };
+    DeviceYield {
+        report: DeviceReport {
+            device,
+            qualified_buckets,
+            records: 0,
+            addresses_computed,
+            simulated_us: 0.0,
+            outcome: DeviceOutcome::Lost,
+        },
+        records: Vec::new(),
+        lost: codes,
+    }
+}

@@ -1,0 +1,103 @@
+//! A node: one device subrange behind a wire-served resident executor.
+//!
+//! Each node owns a contiguous device range (see [`crate::partition`])
+//! and wraps a [`pmr_storage::exec::Executor`] whose resident workers
+//! cover exactly that range. Its serve loop is request-at-a-time: decode
+//! a [`ScatterRequest`](crate::wire::ScatterRequest), rebuild the
+//! frontend's plans against the local system, execute, and ship the raw
+//! per-device yields back. A node never merges — merging is the
+//! frontend's job, which is what keeps gathered reports bit-equal to a
+//! single-process execution.
+//!
+//! Failure modes are silent by design: a killed node keeps draining its
+//! mailbox without answering (exactly what a crashed process looks like
+//! to the frontend), and a [`NetFaultPlan`] drop swallows one response.
+//! Both surface at the frontend as a gather deadline, never an error.
+
+use crate::chaos::NetFaultPlan;
+use crate::transport::Duplex;
+use crate::wire::{self, GatherResponse, Message};
+use pmr_core::method::DistributionMethod;
+use pmr_core::SystemConfig;
+use pmr_rt::obs;
+use pmr_storage::exec::Executor;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Runs one node's serve loop until the peer closes or a `Shutdown`
+/// frame arrives. Blocking — see [`spawn`] for the threaded form.
+pub fn serve<D: DistributionMethod + Clone + Send + Sync + 'static>(
+    id: u32,
+    sys: SystemConfig,
+    exec: Executor<D>,
+    duplex: Duplex,
+    kill: Arc<AtomicBool>,
+    faults: Option<NetFaultPlan>,
+) {
+    let Duplex { mut tx, mut rx } = duplex;
+    while let Ok(frame) = rx.recv_frame() {
+        let req = match wire::decode_message(&frame) {
+            Ok(Message::Request(req)) => req,
+            Ok(Message::Shutdown) => break,
+            // A response frame here is a protocol violation; count and
+            // drop it like any undecodable frame.
+            Ok(Message::Response(_)) | Err(_) => {
+                obs::counter_add("net.node.decode_errors", 1);
+                continue;
+            }
+        };
+        // A killed node is a crashed process: it consumes its mailbox
+        // (the transport still delivers) but never answers.
+        if kill.load(Ordering::Relaxed) {
+            continue;
+        }
+        if faults.is_some_and(|f| f.drops(id, req.request_id)) {
+            obs::counter_add("net.node.dropped", 1);
+            continue;
+        }
+        let started = Instant::now();
+        let _span = pmr_rt::span!(
+            "net.node.request",
+            node = id as u64,
+            queries = req.queries.len() as u64
+        );
+        let planned: Result<Vec<_>, _> =
+            req.queries.iter().map(|q| q.to_planned(&sys)).collect();
+        let planned = match planned {
+            Ok(planned) => planned,
+            Err(_) => {
+                obs::counter_add("net.node.decode_errors", 1);
+                continue;
+            }
+        };
+        let policy = req.policy.to_policy();
+        let queries = exec.execute_planned(&planned, &policy);
+        let busy_us = started.elapsed().as_micros() as u64;
+        obs::observe_us("net.node.busy_us", busy_us as f64);
+        let resp = Message::Response(GatherResponse {
+            request_id: req.request_id,
+            node: id,
+            busy_us,
+            queries,
+        });
+        if tx.send_frame(&wire::encode_message(&resp)).is_err() {
+            break;
+        }
+    }
+}
+
+/// Spawns [`serve`] on a named thread.
+pub fn spawn<D: DistributionMethod + Clone + Send + Sync + 'static>(
+    id: u32,
+    sys: SystemConfig,
+    exec: Executor<D>,
+    duplex: Duplex,
+    kill: Arc<AtomicBool>,
+    faults: Option<NetFaultPlan>,
+) -> std::thread::JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(format!("pmr-net-node-{id}"))
+        .spawn(move || serve(id, sys, exec, duplex, kill, faults))
+        .expect("spawn node thread")
+}

@@ -1,0 +1,48 @@
+//! Device partitioning across nodes.
+//!
+//! Node `i` of `n` owns the contiguous range `[i·M/n, (i+1)·M/n)` —
+//! balanced to within one device, a disjoint cover of `0..M` for every
+//! `n ≤ M` (the property suite in `crates/net/tests/partition.rs` pins
+//! this for arbitrary `M`/`n`). Contiguity matters for failover: buddy
+//! mirroring pairs device `d` with `d ⊕ M/2`, which always lands in the
+//! *other* half of the device set, so with an even node count a node and
+//! its devices' buddies never share a node — losing one node leaves
+//! every mirror copy reachable.
+
+/// Splits `0..m` into `n` contiguous, disjoint, covering ranges, sized
+/// within one device of each other.
+///
+/// # Panics
+///
+/// When `n` is zero or exceeds `m` (a node must own at least one
+/// device).
+pub fn contiguous(m: u64, n: usize) -> Vec<std::ops::Range<u64>> {
+    assert!(n > 0, "at least one node");
+    assert!(n as u64 <= m, "{n} nodes cannot each own a device of {m}");
+    let n64 = n as u64;
+    (0..n64).map(|i| (i * m / n64)..((i + 1) * m / n64)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::contiguous;
+
+    #[test]
+    fn table7_four_nodes() {
+        assert_eq!(contiguous(32, 4), vec![0..8, 8..16, 16..24, 24..32]);
+    }
+
+    #[test]
+    fn uneven_split_stays_balanced() {
+        let parts = contiguous(10, 3);
+        assert_eq!(parts.iter().map(|r| r.end - r.start).sum::<u64>(), 10);
+        let sizes: Vec<u64> = parts.iter().map(|r| r.end - r.start).collect();
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot each own")]
+    fn more_nodes_than_devices_panics() {
+        contiguous(4, 5);
+    }
+}

@@ -1,0 +1,140 @@
+//! Frame transports between the frontend and its nodes.
+//!
+//! A connection is a pair of directed halves — a [`FrameTx`] and a
+//! [`FrameRx`] — so the frontend can split sending (under a per-node
+//! lock) from receiving (one collector thread per node). The default
+//! transport is an in-process duplex built on `std::sync::mpsc`
+//! channels; a loopback TCP transport built on `std::net` alone lives
+//! behind the `tcp` cargo feature. Both carry the same encoded frames
+//! ([`crate::wire`]), so the protocol — caps, typed errors, framing — is
+//! identical either way.
+
+use std::sync::mpsc;
+
+/// Why a frame could not be moved.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TransportError {
+    /// The peer is gone (channel disconnected / socket closed).
+    Closed,
+    /// The underlying byte stream failed.
+    Io(String),
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::Closed => write!(f, "peer closed"),
+            TransportError::Io(e) => write!(f, "io: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+/// The sending half of a connection.
+pub trait FrameTx: Send {
+    /// Ships one encoded frame payload.
+    fn send_frame(&mut self, payload: &[u8]) -> Result<(), TransportError>;
+}
+
+/// The receiving half of a connection. `recv_frame` blocks until a frame
+/// arrives or the peer closes.
+pub trait FrameRx: Send {
+    /// Receives the next frame payload; [`TransportError::Closed`] when
+    /// the peer is gone.
+    fn recv_frame(&mut self) -> Result<Vec<u8>, TransportError>;
+}
+
+/// One directed frame pipe's endpoints.
+pub struct Duplex {
+    /// Frames out.
+    pub tx: Box<dyn FrameTx>,
+    /// Frames in.
+    pub rx: Box<dyn FrameRx>,
+}
+
+/// In-memory transport: an mpsc channel per direction, one decoded-frame
+/// `Vec<u8>` per message.
+struct MemTx(mpsc::Sender<Vec<u8>>);
+struct MemRx(mpsc::Receiver<Vec<u8>>);
+
+impl FrameTx for MemTx {
+    fn send_frame(&mut self, payload: &[u8]) -> Result<(), TransportError> {
+        self.0.send(payload.to_vec()).map_err(|_| TransportError::Closed)
+    }
+}
+
+impl FrameRx for MemRx {
+    fn recv_frame(&mut self) -> Result<Vec<u8>, TransportError> {
+        self.0.recv().map_err(|_| TransportError::Closed)
+    }
+}
+
+/// A connected in-memory duplex pair: frames sent on either endpoint's
+/// `tx` arrive on the other's `rx`. Returns `(frontend_end, node_end)`.
+pub fn mem_pair() -> (Duplex, Duplex) {
+    let (a_tx, b_rx) = mpsc::channel();
+    let (b_tx, a_rx) = mpsc::channel();
+    (
+        Duplex { tx: Box::new(MemTx(a_tx)), rx: Box::new(MemRx(a_rx)) },
+        Duplex { tx: Box::new(MemTx(b_tx)), rx: Box::new(MemRx(b_rx)) },
+    )
+}
+
+/// Loopback TCP transport on `std::net` alone. Enabled by the `tcp`
+/// cargo feature; carries exactly the same frames as [`mem_pair`], with
+/// the [`crate::wire::write_frame`]/[`crate::wire::read_frame`] length
+/// prefix on the stream.
+#[cfg(feature = "tcp")]
+pub mod tcp {
+    use super::{Duplex, FrameRx, FrameTx, TransportError};
+    use crate::wire;
+    use std::io::BufReader;
+    use std::net::{SocketAddr, TcpListener, TcpStream};
+
+    struct TcpTx(TcpStream);
+    struct TcpRx(BufReader<TcpStream>);
+
+    impl FrameTx for TcpTx {
+        fn send_frame(&mut self, payload: &[u8]) -> Result<(), TransportError> {
+            wire::write_frame(&mut self.0, payload)
+                .map_err(|e| TransportError::Io(e.to_string()))
+        }
+    }
+
+    impl FrameRx for TcpRx {
+        fn recv_frame(&mut self) -> Result<Vec<u8>, TransportError> {
+            match wire::read_frame(&mut self.0) {
+                Ok(Some(frame)) => Ok(frame),
+                Ok(None) => Err(TransportError::Closed),
+                Err(e) => Err(TransportError::Io(e.to_string())),
+            }
+        }
+    }
+
+    fn split(stream: TcpStream) -> Result<Duplex, TransportError> {
+        let reader = stream.try_clone().map_err(|e| TransportError::Io(e.to_string()))?;
+        stream.set_nodelay(true).ok();
+        Ok(Duplex { tx: Box::new(TcpTx(stream)), rx: Box::new(TcpRx(BufReader::new(reader))) })
+    }
+
+    /// Binds a loopback listener on an ephemeral port.
+    pub fn listen() -> Result<(TcpListener, SocketAddr), TransportError> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))
+            .map_err(|e| TransportError::Io(e.to_string()))?;
+        let addr = listener.local_addr().map_err(|e| TransportError::Io(e.to_string()))?;
+        Ok((listener, addr))
+    }
+
+    /// Accepts one connection and splits it into frame halves.
+    pub fn accept(listener: &TcpListener) -> Result<Duplex, TransportError> {
+        let (stream, _) = listener.accept().map_err(|e| TransportError::Io(e.to_string()))?;
+        split(stream)
+    }
+
+    /// Connects to a node's listener and splits the stream.
+    pub fn connect(addr: SocketAddr) -> Result<Duplex, TransportError> {
+        let stream = TcpStream::connect(addr).map_err(|e| TransportError::Io(e.to_string()))?;
+        split(stream)
+    }
+}

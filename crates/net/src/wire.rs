@@ -1,0 +1,638 @@
+//! The binary wire protocol between the scatter/gather frontend and its
+//! nodes.
+//!
+//! Every message is one length-prefixed frame: a `u32` little-endian
+//! payload length (capped at [`MAX_FRAME_BYTES`] *before* any
+//! allocation), then the payload. The payload opens with a fixed header
+//! — magic, version, message kind — followed by the kind's body. All
+//! integers are little-endian; simulated times travel as `f64::to_bits`
+//! so gathered reports merge bit-equal to a single-process execution.
+//!
+//! Decoding is total: every byte boundary returns a typed [`WireError`]
+//! instead of panicking, every collection length is capped and checked
+//! against the remaining payload before allocation, and trailing bytes
+//! are an error. The truncation suite in `crates/net/tests/wire.rs`
+//! decodes every prefix of valid messages to pin this down (the same
+//! hardening style as `pmr-storage::persist`).
+
+use pmr_core::{PartialMatchQuery, SystemConfig};
+use pmr_rt::buf::{BufMut, Bytes, BytesMut};
+use pmr_storage::encode::{decode_all, encode_record, DecodeError};
+use pmr_storage::exec::{DeviceOutcome, DeviceReport, DeviceYield, ExecPolicy, PlannedQuery};
+use pmr_rt::fault::RetryPolicy;
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Frame payload magic: `"PMRN"` little-endian.
+pub const MAGIC: u32 = 0x4e52_4d50;
+/// Protocol version; bumped on any layout change.
+pub const VERSION: u8 = 1;
+/// Hard cap on one frame's payload, checked before the receive buffer is
+/// allocated — a corrupt or hostile length prefix cannot OOM the peer.
+pub const MAX_FRAME_BYTES: u32 = 1 << 28;
+/// Cap on queries per scatter request.
+pub const MAX_QUERIES: u32 = 1 << 20;
+/// Cap on fields per query (systems are small: the paper's Table 7 has 6).
+pub const MAX_FIELDS: u32 = 64;
+/// Cap on per-node device yields per query.
+pub const MAX_YIELDS: u32 = 1 << 20;
+/// Cap on records per device yield.
+pub const MAX_RECORDS: u32 = 1 << 24;
+/// Cap on one yield's encoded record region, in bytes.
+pub const MAX_RECORD_BYTES: u32 = 1 << 28;
+/// Cap on lost bucket codes per device yield.
+pub const MAX_LOST: u32 = 1 << 24;
+
+const KIND_REQUEST: u8 = 1;
+const KIND_RESPONSE: u8 = 2;
+const KIND_SHUTDOWN: u8 = 3;
+
+/// Typed decode failure: which boundary broke and how.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireError {
+    /// The payload ended before `field` could be read.
+    Truncated {
+        /// Name of the field being read when the bytes ran out.
+        field: &'static str,
+    },
+    /// The payload does not open with [`MAGIC`].
+    BadMagic(u32),
+    /// Unknown protocol version.
+    BadVersion(u8),
+    /// Unknown message kind byte.
+    BadKind(u8),
+    /// Unknown [`DeviceOutcome`] discriminant.
+    BadOutcome(u8),
+    /// Unknown yield shape byte.
+    BadShape(u8),
+    /// A declared collection length exceeds its protocol cap or the
+    /// remaining payload.
+    CapExceeded {
+        /// Name of the length field.
+        field: &'static str,
+        /// The declared length.
+        got: u64,
+        /// The cap it violated.
+        cap: u64,
+    },
+    /// A record region failed to decode.
+    Record(DecodeError),
+    /// A record region decoded to the wrong number of records.
+    RecordCount {
+        /// Count declared on the wire.
+        want: u32,
+        /// Records actually decoded.
+        got: usize,
+    },
+    /// A shipped query failed validation against the receiver's system.
+    Query(String),
+    /// Bytes left over after a complete message.
+    TrailingBytes(usize),
+    /// The underlying transport failed mid-frame.
+    Io(String),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { field } => write!(f, "payload truncated reading {field}"),
+            WireError::BadMagic(m) => write!(f, "bad magic {m:#010x}"),
+            WireError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            WireError::BadKind(k) => write!(f, "unknown message kind {k}"),
+            WireError::BadOutcome(o) => write!(f, "unknown device outcome {o}"),
+            WireError::BadShape(s) => write!(f, "unknown yield shape {s}"),
+            WireError::CapExceeded { field, got, cap } => {
+                write!(f, "{field} length {got} exceeds cap {cap}")
+            }
+            WireError::Record(e) => write!(f, "record region: {e:?}"),
+            WireError::RecordCount { want, got } => {
+                write!(f, "record region declared {want} records, decoded {got}")
+            }
+            WireError::Query(e) => write!(f, "invalid query: {e}"),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message"),
+            WireError::Io(e) => write!(f, "transport: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// One planned query on the wire: the values plus the frontend's
+/// dispatch decision (see [`pmr_storage::exec::PlannedQuery`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireQuery {
+    /// Specified/unspecified field values, index-aligned with the system.
+    pub values: Vec<Option<u64>>,
+    /// `true` → FX fast inverse; `false` → generic scan.
+    pub fast_path: bool,
+    /// Fast-path residue-lookup charge per device.
+    pub free_combos: u64,
+    /// `|R(q)|`.
+    pub total_qualified: u64,
+}
+
+impl WireQuery {
+    /// Captures a frontend-side plan for shipping.
+    pub fn from_planned(p: &PlannedQuery) -> WireQuery {
+        WireQuery {
+            values: p.query.values().to_vec(),
+            fast_path: p.fast_path,
+            free_combos: p.free_combos,
+            total_qualified: p.total_qualified,
+        }
+    }
+
+    /// Revalidates the shipped query against the receiving node's system
+    /// and rebuilds the executable plan.
+    pub fn to_planned(&self, sys: &SystemConfig) -> Result<PlannedQuery, WireError> {
+        let query = PartialMatchQuery::new(sys, &self.values)
+            .map_err(|e| WireError::Query(format!("{e:?}")))?;
+        Ok(PlannedQuery {
+            query,
+            fast_path: self.fast_path,
+            free_combos: self.free_combos,
+            total_qualified: self.total_qualified,
+        })
+    }
+}
+
+/// A scatter request: one batch of planned queries under one execution
+/// policy. The frontend broadcasts the identical encoded frame to every
+/// node — each node executes its own device subrange.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScatterRequest {
+    /// Correlates gathered responses with their scatter.
+    pub request_id: u64,
+    /// Retry/failover policy, applied node-side.
+    pub policy: WirePolicy,
+    /// The planned batch, in query order.
+    pub queries: Vec<WireQuery>,
+}
+
+/// [`ExecPolicy`] flattened onto the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WirePolicy {
+    /// `RetryPolicy::max_attempts`.
+    pub max_attempts: u32,
+    /// `RetryPolicy::base_us`.
+    pub base_us: u64,
+    /// `RetryPolicy::cap_us`.
+    pub cap_us: u64,
+    /// `RetryPolicy::budget_us`.
+    pub budget_us: u64,
+    /// `ExecPolicy::failover`.
+    pub failover: bool,
+    /// `ExecPolicy::seed`.
+    pub seed: u64,
+}
+
+impl WirePolicy {
+    /// Captures an [`ExecPolicy`] for shipping.
+    pub fn from_policy(p: &ExecPolicy) -> WirePolicy {
+        WirePolicy {
+            max_attempts: p.retry.max_attempts,
+            base_us: p.retry.base_us,
+            cap_us: p.retry.cap_us,
+            budget_us: p.retry.budget_us,
+            failover: p.failover,
+            seed: p.seed,
+        }
+    }
+
+    /// Rebuilds the node-side [`ExecPolicy`].
+    pub fn to_policy(&self) -> ExecPolicy {
+        ExecPolicy {
+            retry: RetryPolicy {
+                max_attempts: self.max_attempts,
+                base_us: self.base_us,
+                cap_us: self.cap_us,
+                budget_us: self.budget_us,
+            },
+            failover: self.failover,
+            seed: self.seed,
+        }
+    }
+}
+
+/// One node's gathered partial results: per query, the device yields for
+/// the node's subrange, sorted by device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GatherResponse {
+    /// Echo of the scatter's `request_id`.
+    pub request_id: u64,
+    /// Responding node's index.
+    pub node: u32,
+    /// Wall-clock µs the node spent executing this request (diagnostic
+    /// only — never merged into simulated times).
+    pub busy_us: u64,
+    /// Per-query yields, in the request's query order.
+    pub queries: Vec<Vec<DeviceYield>>,
+}
+
+/// Every message that crosses the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Frontend → node: execute a batch.
+    Request(ScatterRequest),
+    /// Node → frontend: one node's partial results.
+    Response(GatherResponse),
+    /// Frontend → node: drain and exit the serve loop.
+    Shutdown,
+}
+
+// ---------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------
+
+fn put_header(buf: &mut BytesMut, kind: u8) {
+    buf.put_u32_le(MAGIC);
+    buf.put_u8(VERSION);
+    buf.put_u8(kind);
+}
+
+/// Encodes one message into a frame payload (no length prefix — the
+/// transport adds it, see [`write_frame`]).
+pub fn encode_message(msg: &Message) -> Vec<u8> {
+    let mut buf = BytesMut::new();
+    match msg {
+        Message::Request(req) => {
+            put_header(&mut buf, KIND_REQUEST);
+            buf.put_u64_le(req.request_id);
+            buf.put_u32_le(req.policy.max_attempts);
+            buf.put_u64_le(req.policy.base_us);
+            buf.put_u64_le(req.policy.cap_us);
+            buf.put_u64_le(req.policy.budget_us);
+            buf.put_u8(req.policy.failover as u8);
+            buf.put_u64_le(req.policy.seed);
+            buf.put_u32_le(req.queries.len() as u32);
+            for q in &req.queries {
+                buf.put_u8(q.values.len() as u8);
+                for v in &q.values {
+                    match v {
+                        Some(x) => {
+                            buf.put_u8(1);
+                            buf.put_u64_le(*x);
+                        }
+                        None => buf.put_u8(0),
+                    }
+                }
+                buf.put_u8(q.fast_path as u8);
+                buf.put_u64_le(q.free_combos);
+                buf.put_u64_le(q.total_qualified);
+            }
+        }
+        Message::Response(resp) => {
+            put_header(&mut buf, KIND_RESPONSE);
+            buf.put_u64_le(resp.request_id);
+            buf.put_u32_le(resp.node);
+            buf.put_u64_le(resp.busy_us);
+            buf.put_u32_le(resp.queries.len() as u32);
+            // One scratch buffer for every record region in the
+            // response — the encode hot path allocates nothing per
+            // yield.
+            let mut region = BytesMut::new();
+            for yields in &resp.queries {
+                buf.put_u32_le(yields.len() as u32);
+                for y in yields {
+                    encode_yield(&mut buf, y, &mut region);
+                }
+            }
+        }
+        Message::Shutdown => put_header(&mut buf, KIND_SHUTDOWN),
+    }
+    buf.to_vec()
+}
+
+/// Yield shape marker: the overwhelmingly common "device had nothing"
+/// yield — zero qualified buckets, no records, no losses, outcome `Ok`
+/// — collapses to `shape + device + addresses + simulated_us`
+/// (25 bytes), skipping the record region and its allocation on both
+/// ends. Narrow queries make most of a batch's yields trivial, so this
+/// is the wire's hot path.
+const SHAPE_TRIVIAL: u8 = 1;
+const SHAPE_FULL: u8 = 0;
+
+fn encode_yield(buf: &mut BytesMut, y: &DeviceYield, region: &mut BytesMut) {
+    let r = &y.report;
+    if r.qualified_buckets == 0
+        && r.records == 0
+        && y.records.is_empty()
+        && y.lost.is_empty()
+        && r.outcome == DeviceOutcome::Ok
+    {
+        buf.put_u8(SHAPE_TRIVIAL);
+        buf.put_u64_le(r.device);
+        buf.put_u64_le(r.addresses_computed);
+        buf.put_u64_le(r.simulated_us.to_bits());
+        return;
+    }
+    buf.put_u8(SHAPE_FULL);
+    buf.put_u64_le(r.device);
+    buf.put_u64_le(r.qualified_buckets);
+    buf.put_u64_le(r.records);
+    buf.put_u64_le(r.addresses_computed);
+    buf.put_u64_le(r.simulated_us.to_bits());
+    let (outcome, retries) = match r.outcome {
+        DeviceOutcome::Ok => (0u8, 0u32),
+        DeviceOutcome::Retried(n) => (1, n),
+        DeviceOutcome::FailedOver => (2, 0),
+        DeviceOutcome::Lost => (3, 0),
+    };
+    buf.put_u8(outcome);
+    buf.put_u32_le(retries);
+    buf.put_u32_le(y.records.len() as u32);
+    region.clear();
+    for rec in &y.records {
+        encode_record(rec, region);
+    }
+    buf.put_u32_le(region.len() as u32);
+    buf.put_slice(region);
+    buf.put_u32_le(y.lost.len() as u32);
+    for &code in &y.lost {
+        buf.put_u64_le(code);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------
+
+/// Checked cursor over a frame payload: every read is bounds-checked and
+/// names the field it was after, so truncation anywhere yields a typed
+/// [`WireError::Truncated`] rather than a panic.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize, field: &'static str) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated { field });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self, field: &'static str) -> Result<u8, WireError> {
+        Ok(self.take(1, field)?[0])
+    }
+
+    fn u32(&mut self, field: &'static str) -> Result<u32, WireError> {
+        let s = self.take(4, field)?;
+        Ok(u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+    }
+
+    fn u64(&mut self, field: &'static str) -> Result<u64, WireError> {
+        let s = self.take(8, field)?;
+        Ok(u64::from_le_bytes([s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7]]))
+    }
+
+    /// A collection length: capped, and cross-checked against the bytes
+    /// actually left (each element needs at least `min_elem` bytes), so a
+    /// hostile length cannot drive a huge allocation.
+    fn len(
+        &mut self,
+        field: &'static str,
+        cap: u32,
+        min_elem: usize,
+    ) -> Result<usize, WireError> {
+        let n = self.u32(field)?;
+        if n > cap {
+            return Err(WireError::CapExceeded { field, got: n as u64, cap: cap as u64 });
+        }
+        let n = n as usize;
+        if min_elem > 0 && n > self.remaining() / min_elem {
+            return Err(WireError::Truncated { field });
+        }
+        Ok(n)
+    }
+}
+
+/// Decodes one frame payload. Total: typed errors on every malformed
+/// input, trailing bytes rejected.
+pub fn decode_message(payload: &[u8]) -> Result<Message, WireError> {
+    let mut r = Reader::new(payload);
+    let magic = r.u32("magic")?;
+    if magic != MAGIC {
+        return Err(WireError::BadMagic(magic));
+    }
+    let version = r.u8("version")?;
+    if version != VERSION {
+        return Err(WireError::BadVersion(version));
+    }
+    let kind = r.u8("kind")?;
+    let msg = match kind {
+        KIND_REQUEST => Message::Request(decode_request(&mut r)?),
+        KIND_RESPONSE => Message::Response(decode_response(&mut r)?),
+        KIND_SHUTDOWN => Message::Shutdown,
+        other => return Err(WireError::BadKind(other)),
+    };
+    if r.remaining() != 0 {
+        return Err(WireError::TrailingBytes(r.remaining()));
+    }
+    Ok(msg)
+}
+
+fn decode_request(r: &mut Reader<'_>) -> Result<ScatterRequest, WireError> {
+    let request_id = r.u64("request_id")?;
+    let policy = WirePolicy {
+        max_attempts: r.u32("policy.max_attempts")?,
+        base_us: r.u64("policy.base_us")?,
+        cap_us: r.u64("policy.cap_us")?,
+        budget_us: r.u64("policy.budget_us")?,
+        failover: r.u8("policy.failover")? != 0,
+        seed: r.u64("policy.seed")?,
+    };
+    // Each query is at least 1 field-count byte + 17 plan bytes.
+    let nqueries = r.len("queries", MAX_QUERIES, 18)?;
+    let mut queries = Vec::with_capacity(nqueries);
+    for _ in 0..nqueries {
+        let nfields = r.u8("query.fields")? as u32;
+        if nfields > MAX_FIELDS {
+            return Err(WireError::CapExceeded {
+                field: "query.fields",
+                got: nfields as u64,
+                cap: MAX_FIELDS as u64,
+            });
+        }
+        let mut values = Vec::with_capacity(nfields as usize);
+        for _ in 0..nfields {
+            let present = r.u8("query.value.tag")?;
+            values.push(if present != 0 { Some(r.u64("query.value")?) } else { None });
+        }
+        let fast_path = r.u8("query.fast_path")? != 0;
+        let free_combos = r.u64("query.free_combos")?;
+        let total_qualified = r.u64("query.total_qualified")?;
+        queries.push(WireQuery { values, fast_path, free_combos, total_qualified });
+    }
+    Ok(ScatterRequest { request_id, policy, queries })
+}
+
+fn decode_response(r: &mut Reader<'_>) -> Result<GatherResponse, WireError> {
+    let request_id = r.u64("request_id")?;
+    let node = r.u32("node")?;
+    let busy_us = r.u64("busy_us")?;
+    // Each query contributes at least its 4-byte yield count.
+    let nqueries = r.len("response.queries", MAX_QUERIES, 4)?;
+    let mut queries = Vec::with_capacity(nqueries);
+    for _ in 0..nqueries {
+        // Each yield is at least the 25-byte trivial form.
+        let nyields = r.len("response.yields", MAX_YIELDS, 25)?;
+        let mut yields = Vec::with_capacity(nyields);
+        for _ in 0..nyields {
+            yields.push(decode_yield(r)?);
+        }
+        queries.push(yields);
+    }
+    Ok(GatherResponse { request_id, node, busy_us, queries })
+}
+
+fn decode_yield(r: &mut Reader<'_>) -> Result<DeviceYield, WireError> {
+    match r.u8("yield.shape")? {
+        SHAPE_TRIVIAL => {
+            let device = r.u64("yield.device")?;
+            let addresses_computed = r.u64("yield.addresses_computed")?;
+            let simulated_us = f64::from_bits(r.u64("yield.simulated_us")?);
+            return Ok(DeviceYield {
+                report: DeviceReport {
+                    device,
+                    qualified_buckets: 0,
+                    records: 0,
+                    addresses_computed,
+                    simulated_us,
+                    outcome: DeviceOutcome::Ok,
+                },
+                records: Vec::new(),
+                lost: Vec::new(),
+            });
+        }
+        SHAPE_FULL => {}
+        other => return Err(WireError::BadShape(other)),
+    }
+    let device = r.u64("yield.device")?;
+    let qualified_buckets = r.u64("yield.qualified_buckets")?;
+    let records_count = r.u64("yield.records_count")?;
+    let addresses_computed = r.u64("yield.addresses_computed")?;
+    let simulated_us = f64::from_bits(r.u64("yield.simulated_us")?);
+    let outcome = match r.u8("yield.outcome")? {
+        0 => DeviceOutcome::Ok,
+        1 => DeviceOutcome::Retried(0),
+        2 => DeviceOutcome::FailedOver,
+        3 => DeviceOutcome::Lost,
+        other => return Err(WireError::BadOutcome(other)),
+    };
+    let retries = r.u32("yield.retries")?;
+    let outcome = match outcome {
+        DeviceOutcome::Retried(_) => DeviceOutcome::Retried(retries),
+        o => o,
+    };
+    let nrecords = r.u32("yield.nrecords")?;
+    if nrecords > MAX_RECORDS {
+        return Err(WireError::CapExceeded {
+            field: "yield.nrecords",
+            got: nrecords as u64,
+            cap: MAX_RECORDS as u64,
+        });
+    }
+    let region_len = r.u32("yield.record_bytes")?;
+    if region_len > MAX_RECORD_BYTES {
+        return Err(WireError::CapExceeded {
+            field: "yield.record_bytes",
+            got: region_len as u64,
+            cap: MAX_RECORD_BYTES as u64,
+        });
+    }
+    let region = r.take(region_len as usize, "yield.record_region")?;
+    let records =
+        decode_all(Bytes::copy_from_slice(region)).map_err(WireError::Record)?;
+    if records.len() != nrecords as usize {
+        return Err(WireError::RecordCount { want: nrecords, got: records.len() });
+    }
+    let nlost = r.len("yield.lost", MAX_LOST, 8)?;
+    let mut lost = Vec::with_capacity(nlost);
+    for _ in 0..nlost {
+        lost.push(r.u64("yield.lost_code")?);
+    }
+    Ok(DeviceYield {
+        report: DeviceReport {
+            device,
+            qualified_buckets,
+            records: records_count,
+            addresses_computed,
+            simulated_us,
+            outcome,
+        },
+        records,
+        lost,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Framing (byte-stream transports)
+// ---------------------------------------------------------------------
+
+/// Writes one frame — `u32` LE payload length, then the payload — to a
+/// byte stream.
+///
+/// # Errors
+///
+/// Payloads over [`MAX_FRAME_BYTES`] are refused (`InvalidInput`) rather
+/// than shipped to a peer that must reject them; transport failures pass
+/// through.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME_BYTES as usize {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame payload {} exceeds cap {MAX_FRAME_BYTES}", payload.len()),
+        ));
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)
+}
+
+/// Reads one frame from a byte stream: `Ok(None)` on clean EOF at a
+/// frame boundary, [`WireError::Truncated`] on EOF mid-frame, and
+/// [`WireError::CapExceeded`] — *before* the payload buffer is allocated
+/// — when the length prefix exceeds [`MAX_FRAME_BYTES`].
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Vec<u8>>, WireError> {
+    let mut len_bytes = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        match r.read(&mut len_bytes[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => return Err(WireError::Truncated { field: "frame.len" }),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(WireError::Io(e.to_string())),
+        }
+    }
+    let len = u32::from_le_bytes(len_bytes);
+    if len > MAX_FRAME_BYTES {
+        return Err(WireError::CapExceeded {
+            field: "frame.len",
+            got: len as u64,
+            cap: MAX_FRAME_BYTES as u64,
+        });
+    }
+    let mut payload = vec![0u8; len as usize];
+    let mut read = 0;
+    while read < payload.len() {
+        match r.read(&mut payload[read..]) {
+            Ok(0) => return Err(WireError::Truncated { field: "frame.payload" }),
+            Ok(n) => read += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(WireError::Io(e.to_string())),
+        }
+    }
+    Ok(Some(payload))
+}

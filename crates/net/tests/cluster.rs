@@ -1,0 +1,285 @@
+//! Cluster-level acceptance properties from the pmr-net issue.
+//!
+//! - Any N-way partition is a disjoint contiguous cover of `0..M`.
+//! - Scatter/gather over an in-process cluster is **bit-equal** to a
+//!   single-process [`Executor::execute_batch`] on the paper's Table 7
+//!   system — fault-free and under an installed [`FaultPlan`] with
+//!   mirroring.
+//! - Killing a node mid-run degrades coverage per query (never an
+//!   error) and eventually circuit-breaks the node.
+
+use pmr_core::{FxDistribution, PartialMatchQuery, SystemConfig};
+use pmr_mkh::{FieldType, Record, Schema, Value};
+use pmr_net::loadgen;
+use pmr_net::{Cluster, ClusterConfig, FrontendConfig, NetFaultPlan};
+use pmr_rt::check::Source;
+use pmr_rt::fault::{FaultPlan, RetryPolicy};
+use pmr_rt::rt_proptest;
+use pmr_storage::exec::{ExecPolicy, Executor};
+use pmr_storage::{CostModel, DeclusteredFile};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
+
+const SEED: u64 = 0xBA7C;
+
+/// Table 7 (6 fields of 8, M = 32), mirrored, 2000 records — the same
+/// fixture as the repo's batch-equivalence suite, plus a 4-node cluster
+/// over the same file. The mutex serialises fault-plan installs across
+/// property cases.
+struct Fixture {
+    file: DeclusteredFile<FxDistribution>,
+    exec: Executor<FxDistribution>,
+    cluster: Cluster<FxDistribution>,
+    plan_gate: Mutex<()>,
+}
+
+fn fixture() -> &'static Fixture {
+    static STATE: OnceLock<Fixture> = OnceLock::new();
+    STATE.get_or_init(|| {
+        let file = table7_file();
+        let exec = Executor::new(&file, CostModel::main_memory());
+        let cluster = Cluster::new(&file, CostModel::main_memory(), ClusterConfig::default());
+        Fixture { file, exec, cluster, plan_gate: Mutex::new(()) }
+    })
+}
+
+fn table7_file() -> DeclusteredFile<FxDistribution> {
+    let sys = SystemConfig::new(&[8; 6], 32).unwrap();
+    let mut builder = Schema::builder();
+    for (i, &size) in sys.field_sizes().iter().enumerate() {
+        builder = builder.field(format!("f{i}"), FieldType::Int, size);
+    }
+    let schema = builder.devices(sys.devices()).build().expect("system is valid");
+    let fx = FxDistribution::auto(sys.clone()).expect("auto always assigns");
+    let mut file = DeclusteredFile::new(schema, fx, SEED).expect("schema matches system");
+    assert!(file.enable_mirroring());
+    for i in 0..2_000i64 {
+        let values: Vec<Value> =
+            (0..sys.num_fields()).map(|f| Value::Int(i * 131 + f as i64 * 7)).collect();
+        file.insert(Record::new(values)).expect("records type-check");
+    }
+    file
+}
+
+fn gen_query(src: &mut Source, sys: &SystemConfig) -> PartialMatchQuery {
+    let unspecified = src.int_in(0, 3) as usize;
+    let n = sys.num_fields();
+    let mut free: Vec<usize> = Vec::new();
+    while free.len() < unspecified {
+        let f = src.int_in(0, n as u64 - 1) as usize;
+        if !free.contains(&f) {
+            free.push(f);
+        }
+    }
+    let values: Vec<Option<u64>> = (0..n)
+        .map(|i| {
+            if free.contains(&i) { None } else { Some(src.int_in(0, sys.field_size(i) - 1)) }
+        })
+        .collect();
+    PartialMatchQuery::new(sys, &values).expect("values in range")
+}
+
+rt_proptest! {
+    /// Partitioning property: for any device count and node count, the
+    /// contiguous partition is a disjoint cover of `0..M` with every
+    /// node nonempty.
+    fn partition_is_a_disjoint_cover(src) {
+        let m = src.int_in(1, 512);
+        let n = src.int_in(1, m.min(64)) as usize;
+        let ranges = pmr_net::partition::contiguous(m, n);
+        assert_eq!(ranges.len(), n);
+        let mut next = 0u64;
+        for (i, r) in ranges.iter().enumerate() {
+            assert_eq!(r.start, next, "node {i} must start where node {} ended", i.wrapping_sub(1));
+            assert!(r.start < r.end, "node {i} must own at least one device");
+            next = r.end;
+        }
+        assert_eq!(next, m, "partition must cover every device");
+        // Sizes differ by at most one — no node is starved.
+        let sizes: Vec<u64> = ranges.iter().map(|r| r.end - r.start).collect();
+        let (lo, hi) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+        assert!(hi - lo <= 1, "imbalanced partition: {sizes:?}");
+    }
+}
+
+rt_proptest! {
+    /// ISSUE acceptance property: scatter/gather over 4 nodes ≡
+    /// single-process `execute_batch`, bit-for-bit, across random query
+    /// mixes, policies, and fault plans (including none), with
+    /// mirroring enabled throughout.
+    fn gather_is_bit_equal_to_single_process(src) {
+        let fx = fixture();
+        let sys = fx.file.system().clone();
+
+        let batch_size = src.int_in(1, 6) as usize;
+        let queries: Vec<PartialMatchQuery> =
+            (0..batch_size).map(|_| gen_query(src, &sys)).collect();
+        let policy = ExecPolicy {
+            retry: RetryPolicy { max_attempts: 4, base_us: 10, cap_us: 1_000, budget_us: 100_000 },
+            failover: src.weighted(0.8),
+            seed: src.any_u64(),
+        };
+        let plan = if src.weighted(0.5) {
+            let mut plan = FaultPlan::new(src.any_u64());
+            if src.weighted(0.6) {
+                plan = plan.with_read_error(0.2);
+            }
+            if src.weighted(0.4) {
+                plan = plan.with_dead_device(src.int_in(0, sys.devices() - 1));
+            }
+            Some(Arc::new(plan))
+        } else {
+            None
+        };
+
+        let _gate = fx.plan_gate.lock().unwrap();
+        fx.file.install_fault_plan(plan.clone());
+        let gathered = fx.cluster.frontend().execute_batch(&queries, &policy);
+        let local = fx.exec.execute_batch(&queries, &policy);
+        fx.file.install_fault_plan(None);
+
+        assert_eq!(gathered.len(), local.len());
+        for (i, (got, want)) in gathered.iter().zip(&local).enumerate() {
+            assert_eq!(
+                got, want,
+                "query {i}/{batch_size} ({}) diverged under plan {:?}",
+                queries[i],
+                plan.is_some()
+            );
+        }
+    }
+}
+
+/// The loadgen checksum agrees between a cluster run and a
+/// single-process run over the same seeded mix — end-to-end, through
+/// the wire, batching, and multi-threaded completion order.
+#[test]
+fn loadgen_checksum_matches_single_process() {
+    let fx = fixture();
+    let queries = loadgen::query_mix(fx.file.system(), 300, SEED, 2);
+    let policy = ExecPolicy::default();
+
+    let summary = loadgen::run(
+        &fx.cluster,
+        &queries,
+        &policy,
+        &loadgen::LoadgenOpts { concurrency: 2, batch: 64, kill: None },
+    );
+    let local = fx.exec.execute_batch(&queries, &policy);
+    let expected = loadgen::reports_checksum(local.iter());
+
+    assert_eq!(summary.checksum, expected, "cluster and single-process checksums diverged");
+    assert_eq!(summary.queries, 300);
+    assert_eq!(summary.degraded, 0);
+    assert!((summary.mean_coverage - 1.0).abs() < 1e-12);
+}
+
+/// Killing a node mid-run: queries keep answering, the killed node's
+/// devices degrade to `Lost` per query, and the circuit breaker stops
+/// asking after `down_after` consecutive timeouts.
+#[test]
+fn killed_node_degrades_instead_of_failing() {
+    let file = table7_file();
+    let cfg = ClusterConfig {
+        nodes: 4,
+        frontend: FrontendConfig { deadline: Duration::from_millis(100), down_after: 2 },
+        net_faults: None,
+    };
+    let cluster = Cluster::new(&file, CostModel::main_memory(), cfg);
+    let sys = file.system().clone();
+    let policy = ExecPolicy::default();
+
+    // Wide query: 3 unspecified fields → 512 buckets over all 32
+    // devices, so every node's range matters.
+    let values: Vec<Option<u64>> =
+        vec![Some(1), None, Some(2), None, Some(3), None];
+    let wide = PartialMatchQuery::new(&sys, &values).unwrap();
+
+    let healthy = cluster.frontend().execute_batch(std::slice::from_ref(&wide), &policy);
+    assert_eq!(healthy[0].coverage, 1.0);
+    assert!(healthy[0].lost_buckets.is_empty());
+
+    cluster.kill_node(2);
+    let degraded = cluster.frontend().execute_batch(std::slice::from_ref(&wide), &policy);
+    let report = &degraded[0];
+    assert!(report.coverage < 1.0, "killed node must cost coverage, got {}", report.coverage);
+    assert!(!report.lost_buckets.is_empty());
+    // Exactly the killed node's devices (16..24) are lost.
+    for d in &report.per_device {
+        let in_dead_range = (16..24).contains(&d.device);
+        let lost = matches!(d.outcome, pmr_storage::exec::DeviceOutcome::Lost);
+        assert_eq!(lost, in_dead_range, "device {} outcome {:?}", d.device, d.outcome);
+        if lost {
+            assert_eq!(d.simulated_us, 0.0, "wall deadline must not be charged as simulated time");
+        }
+    }
+    // Records from surviving nodes still arrive.
+    let healthy_outside: usize = healthy[0]
+        .records
+        .len();
+    assert!(report.records.len() <= healthy_outside);
+
+    // One more timeout trips the breaker (down_after = 2) …
+    let _ = cluster.frontend().execute_batch(std::slice::from_ref(&wide), &policy);
+    let stats = cluster.frontend().node_stats();
+    assert!(stats[2].down, "node 2 must be circuit-broken after 2 consecutive timeouts");
+    assert!(stats[2].timeouts >= 2);
+
+    // … after which requests skip it: no more deadline stalls, still
+    // degraded, and the skipped node's request counter stops moving.
+    let before = cluster.frontend().node_stats()[2].requests;
+    let after_break = cluster.frontend().execute_batch(std::slice::from_ref(&wide), &policy);
+    assert!(after_break[0].coverage < 1.0);
+    assert_eq!(cluster.frontend().node_stats()[2].requests, before);
+}
+
+/// Seeded net-fault drops degrade deterministically: same seed, same
+/// drops, same lost devices — and zero drop probability is a no-op.
+#[test]
+fn net_fault_drops_are_seed_deterministic() {
+    let file = table7_file();
+    let sys = file.system().clone();
+    let policy = ExecPolicy::default();
+    let queries = loadgen::query_mix(&sys, 8, 7, 2);
+
+    let run = |seed: u64| {
+        let cfg = ClusterConfig {
+            nodes: 4,
+            frontend: FrontendConfig { deadline: Duration::from_millis(100), down_after: 0 },
+            net_faults: Some(NetFaultPlan::new(seed, 0.35)),
+        };
+        let cluster = Cluster::new(&file, CostModel::main_memory(), cfg);
+        cluster
+            .frontend()
+            .execute_batch(&queries, &policy)
+            .iter()
+            .map(loadgen::report_checksum)
+            .collect::<Vec<_>>()
+    };
+
+    let a = run(99);
+    let b = run(99);
+    assert_eq!(a, b, "same net-fault seed must replay the same degradation");
+}
+
+/// `down_after = 0` disables the circuit breaker: a dead node keeps
+/// costing deadlines but is still asked.
+#[test]
+fn breaker_disabled_keeps_asking() {
+    let file = table7_file();
+    let cfg = ClusterConfig {
+        nodes: 2,
+        frontend: FrontendConfig { deadline: Duration::from_millis(50), down_after: 0 },
+        net_faults: None,
+    };
+    let cluster = Cluster::new(&file, CostModel::main_memory(), cfg);
+    let sys = file.system().clone();
+    let queries = loadgen::query_mix(&sys, 1, 3, 0);
+    cluster.kill_node(0);
+    for _ in 0..3 {
+        let _ = cluster.frontend().execute_batch(&queries, &ExecPolicy::default());
+    }
+    let stats = cluster.frontend().node_stats();
+    assert!(!stats[0].down);
+    assert_eq!(stats[0].requests, 3);
+}

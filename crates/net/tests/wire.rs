@@ -1,0 +1,366 @@
+//! Wire-protocol hardening: decoding is total.
+//!
+//! Same discipline as `pmr-storage::persist` — truncation at EVERY byte
+//! offset of every message kind must yield a typed [`WireError`], never
+//! a panic and never a silent partial decode; hostile length prefixes
+//! are refused before any allocation; stray bytes after a message are an
+//! error.
+
+use pmr_mkh::{Record, Value};
+use pmr_net::wire::{
+    self, decode_message, encode_message, GatherResponse, Message, ScatterRequest, WireError,
+    WirePolicy, WireQuery, MAGIC, MAX_FRAME_BYTES, MAX_QUERIES, VERSION,
+};
+use pmr_storage::exec::{DeviceOutcome, DeviceReport, DeviceYield};
+
+fn sample_request() -> Message {
+    Message::Request(ScatterRequest {
+        request_id: 0xDEAD_BEEF,
+        policy: WirePolicy {
+            max_attempts: 3,
+            base_us: 100,
+            cap_us: 10_000,
+            budget_us: 1_000_000,
+            failover: true,
+            seed: 42,
+        },
+        queries: vec![
+            WireQuery {
+                values: vec![Some(3), None, Some(7), None, Some(0), Some(5)],
+                fast_path: true,
+                free_combos: 2,
+                total_qualified: 64,
+            },
+            WireQuery {
+                values: vec![Some(1); 6],
+                fast_path: false,
+                free_combos: 1,
+                total_qualified: 1,
+            },
+        ],
+    })
+}
+
+fn sample_yield(device: u64) -> DeviceYield {
+    DeviceYield {
+        report: DeviceReport {
+            device,
+            qualified_buckets: 4,
+            records: 2,
+            addresses_computed: 6,
+            simulated_us: 123.456,
+            outcome: DeviceOutcome::Retried(2),
+        },
+        records: vec![
+            Record::new(vec![Value::Int(1), Value::Int(2)]),
+            Record::new(vec![Value::Str("x".into()), Value::Int(-9)]),
+        ],
+        lost: vec![17, 99],
+    }
+}
+
+fn sample_response() -> Message {
+    Message::Response(GatherResponse {
+        request_id: 7,
+        node: 2,
+        busy_us: 1234,
+        queries: vec![
+            vec![sample_yield(0), sample_yield(5)],
+            vec![],
+            vec![DeviceYield {
+                report: DeviceReport {
+                    device: 31,
+                    qualified_buckets: 1,
+                    records: 0,
+                    addresses_computed: 1,
+                    simulated_us: 0.0,
+                    outcome: DeviceOutcome::Lost,
+                },
+                records: vec![],
+                lost: vec![3],
+            }],
+        ],
+    })
+}
+
+#[test]
+fn request_roundtrips() {
+    let msg = sample_request();
+    assert_eq!(decode_message(&encode_message(&msg)).unwrap(), msg);
+}
+
+#[test]
+fn response_roundtrips_bit_exact() {
+    let msg = sample_response();
+    let back = decode_message(&encode_message(&msg)).unwrap();
+    assert_eq!(back, msg);
+    // f64 travels as to_bits: NaN and negative zero survive too.
+    let mut y = sample_yield(1);
+    y.report.simulated_us = f64::from_bits(0x7ff8_0000_0000_0001);
+    let msg = Message::Response(GatherResponse {
+        request_id: 1,
+        node: 0,
+        busy_us: 0,
+        queries: vec![vec![y]],
+    });
+    match decode_message(&encode_message(&msg)).unwrap() {
+        Message::Response(r) => assert_eq!(
+            r.queries[0][0].report.simulated_us.to_bits(),
+            0x7ff8_0000_0000_0001
+        ),
+        other => panic!("decoded wrong kind: {other:?}"),
+    }
+}
+
+/// The compact trivial-yield form (zero qualified buckets, no records,
+/// no losses) roundtrips bit-exact — including a nonzero simulated time
+/// and address charge, which the trivial form still carries.
+#[test]
+fn trivial_yield_roundtrips_compactly() {
+    let trivial = DeviceYield {
+        report: DeviceReport {
+            device: 9,
+            qualified_buckets: 0,
+            records: 0,
+            addresses_computed: 96,
+            simulated_us: 1.5,
+            outcome: DeviceOutcome::Ok,
+        },
+        records: vec![],
+        lost: vec![],
+    };
+    let msg = Message::Response(GatherResponse {
+        request_id: 3,
+        node: 1,
+        busy_us: 10,
+        queries: vec![vec![trivial.clone()]],
+    });
+    let frame = encode_message(&msg);
+    // header(6) + resp head(20) + nqueries(4) + nyields(4) + trivial(25)
+    assert_eq!(frame.len(), 6 + 20 + 4 + 4 + 25, "trivial yields must use the compact form");
+    match decode_message(&frame).unwrap() {
+        Message::Response(r) => assert_eq!(r.queries[0][0], trivial),
+        other => panic!("decoded wrong kind: {other:?}"),
+    }
+}
+
+#[test]
+fn bad_yield_shape_is_typed() {
+    let msg = Message::Response(GatherResponse {
+        request_id: 1,
+        node: 0,
+        busy_us: 0,
+        queries: vec![vec![sample_yield(0)]],
+    });
+    let mut frame = encode_message(&msg);
+    // The shape byte is the first yield byte.
+    let offset = 6 + 20 + 4 + 4;
+    frame[offset] = 7;
+    assert_eq!(decode_message(&frame), Err(WireError::BadShape(7)));
+}
+
+#[test]
+fn shutdown_roundtrips() {
+    assert_eq!(decode_message(&encode_message(&Message::Shutdown)).unwrap(), Message::Shutdown);
+}
+
+/// The core hardening property: EVERY strict prefix of a valid payload
+/// fails with a typed error — no panic, no bogus success.
+#[test]
+fn truncation_at_every_byte_errors() {
+    for msg in [sample_request(), sample_response(), Message::Shutdown] {
+        let full = encode_message(&msg);
+        for keep in 0..full.len() {
+            let err = decode_message(&full[..keep])
+                .err()
+                .unwrap_or_else(|| panic!("truncation to {keep} bytes must fail"));
+            assert!(
+                matches!(
+                    err,
+                    WireError::Truncated { .. }
+                        | WireError::BadMagic(_)
+                        | WireError::Record(_)
+                        | WireError::RecordCount { .. }
+                ),
+                "truncation to {keep}/{} bytes gave unexpected error: {err}",
+                full.len()
+            );
+        }
+    }
+}
+
+/// Corrupting any single byte never panics: it either fails typed or
+/// decodes to *some* well-formed message. (A flip can decode back to
+/// the original — e.g. the `retries` u32 is ignored for non-`Retried`
+/// outcomes — so the property pinned here is totality, not detection.)
+#[test]
+fn single_byte_corruption_never_panics() {
+    for msg in [sample_request(), sample_response()] {
+        let full = encode_message(&msg);
+        for i in 0..full.len() {
+            let mut bad = full.clone();
+            bad[i] ^= 0xFF;
+            let _ = decode_message(&bad);
+        }
+    }
+}
+
+#[test]
+fn header_errors_are_typed() {
+    let full = encode_message(&Message::Shutdown);
+
+    let mut bad = full.clone();
+    bad[0] ^= 1;
+    assert!(matches!(decode_message(&bad), Err(WireError::BadMagic(_))));
+
+    let mut bad = full.clone();
+    bad[4] = VERSION + 1;
+    assert_eq!(decode_message(&bad), Err(WireError::BadVersion(VERSION + 1)));
+
+    let mut bad = full.clone();
+    bad[5] = 99;
+    assert_eq!(decode_message(&bad), Err(WireError::BadKind(99)));
+}
+
+#[test]
+fn trailing_bytes_are_rejected() {
+    for msg in [sample_request(), sample_response(), Message::Shutdown] {
+        let mut full = encode_message(&msg);
+        full.push(0);
+        assert_eq!(decode_message(&full), Err(WireError::TrailingBytes(1)));
+    }
+}
+
+#[test]
+fn bad_outcome_discriminant_is_typed() {
+    let full = encode_message(&sample_response());
+    // The first yield's outcome byte sits after the header (6), the
+    // response head + query count (8+4+8+4), the yield-count u32, the
+    // shape byte, and the yield's five u64 fields.
+    let offset = 6 + 24 + 4 + 1 + 40;
+    let mut bad = full.clone();
+    bad[offset] = 42;
+    assert_eq!(decode_message(&bad), Err(WireError::BadOutcome(42)));
+}
+
+/// A hostile query count fails the cap check before any allocation.
+#[test]
+fn query_count_over_cap_is_refused() {
+    let full = encode_message(&sample_request());
+    // Query count is the u32 right after header (6) and the request_id +
+    // policy block (8 + 4+8+8+8+1+8 = 45).
+    let offset = 6 + 45;
+    let mut bad = full.clone();
+    bad[offset..offset + 4].copy_from_slice(&(MAX_QUERIES + 1).to_le_bytes());
+    assert_eq!(
+        decode_message(&bad),
+        Err(WireError::CapExceeded {
+            field: "queries",
+            got: (MAX_QUERIES + 1) as u64,
+            cap: MAX_QUERIES as u64
+        })
+    );
+}
+
+/// A length that passes the cap but exceeds the remaining payload is
+/// caught by the bytes-remaining cross-check — still before allocation.
+#[test]
+fn query_count_beyond_payload_is_truncation() {
+    let full = encode_message(&sample_request());
+    let offset = 6 + 45;
+    let mut bad = full.clone();
+    bad[offset..offset + 4].copy_from_slice(&10_000u32.to_le_bytes());
+    assert_eq!(decode_message(&bad), Err(WireError::Truncated { field: "queries" }));
+}
+
+/// Record-region count mismatch is detected, not silently accepted.
+#[test]
+fn record_count_mismatch_is_typed() {
+    let y = sample_yield(0);
+    let msg = Message::Response(GatherResponse {
+        request_id: 1,
+        node: 0,
+        busy_us: 0,
+        queries: vec![vec![y]],
+    });
+    let full = encode_message(&msg);
+    // nrecords u32 lives after header(6) + resp head(20) + query count(4)
+    // + yield count(4) + shape(1) + fixed yield section (40 + 1 + 4).
+    let offset = 6 + 20 + 4 + 4 + 1 + 45;
+    let mut bad = full.clone();
+    bad[offset..offset + 4].copy_from_slice(&1u32.to_le_bytes());
+    assert_eq!(decode_message(&bad), Err(WireError::RecordCount { want: 1, got: 2 }));
+}
+
+// -----------------------------------------------------------------
+// Framing
+// -----------------------------------------------------------------
+
+#[test]
+fn frames_roundtrip_over_a_byte_stream() {
+    let mut stream = Vec::new();
+    let a = encode_message(&sample_request());
+    let b = encode_message(&Message::Shutdown);
+    wire::write_frame(&mut stream, &a).unwrap();
+    wire::write_frame(&mut stream, &b).unwrap();
+    let mut cursor = &stream[..];
+    assert_eq!(wire::read_frame(&mut cursor).unwrap().as_deref(), Some(&a[..]));
+    assert_eq!(wire::read_frame(&mut cursor).unwrap().as_deref(), Some(&b[..]));
+    assert_eq!(wire::read_frame(&mut cursor).unwrap(), None, "clean EOF is None");
+}
+
+#[test]
+fn frame_truncated_at_every_byte_errors() {
+    let mut stream = Vec::new();
+    wire::write_frame(&mut stream, &encode_message(&sample_request())).unwrap();
+    for keep in 1..stream.len() {
+        let mut cursor = &stream[..keep];
+        let err = wire::read_frame(&mut cursor)
+            .err()
+            .unwrap_or_else(|| panic!("frame truncated to {keep} bytes must fail"));
+        assert!(
+            matches!(err, WireError::Truncated { .. }),
+            "frame truncated to {keep} bytes gave {err}"
+        );
+    }
+}
+
+/// The length prefix is validated BEFORE the payload buffer exists — a
+/// 4 GiB claim cannot OOM the receiver.
+#[test]
+fn hostile_frame_length_is_refused_before_allocation() {
+    let mut stream = Vec::new();
+    stream.extend_from_slice(&u32::MAX.to_le_bytes());
+    stream.extend_from_slice(&[0; 16]);
+    let mut cursor = &stream[..];
+    assert_eq!(
+        wire::read_frame(&mut cursor),
+        Err(WireError::CapExceeded {
+            field: "frame.len",
+            got: u32::MAX as u64,
+            cap: MAX_FRAME_BYTES as u64
+        })
+    );
+}
+
+#[test]
+fn oversized_payload_is_refused_at_the_sender() {
+    struct NullSink;
+    impl std::io::Write for NullSink {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+    // Don't materialise 256 MiB: a zeroed slice over the cap is enough.
+    let oversized = vec![0u8; MAX_FRAME_BYTES as usize + 1];
+    let err = wire::write_frame(&mut NullSink, &oversized).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+}
+
+#[test]
+fn magic_spells_pmrn() {
+    assert_eq!(&MAGIC.to_le_bytes(), b"PMRN");
+}

@@ -215,15 +215,30 @@ impl ExecutionReport {
     }
 }
 
-/// One worker's yield: its report, its records, and the packed codes of
-/// any buckets it could not serve (always empty on the strict paths).
-type WorkerYield = (DeviceReport, Vec<Record>, Vec<u64>);
+/// One device's yield from one query: its report, its records, and the
+/// packed codes of any buckets it could not serve (always empty on the
+/// strict paths).
+///
+/// This is the partial-result unit of the executor: a full
+/// [`ExecutionReport`] is exactly [`merge_device_yields`] over the
+/// per-device yields, so yields can cross process or wire boundaries
+/// (the `pmr-net` scatter/gather frontend ships them per node) and merge
+/// back bit-equal to a single-process execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceYield {
+    /// The per-device report that lands in `ExecutionReport::per_device`.
+    pub report: DeviceReport,
+    /// Records retrieved from this device, in bucket-enumeration order.
+    pub records: Vec<Record>,
+    /// Packed codes of qualified buckets this device could not serve.
+    pub lost: Vec<u64>,
+}
 
 /// Assembles per-worker results into an [`ExecutionReport`], closing the
 /// trace capture (if tracing is on) and batching the per-device tallies
 /// into the metrics registry.
 fn collect_report(
-    results: Vec<Result<WorkerYield, FileError>>,
+    results: Vec<Result<DeviceYield, FileError>>,
     m: u64,
     capture: Option<obs::TraceCapture>,
 ) -> Result<ExecutionReport, FileError> {
@@ -234,21 +249,32 @@ fn collect_report(
     Ok(assemble(yields, capture))
 }
 
+/// Merges per-device yields into a full [`ExecutionReport`] — the public
+/// face of [`assemble`] for callers that gathered the yields themselves
+/// (the `pmr-net` frontend, after collecting each node's subrange).
+/// Yields may arrive in any order and from any partition of the device
+/// set; the merge orders them by device, so the result is bit-equal to a
+/// single-process execution over the same devices. The `trace` slot is
+/// always `None` (gathered yields carry no capture).
+pub fn merge_device_yields(yields: Vec<DeviceYield>) -> ExecutionReport {
+    assemble(yields, None)
+}
+
 /// Core aggregation shared by the scoped executors (via
 /// [`collect_report`]) and the resident batch executor: orders yields by
 /// device, concatenates records in device order (so every path reports
 /// records in the same order), and derives the report-level aggregates.
 /// The `f64` folds run in device order — part of the bit-equality
 /// contract between the executors.
-fn assemble(mut yields: Vec<WorkerYield>, capture: Option<obs::TraceCapture>) -> ExecutionReport {
-    yields.sort_by_key(|(report, _, _)| report.device);
+fn assemble(mut yields: Vec<DeviceYield>, capture: Option<obs::TraceCapture>) -> ExecutionReport {
+    yields.sort_by_key(|y| y.report.device);
     let mut per_device = Vec::with_capacity(yields.len());
     let mut records = Vec::new();
     let mut lost_buckets = Vec::new();
-    for (report, mut recs, mut lost) in yields {
+    for DeviceYield { report, records: mut recs, lost: mut lost_codes } in yields {
         per_device.push(report);
         records.append(&mut recs);
-        lost_buckets.append(&mut lost);
+        lost_buckets.append(&mut lost_codes);
     }
     lost_buckets.sort_unstable();
     let largest_response = per_device.iter().map(|d| d.qualified_buckets).max().unwrap_or(0);
@@ -377,7 +403,7 @@ pub fn execute_parallel_scan<D: DistributionMethod>(
     obs::counter_add("exec.scan.dispatched", 1);
     let _span = pmr_rt::span!("exec.query", devices = m, qualified = total_qualified);
 
-    let results: Vec<Result<WorkerYield, FileError>> =
+    let results: Vec<Result<DeviceYield, FileError>> =
         pmr_rt::pool::scope_map(0..m, |device| device_worker(file, query, device, cost));
 
     let report = collect_report(results, m, capture)?;
@@ -428,7 +454,7 @@ fn run_fx(
         None => 1,
     };
 
-    let results: Vec<Result<WorkerYield, FileError>> =
+    let results: Vec<Result<DeviceYield, FileError>> =
         pmr_rt::pool::scope_map(0..m, |device| {
             let _span = pmr_rt::span!("exec.device", device = device);
             let dev = &devices[device as usize];
@@ -451,8 +477,8 @@ fn run_fx(
             let addresses_computed = free_combos + qualified_buckets;
             let simulated_us = cost.device_time_us(qualified_buckets, addresses_computed);
             obs::observe_us("exec.device.simulated_us", simulated_us);
-            Ok((
-                DeviceReport {
+            Ok(DeviceYield {
+                report: DeviceReport {
                     device,
                     qualified_buckets,
                     records: records.len() as u64,
@@ -461,8 +487,8 @@ fn run_fx(
                     outcome: DeviceOutcome::Ok,
                 },
                 records,
-                Vec::new(),
-            ))
+                lost: Vec::new(),
+            })
         });
 
     collect_report(results, m, capture)
@@ -514,7 +540,7 @@ pub fn execute_parallel_with<D: DistributionMethod>(
         None => 1,
     };
 
-    let results: Vec<Result<WorkerYield, FileError>> =
+    let results: Vec<Result<DeviceYield, FileError>> =
         pmr_rt::pool::scope_map(0..m, |device| {
             let _span = pmr_rt::span!("exec.device", device = device);
             let mut codes = Vec::new();
@@ -555,7 +581,7 @@ fn resilient_device_read(
     cost: &CostModel,
     policy: &ExecPolicy,
     addresses_computed: u64,
-) -> WorkerYield {
+) -> DeviceYield {
     let dev = &devices[device as usize];
     let mut records = Vec::new();
     let mut lost = Vec::new();
@@ -601,8 +627,8 @@ fn resilient_device_read(
     } else {
         DeviceOutcome::Ok
     };
-    (
-        DeviceReport {
+    DeviceYield {
+        report: DeviceReport {
             device,
             qualified_buckets,
             records: records.len() as u64,
@@ -612,7 +638,7 @@ fn resilient_device_read(
         },
         records,
         lost,
-    )
+    }
 }
 
 /// One copy's retry loop: attempts `read(attempt)` up to
@@ -681,13 +707,67 @@ where
 /// per-device reports, same simulated times. The one exception is
 /// `trace`, always `None` on batch reports — per-query trace capture
 /// would serialise the pipeline.
+///
+/// An executor can also serve a contiguous *subrange* of the device set
+/// ([`Executor::for_device_range`]) — one node's share of a
+/// scatter/gather deployment. Planning ([`plan_query`]), subrange
+/// execution ([`Executor::execute_planned`]), and merging
+/// ([`merge_device_yields`]) are exposed separately so the split-out
+/// pipeline reproduces `execute_batch` bit-for-bit.
 pub struct Executor<D> {
     devices: Vec<Arc<Device>>,
     sys: SystemConfig,
     method: Arc<D>,
     mirroring: Option<Mirroring>,
     cost: CostModel,
+    /// Devices this executor runs workers for. `devices` always spans the
+    /// full system — buddy failover may read another device's mirror
+    /// pages even when that device executes elsewhere.
+    range: std::ops::Range<u64>,
     pool: ResidentPool,
+}
+
+/// A query plus the batch executor's dispatch decision, computed once on
+/// (and shippable from) the planning side.
+///
+/// [`plan_query`] is the planning half of [`Executor::execute_batch`],
+/// split out so a scatter/gather frontend plans each query once and
+/// ships the decision to every node instead of re-running the cost
+/// heuristic per node. `fast_path` fixes the inverse mapping (FX fast
+/// inverse vs generic scan) and `free_combos`/`total_qualified` fix the
+/// `addresses_computed` accounting, so any executor honouring the plan
+/// produces per-device yields bit-equal to a local run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlannedQuery {
+    /// The validated query.
+    pub query: PartialMatchQuery,
+    /// `true` → dispatch the FX fast inverse; `false` → generic scan.
+    pub fast_path: bool,
+    /// Per-device residue-lookup charge on the fast path (`|R(q)| /
+    /// F_pivot`); `1` when there is no pivot.
+    pub free_combos: u64,
+    /// `|R(q)|` — the generic scan's per-device address charge.
+    pub total_qualified: u64,
+}
+
+/// Plans one query for `method`: the dispatch decision
+/// ([`fx_fast_path_pays_off`]) and the address-accounting inputs, without
+/// executing anything. Cheap on repeated patterns — the inverse built for
+/// the decision hits the per-`Pattern` plan cache.
+pub fn plan_query<D: DistributionMethod>(
+    sys: &SystemConfig,
+    method: &D,
+    query: &PartialMatchQuery,
+) -> PlannedQuery {
+    let total_qualified = query.qualified_count_in(sys);
+    let (fast_path, free_combos) = match method.as_fx() {
+        Some(fx) => {
+            let (fast, free_combos, _) = fast_path_plan(sys, fx, query, total_qualified);
+            (fast, free_combos)
+        }
+        None => (false, 1),
+    };
+    PlannedQuery { query: query.clone(), fast_path, free_combos, total_qualified }
 }
 
 /// Per-query dispatch decision, computed once on the caller thread and
@@ -721,21 +801,49 @@ impl<D: DistributionMethod + Clone + Send + Sync + 'static> Executor<D> {
     /// execution context (see the type docs for what is shared vs
     /// snapshotted).
     pub fn new(file: &DeclusteredFile<D>, cost: CostModel) -> Executor<D> {
+        let m = file.system().devices();
+        Self::for_device_range(file, cost, 0..m)
+    }
+
+    /// Starts resident workers for the devices in `range` only — one
+    /// node's share of a scatter/gather deployment. The executor still
+    /// snapshots every device (buddy failover reads mirror pages that may
+    /// live outside the range), but only `range`'s devices execute, so
+    /// [`Executor::execute_planned`] yields exactly that subrange.
+    ///
+    /// # Panics
+    ///
+    /// When `range` is empty or extends past the system's device count.
+    pub fn for_device_range(
+        file: &DeclusteredFile<D>,
+        cost: CostModel,
+        range: std::ops::Range<u64>,
+    ) -> Executor<D> {
         let sys = file.system().clone();
-        let m = sys.devices() as usize;
+        assert!(
+            range.start < range.end && range.end <= sys.devices(),
+            "device range {range:?} invalid for M = {}",
+            sys.devices()
+        );
         Executor {
             devices: file.devices().to_vec(),
             sys,
             method: Arc::new(file.method().clone()),
             mirroring: file.mirroring().copied(),
             cost,
-            pool: ResidentPool::new(m),
+            pool: ResidentPool::new((range.end - range.start) as usize),
+            range,
         }
     }
 
-    /// Number of resident device workers (`M`).
+    /// Number of resident device workers (`M`, or the subrange length).
     pub fn workers(&self) -> u64 {
-        self.sys.devices()
+        self.range.end - self.range.start
+    }
+
+    /// The contiguous device subrange this executor serves.
+    pub fn device_range(&self) -> std::ops::Range<u64> {
+        self.range.clone()
     }
 
     /// Executes a batch of queries, pipelined: each worker receives one
@@ -758,21 +866,47 @@ impl<D: DistributionMethod + Clone + Send + Sync + 'static> Executor<D> {
         if queries.is_empty() {
             return Vec::new();
         }
-        let m = self.sys.devices();
+        let planned: Vec<PlannedQuery> =
+            queries.iter().map(|q| plan_query(&self.sys, &*self.method, q)).collect();
+        self.execute_planned(&planned, policy).into_iter().map(merge_device_yields).collect()
+    }
+
+    /// Executes pre-planned queries over this executor's device range and
+    /// returns the raw per-device yields: one `Vec` per query, in query
+    /// order, each sorted by device.
+    ///
+    /// This is the node half of the scatter/gather split: a frontend
+    /// plans once ([`plan_query`]), every node executes its subrange, and
+    /// the gathered yields merge ([`merge_device_yields`]) into reports
+    /// bit-equal to a full-range [`Executor::execute_batch`] — same
+    /// records in the same order, same per-device reports, same simulated
+    /// times.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises a worker panic on the calling thread, like
+    /// [`Executor::execute_batch`].
+    pub fn execute_planned(
+        &self,
+        planned: &[PlannedQuery],
+        policy: &ExecPolicy,
+    ) -> Vec<Vec<DeviceYield>> {
+        if planned.is_empty() {
+            return Vec::new();
+        }
+        let workers = self.workers();
         let _span =
-            pmr_rt::span!("exec.batch", queries = queries.len() as u64, devices = m);
-        obs::counter_add("exec.batch.queries", queries.len() as u64);
-        let plans: Vec<QueryPlan> = queries
+            pmr_rt::span!("exec.batch", queries = planned.len() as u64, devices = workers);
+        obs::counter_add("exec.batch.queries", planned.len() as u64);
+        let plans: Vec<QueryPlan> = planned
             .iter()
-            .map(|query| {
-                let total_qualified = query.qualified_count_in(&self.sys);
-                let (inverse, free_combos) = match self.method.as_fx() {
-                    Some(fx) => {
-                        let (fast, free_combos, inverse) =
-                            fast_path_plan(&self.sys, fx, query, total_qualified);
-                        (fast.then(|| inverse.into_parts()), free_combos)
-                    }
-                    None => (None, 1),
+            .map(|p| {
+                let inverse = if p.fast_path {
+                    let fx =
+                        self.method.as_fx().expect("a fast plan implies an FX method");
+                    Some(FxInverse::new(fx, &p.query).into_parts())
+                } else {
+                    None
                 };
                 obs::counter_add(
                     if inverse.is_some() {
@@ -782,7 +916,12 @@ impl<D: DistributionMethod + Clone + Send + Sync + 'static> Executor<D> {
                     },
                     1,
                 );
-                QueryPlan { query: query.clone(), inverse, total_qualified, free_combos }
+                QueryPlan {
+                    query: p.query.clone(),
+                    inverse,
+                    total_qualified: p.total_qualified,
+                    free_combos: p.free_combos,
+                }
             })
             .collect();
         let queries_in_batch = plans.len();
@@ -795,23 +934,23 @@ impl<D: DistributionMethod + Clone + Send + Sync + 'static> Executor<D> {
             policy: policy.clone(),
             plans,
         });
-        let (tx, rx) = mpsc::channel::<Vec<(usize, WorkerYield)>>();
-        for device in 0..m {
+        let (tx, rx) = mpsc::channel::<Vec<(usize, DeviceYield)>>();
+        for device in self.range.clone() {
             let ctx = Arc::clone(&ctx);
             let tx = tx.clone();
-            self.pool.submit(device as usize, move |scratch| {
+            self.pool.submit((device - self.range.start) as usize, move |scratch| {
                 batch_worker(&ctx, device, scratch, &tx)
             });
         }
         drop(tx);
-        let mut yields: Vec<Vec<WorkerYield>> =
-            (0..queries_in_batch).map(|_| Vec::with_capacity(m as usize)).collect();
+        let mut yields: Vec<Vec<DeviceYield>> =
+            (0..queries_in_batch).map(|_| Vec::with_capacity(workers as usize)).collect();
         for worker_yields in rx {
             for (query_index, yielded) in worker_yields {
                 yields[query_index].push(yielded);
             }
         }
-        if yields.iter().any(|q| q.len() != m as usize) {
+        if yields.iter().any(|q| q.len() != workers as usize) {
             // A worker died mid-batch; surface its panic like the scoped
             // executors would.
             if let Some(payload) = self.pool.take_panic() {
@@ -819,7 +958,10 @@ impl<D: DistributionMethod + Clone + Send + Sync + 'static> Executor<D> {
             }
             panic!("resident worker stopped without reporting a panic");
         }
-        yields.into_iter().map(|q| assemble(q, None)).collect()
+        for q in &mut yields {
+            q.sort_by_key(|y| y.report.device);
+        }
+        yields
     }
 }
 
@@ -836,7 +978,7 @@ fn batch_worker<D: DistributionMethod>(
     ctx: &BatchCtx<D>,
     device: u64,
     scratch: &mut WorkerScratch,
-    results: &mpsc::Sender<Vec<(usize, WorkerYield)>>,
+    results: &mpsc::Sender<Vec<(usize, DeviceYield)>>,
 ) {
     let buddy = ctx.buddies.map(|p| p.buddy_of(device));
     let mut out = Vec::with_capacity(ctx.plans.len());
@@ -878,7 +1020,7 @@ fn device_worker<D: DistributionMethod>(
     query: &PartialMatchQuery,
     device: u64,
     cost: &CostModel,
-) -> Result<WorkerYield, FileError> {
+) -> Result<DeviceYield, FileError> {
     let _span = pmr_rt::span!("exec.device", device = device);
     let sys = file.system();
     // Generic inverse mapping: evaluate every qualified bucket's address
@@ -904,8 +1046,8 @@ fn device_worker<D: DistributionMethod>(
     }
     let simulated_us = cost.device_time_us(qualified_buckets, addresses_computed);
     obs::observe_us("exec.device.simulated_us", simulated_us);
-    Ok((
-        DeviceReport {
+    Ok(DeviceYield {
+        report: DeviceReport {
             device,
             qualified_buckets,
             records: records.len() as u64,
@@ -914,8 +1056,8 @@ fn device_worker<D: DistributionMethod>(
             outcome: DeviceOutcome::Ok,
         },
         records,
-        Vec::new(),
-    ))
+        lost: Vec::new(),
+    })
 }
 
 #[cfg(test)]

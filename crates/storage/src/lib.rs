@@ -42,5 +42,8 @@ pub mod persist;
 
 pub use cost::CostModel;
 pub use device::{BucketRead, Device, ReadFault};
-pub use exec::{DeviceOutcome, ExecPolicy, ExecutionReport};
+pub use exec::{
+    DeviceOutcome, DeviceReport, DeviceYield, ExecPolicy, ExecutionReport, Executor,
+    PlannedQuery,
+};
 pub use file::DeclusteredFile;

@@ -76,6 +76,11 @@ fn bench_all_fast_mode_produces_every_group() {
         "throughput/resident_batch_256",
         "throughput/spawn_per_query_256",
         "throughput/serial_256",
+        // smoke mode scales the serve batch from 256 down to 8
+        "serve/cluster4_batch_8",
+        "serve/single_process_batch_8",
+        "serve/wire_encode_response_8",
+        "serve/wire_decode_response_8",
     ];
     for (file, expected) in files.iter().zip([&expected_core[..], &expected_exec[..]]) {
         let names: Vec<&str> = file.stats.iter().map(|s| s.bench.as_str()).collect();
@@ -125,6 +130,18 @@ fn bench_all_fast_mode_produces_every_group() {
         assert_eq!(resident, tp(&format!("spawn_per_query_{batch}")), "batch {batch}");
         assert_eq!(resident, tp(&format!("serial_{batch}")), "batch {batch}");
     }
+
+    // The 4-node cluster gathers bit-equal results to the single-process
+    // executor on the same batch (ISSUE: the wire adds zero drift).
+    let sv = |name: &str| -> u64 {
+        files[1]
+            .stats
+            .iter()
+            .find(|s| s.bench == format!("serve/{name}"))
+            .expect("group present")
+            .checksum
+    };
+    assert_eq!(sv("cluster4_batch_8"), sv("single_process_batch_8"));
 
     // Baseline files write as valid JSON lines.
     let dir = std::env::temp_dir().join("pmr_bench_smoke");

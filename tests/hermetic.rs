@@ -120,6 +120,49 @@ fn rt_has_no_dependencies_at_all() {
     );
 }
 
+/// The network layer is where external crates usually sneak in (tokio,
+/// serde, bincode, bytes, …). pmr-net must stay on `std` plus the
+/// workspace's own crates: every dependency is an in-workspace `pmr-*`
+/// crate, and its only feature (`tcp`) pulls in no dependency at all —
+/// `std::net` covers loopback TCP.
+#[test]
+fn net_is_hermetic_std_only() {
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR")).join("crates/net/Cargo.toml");
+    let text = fs::read_to_string(&manifest).expect("net manifest readable");
+    let mut section = String::new();
+    let mut offenders = Vec::new();
+    let mut pmr_deps = 0;
+    for raw in text.lines() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+            section = header.trim().to_string();
+            continue;
+        }
+        let Some((name, spec)) = line.split_once('=') else { continue };
+        let (name, spec) = (name.trim(), spec.trim());
+        if is_dependency_section(&section) {
+            let name = name.trim_end_matches(".workspace");
+            if name.starts_with("pmr-") {
+                pmr_deps += 1;
+            } else {
+                offenders.push(format!("[{section}] {name} = {spec}"));
+            }
+        }
+        if section == "features" && name == "tcp" {
+            assert_eq!(spec, "[]", "the tcp feature must not enable any dependency");
+        }
+    }
+    assert!(pmr_deps >= 4, "pmr-net should depend on the pmr-* stack, found {pmr_deps}");
+    assert!(
+        offenders.is_empty(),
+        "pmr-net must stay std-only (no external deps, ever):\n{}",
+        offenders.join("\n")
+    );
+}
+
 /// The six dependencies pmr-rt replaced must never come back by name.
 #[test]
 fn replaced_dependencies_stay_gone() {
