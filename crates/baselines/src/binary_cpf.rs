@@ -85,6 +85,33 @@ impl DistributionMethod for BinaryWeightedDistribution {
         sum & (self.sys.devices() - 1)
     }
 
+    /// Sixteen-lane batched weighted bit-sum: per weight, each lane does
+    /// shift → mask → multiply → add, branch-free (see DESIGN "Batched
+    /// address computation").
+    fn device_of_batch(&self, codes: &[u64], out: &mut [u64]) {
+        assert_eq!(codes.len(), out.len(), "device_of_batch buffers must match");
+        pmr_rt::obs::counter_add("addr.batch_calls", 1);
+        const LANES: usize = 16;
+        let m1 = self.sys.devices() - 1;
+        let mut code_chunks = codes.chunks_exact(LANES);
+        let mut out_chunks = out.chunks_exact_mut(LANES);
+        for (chunk, slot) in (&mut code_chunks).zip(&mut out_chunks) {
+            let mut acc = [0u64; LANES];
+            for (i, &w) in self.weights.iter().enumerate() {
+                for lane in 0..LANES {
+                    acc[lane] =
+                        acc[lane].wrapping_add(((chunk[lane] >> i) & 1).wrapping_mul(w));
+                }
+            }
+            for lane in 0..LANES {
+                slot[lane] = acc[lane] & m1;
+            }
+        }
+        for (&code, slot) in code_chunks.remainder().iter().zip(out_chunks.into_remainder()) {
+            *slot = self.device_of_packed(code);
+        }
+    }
+
     fn system(&self) -> &SystemConfig {
         &self.sys
     }
@@ -148,6 +175,35 @@ impl DistributionMethod for GrayCodeDistribution {
             shift <<= 1;
         }
         b & (self.sys.devices() - 1)
+    }
+
+    /// Sixteen-lane batched Gray decode: the XOR-shift cascade runs on
+    /// all lanes in lock step — pure ALU work, no loads at all (see
+    /// DESIGN "Batched address computation").
+    fn device_of_batch(&self, codes: &[u64], out: &mut [u64]) {
+        assert_eq!(codes.len(), out.len(), "device_of_batch buffers must match");
+        pmr_rt::obs::counter_add("addr.batch_calls", 1);
+        const LANES: usize = 16;
+        let m1 = self.sys.devices() - 1;
+        let mut code_chunks = codes.chunks_exact(LANES);
+        let mut out_chunks = out.chunks_exact_mut(LANES);
+        for (chunk, slot) in (&mut code_chunks).zip(&mut out_chunks) {
+            let mut acc = [0u64; LANES];
+            acc.copy_from_slice(chunk);
+            let mut shift = 1;
+            while shift < 64 {
+                for a in &mut acc {
+                    *a ^= *a >> shift;
+                }
+                shift <<= 1;
+            }
+            for lane in 0..LANES {
+                slot[lane] = acc[lane] & m1;
+            }
+        }
+        for (&code, slot) in code_chunks.remainder().iter().zip(out_chunks.into_remainder()) {
+            *slot = self.device_of_packed(code);
+        }
     }
 
     fn system(&self) -> &SystemConfig {
@@ -228,6 +284,30 @@ mod tests {
             let bw = BinaryWeightedDistribution::new(sys.clone()).unwrap();
             assert!(is_k_optimal(&bw, &sys, 0));
             assert!(is_k_optimal(&bw, &sys, 1), "n={n} m={m}");
+        }
+    }
+
+    /// Both sixteen-lane batched paths are bit-equal to the scalar packed
+    /// paths at every batch length (full lanes plus the scalar tail).
+    #[test]
+    fn device_of_batch_matches_scalar() {
+        let sys = binary_sys(6, 8);
+        let bw = BinaryWeightedDistribution::new(sys.clone()).unwrap();
+        let gc = GrayCodeDistribution::new(sys.clone()).unwrap();
+        let codes: Vec<u64> = sys.all_indices().collect();
+        for method in [&bw as &dyn DistributionMethod, &gc] {
+            for len in [0, 9, 16, 21, codes.len()] {
+                let mut out = vec![u64::MAX; len];
+                method.device_of_batch(&codes[..len], &mut out);
+                for (&code, &dev) in codes[..len].iter().zip(&out) {
+                    assert_eq!(
+                        dev,
+                        method.device_of_packed(code),
+                        "{} len {len} code {code}",
+                        method.name()
+                    );
+                }
+            }
         }
     }
 

@@ -3,8 +3,9 @@
 //!
 //! Timing medians are noisy across machines, so this is deliberately a
 //! coarse gate: only benches in the [`GATED_PREFIXES`] groups
-//! (`query_exec`, `exec_fast_path`, `throughput`, `serve` — the
-//! end-to-end paths the perf PRs pin) are compared, and only a median more than
+//! (`query_exec`, `exec_fast_path`, `throughput`, `serve`,
+//! `addr_compute/batched_*`, `bulk_insert` — the end-to-end and batched
+//! hot paths the perf PRs pin) are compared, and only a median more than
 //! [`DEFAULT_THRESHOLD`]× the committed one counts as a regression. A
 //! gated bench that *disappears* from the fresh run also fails: renames
 //! must update the baselines in the same change. The `bench_diff` binary
@@ -15,8 +16,14 @@ use std::collections::BTreeMap;
 
 /// Bench-name prefixes the diff gate applies to. Everything else is
 /// compared for information only.
-pub const GATED_PREFIXES: &[&str] =
-    &["query_exec/", "exec_fast_path/", "throughput/", "serve/"];
+pub const GATED_PREFIXES: &[&str] = &[
+    "query_exec/",
+    "exec_fast_path/",
+    "throughput/",
+    "serve/",
+    "addr_compute/batched_",
+    "bulk_insert/",
+];
 
 /// A fresh median this many times the committed one fails the gate.
 pub const DEFAULT_THRESHOLD: f64 = 2.0;
@@ -144,14 +151,14 @@ mod tests {
             "{}\n{}\n{}\n",
             line("query_exec/fx_fast_executor", 100.0),
             line("throughput/resident_batch_256", 1000.0),
-            line("bulk_insert/fx_auto", 10.0),
+            line("addr_compute/fx_basic", 10.0),
         ))
         .unwrap();
         let fresh = parse_baseline(&format!(
             "{}\n{}\n{}\n",
             line("query_exec/fx_fast_executor", 250.0), // 2.5× — fails
             line("throughput/resident_batch_256", 1500.0), // 1.5× — fine
-            line("bulk_insert/fx_auto", 500.0),         // 50× but ungated
+            line("addr_compute/fx_basic", 500.0),       // 50× but ungated
         ))
         .unwrap();
         let report = compare(&base, &fresh, DEFAULT_THRESHOLD);
@@ -160,6 +167,18 @@ mod tests {
         assert_eq!(report.regressions.len(), 1);
         assert_eq!(report.regressions[0].bench, "query_exec/fx_fast_executor");
         assert!((report.regressions[0].ratio - 2.5).abs() < 1e-9);
+    }
+
+    /// The batched and bulk-insert groups are gated; the scalar
+    /// addr_compute benches stay informational.
+    #[test]
+    fn batched_and_bulk_insert_groups_are_gated() {
+        assert!(gated("addr_compute/batched_fx_basic"));
+        assert!(gated("addr_compute/batched_modulo"));
+        assert!(gated("bulk_insert/batched"));
+        assert!(gated("bulk_insert/fx_auto"));
+        assert!(!gated("addr_compute/fx_basic"));
+        assert!(!gated("transform_apply/identity"));
     }
 
     #[test]

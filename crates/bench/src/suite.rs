@@ -99,6 +99,26 @@ pub fn addr_compute(opts: &SuiteOpts) -> Group {
             acc
         });
     }
+
+    // The lane-batched counterparts over the same buckets as packed
+    // codes. Checksums match the scalar benches above record-for-record,
+    // pinned by `bench_smoke` (ISSUE: batched paths are bit-equal).
+    let layout = sys.packed_layout();
+    let codes: Vec<u64> = flat.chunks_exact(n).map(|b| layout.pack(b)).collect();
+    let mut out = vec![0u64; codes.len()];
+    let batched: [(&str, &dyn DistributionMethod); 5] = [
+        ("batched_modulo", &dm),
+        ("batched_gdm1", &gdm),
+        ("batched_fx_basic", &fx_basic),
+        ("batched_fx_iu1", &fx),
+        ("batched_fx_iu2", &fx_iu2),
+    ];
+    for (name, method) in batched {
+        group.bench(name, || {
+            method.device_of_batch(black_box(&codes), &mut out);
+            out.iter().fold(0u64, |a, &d| a.wrapping_add(d))
+        });
+    }
     group
 }
 
@@ -251,7 +271,17 @@ pub fn bulk_insert(opts: &SuiteOpts) -> Group {
 
     let mut group = opts.group("bulk_insert");
     bench_insert(&mut group, "fx_auto", FxDistribution::auto(sys.clone()).unwrap(), &recs);
-    bench_insert(&mut group, "modulo", ModuloDistribution::new(sys), &recs);
+    bench_insert(&mut group, "modulo", ModuloDistribution::new(sys.clone()), &recs);
+    // The streaming resident-pool path on the same FX file and batch:
+    // routes codes with `device_of_batch` and ships per-device append
+    // runs. Checksum equals `bulk_insert/fx_auto` (identical placement),
+    // pinned by `bench_smoke`.
+    let fx = FxDistribution::auto(sys).unwrap();
+    group.bench("batched", || {
+        let mut file = DeclusteredFile::new(insert_schema(), fx.clone(), 11).unwrap();
+        file.insert_all_parallel(recs.to_vec()).unwrap();
+        file.record_occupancy().iter().sum()
+    });
     group
 }
 

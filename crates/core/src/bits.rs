@@ -84,6 +84,25 @@ pub fn buddy_mask(m: u64) -> Option<u64> {
     }
 }
 
+/// The mirror buddy of `device` on an `m`-device system: `d ⊕ M/2`
+/// ([`buddy_mask`]), or `None` when `m` has no buddy pairing (`m = 1`, or
+/// not a power of two).
+///
+/// # Examples
+///
+/// ```
+/// use pmr_core::bits::buddy_of;
+///
+/// assert_eq!(buddy_of(3, 32), Some(19)); // Table 7: 3 ⊕ 16
+/// assert_eq!(buddy_of(19, 32), Some(3)); // involution
+/// assert_eq!(buddy_of(0, 2), Some(1));
+/// assert_eq!(buddy_of(0, 1), None);
+/// ```
+#[inline]
+pub fn buddy_of(device: u64, m: u64) -> Option<u64> {
+    buddy_mask(m).map(|mask| device ^ mask)
+}
+
 /// `ceil(a / b)` for positive `b`; the bound in the strict-optimality
 /// definition (`ceil(|R(q)| / M)`).
 #[inline]
@@ -440,6 +459,39 @@ mod tests {
         assert_eq!(buddy_mask(1), None);
         assert_eq!(buddy_mask(0), None);
         assert_eq!(buddy_mask(6), None);
+    }
+
+    /// `buddy_of` pins the Lemma 1.1 XOR pairing directly for M = 2, 4,
+    /// 32: every device's buddy is `d ⊕ M/2`, buddying is an involution
+    /// (`buddy_of(buddy_of(d)) == d`) with no fixed points, and the pairs
+    /// tile `Z_M` — each device appears in exactly one pair.
+    #[test]
+    fn buddy_of_pins_lemma_1_1_pairing() {
+        for m in [2u64, 4, 32] {
+            let mut paired = vec![0u32; m as usize];
+            for d in 0..m {
+                let buddy = buddy_of(d, m).unwrap();
+                assert_eq!(buddy, d ^ (m / 2), "m={m} d={d}");
+                assert_ne!(buddy, d, "m={m}: no device is its own buddy");
+                assert_eq!(
+                    buddy_of(buddy, m),
+                    Some(d),
+                    "m={m}: buddy_of(buddy_of({d})) must return {d}"
+                );
+                paired[buddy as usize] += 1;
+            }
+            assert!(
+                paired.iter().all(|&c| c == 1),
+                "m={m}: buddies must tile Z_M into disjoint pairs"
+            );
+        }
+        // Explicit Table 7 spot checks (M = 32): the top bit flips.
+        assert_eq!(buddy_of(0, 32), Some(16));
+        assert_eq!(buddy_of(5, 32), Some(21));
+        assert_eq!(buddy_of(31, 32), Some(15));
+        // No pairing exists for a single device or a non-power-of-two M.
+        assert_eq!(buddy_of(0, 1), None);
+        assert_eq!(buddy_of(2, 6), None);
     }
 
     #[test]

@@ -87,6 +87,21 @@ impl fmt::Debug for PlanCache {
 /// unreasonable (64 KiB of `u64` per field at most).
 const MAX_TABLE_SIZE: u64 = 1 << 16;
 
+/// Width of the batched address-computation lanes: 8 independent XOR
+/// accumulator chains per inner step, enough instruction-level
+/// parallelism to hide the table-load latency without spilling the
+/// accumulator array out of registers (see DESIGN "Batched address
+/// computation").
+const BATCH_LANES: usize = 8;
+
+/// Cap on a flat-LUT segment's entry count (the product of its member
+/// fields' sizes). 2¹¹ `u64` entries keep every segment slab (≤ 16 KiB)
+/// resident in L1 while still folding several fields into one load: the
+/// paper's Table 7 system (six fields of 8) collapses into two 512-entry
+/// segments, so a batched lookup costs two loads per code instead of
+/// six. Fields too large to merge get a segment of their own.
+const SEGMENT_CAP: u64 = 1 << 11;
+
 /// Precomputed address kernel.
 ///
 /// Transform images of small fields are tiny (`F < M` entries), so a real
@@ -106,6 +121,22 @@ enum Kernel {
         shifts: Box<[u32]>,
         /// In-field mask `F_i − 1` of each field.
         masks: Box<[u64]>,
+        /// The flat segment LUT the batched lanes index: one contiguous
+        /// allocation holding, per *segment* (a run of consecutive fields
+        /// whose combined bucket-bit span stays under [`SEGMENT_CAP`]
+        /// entries), the XOR of the member fields' images over every
+        /// combination of their bucket bits. A segment lookup is
+        /// `flat[seg_bases[s] + ((code >> seg_shifts[s]) & seg_masks[s])]`
+        /// — one load per segment replaces one load per field (on the
+        /// paper's Table 7 system, six per-field loads collapse to two),
+        /// with no per-field `Box` indirection.
+        flat: Box<[u64]>,
+        /// Start of each segment's entries within `flat`.
+        seg_bases: Box<[u32]>,
+        /// Bit offset of each segment's first field within a packed code.
+        seg_shifts: Box<[u32]>,
+        /// Combined in-segment mask (`∏ F_i − 1` over member fields).
+        seg_masks: Box<[u64]>,
     },
     /// Shift-computed transforms for systems with fields over
     /// [`MAX_TABLE_SIZE`].
@@ -119,14 +150,57 @@ impl Kernel {
         if (0..sys.num_fields()).all(|i| sys.field_size(i) <= MAX_TABLE_SIZE) {
             pmr_rt::obs::counter_add("fx.kernel.tables_built", sys.num_fields() as u64);
             let layout = sys.packed_layout();
+            let tables: Vec<Box<[u64]>> = assignment
+                .transforms()
+                .iter()
+                .map(|t| t.image().into_boxed_slice())
+                .collect();
+            // Fold runs of consecutive fields into combined segments: a
+            // segment over fields i..j stores, for every combination `v`
+            // of their packed bits, the XOR of the member images. Valid
+            // because the packed layout is contiguous LSB-first and every
+            // field size is a power of two, so fields i..j occupy exactly
+            // the bit range the segment mask extracts.
+            let n = sys.num_fields();
+            let mut flat = Vec::new();
+            let mut seg_bases = Vec::new();
+            let mut seg_shifts = Vec::new();
+            let mut seg_masks = Vec::new();
+            let mut i = 0;
+            while i < n {
+                let seg_shift = layout.shift(i);
+                let mut entries = sys.field_size(i);
+                let mut j = i + 1;
+                while j < n && entries * sys.field_size(j) <= SEGMENT_CAP {
+                    debug_assert_eq!(
+                        u64::from(layout.shift(j)),
+                        u64::from(seg_shift) + u64::from(entries.trailing_zeros()),
+                        "segment folding needs contiguous packed fields"
+                    );
+                    entries *= sys.field_size(j);
+                    j += 1;
+                }
+                seg_bases.push(flat.len() as u32);
+                seg_shifts.push(seg_shift);
+                seg_masks.push(entries - 1);
+                for v in 0..entries {
+                    let mut acc = 0u64;
+                    for k in i..j {
+                        let rel = layout.shift(k) - seg_shift;
+                        acc ^= tables[k][((v >> rel) & layout.mask(k)) as usize];
+                    }
+                    flat.push(acc);
+                }
+                i = j;
+            }
             Kernel::Tables {
-                tables: assignment
-                    .transforms()
-                    .iter()
-                    .map(|t| t.image().into_boxed_slice())
-                    .collect(),
-                shifts: (0..sys.num_fields()).map(|i| layout.shift(i)).collect(),
-                masks: (0..sys.num_fields()).map(|i| layout.mask(i)).collect(),
+                tables,
+                shifts: (0..n).map(|i| layout.shift(i)).collect(),
+                masks: (0..n).map(|i| layout.mask(i)).collect(),
+                flat: flat.into_boxed_slice(),
+                seg_bases: seg_bases.into_boxed_slice(),
+                seg_shifts: seg_shifts.into_boxed_slice(),
+                seg_masks: seg_masks.into_boxed_slice(),
             }
         } else {
             Kernel::Computed(assignment.transforms().to_vec())
@@ -158,7 +232,7 @@ impl Kernel {
     #[inline]
     fn xor_packed(&self, code: u64, sys: &SystemConfig) -> u64 {
         match self {
-            Kernel::Tables { tables, shifts, masks } => {
+            Kernel::Tables { tables, shifts, masks, .. } => {
                 let mut acc = 0u64;
                 for ((table, &shift), &mask) in tables.iter().zip(shifts.iter()).zip(masks.iter())
                 {
@@ -184,6 +258,46 @@ impl Kernel {
         match self {
             Kernel::Tables { tables, .. } => tables[field][value as usize],
             Kernel::Computed(transforms) => transforms[field].apply(value),
+        }
+    }
+
+    /// Batched device computation: `out[i] = T_M(xor_packed(codes[i]))`.
+    ///
+    /// The materialised kernel runs [`BATCH_LANES`] codes per step against
+    /// the flat segment LUT — per segment, each lane does extract → one
+    /// load off a shared base → XOR, with no branches and no per-field
+    /// pointer chase, so the lanes' accumulator chains are independent and
+    /// pipeline. Segment folding (see [`SEGMENT_CAP`]) makes the step
+    /// count the *segment* count, not the field count. The computed kernel
+    /// (huge fields) falls back to the scalar loop.
+    fn device_of_batch(&self, codes: &[u64], out: &mut [u64], sys: &SystemConfig) {
+        let m1 = sys.devices() - 1;
+        if let Kernel::Tables { flat, seg_bases, seg_shifts, seg_masks, .. } = self {
+            let flat = &flat[..];
+            let mut code_chunks = codes.chunks_exact(BATCH_LANES);
+            let mut out_chunks = out.chunks_exact_mut(BATCH_LANES);
+            for (chunk, slot) in (&mut code_chunks).zip(&mut out_chunks) {
+                let mut acc = [0u64; BATCH_LANES];
+                for ((&base, &shift), &mask) in
+                    seg_bases.iter().zip(seg_shifts.iter()).zip(seg_masks.iter())
+                {
+                    for lane in 0..BATCH_LANES {
+                        let idx = base as u64 + ((chunk[lane] >> shift) & mask);
+                        acc[lane] ^= flat[idx as usize];
+                    }
+                }
+                for lane in 0..BATCH_LANES {
+                    slot[lane] = acc[lane] & m1;
+                }
+            }
+            for (&code, slot) in code_chunks.remainder().iter().zip(out_chunks.into_remainder())
+            {
+                *slot = self.xor_packed(code, sys) & m1;
+            }
+        } else {
+            for (&code, slot) in codes.iter().zip(out.iter_mut()) {
+                *slot = self.xor_packed(code, sys) & m1;
+            }
         }
     }
 }
@@ -283,6 +397,12 @@ impl DistributionMethod for FxDistribution {
     fn device_of_packed(&self, code: u64) -> u64 {
         let sys = self.assignment.system();
         t_m(self.kernel.xor_packed(code, sys), sys.devices())
+    }
+
+    fn device_of_batch(&self, codes: &[u64], out: &mut [u64]) {
+        assert_eq!(codes.len(), out.len(), "device_of_batch buffers must match");
+        pmr_rt::obs::counter_add("addr.batch_calls", 1);
+        self.kernel.device_of_batch(codes, out, self.assignment.system());
     }
 
     fn as_fx(&self) -> Option<&FxDistribution> {
@@ -512,6 +632,36 @@ mod tests {
         let layout = big.packed_layout();
         for bucket in [[0u64, 0], [5, 3], [(1 << 17) - 1, 1], [1 << 16, 2]] {
             assert_eq!(fx_big.device_of_packed(layout.pack(&bucket)), fx_big.device_of(&bucket));
+        }
+    }
+
+    /// The batched lanes (flat LUT) agree with the scalar packed path on
+    /// every bucket, at every batch length (exercising full lanes and the
+    /// scalar tail), under both kernels.
+    #[test]
+    fn device_of_batch_matches_scalar() {
+        let sys = SystemConfig::new(&[4, 8, 2], 8).unwrap();
+        let fx = FxDistribution::auto(sys.clone()).unwrap();
+        let codes: Vec<u64> = sys.all_indices().collect();
+        for len in [0, 1, 7, 8, 9, 16, codes.len()] {
+            let mut out = vec![u64::MAX; len];
+            fx.device_of_batch(&codes[..len], &mut out);
+            for (&code, &dev) in codes[..len].iter().zip(&out) {
+                assert_eq!(dev, fx.device_of_packed(code), "len {len} code {code}");
+            }
+        }
+        // Computed kernel (field over the table threshold): scalar fallback.
+        let big = SystemConfig::new(&[1 << 17, 4], 8).unwrap();
+        let fx_big = FxDistribution::auto(big.clone()).unwrap();
+        let layout = big.packed_layout();
+        let big_codes: Vec<u64> = [[0u64, 0], [5, 3], [(1 << 17) - 1, 1], [1 << 16, 2]]
+            .iter()
+            .map(|b| layout.pack(b))
+            .collect();
+        let mut out = vec![u64::MAX; big_codes.len()];
+        fx_big.device_of_batch(&big_codes, &mut out);
+        for (&code, &dev) in big_codes.iter().zip(&out) {
+            assert_eq!(dev, fx_big.device_of_packed(code));
         }
     }
 

@@ -80,12 +80,39 @@ pub fn for_each_device_code<D, F>(
     D: DistributionMethod + ?Sized,
     F: FnMut(u64),
 {
+    // Odometer codes are drained into a reusable stack buffer and scored
+    // in bulk through `device_of_batch`, so the per-code cost is one lane
+    // of the batched kernel instead of a full scalar `device_of_packed`.
+    // Matching codes are emitted in fill order, which is odometer order —
+    // bit-equal to the scalar filter loop this replaces.
+    const BATCH: usize = 64;
+    let mut codes = [0u64; BATCH];
+    let mut devs = [0u64; BATCH];
     let mut owned = 0u64;
     let mut it = query.qualified_buckets(sys);
-    while let Some(code) = it.next_code() {
-        if method.device_of_packed(code) == device {
-            owned += 1;
-            f(code);
+    loop {
+        let mut n = 0;
+        while n < BATCH {
+            match it.next_code() {
+                Some(code) => {
+                    codes[n] = code;
+                    n += 1;
+                }
+                None => break,
+            }
+        }
+        if n == 0 {
+            break;
+        }
+        method.device_of_batch(&codes[..n], &mut devs[..n]);
+        for i in 0..n {
+            if devs[i] == device {
+                owned += 1;
+                f(codes[i]);
+            }
+        }
+        if n < BATCH {
+            break;
         }
     }
     pmr_rt::obs::counter_add("inverse.codes_scanned", query.qualified_count_in(sys));

@@ -51,6 +51,27 @@ pub trait DistributionMethod: Send + Sync {
         }
     }
 
+    /// Computes the devices of a batch of packed codes:
+    /// `out[i] = device_of_packed(codes[i])` for every `i`.
+    ///
+    /// The default implementation is the scalar loop; methods whose
+    /// address arithmetic is branch-free (FX, GeneralFx, Modulo, GDM, the
+    /// binary-CPF allocators) override it with fixed-width lane kernels
+    /// that the compiler can autovectorize. Overrides must stay bit-equal
+    /// to the scalar path — the batched-equivalence property suite
+    /// enforces this for every in-tree method.
+    ///
+    /// # Panics
+    ///
+    /// If `codes` and `out` differ in length.
+    fn device_of_batch(&self, codes: &[u64], out: &mut [u64]) {
+        assert_eq!(codes.len(), out.len(), "device_of_batch buffers must match");
+        pmr_rt::obs::counter_add("addr.batch_calls", 1);
+        for (slot, &code) in out.iter_mut().zip(codes) {
+            *slot = self.device_of_packed(code);
+        }
+    }
+
     /// Downcast hook: `Some(self)` when this method is an
     /// [`FxDistribution`], letting generic executors dispatch onto the
     /// residue-indexed fast inverse mapping without knowing the concrete
@@ -89,6 +110,9 @@ impl<M: DistributionMethod + ?Sized> DistributionMethod for &M {
     fn device_of_packed(&self, code: u64) -> u64 {
         (**self).device_of_packed(code)
     }
+    fn device_of_batch(&self, codes: &[u64], out: &mut [u64]) {
+        (**self).device_of_batch(codes, out)
+    }
     fn as_fx(&self) -> Option<&FxDistribution> {
         (**self).as_fx()
     }
@@ -110,6 +134,9 @@ impl<M: DistributionMethod + ?Sized> DistributionMethod for Box<M> {
     fn device_of_packed(&self, code: u64) -> u64 {
         (**self).device_of_packed(code)
     }
+    fn device_of_batch(&self, codes: &[u64], out: &mut [u64]) {
+        (**self).device_of_batch(codes, out)
+    }
     fn as_fx(&self) -> Option<&FxDistribution> {
         (**self).as_fx()
     }
@@ -130,6 +157,9 @@ impl<M: DistributionMethod + ?Sized> DistributionMethod for std::sync::Arc<M> {
     }
     fn device_of_packed(&self, code: u64) -> u64 {
         (**self).device_of_packed(code)
+    }
+    fn device_of_batch(&self, codes: &[u64], out: &mut [u64]) {
+        (**self).device_of_batch(codes, out)
     }
     fn as_fx(&self) -> Option<&FxDistribution> {
         (**self).as_fx()
@@ -193,5 +223,35 @@ mod tests {
             sys.decode_index(code, &mut buf);
             assert_eq!(m.device_of_packed(code), m.device_of(&buf));
         }
+    }
+
+    /// The default batch path is the scalar loop, including through the
+    /// smart-pointer forwards, and rejects mismatched buffers.
+    #[test]
+    fn default_device_of_batch_is_scalar_loop() {
+        let sys = SystemConfig::new(&[4, 2, 8], 2).unwrap();
+        let m = FirstField(sys.clone());
+        let codes: Vec<u64> = sys.all_indices().collect();
+        let mut out = vec![0u64; codes.len()];
+        m.device_of_batch(&codes, &mut out);
+        for (&code, &dev) in codes.iter().zip(&out) {
+            assert_eq!(dev, m.device_of_packed(code));
+        }
+        let arc: std::sync::Arc<dyn DistributionMethod> = std::sync::Arc::new(m);
+        let mut forwarded = vec![0u64; codes.len()];
+        arc.device_of_batch(&codes, &mut forwarded);
+        assert_eq!(forwarded, out);
+        let empty: [u64; 0] = [];
+        let mut empty_out: [u64; 0] = [];
+        arc.device_of_batch(&empty, &mut empty_out);
+    }
+
+    #[test]
+    #[should_panic(expected = "device_of_batch buffers must match")]
+    fn device_of_batch_rejects_length_mismatch() {
+        let sys = SystemConfig::new(&[4, 4], 2).unwrap();
+        let m = FirstField(sys);
+        let mut out = [0u64; 2];
+        m.device_of_batch(&[0, 1, 2], &mut out);
     }
 }

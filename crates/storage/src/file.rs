@@ -200,44 +200,133 @@ impl<D: DistributionMethod> DeclusteredFile<D> {
     }
 
     /// Parallel bulk insert: hashes and validates on the caller thread,
-    /// then appends to each device from a dedicated worker (devices are
-    /// independently locked, so workers never contend with each other).
+    /// then *streams* the records through a resident worker pool in
+    /// chunks. Each chunk's codes are routed in bulk with
+    /// [`DistributionMethod::device_of_batch`], counting-sorted into
+    /// per-device append runs, and shipped to the workers — so routing of
+    /// chunk `k+1` overlaps the appends of chunk `k`, and a worker
+    /// receives one run per chunk instead of per-record jobs. Records are
+    /// shared by `Arc`, so mirroring double-writes without cloning.
+    ///
+    /// The pool holds `min(M, available_parallelism)` workers and device
+    /// `d` maps to worker `d % W` — spawning more threads than cores only
+    /// adds startup cost. On a single-core host (`W == 1`) the runs are
+    /// appended inline on the caller thread: the batched routing and
+    /// run-grouped appends still apply, without any thread hand-off.
     ///
     /// Placement is identical to [`DeclusteredFile::insert_all`]; only the
-    /// append work is parallelised. All-or-nothing on validation errors:
-    /// nothing is appended unless every record hashes cleanly.
+    /// append work is parallelised. Per-device FIFO mailboxes plus stable
+    /// counting sort keep every device's append order equal to the serial
+    /// input order (all of device `d`'s runs land on worker `d % W` in
+    /// chunk order). All-or-nothing on validation errors: nothing is
+    /// appended unless every record hashes cleanly.
     pub fn insert_all_parallel(&mut self, records: Vec<Record>) -> Result<u64, FileError> {
-        let sys = self.system().clone();
-        let m = sys.devices() as usize;
-        // Phase 1 (serial): hash + route by packed code. Fails before any
-        // mutation. With mirroring on, each record is also routed to the
-        // home device's buddy as a mirror append.
-        let mut routed: Vec<Vec<(u64, Record)>> = vec![Vec::new(); m];
-        let mut mirror_routed: Vec<Vec<(u64, Record)>> = vec![Vec::new(); m];
-        for record in records {
-            let code = self.mkh.bucket_code_of(&record)?;
-            let device = self.method.device_of_packed(code) as usize;
-            if let Some(pairing) = &self.mirroring {
-                mirror_routed[pairing.buddy_of(device as u64) as usize]
-                    .push((code, record.clone()));
-            }
-            routed[device].push((code, record));
+        /// Records routed per `device_of_batch` call. Large enough to
+        /// amortise job dispatch, small enough that codes + runs stay
+        /// cache-resident while workers drain the previous chunk.
+        const CHUNK: usize = 4096;
+        let m = self.system().devices() as usize;
+        // Phase 1 (serial): hash every record up front. Fails before any
+        // mutation, preserving the all-or-nothing contract.
+        let mut codes = Vec::with_capacity(records.len());
+        for record in &records {
+            codes.push(self.mkh.bucket_code_of(record)?);
         }
-        // Phase 2 (parallel): per-device appends. Each worker owns one
-        // device, writing both its primary batch and the mirror batch it
-        // holds for its buddy — no cross-device lock contention.
-        let total: u64 = routed.iter().map(|v| v.len() as u64).sum();
-        pmr_rt::pool::scope_map(
-            self.devices.iter().zip(routed.into_iter().zip(mirror_routed)),
-            |(device, (batch, mirror_batch))| {
-                for (index, record) in batch {
-                    device.append(index, &record);
+        let total = records.len() as u64;
+        if total == 0 {
+            self.record_count += total;
+            return Ok(total);
+        }
+        // Phase 2 (streamed): route chunks in bulk on the caller thread,
+        // ship per-device append runs to resident workers (worker `d`
+        // owns device `d` and, under mirroring, writes the mirror run of
+        // its buddy's records — no cross-device lock contention).
+        let mirroring = self.mirroring;
+        let records = Arc::new(records);
+        let codes = Arc::new(codes);
+        let workers = std::thread::available_parallelism().map_or(1, |p| p.get()).min(m);
+        let pool = (workers > 1).then(|| pmr_rt::pool::resident::ResidentPool::new(workers));
+        let (tx, rx) = std::sync::mpsc::channel::<()>();
+        let mut jobs = 0usize;
+        let mut devs = vec![0u64; CHUNK.min(records.len())];
+        let mut start = 0usize;
+        while start < records.len() {
+            let end = (start + CHUNK).min(records.len());
+            let n = end - start;
+            self.method.device_of_batch(&codes[start..end], &mut devs[..n]);
+            pmr_rt::obs::counter_add("insert.batched_records", n as u64);
+            // Stable counting sort of the chunk's record indices into
+            // per-device runs: run `d` is `order[offsets[d]..offsets[d+1]]`,
+            // each run in input order.
+            let mut offsets = vec![0usize; m + 1];
+            for &d in &devs[..n] {
+                offsets[d as usize + 1] += 1;
+            }
+            for d in 0..m {
+                offsets[d + 1] += offsets[d];
+            }
+            let mut cursor = offsets.clone();
+            let mut order = vec![0u32; n];
+            for (i, &d) in devs[..n].iter().enumerate() {
+                order[cursor[d as usize]] = (start + i) as u32;
+                cursor[d as usize] += 1;
+            }
+            let runs = Arc::new((offsets, order));
+            for (d, device) in self.devices.iter().enumerate() {
+                let primary = runs.0[d + 1] > runs.0[d];
+                let mirror = mirroring.is_some_and(|p| {
+                    let b = p.buddy_of(d as u64) as usize;
+                    runs.0[b + 1] > runs.0[b]
+                });
+                if !primary && !mirror {
+                    continue;
                 }
-                for (index, record) in mirror_batch {
-                    device.append_mirror(index, &record);
-                }
-            },
-        );
+                let Some(pool) = &pool else {
+                    // Single-core host: same run-grouped appends, inline.
+                    let (offsets, order) = &*runs;
+                    for &i in &order[offsets[d]..offsets[d + 1]] {
+                        device.append(codes[i as usize], &records[i as usize]);
+                    }
+                    if let Some(pairing) = mirroring {
+                        let b = pairing.buddy_of(d as u64) as usize;
+                        for &i in &order[offsets[b]..offsets[b + 1]] {
+                            device.append_mirror(codes[i as usize], &records[i as usize]);
+                        }
+                    }
+                    continue;
+                };
+                let device = Arc::clone(device);
+                let records = Arc::clone(&records);
+                let codes = Arc::clone(&codes);
+                let runs = Arc::clone(&runs);
+                let tx = tx.clone();
+                pool.submit(d % workers, move |_scratch| {
+                    let (offsets, order) = &*runs;
+                    for &i in &order[offsets[d]..offsets[d + 1]] {
+                        device.append(codes[i as usize], &records[i as usize]);
+                    }
+                    if let Some(pairing) = mirroring {
+                        let b = pairing.buddy_of(d as u64) as usize;
+                        for &i in &order[offsets[b]..offsets[b + 1]] {
+                            device.append_mirror(codes[i as usize], &records[i as usize]);
+                        }
+                    }
+                    let _ = tx.send(());
+                });
+                jobs += 1;
+            }
+            start = end;
+        }
+        drop(tx);
+        let acked = rx.iter().count();
+        if acked != jobs {
+            // A worker died mid-stream; surface its panic like the scoped
+            // executors would.
+            if let Some(payload) = pool.as_ref().and_then(|p| p.take_panic()) {
+                std::panic::resume_unwind(payload);
+            }
+            panic!("resident worker stopped without reporting a panic");
+        }
         self.record_count += total;
         Ok(total)
     }

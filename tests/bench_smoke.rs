@@ -32,6 +32,11 @@ fn bench_all_fast_mode_produces_every_group() {
         "addr_compute/fx_iu1",
         "addr_compute/fx_iu2",
         "addr_compute/random",
+        "addr_compute/batched_modulo",
+        "addr_compute/batched_gdm1",
+        "addr_compute/batched_fx_basic",
+        "addr_compute/batched_fx_iu1",
+        "addr_compute/batched_fx_iu2",
         "transform_apply/identity",
         "transform_apply/u",
         "transform_apply/iu1",
@@ -49,6 +54,7 @@ fn bench_all_fast_mode_produces_every_group() {
     let expected_exec = [
         "bulk_insert/fx_auto",
         "bulk_insert/modulo",
+        "bulk_insert/batched",
         "query_exec/fx_generic_executor",
         "query_exec/fx_fast_executor",
         "query_exec/modulo_generic_executor",
@@ -90,6 +96,33 @@ fn bench_all_fast_mode_produces_every_group() {
             assert!(s.median_ns.is_finite() && s.median_ns >= 0.0);
         }
     }
+
+    // Every batched addr_compute bench checksums identically to its
+    // scalar counterpart: the lane kernels are bit-equal to the per-record
+    // path (ISSUE: batched address computation changes no placements).
+    let core = |name: &str| -> u64 {
+        files[0]
+            .stats
+            .iter()
+            .find(|s| s.bench == format!("addr_compute/{name}"))
+            .expect("group present")
+            .checksum
+    };
+    for pair in ["modulo", "gdm1", "fx_basic", "fx_iu1", "fx_iu2"] {
+        assert_eq!(core(pair), core(&format!("batched_{pair}")), "addr_compute/{pair}");
+    }
+
+    // The streaming batched bulk insert places every record exactly where
+    // the serial path does: identical occupancy checksum.
+    let bi = |name: &str| -> u64 {
+        files[1]
+            .stats
+            .iter()
+            .find(|s| s.bench == format!("bulk_insert/{name}"))
+            .expect("group present")
+            .checksum
+    };
+    assert_eq!(bi("batched"), bi("fx_auto"));
 
     // All three packed_vs_vec variants count the same qualified buckets.
     let pvv: Vec<u64> = files[0]

@@ -65,6 +65,46 @@ fn disabled_tracing_records_zero_events() {
     assert!(report.largest_response > 0, "the run itself still works");
 }
 
+/// The batched-dispatch counters: a traced `insert_all_parallel` records
+/// every record under `insert.batched_records` and at least one
+/// `addr.batch_calls` per routed chunk, so `pmr stats` can show the
+/// batched vs scalar dispatch mix.
+#[test]
+fn batched_insert_counters_record_dispatch_mix() {
+    let _guard = lock();
+    obs::install(TraceConfig::Memory).unwrap();
+    obs::reset();
+    obs::drain_events();
+
+    let schema = Schema::builder()
+        .field("a", FieldType::Int, 16)
+        .field("b", FieldType::Int, 8)
+        .field("c", FieldType::Int, 8)
+        .devices(DEVICES)
+        .build()
+        .unwrap();
+    let fx = pmr_core::FxDistribution::auto(schema.system().clone()).unwrap();
+    let mut file = DeclusteredFile::new(schema, fx, 5).unwrap();
+    let records: Vec<Record> = (0..600)
+        .map(|i| {
+            Record::new(vec![
+                Value::Int(i),
+                Value::Int(i * 17 % 101),
+                Value::Int(i * 29 % 53),
+            ])
+        })
+        .collect();
+    file.insert_all_parallel(records).unwrap();
+
+    let batched = obs::counter_total("insert.batched_records");
+    let calls = obs::counter_total("addr.batch_calls");
+    obs::install(TraceConfig::Off).unwrap();
+    obs::reset();
+
+    assert_eq!(batched, 600, "every record routed through the batched path");
+    assert!(calls >= 1, "each routed chunk counts one device_of_batch call");
+}
+
 #[test]
 fn traced_run_emits_one_device_span_per_device() {
     let _guard = lock();

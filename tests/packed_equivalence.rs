@@ -103,6 +103,29 @@ rt_proptest! {
         }
     }
 
+    /// `device_of_batch` is bit-equal to per-record `device_of_packed`
+    /// for every method, over random code batches (exercising both the
+    /// full fixed-width lanes and the scalar tails of every override).
+    fn batched_devices_match_scalar(src) {
+        let sys = gen_system(src);
+        let count = src.int_in(0, 200) as usize;
+        let codes: Vec<u64> = (0..count)
+            .map(|_| src.int_in(0, sys.total_buckets() - 1))
+            .collect();
+        for method in all_methods(src, &sys) {
+            let mut out = vec![u64::MAX; codes.len()];
+            method.device_of_batch(&codes, &mut out);
+            for (&code, &dev) in codes.iter().zip(&out) {
+                assert_eq!(
+                    dev,
+                    method.device_of_packed(code),
+                    "{} on {sys} code {code}",
+                    method.name()
+                );
+            }
+        }
+    }
+
     /// Packed enumeration produces byte-identical device histograms and
     /// per-device bucket sets as the legacy `Vec<u64>` scan.
     fn packed_enumeration_matches_vec_scan(src) {
