@@ -181,6 +181,20 @@ mod tests {
         assert!(!gated("transform_apply/identity"));
     }
 
+    /// The cluster-telemetry overhead benches ride the `serve/` prefix
+    /// into the gate: the tracing-off serve path must stay within
+    /// threshold of the committed pre-telemetry baselines, and once the
+    /// obs benches are in the baselines their disappearance fails too.
+    #[test]
+    fn serve_obs_overhead_benches_are_gated() {
+        assert!(gated("serve/obs_overhead_off_256"));
+        assert!(gated("serve/obs_overhead_on_256"));
+        assert!(gated("serve/cluster4_batch_256"));
+        // The rt-level obs micro-benches remain informational.
+        assert!(!gated("obs_overhead/span_disabled"));
+        assert!(!gated("obs_overhead/counter_enabled_memory"));
+    }
+
     #[test]
     fn vanished_gated_bench_fails_added_is_informational() {
         let base =

@@ -626,6 +626,7 @@ pub fn serve(opts: &SuiteOpts) -> Group {
         node: 0,
         busy_us: 0,
         queries: yields,
+        telemetry: None,
     });
     let frame = encode_message(&response);
 
@@ -658,6 +659,34 @@ pub fn serve(opts: &SuiteOpts) -> Group {
             _ => unreachable!(),
         }
     });
+    // Cluster-telemetry overhead pin: the same scatter/gather batch with
+    // tracing off (the production default — telemetry sections absent,
+    // frames byte-identical to v1) versus fully on (Memory sink: spans
+    // recorded, node telemetry shipped, merged, and absorbed). The
+    // `serve/` gate keeps the OFF path within noise of the plain
+    // cluster bench — observability must stay free when unused.
+    {
+        use pmr_rt::obs::{self, TraceConfig};
+        group.bench(&format!("obs_overhead_off_{batch}"), || {
+            frontend
+                .execute_batch(&queries, &policy)
+                .iter()
+                .map(|r| r.records.len() as u64)
+                .sum()
+        });
+        obs::install(TraceConfig::Memory).expect("memory sink installs");
+        group.bench(&format!("obs_overhead_on_{batch}"), || {
+            let records = frontend
+                .execute_batch(&queries, &policy)
+                .iter()
+                .map(|r| r.records.len() as u64)
+                .sum();
+            obs::drain_events();
+            records
+        });
+        obs::install(TraceConfig::Off).expect("off sink installs");
+        obs::reset();
+    }
     group
 }
 

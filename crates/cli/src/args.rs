@@ -49,20 +49,27 @@ USAGE:
   pmr loadgen [--fields F1,F2,... --devices M] [--records N] [--nodes K]
               [--queries Q] [--batch B] [--concurrency C] [--spread U]
               [--seed S] [--deadline-ms D] [--drop P] [--kill-node I]
-              [--kill-at Q] [--check] [--json]
+              [--kill-at Q] [--watch MS] [--check] [--json]
       Drive a seeded query mix through the cluster closed-loop and
       report queries/sec with p50/p99 latency in wall and simulated
-      time, degradation tallies, and an order-independent checksum.
-      --check cross-verifies the checksum against a single-process run;
-      --kill-node/--kill-at kill a node mid-run (coverage degrades,
-      nothing errors); --drop P drops responses with seeded probability.
+      time, degradation tallies, an order-independent checksum, and a
+      per-node critical-path attribution table (busy_us p50/p99 and the
+      share of batches each node dominated, from telemetry merged over
+      the wire). --check cross-verifies the checksum against a
+      single-process run; --kill-node/--kill-at kill a node mid-run
+      (coverage degrades, nothing errors); --drop P drops responses with
+      seeded probability; --watch MS streams live per-node JSON
+      snapshots to stderr every MS milliseconds — a mid-run kill is
+      visible as its recent share drains to zero.
 
   pmr experiment <table1..table9|figure1..figure4|all> [--trace T]
       Regenerate a table/figure of the paper's evaluation.
 
-  pmr stats <trace.jsonl>
+  pmr stats <trace.jsonl> [--cluster]
       Aggregate a JSON-lines trace (recorded via --trace or PMR_TRACE)
-      into per-span, per-device, and per-counter tables.
+      into per-span, per-device, and per-counter tables. --cluster
+      additionally groups the merged node{N}.* telemetry into a per-node
+      table with busy_us percentiles from the merged histograms.
 
   pmr optimize --fields F1,F2,... --devices M [--steps N] [--seed K]
       Anneal generalized-FX transformation tables beyond the paper's
@@ -107,7 +114,9 @@ OPTIONS:
   --drop      loadgen: seeded response-drop probability (default 0)
   --kill-node loadgen: node index to kill mid-run
   --kill-at   loadgen: query index at which the kill fires (default half)
+  --watch     loadgen: stream per-node telemetry JSON to stderr every MS
   --check     loadgen: verify the checksum against a single-process run
+  --cluster   stats: render the merged node{N}.* telemetry per node
   --outage    chaos: additionally kill device D at every swept rate
   --no-mirror chaos: disable mirroring/failover (shows degradation)";
 
@@ -117,7 +126,7 @@ pub struct Flags<'a> {
 }
 
 /// Flags that take no value; present means `true`.
-const BOOLEAN_FLAGS: [&str; 4] = ["json", "mirror", "no-mirror", "check"];
+const BOOLEAN_FLAGS: [&str; 5] = ["json", "mirror", "no-mirror", "check", "cluster"];
 
 impl<'a> Flags<'a> {
     /// Parses `--name value` pairs (and bare boolean flags like

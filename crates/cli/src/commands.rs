@@ -526,6 +526,13 @@ pub fn chaos(args: &[String]) -> Result<(), String> {
         );
     }
 
+    // Per-device critical-path attribution across the whole sweep:
+    // which device's simulated time set each query's response time —
+    // the disk-level analogue of loadgen's per-node table.
+    let mut device_samples: std::collections::BTreeMap<u64, Vec<f64>> = Default::default();
+    let mut device_critical: std::collections::BTreeMap<u64, u64> = Default::default();
+    let mut attributed_queries = 0u64;
+
     for &rate in &rates {
         let mut plan = FaultPlan::new(seed)
             .with_read_error(rate)
@@ -547,6 +554,21 @@ pub fn chaos(args: &[String]) -> Result<(), String> {
             qualified += rq;
             lost += report.lost_buckets.len() as u64;
             served += rq - report.lost_buckets.len() as u64;
+            let mut critical: Option<(u64, f64)> = None;
+            for d in &report.per_device {
+                device_samples.entry(d.device).or_default().push(d.simulated_us);
+                let dominates = match critical {
+                    Some((_, best)) => d.simulated_us > best,
+                    None => true,
+                };
+                if dominates {
+                    critical = Some((d.device, d.simulated_us));
+                }
+            }
+            if let Some((dev, _)) = critical {
+                *device_critical.entry(dev).or_default() += 1;
+                attributed_queries += 1;
+            }
         }
         let coverage = if qualified == 0 { 1.0 } else { served as f64 / qualified as f64 };
         let inflation = if baseline_total > 0.0 { total_us / baseline_total } else { 1.0 };
@@ -567,25 +589,142 @@ pub fn chaos(args: &[String]) -> Result<(), String> {
         }
     }
     file.install_fault_plan(None);
+
+    // Attribution table: devices ranked by how often they set a query's
+    // critical path, with simulated-time percentiles over the sweep.
+    if attributed_queries > 0 {
+        let mut ranked: Vec<(u64, u64)> =
+            device_critical.iter().map(|(&d, &c)| (d, c)).collect();
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        if json {
+            for &(dev, critical) in &ranked {
+                let samples = device_samples.get_mut(&dev).expect("critical device sampled");
+                let p50 = pmr_rt::stats::percentile(samples, 50.0);
+                let p99 = pmr_rt::stats::percentile(samples, 99.0);
+                println!(
+                    "{{\"event\":\"attribution\",\"device\":{dev},\"critical_queries\":\
+                     {critical},\"critical_share\":{:.4},\"sim_p50_us\":{p50:.3},\
+                     \"sim_p99_us\":{p99:.3}}}",
+                    critical as f64 / attributed_queries as f64
+                );
+            }
+        } else {
+            println!();
+            println!(
+                "critical-path attribution over {attributed_queries} executions \
+                 ({} device(s) ever critical):",
+                ranked.len()
+            );
+            println!(
+                "{:>8}  {:>9}  {:>7}  {:>12}  {:>12}",
+                "device", "critical", "share", "sim p50 µs", "sim p99 µs"
+            );
+            for &(dev, critical) in ranked.iter().take(8) {
+                let samples = device_samples.get_mut(&dev).expect("critical device sampled");
+                let p50 = pmr_rt::stats::percentile(samples, 50.0);
+                let p99 = pmr_rt::stats::percentile(samples, 99.0);
+                println!(
+                    "{dev:>8}  {critical:>9}  {:>6.1}%  {p50:>12.3}  {p99:>12.3}",
+                    critical as f64 / attributed_queries as f64 * 100.0
+                );
+            }
+            if ranked.len() > 8 {
+                println!("     … {} more device(s)", ranked.len() - 8);
+            }
+        }
+    }
+
     if traced {
         obs::flush();
     }
     Ok(())
 }
 
-/// `pmr stats` — aggregate a JSON-lines trace into tables.
+/// `pmr stats` — aggregate a JSON-lines trace into tables. With
+/// `--cluster`, additionally group the merged `node{N}.*` telemetry
+/// (recorded by a traced `loadgen`/`serve` run) into a per-node table.
 pub fn stats(args: &[String]) -> Result<(), String> {
     let Some(path) = args.first() else {
         return Err("stats needs a trace file (recorded with --trace or PMR_TRACE)".into());
     };
-    if args.len() > 1 {
-        return Err(format!("unexpected argument {:?}", args[1]));
-    }
+    let cluster = match &args[1..] {
+        [] => false,
+        [flag] if flag == "--cluster" => true,
+        rest => return Err(format!("unexpected argument {:?}", rest[0])),
+    };
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
     let stats = pmr_rt::obs::agg::TraceStats::from_lines(&text)
         .map_err(|e| format!("{path}: {e}"))?;
     print!("{}", stats.render());
+    if cluster {
+        print!("{}", render_cluster_table(&stats));
+    }
     Ok(())
+}
+
+/// The `--cluster` rendering: one row per node id found among the
+/// merged `node{N}.*` counter/histogram names, with busy-time
+/// percentiles read off the merged fixed-bucket histograms.
+fn render_cluster_table(stats: &pmr_rt::obs::agg::TraceStats) -> String {
+    use std::fmt::Write as _;
+    let mut nodes: std::collections::BTreeSet<u64> = Default::default();
+    for name in stats.counters.keys().chain(stats.hists.keys()) {
+        if let Some(rest) = name.strip_prefix("node") {
+            if let Some((id, _)) = rest.split_once('.') {
+                if let Ok(id) = id.parse() {
+                    nodes.insert(id);
+                }
+            }
+        }
+    }
+    let mut out = String::new();
+    if nodes.is_empty() {
+        writeln!(
+            out,
+            "\nno merged node{{N}}.* telemetry in this trace — record one with a \
+             traced cluster run (e.g. pmr loadgen --trace t.jsonl)"
+        )
+        .unwrap();
+        return out;
+    }
+    // Histogram percentiles resolve to a bucket's upper bound (the
+    // overflow bucket has none), so render them as bounds.
+    let bound = |us: f64| -> String {
+        if us.is_finite() {
+            format!("≤{us:.0}")
+        } else {
+            ">1000000".into()
+        }
+    };
+    writeln!(out, "\nCluster (merged node telemetry)").unwrap();
+    writeln!(
+        out,
+        "{:>6}  {:>9}  {:>9}  {:>9}  {:>6}  {:>10}  {:>10}",
+        "node", "requests", "queries", "records", "lost", "busy p50", "busy p99"
+    )
+    .unwrap();
+    for &n in &nodes {
+        let c = |key: &str| stats.counters.get(&format!("node{n}.{key}")).copied().unwrap_or(0);
+        let (p50, p99) = match stats.hists.get(&format!("node{n}.busy_us")) {
+            Some((bounds, counts)) => (
+                pmr_rt::stats::percentile_from_hist(bounds, counts, 50.0),
+                pmr_rt::stats::percentile_from_hist(bounds, counts, 99.0),
+            ),
+            None => (0.0, 0.0),
+        };
+        writeln!(
+            out,
+            "{n:>6}  {:>9}  {:>9}  {:>9}  {:>6}  {:>10}  {:>10}",
+            c("requests"),
+            c("queries"),
+            c("records"),
+            c("lost"),
+            bound(p50),
+            bound(p99)
+        )
+        .unwrap();
+    }
+    out
 }
 
 /// `pmr optimize` — anneal generalized-FX tables for a system.
@@ -876,10 +1015,18 @@ pub fn serve(args: &[String]) -> Result<(), String> {
 /// mix on a single-process resident executor and verifies checksum
 /// equality — the wire adds zero semantic drift. `--kill-node I
 /// --kill-at Q` crashes a node mid-run: queries keep answering with
-/// per-query degraded coverage.
+/// per-query degraded coverage. `--watch MS` streams per-node telemetry
+/// snapshots to stderr while the run is in flight.
 pub fn loadgen(args: &[String]) -> Result<(), String> {
     let flags = Flags::parse(args)?;
     let traced = install_trace(&flags)?;
+    // The per-node merged counters (node{N}.requests …) only exist while
+    // tracing: fall back to the in-memory sink, scoped to this run, so
+    // the attribution table is always fully populated.
+    if !obs::enabled() {
+        obs::install(TraceConfig::Memory).map_err(|e| e.to_string())?;
+        obs::reset();
+    }
     let json = flags.has("json");
     let total = flags.u64_or("queries", 20_000)? as usize;
     let batch = flags.u64_or("batch", 512)? as usize;
@@ -896,6 +1043,16 @@ pub fn loadgen(args: &[String]) -> Result<(), String> {
             Some(pmr_net::KillSpec { node, at_query })
         }
     };
+    let watch = match flags.get("watch") {
+        None => None,
+        Some(v) => {
+            let ms: u64 = v.parse().map_err(|e| format!("bad --watch: {e}"))?;
+            if ms == 0 {
+                return Err("--watch needs an interval of at least 1 ms".into());
+            }
+            Some(std::time::Duration::from_millis(ms))
+        }
+    };
 
     let (file, cluster, seed) = build_cluster(&flags)?;
     if let Some(k) = kill {
@@ -910,7 +1067,7 @@ pub fn loadgen(args: &[String]) -> Result<(), String> {
     let sys = file.system().clone();
     let queries = pmr_net::loadgen::query_mix(&sys, total, seed, spread);
     let policy = ExecPolicy::default();
-    let opts = pmr_net::LoadgenOpts { concurrency, batch, kill };
+    let opts = pmr_net::LoadgenOpts { concurrency, batch, kill, watch };
     let summary = pmr_net::loadgen::run(&cluster, &queries, &policy, &opts);
 
     if flags.has("check") {
@@ -975,6 +1132,25 @@ pub fn loadgen(args: &[String]) -> Result<(), String> {
                 s.timeouts,
                 if s.down { "  DOWN" } else { "" }
             );
+        }
+        if !summary.attribution.is_empty() {
+            println!("  critical-path attribution (busy_us over the wire):");
+            println!(
+                "  {:>6}  {:>9}  {:>9}  {:>9}  {:>8}  {:>8}  {:>10}",
+                "node", "responses", "p50 µs", "p99 µs", "share", "recent", "merged req"
+            );
+            for a in &summary.attribution {
+                println!(
+                    "  {:>6}  {:>9}  {:>9.1}  {:>9.1}  {:>7.1}%  {:>7.1}%  {:>10}",
+                    a.node,
+                    a.responses,
+                    a.busy_p50_us,
+                    a.busy_p99_us,
+                    a.critical_share * 100.0,
+                    a.recent_critical_share * 100.0,
+                    a.merged_requests
+                );
+            }
         }
     }
     drop(cluster);

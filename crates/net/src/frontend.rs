@@ -30,13 +30,32 @@
 //! requests in flight concurrently (the closed-loop `loadgen` drives
 //! this). A response that arrives after its deadline is counted
 //! (`net.late_responses`) and discarded.
+//!
+//! ## Cluster telemetry and critical-path attribution
+//!
+//! When tracing is on, scatters carry a [`wire::TraceContext`] (request
+//! id + scatter span id) so node spans link back to this frontend, and
+//! gathered responses carry [`wire::Telemetry`] blocks the frontend
+//! [absorbs](pmr_rt::obs::snapshot::absorb) into its own registry under
+//! `node{N}.`-prefixed names — one registry then holds the whole
+//! cluster's counters and same-bounds histograms. Independently of
+//! tracing, every gather attributes the batch's **critical path**: the
+//! answering node with the largest `busy_us` dominated the batch's wall
+//! time. [`Frontend::attribution`] turns that into a per-node
+//! p50/p99/share table, with a recent-window share (last
+//! [`RECENT_WINDOW`] batches) that drops to zero when a node dies —
+//! that is what `loadgen --watch` renders live via
+//! [`Frontend::watch_json`].
 
 use crate::transport::{Duplex, FrameRx, FrameTx};
-use crate::wire::{self, GatherResponse, Message, ScatterRequest, WirePolicy, WireQuery};
+use crate::wire::{
+    self, GatherResponse, Message, ScatterRequest, TraceContext, WirePolicy, WireQuery,
+};
 use pmr_core::inverse::{for_each_device_code, FxInverse};
 use pmr_core::method::DistributionMethod;
 use pmr_core::{PartialMatchQuery, SystemConfig};
 use pmr_rt::obs;
+use pmr_rt::obs::snapshot::{absorb, MetricsSnapshot, HIST_BUCKETS};
 use pmr_storage::exec::{
     merge_device_yields, plan_query, DeviceOutcome, DeviceReport, DeviceYield, ExecPolicy,
     ExecutionReport, PlannedQuery,
@@ -82,6 +101,49 @@ pub struct NodeStats {
     pub down: bool,
 }
 
+/// Batches covered by the sliding recent-critical window in
+/// [`Frontend::attribution`]: long enough to smooth jitter, short enough
+/// that a killed node's recent share hits zero within a few seconds of
+/// load.
+pub const RECENT_WINDOW: usize = 64;
+
+/// One node's slice of the critical-path attribution table — see
+/// [`Frontend::attribution`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeAttribution {
+    /// Node index.
+    pub node: u32,
+    /// Responses gathered in time (the attribution sample count).
+    pub responses: u64,
+    /// Median observed `busy_us` across gathered responses.
+    pub busy_p50_us: f64,
+    /// 99th-percentile observed `busy_us`.
+    pub busy_p99_us: f64,
+    /// Sum of observed `busy_us` (reconciles against merged counters).
+    pub busy_total_us: u64,
+    /// Batches where this node's `busy_us` was the maximum — it set the
+    /// batch's critical path.
+    pub critical_batches: u64,
+    /// `critical_batches / total attributed batches` (0 when none).
+    pub critical_share: f64,
+    /// Critical share within the last [`RECENT_WINDOW`] attributed
+    /// batches — a killed node's recent share reaches exactly 0.
+    pub recent_critical_share: f64,
+    /// Frontend-observed `busy_us` bucketed into the
+    /// [`obs::DEFAULT_US_BOUNDS`] histogram shape. Summed across nodes
+    /// this equals the frontend's `net.node_rt_us` histogram (when
+    /// tracing), and per node it equals the merged `node{N}.busy_us` —
+    /// both sides bucket the same wire value with the same bounds.
+    pub busy_hist: Vec<u64>,
+    /// Merged `node{N}.requests` counter (0 unless tracing shipped
+    /// telemetry).
+    pub merged_requests: u64,
+    /// Merged `node{N}.queries` counter.
+    pub merged_queries: u64,
+    /// Merged `node{N}.records` counter.
+    pub merged_records: u64,
+}
+
 /// Shared mutable node state (collector threads and callers both touch
 /// it).
 struct NodeState {
@@ -90,6 +152,13 @@ struct NodeState {
     requests: AtomicU64,
     responses: AtomicU64,
     timeouts: AtomicU64,
+    /// Every gathered `busy_us`, for attribution percentiles. Bounded by
+    /// the number of batches a frontend serves in its lifetime.
+    busy_samples: Mutex<Vec<f64>>,
+    /// Sum of gathered `busy_us`.
+    busy_total_us: AtomicU64,
+    /// Batches this node's `busy_us` dominated.
+    critical: AtomicU64,
 }
 
 struct NodeLink {
@@ -118,6 +187,35 @@ pub struct Frontend<D> {
     next_id: AtomicU64,
     cfg: FrontendConfig,
     collectors: Vec<std::thread::JoinHandle<()>>,
+    /// Batches that had at least one response to attribute.
+    batches_attributed: AtomicU64,
+    /// Ring of the last [`RECENT_WINDOW`] critical node ids.
+    recent_critical: Mutex<RecentRing>,
+}
+
+/// Fixed-capacity ring of the most recent critical node ids.
+#[derive(Default)]
+struct RecentRing {
+    buf: Vec<u32>,
+    pos: usize,
+}
+
+impl RecentRing {
+    fn push(&mut self, node: u32) {
+        if self.buf.len() < RECENT_WINDOW {
+            self.buf.push(node);
+        } else {
+            self.buf[self.pos] = node;
+        }
+        self.pos = (self.pos + 1) % RECENT_WINDOW;
+    }
+
+    fn share_of(&self, node: u32) -> f64 {
+        if self.buf.is_empty() {
+            return 0.0;
+        }
+        self.buf.iter().filter(|&&n| n == node).count() as f64 / self.buf.len() as f64
+    }
 }
 
 impl<D> Frontend<D> {
@@ -145,6 +243,84 @@ impl<D> Frontend<D> {
                 down: link.state.down.load(Ordering::Relaxed),
             })
             .collect()
+    }
+
+    /// The per-node critical-path attribution table, in node order: who
+    /// dominated each gathered batch's wall time, with what busy-time
+    /// distribution. Always available (the samples are v1 wire data);
+    /// the `merged_*` counter totals additionally require tracing, which
+    /// is when nodes ship telemetry.
+    pub fn attribution(&self) -> Vec<NodeAttribution> {
+        let total = self.batches_attributed.load(Ordering::Relaxed);
+        let recent = self.recent_critical.lock().unwrap();
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, link)| {
+                let mut samples = link.state.busy_samples.lock().unwrap().clone();
+                let busy_p50_us = pmr_rt::stats::percentile(&mut samples, 50.0);
+                let busy_p99_us = pmr_rt::stats::percentile(&mut samples, 99.0);
+                let mut hist = MetricsSnapshot::default();
+                for &us in &samples {
+                    hist.observe_us("busy_us", us);
+                }
+                let busy_hist = hist
+                    .hist("busy_us")
+                    .map(<[u64]>::to_vec)
+                    .unwrap_or_else(|| vec![0; HIST_BUCKETS]);
+                let critical_batches = link.state.critical.load(Ordering::Relaxed);
+                NodeAttribution {
+                    node: i as u32,
+                    responses: link.state.responses.load(Ordering::Relaxed),
+                    busy_p50_us,
+                    busy_p99_us,
+                    busy_total_us: link.state.busy_total_us.load(Ordering::Relaxed),
+                    critical_batches,
+                    critical_share: if total > 0 {
+                        critical_batches as f64 / total as f64
+                    } else {
+                        0.0
+                    },
+                    recent_critical_share: recent.share_of(i as u32),
+                    busy_hist,
+                    merged_requests: obs::counter_total(&format!("node{i}.requests")),
+                    merged_queries: obs::counter_total(&format!("node{i}.queries")),
+                    merged_records: obs::counter_total(&format!("node{i}.records")),
+                }
+            })
+            .collect()
+    }
+
+    /// One live-status JSON line for the watch emitter: total attributed
+    /// batches plus, per node, request/response/timeout counts, the
+    /// down flag, the recent critical share, and busy percentiles. A
+    /// killed node is visible here as `down:true` / `recent_share:0`
+    /// while the run is still going.
+    pub fn watch_json(&self) -> String {
+        let batches = self.batches_attributed.load(Ordering::Relaxed);
+        let stats = self.node_stats();
+        let nodes = self
+            .attribution()
+            .iter()
+            .zip(&stats)
+            .map(|(a, s)| {
+                format!(
+                    "{{\"node\":{},\"requests\":{},\"responses\":{},\"timeouts\":{},\
+                     \"down\":{},\"recent_share\":{:.3},\"busy_p50_us\":{:.1},\
+                     \"busy_p99_us\":{:.1}}}",
+                    a.node,
+                    s.requests,
+                    s.responses,
+                    s.timeouts,
+                    s.down,
+                    a.recent_critical_share,
+                    a.busy_p50_us,
+                    a.busy_p99_us,
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        format!("{{\"event\":\"watch\",\"batches\":{batches},\"nodes\":[{nodes}]}}")
     }
 
     /// Asks every node to exit its serve loop. Idempotent; called by
@@ -185,11 +361,24 @@ impl<D: DistributionMethod + Clone + Send + Sync + 'static> Frontend<D> {
                 requests: AtomicU64::new(0),
                 responses: AtomicU64::new(0),
                 timeouts: AtomicU64::new(0),
+                busy_samples: Mutex::new(Vec::new()),
+                busy_total_us: AtomicU64::new(0),
+                critical: AtomicU64::new(0),
             });
             collectors.push(spawn_collector(i as u32, rx, Arc::clone(&pending)));
             nodes.push(NodeLink { tx: Mutex::new(tx), range, state });
         }
-        Frontend { sys, method, nodes, pending, next_id: AtomicU64::new(1), cfg, collectors }
+        Frontend {
+            sys,
+            method,
+            nodes,
+            pending,
+            next_id: AtomicU64::new(1),
+            cfg,
+            collectors,
+            batches_attributed: AtomicU64::new(0),
+            recent_critical: Mutex::new(RecentRing::default()),
+        }
     }
 
     /// Plans, scatters, gathers, and merges one batch. The distributed
@@ -228,15 +417,21 @@ impl<D: DistributionMethod + Clone + Send + Sync + 'static> Frontend<D> {
         // Scatter: encode once, broadcast to every live node.
         let mut scattered = vec![false; n];
         {
-            let _span = pmr_rt::span!(
+            let span = pmr_rt::span!(
                 "net.scatter",
                 queries = planned.len() as u64,
                 nodes = n as u64
             );
+            // v1.1: when tracing, ship this scatter's identity so node
+            // spans can link back to it across the process boundary.
+            let trace = span
+                .id()
+                .map(|parent_span| TraceContext { trace_id: id, parent_span });
             let request = Message::Request(ScatterRequest {
                 request_id: id,
                 policy: WirePolicy::from_policy(policy),
                 queries: planned.iter().map(WireQuery::from_planned).collect(),
+                trace,
             });
             let frame = wire::encode_message(&request);
             for (i, link) in self.nodes.iter().enumerate() {
@@ -253,12 +448,14 @@ impl<D: DistributionMethod + Clone + Send + Sync + 'static> Frontend<D> {
         }
 
         // Gather: wait for every scattered node, bounded by the deadline.
+        // The span stays open through the accounting loop below so the
+        // per-response `net.gather.link` spans parent beneath it.
         let deadline = Instant::now() + self.cfg.deadline;
+        let gather_span = pmr_rt::span!(
+            "net.gather",
+            nodes = scattered.iter().filter(|&&s| s).count() as u64
+        );
         let responses: Vec<Option<GatherResponse>> = {
-            let _span = pmr_rt::span!(
-                "net.gather",
-                nodes = scattered.iter().filter(|&&s| s).count() as u64
-            );
             let mut slots = self.pending.slots.lock().unwrap();
             loop {
                 let filled = slots.get(&id).expect("pending entry lives until removal");
@@ -280,7 +477,9 @@ impl<D: DistributionMethod + Clone + Send + Sync + 'static> Frontend<D> {
             slots.remove(&id).expect("pending entry lives until removal")
         };
 
-        // Account per-node outcomes and drive the circuit breaker.
+        // Account per-node outcomes, absorb shipped telemetry, attribute
+        // the batch's critical path, and drive the circuit breaker.
+        let mut critical: Option<(u32, u64)> = None;
         for (i, link) in self.nodes.iter().enumerate() {
             if !scattered[i] {
                 continue;
@@ -291,6 +490,27 @@ impl<D: DistributionMethod + Clone + Send + Sync + 'static> Frontend<D> {
                     link.state.responses.fetch_add(1, Ordering::Relaxed);
                     obs::counter_add("net.responses", 1);
                     obs::observe_us("net.node_rt_us", resp.busy_us as f64);
+                    link.state.busy_samples.lock().unwrap().push(resp.busy_us as f64);
+                    link.state.busy_total_us.fetch_add(resp.busy_us, Ordering::Relaxed);
+                    let dominates = match critical {
+                        Some((_, best)) => resp.busy_us > best,
+                        None => true,
+                    };
+                    if dominates {
+                        critical = Some((i as u32, resp.busy_us));
+                    }
+                    if let Some(t) = &resp.telemetry {
+                        // A zero-body marker span tying this gather to
+                        // the node's request span on the other side of
+                        // the wire.
+                        let _link = pmr_rt::span!(
+                            "net.gather.link",
+                            node = i as u64,
+                            remote_span = t.span_id,
+                            busy_us = resp.busy_us
+                        );
+                        absorb(&format!("node{i}."), &t.metrics);
+                    }
                 }
                 None => {
                     link.state.timeouts.fetch_add(1, Ordering::Relaxed);
@@ -303,6 +523,12 @@ impl<D: DistributionMethod + Clone + Send + Sync + 'static> Frontend<D> {
                 }
             }
         }
+        if let Some((node, _)) = critical {
+            self.nodes[node as usize].state.critical.fetch_add(1, Ordering::Relaxed);
+            self.batches_attributed.fetch_add(1, Ordering::Relaxed);
+            self.recent_critical.lock().unwrap().push(node);
+        }
+        drop(gather_span);
 
         // Merge: answered nodes contribute their yields; missing nodes
         // degrade to synthesized Lost yields for their whole range.

@@ -32,6 +32,14 @@
 //! order-independent report checksum for cross-checking a cluster
 //! against a single-process run. The `pmr` CLI exposes all of it as
 //! `serve` and `loadgen`.
+//!
+//! Protocol revision v1.1 adds cluster-wide telemetry: scatters carry an
+//! optional [`wire::TraceContext`], responses an optional
+//! [`wire::Telemetry`] block of mergeable counter/histogram deltas the
+//! frontend folds into its registry under `node{N}.` names, and every
+//! gather feeds a per-node critical-path [attribution
+//! table](frontend::Frontend::attribution) (`loadgen --watch` streams it
+//! live). See the [`wire`] module docs for the compatibility story.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -48,6 +56,6 @@ pub mod wire;
 
 pub use chaos::NetFaultPlan;
 pub use cluster::{Cluster, ClusterConfig};
-pub use frontend::{Frontend, FrontendConfig, NodeStats};
+pub use frontend::{Frontend, FrontendConfig, NodeAttribution, NodeStats, RECENT_WINDOW};
 pub use loadgen::{KillSpec, LoadgenOpts, LoadgenSummary};
-pub use wire::WireError;
+pub use wire::{Telemetry, TraceContext, WireError};

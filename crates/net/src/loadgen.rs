@@ -19,15 +19,17 @@
 //! a query *index*, not a wall time.
 
 use crate::cluster::Cluster;
-use crate::frontend::NodeStats;
+use crate::frontend::{NodeAttribution, NodeStats};
 use pmr_core::method::DistributionMethod;
 use pmr_core::{PartialMatchQuery, SystemConfig};
+use pmr_rt::obs;
+use pmr_rt::obs::emit::Emitter;
 use pmr_rt::rng::{splitmix64, Rng};
 use pmr_storage::encode::encode_one;
 use pmr_storage::exec::{ExecPolicy, ExecutionReport};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Kill one node when the workload reaches a query index.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -47,12 +49,16 @@ pub struct LoadgenOpts {
     pub batch: usize,
     /// Optional mid-run node kill.
     pub kill: Option<KillSpec>,
+    /// Emit a live [`Frontend::watch_json`](crate::Frontend::watch_json)
+    /// line to stderr at this interval while the run is going (plus one
+    /// final line), so a mid-run kill is visible as it happens.
+    pub watch: Option<Duration>,
 }
 
 impl Default for LoadgenOpts {
-    /// Two callers, 512-query batches, no kill.
+    /// Two callers, 512-query batches, no kill, no watch.
     fn default() -> Self {
-        LoadgenOpts { concurrency: 2, batch: 512, kill: None }
+        LoadgenOpts { concurrency: 2, batch: 512, kill: None, watch: None }
     }
 }
 
@@ -88,6 +94,13 @@ pub struct LoadgenSummary {
     pub timeouts: u64,
     /// Per-node counters at the end of the run.
     pub node_stats: Vec<NodeStats>,
+    /// Per-node critical-path attribution at the end of the run.
+    pub attribution: Vec<NodeAttribution>,
+    /// The frontend's `net.node_rt_us` histogram buckets (all zeros when
+    /// tracing is off). Reconciliation invariant: summed per bucket over
+    /// `attribution[*].busy_hist` equals this — both sides bucket the
+    /// same wire `busy_us` with the same bounds.
+    pub node_rt_us_hist: Vec<u64>,
 }
 
 impl LoadgenSummary {
@@ -106,12 +119,41 @@ impl LoadgenSummary {
             })
             .collect::<Vec<_>>()
             .join(",");
+        let join_u64 =
+            |xs: &[u64]| xs.iter().map(u64::to_string).collect::<Vec<_>>().join(",");
+        let attribution = self
+            .attribution
+            .iter()
+            .map(|a| {
+                format!(
+                    "{{\"node\":{},\"responses\":{},\"busy_p50_us\":{:.1},\
+                     \"busy_p99_us\":{:.1},\"busy_total_us\":{},\"critical_batches\":{},\
+                     \"critical_share\":{:.4},\"recent_critical_share\":{:.4},\
+                     \"busy_hist\":[{}],\"merged_requests\":{},\"merged_queries\":{},\
+                     \"merged_records\":{}}}",
+                    a.node,
+                    a.responses,
+                    a.busy_p50_us,
+                    a.busy_p99_us,
+                    a.busy_total_us,
+                    a.critical_batches,
+                    a.critical_share,
+                    a.recent_critical_share,
+                    join_u64(&a.busy_hist),
+                    a.merged_requests,
+                    a.merged_queries,
+                    a.merged_records,
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
         format!(
             "{{\"queries\":{},\"batches\":{},\"wall_s\":{:.4},\"qps\":{:.1},\
              \"batch_p50_us\":{:.1},\"batch_p99_us\":{:.1},\"sim_p50_us\":{:.3},\
              \"sim_p99_us\":{:.3},\"mean_coverage\":{:.6},\"degraded\":{},\
              \"lost_buckets\":{},\"checksum\":\"{:016x}\",\"timeouts\":{},\
-             \"nodes\":[{nodes}]}}",
+             \"nodes\":[{nodes}],\"attribution\":[{attribution}],\
+             \"node_rt_us_hist\":[{}]}}",
             self.queries,
             self.batches,
             self.wall_s,
@@ -125,6 +167,7 @@ impl LoadgenSummary {
             self.lost_buckets,
             self.checksum,
             self.timeouts,
+            join_u64(&self.node_rt_us_hist),
         )
     }
 }
@@ -212,16 +255,11 @@ pub fn report_checksum(report: &ExecutionReport) -> u64 {
     h
 }
 
-/// Value at percentile `p` (0–100) of an unsorted sample, by
-/// nearest-rank on the sorted order. `0.0` for an empty sample.
-pub fn percentile(samples: &mut [f64], p: f64) -> f64 {
-    if samples.is_empty() {
-        return 0.0;
-    }
-    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
-    let rank = ((p / 100.0) * (samples.len() - 1) as f64).round() as usize;
-    samples[rank.min(samples.len() - 1)]
-}
+/// The workspace's shared percentile ([`pmr_rt::stats::percentile`]):
+/// sorts in place, interpolates between order statistics, `0.0` for an
+/// empty sample — the same math as the bench harness and the attribution
+/// tables.
+pub use pmr_rt::stats::percentile;
 
 /// Drives `queries` through `cluster`'s frontend, closed-loop — see the
 /// module docs. Batches are claimed from a shared cursor, so workers
@@ -249,6 +287,13 @@ pub fn run<D: DistributionMethod + Clone + Send + Sync + 'static>(
         lost: u64,
         checksum: u64,
     }
+
+    // Live watch: a background emitter streaming the frontend's per-node
+    // status to stderr while the workers run.
+    let watcher = opts.watch.map(|interval| {
+        let frontend = Arc::clone(&frontend);
+        Emitter::stderr(interval, move || Some(frontend.watch_json()))
+    });
 
     let started = Instant::now();
     let tallies: Vec<WorkerTally> = std::thread::scope(|scope| {
@@ -299,6 +344,11 @@ pub fn run<D: DistributionMethod + Clone + Send + Sync + 'static>(
         workers.into_iter().map(|w| w.join().expect("loadgen worker")).collect()
     });
     let wall_s = started.elapsed().as_secs_f64();
+    // Stop the watcher before printing the summary: its final line lands
+    // on stderr first, so watch output never interleaves with the report.
+    if let Some(watcher) = watcher {
+        watcher.stop();
+    }
 
     let mut batch_us = Vec::new();
     let mut sim_us = Vec::new();
@@ -315,6 +365,10 @@ pub fn run<D: DistributionMethod + Clone + Send + Sync + 'static>(
         checksum = checksum.wrapping_add(t.checksum);
     }
     let node_stats = frontend.node_stats();
+    let attribution = frontend.attribution();
+    let node_rt_us_hist = obs::histogram_counts("net.node_rt_us")
+        .map(|(_, counts)| counts)
+        .unwrap_or_else(|| vec![0; pmr_rt::obs::snapshot::HIST_BUCKETS]);
     LoadgenSummary {
         queries: queries.len(),
         batches: batches_total,
@@ -334,5 +388,7 @@ pub fn run<D: DistributionMethod + Clone + Send + Sync + 'static>(
         checksum,
         timeouts: node_stats.iter().map(|s| s.timeouts).sum(),
         node_stats,
+        attribution,
+        node_rt_us_hist,
     }
 }

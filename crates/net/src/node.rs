@@ -16,10 +16,11 @@
 
 use crate::chaos::NetFaultPlan;
 use crate::transport::Duplex;
-use crate::wire::{self, GatherResponse, Message};
+use crate::wire::{self, GatherResponse, Message, Telemetry, TraceContext};
 use pmr_core::method::DistributionMethod;
 use pmr_core::SystemConfig;
 use pmr_rt::obs;
+use pmr_rt::obs::snapshot::MetricsSnapshot;
 use pmr_storage::exec::Executor;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -57,10 +58,16 @@ pub fn serve<D: DistributionMethod + Clone + Send + Sync + 'static>(
             continue;
         }
         let started = Instant::now();
-        let _span = pmr_rt::span!(
+        // The propagated trace context rides on the span as attributes
+        // (0 = none), linking this node span to the frontend's scatter
+        // span across the process boundary.
+        let trace = req.trace.unwrap_or(TraceContext { trace_id: 0, parent_span: 0 });
+        let span = pmr_rt::span!(
             "net.node.request",
             node = id as u64,
-            queries = req.queries.len() as u64
+            queries = req.queries.len() as u64,
+            trace = trace.trace_id,
+            parent_span = trace.parent_span
         );
         let planned: Result<Vec<_>, _> =
             req.queries.iter().map(|q| q.to_planned(&sys)).collect();
@@ -75,11 +82,33 @@ pub fn serve<D: DistributionMethod + Clone + Send + Sync + 'static>(
         let queries = exec.execute_planned(&planned, &policy);
         let busy_us = started.elapsed().as_micros() as u64;
         obs::observe_us("net.node.busy_us", busy_us as f64);
+        // v1.1 telemetry: accumulated **node-locally** per request, not
+        // via registry deltas — in-process clusters share one global
+        // registry, so deltas would cross-contaminate between concurrent
+        // nodes. With tracing off this whole block is skipped and the
+        // frame stays byte-identical to v1.
+        let telemetry = obs::enabled().then(|| {
+            let mut m = MetricsSnapshot::default();
+            m.add_counter("requests", 1);
+            m.add_counter("queries", queries.len() as u64);
+            let records: u64 =
+                queries.iter().flatten().map(|y| y.report.records).sum();
+            let lost: u64 =
+                queries.iter().flatten().map(|y| y.lost.len() as u64).sum();
+            m.add_counter("records", records);
+            m.add_counter("lost", lost);
+            // Same value, same bounds as the frontend's `net.node_rt_us`
+            // observation of this response — that is what makes the
+            // merged `node{N}.busy_us` histograms reconcile with it.
+            m.observe_us("busy_us", busy_us as f64);
+            Telemetry { span_id: span.id().unwrap_or(0), metrics: m }
+        });
         let resp = Message::Response(GatherResponse {
             request_id: req.request_id,
             node: id,
             busy_us,
             queries,
+            telemetry,
         });
         if tx.send_frame(&wire::encode_message(&resp)).is_err() {
             break;

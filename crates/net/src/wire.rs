@@ -14,8 +14,22 @@
 //! are an error. The truncation suite in `crates/net/tests/wire.rs`
 //! decodes every prefix of valid messages to pin this down (the same
 //! hardening style as `pmr-storage::persist`).
+//!
+//! ## Protocol revision v1.1 — optional trailing telemetry sections
+//!
+//! The v1.1 revision ([`VERSION_MINOR`]) adds cluster telemetry as
+//! **optional trailing sections** after the v1 body: a request may end
+//! with a [`TraceContext`] (trace id + parent span id, so node spans
+//! link back to the frontend's scatter span) and a response with a
+//! [`Telemetry`] block (the node's span id plus a mergeable
+//! [`MetricsSnapshot`] of counter deltas and same-bounds histogram
+//! buckets). The version byte stays [`VERSION`]: a frame without the
+//! trailing section **is** a valid v1 frame and decodes to `None` for
+//! the new fields, so v1 peers' frames keep decoding unchanged — and a
+//! v1.1 sender with tracing off emits byte-identical v1 frames.
 
 use pmr_core::{PartialMatchQuery, SystemConfig};
+use pmr_rt::obs::snapshot::MetricsSnapshot;
 use pmr_rt::buf::{BufMut, Bytes, BytesMut};
 use pmr_storage::encode::{decode_all, encode_record, DecodeError};
 use pmr_storage::exec::{DeviceOutcome, DeviceReport, DeviceYield, ExecPolicy, PlannedQuery};
@@ -27,6 +41,11 @@ use std::io::{self, Read, Write};
 pub const MAGIC: u32 = 0x4e52_4d50;
 /// Protocol version; bumped on any layout change.
 pub const VERSION: u8 = 1;
+/// Protocol revision within [`VERSION`]: 1 = the optional trailing
+/// trace-context / telemetry sections (see the module docs). Revisions
+/// never change the version byte — they only append sections a v1
+/// decoder would not have emitted, so the revision needs no negotiation.
+pub const VERSION_MINOR: u8 = 1;
 /// Hard cap on one frame's payload, checked before the receive buffer is
 /// allocated — a corrupt or hostile length prefix cannot OOM the peer.
 pub const MAX_FRAME_BYTES: u32 = 1 << 28;
@@ -42,10 +61,23 @@ pub const MAX_RECORDS: u32 = 1 << 24;
 pub const MAX_RECORD_BYTES: u32 = 1 << 28;
 /// Cap on lost bucket codes per device yield.
 pub const MAX_LOST: u32 = 1 << 24;
+/// Cap on counters in one telemetry section.
+pub const MAX_TELEMETRY_COUNTERS: u32 = 256;
+/// Cap on histograms in one telemetry section.
+pub const MAX_TELEMETRY_HISTS: u32 = 64;
+/// Cap on one telemetry metric name, in bytes.
+pub const MAX_TELEMETRY_NAME: u8 = 128;
+/// Cap on buckets per telemetry histogram (registry shape is 7).
+pub const MAX_TELEMETRY_BUCKETS: u8 = 64;
 
 const KIND_REQUEST: u8 = 1;
 const KIND_RESPONSE: u8 = 2;
 const KIND_SHUTDOWN: u8 = 3;
+
+/// Trailing-section tag on requests: a [`TraceContext`] follows.
+const TAG_TRACE: u8 = 1;
+/// Trailing-section tag on responses: a [`Telemetry`] block follows.
+const TAG_TELEMETRY: u8 = 2;
 
 /// Typed decode failure: which boundary broke and how.
 #[derive(Debug, Clone, PartialEq)]
@@ -86,6 +118,10 @@ pub enum WireError {
     },
     /// A shipped query failed validation against the receiver's system.
     Query(String),
+    /// Unknown trailing-section tag byte.
+    BadTag(u8),
+    /// A telemetry metric name was not valid UTF-8.
+    BadName,
     /// Bytes left over after a complete message.
     TrailingBytes(usize),
     /// The underlying transport failed mid-frame.
@@ -109,6 +145,8 @@ impl fmt::Display for WireError {
                 write!(f, "record region declared {want} records, decoded {got}")
             }
             WireError::Query(e) => write!(f, "invalid query: {e}"),
+            WireError::BadTag(t) => write!(f, "unknown trailing-section tag {t}"),
+            WireError::BadName => write!(f, "telemetry name is not valid UTF-8"),
             WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message"),
             WireError::Io(e) => write!(f, "transport: {e}"),
         }
@@ -156,6 +194,32 @@ impl WireQuery {
     }
 }
 
+/// Trace context propagated frontend → node (v1.1 trailing section):
+/// the node opens its `net.node.request` span carrying these ids, so a
+/// cross-process trace links node spans back to the scatter that caused
+/// them. Absent when the frontend is not tracing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// The frontend's trace-scoped id for this scatter (the request id).
+    pub trace_id: u64,
+    /// The frontend's `net.scatter` span id — the node span's logical
+    /// parent across the process boundary.
+    pub parent_span: u64,
+}
+
+/// Node telemetry shipped node → frontend (v1.1 trailing section): the
+/// node's request span id (so the frontend's gather can link to it) and
+/// a per-request delta [`MetricsSnapshot`] — counter deltas plus
+/// same-bounds histogram buckets, mergeable by addition. Absent when the
+/// node is not tracing.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Telemetry {
+    /// The node's `net.node.request` span id (0 when not recording).
+    pub span_id: u64,
+    /// Counter deltas and histogram bucket counts for this request.
+    pub metrics: MetricsSnapshot,
+}
+
 /// A scatter request: one batch of planned queries under one execution
 /// policy. The frontend broadcasts the identical encoded frame to every
 /// node — each node executes its own device subrange.
@@ -167,6 +231,8 @@ pub struct ScatterRequest {
     pub policy: WirePolicy,
     /// The planned batch, in query order.
     pub queries: Vec<WireQuery>,
+    /// v1.1: trace context for cross-process span linkage, if tracing.
+    pub trace: Option<TraceContext>,
 }
 
 /// [`ExecPolicy`] flattened onto the wire.
@@ -227,6 +293,8 @@ pub struct GatherResponse {
     pub busy_us: u64,
     /// Per-query yields, in the request's query order.
     pub queries: Vec<Vec<DeviceYield>>,
+    /// v1.1: the node's span id + metric deltas, if the node is tracing.
+    pub telemetry: Option<Telemetry>,
 }
 
 /// Every message that crosses the wire.
@@ -280,6 +348,11 @@ pub fn encode_message(msg: &Message) -> Vec<u8> {
                 buf.put_u64_le(q.free_combos);
                 buf.put_u64_le(q.total_qualified);
             }
+            if let Some(trace) = &req.trace {
+                buf.put_u8(TAG_TRACE);
+                buf.put_u64_le(trace.trace_id);
+                buf.put_u64_le(trace.parent_span);
+            }
         }
         Message::Response(resp) => {
             put_header(&mut buf, KIND_RESPONSE);
@@ -297,10 +370,44 @@ pub fn encode_message(msg: &Message) -> Vec<u8> {
                     encode_yield(&mut buf, y, &mut region);
                 }
             }
+            if let Some(telemetry) = &resp.telemetry {
+                encode_telemetry(&mut buf, telemetry);
+            }
         }
         Message::Shutdown => put_header(&mut buf, KIND_SHUTDOWN),
     }
     buf.to_vec()
+}
+
+fn put_name(buf: &mut BytesMut, name: &str) {
+    // Metric names are short dotted identifiers; clamp defensively so an
+    // oversized name truncates at the sender instead of poisoning the
+    // frame for the receiver.
+    let bytes = &name.as_bytes()[..name.len().min(MAX_TELEMETRY_NAME as usize)];
+    buf.put_u8(bytes.len() as u8);
+    buf.put_slice(bytes);
+}
+
+fn encode_telemetry(buf: &mut BytesMut, t: &Telemetry) {
+    buf.put_u8(TAG_TELEMETRY);
+    buf.put_u64_le(t.span_id);
+    let counters =
+        &t.metrics.counters[..t.metrics.counters.len().min(MAX_TELEMETRY_COUNTERS as usize)];
+    buf.put_u32_le(counters.len() as u32);
+    for (name, delta) in counters {
+        put_name(buf, name);
+        buf.put_u64_le(*delta);
+    }
+    let hists = &t.metrics.hists[..t.metrics.hists.len().min(MAX_TELEMETRY_HISTS as usize)];
+    buf.put_u32_le(hists.len() as u32);
+    for (name, counts) in hists {
+        put_name(buf, name);
+        let counts = &counts[..counts.len().min(MAX_TELEMETRY_BUCKETS as usize)];
+        buf.put_u8(counts.len() as u8);
+        for &c in counts {
+            buf.put_u64_le(c);
+        }
+    }
 }
 
 /// Yield shape marker: the overwhelmingly common "device had nothing"
@@ -475,7 +582,69 @@ fn decode_request(r: &mut Reader<'_>) -> Result<ScatterRequest, WireError> {
         let total_qualified = r.u64("query.total_qualified")?;
         queries.push(WireQuery { values, fast_path, free_combos, total_qualified });
     }
-    Ok(ScatterRequest { request_id, policy, queries })
+    // v1.1 trailing section: absent on a v1 frame (or an untraced
+    // sender), so exhausting the payload here is a complete message.
+    let trace = if r.remaining() == 0 {
+        None
+    } else {
+        match r.u8("section.tag")? {
+            TAG_TRACE => Some(TraceContext {
+                trace_id: r.u64("trace.trace_id")?,
+                parent_span: r.u64("trace.parent_span")?,
+            }),
+            other => return Err(WireError::BadTag(other)),
+        }
+    };
+    Ok(ScatterRequest { request_id, policy, queries, trace })
+}
+
+fn decode_name(r: &mut Reader<'_>) -> Result<String, WireError> {
+    let len = r.u8("telemetry.name_len")?;
+    if len > MAX_TELEMETRY_NAME {
+        return Err(WireError::CapExceeded {
+            field: "telemetry.name_len",
+            got: len as u64,
+            cap: MAX_TELEMETRY_NAME as u64,
+        });
+    }
+    let bytes = r.take(len as usize, "telemetry.name")?;
+    std::str::from_utf8(bytes).map(str::to_string).map_err(|_| WireError::BadName)
+}
+
+fn decode_telemetry(r: &mut Reader<'_>) -> Result<Telemetry, WireError> {
+    let span_id = r.u64("telemetry.span_id")?;
+    // Each counter is at least a name-length byte + 8 delta bytes.
+    let ncounters = r.len("telemetry.counters", MAX_TELEMETRY_COUNTERS, 9)?;
+    let mut counters = Vec::with_capacity(ncounters);
+    for _ in 0..ncounters {
+        let name = decode_name(r)?;
+        let delta = r.u64("telemetry.counter_delta")?;
+        counters.push((name, delta));
+    }
+    // Each hist is at least a name-length byte + a bucket-count byte.
+    let nhists = r.len("telemetry.hists", MAX_TELEMETRY_HISTS, 2)?;
+    let mut hists = Vec::with_capacity(nhists);
+    for _ in 0..nhists {
+        let name = decode_name(r)?;
+        let nbuckets = r.u8("telemetry.hist_buckets")?;
+        if nbuckets > MAX_TELEMETRY_BUCKETS {
+            return Err(WireError::CapExceeded {
+                field: "telemetry.hist_buckets",
+                got: nbuckets as u64,
+                cap: MAX_TELEMETRY_BUCKETS as u64,
+            });
+        }
+        let mut counts = Vec::with_capacity(nbuckets as usize);
+        for _ in 0..nbuckets {
+            counts.push(r.u64("telemetry.bucket_count")?);
+        }
+        hists.push((name, counts));
+    }
+    // MetricsSnapshot lookups assume name-sorted entries; a cooperating
+    // sender already sorts, a hostile one must not break the invariant.
+    counters.sort();
+    hists.sort();
+    Ok(Telemetry { span_id, metrics: MetricsSnapshot { counters, hists } })
 }
 
 fn decode_response(r: &mut Reader<'_>) -> Result<GatherResponse, WireError> {
@@ -494,7 +663,16 @@ fn decode_response(r: &mut Reader<'_>) -> Result<GatherResponse, WireError> {
         }
         queries.push(yields);
     }
-    Ok(GatherResponse { request_id, node, busy_us, queries })
+    // v1.1 trailing section, absent on v1 / untraced-node frames.
+    let telemetry = if r.remaining() == 0 {
+        None
+    } else {
+        match r.u8("section.tag")? {
+            TAG_TELEMETRY => Some(decode_telemetry(r)?),
+            other => return Err(WireError::BadTag(other)),
+        }
+    };
+    Ok(GatherResponse { request_id, node, busy_us, queries, telemetry })
 }
 
 fn decode_yield(r: &mut Reader<'_>) -> Result<DeviceYield, WireError> {

@@ -163,7 +163,7 @@ fn loadgen_checksum_matches_single_process() {
         &fx.cluster,
         &queries,
         &policy,
-        &loadgen::LoadgenOpts { concurrency: 2, batch: 64, kill: None },
+        &loadgen::LoadgenOpts { concurrency: 2, batch: 64, kill: None, watch: None },
     );
     let local = fx.exec.execute_batch(&queries, &policy);
     let expected = loadgen::reports_checksum(local.iter());
@@ -282,4 +282,86 @@ fn breaker_disabled_keeps_asking() {
     let stats = cluster.frontend().node_stats();
     assert!(!stats[0].down);
     assert_eq!(stats[0].requests, 3);
+}
+
+// -----------------------------------------------------------------
+// Critical-path attribution (frontend-local; no tracing required)
+// -----------------------------------------------------------------
+
+/// Every gathered batch elects exactly one critical node (the max
+/// `busy_us` responder): shares sum to one, response counts agree with
+/// `node_stats`, and the busy histogram holds one sample per response.
+#[test]
+fn attribution_elects_one_critical_node_per_batch() {
+    let file = table7_file();
+    let cluster = Cluster::new(&file, CostModel::main_memory(), ClusterConfig::default());
+    let sys = file.system().clone();
+    let policy = ExecPolicy::default();
+    let queries = loadgen::query_mix(&sys, 40, 11, 2);
+    let batches = queries.chunks(8).count() as u64;
+    for chunk in queries.chunks(8) {
+        let _ = cluster.frontend().execute_batch(chunk, &policy);
+    }
+
+    let attr = cluster.frontend().attribution();
+    let stats = cluster.frontend().node_stats();
+    assert_eq!(attr.len(), stats.len());
+    let mut critical_total = 0u64;
+    let mut share_total = 0.0;
+    let mut recent_total = 0.0;
+    for (a, s) in attr.iter().zip(&stats) {
+        assert_eq!(a.node, s.node);
+        assert_eq!(a.responses, s.responses);
+        assert_eq!(
+            a.busy_hist.iter().sum::<u64>(),
+            a.responses,
+            "node {}: one histogram sample per gathered response",
+            a.node
+        );
+        assert!(a.busy_p50_us <= a.busy_p99_us, "node {}: p50 must not exceed p99", a.node);
+        critical_total += a.critical_batches;
+        share_total += a.critical_share;
+        recent_total += a.recent_critical_share;
+    }
+    assert_eq!(critical_total, batches, "each batch elects exactly one critical node");
+    assert!((share_total - 1.0).abs() < 1e-9, "critical shares must sum to 1, got {share_total}");
+    assert!((recent_total - 1.0).abs() < 1e-9, "recent shares must sum to 1, got {recent_total}");
+}
+
+/// The acceptance scenario from the issue: after a kill, the dead node's
+/// recent critical share drains to exactly zero while the run keeps
+/// answering from the survivors.
+#[test]
+fn killed_node_recent_critical_share_drains_to_zero() {
+    let file = table7_file();
+    let cfg = ClusterConfig {
+        nodes: 4,
+        frontend: FrontendConfig { deadline: Duration::from_millis(100), down_after: 2 },
+        net_faults: None,
+    };
+    let cluster = Cluster::new(&file, CostModel::main_memory(), cfg);
+    let sys = file.system().clone();
+    let policy = ExecPolicy::default();
+    let queries = loadgen::query_mix(&sys, 4, 23, 2);
+
+    for _ in 0..8 {
+        let _ = cluster.frontend().execute_batch(&queries, &policy);
+    }
+    cluster.kill_node(1);
+    // More than RECENT_WINDOW batches flush node 1 out of the ring even
+    // if it dominated every pre-kill batch.
+    for _ in 0..(pmr_net::RECENT_WINDOW + 4) {
+        let _ = cluster.frontend().execute_batch(&queries, &policy);
+    }
+
+    let attr = cluster.frontend().attribution();
+    assert_eq!(
+        attr[1].recent_critical_share, 0.0,
+        "killed node must vanish from the recent window"
+    );
+    let survivors: f64 =
+        attr.iter().filter(|a| a.node != 1).map(|a| a.recent_critical_share).sum();
+    assert!((survivors - 1.0).abs() < 1e-9, "survivors own the whole recent window");
+    // The historical share remembers the pre-kill era.
+    assert!(attr[1].critical_share < 1.0);
 }

@@ -8,9 +8,11 @@
 
 use pmr_mkh::{Record, Value};
 use pmr_net::wire::{
-    self, decode_message, encode_message, GatherResponse, Message, ScatterRequest, WireError,
-    WirePolicy, WireQuery, MAGIC, MAX_FRAME_BYTES, MAX_QUERIES, VERSION,
+    self, decode_message, encode_message, GatherResponse, Message, ScatterRequest, Telemetry,
+    TraceContext, WireError, WirePolicy, WireQuery, MAGIC, MAX_FRAME_BYTES, MAX_QUERIES,
+    MAX_TELEMETRY_COUNTERS, VERSION,
 };
+use pmr_rt::obs::snapshot::MetricsSnapshot;
 use pmr_storage::exec::{DeviceOutcome, DeviceReport, DeviceYield};
 
 fn sample_request() -> Message {
@@ -38,7 +40,15 @@ fn sample_request() -> Message {
                 total_qualified: 1,
             },
         ],
+        trace: None,
     })
+}
+
+/// `sample_request` plus a v1.1 trace-context section.
+fn sample_request_traced() -> Message {
+    let Message::Request(mut req) = sample_request() else { unreachable!() };
+    req.trace = Some(TraceContext { trace_id: 0x1234_5678_9ABC_DEF0, parent_span: 77 });
+    Message::Request(req)
 }
 
 fn sample_yield(device: u64) -> DeviceYield {
@@ -80,7 +90,19 @@ fn sample_response() -> Message {
                 lost: vec![3],
             }],
         ],
+        telemetry: None,
     })
+}
+
+/// `sample_response` plus a v1.1 telemetry block (counters + one hist).
+fn sample_response_with_telemetry() -> Message {
+    let Message::Response(mut resp) = sample_response() else { unreachable!() };
+    let mut m = MetricsSnapshot::default();
+    m.add_counter("requests", 1);
+    m.add_counter("queries", 3);
+    m.observe_us("busy_us", 1234.0);
+    resp.telemetry = Some(Telemetry { span_id: 42, metrics: m });
+    Message::Response(resp)
 }
 
 #[test]
@@ -102,6 +124,7 @@ fn response_roundtrips_bit_exact() {
         node: 0,
         busy_us: 0,
         queries: vec![vec![y]],
+        telemetry: None,
     });
     match decode_message(&encode_message(&msg)).unwrap() {
         Message::Response(r) => assert_eq!(
@@ -134,6 +157,7 @@ fn trivial_yield_roundtrips_compactly() {
         node: 1,
         busy_us: 10,
         queries: vec![vec![trivial.clone()]],
+        telemetry: None,
     });
     let frame = encode_message(&msg);
     // header(6) + resp head(20) + nqueries(4) + nyields(4) + trivial(25)
@@ -151,6 +175,7 @@ fn bad_yield_shape_is_typed() {
         node: 0,
         busy_us: 0,
         queries: vec![vec![sample_yield(0)]],
+        telemetry: None,
     });
     let mut frame = encode_message(&msg);
     // The shape byte is the first yield byte.
@@ -166,11 +191,29 @@ fn shutdown_roundtrips() {
 
 /// The core hardening property: EVERY strict prefix of a valid payload
 /// fails with a typed error — no panic, no bogus success.
+///
+/// One carve-out for v1.1 frames: the trace/telemetry sections are
+/// *trailing optionals*, so truncating a traced frame at exactly its v1
+/// base length yields the valid stripped message — that boundary is the
+/// whole compatibility story, and it is pinned as the ONLY Ok prefix.
 #[test]
 fn truncation_at_every_byte_errors() {
-    for msg in [sample_request(), sample_response(), Message::Shutdown] {
+    for msg in [
+        sample_request(),
+        sample_response(),
+        Message::Shutdown,
+        sample_request_traced(),
+        sample_response_with_telemetry(),
+    ] {
         let full = encode_message(&msg);
+        let base_len = encode_message(&strip_optional_sections(&msg)).len();
         for keep in 0..full.len() {
+            if keep == base_len && keep < full.len() {
+                let stripped = decode_message(&full[..keep])
+                    .expect("the v1 base-length prefix of a traced frame must decode");
+                assert_eq!(stripped, strip_optional_sections(&msg));
+                continue;
+            }
             let err = decode_message(&full[..keep])
                 .err()
                 .unwrap_or_else(|| panic!("truncation to {keep} bytes must fail"));
@@ -189,13 +232,33 @@ fn truncation_at_every_byte_errors() {
     }
 }
 
+/// The same message with its v1.1 trailing sections removed.
+fn strip_optional_sections(msg: &Message) -> Message {
+    match msg.clone() {
+        Message::Request(mut req) => {
+            req.trace = None;
+            Message::Request(req)
+        }
+        Message::Response(mut resp) => {
+            resp.telemetry = None;
+            Message::Response(resp)
+        }
+        Message::Shutdown => Message::Shutdown,
+    }
+}
+
 /// Corrupting any single byte never panics: it either fails typed or
 /// decodes to *some* well-formed message. (A flip can decode back to
 /// the original — e.g. the `retries` u32 is ignored for non-`Retried`
 /// outcomes — so the property pinned here is totality, not detection.)
 #[test]
 fn single_byte_corruption_never_panics() {
-    for msg in [sample_request(), sample_response()] {
+    for msg in [
+        sample_request(),
+        sample_response(),
+        sample_request_traced(),
+        sample_response_with_telemetry(),
+    ] {
         let full = encode_message(&msg);
         for i in 0..full.len() {
             let mut bad = full.clone();
@@ -224,7 +287,20 @@ fn header_errors_are_typed() {
 
 #[test]
 fn trailing_bytes_are_rejected() {
-    for msg in [sample_request(), sample_response(), Message::Shutdown] {
+    // A stray byte after a v1 request/response body is read as a v1.1
+    // section tag — 0 is not a valid tag, so it fails typed (BadTag,
+    // not a silent accept). Shutdown has no optional sections, so there
+    // it is still a plain trailing-bytes error.
+    for msg in [sample_request(), sample_response()] {
+        let mut full = encode_message(&msg);
+        full.push(0);
+        assert_eq!(decode_message(&full), Err(WireError::BadTag(0)));
+    }
+    let mut full = encode_message(&Message::Shutdown);
+    full.push(0);
+    assert_eq!(decode_message(&full), Err(WireError::TrailingBytes(1)));
+    // Bytes after a COMPLETE v1.1 section are trailing garbage again.
+    for msg in [sample_request_traced(), sample_response_with_telemetry()] {
         let mut full = encode_message(&msg);
         full.push(0);
         assert_eq!(decode_message(&full), Err(WireError::TrailingBytes(1)));
@@ -282,6 +358,7 @@ fn record_count_mismatch_is_typed() {
         node: 0,
         busy_us: 0,
         queries: vec![vec![y]],
+        telemetry: None,
     });
     let full = encode_message(&msg);
     // nrecords u32 lives after header(6) + resp head(20) + query count(4)
@@ -290,6 +367,111 @@ fn record_count_mismatch_is_typed() {
     let mut bad = full.clone();
     bad[offset..offset + 4].copy_from_slice(&1u32.to_le_bytes());
     assert_eq!(decode_message(&bad), Err(WireError::RecordCount { want: 1, got: 2 }));
+}
+
+// -----------------------------------------------------------------
+// v1.1 trailing sections: trace context and telemetry
+// -----------------------------------------------------------------
+
+#[test]
+fn traced_request_roundtrips() {
+    let msg = sample_request_traced();
+    assert_eq!(decode_message(&encode_message(&msg)).unwrap(), msg);
+}
+
+#[test]
+fn telemetry_response_roundtrips() {
+    let msg = sample_response_with_telemetry();
+    let back = decode_message(&encode_message(&msg)).unwrap();
+    assert_eq!(back, msg);
+    let Message::Response(r) = back else { unreachable!() };
+    let t = r.telemetry.expect("telemetry survives the roundtrip");
+    assert_eq!(t.span_id, 42);
+    assert_eq!(t.metrics.counter("requests"), 1);
+    assert_eq!(t.metrics.counter("queries"), 3);
+    let hist = t.metrics.hist("busy_us").expect("hist survives");
+    assert_eq!(hist.iter().sum::<u64>(), 1);
+}
+
+/// An untraced sender emits frames byte-identical to protocol v1 — the
+/// optional sections cost ZERO bytes when absent, so a v1 peer (which
+/// never sends them) interops in both directions.
+#[test]
+fn absent_sections_cost_zero_bytes_and_v1_frames_decode() {
+    let traced = encode_message(&sample_request_traced());
+    let plain = encode_message(&sample_request());
+    // The traced frame is the plain frame plus a trailing section...
+    assert_eq!(&traced[..plain.len()], &plain[..]);
+    assert_eq!(traced.len(), plain.len() + 1 + 8 + 8, "tag + trace_id + parent_span");
+    // ...and the plain frame (what a v1 peer sends) decodes with no trace.
+    match decode_message(&plain).unwrap() {
+        Message::Request(req) => assert_eq!(req.trace, None),
+        other => panic!("decoded wrong kind: {other:?}"),
+    }
+    let with_tel = encode_message(&sample_response_with_telemetry());
+    let plain = encode_message(&sample_response());
+    assert_eq!(&with_tel[..plain.len()], &plain[..]);
+    match decode_message(&plain).unwrap() {
+        Message::Response(resp) => assert_eq!(resp.telemetry, None),
+        other => panic!("decoded wrong kind: {other:?}"),
+    }
+}
+
+#[test]
+fn unknown_section_tag_is_typed() {
+    for msg in [sample_request(), sample_response()] {
+        let mut full = encode_message(&msg);
+        full.push(9);
+        assert_eq!(decode_message(&full), Err(WireError::BadTag(9)));
+    }
+    // A request must not accept a telemetry section and vice versa.
+    let mut req = encode_message(&sample_request());
+    req.push(2); // TAG_TELEMETRY on a request
+    assert_eq!(decode_message(&req), Err(WireError::BadTag(2)));
+    let mut resp = encode_message(&sample_response());
+    resp.push(1); // TAG_TRACE on a response
+    assert_eq!(decode_message(&resp), Err(WireError::BadTag(1)));
+}
+
+/// A hostile telemetry counter count fails the cap check before any
+/// allocation, like every other length field in the protocol.
+#[test]
+fn telemetry_counter_count_over_cap_is_refused() {
+    let msg = sample_response_with_telemetry();
+    let base_len = encode_message(&strip_optional_sections(&msg)).len();
+    let mut bad = encode_message(&msg);
+    // ncounters u32 sits after the tag byte and the span_id u64.
+    let offset = base_len + 1 + 8;
+    let hostile = MAX_TELEMETRY_COUNTERS + 1;
+    bad[offset..offset + 4].copy_from_slice(&hostile.to_le_bytes());
+    assert_eq!(
+        decode_message(&bad),
+        Err(WireError::CapExceeded {
+            field: "telemetry.counters",
+            got: hostile as u64,
+            cap: MAX_TELEMETRY_COUNTERS as u64
+        })
+    );
+}
+
+#[test]
+fn telemetry_name_errors_are_typed() {
+    let msg = sample_response_with_telemetry();
+    let base_len = encode_message(&strip_optional_sections(&msg)).len();
+    let full = encode_message(&msg);
+    // First counter entry: name_len u8 then the name bytes.
+    let len_offset = base_len + 1 + 8 + 4;
+
+    let mut bad = full.clone();
+    bad[len_offset] = 200; // over MAX_TELEMETRY_NAME
+    assert!(matches!(
+        decode_message(&bad),
+        Err(WireError::CapExceeded { field: "telemetry.name_len", .. })
+    ));
+
+    let mut bad = full.clone();
+    bad[len_offset + 1] = 0xFF; // not UTF-8
+    assert_eq!(decode_message(&bad), Err(WireError::BadName));
 }
 
 // -----------------------------------------------------------------

@@ -194,18 +194,12 @@ impl Group {
     }
 }
 
-/// Percentile of an ascending-sorted sample set (nearest-rank with linear
-/// interpolation).
+/// Percentile of an ascending-sorted sample set — the shared
+/// [`crate::stats::percentile_sorted`] with the harness's non-empty
+/// precondition made loud.
 fn percentile(sorted: &[f64], p: f64) -> f64 {
     assert!(!sorted.is_empty(), "no samples");
-    if sorted.len() == 1 {
-        return sorted[0];
-    }
-    let rank = p / 100.0 * (sorted.len() - 1) as f64;
-    let lo = rank.floor() as usize;
-    let hi = rank.ceil() as usize;
-    let frac = rank - lo as f64;
-    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+    crate::stats::percentile_sorted(sorted, p)
 }
 
 #[cfg(test)]

@@ -26,9 +26,14 @@
 //!   attempt) decisions and capped exponential backoff in *simulated*
 //!   microseconds, so chaos experiments replay bit-for-bit.
 //! * [`obs`] — observability: structured spans ([`span!`]), a metrics
-//!   registry (counters + fixed-bucket histograms), and JSON-lines /
-//!   in-memory trace sinks selected via `PMR_TRACE`. Branch-cheap when
-//!   disabled, so instrumentation stays on permanently.
+//!   registry (counters + fixed-bucket histograms), mergeable snapshots
+//!   ([`obs::snapshot`]) for cluster telemetry, a periodic JSON-lines
+//!   emitter ([`obs::emit`]), and JSON-lines / in-memory trace sinks
+//!   selected via `PMR_TRACE`. Branch-cheap when disabled, so
+//!   instrumentation stays on permanently.
+//! * [`stats`] — the one shared percentile implementation (sample
+//!   interpolation and fixed-bucket histogram readout) used by the bench
+//!   harness, the net load generator, and attribution tables.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -41,6 +46,7 @@ pub mod fault;
 pub mod obs;
 pub mod pool;
 pub mod rng;
+pub mod stats;
 pub mod sync;
 
 pub use rng::{seed_from_env_or, Rng};

@@ -1,0 +1,149 @@
+//! Interval-driven JSON-lines snapshot emitter.
+//!
+//! An [`Emitter`] runs a background thread that calls a producer closure
+//! every `interval` and writes whatever line it returns — the engine
+//! behind `loadgen --watch`, where the closure renders the frontend's
+//! live per-node attribution so a mid-run `--kill-node` is visible as it
+//! happens. One final line is emitted on stop so even runs shorter than
+//! the interval leave a record; dropping the emitter stops and joins the
+//! thread.
+
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Sleep granularity while waiting out an interval, so stop requests are
+/// honoured promptly even with long intervals.
+const POLL: Duration = Duration::from_millis(5);
+
+/// A background thread emitting one producer-rendered line per interval.
+/// See the [module docs](self).
+pub struct Emitter {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Emitter {
+    /// Spawns the emitter: every `interval`, `produce` is called and a
+    /// `Some(line)` result is written (newline-terminated, flushed) to
+    /// `out`. `None` skips the tick. On [`stop`](Emitter::stop) or drop,
+    /// one final line is produced and written before the thread exits.
+    pub fn start<W, F>(interval: Duration, mut out: W, mut produce: F) -> Emitter
+    where
+        W: Write + Send + 'static,
+        F: FnMut() -> Option<String> + Send + 'static,
+    {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = stop.clone();
+        let handle = std::thread::spawn(move || {
+            let emit = |out: &mut W, produce: &mut F| {
+                if let Some(line) = produce() {
+                    let _ = writeln!(out, "{line}");
+                    let _ = out.flush();
+                }
+            };
+            loop {
+                let tick = Instant::now();
+                while tick.elapsed() < interval {
+                    if stop_flag.load(Ordering::Relaxed) {
+                        emit(&mut out, &mut produce);
+                        return;
+                    }
+                    std::thread::sleep(POLL.min(interval));
+                }
+                emit(&mut out, &mut produce);
+            }
+        });
+        Emitter { stop, handle: Some(handle) }
+    }
+
+    /// Convenience: emit to stderr, next to the JSON-lines trace sink's
+    /// output, leaving stdout to the run's own report.
+    pub fn stderr<F>(interval: Duration, produce: F) -> Emitter
+    where
+        F: FnMut() -> Option<String> + Send + 'static,
+    {
+        Emitter::start(interval, std::io::stderr(), produce)
+    }
+
+    /// Stops the thread, emits the final line, and joins. Equivalent to
+    /// dropping the emitter, but explicit at call sites where the final
+    /// line must be out before the next print.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Emitter {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn emits_each_interval_and_a_final_line_on_stop() {
+        let buf = SharedBuf::default();
+        let n = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let n2 = n.clone();
+        let emitter = Emitter::start(Duration::from_millis(10), buf.clone(), move || {
+            Some(format!("{{\"tick\":{}}}", n2.fetch_add(1, Ordering::Relaxed)))
+        });
+        std::thread::sleep(Duration::from_millis(35));
+        emitter.stop();
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines.len() >= 2, "interval ticks plus the final line: {lines:?}");
+        for (i, line) in lines.iter().enumerate() {
+            assert_eq!(*line, format!("{{\"tick\":{i}}}"));
+            crate::obs::json::parse_object(line).expect("watch line parses");
+        }
+    }
+
+    #[test]
+    fn a_run_shorter_than_the_interval_still_emits_once() {
+        let buf = SharedBuf::default();
+        let emitter = Emitter::start(Duration::from_secs(3600), buf.clone(), move || {
+            Some("{\"tick\":0}".to_string())
+        });
+        drop(emitter); // immediate stop: the final line must still appear
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        assert_eq!(text, "{\"tick\":0}\n");
+    }
+
+    #[test]
+    fn none_skips_the_tick() {
+        let buf = SharedBuf::default();
+        let emitter =
+            Emitter::start(Duration::from_millis(5), buf.clone(), move || None::<String>);
+        std::thread::sleep(Duration::from_millis(20));
+        emitter.stop();
+        assert!(buf.0.lock().unwrap().is_empty());
+    }
+}

@@ -12,6 +12,10 @@
 //! * **Sinks** — where recorded events go: a JSON-lines writer (a file
 //!   or stderr, one flat object per line in the [`crate::bench`] JSON
 //!   vocabulary) or an in-memory recorder for tests.
+//! * **Snapshots** — [`snapshot::MetricsSnapshot`] copies registry state
+//!   into mergeable plain data (same-bounds histograms add per bucket),
+//!   the transport for cluster telemetry; [`emit::Emitter`] streams
+//!   periodic JSON-lines snapshots for live watch modes.
 //!
 //! The sink is selected once from `PMR_TRACE` (`off` — the default — a
 //! file path, or `stderr`) on first use, or programmatically via
@@ -24,7 +28,9 @@
 //! (`TraceStats`), which backs the `pmr stats` CLI subcommand.
 
 pub mod agg;
+pub mod emit;
 pub mod json;
+pub mod snapshot;
 
 use std::collections::HashMap;
 use std::io::Write;

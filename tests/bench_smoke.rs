@@ -87,6 +87,8 @@ fn bench_all_fast_mode_produces_every_group() {
         "serve/single_process_batch_8",
         "serve/wire_encode_response_8",
         "serve/wire_decode_response_8",
+        "serve/obs_overhead_off_8",
+        "serve/obs_overhead_on_8",
     ];
     for (file, expected) in files.iter().zip([&expected_core[..], &expected_exec[..]]) {
         let names: Vec<&str> = file.stats.iter().map(|s| s.bench.as_str()).collect();
@@ -175,6 +177,12 @@ fn bench_all_fast_mode_produces_every_group() {
             .checksum
     };
     assert_eq!(sv("cluster4_batch_8"), sv("single_process_batch_8"));
+
+    // Cluster telemetry changes what's OBSERVED, never what's ANSWERED:
+    // the serve path returns identical records with tracing off and
+    // fully on (ISSUE: obs-enabled vs disabled is overhead, not drift).
+    assert_eq!(sv("obs_overhead_off_8"), sv("cluster4_batch_8"));
+    assert_eq!(sv("obs_overhead_on_8"), sv("cluster4_batch_8"));
 
     // Baseline files write as valid JSON lines.
     let dir = std::env::temp_dir().join("pmr_bench_smoke");

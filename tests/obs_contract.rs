@@ -11,10 +11,12 @@
 //! The obs layer is global process state, so every test takes `lock()`.
 
 use pmr_mkh::{FieldType, Record, Schema, Value};
+use pmr_net::{loadgen, Cluster, ClusterConfig, FrontendConfig};
 use pmr_rt::obs::{self, agg::TraceStats, Event, TraceConfig};
-use pmr_storage::exec::execute_parallel;
+use pmr_storage::exec::{execute_parallel, ExecPolicy};
 use pmr_storage::{CostModel, DeclusteredFile};
 use std::sync::{Mutex, MutexGuard};
+use std::time::Duration;
 
 fn lock() -> MutexGuard<'static, ()> {
     static LOCK: Mutex<()> = Mutex::new(());
@@ -192,4 +194,183 @@ fn file_trace_round_trips_through_the_aggregator() {
     // enclosing exec.query span, which closes after the capture).
     let file_spans: u64 = stats.spans.values().map(|s| s.count).sum();
     assert!(file_spans >= trace.spans, "{file_spans} file spans < {} summary", trace.spans);
+}
+
+// -----------------------------------------------------------------
+// Cluster telemetry contract: the `net.*` counters and the merged
+// `node{N}.*` names, end to end through the v1.1 wire protocol.
+// -----------------------------------------------------------------
+
+/// A healthy traced cluster round-trip: every scatter is answered, the
+/// frontend's `net.*` counters balance, each node's shipped telemetry
+/// lands under its `node{N}.` prefix, and the merged per-node `busy_us`
+/// histograms reconcile bucket-for-bucket with the frontend's own
+/// `net.node_rt_us` observations — both sides bucket the identical wire
+/// value with the identical bounds.
+#[test]
+fn cluster_round_trip_merges_node_telemetry() {
+    let _guard = lock();
+    obs::install(TraceConfig::Memory).unwrap();
+    obs::reset();
+    obs::drain_events();
+
+    let file = fixture();
+    let cluster = Cluster::new(&file, CostModel::main_memory(), ClusterConfig::default());
+    let sys = file.system().clone();
+    let policy = ExecPolicy::default();
+    let queries = loadgen::query_mix(&sys, 3, 3, 2);
+    let batches = 4u64;
+    let nodes = cluster.nodes() as u64;
+    for _ in 0..batches {
+        let _ = cluster.frontend().execute_batch(&queries, &policy);
+    }
+
+    let attribution = cluster.frontend().attribution();
+    let requests = obs::counter_total("net.requests");
+    let responses = obs::counter_total("net.responses");
+    let timeouts = obs::counter_total("net.timeouts");
+    let late = obs::counter_total("net.late_responses");
+    let node_decode_errors = obs::counter_total("net.node.decode_errors");
+    let frontend_rt = obs::histogram_counts("net.node_rt_us").expect("frontend hist exists");
+    let merged: Vec<(u64, u64, Option<Vec<u64>>)> = (0..nodes)
+        .map(|i| {
+            (
+                obs::counter_total(&format!("node{i}.requests")),
+                obs::counter_total(&format!("node{i}.queries")),
+                obs::histogram_counts(&format!("node{i}.busy_us")).map(|(_, c)| c),
+            )
+        })
+        .collect();
+    drop(cluster);
+    obs::install(TraceConfig::Off).unwrap();
+    obs::reset();
+
+    assert_eq!(requests, batches * nodes, "one scatter per node per batch");
+    assert_eq!(responses, requests, "a healthy cluster answers every scatter");
+    assert_eq!(timeouts, 0);
+    assert_eq!(late, 0);
+    assert_eq!(node_decode_errors, 0);
+
+    let mut merged_busy_total = vec![0u64; frontend_rt.1.len()];
+    for (i, (node_requests, node_queries, busy)) in merged.iter().enumerate() {
+        assert_eq!(*node_requests, batches, "node{i}.requests counts its scatters");
+        assert_eq!(*node_queries, batches * queries.len() as u64, "node{i}.queries");
+        let busy = busy.as_ref().unwrap_or_else(|| panic!("node{i}.busy_us hist merged"));
+        assert_eq!(busy.iter().sum::<u64>(), batches, "one busy_us sample per response");
+        // The merged wire histogram IS the frontend's local attribution
+        // histogram: same value, same bounds, bucket for bucket.
+        assert_eq!(busy, &attribution[i].busy_hist, "node{i} busy_us reconciles");
+        assert_eq!(attribution[i].merged_requests, batches);
+        for (acc, b) in merged_busy_total.iter_mut().zip(busy) {
+            *acc += b;
+        }
+    }
+    assert_eq!(
+        merged_busy_total, frontend_rt.1,
+        "summed node{{N}}.busy_us must equal the frontend's net.node_rt_us histogram"
+    );
+}
+
+/// A killed node under a short deadline surfaces as `net.timeouts` (and
+/// eventually `net.late_responses` never fires — the node is silent);
+/// the frontend keeps answering and the counters say why coverage fell.
+#[test]
+fn killed_node_counts_timeouts() {
+    let _guard = lock();
+    obs::install(TraceConfig::Memory).unwrap();
+    obs::reset();
+    obs::drain_events();
+
+    let file = fixture();
+    let cfg = ClusterConfig {
+        nodes: 2,
+        frontend: FrontendConfig { deadline: Duration::from_millis(40), down_after: 0 },
+        net_faults: None,
+    };
+    let cluster = Cluster::new(&file, CostModel::main_memory(), cfg);
+    let queries = loadgen::query_mix(&file.system().clone(), 2, 9, 2);
+    cluster.kill_node(1);
+    let _ = cluster.frontend().execute_batch(&queries, &ExecPolicy::default());
+
+    let timeouts = obs::counter_total("net.timeouts");
+    let responses = obs::counter_total("net.responses");
+    let merged_dead = obs::counter_total("node1.requests");
+    drop(cluster);
+    obs::install(TraceConfig::Off).unwrap();
+    obs::reset();
+
+    assert!(timeouts >= 1, "the killed node must cost a gather deadline");
+    assert!(responses >= 1, "the surviving node still answers");
+    assert_eq!(merged_dead, 0, "a silent node ships no telemetry to merge");
+}
+
+/// A frame the node cannot decode bumps `net.node.decode_errors` — the
+/// node-side counter rides the shared registry, so a `pmr stats` over a
+/// node trace explains every dropped frame.
+#[test]
+fn undecodable_frame_counts_a_node_decode_error() {
+    use pmr_net::transport::mem_pair;
+    use pmr_net::wire::{encode_message, Message};
+    use pmr_storage::exec::Executor;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+
+    let _guard = lock();
+    obs::install(TraceConfig::Memory).unwrap();
+    obs::reset();
+    obs::drain_events();
+
+    let file = fixture();
+    let exec = Executor::new(&file, CostModel::main_memory());
+    let (mut frontend_end, node_end) = mem_pair();
+    let handle = pmr_net::node::spawn(
+        0,
+        file.system().clone(),
+        exec,
+        node_end,
+        Arc::new(AtomicBool::new(false)),
+        None,
+    );
+    frontend_end.tx.send_frame(b"definitely not a PMRN frame").unwrap();
+    frontend_end.tx.send_frame(&encode_message(&Message::Shutdown)).unwrap();
+    handle.join().unwrap();
+
+    let decode_errors = obs::counter_total("net.node.decode_errors");
+    obs::install(TraceConfig::Off).unwrap();
+    obs::reset();
+    assert_eq!(decode_errors, 1, "one garbage frame, one counted decode error");
+}
+
+/// With a zero gather deadline every response arrives after its request
+/// was abandoned: the collector counts them as `net.late_responses`
+/// instead of silently dropping evidence.
+#[test]
+fn abandoned_responses_count_as_late() {
+    let _guard = lock();
+    obs::install(TraceConfig::Memory).unwrap();
+    obs::reset();
+    obs::drain_events();
+
+    let file = fixture();
+    let cfg = ClusterConfig {
+        nodes: 2,
+        frontend: FrontendConfig { deadline: Duration::ZERO, down_after: 0 },
+        net_faults: None,
+    };
+    let cluster = Cluster::new(&file, CostModel::main_memory(), cfg);
+    let queries = loadgen::query_mix(&file.system().clone(), 2, 9, 2);
+    let _ = cluster.frontend().execute_batch(&queries, &ExecPolicy::default());
+
+    // The nodes still execute and answer; give the collectors a moment
+    // to route the now-orphaned responses before reading the counter.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    let mut late = obs::counter_total("net.late_responses");
+    while late == 0 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+        late = obs::counter_total("net.late_responses");
+    }
+    drop(cluster);
+    obs::install(TraceConfig::Off).unwrap();
+    obs::reset();
+    assert!(late >= 1, "an orphaned response must be counted, not vanish");
 }
