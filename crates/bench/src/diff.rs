@@ -4,8 +4,9 @@
 //! Timing medians are noisy across machines, so this is deliberately a
 //! coarse gate: only benches in the [`GATED_PREFIXES`] groups
 //! (`query_exec`, `exec_fast_path`, `throughput`, `serve`,
-//! `addr_compute/batched_*`, `bulk_insert` — the end-to-end and batched
-//! hot paths the perf PRs pin) are compared, and only a median more than
+//! `addr_compute/batched_*`, `bulk_insert`, `ec`, and the parity
+//! no-fault read — the end-to-end and batched hot paths the perf PRs
+//! pin) are compared, and only a median more than
 //! [`DEFAULT_THRESHOLD`]× the committed one counts as a regression. A
 //! gated bench that *disappears* from the fresh run also fails: renames
 //! must update the baselines in the same change. The `bench_diff` binary
@@ -23,6 +24,8 @@ pub const GATED_PREFIXES: &[&str] = &[
     "serve/",
     "addr_compute/batched_",
     "bulk_insert/",
+    "ec/",
+    "fault_overhead/read_parity_no_fault",
 ];
 
 /// A fresh median this many times the committed one fails the gate.
@@ -193,6 +196,19 @@ mod tests {
         // The rt-level obs micro-benches remain informational.
         assert!(!gated("obs_overhead/span_disabled"));
         assert!(!gated("obs_overhead/counter_enabled_memory"));
+    }
+
+    /// The erasure-coding codec kernels and the parity no-fault read are
+    /// gated; the rest of the fault_overhead group stays informational
+    /// (its micro-reads are sub-resolution on fast hosts).
+    #[test]
+    fn ec_and_parity_read_benches_are_gated() {
+        assert!(gated("ec/encode_4_2"));
+        assert!(gated("ec/decode_4_2"));
+        assert!(gated("ec/reconstruct_4_2"));
+        assert!(gated("fault_overhead/read_parity_no_fault"));
+        assert!(!gated("fault_overhead/read_bucket_baseline"));
+        assert!(!gated("fault_overhead/policy_no_faults"));
     }
 
     #[test]

@@ -431,7 +431,7 @@ pub fn obs_overhead(opts: &SuiteOpts) -> Group {
 /// tracks the strict dispatcher.
 pub fn fault_overhead(opts: &SuiteOpts) -> Group {
     use pmr_rt::fault::{FaultPlan, RetryPolicy};
-    use pmr_storage::exec::{execute_parallel_with, ExecPolicy};
+    use pmr_storage::exec::{execute_parallel_with, ExecPolicy, Redundancy};
     use std::sync::Arc;
 
     let records = opts.scaled(20_000, 1000) as i64;
@@ -476,9 +476,61 @@ pub fn fault_overhead(opts: &SuiteOpts) -> Group {
     group.bench("strict_dispatch", || {
         execute_parallel(&file, &query, &cost).unwrap().largest_response
     });
-    let policy = ExecPolicy { retry: RetryPolicy::default(), failover: false, seed: 9 };
+    let policy = ExecPolicy {
+        retry: RetryPolicy::default(),
+        failover: false,
+        redundancy: Redundancy::None,
+        seed: 9,
+    };
     group.bench("policy_no_faults", || {
         execute_parallel_with(&file, &query, &cost, &policy).unwrap().largest_response
+    });
+    // Parity-protected file, no faults: the fault-free read path must not
+    // pay for reconstruction it never performs (gated in `bench_diff`
+    // alongside the other fault_overhead ratios).
+    let sys = exec_schema().system().clone();
+    let mut parity_file = exec_filled(FxDistribution::auto(sys).unwrap(), records);
+    assert!(parity_file.enable_parity(4, 2), "k + r = 6 <= 8 devices");
+    let parity_query = parity_file.query(&[("b", Value::Int(7))]).unwrap();
+    let parity_policy = ExecPolicy {
+        retry: RetryPolicy::default(),
+        failover: true,
+        redundancy: Redundancy::Parity { k: 4, r: 2 },
+        seed: 9,
+    };
+    group.bench("read_parity_no_fault", || {
+        execute_parallel_with(&parity_file, &parity_query, &cost, &parity_policy)
+            .unwrap()
+            .largest_response
+    });
+    group
+}
+
+/// Reed–Solomon codec kernels (`pmr_rt::ec`) at the parity tier's
+/// default `k = 4, r = 2` geometry: systematic encode of one page into
+/// `k + r` framed shards, the all-shards-present fast decode, and the
+/// worst-case reconstruct with `r` data shards lost. One timed iteration
+/// processes one page, so page-size / median-ns is the codec's
+/// throughput in bytes/ns (GB/s).
+pub fn ec_codec(opts: &SuiteOpts) -> Group {
+    use pmr_rt::ec::ReedSolomon;
+
+    let rs = ReedSolomon::new(4, 2).expect("4 + 2 <= 256");
+    let page: Vec<u8> =
+        (0..opts.scaled(1 << 20, 1 << 12)).map(|i| (i * 31 % 251) as u8).collect();
+    let shards = rs.encode(&page);
+    let full: Vec<Option<Vec<u8>>> = shards.iter().cloned().map(Some).collect();
+    let mut degraded = full.clone();
+    degraded[0] = None;
+    degraded[1] = None;
+
+    let mut group = opts.group("ec");
+    group.bench("encode_4_2", || {
+        black_box(rs.encode(black_box(&page))).iter().map(Vec::len).sum::<usize>() as u64
+    });
+    group.bench("decode_4_2", || rs.decode(black_box(&full)).expect("all present").len() as u64);
+    group.bench("reconstruct_4_2", || {
+        rs.decode(black_box(&degraded)).expect("2 lost of 4+2").len() as u64
     });
     group
 }
@@ -712,6 +764,7 @@ pub fn run_all(opts: &SuiteOpts) -> Vec<BaselineFile> {
     }
     core_stats.extend_from_slice(inverse_mapping(opts).results());
     core_stats.extend_from_slice(packed_vs_vec(opts).results());
+    core_stats.extend_from_slice(ec_codec(opts).results());
 
     let mut exec_stats = Vec::new();
     exec_stats.extend_from_slice(bulk_insert(opts).results());

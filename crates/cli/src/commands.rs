@@ -8,7 +8,9 @@ use pmr_baselines::ModuloDistribution;
 use pmr_core::method::DistributionMethod;
 use pmr_core::{FxDistribution, SystemConfig};
 use pmr_mkh::{FieldType, Record, Schema, Value};
-use pmr_storage::exec::{execute_parallel, execute_parallel_with, DeviceOutcome, ExecPolicy};
+use pmr_storage::exec::{
+    execute_parallel, execute_parallel_with, DeviceOutcome, ExecPolicy, Redundancy,
+};
 use pmr_storage::metrics::BalanceMetrics;
 use pmr_storage::{CostModel, DeclusteredFile};
 use pmr_rt::fault::{FaultPlan, RetryPolicy};
@@ -76,12 +78,13 @@ pub fn analyze(args: &[String]) -> Result<(), String> {
 /// machine-readable JSON lines, one object per query, embedding each
 /// [`pmr_storage::exec::ExecutionReport`] and its trace summary.
 ///
-/// Any of `--faults <spec>` / `--retry <policy>` / `--mirror` switches
-/// the query loop to the fault-aware executor
-/// ([`execute_parallel_with`]): injected faults are retried with
-/// simulated-time backoff, failed over to buddy mirrors when `--mirror`
-/// is on, and reported as coverage + per-device outcomes instead of
-/// errors.
+/// Any of `--faults <spec>` / `--retry <policy>` / `--mirror` /
+/// `--redundancy <none|mirror|parity[:K,R]>` switches the query loop to
+/// the fault-aware executor ([`execute_parallel_with`]): injected
+/// faults are retried with simulated-time backoff, failed over through
+/// the selected redundancy tier (buddy mirrors, or parity
+/// reconstruction under `--redundancy parity`), and reported as
+/// coverage + per-device outcomes instead of errors.
 pub fn simulate(args: &[String]) -> Result<(), String> {
     let flags = Flags::parse(args)?;
     let sys = system_from(&flags)?;
@@ -91,8 +94,13 @@ pub fn simulate(args: &[String]) -> Result<(), String> {
     let json = flags.has("json");
     let fault_spec = flags.get("faults");
     let retry_spec = flags.get("retry");
-    let mirror = flags.has("mirror");
-    let fault_mode = fault_spec.is_some() || retry_spec.is_some() || mirror;
+    let redundancy = match flags.get("redundancy") {
+        Some(spec) => Redundancy::parse(spec)?,
+        None if flags.has("mirror") => Redundancy::Mirror,
+        None => Redundancy::None,
+    };
+    let fault_mode =
+        fault_spec.is_some() || retry_spec.is_some() || redundancy != Redundancy::None;
     let traced = install_trace(&flags)?;
 
     let mut builder = Schema::builder();
@@ -102,7 +110,7 @@ pub fn simulate(args: &[String]) -> Result<(), String> {
     let schema = builder.devices(sys.devices()).build().map_err(|e| e.to_string())?;
     let fx = FxDistribution::with_strategy(sys.clone(), strategy).map_err(|e| e.to_string())?;
     let mut file = DeclusteredFile::new(schema, fx, seed).map_err(|e| e.to_string())?;
-    if mirror && !file.enable_mirroring() {
+    if redundancy == Redundancy::Mirror && !file.enable_mirroring() {
         return Err("--mirror needs at least 2 devices".into());
     }
 
@@ -114,6 +122,15 @@ pub fn simulate(args: &[String]) -> Result<(), String> {
                 .map(|_| Value::Int(rng.gen_range(0..1_000_000i64)))
                 .collect();
             file.insert(Record::new(values)).map_err(|e| e.to_string())?;
+        }
+    }
+    if let Redundancy::Parity { k, r } = redundancy {
+        // Protect after the bulk load so each stripe encodes once.
+        if !file.enable_parity(k as usize, r as usize) {
+            return Err(format!(
+                "--redundancy parity:{k},{r} needs k + r <= {} devices",
+                sys.devices()
+            ));
         }
     }
     let occupancy = file.record_occupancy();
@@ -142,7 +159,8 @@ pub fn simulate(args: &[String]) -> Result<(), String> {
             Some(spec) => RetryPolicy::parse(spec)?,
             None => RetryPolicy::default(),
         },
-        failover: mirror,
+        failover: redundancy != Redundancy::None,
+        redundancy,
         seed,
     };
 
@@ -182,19 +200,22 @@ pub fn simulate(args: &[String]) -> Result<(), String> {
         );
         if fault_mode {
             let mut retries = 0u32;
-            let (mut failed_over, mut lost_devices) = (0usize, 0usize);
+            let (mut failed_over, mut reconstructed, mut lost_devices) = (0usize, 0usize, 0usize);
             for d in &report.per_device {
                 match d.outcome {
                     DeviceOutcome::Ok => {}
                     DeviceOutcome::Retried(n) => retries += n,
                     DeviceOutcome::FailedOver => failed_over += 1,
+                    DeviceOutcome::Reconstructed => reconstructed += 1,
                     DeviceOutcome::Lost => lost_devices += 1,
                 }
             }
             println!(
                 "  coverage {:.4}: {retries} retries, {failed_over} devices failed over, \
+                 {reconstructed} devices reconstructed ({} buckets), \
                  {lost_devices} devices lost buckets ({} lost total)",
                 report.coverage,
+                report.reconstructions(),
                 report.lost_buckets.len()
             );
         }
@@ -390,14 +411,24 @@ pub fn throughput(args: &[String]) -> Result<(), String> {
 /// response-time-inflation table.
 ///
 /// Defaults to the paper's Table 7 system (six 8-ary fields on M = 32)
-/// with buddy-device mirroring + failover on. Each swept rate `r`
+/// with buddy-device mirroring + failover on; `--redundancy
+/// none|mirror|parity[:K,R]` selects the redundancy tier instead
+/// (`--no-mirror` is shorthand for `none`). Each swept rate `r`
 /// installs a [`FaultPlan`] with read-error probability `r`, corruption
 /// `r/4`, and latency spikes at probability `r` in 200–2000 simulated
-/// µs; `--outage D` additionally holds device `D` dead at every rate.
-/// All fault decisions derive deterministically from the seed
+/// µs; `--outage D[,D…]` additionally holds those devices dead at every
+/// rate. All fault decisions derive deterministically from the seed
 /// (`--seed`, default `PMR_SEED` or 42). Response-time inflation is
 /// relative to a fault-free run of the same query set, so `1.00x` means
 /// retries and failovers cost nothing.
+///
+/// When `--outage` lists devices, a *survivability* sweep precedes the
+/// rate table: for each outage-count prefix of the list (1 dead device,
+/// then 2, …) the query set runs with only those outages injected, and
+/// the row reports the coverage that survived — `1.0000` up to the
+/// tier's tolerance (any 1 loss under mirroring, any `r` under
+/// `parity:K,R`), degrading beyond it. The same rows appear as
+/// `"event":"survivability"` objects under `--json`.
 pub fn chaos(args: &[String]) -> Result<(), String> {
     let flags = Flags::parse(args)?;
     // The paper's Table 7 system unless both --fields and --devices
@@ -413,17 +444,24 @@ pub fn chaos(args: &[String]) -> Result<(), String> {
     let seed = flags.u64_or("seed", pmr_rt::seed_from_env_or(42))?;
     let queries = flags.u64_or("queries", 8)? as usize;
     let json = flags.has("json");
-    let mirror = !flags.has("no-mirror");
+    let redundancy = match flags.get("redundancy") {
+        Some(spec) => Redundancy::parse(spec)?,
+        None if flags.has("no-mirror") => Redundancy::None,
+        None => Redundancy::Mirror,
+    };
     let strategy = flags.strategy()?;
     let retry = match flags.get("retry") {
         Some(spec) => RetryPolicy::parse(spec)?,
         None => RetryPolicy::default(),
     };
-    let dead_device = flags
-        .get("outage")
-        .map(|v| v.parse::<u64>().map_err(|e| format!("bad --outage: {e}")))
-        .transpose()?;
-    if let Some(d) = dead_device {
+    let dead_devices: Vec<u64> = match flags.get("outage") {
+        None => Vec::new(),
+        Some(list) => list
+            .split(',')
+            .map(|s| s.trim().parse::<u64>().map_err(|e| format!("bad --outage {s:?}: {e}")))
+            .collect::<Result<_, _>>()?,
+    };
+    for &d in &dead_devices {
         if d >= sys.devices() {
             return Err(format!("--outage {d} out of range (M = {})", sys.devices()));
         }
@@ -455,7 +493,7 @@ pub fn chaos(args: &[String]) -> Result<(), String> {
     let schema = builder.devices(sys.devices()).build().map_err(|e| e.to_string())?;
     let fx = FxDistribution::with_strategy(sys.clone(), strategy).map_err(|e| e.to_string())?;
     let mut file = DeclusteredFile::new(schema, fx, seed).map_err(|e| e.to_string())?;
-    if mirror && !file.enable_mirroring() {
+    if redundancy == Redundancy::Mirror && !file.enable_mirroring() {
         return Err("mirroring needs at least 2 devices (or pass --no-mirror)".into());
     }
     let mut rng = Rng::seed_from_u64(seed);
@@ -466,6 +504,15 @@ pub fn chaos(args: &[String]) -> Result<(), String> {
                 .map(|_| Value::Int(rng.gen_range(0..1_000_000i64)))
                 .collect();
             file.insert(Record::new(values)).map_err(|e| e.to_string())?;
+        }
+    }
+    if let Redundancy::Parity { k, r } = redundancy {
+        // Protect after the bulk load so each stripe encodes once.
+        if !file.enable_parity(k as usize, r as usize) {
+            return Err(format!(
+                "--redundancy parity:{k},{r} needs k + r <= {} devices",
+                sys.devices()
+            ));
         }
     }
 
@@ -488,7 +535,8 @@ pub fn chaos(args: &[String]) -> Result<(), String> {
         })
         .collect::<Result<_, _>>()?;
 
-    let policy = ExecPolicy { retry, failover: mirror, seed };
+    let policy =
+        ExecPolicy { retry, failover: redundancy != Redundancy::None, redundancy, seed };
     let cost = CostModel::disk_1988();
     let baseline_total: f64 = {
         let mut total = 0.0;
@@ -503,26 +551,77 @@ pub fn chaos(args: &[String]) -> Result<(), String> {
     if json {
         println!(
             "{{\"system\":\"{sys}\",\"records\":{records},\"seed\":{seed},\"queries\":{},\
-             \"mirror\":{mirror},\"baseline_us\":{baseline_total:.1}}}",
+             \"redundancy\":\"{redundancy}\",\"baseline_us\":{baseline_total:.1}}}",
             queryset.len()
         );
     } else {
         println!(
-            "chaos sweep over {sys}: {records} records, {} queries/rate, mirroring {}",
+            "chaos sweep over {sys}: {records} records, {} queries/rate, redundancy {}",
             queryset.len(),
-            if mirror { "on" } else { "off" }
+            redundancy
         );
         println!(
             "retry attempts={} base={}µs cap={}µs budget={}µs; fault seed {seed}",
             retry.max_attempts, retry.base_us, retry.cap_us, retry.budget_us
         );
-        if let Some(d) = dead_device {
-            println!("device {d} held dead at every rate");
+        if !dead_devices.is_empty() {
+            println!("devices {dead_devices:?} held dead at every rate");
         }
+    }
+
+    // Survivability sweep: outage-count prefixes of the --outage list,
+    // no other faults — how much coverage each additional simultaneous
+    // outage costs under the selected redundancy tier.
+    if !dead_devices.is_empty() {
+        if !json {
+            println!();
+            println!("survivability (outages only, no transient faults):");
+            println!(
+                "{:>8}  {:>9}  {:>10}  {:>14}  {:>6}",
+                "outages", "coverage", "failovers", "reconstructed", "lost"
+            );
+        }
+        for count in 1..=dead_devices.len() {
+            let mut plan = FaultPlan::new(seed);
+            for &d in &dead_devices[..count] {
+                plan = plan.with_dead_device(d);
+            }
+            file.install_fault_plan(Some(Arc::new(plan)));
+            let failovers0 = obs::counter_total("exec.failover");
+            let reconstructed0 = obs::counter_total("exec.reconstructions");
+            let (mut qualified, mut lost) = (0u64, 0u64);
+            for q in &queryset {
+                let report =
+                    execute_parallel_with(&file, q, &cost, &policy).map_err(|e| e.to_string())?;
+                qualified += q.qualified_count_in(&sys);
+                lost += report.lost_buckets.len() as u64;
+            }
+            let coverage =
+                if qualified == 0 { 1.0 } else { (qualified - lost) as f64 / qualified as f64 };
+            let failovers = obs::counter_total("exec.failover") - failovers0;
+            let reconstructed = obs::counter_total("exec.reconstructions") - reconstructed0;
+            if json {
+                println!(
+                    "{{\"event\":\"survivability\",\"outages\":{count},\
+                     \"coverage\":{coverage:.6},\"failovers\":{failovers},\
+                     \"reconstructed\":{reconstructed},\"lost\":{lost}}}"
+                );
+            } else {
+                println!(
+                    "{count:>8}  {coverage:>9.4}  {failovers:>10}  {reconstructed:>14}  \
+                     {lost:>6}"
+                );
+            }
+        }
+        file.install_fault_plan(None);
+    }
+
+    if !json {
         println!();
         println!(
-            "{:>8}  {:>9}  {:>12}  {:>9}  {:>8}  {:>10}  {:>6}",
-            "rate", "coverage", "rt-inflation", "injected", "retries", "failovers", "lost"
+            "{:>8}  {:>9}  {:>12}  {:>9}  {:>8}  {:>10}  {:>7}  {:>6}",
+            "rate", "coverage", "rt-inflation", "injected", "retries", "failovers", "reconst",
+            "lost"
         );
     }
 
@@ -538,13 +637,14 @@ pub fn chaos(args: &[String]) -> Result<(), String> {
             .with_read_error(rate)
             .with_corruption(rate / 4.0)
             .with_latency(rate, 200, 2_000);
-        if let Some(d) = dead_device {
+        for &d in &dead_devices {
             plan = plan.with_dead_device(d);
         }
         file.install_fault_plan(Some(Arc::new(plan)));
         let injected0 = obs::counter_total("fault.injected");
         let retries0 = obs::counter_total("exec.retries");
         let failovers0 = obs::counter_total("exec.failover");
+        let reconstructed0 = obs::counter_total("exec.reconstructions");
         let (mut total_us, mut qualified, mut served, mut lost) = (0.0f64, 0u64, 0u64, 0u64);
         for q in &queryset {
             let report =
@@ -575,16 +675,19 @@ pub fn chaos(args: &[String]) -> Result<(), String> {
         let injected = obs::counter_total("fault.injected") - injected0;
         let retries = obs::counter_total("exec.retries") - retries0;
         let failovers = obs::counter_total("exec.failover") - failovers0;
+        let reconstructed = obs::counter_total("exec.reconstructions") - reconstructed0;
         if json {
             println!(
-                "{{\"rate\":{rate},\"coverage\":{coverage:.6},\"rt_inflation\":{inflation:.4},\
-                 \"injected\":{injected},\"retries\":{retries},\"failovers\":{failovers},\
-                 \"lost\":{lost}}}"
+                "{{\"rate\":{rate},\"outages\":{},\"coverage\":{coverage:.6},\
+                 \"rt_inflation\":{inflation:.4},\"injected\":{injected},\
+                 \"retries\":{retries},\"failovers\":{failovers},\
+                 \"reconstructed\":{reconstructed},\"lost\":{lost}}}",
+                dead_devices.len()
             );
         } else {
             println!(
                 "{rate:>8.4}  {coverage:>9.4}  {inflation:>11.2}x  {injected:>9}  {retries:>8}  \
-                 {failovers:>10}  {lost:>6}"
+                 {failovers:>10}  {reconstructed:>7}  {lost:>6}"
             );
         }
     }

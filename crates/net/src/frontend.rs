@@ -550,7 +550,7 @@ impl<D: DistributionMethod + Clone + Send + Sync + 'static> Frontend<D> {
                         }
                     }
                 }
-                merge_device_yields(yields)
+                merge_device_yields(yields, policy.effective_redundancy())
             })
             .collect()
     }
@@ -630,6 +630,7 @@ fn lost_yield<D: DistributionMethod>(
             records: 0,
             addresses_computed,
             simulated_us: 0.0,
+            reconstructions: 0,
             outcome: DeviceOutcome::Lost,
         },
         records: Vec::new(),

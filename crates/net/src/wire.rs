@@ -24,15 +24,28 @@
 //! [`Telemetry`] block (the node's span id plus a mergeable
 //! [`MetricsSnapshot`] of counter deltas and same-bounds histogram
 //! buckets). The version byte stays [`VERSION`]: a frame without the
-//! trailing section **is** a valid v1 frame and decodes to `None` for
-//! the new fields, so v1 peers' frames keep decoding unchanged — and a
-//! v1.1 sender with tracing off emits byte-identical v1 frames.
+//! trailing section **is** a valid frame of the base revision and
+//! decodes to `None` for the new fields, so an untraced sender emits
+//! byte-identical base-revision frames.
+//!
+//! ## Protocol v2 — redundancy tier and reconstruction counts
+//!
+//! v2 ships the policy's redundancy tier (none / mirror / parity with
+//! its `k`,`r` geometry) inline after the failover byte, and full-shape
+//! device yields carry a `reconstructions` count (buckets served by
+//! parity rebuild) plus the `reconstructed` outcome discriminant. These
+//! are fixed-offset layout changes, so the version byte bumped — v1
+//! frames are refused with [`WireError::BadVersion`] instead of being
+//! misparsed. The v1.1 trailing-section mechanism carries over
+//! unchanged.
 
 use pmr_core::{PartialMatchQuery, SystemConfig};
 use pmr_rt::obs::snapshot::MetricsSnapshot;
 use pmr_rt::buf::{BufMut, Bytes, BytesMut};
 use pmr_storage::encode::{decode_all, encode_record, DecodeError};
-use pmr_storage::exec::{DeviceOutcome, DeviceReport, DeviceYield, ExecPolicy, PlannedQuery};
+use pmr_storage::exec::{
+    DeviceOutcome, DeviceReport, DeviceYield, ExecPolicy, PlannedQuery, Redundancy,
+};
 use pmr_rt::fault::RetryPolicy;
 use std::fmt;
 use std::io::{self, Read, Write};
@@ -40,7 +53,7 @@ use std::io::{self, Read, Write};
 /// Frame payload magic: `"PMRN"` little-endian.
 pub const MAGIC: u32 = 0x4e52_4d50;
 /// Protocol version; bumped on any layout change.
-pub const VERSION: u8 = 1;
+pub const VERSION: u8 = 2;
 /// Protocol revision within [`VERSION`]: 1 = the optional trailing
 /// trace-context / telemetry sections (see the module docs). Revisions
 /// never change the version byte — they only append sections a v1
@@ -95,6 +108,8 @@ pub enum WireError {
     BadKind(u8),
     /// Unknown [`DeviceOutcome`] discriminant.
     BadOutcome(u8),
+    /// Unknown [`Redundancy`] discriminant.
+    BadRedundancy(u8),
     /// Unknown yield shape byte.
     BadShape(u8),
     /// A declared collection length exceeds its protocol cap or the
@@ -136,6 +151,7 @@ impl fmt::Display for WireError {
             WireError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
             WireError::BadKind(k) => write!(f, "unknown message kind {k}"),
             WireError::BadOutcome(o) => write!(f, "unknown device outcome {o}"),
+            WireError::BadRedundancy(r) => write!(f, "unknown redundancy discriminant {r}"),
             WireError::BadShape(s) => write!(f, "unknown yield shape {s}"),
             WireError::CapExceeded { field, got, cap } => {
                 write!(f, "{field} length {got} exceeds cap {cap}")
@@ -248,6 +264,8 @@ pub struct WirePolicy {
     pub budget_us: u64,
     /// `ExecPolicy::failover`.
     pub failover: bool,
+    /// `ExecPolicy::redundancy`.
+    pub redundancy: Redundancy,
     /// `ExecPolicy::seed`.
     pub seed: u64,
 }
@@ -261,6 +279,7 @@ impl WirePolicy {
             cap_us: p.retry.cap_us,
             budget_us: p.retry.budget_us,
             failover: p.failover,
+            redundancy: p.redundancy,
             seed: p.seed,
         }
     }
@@ -275,6 +294,7 @@ impl WirePolicy {
                 budget_us: self.budget_us,
             },
             failover: self.failover,
+            redundancy: self.redundancy,
             seed: self.seed,
         }
     }
@@ -331,6 +351,23 @@ pub fn encode_message(msg: &Message) -> Vec<u8> {
             buf.put_u64_le(req.policy.cap_us);
             buf.put_u64_le(req.policy.budget_us);
             buf.put_u8(req.policy.failover as u8);
+            match req.policy.redundancy {
+                Redundancy::None => {
+                    buf.put_u8(0);
+                    buf.put_u8(0);
+                    buf.put_u8(0);
+                }
+                Redundancy::Mirror => {
+                    buf.put_u8(1);
+                    buf.put_u8(0);
+                    buf.put_u8(0);
+                }
+                Redundancy::Parity { k, r } => {
+                    buf.put_u8(2);
+                    buf.put_u8(k);
+                    buf.put_u8(r);
+                }
+            }
             buf.put_u64_le(req.policy.seed);
             buf.put_u32_le(req.queries.len() as u32);
             for q in &req.queries {
@@ -423,6 +460,7 @@ fn encode_yield(buf: &mut BytesMut, y: &DeviceYield, region: &mut BytesMut) {
     let r = &y.report;
     if r.qualified_buckets == 0
         && r.records == 0
+        && r.reconstructions == 0
         && y.records.is_empty()
         && y.lost.is_empty()
         && r.outcome == DeviceOutcome::Ok
@@ -444,9 +482,11 @@ fn encode_yield(buf: &mut BytesMut, y: &DeviceYield, region: &mut BytesMut) {
         DeviceOutcome::Retried(n) => (1, n),
         DeviceOutcome::FailedOver => (2, 0),
         DeviceOutcome::Lost => (3, 0),
+        DeviceOutcome::Reconstructed => (4, 0),
     };
     buf.put_u8(outcome);
     buf.put_u32_le(retries);
+    buf.put_u32_le(r.reconstructions);
     buf.put_u32_le(y.records.len() as u32);
     region.clear();
     for rec in &y.records {
@@ -558,6 +598,17 @@ fn decode_request(r: &mut Reader<'_>) -> Result<ScatterRequest, WireError> {
         cap_us: r.u64("policy.cap_us")?,
         budget_us: r.u64("policy.budget_us")?,
         failover: r.u8("policy.failover")? != 0,
+        redundancy: {
+            let disc = r.u8("policy.redundancy")?;
+            let k = r.u8("policy.parity_k")?;
+            let rr = r.u8("policy.parity_r")?;
+            match disc {
+                0 => Redundancy::None,
+                1 => Redundancy::Mirror,
+                2 => Redundancy::Parity { k, r: rr },
+                other => return Err(WireError::BadRedundancy(other)),
+            }
+        },
         seed: r.u64("policy.seed")?,
     };
     // Each query is at least 1 field-count byte + 17 plan bytes.
@@ -688,6 +739,7 @@ fn decode_yield(r: &mut Reader<'_>) -> Result<DeviceYield, WireError> {
                     records: 0,
                     addresses_computed,
                     simulated_us,
+                    reconstructions: 0,
                     outcome: DeviceOutcome::Ok,
                 },
                 records: Vec::new(),
@@ -707,6 +759,7 @@ fn decode_yield(r: &mut Reader<'_>) -> Result<DeviceYield, WireError> {
         1 => DeviceOutcome::Retried(0),
         2 => DeviceOutcome::FailedOver,
         3 => DeviceOutcome::Lost,
+        4 => DeviceOutcome::Reconstructed,
         other => return Err(WireError::BadOutcome(other)),
     };
     let retries = r.u32("yield.retries")?;
@@ -714,6 +767,7 @@ fn decode_yield(r: &mut Reader<'_>) -> Result<DeviceYield, WireError> {
         DeviceOutcome::Retried(_) => DeviceOutcome::Retried(retries),
         o => o,
     };
+    let reconstructions = r.u32("yield.reconstructions")?;
     let nrecords = r.u32("yield.nrecords")?;
     if nrecords > MAX_RECORDS {
         return Err(WireError::CapExceeded {
@@ -748,6 +802,7 @@ fn decode_yield(r: &mut Reader<'_>) -> Result<DeviceYield, WireError> {
             records: records_count,
             addresses_computed,
             simulated_us,
+            reconstructions,
             outcome,
         },
         records,

@@ -15,7 +15,7 @@ use pmr_net::{Cluster, ClusterConfig, FrontendConfig, NetFaultPlan};
 use pmr_rt::check::Source;
 use pmr_rt::fault::{FaultPlan, RetryPolicy};
 use pmr_rt::rt_proptest;
-use pmr_storage::exec::{ExecPolicy, Executor};
+use pmr_storage::exec::{ExecPolicy, Executor, Redundancy};
 use pmr_storage::{CostModel, DeclusteredFile};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Duration;
@@ -117,6 +117,7 @@ rt_proptest! {
         let policy = ExecPolicy {
             retry: RetryPolicy { max_attempts: 4, base_us: 10, cap_us: 1_000, budget_us: 100_000 },
             failover: src.weighted(0.8),
+            redundancy: Redundancy::Mirror,
             seed: src.any_u64(),
         };
         let plan = if src.weighted(0.5) {
@@ -147,6 +148,69 @@ rt_proptest! {
                 plan.is_some()
             );
         }
+    }
+}
+
+/// ISSUE acceptance pin, cluster path: on a `Parity{k=4, r=2}` Table 7
+/// file served by 4 nodes, any two simultaneous *device* outages are
+/// invisible end-to-end — gathered reports stay at coverage 1.0, are
+/// bit-equal to the single-process batch path, and carry the same
+/// records as the fault-free run. The redundancy policy rides the v2
+/// wire format to the nodes.
+#[test]
+fn double_outage_with_parity_on_cluster_is_invisible() {
+    let sys = SystemConfig::new(&[8; 6], 32).unwrap();
+    let mut builder = Schema::builder();
+    for (i, &size) in sys.field_sizes().iter().enumerate() {
+        builder = builder.field(format!("f{i}"), FieldType::Int, size);
+    }
+    let schema = builder.devices(sys.devices()).build().expect("system is valid");
+    let fx = FxDistribution::auto(sys.clone()).expect("auto always assigns");
+    let mut file = DeclusteredFile::new(schema, fx, SEED).expect("schema matches system");
+    for i in 0..2_000i64 {
+        let values: Vec<Value> =
+            (0..sys.num_fields()).map(|f| Value::Int(i * 131 + f as i64 * 7)).collect();
+        file.insert(Record::new(values)).expect("records type-check");
+    }
+    // Parity is enabled before construction: node executors snapshot the
+    // stripe directory.
+    assert!(file.enable_parity(4, 2), "k + r = 6 <= 32 devices");
+    let exec = Executor::new(&file, CostModel::main_memory());
+    let cluster = Cluster::new(&file, CostModel::main_memory(), ClusterConfig::default());
+    let policy = ExecPolicy {
+        retry: RetryPolicy::none(),
+        failover: true,
+        redundancy: Redundancy::Parity { k: 4, r: 2 },
+        seed: SEED,
+    };
+
+    // Wide query (3 unspecified fields → 512 buckets over all devices),
+    // so every node and every outage pair is exercised.
+    let values: Vec<Option<u64>> = vec![Some(1), None, Some(2), None, Some(3), None];
+    let wide = PartialMatchQuery::new(&sys, &values).unwrap();
+    let queries = vec![wide];
+
+    let clean = cluster.frontend().execute_batch(&queries, &policy);
+    assert_eq!(clean[0].coverage, 1.0);
+
+    // Same-node, cross-node, and extreme pairs.
+    for dead in [[3u64, 7], [5, 21], [0, 31]] {
+        let plan = FaultPlan::new(SEED).with_dead_device(dead[0]).with_dead_device(dead[1]);
+        file.install_fault_plan(Some(Arc::new(plan)));
+        let gathered = cluster.frontend().execute_batch(&queries, &policy);
+        let local = exec.execute_batch(&queries, &policy);
+        file.install_fault_plan(None);
+
+        assert_eq!(gathered, local, "dead pair {dead:?}: gathered ≡ single-process");
+        let report = &gathered[0];
+        assert_eq!(report.coverage, 1.0, "dead pair {dead:?} must be invisible");
+        assert!(report.lost_buckets.is_empty());
+        assert!(report.reconstructions() > 0, "dead pair {dead:?} must reconstruct, not luck out");
+        let mut got: Vec<String> = report.records.iter().map(|r| format!("{r}")).collect();
+        let mut want: Vec<String> = clean[0].records.iter().map(|r| format!("{r}")).collect();
+        got.sort_unstable();
+        want.sort_unstable();
+        assert_eq!(got, want, "dead pair {dead:?}: records must match the fault-free run");
     }
 }
 

@@ -13,7 +13,7 @@ use pmr_net::wire::{
     MAX_TELEMETRY_COUNTERS, VERSION,
 };
 use pmr_rt::obs::snapshot::MetricsSnapshot;
-use pmr_storage::exec::{DeviceOutcome, DeviceReport, DeviceYield};
+use pmr_storage::exec::{DeviceOutcome, DeviceReport, DeviceYield, Redundancy};
 
 fn sample_request() -> Message {
     Message::Request(ScatterRequest {
@@ -24,6 +24,7 @@ fn sample_request() -> Message {
             cap_us: 10_000,
             budget_us: 1_000_000,
             failover: true,
+            redundancy: Redundancy::Parity { k: 4, r: 2 },
             seed: 42,
         },
         queries: vec![
@@ -59,6 +60,7 @@ fn sample_yield(device: u64) -> DeviceYield {
             records: 2,
             addresses_computed: 6,
             simulated_us: 123.456,
+            reconstructions: 0,
             outcome: DeviceOutcome::Retried(2),
         },
         records: vec![
@@ -77,18 +79,36 @@ fn sample_response() -> Message {
         queries: vec![
             vec![sample_yield(0), sample_yield(5)],
             vec![],
-            vec![DeviceYield {
-                report: DeviceReport {
-                    device: 31,
-                    qualified_buckets: 1,
-                    records: 0,
-                    addresses_computed: 1,
-                    simulated_us: 0.0,
-                    outcome: DeviceOutcome::Lost,
+            vec![
+                DeviceYield {
+                    report: DeviceReport {
+                        device: 31,
+                        qualified_buckets: 1,
+                        records: 0,
+                        addresses_computed: 1,
+                        simulated_us: 0.0,
+                        reconstructions: 0,
+                        outcome: DeviceOutcome::Lost,
+                    },
+                    records: vec![],
+                    lost: vec![3],
                 },
-                records: vec![],
-                lost: vec![3],
-            }],
+                // v2: a parity-served device, exercising the
+                // `reconstructed` discriminant and nonzero count.
+                DeviceYield {
+                    report: DeviceReport {
+                        device: 12,
+                        qualified_buckets: 3,
+                        records: 1,
+                        addresses_computed: 3,
+                        simulated_us: 9.25,
+                        reconstructions: 2,
+                        outcome: DeviceOutcome::Reconstructed,
+                    },
+                    records: vec![Record::new(vec![Value::Int(5), Value::Int(6)])],
+                    lost: vec![],
+                },
+            ],
         ],
         telemetry: None,
     })
@@ -147,6 +167,7 @@ fn trivial_yield_roundtrips_compactly() {
             records: 0,
             addresses_computed: 96,
             simulated_us: 1.5,
+            reconstructions: 0,
             outcome: DeviceOutcome::Ok,
         },
         records: vec![],
@@ -324,8 +345,8 @@ fn bad_outcome_discriminant_is_typed() {
 fn query_count_over_cap_is_refused() {
     let full = encode_message(&sample_request());
     // Query count is the u32 right after header (6) and the request_id +
-    // policy block (8 + 4+8+8+8+1+8 = 45).
-    let offset = 6 + 45;
+    // v2 policy block (8 + 4+8+8+8+1+3+8 = 48).
+    let offset = 6 + 48;
     let mut bad = full.clone();
     bad[offset..offset + 4].copy_from_slice(&(MAX_QUERIES + 1).to_le_bytes());
     assert_eq!(
@@ -343,7 +364,7 @@ fn query_count_over_cap_is_refused() {
 #[test]
 fn query_count_beyond_payload_is_truncation() {
     let full = encode_message(&sample_request());
-    let offset = 6 + 45;
+    let offset = 6 + 48;
     let mut bad = full.clone();
     bad[offset..offset + 4].copy_from_slice(&10_000u32.to_le_bytes());
     assert_eq!(decode_message(&bad), Err(WireError::Truncated { field: "queries" }));
@@ -362,8 +383,9 @@ fn record_count_mismatch_is_typed() {
     });
     let full = encode_message(&msg);
     // nrecords u32 lives after header(6) + resp head(20) + query count(4)
-    // + yield count(4) + shape(1) + fixed yield section (40 + 1 + 4).
-    let offset = 6 + 20 + 4 + 4 + 1 + 45;
+    // + yield count(4) + shape(1) + fixed yield section (40 + outcome 1
+    // + retries 4 + reconstructions 4).
+    let offset = 6 + 20 + 4 + 4 + 1 + 49;
     let mut bad = full.clone();
     bad[offset..offset + 4].copy_from_slice(&1u32.to_le_bytes());
     assert_eq!(decode_message(&bad), Err(WireError::RecordCount { want: 1, got: 2 }));

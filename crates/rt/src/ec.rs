@@ -1,0 +1,640 @@
+//! GF(2^8) Reed–Solomon erasure coding for the parity redundancy tier.
+//!
+//! A `k + r` systematic code over GF(2^8) (polynomial `0x11d`): `k` data
+//! shards are kept verbatim and `r` parity shards are derived such that
+//! **any** `k` of the `k + r` shards reconstruct the original data —
+//! i.e. any `r` simultaneous losses are survivable at `r/k` storage
+//! overhead, where buddy mirroring pays `1x` to survive a single loss.
+//!
+//! The construction is polynomial evaluation: the data shards are the
+//! values of a degree `< k` polynomial at the field points `0..k`, and
+//! parity shard `i` is its value at point `k + i`. Encoding and decoding
+//! are both Lagrange interpolation — the encode matrix rows are the
+//! Lagrange coefficients of the parity points (a systematic Vandermonde
+//! code), and reconstruction interpolates the missing points from any
+//! `k` survivors. Field arithmetic runs on `const`-built log/exp tables,
+//! so the codec is pure `std` and allocation is confined to shard
+//! buffers.
+//!
+//! Two API levels:
+//!
+//! * [`ReedSolomon::parity_of`] / [`ReedSolomon::reconstruct`] — raw
+//!   equal-length payloads, no framing. The storage layer's
+//!   `ParityStore` stripes bucket *pages* through these and keeps its
+//!   own per-member metadata.
+//! * [`ReedSolomon::encode`] / [`ReedSolomon::decode`] — self-framing
+//!   shards in the `[data_len u32 LE][crc32 u32 LE][payload]` layout
+//!   (SNIPPETS.md snippet 2): each shard carries the original length and
+//!   a CRC over its length+payload, so corrupt shards are **rejected
+//!   before decode** and simply count as erasures.
+//!
+//! ```
+//! use pmr_rt::ec::ReedSolomon;
+//!
+//! let rs = ReedSolomon::new(4, 2).unwrap();
+//! let mut shards: Vec<Option<Vec<u8>>> =
+//!     rs.encode(b"partial match retrieval").into_iter().map(Some).collect();
+//! shards[1] = None; // lose a data shard
+//! shards[4] = None; // and a parity shard
+//! assert_eq!(rs.decode(&shards).unwrap(), b"partial match retrieval");
+//! ```
+
+/// The GF(2^8) reduction polynomial `x^8 + x^4 + x^3 + x^2 + 1`.
+const GF_POLY: u16 = 0x11d;
+
+/// Exponent table, doubled so `EXP[log a + log b]` needs no `% 255`.
+static GF_EXP: [u8; 512] = build_gf_tables().0;
+/// Discrete-log table; `LOG[0]` is unused (zero has no logarithm).
+static GF_LOG: [u8; 256] = build_gf_tables().1;
+
+const fn build_gf_tables() -> ([u8; 512], [u8; 256]) {
+    let mut exp = [0u8; 512];
+    let mut log = [0u8; 256];
+    let mut x: u16 = 1;
+    let mut i = 0;
+    while i < 255 {
+        exp[i] = x as u8;
+        log[x as usize] = i as u8;
+        x <<= 1;
+        if x & 0x100 != 0 {
+            x ^= GF_POLY;
+        }
+        i += 1;
+    }
+    while i < 512 {
+        exp[i] = exp[i - 255];
+        i += 1;
+    }
+    (exp, log)
+}
+
+/// GF(2^8) product.
+#[inline]
+fn gf_mul(a: u8, b: u8) -> u8 {
+    if a == 0 || b == 0 {
+        0
+    } else {
+        GF_EXP[GF_LOG[a as usize] as usize + GF_LOG[b as usize] as usize]
+    }
+}
+
+/// GF(2^8) quotient; `b` must be non-zero.
+#[inline]
+fn gf_div(a: u8, b: u8) -> u8 {
+    debug_assert!(b != 0, "division by zero in GF(2^8)");
+    if a == 0 {
+        0
+    } else {
+        GF_EXP[255 + GF_LOG[a as usize] as usize - GF_LOG[b as usize] as usize]
+    }
+}
+
+/// CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`) lookup table.
+static CRC_TABLE: [u32; 256] = build_crc_table();
+
+const fn build_crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            bit += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+/// CRC-32 (IEEE) of `bytes` — the shard and stripe-member checksum.
+///
+/// ```
+/// assert_eq!(pmr_rt::ec::crc32(b"123456789"), 0xCBF4_3926);
+/// assert_eq!(pmr_rt::ec::crc32(b""), 0);
+/// ```
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = !0u32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+/// Why an erasure-coding operation could not proceed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EcError {
+    /// `k` or `r` outside the field: need `k >= 1`, `r >= 1`, and
+    /// `k + r <= 256` evaluation points in GF(2^8).
+    BadGeometry {
+        /// Requested data-shard count.
+        k: usize,
+        /// Requested parity-shard count.
+        r: usize,
+    },
+    /// A shard slice had the wrong number of entries for this code.
+    ShardCount {
+        /// `k + r` for this code (or `k` where only data is accepted).
+        expected: usize,
+        /// What the caller passed.
+        got: usize,
+    },
+    /// Shard payloads disagreed in length (all must match).
+    ShardLen {
+        /// Length of the first payload seen.
+        expected: usize,
+        /// The mismatched length.
+        got: usize,
+    },
+    /// Fewer than `k` usable shards survived (losses plus CRC
+    /// rejections exceeded `r`).
+    TooFewShards {
+        /// Usable shard count after CRC rejection.
+        have: usize,
+        /// The `k` needed to decode.
+        needed: usize,
+    },
+}
+
+impl std::fmt::Display for EcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EcError::BadGeometry { k, r } => write!(
+                f,
+                "unsupported geometry k={k} r={r}: need k >= 1, r >= 1, k + r <= 256"
+            ),
+            EcError::ShardCount { expected, got } => {
+                write!(f, "expected {expected} shards, got {got}")
+            }
+            EcError::ShardLen { expected, got } => {
+                write!(f, "shard payload length {got} != {expected}")
+            }
+            EcError::TooFewShards { have, needed } => {
+                write!(f, "only {have} usable shards, need {needed} to decode")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EcError {}
+
+/// A systematic `k + r` Reed–Solomon code over GF(2^8).
+///
+/// Construction precomputes the `r x k` parity (Lagrange/Vandermonde)
+/// matrix; encode is then `r` multiply-accumulate passes over the data
+/// payloads and reconstruction solves only the missing points.
+#[derive(Debug, Clone)]
+pub struct ReedSolomon {
+    k: usize,
+    r: usize,
+    /// `parity_rows[i][j]` is the coefficient of data shard `j` in
+    /// parity shard `i`: the Lagrange basis value `L_j(k + i)`.
+    parity_rows: Vec<Vec<u8>>,
+}
+
+impl ReedSolomon {
+    /// Builds the code, precomputing the parity matrix.
+    ///
+    /// # Errors
+    ///
+    /// [`EcError::BadGeometry`] unless `k >= 1`, `r >= 1`, and
+    /// `k + r <= 256` (the field has only 256 evaluation points).
+    pub fn new(k: usize, r: usize) -> Result<ReedSolomon, EcError> {
+        if k == 0 || r == 0 || k + r > 256 {
+            return Err(EcError::BadGeometry { k, r });
+        }
+        let data_points: Vec<u8> = (0..k as u16).map(|p| p as u8).collect();
+        let parity_rows = (0..r)
+            .map(|i| lagrange_row(&data_points, (k + i) as u8))
+            .collect();
+        Ok(ReedSolomon { k, r, parity_rows })
+    }
+
+    /// Data-shard count `k`.
+    pub fn data_shards(&self) -> usize {
+        self.k
+    }
+
+    /// Parity-shard count `r`.
+    pub fn parity_shards(&self) -> usize {
+        self.r
+    }
+
+    /// Total shard count `k + r`.
+    pub fn total_shards(&self) -> usize {
+        self.k + self.r
+    }
+
+    /// Computes the `r` parity payloads for `k` equal-length data
+    /// payloads (no framing — the raw-stripe API).
+    ///
+    /// With `k == 1` every parity row is the identity, so this
+    /// degenerates to `r` plain copies of the single payload.
+    ///
+    /// # Errors
+    ///
+    /// [`EcError::ShardCount`] unless exactly `k` payloads are given;
+    /// [`EcError::ShardLen`] unless their lengths all match.
+    pub fn parity_of(&self, data: &[&[u8]]) -> Result<Vec<Vec<u8>>, EcError> {
+        if data.len() != self.k {
+            return Err(EcError::ShardCount { expected: self.k, got: data.len() });
+        }
+        let len = data[0].len();
+        for payload in data {
+            if payload.len() != len {
+                return Err(EcError::ShardLen { expected: len, got: payload.len() });
+            }
+        }
+        Ok(self
+            .parity_rows
+            .iter()
+            .map(|row| {
+                let mut out = vec![0u8; len];
+                for (&coeff, payload) in row.iter().zip(data) {
+                    mul_acc(&mut out, payload, coeff);
+                }
+                out
+            })
+            .collect())
+    }
+
+    /// Fills in every missing shard of a `k + r` stripe in place, given
+    /// any `k` survivors (raw equal-length payloads, no framing).
+    ///
+    /// # Errors
+    ///
+    /// [`EcError::ShardCount`] unless `shards.len() == k + r`;
+    /// [`EcError::TooFewShards`] with fewer than `k` present;
+    /// [`EcError::ShardLen`] when present payload lengths disagree.
+    pub fn reconstruct(&self, shards: &mut [Option<Vec<u8>>]) -> Result<(), EcError> {
+        if shards.len() != self.total_shards() {
+            return Err(EcError::ShardCount {
+                expected: self.total_shards(),
+                got: shards.len(),
+            });
+        }
+        let present: Vec<usize> =
+            (0..shards.len()).filter(|&i| shards[i].is_some()).collect();
+        if present.len() < self.k {
+            return Err(EcError::TooFewShards { have: present.len(), needed: self.k });
+        }
+        let len = shards[present[0]].as_ref().map(Vec::len).unwrap_or(0);
+        for &i in &present {
+            let got = shards[i].as_ref().map(Vec::len).unwrap_or(0);
+            if got != len {
+                return Err(EcError::ShardLen { expected: len, got });
+            }
+        }
+        // Interpolate from the first k survivors; their evaluation
+        // points are their shard indices.
+        let basis: Vec<usize> = present[..self.k].to_vec();
+        let points: Vec<u8> = basis.iter().map(|&i| i as u8).collect();
+        for target in 0..shards.len() {
+            if shards[target].is_some() {
+                continue;
+            }
+            let row = lagrange_row(&points, target as u8);
+            let mut out = vec![0u8; len];
+            for (&coeff, &src) in row.iter().zip(&basis) {
+                let payload = shards[src].as_ref().expect("basis shards are present");
+                mul_acc(&mut out, payload, coeff);
+            }
+            shards[target] = Some(out);
+        }
+        Ok(())
+    }
+
+    /// Encodes `data` into `k + r` self-framing shards, each laid out as
+    /// `[data_len u32 LE][crc32 u32 LE][payload]` where the CRC covers
+    /// the length prefix and the payload. Data payloads are
+    /// `data.len().div_ceil(k)` bytes (the tail shard zero-padded), so
+    /// empty input yields header-only shards.
+    pub fn encode(&self, data: &[u8]) -> Vec<Vec<u8>> {
+        let shard_len = data.len().div_ceil(self.k);
+        let payloads: Vec<Vec<u8>> = (0..self.k)
+            .map(|j| {
+                let start = (j * shard_len).min(data.len());
+                let end = ((j + 1) * shard_len).min(data.len());
+                let mut p = data[start..end].to_vec();
+                p.resize(shard_len, 0);
+                p
+            })
+            .collect();
+        let views: Vec<&[u8]> = payloads.iter().map(Vec::as_slice).collect();
+        let parity = self.parity_of(&views).expect("payloads match own geometry");
+        payloads
+            .into_iter()
+            .chain(parity)
+            .map(|payload| frame_shard(data.len() as u32, &payload))
+            .collect()
+    }
+
+    /// Decodes an [`ReedSolomon::encode`]-framed stripe with up to `r`
+    /// shards missing (`None`) **or corrupt** — any shard that is too
+    /// short, fails its CRC, or disagrees with the stripe's length
+    /// header is rejected before decoding and treated as one more
+    /// erasure.
+    ///
+    /// # Errors
+    ///
+    /// [`EcError::ShardCount`] unless `shards.len() == k + r`;
+    /// [`EcError::TooFewShards`] when fewer than `k` shards survive
+    /// CRC rejection.
+    pub fn decode(&self, shards: &[Option<Vec<u8>>]) -> Result<Vec<u8>, EcError> {
+        if shards.len() != self.total_shards() {
+            return Err(EcError::ShardCount {
+                expected: self.total_shards(),
+                got: shards.len(),
+            });
+        }
+        // Validate frames first: survivors must agree on the data
+        // length, and each must pass its own CRC.
+        let mut data_len: Option<u32> = None;
+        let mut stripe: Vec<Option<Vec<u8>>> = vec![None; shards.len()];
+        for (i, shard) in shards.iter().enumerate() {
+            let Some(bytes) = shard else { continue };
+            let Some((len, payload)) = unframe_shard(bytes) else { continue };
+            if payload.len() != (len as usize).div_ceil(self.k) {
+                continue;
+            }
+            match data_len {
+                None => data_len = Some(len),
+                Some(expected) if expected != len => continue,
+                Some(_) => {}
+            }
+            stripe[i] = Some(payload.to_vec());
+        }
+        let have = stripe.iter().flatten().count();
+        if have < self.k {
+            return Err(EcError::TooFewShards { have, needed: self.k });
+        }
+        let data_len = data_len.expect("at least k validated shards") as usize;
+        self.reconstruct(&mut stripe)?;
+        let mut data = Vec::with_capacity(data_len);
+        for payload in stripe.into_iter().take(self.k).flatten() {
+            data.extend_from_slice(&payload);
+        }
+        data.truncate(data_len);
+        Ok(data)
+    }
+}
+
+/// `out[b] ^= coeff * src[b]` over GF(2^8), skipping the zero
+/// coefficient and fast-pathing the identity.
+#[inline]
+fn mul_acc(out: &mut [u8], src: &[u8], coeff: u8) {
+    match coeff {
+        0 => {}
+        1 => {
+            for (o, &s) in out.iter_mut().zip(src) {
+                *o ^= s;
+            }
+        }
+        c => {
+            let log_c = GF_LOG[c as usize] as usize;
+            for (o, &s) in out.iter_mut().zip(src) {
+                if s != 0 {
+                    *o ^= GF_EXP[log_c + GF_LOG[s as usize] as usize];
+                }
+            }
+        }
+    }
+}
+
+/// Lagrange basis row: coefficients `c_j` such that a degree
+/// `< points.len()` polynomial satisfies
+/// `f(target) = sum_j c_j * f(points[j])`. In GF(2^8) the linear factor
+/// `x - m` is `x ^ m`, so a `target` that coincides with a point yields
+/// the identity row.
+fn lagrange_row(points: &[u8], target: u8) -> Vec<u8> {
+    points
+        .iter()
+        .enumerate()
+        .map(|(j, &pj)| {
+            let mut num = 1u8;
+            let mut den = 1u8;
+            for (m, &pm) in points.iter().enumerate() {
+                if m == j {
+                    continue;
+                }
+                num = gf_mul(num, target ^ pm);
+                den = gf_mul(den, pj ^ pm);
+            }
+            gf_div(num, den)
+        })
+        .collect()
+}
+
+/// Frames one payload as `[data_len u32 LE][crc32 u32 LE][payload]`,
+/// with the CRC over the length prefix plus the payload.
+fn frame_shard(data_len: u32, payload: &[u8]) -> Vec<u8> {
+    let mut shard = Vec::with_capacity(8 + payload.len());
+    shard.extend_from_slice(&data_len.to_le_bytes());
+    let mut crc = !0u32;
+    for &b in data_len.to_le_bytes().iter().chain(payload) {
+        crc = CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    shard.extend_from_slice(&(!crc).to_le_bytes());
+    shard.extend_from_slice(payload);
+    shard
+}
+
+/// Parses and CRC-checks one framed shard; `None` on any mismatch.
+fn unframe_shard(shard: &[u8]) -> Option<(u32, &[u8])> {
+    if shard.len() < 8 {
+        return None;
+    }
+    let data_len = u32::from_le_bytes(shard[0..4].try_into().expect("4 bytes"));
+    let stored_crc = u32::from_le_bytes(shard[4..8].try_into().expect("4 bytes"));
+    let payload = &shard[8..];
+    let mut crc = !0u32;
+    for &b in shard[0..4].iter().chain(payload) {
+        crc = CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    (!crc == stored_crc).then_some((data_len, payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+    use crate::rt_proptest;
+
+    #[test]
+    fn gf_tables_are_a_field() {
+        // Every non-zero element has a log/exp round trip and an inverse.
+        for a in 1..=255u8 {
+            assert_eq!(GF_EXP[GF_LOG[a as usize] as usize], a);
+            assert_eq!(gf_mul(a, gf_div(1, a)), 1, "inverse of {a}");
+            assert_eq!(gf_mul(a, 1), a);
+            assert_eq!(gf_mul(a, 0), 0);
+        }
+        // Multiplication distributes over xor (spot check).
+        for a in [3u8, 0x53, 0xCA, 0xFF] {
+            for b in [7u8, 0x8E, 0x1D] {
+                for c in [1u8, 0xB4] {
+                    assert_eq!(gf_mul(a, b ^ c), gf_mul(a, b) ^ gf_mul(a, c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn geometry_validation() {
+        assert!(ReedSolomon::new(0, 2).is_err());
+        assert!(ReedSolomon::new(4, 0).is_err());
+        assert!(ReedSolomon::new(200, 57).is_err());
+        let rs = ReedSolomon::new(254, 2).unwrap();
+        assert_eq!(rs.total_shards(), 256);
+        assert_eq!(
+            ReedSolomon::new(0, 1).unwrap_err().to_string(),
+            "unsupported geometry k=0 r=1: need k >= 1, r >= 1, k + r <= 256"
+        );
+    }
+
+    #[test]
+    fn round_trip_all_loss_patterns_k4_r2() {
+        let rs = ReedSolomon::new(4, 2).unwrap();
+        let data: Vec<u8> = (0..1000u32).map(|i| (i * 31 % 251) as u8).collect();
+        let encoded = rs.encode(&data);
+        assert_eq!(encoded.len(), 6);
+        // Every way of losing exactly 2 of 6 shards still decodes.
+        for lose_a in 0..6 {
+            for lose_b in (lose_a + 1)..6 {
+                let mut shards: Vec<Option<Vec<u8>>> =
+                    encoded.iter().cloned().map(Some).collect();
+                shards[lose_a] = None;
+                shards[lose_b] = None;
+                assert_eq!(
+                    rs.decode(&shards).unwrap(),
+                    data,
+                    "losing shards {lose_a} and {lose_b}"
+                );
+            }
+        }
+        // Losing 3 is unrecoverable and typed.
+        let mut shards: Vec<Option<Vec<u8>>> = encoded.iter().cloned().map(Some).collect();
+        shards[0] = None;
+        shards[1] = None;
+        shards[2] = None;
+        assert_eq!(
+            rs.decode(&shards),
+            Err(EcError::TooFewShards { have: 3, needed: 4 })
+        );
+    }
+
+    /// Satellite: k = 1 degenerates to r plain copies — parity payloads
+    /// are byte-identical to the data and any single survivor decodes.
+    #[test]
+    fn k1_degenerate_stripes_are_plain_copies() {
+        let rs = ReedSolomon::new(1, 3).unwrap();
+        let data = b"lonely data shard".to_vec();
+        let encoded = rs.encode(&data);
+        assert_eq!(encoded.len(), 4);
+        for shard in &encoded[1..] {
+            assert_eq!(shard[8..], encoded[0][8..], "parity is a verbatim copy");
+        }
+        for survivor in 0..4 {
+            let mut shards: Vec<Option<Vec<u8>>> = vec![None; 4];
+            shards[survivor] = Some(encoded[survivor].clone());
+            assert_eq!(rs.decode(&shards).unwrap(), data, "survivor {survivor}");
+        }
+    }
+
+    /// Satellite: losing all r parity shards leaves the k data shards,
+    /// which decode verbatim (the systematic property).
+    #[test]
+    fn all_parity_lost_decodes_from_data_alone() {
+        let rs = ReedSolomon::new(5, 3).unwrap();
+        let data: Vec<u8> = (0..997u32).map(|i| (i % 256) as u8).collect();
+        let mut shards: Vec<Option<Vec<u8>>> = rs.encode(&data).into_iter().map(Some).collect();
+        for parity in shards.iter_mut().skip(5) {
+            *parity = None;
+        }
+        assert_eq!(rs.decode(&shards).unwrap(), data);
+    }
+
+    /// Satellite: a corrupt shard is rejected by its CRC *before* decode
+    /// — it consumes one erasure rather than poisoning the output.
+    #[test]
+    fn corrupt_shard_crc_rejected_before_decode() {
+        let rs = ReedSolomon::new(4, 2).unwrap();
+        let data: Vec<u8> = (0..512u32).map(|i| (i * 7 % 256) as u8).collect();
+        let mut shards: Vec<Option<Vec<u8>>> = rs.encode(&data).into_iter().map(Some).collect();
+        // Flip a payload byte in shard 2: CRC rejects it, decode succeeds.
+        shards[2].as_mut().unwrap()[20] ^= 0xFF;
+        assert_eq!(rs.decode(&shards).unwrap(), data);
+        // Corrupt the length header of shard 0 too: still r = 2 erasures.
+        shards[0].as_mut().unwrap()[0] ^= 0x01;
+        assert_eq!(rs.decode(&shards).unwrap(), data);
+        // A third bad shard (truncated below the header) exceeds r.
+        shards[1] = Some(vec![1, 2, 3]);
+        assert_eq!(
+            rs.decode(&shards),
+            Err(EcError::TooFewShards { have: 3, needed: 4 })
+        );
+    }
+
+    #[test]
+    fn raw_stripe_parity_and_reconstruct() {
+        let rs = ReedSolomon::new(3, 2).unwrap();
+        let a = vec![1u8, 2, 3, 4];
+        let b = vec![9u8, 8, 7, 6];
+        let c = vec![0u8, 0xFF, 0x55, 0xAA];
+        let parity = rs.parity_of(&[&a, &b, &c]).unwrap();
+        assert_eq!(parity.len(), 2);
+        let mut stripe = vec![
+            None,
+            Some(b.clone()),
+            None,
+            Some(parity[0].clone()),
+            Some(parity[1].clone()),
+        ];
+        rs.reconstruct(&mut stripe).unwrap();
+        assert_eq!(stripe[0].as_deref(), Some(a.as_slice()));
+        assert_eq!(stripe[2].as_deref(), Some(c.as_slice()));
+        // Mismatched payload lengths are typed errors.
+        assert_eq!(
+            rs.parity_of(&[&a, &b, &c[..2]]),
+            Err(EcError::ShardLen { expected: 4, got: 2 })
+        );
+        assert_eq!(
+            rs.parity_of(&[&a, &b]),
+            Err(EcError::ShardCount { expected: 3, got: 2 })
+        );
+    }
+
+    rt_proptest! {
+        /// Satellite: encode → drop any r shards → decode is bit-equal,
+        /// over random geometries and page sizes including zero.
+        fn encode_drop_r_decode_round_trips(src) {
+            let k = src.int_in(1, 8) as usize;
+            let r = src.int_in(1, 4) as usize;
+            let len = src.int_in(0, 4096) as usize;
+            let seed = src.int_in(0, u32::MAX as u64);
+            let mut data = vec![0u8; len];
+            Rng::seed_from_u64(seed).fill_bytes(&mut data);
+            let rs = ReedSolomon::new(k, r).unwrap();
+            let mut shards: Vec<Option<Vec<u8>>> =
+                rs.encode(&data).into_iter().map(Some).collect();
+            // Drop exactly r distinct shards, chosen by the source.
+            let mut dropped = 0;
+            let mut cursor = src.int_in(0, (k + r - 1) as u64) as usize;
+            while dropped < r {
+                if shards[cursor % (k + r)].take().is_some() {
+                    dropped += 1;
+                }
+                cursor += 1;
+            }
+            assert_eq!(rs.decode(&shards).unwrap(), data, "k={k} r={r} len={len}");
+        }
+    }
+}

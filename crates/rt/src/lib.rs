@@ -21,6 +21,10 @@
 //!   median/p95, JSON-lines output, checksums for run-to-run
 //!   comparability).
 //! * [`sync`] — poison-free one-word aliases over `std::sync` locks.
+//! * [`ec`] — GF(2^8) Reed–Solomon erasure coding (const-built log/exp
+//!   tables, systematic Vandermonde encode, per-shard CRC framing, any
+//!   `k`-of-`k+r` decode) backing the storage layer's parity redundancy
+//!   tier.
 //! * [`fault`] — deterministic fault injection ([`fault::FaultPlan`]) and
 //!   retry policy ([`fault::RetryPolicy`]): seeded per-(device, bucket,
 //!   attempt) decisions and capped exponential backoff in *simulated*
@@ -42,6 +46,7 @@
 pub mod bench;
 pub mod buf;
 pub mod check;
+pub mod ec;
 pub mod fault;
 pub mod obs;
 pub mod pool;

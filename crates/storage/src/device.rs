@@ -50,6 +50,16 @@ pub struct BucketRead {
     pub injected_latency_us: u64,
 }
 
+/// A successful raw (undecoded) page or parity-shard read plus any
+/// injected latency to charge to the simulated clock.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawRead {
+    /// The bytes at rest, or `None` when nothing is resident there.
+    pub bytes: Option<Vec<u8>>,
+    /// Simulated microseconds of injected latency spike (0 when none).
+    pub injected_latency_us: u64,
+}
+
 /// One simulated device: resident buckets plus access accounting.
 #[derive(Debug)]
 pub struct Device {
@@ -61,6 +71,10 @@ pub struct Device {
     /// `store` so occupancy counts, persistence snapshots, and
     /// redistribution drains only ever see primary data.
     mirror_store: RwLock<BTreeMap<u64, BytesMut>>,
+    /// Reed–Solomon parity shards this device holds for other devices'
+    /// stripes, keyed by stripe id. Derived data like the mirror store:
+    /// never persisted, dropped on clear/drain, rebuilt by re-encoding.
+    parity_store: RwLock<BTreeMap<u64, Vec<u8>>>,
     /// Number of bucket reads served (lifetime).
     bucket_reads: AtomicU64,
     /// Number of records appended (lifetime).
@@ -79,6 +93,7 @@ impl Device {
             id,
             store: RwLock::new(BTreeMap::new()),
             mirror_store: RwLock::new(BTreeMap::new()),
+            parity_store: RwLock::new(BTreeMap::new()),
             bucket_reads: AtomicU64::new(0),
             records_written: AtomicU64::new(0),
             faults_on: AtomicBool::new(false),
@@ -209,6 +224,86 @@ impl Device {
         Ok(BucketRead { records, injected_latency_us })
     }
 
+    /// One fault-aware **raw** read of a primary bucket page: the bytes
+    /// at rest, undecoded, for parity reconstruction (the stripe layer
+    /// CRC-checks them against its member metadata instead). The same
+    /// fault plan applies — a stripe-mate can be out or flaky too.
+    /// `Ok(None)` means the bucket holds no page.
+    pub fn read_raw_page_attempt(
+        &self,
+        bucket_index: u64,
+        attempt: u32,
+    ) -> Result<RawRead, ReadFault> {
+        let mut injected_latency_us = 0;
+        match self.consult_faults(bucket_index, attempt) {
+            Some(FaultKind::Outage) => return Err(ReadFault::Outage),
+            Some(FaultKind::ReadError) => {
+                self.bucket_reads.fetch_add(1, Ordering::Relaxed);
+                return Err(ReadFault::Io);
+            }
+            Some(FaultKind::Corruption) => {
+                self.bucket_reads.fetch_add(1, Ordering::Relaxed);
+                return Err(ReadFault::Decode(DecodeError::Truncated));
+            }
+            Some(FaultKind::LatencySpike(us)) => injected_latency_us = us,
+            None => {}
+        }
+        self.bucket_reads.fetch_add(1, Ordering::Relaxed);
+        let bytes = self.store.read().get(&bucket_index).map(|region| region.to_vec());
+        Ok(RawRead { bytes, injected_latency_us })
+    }
+
+    /// One fault-aware read of a **parity** shard this device holds for
+    /// stripe `stripe_id`. Fault decisions draw from the same seeded
+    /// stream as bucket reads, keyed by the stripe id. `Ok(None)` means
+    /// this device holds no shard for that stripe.
+    pub fn read_parity_attempt(
+        &self,
+        stripe_id: u64,
+        attempt: u32,
+    ) -> Result<RawRead, ReadFault> {
+        let mut injected_latency_us = 0;
+        match self.consult_faults(stripe_id, attempt) {
+            Some(FaultKind::Outage) => return Err(ReadFault::Outage),
+            Some(FaultKind::ReadError) => {
+                self.bucket_reads.fetch_add(1, Ordering::Relaxed);
+                return Err(ReadFault::Io);
+            }
+            Some(FaultKind::Corruption) => {
+                self.bucket_reads.fetch_add(1, Ordering::Relaxed);
+                return Err(ReadFault::Decode(DecodeError::Truncated));
+            }
+            Some(FaultKind::LatencySpike(us)) => injected_latency_us = us,
+            None => {}
+        }
+        self.bucket_reads.fetch_add(1, Ordering::Relaxed);
+        let bytes = self.parity_store.read().get(&stripe_id).cloned();
+        Ok(RawRead { bytes, injected_latency_us })
+    }
+
+    /// Installs (replacing) the parity shard this device holds for
+    /// stripe `stripe_id`. Parity writes, like mirror writes, do not
+    /// count toward `records_written`.
+    pub fn install_parity_page(&self, stripe_id: u64, shard: &[u8]) {
+        self.parity_store.write().insert(stripe_id, shard.to_vec());
+    }
+
+    /// Number of resident parity shards.
+    pub fn parity_shard_count(&self) -> usize {
+        self.parity_store.read().len()
+    }
+
+    /// Total bytes of resident parity shards (storage-overhead
+    /// accounting).
+    pub fn parity_bytes(&self) -> usize {
+        self.parity_store.read().values().map(Vec::len).sum()
+    }
+
+    /// Drops all parity shards (primary data untouched).
+    pub fn clear_parity(&self) {
+        self.parity_store.write().clear();
+    }
+
     /// Appends a record to a **mirror** bucket this device holds for its
     /// buddy. Mirror writes do not count toward `records_written` —
     /// occupancy accounting tracks primary placement only.
@@ -295,15 +390,18 @@ impl Device {
     pub fn clear(&self) {
         self.store.write().clear();
         self.mirror_store.write().clear();
+        self.parity_store.write().clear();
         self.bucket_reads.store(0, Ordering::Relaxed);
         self.records_written.store(0, Ordering::Relaxed);
     }
 
     /// Drains all resident (bucket, records) pairs, leaving the device
-    /// empty. Used for redistribution: mirror pages are derived data, so
-    /// they are dropped rather than returned (re-mirroring rebuilds them).
+    /// empty. Used for redistribution: mirror and parity pages are
+    /// derived data, so they are dropped rather than returned
+    /// (re-mirroring / re-encoding rebuilds them).
     pub fn drain(&self) -> Result<Vec<(u64, Vec<Record>)>, DecodeError> {
         self.mirror_store.write().clear();
+        self.parity_store.write().clear();
         let mut store = self.store.write();
         let drained = std::mem::take(&mut *store);
         drained

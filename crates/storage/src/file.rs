@@ -4,6 +4,7 @@
 use crate::device::Device;
 use crate::encode::DecodeError;
 use crate::mirror::Mirroring;
+use crate::parity::ParityStore;
 use pmr_core::method::DistributionMethod;
 use pmr_core::{PartialMatchQuery, SystemConfig};
 use pmr_mkh::{MkhError, MultiKeyHash, Record, Schema, Value};
@@ -84,6 +85,10 @@ pub struct DeclusteredFile<D: DistributionMethod> {
     /// Buddy-device mirroring, when enabled
     /// ([`DeclusteredFile::enable_mirroring`]).
     mirroring: Option<Mirroring>,
+    /// Erasure-coded parity, when enabled
+    /// ([`DeclusteredFile::enable_parity`]). Shared with executors by
+    /// `Arc` — the store interior-mutates its stripe directory.
+    parity: Option<Arc<ParityStore>>,
 }
 
 impl<D: DistributionMethod> DeclusteredFile<D> {
@@ -109,6 +114,7 @@ impl<D: DistributionMethod> DeclusteredFile<D> {
             record_count: 0,
             hash_seed,
             mirroring: None,
+            parity: None,
         })
     }
 
@@ -131,6 +137,28 @@ impl<D: DistributionMethod> DeclusteredFile<D> {
     /// The active buddy pairing, when mirroring is enabled.
     pub fn mirroring(&self) -> Option<&Mirroring> {
         self.mirroring.as_ref()
+    }
+
+    /// Enables erasure-coded parity: resident buckets are grouped into
+    /// `k`-data + `r`-parity Reed–Solomon stripes over distinct devices
+    /// (see [`crate::parity::ParityStore`]) and every future insert
+    /// re-encodes its stripe. Returns `false` when the geometry does not
+    /// fit (`k + r > M`). Idempotent — re-enabling with the same or a new
+    /// geometry re-protects the resident data from scratch.
+    pub fn enable_parity(&mut self, k: usize, r: usize) -> bool {
+        match ParityStore::new(k, r, self.system().devices()) {
+            None => false,
+            Some(store) => {
+                store.reprotect_resident(&self.devices);
+                self.parity = Some(Arc::new(store));
+                true
+            }
+        }
+    }
+
+    /// The active parity store, when erasure coding is enabled.
+    pub fn parity(&self) -> Option<&Arc<ParityStore>> {
+        self.parity.as_ref()
     }
 
     /// Installs (or removes, with `None`) a fault plan on every device.
@@ -181,6 +209,9 @@ impl<D: DistributionMethod> DeclusteredFile<D> {
         self.devices[device as usize].append(code, &record);
         if let Some(pairing) = &self.mirroring {
             pairing.mirror_record(&self.devices, device, code, &record);
+        }
+        if let Some(parity) = &self.parity {
+            parity.note_append(&self.devices, code, device);
         }
         self.record_count += 1;
         Ok((self.system().packed_layout().unpack(code), device))
@@ -327,6 +358,13 @@ impl<D: DistributionMethod> DeclusteredFile<D> {
             }
             panic!("resident worker stopped without reporting a panic");
         }
+        if let Some(parity) = &self.parity {
+            // After the append barrier: every touched stripe re-encodes
+            // exactly once, however many records it received.
+            let mut homes = vec![0u64; codes.len()];
+            self.method.device_of_batch(&codes, &mut homes);
+            parity.note_appends(&self.devices, codes.iter().copied().zip(homes));
+        }
         self.record_count += total;
         Ok(total)
     }
@@ -410,6 +448,11 @@ impl<D: DistributionMethod> DeclusteredFile<D> {
             new_file.enable_mirroring();
         }
         new_file.insert_all(records)?;
+        if let Some(parity) = &self.parity {
+            // Re-protect after the bulk re-insert so each stripe encodes
+            // once, not once per record.
+            new_file.enable_parity(parity.k(), parity.r());
+        }
         Ok(new_file)
     }
 

@@ -21,6 +21,9 @@
 //!   response sizes and simulated response time.
 //! * [`mirror`] — buddy-device mirroring (`d ⊕ M/2`): the failover copy
 //!   placement behind degraded execution.
+//! * [`parity`] — erasure-coded redundancy ([`parity::ParityStore`]):
+//!   `k + r` Reed–Solomon stripes over bucket pages on XOR-coset device
+//!   groups, surviving any `r` simultaneous outages at `~r/k` overhead.
 //! * [`index`] — device-local inverted bucket indexes (the two-stage
 //!   model's data-construction stage).
 //! * [`metrics`] — balance metrics over response histograms.
@@ -38,12 +41,13 @@ pub mod file;
 pub mod index;
 pub mod metrics;
 pub mod mirror;
+pub mod parity;
 pub mod persist;
 
 pub use cost::CostModel;
 pub use device::{BucketRead, Device, ReadFault};
 pub use exec::{
     DeviceOutcome, DeviceReport, DeviceYield, ExecPolicy, ExecutionReport, Executor,
-    PlannedQuery,
+    PlannedQuery, Redundancy,
 };
 pub use file::DeclusteredFile;

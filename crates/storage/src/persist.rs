@@ -13,6 +13,14 @@
 //! — the caller re-supplies them and the manifest verifies shape
 //! compatibility, which keeps methods (arbitrary Rust values) out of the
 //! on-disk format.
+//!
+//! Redundancy tiers are **derived data** and never persisted: only
+//! primary pages reach disk. Mirror copies and parity stripes are
+//! rebuilt from primaries by calling
+//! [`DeclusteredFile::enable_mirroring`] /
+//! [`DeclusteredFile::enable_parity`] on the loaded file, exactly as on
+//! a freshly built one — so a snapshot taken with protection on and a
+//! snapshot taken without are byte-identical.
 
 use crate::device::Device;
 use crate::file::{DeclusteredFile, FileError};
@@ -264,6 +272,31 @@ mod tests {
         a.sort_by_key(|r| format!("{r}"));
         b.sort_by_key(|r| format!("{r}"));
         assert_eq!(a, b);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Parity is derived, not persisted: a snapshot of a parity-protected
+    /// file carries no parity bytes, and `enable_parity` on the loaded
+    /// file rebuilds the identical protection (same stripe shard bytes).
+    #[test]
+    fn parity_rebuilds_after_load() {
+        let dir = temp_dir("parityrebuild");
+        let mut original = build(200, 11);
+        assert!(original.enable_parity(2, 1), "k + r = 3 <= 4 devices");
+        save(&original, &dir).unwrap();
+
+        let schema = schema();
+        let fx = FxDistribution::auto(schema.system().clone()).unwrap();
+        let mut loaded = load(&dir, schema, fx, 11).unwrap();
+        assert!(
+            loaded.devices().iter().all(|d| d.parity_shard_count() == 0),
+            "snapshots must not carry parity shards"
+        );
+        assert!(loaded.enable_parity(2, 1));
+        for (a, b) in original.devices().iter().zip(loaded.devices()) {
+            assert_eq!(a.parity_shard_count(), b.parity_shard_count());
+            assert_eq!(a.parity_bytes(), b.parity_bytes());
+        }
         fs::remove_dir_all(&dir).unwrap();
     }
 

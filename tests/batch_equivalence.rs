@@ -20,7 +20,7 @@ use pmr_mkh::{FieldType, Record, Schema, Value};
 use pmr_rt::check::Source;
 use pmr_rt::fault::{FaultPlan, RetryPolicy};
 use pmr_rt::rt_proptest;
-use pmr_storage::exec::{execute_parallel_with, ExecPolicy, Executor};
+use pmr_storage::exec::{execute_parallel_with, ExecPolicy, Executor, Redundancy};
 use pmr_storage::{CostModel, DeclusteredFile};
 use std::sync::{Arc, OnceLock};
 
@@ -91,6 +91,7 @@ rt_proptest! {
         let policy = ExecPolicy {
             retry: RetryPolicy { max_attempts: 4, base_us: 10, cap_us: 1_000, budget_us: 100_000 },
             failover: src.weighted(0.8),
+            redundancy: Redundancy::Mirror,
             seed: src.any_u64(),
         };
         let plan = if src.weighted(0.5) {

@@ -50,6 +50,9 @@ fn bench_all_fast_mode_produces_every_group() {
         "packed_vs_vec/vec_scan_all_devices",
         "packed_vs_vec/packed_scan_all_devices",
         "packed_vs_vec/packed_fx_fast_all_devices",
+        "ec/encode_4_2",
+        "ec/decode_4_2",
+        "ec/reconstruct_4_2",
     ];
     let expected_exec = [
         "bulk_insert/fx_auto",
@@ -73,6 +76,7 @@ fn bench_all_fast_mode_produces_every_group() {
         "fault_overhead/read_attempt_plan_installed",
         "fault_overhead/strict_dispatch",
         "fault_overhead/policy_no_faults",
+        "fault_overhead/read_parity_no_fault",
         "throughput/resident_batch_1",
         "throughput/spawn_per_query_1",
         "throughput/serial_1",
@@ -148,6 +152,21 @@ fn bench_all_fast_mode_produces_every_group() {
     };
     assert_eq!(fo("read_bucket_baseline"), fo("read_attempt_no_plan"));
     assert_eq!(fo("strict_dispatch"), fo("policy_no_faults"));
+    // A parity-protected file without faults answers identically to the
+    // unprotected one (ISSUE: parity never changes fault-free results).
+    assert_eq!(fo("policy_no_faults"), fo("read_parity_no_fault"));
+
+    // The RS decode fast path and the 2-losses reconstruction both
+    // recover the byte-identical page (same length checksum per iter).
+    let ec = |name: &str| -> u64 {
+        files[0]
+            .stats
+            .iter()
+            .find(|s| s.bench == format!("ec/{name}"))
+            .expect("group present")
+            .checksum
+    };
+    assert_eq!(ec("decode_4_2"), ec("reconstruct_4_2"));
 
     // At each batch size the resident batch, spawn-per-query, and serial
     // throughput variants answer the same queries: identical record

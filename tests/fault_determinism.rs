@@ -11,7 +11,7 @@ use pmr_core::{FxDistribution, PartialMatchQuery, SystemConfig};
 use pmr_mkh::{FieldType, Record, Schema, Value};
 use pmr_rt::fault::{FaultPlan, RetryPolicy};
 use pmr_rt::obs::{self, TraceConfig};
-use pmr_storage::exec::{execute_parallel_with, ExecPolicy};
+use pmr_storage::exec::{execute_parallel_with, ExecPolicy, Redundancy};
 use pmr_storage::{CostModel, DeclusteredFile};
 use std::sync::Arc;
 
@@ -34,7 +34,12 @@ fn faulted_run(seed: u64) -> u64 {
     }
     let plan = FaultPlan::parse("read=0.2,corrupt=0.05,latency=0.1:50..500", seed).unwrap();
     file.install_fault_plan(Some(Arc::new(plan)));
-    let policy = ExecPolicy { retry: RetryPolicy::default(), failover: true, seed };
+    let policy = ExecPolicy {
+        retry: RetryPolicy::default(),
+        failover: true,
+        redundancy: Redundancy::Mirror,
+        seed,
+    };
     let cost = CostModel::main_memory();
     // A spread of query shapes so the counter aggregates many
     // (device, bucket, attempt) decisions.

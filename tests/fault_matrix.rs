@@ -22,7 +22,9 @@ use pmr_core::{FxDistribution, PartialMatchQuery, SystemConfig};
 use pmr_mkh::{FieldType, Record, Schema, Value};
 use pmr_rt::fault::{FaultPlan, RetryPolicy};
 use pmr_rt::rt_proptest;
-use pmr_storage::exec::{execute_parallel, execute_parallel_with, DeviceOutcome, ExecPolicy};
+use pmr_storage::exec::{
+    execute_parallel, execute_parallel_with, DeviceOutcome, ExecPolicy, Redundancy,
+};
 use pmr_storage::{CostModel, DeclusteredFile, ExecutionReport};
 use std::sync::{Arc, OnceLock};
 
@@ -72,7 +74,12 @@ fn run_matrix<D: DistributionMethod>(sys: &SystemConfig, make: impl Fn() -> D, l
     let rq = query.qualified_count_in(sys);
     for mirror in [false, true] {
         let file = build_file(sys, make(), 400, mirror);
-        let policy = ExecPolicy { retry: patient_retry(), failover: mirror, seed: SEED };
+        let policy = ExecPolicy {
+            retry: patient_retry(),
+            failover: mirror,
+            redundancy: Redundancy::Mirror,
+            seed: SEED,
+        };
         let reference =
             execute_parallel_with(&file, &query, &cost, &policy).expect("fault-free run");
         assert_eq!(reference.coverage, 1.0, "{label} mirror={mirror} fault-free");
@@ -150,7 +157,12 @@ fn at_rest_corruption_round_trip() {
 
     for mirror in [false, true] {
         let file = build_file(&sys, FxDistribution::auto(sys.clone()).unwrap(), 400, mirror);
-        let policy = ExecPolicy { retry: patient_retry(), failover: mirror, seed: SEED };
+        let policy = ExecPolicy {
+            retry: patient_retry(),
+            failover: mirror,
+            redundancy: Redundancy::Mirror,
+            seed: SEED,
+        };
         let reference = execute_parallel_with(&file, &query, &cost, &policy).unwrap();
         let victim_device = 3u64;
         let victim_code = file.devices()[victim_device as usize]
@@ -189,6 +201,54 @@ fn table7_file() -> &'static DeclusteredFile<FxDistribution> {
     })
 }
 
+/// The parity-protected Table 7 file (F = 8^6, M = 32, RS(4+2) stripes),
+/// built once like [`table7_file`] but with erasure coding instead of
+/// buddy mirroring.
+fn table7_parity_file() -> &'static DeclusteredFile<FxDistribution> {
+    static FILE: OnceLock<DeclusteredFile<FxDistribution>> = OnceLock::new();
+    FILE.get_or_init(|| {
+        let sys = SystemConfig::new(&[8; 6], 32).unwrap();
+        let mut file = build_file(&sys, FxDistribution::auto(sys.clone()).unwrap(), 4_000, false);
+        assert!(file.enable_parity(4, 2), "k + r = 6 <= 32 devices");
+        file
+    })
+}
+
+/// A random Table 7 query; 1–3 unspecified fields keeps |R(q)| <= 512
+/// per case.
+fn random_table7_query(src: &mut pmr_rt::check::Source, sys: &SystemConfig) -> PartialMatchQuery {
+    let unspecified = src.int_in(1, 3) as usize;
+    let values: Vec<Option<u64>> = (0..sys.num_fields())
+        .map(|i| {
+            if i < sys.num_fields() - unspecified {
+                Some(src.int_in(0, sys.field_size(i) - 1))
+            } else {
+                None
+            }
+        })
+        .collect();
+    PartialMatchQuery::new(sys, &values).expect("values in range")
+}
+
+/// The qualified codes of `query` homed on any of `dead` — exactly the
+/// buckets an outage of those devices puts at risk.
+fn qualified_codes_on<D: DistributionMethod>(
+    file: &DeclusteredFile<D>,
+    query: &PartialMatchQuery,
+    dead: &[u64],
+) -> Vec<u64> {
+    let sys = file.system().clone();
+    let mut at_risk = Vec::new();
+    let mut it = query.qualified_buckets(&sys);
+    while let Some(code) = it.next_code() {
+        if dead.contains(&file.method().device_of_packed(code)) {
+            at_risk.push(code);
+        }
+    }
+    at_risk.sort_unstable();
+    at_risk
+}
+
 rt_proptest! {
     /// Mirroring turns ANY single-device outage into a non-event: every
     /// random Table 7 query completes with full coverage and exactly the
@@ -197,20 +257,14 @@ rt_proptest! {
         let file = table7_file();
         let sys = file.system().clone();
         let dead = src.int_in(0, sys.devices() - 1);
-        // 1–3 unspecified fields keeps |R(q)| <= 512 per case.
-        let unspecified = src.int_in(1, 3) as usize;
-        let values: Vec<Option<u64>> = (0..sys.num_fields())
-            .map(|i| {
-                if i < sys.num_fields() - unspecified {
-                    Some(src.int_in(0, sys.field_size(i) - 1))
-                } else {
-                    None
-                }
-            })
-            .collect();
-        let query = PartialMatchQuery::new(&sys, &values).expect("values in range");
+        let query = random_table7_query(src, &sys);
         let cost = CostModel::main_memory();
-        let policy = ExecPolicy { retry: RetryPolicy::none(), failover: true, seed: SEED };
+        let policy = ExecPolicy {
+            retry: RetryPolicy::none(),
+            failover: true,
+            redundancy: Redundancy::Mirror,
+            seed: SEED,
+        };
 
         file.install_fault_plan(None);
         let clean = execute_parallel_with(file, &query, &cost, &policy).expect("fault-free");
@@ -225,6 +279,103 @@ rt_proptest! {
             sorted_records(&degraded),
             sorted_records(&clean),
             "device {dead} outage, query {query}"
+        );
+    }
+
+    /// Two simultaneous outages under buddy mirroring lose coverage
+    /// exactly when the dead pair are buddies (`a ^ M/2 == b`): then both
+    /// copies of a stripe are gone and the lost set is precisely the
+    /// qualified buckets homed on the pair; any non-buddy pair still has
+    /// a living copy of everything (satellite property).
+    fn double_outage_with_mirroring_loses_coverage_iff_buddies(src) {
+        let file = table7_file();
+        let sys = file.system().clone();
+        let m = sys.devices();
+        let a = src.int_in(0, m - 1);
+        let b = {
+            let pick = src.int_in(0, m - 2);
+            if pick >= a { pick + 1 } else { pick }
+        };
+        let query = random_table7_query(src, &sys);
+        let cost = CostModel::main_memory();
+        let policy = ExecPolicy {
+            retry: RetryPolicy::none(),
+            failover: true,
+            redundancy: Redundancy::Mirror,
+            seed: SEED,
+        };
+
+        file.install_fault_plan(None);
+        let clean = execute_parallel_with(file, &query, &cost, &policy).expect("fault-free");
+
+        let plan = FaultPlan::new(SEED).with_dead_device(a).with_dead_device(b);
+        file.install_fault_plan(Some(Arc::new(plan)));
+        let degraded = execute_parallel_with(file, &query, &cost, &policy).expect("degrades");
+        file.install_fault_plan(None);
+
+        let buddies = file.mirroring().expect("table7_file mirrors").buddy_of(a) == b;
+        if buddies {
+            let at_risk = qualified_codes_on(file, &query, &[a, b]);
+            let mut lost = degraded.lost_buckets.clone();
+            lost.sort_unstable();
+            assert_eq!(lost, at_risk, "buddy pair ({a}, {b}), query {query}");
+            assert_eq!(degraded.coverage == 1.0, at_risk.is_empty());
+        } else {
+            assert_eq!(degraded.coverage, 1.0, "non-buddy pair ({a}, {b}), query {query}");
+            assert_eq!(
+                sorted_records(&degraded),
+                sorted_records(&clean),
+                "non-buddy pair ({a}, {b}), query {query}"
+            );
+        }
+    }
+
+    /// ISSUE acceptance pin: under `Parity{k=4, r=2}` on the Table 7
+    /// system, ANY two simultaneous device outages are invisible —
+    /// coverage stays 1.0 and the record set is bit-equal to the
+    /// fault-free run, at ~r/k storage overhead instead of mirroring's 2x.
+    fn double_outage_with_parity_is_invisible(src) {
+        let file = table7_parity_file();
+        let sys = file.system().clone();
+        let m = sys.devices();
+        let a = src.int_in(0, m - 1);
+        let b = {
+            let pick = src.int_in(0, m - 2);
+            if pick >= a { pick + 1 } else { pick }
+        };
+        let query = random_table7_query(src, &sys);
+        let cost = CostModel::main_memory();
+        let policy = ExecPolicy {
+            retry: RetryPolicy::none(),
+            failover: true,
+            redundancy: Redundancy::Parity { k: 4, r: 2 },
+            seed: SEED,
+        };
+
+        file.install_fault_plan(None);
+        let clean = execute_parallel_with(file, &query, &cost, &policy).expect("fault-free");
+        assert_eq!(clean.reconstructions(), 0);
+
+        let plan = FaultPlan::new(SEED).with_dead_device(a).with_dead_device(b);
+        file.install_fault_plan(Some(Arc::new(plan)));
+        let degraded = execute_parallel_with(file, &query, &cost, &policy).expect("degrades");
+        file.install_fault_plan(None);
+
+        assert_eq!(degraded.coverage, 1.0, "dead pair ({a}, {b}), query {query}");
+        assert!(degraded.is_complete());
+        assert_eq!(
+            sorted_records(&degraded),
+            sorted_records(&clean),
+            "dead pair ({a}, {b}), query {query}"
+        );
+        // Every at-risk bucket was actually served via parity decode, not
+        // by luck of placement.
+        let at_risk = qualified_codes_on(file, &query, &[a, b]);
+        assert!(
+            degraded.reconstructions() >= at_risk.len() as u64,
+            "dead pair ({a}, {b}): {} at-risk buckets, {} reconstructions",
+            at_risk.len(),
+            degraded.reconstructions()
         );
     }
 }
