@@ -47,8 +47,7 @@ impl CrossoverReport {
             .iter()
             .enumerate()
             .map(|(i, _)| {
-                let mut values: Vec<f64> =
-                    self.series.iter().map(|s| s.averages[i]).collect();
+                let mut values: Vec<f64> = self.series.iter().map(|s| s.averages[i]).collect();
                 values.sort_by(|a, b| a.partial_cmp(b).expect("averages are finite"));
                 if values.len() < 2 || values[0] == 0.0 {
                     1.0
@@ -73,7 +72,10 @@ pub fn crossover_report<D: DistributionMethod + ?Sized>(
         .iter()
         .map(|m| MethodSeries {
             name: m.name(),
-            averages: ks.iter().map(|&k| average_largest_response(*m, sys, k)).collect(),
+            averages: ks
+                .iter()
+                .map(|&k| average_largest_response(*m, sys, k))
+                .collect(),
         })
         .collect();
     let optimal: Vec<f64> = ks.iter().map(|&k| optimal_average(sys, k)).collect();
@@ -95,7 +97,13 @@ pub fn crossover_report<D: DistributionMethod + ?Sized>(
         .zip(&winner)
         .filter_map(|((&k, &w), &prev)| (w != prev).then_some(k))
         .collect();
-    CrossoverReport { ks, series, optimal, winner, crossovers }
+    CrossoverReport {
+        ks,
+        series,
+        optimal,
+        winner,
+        crossovers,
+    }
 }
 
 #[cfg(test)]
@@ -111,8 +119,7 @@ mod tests {
     fn table_8_crossover_reproduced() {
         let sys = SystemConfig::new(&[8; 6], 64).unwrap();
         let gdm1 = GdmDistribution::paper_set(sys.clone(), PaperGdmSet::Gdm1);
-        let fx = FxDistribution::with_strategy(sys.clone(), AssignmentStrategy::CycleIu1)
-            .unwrap();
+        let fx = FxDistribution::with_strategy(sys.clone(), AssignmentStrategy::CycleIu1).unwrap();
         let methods: [&dyn DistributionMethod; 2] = [&gdm1, &fx];
         let report = crossover_report(&sys, &methods, 2..=6);
         // k = 2: GDM1 (index 0) wins; k >= 3: FX (index 1) wins.
@@ -130,8 +137,7 @@ mod tests {
     fn table_7_no_crossover() {
         let sys = SystemConfig::new(&[8; 6], 32).unwrap();
         let gdm1 = GdmDistribution::paper_set(sys.clone(), PaperGdmSet::Gdm1);
-        let fx = FxDistribution::with_strategy(sys.clone(), AssignmentStrategy::CycleIu1)
-            .unwrap();
+        let fx = FxDistribution::with_strategy(sys.clone(), AssignmentStrategy::CycleIu1).unwrap();
         let methods: [&dyn DistributionMethod; 2] = [&gdm1, &fx];
         let report = crossover_report(&sys, &methods, 2..=6);
         assert!(report.winner.iter().all(|&w| w == 1), "{:?}", report.winner);
@@ -142,8 +148,7 @@ mod tests {
     fn margins_are_ratios() {
         let sys = SystemConfig::new(&[8; 6], 32).unwrap();
         let gdm1 = GdmDistribution::paper_set(sys.clone(), PaperGdmSet::Gdm1);
-        let fx = FxDistribution::with_strategy(sys.clone(), AssignmentStrategy::CycleIu1)
-            .unwrap();
+        let fx = FxDistribution::with_strategy(sys.clone(), AssignmentStrategy::CycleIu1).unwrap();
         let methods: [&dyn DistributionMethod; 2] = [&gdm1, &fx];
         let report = crossover_report(&sys, &methods, 2..=4);
         for m in report.margins() {

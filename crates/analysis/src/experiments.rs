@@ -107,7 +107,12 @@ pub fn distribution_setup(exp: Experiment) -> Result<(SystemConfig, Assignment)>
 pub fn table_distribution(exp: Experiment) -> Result<String> {
     let (sys, assignment) = distribution_setup(exp)?;
     let fx = FxDistribution::with_assignment(assignment);
-    let title = format!("{} — {} with FX({})\n", exp.label(), sys, fx.assignment().describe());
+    let title = format!(
+        "{} — {} with FX({})\n",
+        exp.label(),
+        sys,
+        fx.assignment().describe()
+    );
     let body = if exp == Experiment::Table2 {
         let dm = ModuloDistribution::new(sys.clone());
         let methods: [(&str, &dyn DistributionMethod); 2] = [("FX", &fx), ("Modulo", &dm)];
@@ -122,12 +127,14 @@ pub fn table_distribution(exp: Experiment) -> Result<String> {
 /// The `(system, FX strategy)` of a response-size table (Tables 7–9).
 pub fn response_setup(exp: Experiment) -> Result<(SystemConfig, AssignmentStrategy)> {
     match exp {
-        Experiment::Table7 => {
-            Ok((SystemConfig::new(&[8; 6], 32)?, AssignmentStrategy::CycleIu1))
-        }
-        Experiment::Table8 => {
-            Ok((SystemConfig::new(&[8; 6], 64)?, AssignmentStrategy::CycleIu1))
-        }
+        Experiment::Table7 => Ok((
+            SystemConfig::new(&[8; 6], 32)?,
+            AssignmentStrategy::CycleIu1,
+        )),
+        Experiment::Table8 => Ok((
+            SystemConfig::new(&[8; 6], 64)?,
+            AssignmentStrategy::CycleIu1,
+        )),
         Experiment::Table9 => Ok((
             SystemConfig::new(&[8, 8, 8, 16, 16, 16], 512)?,
             AssignmentStrategy::CycleIu2,
@@ -163,29 +170,29 @@ pub fn table_response(exp: Experiment) -> Result<ResponseTable> {
 pub fn render_table_response(exp: Experiment) -> Result<String> {
     let (sys, strategy) = response_setup(exp)?;
     let table = table_response(exp)?;
-    let title = format!(
-        "{} — {} (FX strategy: {strategy})",
-        exp.label(),
-        sys
-    );
+    let title = format!("{} — {} (FX strategy: {strategy})", exp.label(), sys);
     Ok(render_response_table(&table, &title))
 }
 
 /// The configuration of a probability figure.
 pub fn figure_config(exp: Experiment) -> FigureConfig {
     match exp {
-        Experiment::Figure1 => {
-            FigureConfig { num_fields: 6, regime: FigureRegime::PairProductsCover }
-        }
-        Experiment::Figure2 => {
-            FigureConfig { num_fields: 10, regime: FigureRegime::PairProductsCover }
-        }
-        Experiment::Figure3 => {
-            FigureConfig { num_fields: 6, regime: FigureRegime::TripleProductsCover }
-        }
-        Experiment::Figure4 => {
-            FigureConfig { num_fields: 10, regime: FigureRegime::TripleProductsCover }
-        }
+        Experiment::Figure1 => FigureConfig {
+            num_fields: 6,
+            regime: FigureRegime::PairProductsCover,
+        },
+        Experiment::Figure2 => FigureConfig {
+            num_fields: 10,
+            regime: FigureRegime::PairProductsCover,
+        },
+        Experiment::Figure3 => FigureConfig {
+            num_fields: 6,
+            regime: FigureRegime::TripleProductsCover,
+        },
+        Experiment::Figure4 => FigureConfig {
+            num_fields: 10,
+            regime: FigureRegime::TripleProductsCover,
+        },
         other => panic!("{} is not a figure", other.label()),
     }
 }
@@ -201,9 +208,7 @@ pub fn render_figure_experiment(exp: Experiment) -> Result<String> {
     let curves = figure(exp)?;
     let regime = match config.regime {
         FigureRegime::PairProductsCover => "FpFq >= M for all small pairs; FX: I,U,IU1",
-        FigureRegime::TripleProductsCover => {
-            "FpFq < M, FpFqFr >= M for small triples; FX: I,U,IU2"
-        }
+        FigureRegime::TripleProductsCover => "FpFq < M, FpFqFr >= M for small triples; FX: I,U,IU2",
     };
     let title = format!(
         "{} — % of strict-optimal query patterns, n = {} ({regime})",
@@ -252,9 +257,12 @@ mod tests {
     /// Every figure experiment produces monotone-dominating FX curves.
     #[test]
     fn figures_compute() {
-        for exp in
-            [Experiment::Figure1, Experiment::Figure2, Experiment::Figure3, Experiment::Figure4]
-        {
+        for exp in [
+            Experiment::Figure1,
+            Experiment::Figure2,
+            Experiment::Figure3,
+            Experiment::Figure4,
+        ] {
             let curves = figure(exp).unwrap();
             let config = figure_config(exp);
             assert_eq!(curves.l_values.len(), config.num_fields + 1);

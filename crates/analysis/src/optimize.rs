@@ -41,7 +41,12 @@ pub struct AnnealOptions {
 
 impl Default for AnnealOptions {
     fn default() -> Self {
-        AnnealOptions { steps: 2_000, initial_temperature: 4.0, seed: 0x5eed, restarts: 4 }
+        AnnealOptions {
+            steps: 2_000,
+            initial_temperature: 4.0,
+            seed: 0x5eed,
+            restarts: 4,
+        }
     }
 }
 
@@ -149,10 +154,7 @@ pub fn anneal(sys: &SystemConfig, options: &AnnealOptions) -> Result<AnnealResul
 }
 
 /// Runs simulated annealing from an explicit starting distribution.
-pub fn anneal_from(
-    start: GeneralFxDistribution,
-    options: &AnnealOptions,
-) -> Result<AnnealResult> {
+pub fn anneal_from(start: GeneralFxDistribution, options: &AnnealOptions) -> Result<AnnealResult> {
     let sys = start.system().clone();
     let m = sys.devices();
     let small_fields: Vec<usize> = sys.small_fields();
@@ -206,8 +208,7 @@ pub fn anneal_from(
             for &v in &table {
                 used[v as usize] = true;
             }
-            let free: Vec<u64> =
-                (0..m).filter(|&v| !used[v as usize]).collect();
+            let free: Vec<u64> = (0..m).filter(|&v| !used[v as usize]).collect();
             if free.is_empty() {
                 continue; // F == M: permutations only
             }
@@ -258,7 +259,12 @@ mod tests {
     use super::*;
 
     fn options(steps: usize, seed: u64) -> AnnealOptions {
-        AnnealOptions { steps, initial_temperature: 4.0, seed, restarts: 2 }
+        AnnealOptions {
+            steps,
+            initial_temperature: 4.0,
+            seed,
+            restarts: 2,
+        }
     }
 
     /// Annealing never regresses: the result is at least as good as the

@@ -202,8 +202,10 @@ mod tests {
     fn suspect_cells_are_the_minority() {
         for exp in [Experiment::Table7, Experiment::Table8, Experiment::Table9] {
             let comparisons = compare(exp).unwrap();
-            let suspect =
-                comparisons.iter().filter(|c| c.status == CellStatus::OcrSuspect).count();
+            let suspect = comparisons
+                .iter()
+                .filter(|c| c.status == CellStatus::OcrSuspect)
+                .count();
             assert_eq!(comparisons.len(), 30);
             assert!(suspect <= 8, "{}: {suspect} suspect cells", exp.label());
         }
@@ -215,7 +217,10 @@ mod tests {
         let text = render_comparison(Experiment::Table9, &comparisons);
         assert!(text.contains("Table 9"));
         assert!(text.contains("ocr-suspect"));
-        assert!(!text.contains(" MISMATCH"), "no legible mismatches:\n{text}");
+        assert!(
+            !text.contains(" MISMATCH"),
+            "no legible mismatches:\n{text}"
+        );
     }
 
     #[test]

@@ -187,7 +187,11 @@ pub fn figure_curves(config: &FigureConfig) -> Result<FigureCurves> {
         md.push(100.0 * modulo_certified_fraction(&sys));
         fd.push(100.0 * fx_certified_fraction(&assignment));
     }
-    Ok(FigureCurves { l_values, md_percent: md, fd_percent: fd })
+    Ok(FigureCurves {
+        l_values,
+        md_percent: md,
+        fd_percent: fd,
+    })
 }
 
 /// Computes a figure's *empirical* curves on scaled-down systems
@@ -204,7 +208,11 @@ pub fn empirical_curves(config: &FigureConfig) -> Result<FigureCurves> {
         md.push(100.0 * empirical_fraction(&dm, &sys));
         fd.push(100.0 * empirical_fraction(&fx, &sys));
     }
-    Ok(FigureCurves { l_values, md_percent: md, fd_percent: fd })
+    Ok(FigureCurves {
+        l_values,
+        md_percent: md,
+        fd_percent: fd,
+    })
 }
 
 #[cfg(test)]
@@ -215,8 +223,14 @@ mod tests {
     fn l_zero_certifies_everything() {
         // With no small fields every non-trivial pattern has a large
         // unspecified field → 100% for both methods.
-        for regime in [FigureRegime::PairProductsCover, FigureRegime::TripleProductsCover] {
-            let config = FigureConfig { num_fields: 6, regime };
+        for regime in [
+            FigureRegime::PairProductsCover,
+            FigureRegime::TripleProductsCover,
+        ] {
+            let config = FigureConfig {
+                num_fields: 6,
+                regime,
+            };
             let curves = figure_curves(&config).unwrap();
             assert_eq!(curves.md_percent[0], 100.0);
             assert_eq!(curves.fd_percent[0], 100.0);
@@ -228,8 +242,10 @@ mod tests {
     /// `2^n − (2^L − 1 − L)` out of `2^n`.
     #[test]
     fn md_curve_closed_form() {
-        let config =
-            FigureConfig { num_fields: 6, regime: FigureRegime::PairProductsCover };
+        let config = FigureConfig {
+            num_fields: 6,
+            regime: FigureRegime::PairProductsCover,
+        };
         let curves = figure_curves(&config).unwrap();
         for (idx, &l) in curves.l_values.iter().enumerate() {
             let n = 6u32;
@@ -253,7 +269,11 @@ mod tests {
             (6, FigureRegime::TripleProductsCover),
             (10, FigureRegime::TripleProductsCover),
         ] {
-            let curves = figure_curves(&FigureConfig { num_fields: n, regime }).unwrap();
+            let curves = figure_curves(&FigureConfig {
+                num_fields: n,
+                regime,
+            })
+            .unwrap();
             for i in 0..curves.l_values.len() {
                 assert!(
                     curves.fd_percent[i] >= curves.md_percent[i] - 1e-9,
@@ -276,8 +296,10 @@ mod tests {
     /// probability of strict optimality for FX distribution is not much".
     #[test]
     fn fx_decay_is_gentle() {
-        let config =
-            FigureConfig { num_fields: 6, regime: FigureRegime::PairProductsCover };
+        let config = FigureConfig {
+            num_fields: 6,
+            regime: FigureRegime::PairProductsCover,
+        };
         let curves = figure_curves(&config).unwrap();
         assert_eq!(curves.fd_percent[0], 100.0);
         assert_eq!(curves.fd_percent[1], 100.0);
@@ -291,21 +313,25 @@ mod tests {
     /// particular representative sizes (canonical vs empirical scaling).
     #[test]
     fn certified_fraction_is_scale_invariant() {
-        for regime in [FigureRegime::PairProductsCover, FigureRegime::TripleProductsCover] {
-            let config = FigureConfig { num_fields: 6, regime };
+        for regime in [
+            FigureRegime::PairProductsCover,
+            FigureRegime::TripleProductsCover,
+        ] {
+            let config = FigureConfig {
+                num_fields: 6,
+                regime,
+            };
             for l in 0..=6usize {
                 let big = regime_system(&config, l, false).unwrap();
                 let small = regime_system(&config, l, true).unwrap();
                 let a_big = Assignment::from_strategy(&big, regime.strategy()).unwrap();
                 let a_small = Assignment::from_strategy(&small, regime.strategy()).unwrap();
                 assert!(
-                    (fx_certified_fraction(&a_big) - fx_certified_fraction(&a_small)).abs()
-                        < 1e-12,
+                    (fx_certified_fraction(&a_big) - fx_certified_fraction(&a_small)).abs() < 1e-12,
                     "{regime:?} L = {l}"
                 );
                 assert!(
-                    (modulo_certified_fraction(&big) - modulo_certified_fraction(&small))
-                        .abs()
+                    (modulo_certified_fraction(&big) - modulo_certified_fraction(&small)).abs()
                         < 1e-12
                 );
             }
@@ -316,17 +342,16 @@ mod tests {
     /// uniform pattern fraction, and the weights always sum to one.
     #[test]
     fn certified_probability_matches_fraction_at_half() {
-        let config =
-            FigureConfig { num_fields: 6, regime: FigureRegime::PairProductsCover };
+        let config = FigureConfig {
+            num_fields: 6,
+            regime: FigureRegime::PairProductsCover,
+        };
         for l in 0..=6usize {
             let sys = regime_system(&config, l, false).unwrap();
             let a = Assignment::from_strategy(&sys, config.regime.strategy()).unwrap();
+            assert!((fx_certified_probability(&a, 0.5) - fx_certified_fraction(&a)).abs() < 1e-12);
             assert!(
-                (fx_certified_probability(&a, 0.5) - fx_certified_fraction(&a)).abs() < 1e-12
-            );
-            assert!(
-                (modulo_certified_probability(&sys, 0.5) - modulo_certified_fraction(&sys))
-                    .abs()
+                (modulo_certified_probability(&sys, 0.5) - modulo_certified_fraction(&sys)).abs()
                     < 1e-12
             );
             // p = 1: every field specified → always certified (clause 1).
@@ -341,8 +366,10 @@ mod tests {
     /// FX dominates MD at every specification probability, not just 0.5.
     #[test]
     fn fx_dominates_md_for_all_p() {
-        let config =
-            FigureConfig { num_fields: 6, regime: FigureRegime::TripleProductsCover };
+        let config = FigureConfig {
+            num_fields: 6,
+            regime: FigureRegime::TripleProductsCover,
+        };
         let sys = regime_system(&config, 6, false).unwrap();
         let a = Assignment::from_strategy(&sys, config.regime.strategy()).unwrap();
         for i in 0..=10 {
@@ -357,8 +384,10 @@ mod tests {
     /// certified curves.
     #[test]
     fn empirical_envelopes_certified() {
-        let config =
-            FigureConfig { num_fields: 6, regime: FigureRegime::PairProductsCover };
+        let config = FigureConfig {
+            num_fields: 6,
+            regime: FigureRegime::PairProductsCover,
+        };
         let certified = figure_curves(&config).unwrap();
         let empirical = empirical_curves(&config).unwrap();
         for i in 0..certified.l_values.len() {

@@ -34,7 +34,11 @@ pub fn average_largest_response<D: DistributionMethod + ?Sized>(
         sum += pattern_largest_response(method, sys, pattern);
         count += 1;
     }
-    assert!(count > 0, "no patterns with k = {k} in an {}-field system", sys.num_fields());
+    assert!(
+        count > 0,
+        "no patterns with k = {k} in an {}-field system",
+        sys.num_fields()
+    );
     sum as f64 / count as f64
 }
 
@@ -79,8 +83,11 @@ pub fn response_table<D: DistributionMethod + ?Sized>(
     methods: &[&D],
     k_range: std::ops::RangeInclusive<u32>,
 ) -> ResponseTable {
-    let columns: Vec<String> =
-        methods.iter().map(|m| m.name()).chain(std::iter::once("Optimal".into())).collect();
+    let columns: Vec<String> = methods
+        .iter()
+        .map(|m| m.name())
+        .chain(std::iter::once("Optimal".into()))
+        .collect();
     let rows = k_range
         .map(|k| ResponseRow {
             k,
@@ -91,7 +98,11 @@ pub fn response_table<D: DistributionMethod + ?Sized>(
             optimal: optimal_average(sys, k),
         })
         .collect();
-    ResponseTable { system: sys.clone(), columns, rows }
+    ResponseTable {
+        system: sys.clone(),
+        columns,
+        rows,
+    }
 }
 
 #[cfg(test)]
@@ -111,8 +122,7 @@ mod tests {
     #[test]
     fn table_7_hand_checked_row() {
         let sys = SystemConfig::new(&[8; 6], 32).unwrap();
-        let fx = FxDistribution::with_strategy(sys.clone(), AssignmentStrategy::CycleIu1)
-            .unwrap();
+        let fx = FxDistribution::with_strategy(sys.clone(), AssignmentStrategy::CycleIu1).unwrap();
         let dm = ModuloDistribution::new(sys.clone());
         assert_eq!(optimal_average(&sys, 2), 2.0);
         assert_eq!(average_largest_response(&dm, &sys, 2), 8.0);
@@ -123,8 +133,7 @@ mod tests {
     #[test]
     fn table_8_hand_checked_row() {
         let sys = SystemConfig::new(&[8; 6], 64).unwrap();
-        let fx = FxDistribution::with_strategy(sys.clone(), AssignmentStrategy::CycleIu1)
-            .unwrap();
+        let fx = FxDistribution::with_strategy(sys.clone(), AssignmentStrategy::CycleIu1).unwrap();
         let dm = ModuloDistribution::new(sys.clone());
         assert_eq!(optimal_average(&sys, 2), 1.0);
         assert!((average_largest_response(&fx, &sys, 2) - 2.4).abs() < 1e-9);
@@ -145,8 +154,7 @@ mod tests {
     #[test]
     fn response_table_shape() {
         let sys = SystemConfig::new(&[4, 4, 4], 16).unwrap();
-        let fx = FxDistribution::with_strategy(sys.clone(), AssignmentStrategy::CycleIu1)
-            .unwrap();
+        let fx = FxDistribution::with_strategy(sys.clone(), AssignmentStrategy::CycleIu1).unwrap();
         let dm = ModuloDistribution::new(sys.clone());
         let methods: Vec<&dyn DistributionMethod> = vec![&dm, &fx];
         let table = response_table(&sys, &methods, 2..=3);
@@ -167,8 +175,7 @@ mod tests {
     #[test]
     fn fast_average_matches_brute_force() {
         let sys = SystemConfig::new(&[4, 2, 4], 8).unwrap();
-        let fx = FxDistribution::with_strategy(sys.clone(), AssignmentStrategy::CycleIu2)
-            .unwrap();
+        let fx = FxDistribution::with_strategy(sys.clone(), AssignmentStrategy::CycleIu2).unwrap();
         for k in 0..=3u32 {
             let fast = average_largest_response(&fx, &sys, k);
             // Brute force: average per pattern of the (constant) largest
@@ -177,8 +184,7 @@ mod tests {
             for pattern in Pattern::with_unspecified_count(3, k) {
                 let mut worst = 0u64;
                 pmr_core::optimality::for_each_query(&sys, pattern, |q| {
-                    worst = worst
-                        .max(pmr_core::optimality::largest_response(&fx, &sys, q));
+                    worst = worst.max(pmr_core::optimality::largest_response(&fx, &sys, q));
                     true
                 });
                 per_pattern.push(worst as f64);

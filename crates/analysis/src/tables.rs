@@ -89,8 +89,11 @@ pub fn render_figure(curves: &FigureCurves, title: &str) -> String {
     let mut out = String::new();
     out.push_str(title);
     out.push('\n');
-    let mut rows: Vec<Vec<String>> =
-        vec![vec!["L (small fields)".into(), "MD %".into(), "FD %".into()]];
+    let mut rows: Vec<Vec<String>> = vec![vec![
+        "L (small fields)".into(),
+        "MD %".into(),
+        "FD %".into(),
+    ]];
     for (i, &l) in curves.l_values.iter().enumerate() {
         rows.push(vec![
             l.to_string(),
@@ -117,7 +120,10 @@ fn format_avg(v: f64) -> String {
 }
 
 fn binary(v: u64, bits: u32) -> String {
-    (0..bits).rev().map(|b| if v >> b & 1 == 1 { '1' } else { '0' }).collect()
+    (0..bits)
+        .rev()
+        .map(|b| if v >> b & 1 == 1 { '1' } else { '0' })
+        .collect()
 }
 
 fn push_row(out: &mut String, cells: &[String], widths: &[usize]) {
@@ -140,7 +146,13 @@ fn push_separator(out: &mut String, widths: &[usize]) {
 fn render_matrix(out: &mut String, rows: &[Vec<String>]) {
     let cols = rows.iter().map(|r| r.len()).max().unwrap_or(0);
     let widths: Vec<usize> = (0..cols)
-        .map(|c| rows.iter().filter_map(|r| r.get(c)).map(|s| s.len()).max().unwrap_or(0))
+        .map(|c| {
+            rows.iter()
+                .filter_map(|r| r.get(c))
+                .map(|s| s.len())
+                .max()
+                .unwrap_or(0)
+        })
         .collect();
     for (i, row) in rows.iter().enumerate() {
         push_row(out, row, &widths);
@@ -189,7 +201,11 @@ mod tests {
         let table = ResponseTable {
             system: sys,
             columns: vec!["Modulo".into(), "FX".into(), "Optimal".into()],
-            rows: vec![ResponseRow { k: 2, averages: vec![8.0, 3.2], optimal: 2.0 }],
+            rows: vec![ResponseRow {
+                k: 2,
+                averages: vec![8.0, 3.2],
+                optimal: 2.0,
+            }],
         };
         let s = render_response_table(&table, "Table X");
         assert!(s.contains("Table X"));

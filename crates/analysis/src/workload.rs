@@ -31,7 +31,11 @@ impl WorkloadSpec {
     /// The paper's uniform model: every field specified with probability
     /// `p`, independently.
     pub fn uniform(num_fields: usize, p: f64, queries: usize, seed: u64) -> Self {
-        WorkloadSpec { spec_probability: vec![p; num_fields], queries, seed }
+        WorkloadSpec {
+            spec_probability: vec![p; num_fields],
+            queries,
+            seed,
+        }
     }
 
     /// Generates the workload's queries for a system (specified values
@@ -42,9 +46,15 @@ impl WorkloadSpec {
     /// Panics when the probability vector's length differs from the
     /// system's field count or a probability is outside `[0, 1]`.
     pub fn generate(&self, sys: &SystemConfig) -> Vec<PartialMatchQuery> {
-        assert_eq!(self.spec_probability.len(), sys.num_fields(), "arity mismatch");
+        assert_eq!(
+            self.spec_probability.len(),
+            sys.num_fields(),
+            "arity mismatch"
+        );
         assert!(
-            self.spec_probability.iter().all(|p| (0.0..=1.0).contains(p)),
+            self.spec_probability
+                .iter()
+                .all(|p| (0.0..=1.0).contains(p)),
             "probabilities must be in [0, 1]"
         );
         let mut rng = Rng::seed_from_u64(self.seed);
@@ -89,7 +99,10 @@ pub fn evaluate<D: DistributionMethod + ?Sized>(
     sys: &SystemConfig,
     workload: &[PartialMatchQuery],
 ) -> WorkloadSummary {
-    assert!(!workload.is_empty(), "workload must contain at least one query");
+    assert!(
+        !workload.is_empty(),
+        "workload must contain at least one query"
+    );
     let mut sum_largest = 0u64;
     let mut max_largest = 0u64;
     let mut sum_optimal = 0u64;
@@ -143,8 +156,8 @@ mod tests {
     fn fx_beats_modulo_on_the_uniform_workload() {
         let sys = sys();
         let workload = WorkloadSpec::uniform(3, 0.5, 300, 42).generate(&sys);
-        let fx = FxDistribution::with_strategy(sys.clone(), AssignmentStrategy::TheoremNine)
-            .unwrap();
+        let fx =
+            FxDistribution::with_strategy(sys.clone(), AssignmentStrategy::TheoremNine).unwrap();
         let dm = ModuloDistribution::new(sys.clone());
         let fx_summary = evaluate(&fx, &sys, &workload);
         let dm_summary = evaluate(&dm, &sys, &workload);

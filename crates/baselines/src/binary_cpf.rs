@@ -52,8 +52,9 @@ impl BinaryWeightedDistribution {
     pub fn new(sys: SystemConfig) -> Result<Self> {
         require_binary(&sys)?;
         let bits = sys.device_bits().max(1);
-        let weights =
-            (0..sys.num_fields()).map(|i| 1u64 << (i as u32 % bits)).collect();
+        let weights = (0..sys.num_fields())
+            .map(|i| 1u64 << (i as u32 % bits))
+            .collect();
         Ok(BinaryWeightedDistribution { sys, weights })
     }
 
@@ -77,11 +78,9 @@ impl DistributionMethod for BinaryWeightedDistribution {
     /// the weighted sum reads each bit directly.
     #[inline]
     fn device_of_packed(&self, code: u64) -> u64 {
-        let sum = self
-            .weights
-            .iter()
-            .enumerate()
-            .fold(0u64, |acc, (i, &w)| acc.wrapping_add(((code >> i) & 1).wrapping_mul(w)));
+        let sum = self.weights.iter().enumerate().fold(0u64, |acc, (i, &w)| {
+            acc.wrapping_add(((code >> i) & 1).wrapping_mul(w))
+        });
         sum & (self.sys.devices() - 1)
     }
 
@@ -99,15 +98,18 @@ impl DistributionMethod for BinaryWeightedDistribution {
             let mut acc = [0u64; LANES];
             for (i, &w) in self.weights.iter().enumerate() {
                 for lane in 0..LANES {
-                    acc[lane] =
-                        acc[lane].wrapping_add(((chunk[lane] >> i) & 1).wrapping_mul(w));
+                    acc[lane] = acc[lane].wrapping_add(((chunk[lane] >> i) & 1).wrapping_mul(w));
                 }
             }
             for lane in 0..LANES {
                 slot[lane] = acc[lane] & m1;
             }
         }
-        for (&code, slot) in code_chunks.remainder().iter().zip(out_chunks.into_remainder()) {
+        for (&code, slot) in code_chunks
+            .remainder()
+            .iter()
+            .zip(out_chunks.into_remainder())
+        {
             *slot = self.device_of_packed(code);
         }
     }
@@ -201,7 +203,11 @@ impl DistributionMethod for GrayCodeDistribution {
                 slot[lane] = acc[lane] & m1;
             }
         }
-        for (&code, slot) in code_chunks.remainder().iter().zip(out_chunks.into_remainder()) {
+        for (&code, slot) in code_chunks
+            .remainder()
+            .iter()
+            .zip(out_chunks.into_remainder())
+        {
             *slot = self.device_of_packed(code);
         }
     }
@@ -267,8 +273,7 @@ mod tests {
         let sys = binary_sys(6, 8);
         let q = PartialMatchQuery::new(&sys, &[None; 6]).unwrap();
         for method in [
-            &BinaryWeightedDistribution::new(sys.clone()).unwrap()
-                as &dyn DistributionMethod,
+            &BinaryWeightedDistribution::new(sys.clone()).unwrap() as &dyn DistributionMethod,
             &GrayCodeDistribution::new(sys.clone()).unwrap(),
         ] {
             let hist = response_histogram(method, &sys, &q);
@@ -316,8 +321,7 @@ mod tests {
     #[test]
     fn fx_dominates_binary_heuristics() {
         let sys = binary_sys(6, 8);
-        let fx = FxDistribution::with_strategy(sys.clone(), AssignmentStrategy::CycleIu2)
-            .unwrap();
+        let fx = FxDistribution::with_strategy(sys.clone(), AssignmentStrategy::CycleIu2).unwrap();
         let bw = BinaryWeightedDistribution::new(sys.clone()).unwrap();
         let gc = GrayCodeDistribution::new(sys.clone()).unwrap();
         let count = |method: &dyn DistributionMethod| {
@@ -326,7 +330,17 @@ mod tests {
                 .count()
         };
         let fx_count = count(&fx);
-        assert!(fx_count >= count(&bw), "FX {} vs BW {}", fx_count, count(&bw));
-        assert!(fx_count >= count(&gc), "FX {} vs GC {}", fx_count, count(&gc));
+        assert!(
+            fx_count >= count(&bw),
+            "FX {} vs BW {}",
+            fx_count,
+            count(&bw)
+        );
+        assert!(
+            fx_count >= count(&gc),
+            "FX {} vs GC {}",
+            fx_count,
+            count(&gc)
+        );
     }
 }

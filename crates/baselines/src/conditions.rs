@@ -86,7 +86,10 @@ mod tests {
                     strictly_more = true;
                 }
             }
-            assert!(strictly_more, "{sys}: FX should certify strictly more patterns");
+            assert!(
+                strictly_more,
+                "{sys}: FX should certify strictly more patterns"
+            );
         }
     }
 }

@@ -147,7 +147,11 @@ impl DistributionMethod for GdmDistribution {
                 slot[lane] = acc[lane] & m1;
             }
         }
-        for (&code, slot) in code_chunks.remainder().iter().zip(out_chunks.into_remainder()) {
+        for (&code, slot) in code_chunks
+            .remainder()
+            .iter()
+            .zip(out_chunks.into_remainder())
+        {
             *slot = self.device_of_packed(code);
         }
     }
@@ -192,7 +196,12 @@ pub struct SearchResult {
 /// power-of-two "spreading" multipliers optimal configurations sometimes
 /// need (the paper's own fix for Table 2's system multiplies the second
 /// field by 4).
-pub fn search(sys: &SystemConfig, candidates: usize, max_multiplier: u64, seed: u64) -> SearchResult {
+pub fn search(
+    sys: &SystemConfig,
+    candidates: usize,
+    max_multiplier: u64,
+    seed: u64,
+) -> SearchResult {
     let mut rng = Rng::seed_from_u64(seed);
     let n = sys.num_fields();
     let patterns: Vec<Pattern> = Pattern::all(n).collect();
@@ -220,8 +229,10 @@ pub fn search(sys: &SystemConfig, candidates: usize, max_multiplier: u64, seed: 
     }
     for c in candidates_iter {
         let gdm = GdmDistribution::new(sys.clone(), c.clone()).expect("arity matches");
-        let score: u64 =
-            patterns.iter().map(|&p| pattern_largest_response(&gdm, sys, p)).sum();
+        let score: u64 = patterns
+            .iter()
+            .map(|&p| pattern_largest_response(&gdm, sys, p))
+            .sum();
         evaluated += 1;
         let better = match &best {
             None => true,
@@ -236,7 +247,12 @@ pub fn search(sys: &SystemConfig, candidates: usize, max_multiplier: u64, seed: 
         }
     }
     let (multipliers, score) = best.expect("at least one candidate evaluated");
-    SearchResult { multipliers, score, lower_bound, evaluated }
+    SearchResult {
+        multipliers,
+        score,
+        lower_bound,
+        evaluated,
+    }
 }
 
 #[cfg(test)]

@@ -83,7 +83,11 @@ impl DistributionMethod for ModuloDistribution {
                 slot[lane] = acc[lane] & m1;
             }
         }
-        for (&code, slot) in code_chunks.remainder().iter().zip(out_chunks.into_remainder()) {
+        for (&code, slot) in code_chunks
+            .remainder()
+            .iter()
+            .zip(out_chunks.into_remainder())
+        {
             *slot = self.device_of_packed(code);
         }
     }
@@ -122,7 +126,10 @@ mod tests {
                 devices.push(dm.device_of(&[j1, j2]));
             }
         }
-        assert_eq!(devices, vec![0, 1, 2, 3, 1, 2, 3, 4, 2, 3, 4, 5, 3, 4, 5, 6]);
+        assert_eq!(
+            devices,
+            vec![0, 1, 2, 3, 1, 2, 3, 4, 2, 3, 4, 5, 3, 4, 5, 6]
+        );
     }
 
     /// DM is skewed on Table 2's system: the fully-unspecified query loads

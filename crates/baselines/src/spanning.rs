@@ -140,7 +140,10 @@ mod tests {
     #[test]
     fn rejects_oversized_spaces() {
         let sys = SystemConfig::new(&[1 << 7, 1 << 7], 4).unwrap();
-        assert!(matches!(SpanningPathDistribution::build(sys), Err(Error::Overflow)));
+        assert!(matches!(
+            SpanningPathDistribution::build(sys),
+            Err(Error::Overflow)
+        ));
     }
 
     #[test]

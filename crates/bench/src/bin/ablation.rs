@@ -41,10 +41,22 @@ fn all_u_assignment(sys: &SystemConfig) -> Assignment {
 
 fn main() {
     let systems = [
-        ("2 small fields", SystemConfig::new(&[4, 4, 16, 16], 16).unwrap()),
-        ("3 small fields", SystemConfig::new(&[8, 4, 2, 32], 32).unwrap()),
-        ("all small (pair regime)", SystemConfig::new(&[8; 6], 64).unwrap()),
-        ("all small (triple regime)", SystemConfig::new(&[4; 6], 64).unwrap()),
+        (
+            "2 small fields",
+            SystemConfig::new(&[4, 4, 16, 16], 16).unwrap(),
+        ),
+        (
+            "3 small fields",
+            SystemConfig::new(&[8, 4, 2, 32], 32).unwrap(),
+        ),
+        (
+            "all small (pair regime)",
+            SystemConfig::new(&[8; 6], 64).unwrap(),
+        ),
+        (
+            "all small (triple regime)",
+            SystemConfig::new(&[4; 6], 64).unwrap(),
+        ),
     ];
 
     for (label, sys) in systems {
@@ -58,9 +70,14 @@ fn main() {
         let variants: Vec<(&str, Box<dyn DistributionMethod>)> = vec![
             (
                 "basic",
-                Box::new(FxDistribution::with_strategy(sys.clone(), AssignmentStrategy::Basic).unwrap()),
+                Box::new(
+                    FxDistribution::with_strategy(sys.clone(), AssignmentStrategy::Basic).unwrap(),
+                ),
             ),
-            ("all-U", Box::new(FxDistribution::with_assignment(all_u_assignment(&sys)))),
+            (
+                "all-U",
+                Box::new(FxDistribution::with_assignment(all_u_assignment(&sys))),
+            ),
             (
                 "cycle-iu1",
                 Box::new(

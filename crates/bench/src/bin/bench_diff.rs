@@ -48,7 +48,10 @@ fn main() -> ExitCode {
 
     let mut failed = false;
     for name in FILES {
-        let (base, new) = match (load(Path::new(committed), name), load(Path::new(fresh), name)) {
+        let (base, new) = match (
+            load(Path::new(committed), name),
+            load(Path::new(fresh), name),
+        ) {
             (Ok(b), Ok(n)) => (b, n),
             (b, n) => {
                 for err in [b.err(), n.err()].into_iter().flatten() {

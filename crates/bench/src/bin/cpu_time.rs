@@ -30,7 +30,10 @@ fn main() {
     let methods: [(&str, &dyn DistributionMethod); 3] =
         [("Modulo", &dm), ("GDM1", &gdm), ("FX(I,U,IU1)", &fx)];
 
-    println!("CPU address-computation time ({sys}, {} buckets x {repeats} passes)", 4096);
+    println!(
+        "CPU address-computation time ({sys}, {} buckets x {repeats} passes)",
+        4096
+    );
     // Warm-up pass (checksum kept live so nothing is optimized away),
     // then one measured pass per method.
     let mut checksum = 0u64;

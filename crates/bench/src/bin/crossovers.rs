@@ -20,8 +20,8 @@ fn main() {
         let dm = ModuloDistribution::new(sys.clone());
         let gdm1 = GdmDistribution::paper_set(sys.clone(), PaperGdmSet::Gdm1);
         let gdm2 = GdmDistribution::paper_set(sys.clone(), PaperGdmSet::Gdm2);
-        let fx = FxDistribution::with_strategy(sys.clone(), strategy)
-            .expect("static configuration");
+        let fx =
+            FxDistribution::with_strategy(sys.clone(), strategy).expect("static configuration");
         let methods: [&dyn DistributionMethod; 4] = [&dm, &gdm1, &gdm2, &fx];
         let report = crossover_report(&sys, &methods, 2..=sys.num_fields() as u32);
         println!("== {} — {sys} ==", exp.label());

@@ -15,7 +15,10 @@ fn main() {
         let curves = experiments::figure(exp).expect("static experiment configuration");
         println!("l,md_percent,fd_percent");
         for (i, &l) in curves.l_values.iter().enumerate() {
-            println!("{l},{:.4},{:.4}", curves.md_percent[i], curves.fd_percent[i]);
+            println!(
+                "{l},{:.4},{:.4}",
+                curves.md_percent[i], curves.fd_percent[i]
+            );
         }
     } else {
         let out = experiments::render_figure_experiment(exp)
@@ -29,7 +32,10 @@ fn main() {
         if csv {
             println!("l,md_empirical_percent,fd_empirical_percent");
             for (i, &l) in curves.l_values.iter().enumerate() {
-                println!("{l},{:.4},{:.4}", curves.md_percent[i], curves.fd_percent[i]);
+                println!(
+                    "{l},{:.4},{:.4}",
+                    curves.md_percent[i], curves.fd_percent[i]
+                );
             }
         } else {
             let title = format!(

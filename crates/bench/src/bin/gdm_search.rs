@@ -27,7 +27,10 @@ fn main() {
     let systems = [
         ("Table 2's system", SystemConfig::new(&[4, 4], 16).unwrap()),
         ("Table 7's system", SystemConfig::new(&[8; 6], 32).unwrap()),
-        ("small-field stress", SystemConfig::new(&[4, 4, 4, 4], 64).unwrap()),
+        (
+            "small-field stress",
+            SystemConfig::new(&[4, 4, 4, 4], 64).unwrap(),
+        ),
     ];
 
     for (label, sys) in systems {
@@ -37,10 +40,7 @@ fn main() {
             "searched {} candidates -> best multipliers {:?}",
             result.evaluated, result.multipliers
         );
-        println!(
-            "{:<22} {:>14} {:>14}",
-            "method", "score", "vs bound"
-        );
+        println!("{:<22} {:>14} {:>14}", "method", "score", "vs bound");
         let bound = result.lower_bound;
         let mut rows: Vec<(String, u64)> = Vec::new();
         for set in [PaperGdmSet::Gdm1, PaperGdmSet::Gdm2, PaperGdmSet::Gdm3] {
@@ -53,7 +53,10 @@ fn main() {
         debug_assert_eq!(score(&searched, &sys), result.score);
         let fx = FxDistribution::with_strategy(sys.clone(), AssignmentStrategy::TheoremNine)
             .expect("valid configuration");
-        rows.push((format!("FX ({})", fx.assignment().describe()), score(&fx, &sys)));
+        rows.push((
+            format!("FX ({})", fx.assignment().describe()),
+            score(&fx, &sys),
+        ));
         rows.push(("analytic bound".to_owned(), bound));
         for (name, s) in rows {
             println!("{name:<22} {s:>14} {:>13.2}x", s as f64 / bound as f64);

@@ -13,9 +13,18 @@ use pmr_core::{Assignment, AssignmentStrategy, GeneralFxDistribution, SystemConf
 
 fn main() {
     let systems = [
-        ("4 small fields", SystemConfig::new(&[4, 4, 4, 4], 16).unwrap()),
-        ("5 small fields", SystemConfig::new(&[2, 2, 4, 4, 8], 16).unwrap()),
-        ("6 small fields (triple regime)", SystemConfig::new(&[4; 6], 64).unwrap()),
+        (
+            "4 small fields",
+            SystemConfig::new(&[4, 4, 4, 4], 16).unwrap(),
+        ),
+        (
+            "5 small fields",
+            SystemConfig::new(&[2, 2, 4, 4, 8], 16).unwrap(),
+        ),
+        (
+            "6 small fields (triple regime)",
+            SystemConfig::new(&[4; 6], 64).unwrap(),
+        ),
     ];
     for (label, sys) in systems {
         let total_patterns = 1usize << sys.num_fields();

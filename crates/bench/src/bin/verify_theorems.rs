@@ -15,7 +15,11 @@ fn main() {
     );
     let mut all_ok = true;
     for report in verify_all(max_fields, max_buckets) {
-        let status = if report.verified() { "VERIFIED" } else { "FALSIFIED" };
+        let status = if report.verified() {
+            "VERIFIED"
+        } else {
+            "FALSIFIED"
+        };
         println!(
             "{status:<10} {:<38} {:>10} instances",
             report.claim.label(),

@@ -4,9 +4,9 @@
 //! Timing medians are noisy across machines, so this is deliberately a
 //! coarse gate: only benches in the [`GATED_PREFIXES`] groups
 //! (`query_exec`, `exec_fast_path`, `throughput`, `serve`,
-//! `addr_compute/batched_*`, `bulk_insert`, `ec`, and the parity
-//! no-fault read — the end-to-end and batched hot paths the perf PRs
-//! pin) are compared, and only a median more than
+//! `addr_compute/batched_*`, `bulk_insert`, `ec`, `read_path`, and the
+//! parity no-fault read — the end-to-end and batched hot paths the perf
+//! PRs pin) are compared, and only a median more than
 //! [`DEFAULT_THRESHOLD`]× the committed one counts as a regression. A
 //! gated bench that *disappears* from the fresh run also fails: renames
 //! must update the baselines in the same change. The `bench_diff` binary
@@ -26,6 +26,7 @@ pub const GATED_PREFIXES: &[&str] = &[
     "bulk_insert/",
     "ec/",
     "fault_overhead/read_parity_no_fault",
+    "read_path/",
 ];
 
 /// A fresh median this many times the committed one fails the gate.
@@ -108,7 +109,11 @@ pub fn compare(
         report.compared += 1;
         // A zero baseline median (sub-resolution bench) can't be rated;
         // any finite fresh time passes.
-        let ratio = if base_ns > 0.0 { fresh_ns / base_ns } else { 1.0 };
+        let ratio = if base_ns > 0.0 {
+            fresh_ns / base_ns
+        } else {
+            1.0
+        };
         if ratio > threshold {
             report.regressions.push(Regression {
                 bench: bench.clone(),
@@ -140,7 +145,11 @@ mod tests {
 
     #[test]
     fn parses_baseline_lines() {
-        let text = format!("{}\n{}\n", line("query_exec/a", 100.0), line("bulk_insert/b", 5.5));
+        let text = format!(
+            "{}\n{}\n",
+            line("query_exec/a", 100.0),
+            line("bulk_insert/b", 5.5)
+        );
         let parsed = parse_baseline(&text).unwrap();
         assert_eq!(parsed["query_exec/a"], 100.0);
         assert_eq!(parsed["bulk_insert/b"], 5.5);
@@ -211,15 +220,30 @@ mod tests {
         assert!(!gated("fault_overhead/policy_no_faults"));
     }
 
+    /// All three decoded-page-cache benches ride the `read_path/` prefix
+    /// into the gate: the hot-cached win and the cache-off baseline both
+    /// regress loudly if the cache or the single-copy decode backslides.
+    #[test]
+    fn read_path_cache_benches_are_gated() {
+        assert!(gated("read_path/hot_cached"));
+        assert!(gated("read_path/cold"));
+        assert!(gated("read_path/cache_off"));
+    }
+
     #[test]
     fn vanished_gated_bench_fails_added_is_informational() {
-        let base =
-            parse_baseline(&line("exec_fast_path/dispatch_wide", 100.0)).unwrap();
+        let base = parse_baseline(&line("exec_fast_path/dispatch_wide", 100.0)).unwrap();
         let fresh = parse_baseline(&line("exec_fast_path/dispatch_huge", 100.0)).unwrap();
         let report = compare(&base, &fresh, DEFAULT_THRESHOLD);
         assert!(!report.passed());
-        assert_eq!(report.missing, vec!["exec_fast_path/dispatch_wide".to_string()]);
-        assert_eq!(report.added, vec!["exec_fast_path/dispatch_huge".to_string()]);
+        assert_eq!(
+            report.missing,
+            vec!["exec_fast_path/dispatch_wide".to_string()]
+        );
+        assert_eq!(
+            report.added,
+            vec!["exec_fast_path/dispatch_huge".to_string()]
+        );
     }
 
     #[test]

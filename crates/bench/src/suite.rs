@@ -40,13 +40,21 @@ impl SuiteOpts {
     /// Full-size workloads, iteration counts from the environment — what
     /// `cargo bench` and `bench_all` use.
     pub fn standard() -> Self {
-        SuiteOpts { iters: None, warmup: None, fast: false }
+        SuiteOpts {
+            iters: None,
+            warmup: None,
+            fast: false,
+        }
     }
 
     /// Minimal workloads and two unwarmed iterations per bench — fast
     /// enough for `cargo test`, still exercising every code path.
     pub fn smoke() -> Self {
-        SuiteOpts { iters: Some(2), warmup: Some(0), fast: true }
+        SuiteOpts {
+            iters: Some(2),
+            warmup: Some(0),
+            fast: true,
+        }
     }
 
     fn group(&self, name: &str) -> Group {
@@ -62,7 +70,11 @@ impl SuiteOpts {
 
     /// `full` normally, `fast` under smoke scaling.
     fn scaled(&self, full: usize, fast: usize) -> usize {
-        if self.fast { fast } else { full }
+        if self.fast {
+            fast
+        } else {
+            full
+        }
     }
 }
 
@@ -129,7 +141,10 @@ pub fn transforms(opts: &SuiteOpts) -> Vec<Group> {
     let f: u64 = if opts.fast { 64 } else { 256 };
     const M: u64 = 4096;
     let transforms: Vec<(&str, Transform)> = vec![
-        ("identity", Transform::new(TransformKind::Identity, f, M).unwrap()),
+        (
+            "identity",
+            Transform::new(TransformKind::Identity, f, M).unwrap(),
+        ),
         ("u", Transform::new(TransformKind::U, f, M).unwrap()),
         ("iu1", Transform::new(TransformKind::Iu1, f, M).unwrap()),
         ("iu2", Transform::new(TransformKind::Iu2, f, M).unwrap()),
@@ -270,8 +285,18 @@ pub fn bulk_insert(opts: &SuiteOpts) -> Group {
     let sys = insert_schema().system().clone();
 
     let mut group = opts.group("bulk_insert");
-    bench_insert(&mut group, "fx_auto", FxDistribution::auto(sys.clone()).unwrap(), &recs);
-    bench_insert(&mut group, "modulo", ModuloDistribution::new(sys.clone()), &recs);
+    bench_insert(
+        &mut group,
+        "fx_auto",
+        FxDistribution::auto(sys.clone()).unwrap(),
+        &recs,
+    );
+    bench_insert(
+        &mut group,
+        "modulo",
+        ModuloDistribution::new(sys.clone()),
+        &recs,
+    );
     // The streaming resident-pool path on the same FX file and batch:
     // routes codes with `device_of_batch` and ships per-device append
     // runs. Checksum equals `bulk_insert/fx_auto` (identical placement),
@@ -324,13 +349,19 @@ pub fn query_exec(opts: &SuiteOpts) -> Group {
 
     let mut group = opts.group("query_exec");
     group.bench("fx_generic_executor", || {
-        execute_parallel_scan(&fx_file, &query, &cost).unwrap().largest_response
+        execute_parallel_scan(&fx_file, &query, &cost)
+            .unwrap()
+            .largest_response
     });
     group.bench("fx_fast_executor", || {
-        execute_parallel_fx(&fx_file, &query, &cost).unwrap().largest_response
+        execute_parallel_fx(&fx_file, &query, &cost)
+            .unwrap()
+            .largest_response
     });
     group.bench("modulo_generic_executor", || {
-        execute_parallel(&dm_file, &dm_query, &cost).unwrap().largest_response
+        execute_parallel(&dm_file, &dm_query, &cost)
+            .unwrap()
+            .largest_response
     });
     group.bench("fx_serial_reference", || {
         fx_file.retrieve_serial(&query).unwrap().len() as u64
@@ -346,21 +377,31 @@ pub fn exec_fast_path(opts: &SuiteOpts) -> Group {
     let sys = exec_schema().system().clone();
     let file = exec_filled(FxDistribution::auto(sys).unwrap(), records);
     let cost = CostModel::main_memory();
-    let narrow = file.query(&[("a", Value::Int(11)), ("b", Value::Int(7))]).unwrap();
+    let narrow = file
+        .query(&[("a", Value::Int(11)), ("b", Value::Int(7))])
+        .unwrap();
     let wide = file.query(&[("b", Value::Int(7))]).unwrap();
 
     let mut group = opts.group("exec_fast_path");
     group.bench("dispatch_narrow", || {
-        execute_parallel(&file, &narrow, &cost).unwrap().largest_response
+        execute_parallel(&file, &narrow, &cost)
+            .unwrap()
+            .largest_response
     });
     group.bench("scan_narrow", || {
-        execute_parallel_scan(&file, &narrow, &cost).unwrap().largest_response
+        execute_parallel_scan(&file, &narrow, &cost)
+            .unwrap()
+            .largest_response
     });
     group.bench("dispatch_wide", || {
-        execute_parallel(&file, &wide, &cost).unwrap().largest_response
+        execute_parallel(&file, &wide, &cost)
+            .unwrap()
+            .largest_response
     });
     group.bench("scan_wide", || {
-        execute_parallel_scan(&file, &wide, &cost).unwrap().largest_response
+        execute_parallel_scan(&file, &wide, &cost)
+            .unwrap()
+            .largest_response
     });
     group
 }
@@ -446,7 +487,10 @@ pub fn fault_overhead(opts: &SuiteOpts) -> Group {
     group.bench("read_bucket_baseline", || {
         let mut n = 0u64;
         for &c in &codes {
-            n += dev.read_bucket(black_box(c)).map(|r| r.len() as u64).unwrap_or(0);
+            n += dev
+                .read_bucket(black_box(c))
+                .map(|r| r.len() as u64)
+                .unwrap_or(0);
         }
         n
     });
@@ -474,16 +518,21 @@ pub fn fault_overhead(opts: &SuiteOpts) -> Group {
     dev.set_fault_plan(None);
 
     group.bench("strict_dispatch", || {
-        execute_parallel(&file, &query, &cost).unwrap().largest_response
+        execute_parallel(&file, &query, &cost)
+            .unwrap()
+            .largest_response
     });
     let policy = ExecPolicy {
         retry: RetryPolicy::default(),
         failover: false,
         redundancy: Redundancy::None,
         seed: 9,
+        cache: None,
     };
     group.bench("policy_no_faults", || {
-        execute_parallel_with(&file, &query, &cost, &policy).unwrap().largest_response
+        execute_parallel_with(&file, &query, &cost, &policy)
+            .unwrap()
+            .largest_response
     });
     // Parity-protected file, no faults: the fault-free read path must not
     // pay for reconstruction it never performs (gated in `bench_diff`
@@ -497,12 +546,74 @@ pub fn fault_overhead(opts: &SuiteOpts) -> Group {
         failover: true,
         redundancy: Redundancy::Parity { k: 4, r: 2 },
         seed: 9,
+        cache: None,
     };
     group.bench("read_parity_no_fault", || {
         execute_parallel_with(&parity_file, &parity_query, &cost, &parity_policy)
             .unwrap()
             .largest_response
     });
+    group
+}
+
+/// The decoded-page cache on the bucket-read hot path: one device's
+/// resident buckets read repeatedly with the cache warm (every read an
+/// `Arc` clone out of the map), thrashing (capacity 1 — every read a
+/// miss, decode, and eviction), and disabled (capacity 0 — the
+/// pre-cache behaviour, a full page decode per read). All three benches
+/// return the identical record-count checksum — the cache is purely a
+/// wall-clock optimisation — and the `read_path/` gate in `bench_diff`
+/// holds the hot-over-off win (ISSUE target: ≥3x).
+pub fn read_path(opts: &SuiteOpts) -> Group {
+    let records = opts.scaled(20_000, 1000) as i64;
+    let sys = exec_schema().system().clone();
+    let file = exec_filled(FxDistribution::auto(sys).unwrap(), records);
+    let dev = file.devices()[0].clone();
+    let codes = dev.resident_buckets();
+
+    let mut group = opts.group("read_path");
+
+    dev.set_cache_capacity(codes.len().max(1));
+    for &c in &codes {
+        // Pre-warm so every timed hot read is a hit.
+        let _ = dev.read_bucket(c);
+    }
+    group.bench("hot_cached", || {
+        let mut n = 0u64;
+        for &c in &codes {
+            n += dev
+                .read_bucket(black_box(c))
+                .map(|r| r.len() as u64)
+                .unwrap_or(0);
+        }
+        n
+    });
+
+    dev.set_cache_capacity(1);
+    group.bench("cold", || {
+        let mut n = 0u64;
+        for &c in &codes {
+            n += dev
+                .read_bucket(black_box(c))
+                .map(|r| r.len() as u64)
+                .unwrap_or(0);
+        }
+        n
+    });
+
+    dev.set_cache_capacity(0);
+    group.bench("cache_off", || {
+        let mut n = 0u64;
+        for &c in &codes {
+            n += dev
+                .read_bucket(black_box(c))
+                .map(|r| r.len() as u64)
+                .unwrap_or(0);
+        }
+        n
+    });
+
+    dev.set_cache_capacity(pmr_storage::cache::DEFAULT_CAPACITY);
     group
 }
 
@@ -516,8 +627,9 @@ pub fn ec_codec(opts: &SuiteOpts) -> Group {
     use pmr_rt::ec::ReedSolomon;
 
     let rs = ReedSolomon::new(4, 2).expect("4 + 2 <= 256");
-    let page: Vec<u8> =
-        (0..opts.scaled(1 << 20, 1 << 12)).map(|i| (i * 31 % 251) as u8).collect();
+    let page: Vec<u8> = (0..opts.scaled(1 << 20, 1 << 12))
+        .map(|i| (i * 31 % 251) as u8)
+        .collect();
     let shards = rs.encode(&page);
     let full: Vec<Option<Vec<u8>>> = shards.iter().cloned().map(Some).collect();
     let mut degraded = full.clone();
@@ -526,11 +638,18 @@ pub fn ec_codec(opts: &SuiteOpts) -> Group {
 
     let mut group = opts.group("ec");
     group.bench("encode_4_2", || {
-        black_box(rs.encode(black_box(&page))).iter().map(Vec::len).sum::<usize>() as u64
+        black_box(rs.encode(black_box(&page)))
+            .iter()
+            .map(Vec::len)
+            .sum::<usize>() as u64
     });
-    group.bench("decode_4_2", || rs.decode(black_box(&full)).expect("all present").len() as u64);
+    group.bench("decode_4_2", || {
+        rs.decode(black_box(&full)).expect("all present").len() as u64
+    });
     group.bench("reconstruct_4_2", || {
-        rs.decode(black_box(&degraded)).expect("2 lost of 4+2").len() as u64
+        rs.decode(black_box(&degraded))
+            .expect("2 lost of 4+2")
+            .len() as u64
     });
     group
 }
@@ -561,7 +680,9 @@ pub fn throughput(opts: &SuiteOpts) -> Group {
     let recs: Vec<Record> = (0..records)
         .map(|i| {
             Record::new(
-                (0..sys.num_fields()).map(|f| Value::Int(i * 131 + f as i64 * 7)).collect(),
+                (0..sys.num_fields())
+                    .map(|f| Value::Int(i * 131 + f as i64 * 7))
+                    .collect(),
             )
         })
         .collect();
@@ -622,7 +743,10 @@ pub fn throughput(opts: &SuiteOpts) -> Group {
                 .sum()
         });
         group.bench(&format!("serial_{batch}"), || {
-            slice.iter().map(|q| file.retrieve_serial(q).unwrap().len() as u64).sum()
+            slice
+                .iter()
+                .map(|q| file.retrieve_serial(q).unwrap().len() as u64)
+                .sum()
         });
     }
     group
@@ -654,7 +778,9 @@ pub fn serve(opts: &SuiteOpts) -> Group {
     let recs: Vec<Record> = (0..records)
         .map(|i| {
             Record::new(
-                (0..sys.num_fields()).map(|f| Value::Int(i * 131 + f as i64 * 7)).collect(),
+                (0..sys.num_fields())
+                    .map(|f| Value::Int(i * 131 + f as i64 * 7))
+                    .collect(),
             )
         })
         .collect();
@@ -670,7 +796,10 @@ pub fn serve(opts: &SuiteOpts) -> Group {
     // One canned node response for the wire micro-benches: what node 0
     // actually ships back for this batch.
     let yields = exec.execute_planned(
-        &queries.iter().map(|q| pmr_storage::exec::plan_query(&sys, file.method(), q)).collect::<Vec<_>>(),
+        &queries
+            .iter()
+            .map(|q| pmr_storage::exec::plan_query(&sys, file.method(), q))
+            .collect::<Vec<_>>(),
         &policy,
     );
     let response = Message::Response(GatherResponse {
@@ -705,12 +834,13 @@ pub fn serve(opts: &SuiteOpts) -> Group {
     group.bench(&format!("wire_encode_response_{batch}"), || {
         black_box(encode_message(black_box(&response))).len() as u64
     });
-    group.bench(&format!("wire_decode_response_{batch}"), || {
-        match decode_message(black_box(&frame)).unwrap() {
+    group.bench(
+        &format!("wire_decode_response_{batch}"),
+        || match decode_message(black_box(&frame)).unwrap() {
             Message::Response(r) => r.queries.len() as u64,
             _ => unreachable!(),
-        }
-    });
+        },
+    );
     // Cluster-telemetry overhead pin: the same scatter/gather batch with
     // tracing off (the production default — telemetry sections absent,
     // frames byte-identical to v1) versus fully on (Memory sink: spans
@@ -772,12 +902,19 @@ pub fn run_all(opts: &SuiteOpts) -> Vec<BaselineFile> {
     exec_stats.extend_from_slice(exec_fast_path(opts).results());
     exec_stats.extend_from_slice(obs_overhead(opts).results());
     exec_stats.extend_from_slice(fault_overhead(opts).results());
+    exec_stats.extend_from_slice(read_path(opts).results());
     exec_stats.extend_from_slice(throughput(opts).results());
     exec_stats.extend_from_slice(serve(opts).results());
 
     vec![
-        BaselineFile { name: "BENCH_core.json", stats: core_stats },
-        BaselineFile { name: "BENCH_exec.json", stats: exec_stats },
+        BaselineFile {
+            name: "BENCH_core.json",
+            stats: core_stats,
+        },
+        BaselineFile {
+            name: "BENCH_exec.json",
+            stats: exec_stats,
+        },
     ]
 }
 

@@ -15,7 +15,7 @@ USAGE:
 
   pmr simulate --fields F1,F2,... --devices M --records N [--seed K]
                [--trace T] [--json] [--faults SPEC] [--retry POLICY]
-               [--mirror] [--batch B]
+               [--mirror] [--batch B] [--cache P]
       Build a synthetic declustered file and execute sample queries in
       parallel, reporting balance and simulated speedup. With --faults /
       --retry / --mirror the fault-aware executor runs instead: injected
@@ -25,7 +25,7 @@ USAGE:
       throughput.
 
   pmr throughput [--fields F1,F2,... --devices M] [--records N]
-                 [--batch B] [--seed K] [--json]
+                 [--batch B] [--seed K] [--cache P] [--json]
       Time one query batch (default: the paper's Table 7 system, 64
       queries) through the resident batch executor, spawn-per-query
       execution, and the serial reference; all variants must return the
@@ -33,14 +33,15 @@ USAGE:
 
   pmr chaos [--fields F1,F2,... --devices M] [--records N] [--seed K]
             [--rates R1,R2,...] [--queries Q] [--retry POLICY]
-            [--outage D] [--no-mirror] [--json]
+            [--outage D] [--no-mirror] [--cache P] [--json]
       Sweep fault-injection rates over a system (default: the paper's
       Table 7 system, F = 8^6, M = 32) and print a coverage /
       response-time-inflation table. Mirroring + failover are on unless
       --no-mirror; all fault decisions derive from the seed (PMR_SEED).
 
   pmr serve [--fields F1,F2,... --devices M] [--records N] [--nodes K]
-            [--seed S] [--deadline-ms D] [--queries Q] [--json]
+            [--seed S] [--deadline-ms D] [--queries Q] [--cache P]
+            [--json]
       Boot a sharded in-process cluster — K nodes, each a resident
       executor over a contiguous device subrange behind the pmr-net wire
       protocol — run a seeded smoke batch through the scatter/gather
@@ -49,7 +50,7 @@ USAGE:
   pmr loadgen [--fields F1,F2,... --devices M] [--records N] [--nodes K]
               [--queries Q] [--batch B] [--concurrency C] [--spread U]
               [--seed S] [--deadline-ms D] [--drop P] [--kill-node I]
-              [--kill-at Q] [--watch MS] [--check] [--json]
+              [--kill-at Q] [--watch MS] [--cache P] [--check] [--json]
       Drive a seeded query mix through the cluster closed-loop and
       report queries/sec with p50/p99 latency in wall and simulated
       time, degradation tallies, an order-independent checksum, and a
@@ -115,6 +116,10 @@ OPTIONS:
   --kill-node loadgen: node index to kill mid-run
   --kill-at   loadgen: query index at which the kill fires (default half)
   --watch     loadgen: stream per-node telemetry JSON to stderr every MS
+  --cache     simulate/throughput/chaos/serve/loadgen: decoded-page
+              cache capacity per device, in pages (0 disables; default
+              1024). Purely a wall-clock knob — results are bit-equal
+              at any setting
   --check     loadgen: verify the checksum against a single-process run
   --cluster   stats: render the merged node{N}.* telemetry per node
   --outage    chaos: additionally kill device D at every swept rate
@@ -162,14 +167,19 @@ impl<'a> Flags<'a> {
 
     /// Required flag.
     pub fn require(&self, name: &str) -> Result<&str, String> {
-        self.get(name).ok_or_else(|| format!("missing required flag --{name}"))
+        self.get(name)
+            .ok_or_else(|| format!("missing required flag --{name}"))
     }
 
     /// Parses `--fields 8,8,4` into sizes.
     pub fn fields(&self) -> Result<Vec<u64>, String> {
         self.require("fields")?
             .split(',')
-            .map(|s| s.trim().parse::<u64>().map_err(|e| format!("bad field size {s:?}: {e}")))
+            .map(|s| {
+                s.trim()
+                    .parse::<u64>()
+                    .map_err(|e| format!("bad field size {s:?}: {e}"))
+            })
             .collect()
     }
 
@@ -218,7 +228,10 @@ mod tests {
         assert_eq!(f.devices().unwrap(), 16);
         assert_eq!(f.u64_or("seed", 42).unwrap(), 7);
         assert_eq!(f.u64_or("records", 100).unwrap(), 100);
-        assert_eq!(f.strategy().unwrap(), pmr_core::AssignmentStrategy::TheoremNine);
+        assert_eq!(
+            f.strategy().unwrap(),
+            pmr_core::AssignmentStrategy::TheoremNine
+        );
         assert!(!f.has("json"));
     }
 

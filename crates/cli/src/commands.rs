@@ -8,14 +8,14 @@ use pmr_baselines::ModuloDistribution;
 use pmr_core::method::DistributionMethod;
 use pmr_core::{FxDistribution, SystemConfig};
 use pmr_mkh::{FieldType, Record, Schema, Value};
+use pmr_rt::fault::{FaultPlan, RetryPolicy};
+use pmr_rt::obs::{self, TraceConfig};
+use pmr_rt::Rng;
 use pmr_storage::exec::{
     execute_parallel, execute_parallel_with, DeviceOutcome, ExecPolicy, Redundancy,
 };
 use pmr_storage::metrics::BalanceMetrics;
 use pmr_storage::{CostModel, DeclusteredFile};
-use pmr_rt::fault::{FaultPlan, RetryPolicy};
-use pmr_rt::obs::{self, TraceConfig};
-use pmr_rt::Rng;
 use std::sync::Arc;
 
 fn system_from(flags: &Flags<'_>) -> Result<SystemConfig, String> {
@@ -33,6 +33,19 @@ fn install_trace(flags: &Flags<'_>) -> Result<bool, String> {
     Ok(obs::enabled())
 }
 
+/// Parses `--cache <pages>`: the decoded-page cache capacity per device
+/// (0 disables). `None` when the flag is absent — devices keep their
+/// built-in default.
+fn parse_cache(flags: &Flags<'_>) -> Result<Option<usize>, String> {
+    match flags.get("cache") {
+        None => Ok(None),
+        Some(v) => v
+            .parse::<usize>()
+            .map(Some)
+            .map_err(|e| format!("bad --cache {v:?}: {e}")),
+    }
+}
+
 /// `pmr distribute` — print the bucket map.
 pub fn distribute(args: &[String]) -> Result<(), String> {
     let flags = Flags::parse(args)?;
@@ -43,8 +56,8 @@ pub fn distribute(args: &[String]) -> Result<(), String> {
             sys.total_buckets()
         ));
     }
-    let fx = FxDistribution::with_strategy(sys.clone(), flags.strategy()?)
-        .map_err(|e| e.to_string())?;
+    let fx =
+        FxDistribution::with_strategy(sys.clone(), flags.strategy()?).map_err(|e| e.to_string())?;
     let dm = ModuloDistribution::new(sys.clone());
     println!("{sys} with {}", fx.name());
     let methods: [(&str, &dyn DistributionMethod); 2] = [("FX", &fx), ("Modulo", &dm)];
@@ -59,14 +72,17 @@ pub fn analyze(args: &[String]) -> Result<(), String> {
     if sys.num_fields() > 16 {
         return Err("analyze supports up to 16 fields".into());
     }
-    let fx = FxDistribution::with_strategy(sys.clone(), flags.strategy()?)
-        .map_err(|e| e.to_string())?;
+    let fx =
+        FxDistribution::with_strategy(sys.clone(), flags.strategy()?).map_err(|e| e.to_string())?;
     let report = pmr_core::report::OptimalityReport::analyze(fx.assignment());
     print!("{}", report.render());
     if report.measured {
         let dm_measured =
             probability::empirical_fraction(&ModuloDistribution::new(sys.clone()), &sys);
-        println!("measured  (Modulo, for comparison): {:.1}%", 100.0 * dm_measured);
+        println!(
+            "measured  (Modulo, for comparison): {:.1}%",
+            100.0 * dm_measured
+        );
     }
     Ok(())
 }
@@ -99,15 +115,18 @@ pub fn simulate(args: &[String]) -> Result<(), String> {
         None if flags.has("mirror") => Redundancy::Mirror,
         None => Redundancy::None,
     };
-    let fault_mode =
-        fault_spec.is_some() || retry_spec.is_some() || redundancy != Redundancy::None;
+    let fault_mode = fault_spec.is_some() || retry_spec.is_some() || redundancy != Redundancy::None;
+    let cache = parse_cache(&flags)?;
     let traced = install_trace(&flags)?;
 
     let mut builder = Schema::builder();
     for (i, &size) in sys.field_sizes().iter().enumerate() {
         builder = builder.field(format!("f{i}"), FieldType::Int, size);
     }
-    let schema = builder.devices(sys.devices()).build().map_err(|e| e.to_string())?;
+    let schema = builder
+        .devices(sys.devices())
+        .build()
+        .map_err(|e| e.to_string())?;
     let fx = FxDistribution::with_strategy(sys.clone(), strategy).map_err(|e| e.to_string())?;
     let mut file = DeclusteredFile::new(schema, fx, seed).map_err(|e| e.to_string())?;
     if redundancy == Redundancy::Mirror && !file.enable_mirroring() {
@@ -121,7 +140,8 @@ pub fn simulate(args: &[String]) -> Result<(), String> {
             let values: Vec<Value> = (0..sys.num_fields())
                 .map(|_| Value::Int(rng.gen_range(0..1_000_000i64)))
                 .collect();
-            file.insert(Record::new(values)).map_err(|e| e.to_string())?;
+            file.insert(Record::new(values))
+                .map_err(|e| e.to_string())?;
         }
     }
     if let Redundancy::Parity { k, r } = redundancy {
@@ -154,6 +174,10 @@ pub fn simulate(args: &[String]) -> Result<(), String> {
         let plan = FaultPlan::parse(spec, seed)?;
         file.install_fault_plan(Some(Arc::new(plan)));
     }
+    if let Some(capacity) = cache {
+        // Apply directly so the strict (non-fault-mode) loop sees it too.
+        file.set_cache_capacity(capacity);
+    }
     let policy = ExecPolicy {
         retry: match retry_spec {
             Some(spec) => RetryPolicy::parse(spec)?,
@@ -162,13 +186,20 @@ pub fn simulate(args: &[String]) -> Result<(), String> {
         failover: redundancy != Redundancy::None,
         redundancy,
         seed,
+        cache,
     };
 
     // Execute one query per unspecified-field count (k = 1 … n−1).
     let cost = CostModel::disk_1988();
     for k in 1..sys.num_fields() {
         let values: Vec<Option<u64>> = (0..sys.num_fields())
-            .map(|i| if i < sys.num_fields() - k { Some(rng.gen_range(0..sys.field_size(i))) } else { None })
+            .map(|i| {
+                if i < sys.num_fields() - k {
+                    Some(rng.gen_range(0..sys.field_size(i)))
+                } else {
+                    None
+                }
+            })
             .collect();
         let q = pmr_core::PartialMatchQuery::new(&sys, &values).map_err(|e| e.to_string())?;
         let report = if fault_mode {
@@ -256,8 +287,7 @@ pub fn simulate(args: &[String]) -> Result<(), String> {
         let reports = exec.execute_batch(&queries, &policy);
         let elapsed = start.elapsed();
         let total_records: u64 = reports.iter().map(|r| r.records.len() as u64).sum();
-        let mean_coverage =
-            reports.iter().map(|r| r.coverage).sum::<f64>() / reports.len() as f64;
+        let mean_coverage = reports.iter().map(|r| r.coverage).sum::<f64>() / reports.len() as f64;
         let qps = batch as f64 / elapsed.as_secs_f64().max(f64::EPSILON);
         if json {
             println!(
@@ -274,9 +304,7 @@ pub fn simulate(args: &[String]) -> Result<(), String> {
                 exec.workers(),
                 elapsed.as_secs_f64() * 1e3
             );
-            println!(
-                "  {total_records} records returned, mean coverage {mean_coverage:.4}"
-            );
+            println!("  {total_records} records returned, mean coverage {mean_coverage:.4}");
         }
     }
     if traced {
@@ -312,15 +340,22 @@ pub fn throughput(args: &[String]) -> Result<(), String> {
     }
     let seed = flags.u64_or("seed", pmr_rt::seed_from_env_or(42))?;
     let json = flags.has("json");
+    let cache = parse_cache(&flags)?;
 
     let mut builder = Schema::builder();
     for (i, &size) in sys.field_sizes().iter().enumerate() {
         builder = builder.field(format!("f{i}"), FieldType::Int, size);
     }
-    let schema = builder.devices(sys.devices()).build().map_err(|e| e.to_string())?;
-    let fx = FxDistribution::with_strategy(sys.clone(), flags.strategy()?)
+    let schema = builder
+        .devices(sys.devices())
+        .build()
         .map_err(|e| e.to_string())?;
+    let fx =
+        FxDistribution::with_strategy(sys.clone(), flags.strategy()?).map_err(|e| e.to_string())?;
     let mut file = DeclusteredFile::new(schema, fx, seed).map_err(|e| e.to_string())?;
+    if let Some(capacity) = cache {
+        file.set_cache_capacity(capacity);
+    }
     let mut rng = Rng::seed_from_u64(seed);
     let recs: Vec<Record> = (0..records)
         .map(|_| {
@@ -363,8 +398,12 @@ pub fn throughput(args: &[String]) -> Result<(), String> {
         }
         Ok((secs, total))
     };
-    let (resident_s, resident_n) =
-        time(&|| exec.execute_batch(&queries, &policy).iter().map(|r| r.records.len() as u64).sum())?;
+    let (resident_s, resident_n) = time(&|| {
+        exec.execute_batch(&queries, &policy)
+            .iter()
+            .map(|r| r.records.len() as u64)
+            .sum()
+    })?;
     let (spawn_s, spawn_n) = time(&|| {
         queries
             .iter()
@@ -376,7 +415,10 @@ pub fn throughput(args: &[String]) -> Result<(), String> {
             .sum()
     })?;
     let (serial_s, serial_n) = time(&|| {
-        queries.iter().map(|q| file.retrieve_serial(q).map(|r| r.len() as u64).unwrap_or(0)).sum()
+        queries
+            .iter()
+            .map(|q| file.retrieve_serial(q).map(|r| r.len() as u64).unwrap_or(0))
+            .sum()
     })?;
     if resident_n != spawn_n || resident_n != serial_n {
         return Err(format!(
@@ -458,7 +500,11 @@ pub fn chaos(args: &[String]) -> Result<(), String> {
         None => Vec::new(),
         Some(list) => list
             .split(',')
-            .map(|s| s.trim().parse::<u64>().map_err(|e| format!("bad --outage {s:?}: {e}")))
+            .map(|s| {
+                s.trim()
+                    .parse::<u64>()
+                    .map_err(|e| format!("bad --outage {s:?}: {e}"))
+            })
             .collect::<Result<_, _>>()?,
     };
     for &d in &dead_devices {
@@ -471,7 +517,10 @@ pub fn chaos(args: &[String]) -> Result<(), String> {
         Some(spec) => spec
             .split(',')
             .map(|s| {
-                let r = s.trim().parse::<f64>().map_err(|e| format!("bad rate {s:?}: {e}"))?;
+                let r = s
+                    .trim()
+                    .parse::<f64>()
+                    .map_err(|e| format!("bad rate {s:?}: {e}"))?;
                 if !(0.0..=1.0).contains(&r) {
                     return Err(format!("rate {r} outside [0, 1]"));
                 }
@@ -490,7 +539,10 @@ pub fn chaos(args: &[String]) -> Result<(), String> {
     for (i, &size) in sys.field_sizes().iter().enumerate() {
         builder = builder.field(format!("f{i}"), FieldType::Int, size);
     }
-    let schema = builder.devices(sys.devices()).build().map_err(|e| e.to_string())?;
+    let schema = builder
+        .devices(sys.devices())
+        .build()
+        .map_err(|e| e.to_string())?;
     let fx = FxDistribution::with_strategy(sys.clone(), strategy).map_err(|e| e.to_string())?;
     let mut file = DeclusteredFile::new(schema, fx, seed).map_err(|e| e.to_string())?;
     if redundancy == Redundancy::Mirror && !file.enable_mirroring() {
@@ -503,7 +555,8 @@ pub fn chaos(args: &[String]) -> Result<(), String> {
             let values: Vec<Value> = (0..sys.num_fields())
                 .map(|_| Value::Int(rng.gen_range(0..1_000_000i64)))
                 .collect();
-            file.insert(Record::new(values)).map_err(|e| e.to_string())?;
+            file.insert(Record::new(values))
+                .map_err(|e| e.to_string())?;
         }
     }
     if let Redundancy::Parity { k, r } = redundancy {
@@ -535,8 +588,13 @@ pub fn chaos(args: &[String]) -> Result<(), String> {
         })
         .collect::<Result<_, _>>()?;
 
-    let policy =
-        ExecPolicy { retry, failover: redundancy != Redundancy::None, redundancy, seed };
+    let policy = ExecPolicy {
+        retry,
+        failover: redundancy != Redundancy::None,
+        redundancy,
+        seed,
+        cache: parse_cache(&flags)?,
+    };
     let cost = CostModel::disk_1988();
     let baseline_total: f64 = {
         let mut total = 0.0;
@@ -596,8 +654,11 @@ pub fn chaos(args: &[String]) -> Result<(), String> {
                 qualified += q.qualified_count_in(&sys);
                 lost += report.lost_buckets.len() as u64;
             }
-            let coverage =
-                if qualified == 0 { 1.0 } else { (qualified - lost) as f64 / qualified as f64 };
+            let coverage = if qualified == 0 {
+                1.0
+            } else {
+                (qualified - lost) as f64 / qualified as f64
+            };
             let failovers = obs::counter_total("exec.failover") - failovers0;
             let reconstructed = obs::counter_total("exec.reconstructions") - reconstructed0;
             if json {
@@ -620,7 +681,13 @@ pub fn chaos(args: &[String]) -> Result<(), String> {
         println!();
         println!(
             "{:>8}  {:>9}  {:>12}  {:>9}  {:>8}  {:>10}  {:>7}  {:>6}",
-            "rate", "coverage", "rt-inflation", "injected", "retries", "failovers", "reconst",
+            "rate",
+            "coverage",
+            "rt-inflation",
+            "injected",
+            "retries",
+            "failovers",
+            "reconst",
             "lost"
         );
     }
@@ -656,7 +723,10 @@ pub fn chaos(args: &[String]) -> Result<(), String> {
             served += rq - report.lost_buckets.len() as u64;
             let mut critical: Option<(u64, f64)> = None;
             for d in &report.per_device {
-                device_samples.entry(d.device).or_default().push(d.simulated_us);
+                device_samples
+                    .entry(d.device)
+                    .or_default()
+                    .push(d.simulated_us);
                 let dominates = match critical {
                     Some((_, best)) => d.simulated_us > best,
                     None => true,
@@ -670,8 +740,16 @@ pub fn chaos(args: &[String]) -> Result<(), String> {
                 attributed_queries += 1;
             }
         }
-        let coverage = if qualified == 0 { 1.0 } else { served as f64 / qualified as f64 };
-        let inflation = if baseline_total > 0.0 { total_us / baseline_total } else { 1.0 };
+        let coverage = if qualified == 0 {
+            1.0
+        } else {
+            served as f64 / qualified as f64
+        };
+        let inflation = if baseline_total > 0.0 {
+            total_us / baseline_total
+        } else {
+            1.0
+        };
         let injected = obs::counter_total("fault.injected") - injected0;
         let retries = obs::counter_total("exec.retries") - retries0;
         let failovers = obs::counter_total("exec.failover") - failovers0;
@@ -696,12 +774,13 @@ pub fn chaos(args: &[String]) -> Result<(), String> {
     // Attribution table: devices ranked by how often they set a query's
     // critical path, with simulated-time percentiles over the sweep.
     if attributed_queries > 0 {
-        let mut ranked: Vec<(u64, u64)> =
-            device_critical.iter().map(|(&d, &c)| (d, c)).collect();
+        let mut ranked: Vec<(u64, u64)> = device_critical.iter().map(|(&d, &c)| (d, c)).collect();
         ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         if json {
             for &(dev, critical) in &ranked {
-                let samples = device_samples.get_mut(&dev).expect("critical device sampled");
+                let samples = device_samples
+                    .get_mut(&dev)
+                    .expect("critical device sampled");
                 let p50 = pmr_rt::stats::percentile(samples, 50.0);
                 let p99 = pmr_rt::stats::percentile(samples, 99.0);
                 println!(
@@ -723,7 +802,9 @@ pub fn chaos(args: &[String]) -> Result<(), String> {
                 "device", "critical", "share", "sim p50 µs", "sim p99 µs"
             );
             for &(dev, critical) in ranked.iter().take(8) {
-                let samples = device_samples.get_mut(&dev).expect("critical device sampled");
+                let samples = device_samples
+                    .get_mut(&dev)
+                    .expect("critical device sampled");
                 let p50 = pmr_rt::stats::percentile(samples, 50.0);
                 let p99 = pmr_rt::stats::percentile(samples, 99.0);
                 println!(
@@ -756,8 +837,8 @@ pub fn stats(args: &[String]) -> Result<(), String> {
         rest => return Err(format!("unexpected argument {:?}", rest[0])),
     };
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
-    let stats = pmr_rt::obs::agg::TraceStats::from_lines(&text)
-        .map_err(|e| format!("{path}: {e}"))?;
+    let stats =
+        pmr_rt::obs::agg::TraceStats::from_lines(&text).map_err(|e| format!("{path}: {e}"))?;
     print!("{}", stats.render());
     if cluster {
         print!("{}", render_cluster_table(&stats));
@@ -807,7 +888,13 @@ fn render_cluster_table(stats: &pmr_rt::obs::agg::TraceStats) -> String {
     )
     .unwrap();
     for &n in &nodes {
-        let c = |key: &str| stats.counters.get(&format!("node{n}.{key}")).copied().unwrap_or(0);
+        let c = |key: &str| {
+            stats
+                .counters
+                .get(&format!("node{n}.{key}"))
+                .copied()
+                .unwrap_or(0)
+        };
         let (p50, p99) = match stats.hists.get(&format!("node{n}.busy_us")) {
             Some((bounds, counts)) => (
                 pmr_rt::stats::percentile_from_hist(bounds, counts, 50.0),
@@ -848,9 +935,7 @@ pub fn optimize(args: &[String]) -> Result<(), String> {
     let result = pmr_analysis::optimize::anneal(&sys, &options).map_err(|e| e.to_string())?;
     let total = 1usize << sys.num_fields();
     println!("{sys}");
-    println!(
-        "objective (sum of largest responses over {total} patterns):"
-    );
+    println!("objective (sum of largest responses over {total} patterns):");
     println!("  theorem-9 start : {}", result.initial_score);
     println!("  annealed        : {}", result.score);
     println!("  analytic bound  : {}", result.lower_bound);
@@ -872,7 +957,11 @@ pub fn design(args: &[String]) -> Result<(), String> {
     let probs: Vec<f64> = flags
         .require("probs")?
         .split(',')
-        .map(|s| s.trim().parse::<f64>().map_err(|e| format!("bad probability {s:?}: {e}")))
+        .map(|s| {
+            s.trim()
+                .parse::<f64>()
+                .map_err(|e| format!("bad probability {s:?}: {e}"))
+        })
         .collect::<Result<_, _>>()?;
     let bits = flags.u64_or("bits", 12)? as u32;
     let input = pmr_mkh::DesignInput {
@@ -900,7 +989,11 @@ pub fn verify(args: &[String]) -> Result<(), String> {
     );
     let mut failed = false;
     for report in pmr_core::theory::verify_all(max_fields, max_buckets) {
-        let status = if report.verified() { "VERIFIED" } else { "FALSIFIED" };
+        let status = if report.verified() {
+            "VERIFIED"
+        } else {
+            "FALSIFIED"
+        };
         println!(
             "{status:<10} {:<38} {:>9} instances",
             report.claim.label(),
@@ -980,7 +1073,14 @@ pub fn experiment(args: &[String]) -> Result<(), String> {
 /// multi-node run replays from one number.
 fn build_cluster(
     flags: &Flags<'_>,
-) -> Result<(DeclusteredFile<FxDistribution>, pmr_net::Cluster<FxDistribution>, u64), String> {
+) -> Result<
+    (
+        DeclusteredFile<FxDistribution>,
+        pmr_net::Cluster<FxDistribution>,
+        u64,
+    ),
+    String,
+> {
     let (fields, devices): (Vec<u64>, u64) =
         if flags.get("fields").is_some() || flags.get("devices").is_some() {
             (flags.fields()?, flags.devices()?)
@@ -1013,9 +1113,12 @@ fn build_cluster(
     for (i, &size) in sys.field_sizes().iter().enumerate() {
         builder = builder.field(format!("f{i}"), FieldType::Int, size);
     }
-    let schema = builder.devices(sys.devices()).build().map_err(|e| e.to_string())?;
-    let fx = FxDistribution::with_strategy(sys.clone(), flags.strategy()?)
+    let schema = builder
+        .devices(sys.devices())
+        .build()
         .map_err(|e| e.to_string())?;
+    let fx =
+        FxDistribution::with_strategy(sys.clone(), flags.strategy()?).map_err(|e| e.to_string())?;
     let mut file = DeclusteredFile::new(schema, fx, seed).map_err(|e| e.to_string())?;
     file.enable_mirroring();
     let mut rng = Rng::seed_from_u64(seed);
@@ -1029,6 +1132,11 @@ fn build_cluster(
         })
         .collect();
     file.insert_all_parallel(recs).map_err(|e| e.to_string())?;
+    if let Some(capacity) = parse_cache(flags)? {
+        // Nodes share the devices by `Arc`, so one device-level setting
+        // covers every node in the cluster.
+        file.set_cache_capacity(capacity);
+    }
 
     let cfg = pmr_net::ClusterConfig {
         nodes,
@@ -1061,7 +1169,9 @@ pub fn serve(args: &[String]) -> Result<(), String> {
 
     let queries = pmr_net::loadgen::query_mix(&sys, smoke, seed, 2);
     let start = std::time::Instant::now();
-    let reports = cluster.frontend().execute_batch(&queries, &ExecPolicy::default());
+    let reports = cluster
+        .frontend()
+        .execute_batch(&queries, &ExecPolicy::default());
     let wall = start.elapsed();
     let records: usize = reports.iter().map(|r| r.records.len()).sum();
     let mean_coverage =
@@ -1075,8 +1185,13 @@ pub fn serve(args: &[String]) -> Result<(), String> {
                 format!(
                     "{{\"node\":{},\"devices\":[{},{}],\"requests\":{},\"responses\":{},\
                      \"timeouts\":{},\"down\":{}}}",
-                    s.node, s.devices.start, s.devices.end, s.requests, s.responses,
-                    s.timeouts, s.down
+                    s.node,
+                    s.devices.start,
+                    s.devices.end,
+                    s.requests,
+                    s.responses,
+                    s.timeouts,
+                    s.down
                 )
             })
             .collect::<Vec<_>>()
@@ -1089,7 +1204,10 @@ pub fn serve(args: &[String]) -> Result<(), String> {
             wall.as_secs_f64() * 1e6,
         );
     } else {
-        println!("{sys}: {} nodes over the pmr-net wire protocol (seed {seed})", cluster.nodes());
+        println!(
+            "{sys}: {} nodes over the pmr-net wire protocol (seed {seed})",
+            cluster.nodes()
+        );
         for s in &stats {
             println!(
                 "  node {} serves devices {:>3}..{:<3} — {} request(s), {} response(s)",
@@ -1170,7 +1288,12 @@ pub fn loadgen(args: &[String]) -> Result<(), String> {
     let sys = file.system().clone();
     let queries = pmr_net::loadgen::query_mix(&sys, total, seed, spread);
     let policy = ExecPolicy::default();
-    let opts = pmr_net::LoadgenOpts { concurrency, batch, kill, watch };
+    let opts = pmr_net::LoadgenOpts {
+        concurrency,
+        batch,
+        kill,
+        watch,
+    };
     let summary = pmr_net::loadgen::run(&cluster, &queries, &policy, &opts);
 
     if flags.has("check") {
@@ -1219,11 +1342,15 @@ pub fn loadgen(args: &[String]) -> Result<(), String> {
             summary.lost_buckets,
             summary.timeouts
         );
-        println!("  checksum    {:016x}{}", summary.checksum, if flags.has("check") {
-            "  (verified against single-process execution)"
-        } else {
-            ""
-        });
+        println!(
+            "  checksum    {:016x}{}",
+            summary.checksum,
+            if flags.has("check") {
+                "  (verified against single-process execution)"
+            } else {
+                ""
+            }
+        );
         for s in &summary.node_stats {
             println!(
                 "  node {} [{:>3}..{:<3}] {:>6} req {:>6} resp {:>4} timeout{}",

@@ -67,7 +67,13 @@ fn distribute_rejects_huge_spaces() {
 #[test]
 fn analyze_reports_fractions() {
     let out = pmr(&[
-        "analyze", "--fields", "8,8,8,8,8,8", "--devices", "32", "--strategy", "cycle-iu1",
+        "analyze",
+        "--fields",
+        "8,8,8,8,8,8",
+        "--devices",
+        "32",
+        "--strategy",
+        "cycle-iu1",
     ]);
     assert!(out.status.success(), "{}", stderr(&out));
     let text = stdout(&out);
@@ -78,7 +84,15 @@ fn analyze_reports_fractions() {
 #[test]
 fn simulate_runs_queries() {
     let out = pmr(&[
-        "simulate", "--fields", "8,8", "--devices", "4", "--records", "500", "--seed", "3",
+        "simulate",
+        "--fields",
+        "8,8",
+        "--devices",
+        "4",
+        "--records",
+        "500",
+        "--seed",
+        "3",
     ]);
     assert!(out.status.success(), "{}", stderr(&out));
     let text = stdout(&out);
@@ -91,18 +105,38 @@ fn simulate_runs_queries() {
 #[test]
 fn simulate_batch_reports_resident_throughput() {
     let out = pmr(&[
-        "simulate", "--fields", "8,8", "--devices", "4", "--records", "200", "--seed", "3",
-        "--batch", "6",
+        "simulate",
+        "--fields",
+        "8,8",
+        "--devices",
+        "4",
+        "--records",
+        "200",
+        "--seed",
+        "3",
+        "--batch",
+        "6",
     ]);
     assert!(out.status.success(), "{}", stderr(&out));
     let text = stdout(&out);
-    assert!(text.contains("resident batch: 6 queries on 4 pinned workers"), "{text}");
+    assert!(
+        text.contains("resident batch: 6 queries on 4 pinned workers"),
+        "{text}"
+    );
     assert!(text.contains("queries/sec"), "{text}");
 }
 
 #[test]
 fn throughput_compares_variants_on_default_system() {
-    let out = pmr(&["throughput", "--records", "400", "--batch", "8", "--seed", "5"]);
+    let out = pmr(&[
+        "throughput",
+        "--records",
+        "400",
+        "--batch",
+        "8",
+        "--seed",
+        "5",
+    ]);
     assert!(out.status.success(), "{}", stderr(&out));
     let text = stdout(&out);
     assert!(text.contains("records returned by every variant"), "{text}");
@@ -114,14 +148,30 @@ fn throughput_compares_variants_on_default_system() {
 #[test]
 fn throughput_json_is_machine_readable() {
     let out = pmr(&[
-        "throughput", "--fields", "8,8", "--devices", "4", "--records", "200", "--batch", "4",
+        "throughput",
+        "--fields",
+        "8,8",
+        "--devices",
+        "4",
+        "--records",
+        "200",
+        "--batch",
+        "4",
         "--json",
     ]);
     assert!(out.status.success(), "{}", stderr(&out));
     let text = stdout(&out);
     let line = text.trim();
-    assert!(line.starts_with('{') && line.ends_with('}'), "not JSON: {line}");
-    for key in ["\"batch\":4", "\"records_returned\":", "\"resident_qps\":", "\"serial_qps\":"] {
+    assert!(
+        line.starts_with('{') && line.ends_with('}'),
+        "not JSON: {line}"
+    );
+    for key in [
+        "\"batch\":4",
+        "\"records_returned\":",
+        "\"resident_qps\":",
+        "\"serial_qps\":",
+    ] {
         assert!(line.contains(key), "missing {key} in {line}");
     }
 }
@@ -131,13 +181,25 @@ fn throughput_json_is_machine_readable() {
 #[test]
 fn simulate_json_is_machine_readable() {
     let out = pmr(&[
-        "simulate", "--fields", "8,8", "--devices", "4", "--records", "200", "--seed", "3",
+        "simulate",
+        "--fields",
+        "8,8",
+        "--devices",
+        "4",
+        "--records",
+        "200",
+        "--seed",
+        "3",
         "--json",
     ]);
     assert!(out.status.success(), "{}", stderr(&out));
     let text = stdout(&out);
     let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
-    assert_eq!(lines.len(), 2, "header + one query (2-field system): {text}");
+    assert_eq!(
+        lines.len(),
+        2,
+        "header + one query (2-field system): {text}"
+    );
     assert!(lines[0].contains("\"records\":200"));
     assert!(lines[0].contains("\"record_balance\""));
     assert!(lines[1].contains("\"query\""));
@@ -145,7 +207,10 @@ fn simulate_json_is_machine_readable() {
     assert!(lines[1].contains("\"speedup\""));
     // Every line is a flat-enough JSON object (starts/ends as one).
     for line in &lines {
-        assert!(line.starts_with('{') && line.ends_with('}'), "not JSON: {line}");
+        assert!(
+            line.starts_with('{') && line.ends_with('}'),
+            "not JSON: {line}"
+        );
     }
 }
 
@@ -156,8 +221,17 @@ fn simulate_trace_round_trips_through_stats() {
     let path = std::env::temp_dir().join(format!("pmr-cli-trace-{}.jsonl", std::process::id()));
     let path_str = path.to_str().expect("utf-8 temp path");
     let out = pmr(&[
-        "simulate", "--fields", "8,8", "--devices", "4", "--records", "300", "--seed", "7",
-        "--trace", path_str,
+        "simulate",
+        "--fields",
+        "8,8",
+        "--devices",
+        "4",
+        "--records",
+        "300",
+        "--seed",
+        "7",
+        "--trace",
+        path_str,
     ]);
     assert!(out.status.success(), "{}", stderr(&out));
     // Human output now carries the per-query trace summary.
@@ -201,7 +275,15 @@ fn verify_reports_all_theorems() {
 #[test]
 fn optimize_prints_tables() {
     let out = pmr(&[
-        "optimize", "--fields", "2,2,2,2", "--devices", "8", "--steps", "150", "--seed", "1",
+        "optimize",
+        "--fields",
+        "2,2,2,2",
+        "--devices",
+        "8",
+        "--steps",
+        "150",
+        "--seed",
+        "1",
     ]);
     assert!(out.status.success(), "{}", stderr(&out));
     let text = stdout(&out);

@@ -88,7 +88,10 @@ impl Assignment {
             .enumerate()
             .map(|(i, &k)| Transform::new(k, sys.field_size(i), sys.devices()))
             .collect::<Result<Vec<_>>>()?;
-        Ok(Assignment { sys: sys.clone(), transforms })
+        Ok(Assignment {
+            sys: sys.clone(),
+            transforms,
+        })
     }
 
     /// Builds an assignment from pre-constructed transforms, verifying each
@@ -115,7 +118,10 @@ impl Assignment {
                 });
             }
         }
-        Ok(Assignment { sys: sys.clone(), transforms })
+        Ok(Assignment {
+            sys: sys.clone(),
+            transforms,
+        })
     }
 
     /// The system this assignment belongs to.
@@ -152,7 +158,9 @@ impl Assignment {
 
     /// `true` when every field uses the identity (Basic FX).
     pub fn is_basic(&self) -> bool {
-        self.transforms.iter().all(|t| t.kind() == TransformKind::Identity)
+        self.transforms
+            .iter()
+            .all(|t| t.kind() == TransformKind::Identity)
     }
 
     /// Compact human-readable description, e.g. `"I,U,IU1,I,U,IU1"`.
@@ -174,11 +182,27 @@ pub fn plan_kinds(sys: &SystemConfig, strategy: AssignmentStrategy) -> Vec<Trans
     match strategy {
         AssignmentStrategy::Basic => kinds,
         AssignmentStrategy::CycleIu1 => {
-            cycle_assign(sys, &mut kinds, &[TransformKind::Identity, TransformKind::U, TransformKind::Iu1]);
+            cycle_assign(
+                sys,
+                &mut kinds,
+                &[
+                    TransformKind::Identity,
+                    TransformKind::U,
+                    TransformKind::Iu1,
+                ],
+            );
             kinds
         }
         AssignmentStrategy::CycleIu2 => {
-            cycle_assign(sys, &mut kinds, &[TransformKind::Identity, TransformKind::U, TransformKind::Iu2]);
+            cycle_assign(
+                sys,
+                &mut kinds,
+                &[
+                    TransformKind::Identity,
+                    TransformKind::U,
+                    TransformKind::Iu2,
+                ],
+            );
             kinds
         }
         AssignmentStrategy::TheoremNine => {
@@ -235,8 +259,11 @@ fn theorem_nine_assign(sys: &SystemConfig, kinds: &mut [TransformKind]) {
         }
         _ => {
             for (pos, &field) in small.iter().enumerate() {
-                kinds[field] = [TransformKind::Identity, TransformKind::Iu2, TransformKind::U]
-                    [pos % 3];
+                kinds[field] = [
+                    TransformKind::Identity,
+                    TransformKind::Iu2,
+                    TransformKind::U,
+                ][pos % 3];
             }
         }
     }
@@ -318,12 +345,14 @@ mod tests {
         let sys = SystemConfig::new(&[8, 8], 4).unwrap();
         assert!(matches!(
             Assignment::from_kinds(&sys, &[TransformKind::Identity]).unwrap_err(),
-            Error::TransformArityMismatch { expected: 2, got: 1 }
+            Error::TransformArityMismatch {
+                expected: 2,
+                got: 1
+            }
         ));
         // Field size 8 ≥ M = 4: U not allowed.
         assert!(matches!(
-            Assignment::from_kinds(&sys, &[TransformKind::U, TransformKind::Identity])
-                .unwrap_err(),
+            Assignment::from_kinds(&sys, &[TransformKind::U, TransformKind::Identity]).unwrap_err(),
             Error::TransformRequiresSmallField { .. }
         ));
     }
@@ -336,12 +365,19 @@ mod tests {
         let ok2 = Transform::new(TransformKind::Iu1, 8, 16).unwrap();
         assert!(matches!(
             Assignment::from_transforms(&sys, vec![wrong_m, ok2]).unwrap_err(),
-            Error::DeviceCountMismatch { transform_m: 32, system_m: 16 }
+            Error::DeviceCountMismatch {
+                transform_m: 32,
+                system_m: 16
+            }
         ));
         let wrong_f = Transform::new(TransformKind::U, 2, 16).unwrap();
         assert!(matches!(
             Assignment::from_transforms(&sys, vec![wrong_f, ok2]).unwrap_err(),
-            Error::FieldSizeMismatch { field: 0, transform_size: 2, field_size: 4 }
+            Error::FieldSizeMismatch {
+                field: 0,
+                transform_size: 2,
+                field_size: 4
+            }
         ));
         assert!(Assignment::from_transforms(&sys, vec![ok1, ok2]).is_ok());
     }
@@ -350,8 +386,8 @@ mod tests {
     fn effective_kind_degenerates_iu2() {
         // F = 8, M = 16: F² ≥ M so IU2 is effectively IU1.
         let sys = SystemConfig::new(&[8, 16], 16).unwrap();
-        let a = Assignment::from_kinds(&sys, &[TransformKind::Iu2, TransformKind::Identity])
-            .unwrap();
+        let a =
+            Assignment::from_kinds(&sys, &[TransformKind::Iu2, TransformKind::Identity]).unwrap();
         assert_eq!(a.kind(0), TransformKind::Iu2);
         assert_eq!(a.effective_kind(0), TransformKind::Iu1);
     }
@@ -360,6 +396,9 @@ mod tests {
     fn strategy_display() {
         assert_eq!(AssignmentStrategy::Basic.to_string(), "basic");
         assert_eq!(AssignmentStrategy::TheoremNine.to_string(), "theorem-9");
-        assert_eq!(AssignmentStrategy::default(), AssignmentStrategy::TheoremNine);
+        assert_eq!(
+            AssignmentStrategy::default(),
+            AssignmentStrategy::TheoremNine
+        );
     }
 }

@@ -211,7 +211,11 @@ impl PackedLayout {
         if offset > 63 {
             return Err(Error::Overflow);
         }
-        Ok(PackedLayout { shifts, masks, total_bits: offset })
+        Ok(PackedLayout {
+            shifts,
+            masks,
+            total_bits: offset,
+        })
     }
 
     /// Number of fields.

@@ -161,14 +161,19 @@ fn iu_iu2_triple(triple: &[(usize, u64, TransformKind)], min_product: Option<u64
             _ => return false, // duplicate or foreign kind
         }
     }
-    let (Some(fu), Some(fiu2)) = (f_u, f_iu2) else { return false };
+    let (Some(fu), Some(fiu2)) = (f_u, f_iu2) else {
+        return false;
+    };
     if !has_i || fiu2 < fu {
         return false;
     }
     match min_product {
         None => true,
         Some(m) => {
-            let product = triple.iter().map(|&(_, f, _)| f).fold(1u64, u64::saturating_mul);
+            let product = triple
+                .iter()
+                .map(|&(_, f, _)| f)
+                .fold(1u64, u64::saturating_mul);
             product >= m
         }
     }
@@ -210,7 +215,11 @@ mod tests {
 
     #[test]
     fn clause_1_small_patterns() {
-        let a = assignment(&[4, 4], 16, &[TransformKind::Identity, TransformKind::Identity]);
+        let a = assignment(
+            &[4, 4],
+            16,
+            &[TransformKind::Identity, TransformKind::Identity],
+        );
         assert_eq!(
             fx_pattern_reason(&a, Pattern::EXACT),
             FxOptimalityReason::AtMostOneUnspecified
@@ -297,7 +306,11 @@ mod tests {
         let a = assignment(
             &[8, 4, 8],
             512,
-            &[TransformKind::Identity, TransformKind::U, TransformKind::Iu2],
+            &[
+                TransformKind::Identity,
+                TransformKind::U,
+                TransformKind::Iu2,
+            ],
         );
         assert_eq!(
             fx_pattern_reason(&a, Pattern::from_unspecified(&[0, 1, 2])),
@@ -307,7 +320,11 @@ mod tests {
         let a = assignment(
             &[8, 8, 4],
             512,
-            &[TransformKind::Identity, TransformKind::U, TransformKind::Iu2],
+            &[
+                TransformKind::Identity,
+                TransformKind::U,
+                TransformKind::Iu2,
+            ],
         );
         assert_eq!(
             fx_pattern_reason(&a, Pattern::from_unspecified(&[0, 1, 2])),
@@ -381,8 +398,7 @@ mod tests {
     #[test]
     fn conditions_are_not_necessary() {
         let sys = SystemConfig::new(&[2, 2], 16).unwrap();
-        let a = Assignment::from_kinds(&sys, &[TransformKind::Iu1, TransformKind::Iu2])
-            .unwrap();
+        let a = Assignment::from_kinds(&sys, &[TransformKind::Iu1, TransformKind::Iu2]).unwrap();
         let fx = FxDistribution::with_assignment(a.clone());
         let pattern = Pattern::from_unspecified(&[0, 1]);
         assert!(!fx_pattern_guaranteed(&a, pattern));

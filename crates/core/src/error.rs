@@ -92,15 +92,31 @@ impl fmt::Display for Error {
             }
             Error::NoFields => write!(f, "a system must have at least one field"),
             Error::FieldOutOfRange { field, num_fields } => {
-                write!(f, "field index {field} out of range (system has {num_fields} fields)")
+                write!(
+                    f,
+                    "field index {field} out of range (system has {num_fields} fields)"
+                )
             }
-            Error::ValueOutOfRange { field, value, field_size } => {
-                write!(f, "value {value} out of range for field {field} (size {field_size})")
+            Error::ValueOutOfRange {
+                field,
+                value,
+                field_size,
+            } => {
+                write!(
+                    f,
+                    "value {value} out of range for field {field} (size {field_size})"
+                )
             }
             Error::ArityMismatch { expected, got } => {
-                write!(f, "bucket has {got} coordinates, system has {expected} fields")
+                write!(
+                    f,
+                    "bucket has {got} coordinates, system has {expected} fields"
+                )
             }
-            Error::TransformRequiresSmallField { field_size, devices } => {
+            Error::TransformRequiresSmallField {
+                field_size,
+                devices,
+            } => {
                 write!(
                     f,
                     "U/IU1/IU2 transforms require field size < device count \
@@ -111,10 +127,20 @@ impl fmt::Display for Error {
             Error::TransformArityMismatch { expected, got } => {
                 write!(f, "{got} transforms supplied for a {expected}-field system")
             }
-            Error::DeviceCountMismatch { transform_m, system_m } => {
-                write!(f, "transform built for M = {transform_m}, system has M = {system_m}")
+            Error::DeviceCountMismatch {
+                transform_m,
+                system_m,
+            } => {
+                write!(
+                    f,
+                    "transform built for M = {transform_m}, system has M = {system_m}"
+                )
             }
-            Error::FieldSizeMismatch { field, transform_size, field_size } => {
+            Error::FieldSizeMismatch {
+                field,
+                transform_size,
+                field_size,
+            } => {
                 write!(
                     f,
                     "transform for field {field} built for size {transform_size}, \
@@ -135,7 +161,11 @@ mod tests {
     fn display_is_informative() {
         let e = Error::NotPowerOfTwo { value: 12 };
         assert_eq!(e.to_string(), "12 is not a power of two");
-        let e = Error::ValueOutOfRange { field: 2, value: 9, field_size: 8 };
+        let e = Error::ValueOutOfRange {
+            field: 2,
+            value: 9,
+            field_size: 8,
+        };
         assert!(e.to_string().contains("field 2"));
         assert!(e.to_string().contains("size 8"));
     }

@@ -66,7 +66,11 @@ struct PlanCache(Arc<std::sync::RwLock<HashMap<Pattern, Arc<InversePlan>>>>);
 
 impl PlanCache {
     fn get(&self, pattern: Pattern) -> Option<Arc<InversePlan>> {
-        self.0.read().unwrap_or_else(|e| e.into_inner()).get(&pattern).cloned()
+        self.0
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&pattern)
+            .cloned()
     }
 
     fn insert(&self, pattern: Pattern, plan: Arc<InversePlan>) -> Arc<InversePlan> {
@@ -232,10 +236,14 @@ impl Kernel {
     #[inline]
     fn xor_packed(&self, code: u64, sys: &SystemConfig) -> u64 {
         match self {
-            Kernel::Tables { tables, shifts, masks, .. } => {
+            Kernel::Tables {
+                tables,
+                shifts,
+                masks,
+                ..
+            } => {
                 let mut acc = 0u64;
-                for ((table, &shift), &mask) in tables.iter().zip(shifts.iter()).zip(masks.iter())
-                {
+                for ((table, &shift), &mask) in tables.iter().zip(shifts.iter()).zip(masks.iter()) {
                     acc ^= table[((code >> shift) & mask) as usize];
                 }
                 acc
@@ -272,14 +280,23 @@ impl Kernel {
     /// (huge fields) falls back to the scalar loop.
     fn device_of_batch(&self, codes: &[u64], out: &mut [u64], sys: &SystemConfig) {
         let m1 = sys.devices() - 1;
-        if let Kernel::Tables { flat, seg_bases, seg_shifts, seg_masks, .. } = self {
+        if let Kernel::Tables {
+            flat,
+            seg_bases,
+            seg_shifts,
+            seg_masks,
+            ..
+        } = self
+        {
             let flat = &flat[..];
             let mut code_chunks = codes.chunks_exact(BATCH_LANES);
             let mut out_chunks = out.chunks_exact_mut(BATCH_LANES);
             for (chunk, slot) in (&mut code_chunks).zip(&mut out_chunks) {
                 let mut acc = [0u64; BATCH_LANES];
-                for ((&base, &shift), &mask) in
-                    seg_bases.iter().zip(seg_shifts.iter()).zip(seg_masks.iter())
+                for ((&base, &shift), &mask) in seg_bases
+                    .iter()
+                    .zip(seg_shifts.iter())
+                    .zip(seg_masks.iter())
                 {
                     for lane in 0..BATCH_LANES {
                         let idx = base as u64 + ((chunk[lane] >> shift) & mask);
@@ -290,7 +307,10 @@ impl Kernel {
                     slot[lane] = acc[lane] & m1;
                 }
             }
-            for (&code, slot) in code_chunks.remainder().iter().zip(out_chunks.into_remainder())
+            for (&code, slot) in code_chunks
+                .remainder()
+                .iter()
+                .zip(out_chunks.into_remainder())
             {
                 *slot = self.xor_packed(code, sys) & m1;
             }
@@ -324,7 +344,11 @@ impl FxDistribution {
     /// Extended FX from an explicit assignment.
     pub fn with_assignment(assignment: Assignment) -> Self {
         let kernel = Kernel::for_assignment(&assignment);
-        FxDistribution { assignment, kernel, plans: PlanCache::default() }
+        FxDistribution {
+            assignment,
+            kernel,
+            plans: PlanCache::default(),
+        }
     }
 
     /// The per-field transformation assignment.
@@ -402,7 +426,8 @@ impl DistributionMethod for FxDistribution {
     fn device_of_batch(&self, codes: &[u64], out: &mut [u64]) {
         assert_eq!(codes.len(), out.len(), "device_of_batch buffers must match");
         pmr_rt::obs::counter_add("addr.batch_calls", 1);
-        self.kernel.device_of_batch(codes, out, self.assignment.system());
+        self.kernel
+            .device_of_batch(codes, out, self.assignment.system());
     }
 
     fn as_fx(&self) -> Option<&FxDistribution> {
@@ -462,8 +487,7 @@ mod tests {
     #[test]
     fn table_2_i_u() {
         let sys = SystemConfig::new(&[4, 4], 16).unwrap();
-        let a = Assignment::from_kinds(&sys, &[TransformKind::Identity, TransformKind::U])
-            .unwrap();
+        let a = Assignment::from_kinds(&sys, &[TransformKind::Identity, TransformKind::U]).unwrap();
         let fx = FxDistribution::with_assignment(a);
         let mut devices = Vec::new();
         for j1 in 0..4 {
@@ -482,8 +506,8 @@ mod tests {
     #[test]
     fn table_3_i_iu1() {
         let sys = SystemConfig::new(&[4, 4], 16).unwrap();
-        let a = Assignment::from_kinds(&sys, &[TransformKind::Identity, TransformKind::Iu1])
-            .unwrap();
+        let a =
+            Assignment::from_kinds(&sys, &[TransformKind::Identity, TransformKind::Iu1]).unwrap();
         let fx = FxDistribution::with_assignment(a);
         let mut devices = Vec::new();
         for j1 in 0..4 {
@@ -503,7 +527,11 @@ mod tests {
         let sys = SystemConfig::new(&[2, 4, 2], 8).unwrap();
         let a = Assignment::from_kinds(
             &sys,
-            &[TransformKind::Identity, TransformKind::U, TransformKind::Iu1],
+            &[
+                TransformKind::Identity,
+                TransformKind::U,
+                TransformKind::Iu1,
+            ],
         )
         .unwrap();
         let fx = FxDistribution::with_assignment(a);
@@ -515,15 +543,18 @@ mod tests {
                 }
             }
         }
-        assert_eq!(devices, vec![0, 5, 2, 7, 4, 1, 6, 3, 1, 4, 3, 6, 5, 0, 7, 2]);
+        assert_eq!(
+            devices,
+            vec![0, 5, 2, 7, 4, 1, 6, 3, 1, 4, 3, 6, 5, 0, 7, 2]
+        );
     }
 
     /// Table 5: I + IU2 on F = (8, 2), M = 16.
     #[test]
     fn table_5_i_iu2() {
         let sys = SystemConfig::new(&[8, 2], 16).unwrap();
-        let a = Assignment::from_kinds(&sys, &[TransformKind::Identity, TransformKind::Iu2])
-            .unwrap();
+        let a =
+            Assignment::from_kinds(&sys, &[TransformKind::Identity, TransformKind::Iu2]).unwrap();
         let fx = FxDistribution::with_assignment(a);
         let mut devices = Vec::new();
         for j1 in 0..8 {
@@ -543,7 +574,11 @@ mod tests {
         let sys = SystemConfig::new(&[4, 2, 2], 16).unwrap();
         let a = Assignment::from_kinds(
             &sys,
-            &[TransformKind::Identity, TransformKind::U, TransformKind::Iu2],
+            &[
+                TransformKind::Identity,
+                TransformKind::U,
+                TransformKind::Iu2,
+            ],
         )
         .unwrap();
         let fx = FxDistribution::with_assignment(a);
@@ -576,7 +611,11 @@ mod tests {
         let sys = SystemConfig::new(&[4, 4, 8], 16).unwrap();
         let a = Assignment::from_kinds(
             &sys,
-            &[TransformKind::Identity, TransformKind::U, TransformKind::Iu1],
+            &[
+                TransformKind::Identity,
+                TransformKind::U,
+                TransformKind::Iu1,
+            ],
         )
         .unwrap();
         let fx = FxDistribution::with_assignment(a);
@@ -591,7 +630,10 @@ mod tests {
     #[test]
     fn names() {
         let sys = SystemConfig::new(&[2, 8], 4).unwrap();
-        assert_eq!(FxDistribution::basic(sys.clone()).unwrap().name(), "FX(basic)");
+        assert_eq!(
+            FxDistribution::basic(sys.clone()).unwrap().name(),
+            "FX(basic)"
+        );
         let sys16 = SystemConfig::new(&[4, 4], 16).unwrap();
         let fx = FxDistribution::with_strategy(sys16, AssignmentStrategy::CycleIu1).unwrap();
         assert_eq!(fx.name(), "FX(I,U)");
@@ -631,7 +673,10 @@ mod tests {
         let fx_big = FxDistribution::auto(big.clone()).unwrap();
         let layout = big.packed_layout();
         for bucket in [[0u64, 0], [5, 3], [(1 << 17) - 1, 1], [1 << 16, 2]] {
-            assert_eq!(fx_big.device_of_packed(layout.pack(&bucket)), fx_big.device_of(&bucket));
+            assert_eq!(
+                fx_big.device_of_packed(layout.pack(&bucket)),
+                fx_big.device_of(&bucket)
+            );
         }
     }
 

@@ -86,7 +86,11 @@ impl GeneralFxDistribution {
                 let mut seen = vec![false; m as usize];
                 for &v in table {
                     if v >= m || seen[v as usize] {
-                        return Err(Error::ValueOutOfRange { field, value: v, field_size: m });
+                        return Err(Error::ValueOutOfRange {
+                            field,
+                            value: v,
+                            field_size: m,
+                        });
                     }
                     seen[v as usize] = true;
                 }
@@ -131,10 +135,12 @@ impl GeneralFxDistribution {
 
     /// Returns a copy with field `field`'s table replaced (revalidated).
     pub fn with_table(&self, field: usize, table: Vec<u64>) -> Result<Self> {
-        let mut tables: Vec<Vec<u64>> =
-            self.tables.iter().map(|t| t.to_vec()).collect();
+        let mut tables: Vec<Vec<u64>> = self.tables.iter().map(|t| t.to_vec()).collect();
         if field >= tables.len() {
-            return Err(Error::FieldOutOfRange { field, num_fields: tables.len() });
+            return Err(Error::FieldOutOfRange {
+                field,
+                num_fields: tables.len(),
+            });
         }
         tables[field] = table;
         GeneralFxDistribution::new(self.sys.clone(), tables)
@@ -189,7 +195,11 @@ impl DistributionMethod for GeneralFxDistribution {
                 slot[lane] = acc[lane] & m1;
             }
         }
-        for (&code, slot) in code_chunks.remainder().iter().zip(out_chunks.into_remainder()) {
+        for (&code, slot) in code_chunks
+            .remainder()
+            .iter()
+            .zip(out_chunks.into_remainder())
+        {
             *slot = self.device_of_packed(code);
         }
     }
@@ -222,14 +232,15 @@ mod tests {
         // Wrong table count.
         assert!(GeneralFxDistribution::new(sys.clone(), vec![vec![0, 1]]).is_err());
         // Wrong table length.
-        assert!(GeneralFxDistribution::new(sys.clone(), vec![vec![0], (0..8).collect()])
-            .is_err());
+        assert!(GeneralFxDistribution::new(sys.clone(), vec![vec![0], (0..8).collect()]).is_err());
         // Small field escaping Z_M.
-        assert!(GeneralFxDistribution::new(sys.clone(), vec![vec![0, 4], (0..8).collect()])
-            .is_err());
+        assert!(
+            GeneralFxDistribution::new(sys.clone(), vec![vec![0, 4], (0..8).collect()]).is_err()
+        );
         // Small field repeating a value.
-        assert!(GeneralFxDistribution::new(sys.clone(), vec![vec![2, 2], (0..8).collect()])
-            .is_err());
+        assert!(
+            GeneralFxDistribution::new(sys.clone(), vec![vec![2, 2], (0..8).collect()]).is_err()
+        );
         // Large field not M-regular (residue 0 hit 3 times).
         assert!(GeneralFxDistribution::new(
             sys.clone(),
@@ -237,11 +248,10 @@ mod tests {
         )
         .is_err());
         // Valid: M-regular non-identity large-field table.
-        assert!(GeneralFxDistribution::new(
-            sys,
-            vec![vec![0, 1], vec![4, 5, 6, 7, 0, 1, 2, 3]],
-        )
-        .is_ok());
+        assert!(
+            GeneralFxDistribution::new(sys, vec![vec![0, 1], vec![4, 5, 6, 7, 0, 1, 2, 3]],)
+                .is_ok()
+        );
     }
 
     /// Embedding classic FX gives the identical distribution.
@@ -259,7 +269,11 @@ mod tests {
             let mut buf = Vec::new();
             for idx in sys.all_indices() {
                 sys.decode_index(idx, &mut buf);
-                assert_eq!(fx.device_of(&buf), g.device_of(&buf), "{strategy:?} {buf:?}");
+                assert_eq!(
+                    fx.device_of(&buf),
+                    g.device_of(&buf),
+                    "{strategy:?} {buf:?}"
+                );
             }
         }
     }
@@ -317,11 +331,8 @@ mod tests {
     #[test]
     fn device_of_batch_matches_scalar() {
         let sys = SystemConfig::new(&[4, 4], 8).unwrap();
-        let g = GeneralFxDistribution::new(
-            sys.clone(),
-            vec![vec![5, 2, 7, 0], vec![1, 4, 6, 3]],
-        )
-        .unwrap();
+        let g = GeneralFxDistribution::new(sys.clone(), vec![vec![5, 2, 7, 0], vec![1, 4, 6, 3]])
+            .unwrap();
         let codes: Vec<u64> = sys.all_indices().collect();
         for len in [0, 3, 8, 11, codes.len()] {
             let mut out = vec![u64::MAX; len];
@@ -335,8 +346,7 @@ mod tests {
     #[test]
     fn with_table_replaces_and_revalidates() {
         let sys = SystemConfig::new(&[2, 8], 4).unwrap();
-        let g =
-            GeneralFxDistribution::new(sys, vec![vec![0, 1], (0..8).collect()]).unwrap();
+        let g = GeneralFxDistribution::new(sys, vec![vec![0, 1], (0..8).collect()]).unwrap();
         let g2 = g.with_table(0, vec![0, 2]).unwrap();
         assert_eq!(&*g2.tables()[0], &[0, 2]);
         assert!(g.with_table(0, vec![0, 9]).is_err());

@@ -186,9 +186,19 @@ impl InversePlan {
         };
         let free_fields = unspecified
             .iter()
-            .map(|&i| FreeField { field: i, shift: layout.shift(i), mask: layout.mask(i) })
+            .map(|&i| FreeField {
+                field: i,
+                shift: layout.shift(i),
+                mask: layout.mask(i),
+            })
             .collect();
-        InversePlan { pattern, pivot, free_fields, pivot_classes, pivot_class_codes }
+        InversePlan {
+            pattern,
+            pivot,
+            free_fields,
+            pivot_classes,
+            pivot_class_codes,
+        }
     }
 
     /// The pattern this plan serves.
@@ -255,13 +265,16 @@ impl<'a> FxInverse<'a> {
         debug_assert_eq!(query.values().len(), sys.num_fields());
         let h = fx.specified_xor(query.values());
         let layout = sys.packed_layout();
-        let base_code = query
-            .values()
-            .iter()
-            .enumerate()
-            .fold(0u64, |acc, (i, v)| acc | (v.unwrap_or(0) << layout.shift(i)));
+        let base_code = query.values().iter().enumerate().fold(0u64, |acc, (i, v)| {
+            acc | (v.unwrap_or(0) << layout.shift(i))
+        });
         let plan = fx.inverse_plan(query.pattern());
-        FxInverse { fx, h, base_code, plan }
+        FxInverse {
+            fx,
+            h,
+            base_code,
+            plan,
+        }
     }
 
     /// All qualified buckets of the query residing on `device`.
@@ -379,7 +392,12 @@ impl<'a> FxInverse<'a> {
         base_code: u64,
         plan: Arc<InversePlan>,
     ) -> Self {
-        FxInverse { fx, h, base_code, plan }
+        FxInverse {
+            fx,
+            h,
+            base_code,
+            plan,
+        }
     }
 }
 
@@ -521,7 +539,10 @@ mod tests {
         let q2 = PartialMatchQuery::new(&sys, &[Some(3), None]).unwrap();
         let i1 = FxInverse::new(&fx, &q1);
         let i2 = FxInverse::new(&fx, &q2);
-        assert!(std::ptr::eq(i1.plan(), i2.plan()), "same pattern, same plan");
+        assert!(
+            std::ptr::eq(i1.plan(), i2.plan()),
+            "same pattern, same plan"
+        );
         let plan = i1.plan();
         assert_eq!(plan.pivot(), Some(1));
         let total: usize = (0..sys.devices()).map(|c| plan.pivot_class(c).len()).sum();

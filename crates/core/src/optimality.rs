@@ -43,7 +43,10 @@ pub fn largest_response<D: DistributionMethod + ?Sized>(
     sys: &SystemConfig,
     query: &PartialMatchQuery,
 ) -> u64 {
-    response_histogram(method, sys, query).into_iter().max().unwrap_or(0)
+    response_histogram(method, sys, query)
+        .into_iter()
+        .max()
+        .unwrap_or(0)
 }
 
 /// The strict-optimality bound `ceil(|R(q)| / M)` for a query.
@@ -111,10 +114,7 @@ pub fn is_k_optimal<D: DistributionMethod + ?Sized>(
 /// `true` when `method` is perfect optimal: k-optimal for every
 /// `k = 0 … n`. Exhaustive — intended for the small systems of the paper's
 /// examples and for tests.
-pub fn is_perfect_optimal<D: DistributionMethod + ?Sized>(
-    method: &D,
-    sys: &SystemConfig,
-) -> bool {
+pub fn is_perfect_optimal<D: DistributionMethod + ?Sized>(method: &D, sys: &SystemConfig) -> bool {
     Pattern::all(sys.num_fields()).all(|p| pattern_strict_optimal(method, sys, p))
 }
 
@@ -127,11 +127,18 @@ where
 {
     let n = sys.num_fields();
     let specified: Vec<usize> = pattern.specified_fields(n);
-    let mut values: Vec<Option<u64>> =
-        (0..n).map(|i| if pattern.is_unspecified(i) { None } else { Some(0) }).collect();
+    let mut values: Vec<Option<u64>> = (0..n)
+        .map(|i| {
+            if pattern.is_unspecified(i) {
+                None
+            } else {
+                Some(0)
+            }
+        })
+        .collect();
     loop {
-        let q = PartialMatchQuery::new(sys, &values)
-            .expect("odometer generates only valid queries");
+        let q =
+            PartialMatchQuery::new(sys, &values).expect("odometer generates only valid queries");
         if !f(&q) {
             return false;
         }
@@ -237,8 +244,7 @@ mod tests {
     #[test]
     fn section_3_fix_with_u_transform() {
         let sys = SystemConfig::new(&[2, 8], 16).unwrap();
-        let a = Assignment::from_kinds(&sys, &[TransformKind::U, TransformKind::Identity])
-            .unwrap();
+        let a = Assignment::from_kinds(&sys, &[TransformKind::U, TransformKind::Identity]).unwrap();
         let fx = FxDistribution::with_assignment(a);
         assert!(is_perfect_optimal(&fx, &sys));
     }
@@ -248,18 +254,23 @@ mod tests {
     #[test]
     fn theorem_4_perfect_optimal() {
         let sys = SystemConfig::new(&[4, 4], 16).unwrap();
-        let a = Assignment::from_kinds(&sys, &[TransformKind::Identity, TransformKind::U])
-            .unwrap();
-        assert!(is_perfect_optimal(&FxDistribution::with_assignment(a), &sys));
+        let a = Assignment::from_kinds(&sys, &[TransformKind::Identity, TransformKind::U]).unwrap();
+        assert!(is_perfect_optimal(
+            &FxDistribution::with_assignment(a),
+            &sys
+        ));
     }
 
     /// Theorem 5 (Example 5): I + IU1 on F = (4, 4), M = 16.
     #[test]
     fn theorem_5_perfect_optimal() {
         let sys = SystemConfig::new(&[4, 4], 16).unwrap();
-        let a = Assignment::from_kinds(&sys, &[TransformKind::Identity, TransformKind::Iu1])
-            .unwrap();
-        assert!(is_perfect_optimal(&FxDistribution::with_assignment(a), &sys));
+        let a =
+            Assignment::from_kinds(&sys, &[TransformKind::Identity, TransformKind::Iu1]).unwrap();
+        assert!(is_perfect_optimal(
+            &FxDistribution::with_assignment(a),
+            &sys
+        ));
     }
 
     /// Theorem 6: U + IU1 with two small fields.
@@ -267,8 +278,7 @@ mod tests {
     fn theorem_6_perfect_optimal() {
         for (f, m) in [(vec![4u64, 4], 16u64), (vec![2, 8], 16), (vec![4, 8], 32)] {
             let sys = SystemConfig::new(&f, m).unwrap();
-            let a = Assignment::from_kinds(&sys, &[TransformKind::U, TransformKind::Iu1])
-                .unwrap();
+            let a = Assignment::from_kinds(&sys, &[TransformKind::U, TransformKind::Iu1]).unwrap();
             assert!(
                 is_perfect_optimal(&FxDistribution::with_assignment(a), &sys),
                 "U+IU1 on {sys}"
@@ -324,10 +334,17 @@ mod tests {
         let sys = SystemConfig::new(&[2, 4, 2], 8).unwrap();
         let a = Assignment::from_kinds(
             &sys,
-            &[TransformKind::Identity, TransformKind::U, TransformKind::Iu1],
+            &[
+                TransformKind::Identity,
+                TransformKind::U,
+                TransformKind::Iu1,
+            ],
         )
         .unwrap();
-        assert!(is_perfect_optimal(&FxDistribution::with_assignment(a), &sys));
+        assert!(is_perfect_optimal(
+            &FxDistribution::with_assignment(a),
+            &sys
+        ));
     }
 
     /// Same-transform small fields break optimality: I + I on
@@ -369,8 +386,7 @@ mod tests {
     #[test]
     fn fast_path_matches_exhaustive() {
         let sys = SystemConfig::new(&[4, 4, 2], 8).unwrap();
-        let fx = FxDistribution::with_strategy(sys.clone(), AssignmentStrategy::CycleIu1)
-            .unwrap();
+        let fx = FxDistribution::with_strategy(sys.clone(), AssignmentStrategy::CycleIu1).unwrap();
 
         /// Wrapper hiding the invariance declaration.
         struct NoInvariance<'a>(&'a FxDistribution);

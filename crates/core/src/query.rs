@@ -43,12 +43,16 @@ impl Pattern {
 
     /// Unspecified field indices in increasing order.
     pub fn unspecified_fields(self, num_fields: usize) -> Vec<usize> {
-        (0..num_fields).filter(|&i| self.is_unspecified(i)).collect()
+        (0..num_fields)
+            .filter(|&i| self.is_unspecified(i))
+            .collect()
     }
 
     /// Specified field indices in increasing order.
     pub fn specified_fields(self, num_fields: usize) -> Vec<usize> {
-        (0..num_fields).filter(|&i| !self.is_unspecified(i)).collect()
+        (0..num_fields)
+            .filter(|&i| !self.is_unspecified(i))
+            .collect()
     }
 
     /// Iterates over all `2^n` patterns of an `n`-field system.
@@ -110,7 +114,10 @@ impl PartialMatchQuery {
     /// * [`Error::ValueOutOfRange`] when a specified value is `>= F_i`.
     pub fn new(sys: &SystemConfig, values: &[Option<u64>]) -> Result<Self> {
         if values.len() != sys.num_fields() {
-            return Err(Error::ArityMismatch { expected: sys.num_fields(), got: values.len() });
+            return Err(Error::ArityMismatch {
+                expected: sys.num_fields(),
+                got: values.len(),
+            });
         }
         let mut pattern = 0u32;
         for (i, v) in values.iter().enumerate() {
@@ -126,7 +133,10 @@ impl PartialMatchQuery {
                 None => pattern |= 1 << i,
             }
         }
-        Ok(PartialMatchQuery { values: values.to_vec(), pattern: Pattern(pattern) })
+        Ok(PartialMatchQuery {
+            values: values.to_vec(),
+            pattern: Pattern(pattern),
+        })
     }
 
     /// Builds the query with the given pattern whose specified values are
@@ -134,7 +144,13 @@ impl PartialMatchQuery {
     /// fast path in analysis.
     pub fn zero_representative(sys: &SystemConfig, pattern: Pattern) -> Self {
         let values = (0..sys.num_fields())
-            .map(|i| if pattern.is_unspecified(i) { None } else { Some(0) })
+            .map(|i| {
+                if pattern.is_unspecified(i) {
+                    None
+                } else {
+                    Some(0)
+                }
+            })
             .collect();
         PartialMatchQuery { values, pattern }
     }
@@ -241,8 +257,7 @@ pub struct QualifiedBuckets<'a> {
 impl<'a> QualifiedBuckets<'a> {
     fn new(query: &'a PartialMatchQuery, sys: &'a SystemConfig) -> Self {
         debug_assert_eq!(query.values.len(), sys.num_fields());
-        let current: Vec<u64> =
-            query.values.iter().map(|v| v.unwrap_or(0)).collect();
+        let current: Vec<u64> = query.values.iter().map(|v| v.unwrap_or(0)).collect();
         let layout = sys.packed_layout();
         let code = layout.pack(&current);
         let digits = query
@@ -256,7 +271,15 @@ impl<'a> QualifiedBuckets<'a> {
             })
             .collect();
         let remaining = query.qualified_count_in(sys);
-        QualifiedBuckets { query, sys, current, code, digits, remaining, started: false }
+        QualifiedBuckets {
+            query,
+            sys,
+            current,
+            code,
+            digits,
+            remaining,
+            started: false,
+        }
     }
 
     /// Total number of buckets this iterator will yield.
@@ -305,7 +328,11 @@ impl<'a> QualifiedBuckets<'a> {
     /// returns a view of it, or `None` when exhausted. Use this in hot loops
     /// to avoid per-bucket allocation.
     pub fn next_bucket(&mut self) -> Option<&[u64]> {
-        if self.step() { Some(&self.current) } else { None }
+        if self.step() {
+            Some(&self.current)
+        } else {
+            None
+        }
     }
 
     /// Packed twin of [`next_bucket`](Self::next_bucket): the next qualified
@@ -313,7 +340,11 @@ impl<'a> QualifiedBuckets<'a> {
     /// No tuple is materialised; the code is maintained incrementally, so
     /// the per-bucket cost is one add (amortised) regardless of arity.
     pub fn next_code(&mut self) -> Option<u64> {
-        if self.step() { Some(self.code) } else { None }
+        if self.step() {
+            Some(self.code)
+        } else {
+            None
+        }
     }
 }
 
@@ -374,11 +405,18 @@ mod tests {
         assert!(PartialMatchQuery::new(&sys, &[Some(1), None]).is_ok());
         assert!(matches!(
             PartialMatchQuery::new(&sys, &[Some(2), None]).unwrap_err(),
-            Error::ValueOutOfRange { field: 0, value: 2, field_size: 2 }
+            Error::ValueOutOfRange {
+                field: 0,
+                value: 2,
+                field_size: 2
+            }
         ));
         assert!(matches!(
             PartialMatchQuery::new(&sys, &[None]).unwrap_err(),
-            Error::ArityMismatch { expected: 2, got: 1 }
+            Error::ArityMismatch {
+                expected: 2,
+                got: 1
+            }
         ));
     }
 
@@ -491,8 +529,10 @@ mod tests {
                 q.matches(&buf)
             })
             .collect();
-        let by_enum: Vec<u64> =
-            q.qualified_buckets(&sys).map(|b| sys.linear_index(&b)).collect();
+        let by_enum: Vec<u64> = q
+            .qualified_buckets(&sys)
+            .map(|b| sys.linear_index(&b))
+            .collect();
         let mut sorted = by_enum.clone();
         sorted.sort_unstable();
         assert_eq!(by_filter, sorted);

@@ -151,7 +151,10 @@ impl OptimalityReport {
             100.0 * self.certified_fraction()
         ));
         if let Some(f) = self.measured_fraction() {
-            out.push_str(&format!("measured  strict-optimal patterns: {:.1}%\n", 100.0 * f));
+            out.push_str(&format!(
+                "measured  strict-optimal patterns: {:.1}%\n",
+                100.0 * f
+            ));
         }
         out
     }

@@ -112,10 +112,14 @@ impl SystemConfig {
 
     /// Checked field-size accessor.
     pub fn try_field_size(&self, field: usize) -> Result<u64> {
-        self.inner.field_sizes.get(field).copied().ok_or(Error::FieldOutOfRange {
-            field,
-            num_fields: self.num_fields(),
-        })
+        self.inner
+            .field_sizes
+            .get(field)
+            .copied()
+            .ok_or(Error::FieldOutOfRange {
+                field,
+                num_fields: self.num_fields(),
+            })
     }
 
     /// All field sizes.
@@ -158,18 +162,27 @@ impl SystemConfig {
     /// Indices of the small fields (`F_i < M`), in field order. `L` in the
     /// paper's Section 4.2 summary is the length of this list.
     pub fn small_fields(&self) -> Vec<usize> {
-        (0..self.num_fields()).filter(|&i| self.is_small_field(i)).collect()
+        (0..self.num_fields())
+            .filter(|&i| self.is_small_field(i))
+            .collect()
     }
 
     /// Validates a bucket tuple against the space, checking arity and
     /// per-field range.
     pub fn validate_bucket(&self, bucket: &[u64]) -> Result<()> {
         if bucket.len() != self.num_fields() {
-            return Err(Error::ArityMismatch { expected: self.num_fields(), got: bucket.len() });
+            return Err(Error::ArityMismatch {
+                expected: self.num_fields(),
+                got: bucket.len(),
+            });
         }
         for (i, (&v, &f)) in bucket.iter().zip(self.field_sizes()).enumerate() {
             if v >= f {
-                return Err(Error::ValueOutOfRange { field: i, value: v, field_size: f });
+                return Err(Error::ValueOutOfRange {
+                    field: i,
+                    value: v,
+                    field_size: f,
+                });
             }
         }
         Ok(())
@@ -370,7 +383,10 @@ mod tests {
         ));
         assert!(matches!(
             sys.validate_bucket(&[0, 0, 0]).unwrap_err(),
-            Error::ArityMismatch { expected: 2, got: 3 }
+            Error::ArityMismatch {
+                expected: 2,
+                got: 3
+            }
         ));
     }
 
@@ -414,7 +430,10 @@ mod tests {
         assert_eq!(sys.try_field_size(1).unwrap(), 4);
         assert!(matches!(
             sys.try_field_size(2).unwrap_err(),
-            Error::FieldOutOfRange { field: 2, num_fields: 2 }
+            Error::FieldOutOfRange {
+                field: 2,
+                num_fields: 2
+            }
         ));
     }
 }

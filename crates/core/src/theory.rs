@@ -104,9 +104,7 @@ pub fn default_grid(max_fields: usize, max_buckets: u64) -> Vec<SystemConfig> {
             let field_sizes: Vec<u64> = combo.iter().map(|&i| sizes[i]).collect();
             if field_sizes.iter().product::<u64>() <= max_buckets {
                 for &m in &ms {
-                    out.push(
-                        SystemConfig::new(&field_sizes, m).expect("grid sizes are valid"),
-                    );
+                    out.push(SystemConfig::new(&field_sizes, m).expect("grid sizes are valid"));
                 }
             }
             // Odometer over size choices.
@@ -145,9 +143,7 @@ pub fn verify(claim: Claim, grid: &[SystemConfig]) -> ClaimReport {
                     for pattern in Pattern::all(sys.num_fields()) {
                         let applies = match claim {
                             Claim::Theorem1 => pattern.unspecified_count() <= 1,
-                            Claim::Theorem2 => {
-                                crate::conditions::theorem_2_applies(sys, pattern)
-                            }
+                            Claim::Theorem2 => crate::conditions::theorem_2_applies(sys, pattern),
                             Claim::SummaryConditions => {
                                 crate::conditions::fx_pattern_guaranteed(&assignment, pattern)
                             }
@@ -159,10 +155,7 @@ pub fn verify(claim: Claim, grid: &[SystemConfig]) -> ClaimReport {
                         instances += 1;
                         if !pattern_strict_optimal(&fx, sys, pattern) {
                             fail(
-                                format!(
-                                    "{sys} [{}] pattern {pattern:?}",
-                                    assignment.describe()
-                                ),
+                                format!("{sys} [{}] pattern {pattern:?}", assignment.describe()),
                                 &mut counterexamples,
                             );
                         }
@@ -200,10 +193,7 @@ pub fn verify(claim: Claim, grid: &[SystemConfig]) -> ClaimReport {
                         instances += 1;
                         if !pattern_strict_optimal(&fx, sys, pattern) {
                             fail(
-                                format!(
-                                    "{sys} [{}] pattern {pattern:?}",
-                                    assignment.describe()
-                                ),
+                                format!("{sys} [{}] pattern {pattern:?}", assignment.describe()),
                                 &mut counterexamples,
                             );
                         }
@@ -227,7 +217,11 @@ pub fn verify(claim: Claim, grid: &[SystemConfig]) -> ClaimReport {
             }
         }
     }
-    ClaimReport { claim, instances, counterexamples }
+    ClaimReport {
+        claim,
+        instances,
+        counterexamples,
+    }
 }
 
 /// A small deterministic family of assignments for universally-quantified
@@ -241,8 +235,11 @@ fn sample_assignments(sys: &SystemConfig) -> Vec<Assignment> {
     // A reversed-cycle variant to vary field/kind pairings.
     let mut kinds = vec![TransformKind::Identity; sys.num_fields()];
     for (pos, field) in sys.small_fields().into_iter().rev().enumerate() {
-        kinds[field] =
-            [TransformKind::Identity, TransformKind::U, TransformKind::Iu1][pos % 3];
+        kinds[field] = [
+            TransformKind::Identity,
+            TransformKind::U,
+            TransformKind::Iu1,
+        ][pos % 3];
     }
     if let Ok(a) = Assignment::from_kinds(sys, &kinds) {
         out.push(a);

@@ -43,8 +43,12 @@ pub enum TransformKind {
 
 impl TransformKind {
     /// All four kinds, in paper order.
-    pub const ALL: [TransformKind; 4] =
-        [TransformKind::Identity, TransformKind::U, TransformKind::Iu1, TransformKind::Iu2];
+    pub const ALL: [TransformKind; 4] = [
+        TransformKind::Identity,
+        TransformKind::U,
+        TransformKind::Iu1,
+        TransformKind::Iu2,
+    ];
 
     /// Short display name matching the paper's notation.
     pub fn name(self) -> &'static str {
@@ -108,7 +112,10 @@ impl Transform {
         }
         let m_bits = log2_exact(devices)?;
         if kind != TransformKind::Identity && field_size >= devices {
-            return Err(Error::TransformRequiresSmallField { field_size, devices });
+            return Err(Error::TransformRequiresSmallField {
+                field_size,
+                devices,
+            });
         }
         let f_bits = log2_exact(field_size).expect("validated above");
         let (shift1, shift2) = match kind {
@@ -117,11 +124,21 @@ impl Transform {
             TransformKind::Iu2 => {
                 let s1 = m_bits - f_bits;
                 // d₂ = d/F = M / F², non-zero only when F² < M.
-                let s2 = if 2 * f_bits < m_bits { Some(s1 - f_bits) } else { None };
+                let s2 = if 2 * f_bits < m_bits {
+                    Some(s1 - f_bits)
+                } else {
+                    None
+                };
                 (s1, s2.unwrap_or(NO_SHIFT))
             }
         };
-        Ok(Transform { kind, field_size, devices, shift1, shift2 })
+        Ok(Transform {
+            kind,
+            field_size,
+            devices,
+            shift1,
+            shift2,
+        })
     }
 
     /// Identity transform for any field (including `F ≥ M`).
@@ -183,7 +200,11 @@ impl Transform {
     /// must pass `l < F` (debug-asserted).
     #[inline]
     pub fn apply(&self, l: u64) -> u64 {
-        debug_assert!(l < self.field_size, "value {l} out of field range {}", self.field_size);
+        debug_assert!(
+            l < self.field_size,
+            "value {l} out of field range {}",
+            self.field_size
+        );
         match self.kind {
             TransformKind::Identity => l,
             TransformKind::U => l << self.shift1,
@@ -254,7 +275,13 @@ impl Transform {
 
 impl fmt::Display for Transform {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}^{{{},{}}}", self.kind.name(), self.devices, self.field_size)
+        write!(
+            f,
+            "{}^{{{},{}}}",
+            self.kind.name(),
+            self.devices,
+            self.field_size
+        )
     }
 }
 
@@ -268,7 +295,10 @@ mod tests {
         for kind in [TransformKind::U, TransformKind::Iu1, TransformKind::Iu2] {
             assert!(matches!(
                 Transform::new(kind, 16, 16).unwrap_err(),
-                Error::TransformRequiresSmallField { field_size: 16, devices: 16 }
+                Error::TransformRequiresSmallField {
+                    field_size: 16,
+                    devices: 16
+                }
             ));
             assert!(Transform::new(kind, 8, 16).is_ok());
         }

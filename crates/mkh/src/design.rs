@@ -77,7 +77,10 @@ pub fn design_field_bits(input: &DesignInput) -> Result<DesignOutput> {
     }
     if let Some(mb) = &input.max_bits {
         if mb.len() != n {
-            return Err(MkhError::RecordArity { expected: n, got: mb.len() });
+            return Err(MkhError::RecordArity {
+                expected: n,
+                got: mb.len(),
+            });
         }
     }
     let cap = |i: usize| input.max_bits.as_ref().map_or(u32::MAX, |mb| mb[i]);
@@ -98,7 +101,11 @@ pub fn design_field_bits(input: &DesignInput) -> Result<DesignOutput> {
     }
     let field_sizes = bits.iter().map(|&b| 1u64 << b).collect();
     let expected = expected_buckets(&input.spec_probability, &bits);
-    Ok(DesignOutput { bits, field_sizes, expected_buckets: expected })
+    Ok(DesignOutput {
+        bits,
+        field_sizes,
+        expected_buckets: expected,
+    })
 }
 
 /// Multiplicative cost factor of adding a bit to a field currently at `b`
@@ -128,7 +135,10 @@ mod tests {
             out.bits
         );
         assert_eq!(out.bits.iter().sum::<u32>(), 6);
-        assert_eq!(out.field_sizes, out.bits.iter().map(|&b| 1u64 << b).collect::<Vec<_>>());
+        assert_eq!(
+            out.field_sizes,
+            out.bits.iter().map(|&b| 1u64 << b).collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -191,8 +191,7 @@ mod tests {
         let records: Vec<Record> = (0..200)
             .map(|i| Record::new(vec![Value::Int(i), Value::Int(i * 31 + 7)]))
             .collect();
-        let old: Vec<Vec<u64>> =
-            records.iter().map(|r| dir.bucket_of(r).unwrap()).collect();
+        let old: Vec<Vec<u64>> = records.iter().map(|r| dir.bucket_of(r).unwrap()).collect();
         let old_size = dir.schema().fields()[0].size;
         dir.expand_field(0).unwrap();
         for (r, old_bucket) in records.iter().zip(&old) {

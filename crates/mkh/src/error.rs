@@ -46,7 +46,11 @@ impl fmt::Display for MkhError {
             MkhError::DuplicateFieldName { name } => {
                 write!(f, "duplicate field name {name:?}")
             }
-            MkhError::TypeMismatch { field, expected, got } => {
+            MkhError::TypeMismatch {
+                field,
+                expected,
+                got,
+            } => {
                 write!(f, "field {field:?} expects {expected}, got {got}")
             }
             MkhError::UnknownField { name } => write!(f, "unknown field {name:?}"),

@@ -60,7 +60,10 @@ impl FieldHasher {
     /// A copy of this hasher with doubled size; existing field values are
     /// refined (`new = old` or `new = old + F`), never reshuffled.
     pub fn doubled(&self) -> FieldHasher {
-        FieldHasher { seed: self.seed, size: self.size * 2 }
+        FieldHasher {
+            seed: self.seed,
+            size: self.size * 2,
+        }
     }
 }
 
@@ -100,8 +103,11 @@ impl MultiKeyHash {
             .iter()
             .enumerate()
             .map(|(i, f)| {
-                FieldHasher::new(seed.wrapping_add((i as u64 + 1).wrapping_mul(0xa076_1d64_78bd_642f)), f.size)
-                    .expect("schema sizes are validated powers of two")
+                FieldHasher::new(
+                    seed.wrapping_add((i as u64 + 1).wrapping_mul(0xa076_1d64_78bd_642f)),
+                    f.size,
+                )
+                .expect("schema sizes are validated powers of two")
             })
             .collect();
         MultiKeyHash { schema, hashers }
@@ -166,8 +172,11 @@ impl MultiKeyHash {
         }
         let layout = self.schema.system().packed_layout();
         let mut code = 0u64;
-        for (i, ((v, f), h)) in
-            values.iter().zip(self.schema.fields()).zip(&self.hashers).enumerate()
+        for (i, ((v, f), h)) in values
+            .iter()
+            .zip(self.schema.fields())
+            .zip(&self.hashers)
+            .enumerate()
         {
             if !f.ty.admits(v) {
                 return Err(MkhError::TypeMismatch {
@@ -195,7 +204,9 @@ impl MultiKeyHash {
             let idx = self
                 .schema
                 .field_index(name)
-                .ok_or_else(|| MkhError::UnknownField { name: (*name).to_owned() })?;
+                .ok_or_else(|| MkhError::UnknownField {
+                    name: (*name).to_owned(),
+                })?;
             let f = &self.schema.fields()[idx];
             if !f.ty.admits(value) {
                 return Err(MkhError::TypeMismatch {
@@ -241,8 +252,8 @@ mod tests {
         let v = Value::from("hello");
         assert_eq!(a.field_value(&v), b.field_value(&v));
         // Different seeds should disagree on at least some values.
-        let disagree = (0..100i64)
-            .any(|i| a.field_value(&Value::Int(i)) != c.field_value(&Value::Int(i)));
+        let disagree =
+            (0..100i64).any(|i| a.field_value(&Value::Int(i)) != c.field_value(&Value::Int(i)));
         assert!(disagree);
     }
 
@@ -279,7 +290,10 @@ mod tests {
         let bad_arity = Record::new(vec!["x".into()]);
         assert!(matches!(
             mkh.bucket_of(&bad_arity).unwrap_err(),
-            MkhError::RecordArity { expected: 2, got: 1 }
+            MkhError::RecordArity {
+                expected: 2,
+                got: 1
+            }
         ));
         let bad_type = Record::new(vec![Value::Int(1), Value::Int(3)]);
         assert!(matches!(
@@ -302,7 +316,10 @@ mod tests {
         let bad_arity = Record::new(vec!["x".into()]);
         assert!(matches!(
             mkh.bucket_code_of(&bad_arity).unwrap_err(),
-            MkhError::RecordArity { expected: 2, got: 1 }
+            MkhError::RecordArity {
+                expected: 2,
+                got: 1
+            }
         ));
         let bad_type = Record::new(vec![Value::Int(1), Value::Int(3)]);
         assert!(matches!(

@@ -26,8 +26,8 @@
 #![forbid(unsafe_code)]
 
 pub mod design;
-pub mod error;
 pub mod directory;
+pub mod error;
 pub mod hasher;
 pub mod record;
 pub mod schema;
@@ -35,8 +35,8 @@ pub mod stats;
 pub mod value;
 
 pub use design::{design_field_bits, DesignInput};
-pub use error::{MkhError, Result};
 pub use directory::DynamicDirectory;
+pub use error::{MkhError, Result};
 pub use hasher::{FieldHasher, MultiKeyHash};
 pub use record::Record;
 pub use schema::{FieldDef, FieldType, Schema};

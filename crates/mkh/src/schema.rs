@@ -51,7 +51,11 @@ pub struct FieldDef {
 impl FieldDef {
     /// Convenience constructor.
     pub fn new(name: impl Into<String>, ty: FieldType, size: u64) -> Self {
-        FieldDef { name: name.into(), ty, size }
+        FieldDef {
+            name: name.into(),
+            ty,
+            size,
+        }
     }
 }
 
@@ -81,7 +85,10 @@ pub struct Schema {
 impl Schema {
     /// Starts a builder.
     pub fn builder() -> SchemaBuilder {
-        SchemaBuilder { fields: Vec::new(), devices: 1 }
+        SchemaBuilder {
+            fields: Vec::new(),
+            devices: 1,
+        }
     }
 
     /// Builds a schema from parts, validating sizes through
@@ -158,7 +165,9 @@ impl SchemaBuilder {
     pub fn build(self) -> Result<Schema> {
         for (i, f) in self.fields.iter().enumerate() {
             if self.fields[..i].iter().any(|g| g.name == f.name) {
-                return Err(MkhError::DuplicateFieldName { name: f.name.clone() });
+                return Err(MkhError::DuplicateFieldName {
+                    name: f.name.clone(),
+                });
             }
         }
         Schema::new(self.fields, self.devices)

@@ -24,7 +24,11 @@ pub struct QueryLog {
 impl QueryLog {
     /// An empty log for an `n`-field schema.
     pub fn new(num_fields: usize) -> Self {
-        QueryLog { num_fields, specified_counts: vec![0; num_fields], total: 0 }
+        QueryLog {
+            num_fields,
+            specified_counts: vec![0; num_fields],
+            total: 0,
+        }
     }
 
     /// Number of fields.

@@ -20,7 +20,9 @@ fn gen_schema(src: &mut Source) -> Schema {
     for (i, &fb) in bits.iter().enumerate() {
         b = b.field(format!("f{i}"), FieldType::Int, 1u64 << fb);
     }
-    b.devices(1 << m_bits).build().expect("generated schema is valid")
+    b.devices(1 << m_bits)
+        .build()
+        .expect("generated schema is valid")
 }
 
 rt_proptest! {

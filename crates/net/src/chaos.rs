@@ -26,7 +26,10 @@ pub struct NetFaultPlan {
 impl NetFaultPlan {
     /// A plan that drops each (node, request) pair with probability `p`.
     pub fn new(seed: u64, drop_probability: f64) -> NetFaultPlan {
-        NetFaultPlan { drop_probability, seed }
+        NetFaultPlan {
+            drop_probability,
+            seed,
+        }
     }
 
     /// Deterministic per-(node, request) decision: the same seed replays
@@ -68,8 +71,7 @@ mod tests {
     #[test]
     fn drop_rate_tracks_probability() {
         let plan = NetFaultPlan::new(42, 0.3);
-        let drops =
-            (0..2000).filter(|&r| plan.drops((r % 4) as u32, r)).count();
+        let drops = (0..2000).filter(|&r| plan.drops((r % 4) as u32, r)).count();
         let rate = drops as f64 / 2000.0;
         assert!((rate - 0.3).abs() < 0.05, "drop rate {rate} far from 0.3");
     }

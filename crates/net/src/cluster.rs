@@ -39,7 +39,11 @@ pub struct ClusterConfig {
 impl Default for ClusterConfig {
     /// Four nodes, default frontend config, no net faults.
     fn default() -> Self {
-        ClusterConfig { nodes: 4, frontend: FrontendConfig::default(), net_faults: None }
+        ClusterConfig {
+            nodes: 4,
+            frontend: FrontendConfig::default(),
+            net_faults: None,
+        }
     }
 }
 
@@ -82,7 +86,11 @@ impl<D: DistributionMethod + Clone + Send + Sync + 'static> Cluster<D> {
         }
         let method = Arc::new(file.method().clone());
         let frontend = Arc::new(Frontend::new(sys, method, links, cfg.frontend));
-        Cluster { frontend, kills, handles }
+        Cluster {
+            frontend,
+            kills,
+            handles,
+        }
     }
 
     /// Same topology over loopback TCP: each node accepts one connection
@@ -125,7 +133,11 @@ impl<D: DistributionMethod + Clone + Send + Sync + 'static> Cluster<D> {
         }
         let method = Arc::new(file.method().clone());
         let frontend = Arc::new(Frontend::new(sys, method, links, cfg.frontend));
-        Ok(Cluster { frontend, kills, handles })
+        Ok(Cluster {
+            frontend,
+            kills,
+            handles,
+        })
     }
 
     /// The shared frontend handle — clone it into as many caller threads

@@ -80,7 +80,10 @@ pub struct FrontendConfig {
 impl Default for FrontendConfig {
     /// 250 ms deadline, down after 3 consecutive timeouts.
     fn default() -> Self {
-        FrontendConfig { deadline: Duration::from_millis(250), down_after: 3 }
+        FrontendConfig {
+            deadline: Duration::from_millis(250),
+            down_after: 3,
+        }
     }
 }
 
@@ -350,7 +353,10 @@ impl<D: DistributionMethod + Clone + Send + Sync + 'static> Frontend<D> {
         links: Vec<(Duplex, Range<u64>)>,
         cfg: FrontendConfig,
     ) -> Frontend<D> {
-        let pending = Arc::new(Pending { slots: Mutex::new(HashMap::new()), ready: Condvar::new() });
+        let pending = Arc::new(Pending {
+            slots: Mutex::new(HashMap::new()),
+            ready: Condvar::new(),
+        });
         let mut nodes = Vec::with_capacity(links.len());
         let mut collectors = Vec::with_capacity(links.len());
         for (i, (duplex, range)) in links.into_iter().enumerate() {
@@ -366,7 +372,11 @@ impl<D: DistributionMethod + Clone + Send + Sync + 'static> Frontend<D> {
                 critical: AtomicU64::new(0),
             });
             collectors.push(spawn_collector(i as u32, rx, Arc::clone(&pending)));
-            nodes.push(NodeLink { tx: Mutex::new(tx), range, state });
+            nodes.push(NodeLink {
+                tx: Mutex::new(tx),
+                range,
+                state,
+            });
         }
         Frontend {
             sys,
@@ -396,8 +406,10 @@ impl<D: DistributionMethod + Clone + Send + Sync + 'static> Frontend<D> {
         if queries.is_empty() {
             return Vec::new();
         }
-        let planned: Vec<PlannedQuery> =
-            queries.iter().map(|q| plan_query(&self.sys, &*self.method, q)).collect();
+        let planned: Vec<PlannedQuery> = queries
+            .iter()
+            .map(|q| plan_query(&self.sys, &*self.method, q))
+            .collect();
         self.execute_planned(&planned, policy)
     }
 
@@ -412,7 +424,11 @@ impl<D: DistributionMethod + Clone + Send + Sync + 'static> Frontend<D> {
         }
         let n = self.nodes.len();
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        self.pending.slots.lock().unwrap().insert(id, (0..n).map(|_| None).collect());
+        self.pending
+            .slots
+            .lock()
+            .unwrap()
+            .insert(id, (0..n).map(|_| None).collect());
 
         // Scatter: encode once, broadcast to every live node.
         let mut scattered = vec![false; n];
@@ -424,9 +440,10 @@ impl<D: DistributionMethod + Clone + Send + Sync + 'static> Frontend<D> {
             );
             // v1.1: when tracing, ship this scatter's identity so node
             // spans can link back to it across the process boundary.
-            let trace = span
-                .id()
-                .map(|parent_span| TraceContext { trace_id: id, parent_span });
+            let trace = span.id().map(|parent_span| TraceContext {
+                trace_id: id,
+                parent_span,
+            });
             let request = Message::Request(ScatterRequest {
                 request_id: id,
                 policy: WirePolicy::from_policy(policy),
@@ -470,11 +487,16 @@ impl<D: DistributionMethod + Clone + Send + Sync + 'static> Frontend<D> {
                 if now >= deadline {
                     break;
                 }
-                let (relocked, _) =
-                    self.pending.ready.wait_timeout(slots, deadline - now).unwrap();
+                let (relocked, _) = self
+                    .pending
+                    .ready
+                    .wait_timeout(slots, deadline - now)
+                    .unwrap();
                 slots = relocked;
             }
-            slots.remove(&id).expect("pending entry lives until removal")
+            slots
+                .remove(&id)
+                .expect("pending entry lives until removal")
         };
 
         // Account per-node outcomes, absorb shipped telemetry, attribute
@@ -490,8 +512,14 @@ impl<D: DistributionMethod + Clone + Send + Sync + 'static> Frontend<D> {
                     link.state.responses.fetch_add(1, Ordering::Relaxed);
                     obs::counter_add("net.responses", 1);
                     obs::observe_us("net.node_rt_us", resp.busy_us as f64);
-                    link.state.busy_samples.lock().unwrap().push(resp.busy_us as f64);
-                    link.state.busy_total_us.fetch_add(resp.busy_us, Ordering::Relaxed);
+                    link.state
+                        .busy_samples
+                        .lock()
+                        .unwrap()
+                        .push(resp.busy_us as f64);
+                    link.state
+                        .busy_total_us
+                        .fetch_add(resp.busy_us, Ordering::Relaxed);
                     let dominates = match critical {
                         Some((_, best)) => resp.busy_us > best,
                         None => true,
@@ -515,8 +543,11 @@ impl<D: DistributionMethod + Clone + Send + Sync + 'static> Frontend<D> {
                 None => {
                     link.state.timeouts.fetch_add(1, Ordering::Relaxed);
                     obs::counter_add("net.timeouts", 1);
-                    let consecutive =
-                        link.state.consecutive_timeouts.fetch_add(1, Ordering::Relaxed) + 1;
+                    let consecutive = link
+                        .state
+                        .consecutive_timeouts
+                        .fetch_add(1, Ordering::Relaxed)
+                        + 1;
                     if self.cfg.down_after > 0 && consecutive >= self.cfg.down_after {
                         self.mark_down(i);
                     }
@@ -524,7 +555,10 @@ impl<D: DistributionMethod + Clone + Send + Sync + 'static> Frontend<D> {
             }
         }
         if let Some((node, _)) = critical {
-            self.nodes[node as usize].state.critical.fetch_add(1, Ordering::Relaxed);
+            self.nodes[node as usize]
+                .state
+                .critical
+                .fetch_add(1, Ordering::Relaxed);
             self.batches_attributed.fetch_add(1, Ordering::Relaxed);
             self.recent_critical.lock().unwrap().push(node);
         }
@@ -579,22 +613,24 @@ fn spawn_collector(
 ) -> std::thread::JoinHandle<()> {
     std::thread::Builder::new()
         .name(format!("pmr-net-gather-{node}"))
-        .spawn(move || while let Ok(frame) = rx.recv_frame() {
-            match wire::decode_message(&frame) {
-                Ok(Message::Response(resp)) => {
-                    let mut slots = pending.slots.lock().unwrap();
-                    let (request_id, slot) = (resp.request_id, resp.node as usize);
-                    match slots.get_mut(&request_id) {
-                        Some(filled) if slot < filled.len() => {
-                            filled[slot] = Some(resp);
-                            pending.ready.notify_all();
+        .spawn(move || {
+            while let Ok(frame) = rx.recv_frame() {
+                match wire::decode_message(&frame) {
+                    Ok(Message::Response(resp)) => {
+                        let mut slots = pending.slots.lock().unwrap();
+                        let (request_id, slot) = (resp.request_id, resp.node as usize);
+                        match slots.get_mut(&request_id) {
+                            Some(filled) if slot < filled.len() => {
+                                filled[slot] = Some(resp);
+                                pending.ready.notify_all();
+                            }
+                            // Deadline already expired and the entry is gone,
+                            // or the node id is nonsense.
+                            _ => obs::counter_add("net.late_responses", 1),
                         }
-                        // Deadline already expired and the entry is gone,
-                        // or the node id is nonsense.
-                        _ => obs::counter_add("net.late_responses", 1),
                     }
+                    _ => obs::counter_add("net.decode_errors", 1),
                 }
-                _ => obs::counter_add("net.decode_errors", 1),
             }
         })
         .expect("spawn collector thread")

@@ -58,7 +58,12 @@ pub struct LoadgenOpts {
 impl Default for LoadgenOpts {
     /// Two callers, 512-query batches, no kill, no watch.
     fn default() -> Self {
-        LoadgenOpts { concurrency: 2, batch: 512, kill: None, watch: None }
+        LoadgenOpts {
+            concurrency: 2,
+            batch: 512,
+            kill: None,
+            watch: None,
+        }
     }
 }
 
@@ -113,14 +118,18 @@ impl LoadgenSummary {
                 format!(
                     "{{\"node\":{},\"devices\":[{},{}],\"requests\":{},\"responses\":{},\
                      \"timeouts\":{},\"down\":{}}}",
-                    s.node, s.devices.start, s.devices.end, s.requests, s.responses,
-                    s.timeouts, s.down
+                    s.node,
+                    s.devices.start,
+                    s.devices.end,
+                    s.requests,
+                    s.responses,
+                    s.timeouts,
+                    s.down
                 )
             })
             .collect::<Vec<_>>()
             .join(",");
-        let join_u64 =
-            |xs: &[u64]| xs.iter().map(u64::to_string).collect::<Vec<_>>().join(",");
+        let join_u64 = |xs: &[u64]| xs.iter().map(u64::to_string).collect::<Vec<_>>().join(",");
         let attribution = self
             .attribution
             .iter()
@@ -341,7 +350,10 @@ pub fn run<D: DistributionMethod + Clone + Send + Sync + 'static>(
                 tally
             }));
         }
-        workers.into_iter().map(|w| w.join().expect("loadgen worker")).collect()
+        workers
+            .into_iter()
+            .map(|w| w.join().expect("loadgen worker"))
+            .collect()
     });
     let wall_s = started.elapsed().as_secs_f64();
     // Stop the watcher before printing the summary: its final line lands
@@ -373,7 +385,11 @@ pub fn run<D: DistributionMethod + Clone + Send + Sync + 'static>(
         queries: queries.len(),
         batches: batches_total,
         wall_s,
-        qps: if wall_s > 0.0 { queries.len() as f64 / wall_s } else { 0.0 },
+        qps: if wall_s > 0.0 {
+            queries.len() as f64 / wall_s
+        } else {
+            0.0
+        },
         batch_p50_us: percentile(&mut batch_us, 50.0),
         batch_p99_us: percentile(&mut batch_us, 99.0),
         sim_p50_us: percentile(&mut sim_us, 50.0),

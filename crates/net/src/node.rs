@@ -61,7 +61,10 @@ pub fn serve<D: DistributionMethod + Clone + Send + Sync + 'static>(
         // The propagated trace context rides on the span as attributes
         // (0 = none), linking this node span to the frontend's scatter
         // span across the process boundary.
-        let trace = req.trace.unwrap_or(TraceContext { trace_id: 0, parent_span: 0 });
+        let trace = req.trace.unwrap_or(TraceContext {
+            trace_id: 0,
+            parent_span: 0,
+        });
         let span = pmr_rt::span!(
             "net.node.request",
             node = id as u64,
@@ -69,8 +72,7 @@ pub fn serve<D: DistributionMethod + Clone + Send + Sync + 'static>(
             trace = trace.trace_id,
             parent_span = trace.parent_span
         );
-        let planned: Result<Vec<_>, _> =
-            req.queries.iter().map(|q| q.to_planned(&sys)).collect();
+        let planned: Result<Vec<_>, _> = req.queries.iter().map(|q| q.to_planned(&sys)).collect();
         let planned = match planned {
             Ok(planned) => planned,
             Err(_) => {
@@ -91,17 +93,18 @@ pub fn serve<D: DistributionMethod + Clone + Send + Sync + 'static>(
             let mut m = MetricsSnapshot::default();
             m.add_counter("requests", 1);
             m.add_counter("queries", queries.len() as u64);
-            let records: u64 =
-                queries.iter().flatten().map(|y| y.report.records).sum();
-            let lost: u64 =
-                queries.iter().flatten().map(|y| y.lost.len() as u64).sum();
+            let records: u64 = queries.iter().flatten().map(|y| y.report.records).sum();
+            let lost: u64 = queries.iter().flatten().map(|y| y.lost.len() as u64).sum();
             m.add_counter("records", records);
             m.add_counter("lost", lost);
             // Same value, same bounds as the frontend's `net.node_rt_us`
             // observation of this response — that is what makes the
             // merged `node{N}.busy_us` histograms reconcile with it.
             m.observe_us("busy_us", busy_us as f64);
-            Telemetry { span_id: span.id().unwrap_or(0), metrics: m }
+            Telemetry {
+                span_id: span.id().unwrap_or(0),
+                metrics: m,
+            }
         });
         let resp = Message::Response(GatherResponse {
             request_id: req.request_id,

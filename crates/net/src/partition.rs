@@ -20,7 +20,9 @@ pub fn contiguous(m: u64, n: usize) -> Vec<std::ops::Range<u64>> {
     assert!(n > 0, "at least one node");
     assert!(n as u64 <= m, "{n} nodes cannot each own a device of {m}");
     let n64 = n as u64;
-    (0..n64).map(|i| (i * m / n64)..((i + 1) * m / n64)).collect()
+    (0..n64)
+        .map(|i| (i * m / n64)..((i + 1) * m / n64))
+        .collect()
 }
 
 #[cfg(test)]

@@ -60,7 +60,9 @@ struct MemRx(mpsc::Receiver<Vec<u8>>);
 
 impl FrameTx for MemTx {
     fn send_frame(&mut self, payload: &[u8]) -> Result<(), TransportError> {
-        self.0.send(payload.to_vec()).map_err(|_| TransportError::Closed)
+        self.0
+            .send(payload.to_vec())
+            .map_err(|_| TransportError::Closed)
     }
 }
 
@@ -76,8 +78,14 @@ pub fn mem_pair() -> (Duplex, Duplex) {
     let (a_tx, b_rx) = mpsc::channel();
     let (b_tx, a_rx) = mpsc::channel();
     (
-        Duplex { tx: Box::new(MemTx(a_tx)), rx: Box::new(MemRx(a_rx)) },
-        Duplex { tx: Box::new(MemTx(b_tx)), rx: Box::new(MemRx(b_rx)) },
+        Duplex {
+            tx: Box::new(MemTx(a_tx)),
+            rx: Box::new(MemRx(a_rx)),
+        },
+        Duplex {
+            tx: Box::new(MemTx(b_tx)),
+            rx: Box::new(MemRx(b_rx)),
+        },
     )
 }
 
@@ -97,8 +105,7 @@ pub mod tcp {
 
     impl FrameTx for TcpTx {
         fn send_frame(&mut self, payload: &[u8]) -> Result<(), TransportError> {
-            wire::write_frame(&mut self.0, payload)
-                .map_err(|e| TransportError::Io(e.to_string()))
+            wire::write_frame(&mut self.0, payload).map_err(|e| TransportError::Io(e.to_string()))
         }
     }
 
@@ -113,22 +120,31 @@ pub mod tcp {
     }
 
     fn split(stream: TcpStream) -> Result<Duplex, TransportError> {
-        let reader = stream.try_clone().map_err(|e| TransportError::Io(e.to_string()))?;
+        let reader = stream
+            .try_clone()
+            .map_err(|e| TransportError::Io(e.to_string()))?;
         stream.set_nodelay(true).ok();
-        Ok(Duplex { tx: Box::new(TcpTx(stream)), rx: Box::new(TcpRx(BufReader::new(reader))) })
+        Ok(Duplex {
+            tx: Box::new(TcpTx(stream)),
+            rx: Box::new(TcpRx(BufReader::new(reader))),
+        })
     }
 
     /// Binds a loopback listener on an ephemeral port.
     pub fn listen() -> Result<(TcpListener, SocketAddr), TransportError> {
-        let listener = TcpListener::bind(("127.0.0.1", 0))
+        let listener =
+            TcpListener::bind(("127.0.0.1", 0)).map_err(|e| TransportError::Io(e.to_string()))?;
+        let addr = listener
+            .local_addr()
             .map_err(|e| TransportError::Io(e.to_string()))?;
-        let addr = listener.local_addr().map_err(|e| TransportError::Io(e.to_string()))?;
         Ok((listener, addr))
     }
 
     /// Accepts one connection and splits it into frame halves.
     pub fn accept(listener: &TcpListener) -> Result<Duplex, TransportError> {
-        let (stream, _) = listener.accept().map_err(|e| TransportError::Io(e.to_string()))?;
+        let (stream, _) = listener
+            .accept()
+            .map_err(|e| TransportError::Io(e.to_string()))?;
         split(stream)
     }
 

@@ -40,13 +40,13 @@
 //! unchanged.
 
 use pmr_core::{PartialMatchQuery, SystemConfig};
-use pmr_rt::obs::snapshot::MetricsSnapshot;
 use pmr_rt::buf::{BufMut, Bytes, BytesMut};
+use pmr_rt::fault::RetryPolicy;
+use pmr_rt::obs::snapshot::MetricsSnapshot;
 use pmr_storage::encode::{decode_all, encode_record, DecodeError};
 use pmr_storage::exec::{
     DeviceOutcome, DeviceReport, DeviceYield, ExecPolicy, PlannedQuery, Redundancy,
 };
-use pmr_rt::fault::RetryPolicy;
 use std::fmt;
 use std::io::{self, Read, Write};
 
@@ -296,6 +296,9 @@ impl WirePolicy {
             failover: self.failover,
             redundancy: self.redundancy,
             seed: self.seed,
+            // The cache knob is node-local: frames never carry it, and a
+            // rebuilt policy leaves each node's device config alone.
+            cache: None,
         }
     }
 }
@@ -428,8 +431,11 @@ fn put_name(buf: &mut BytesMut, name: &str) {
 fn encode_telemetry(buf: &mut BytesMut, t: &Telemetry) {
     buf.put_u8(TAG_TELEMETRY);
     buf.put_u64_le(t.span_id);
-    let counters =
-        &t.metrics.counters[..t.metrics.counters.len().min(MAX_TELEMETRY_COUNTERS as usize)];
+    let counters = &t.metrics.counters[..t
+        .metrics
+        .counters
+        .len()
+        .min(MAX_TELEMETRY_COUNTERS as usize)];
     buf.put_u32_le(counters.len() as u32);
     for (name, delta) in counters {
         put_name(buf, name);
@@ -541,21 +547,22 @@ impl<'a> Reader<'a> {
 
     fn u64(&mut self, field: &'static str) -> Result<u64, WireError> {
         let s = self.take(8, field)?;
-        Ok(u64::from_le_bytes([s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7]]))
+        Ok(u64::from_le_bytes([
+            s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7],
+        ]))
     }
 
     /// A collection length: capped, and cross-checked against the bytes
     /// actually left (each element needs at least `min_elem` bytes), so a
     /// hostile length cannot drive a huge allocation.
-    fn len(
-        &mut self,
-        field: &'static str,
-        cap: u32,
-        min_elem: usize,
-    ) -> Result<usize, WireError> {
+    fn len(&mut self, field: &'static str, cap: u32, min_elem: usize) -> Result<usize, WireError> {
         let n = self.u32(field)?;
         if n > cap {
-            return Err(WireError::CapExceeded { field, got: n as u64, cap: cap as u64 });
+            return Err(WireError::CapExceeded {
+                field,
+                got: n as u64,
+                cap: cap as u64,
+            });
         }
         let n = n as usize;
         if min_elem > 0 && n > self.remaining() / min_elem {
@@ -626,12 +633,21 @@ fn decode_request(r: &mut Reader<'_>) -> Result<ScatterRequest, WireError> {
         let mut values = Vec::with_capacity(nfields as usize);
         for _ in 0..nfields {
             let present = r.u8("query.value.tag")?;
-            values.push(if present != 0 { Some(r.u64("query.value")?) } else { None });
+            values.push(if present != 0 {
+                Some(r.u64("query.value")?)
+            } else {
+                None
+            });
         }
         let fast_path = r.u8("query.fast_path")? != 0;
         let free_combos = r.u64("query.free_combos")?;
         let total_qualified = r.u64("query.total_qualified")?;
-        queries.push(WireQuery { values, fast_path, free_combos, total_qualified });
+        queries.push(WireQuery {
+            values,
+            fast_path,
+            free_combos,
+            total_qualified,
+        });
     }
     // v1.1 trailing section: absent on a v1 frame (or an untraced
     // sender), so exhausting the payload here is a complete message.
@@ -646,7 +662,12 @@ fn decode_request(r: &mut Reader<'_>) -> Result<ScatterRequest, WireError> {
             other => return Err(WireError::BadTag(other)),
         }
     };
-    Ok(ScatterRequest { request_id, policy, queries, trace })
+    Ok(ScatterRequest {
+        request_id,
+        policy,
+        queries,
+        trace,
+    })
 }
 
 fn decode_name(r: &mut Reader<'_>) -> Result<String, WireError> {
@@ -659,7 +680,9 @@ fn decode_name(r: &mut Reader<'_>) -> Result<String, WireError> {
         });
     }
     let bytes = r.take(len as usize, "telemetry.name")?;
-    std::str::from_utf8(bytes).map(str::to_string).map_err(|_| WireError::BadName)
+    std::str::from_utf8(bytes)
+        .map(str::to_string)
+        .map_err(|_| WireError::BadName)
 }
 
 fn decode_telemetry(r: &mut Reader<'_>) -> Result<Telemetry, WireError> {
@@ -695,7 +718,10 @@ fn decode_telemetry(r: &mut Reader<'_>) -> Result<Telemetry, WireError> {
     // sender already sorts, a hostile one must not break the invariant.
     counters.sort();
     hists.sort();
-    Ok(Telemetry { span_id, metrics: MetricsSnapshot { counters, hists } })
+    Ok(Telemetry {
+        span_id,
+        metrics: MetricsSnapshot { counters, hists },
+    })
 }
 
 fn decode_response(r: &mut Reader<'_>) -> Result<GatherResponse, WireError> {
@@ -723,7 +749,13 @@ fn decode_response(r: &mut Reader<'_>) -> Result<GatherResponse, WireError> {
             other => return Err(WireError::BadTag(other)),
         }
     };
-    Ok(GatherResponse { request_id, node, busy_us, queries, telemetry })
+    Ok(GatherResponse {
+        request_id,
+        node,
+        busy_us,
+        queries,
+        telemetry,
+    })
 }
 
 fn decode_yield(r: &mut Reader<'_>) -> Result<DeviceYield, WireError> {
@@ -785,10 +817,12 @@ fn decode_yield(r: &mut Reader<'_>) -> Result<DeviceYield, WireError> {
         });
     }
     let region = r.take(region_len as usize, "yield.record_region")?;
-    let records =
-        decode_all(Bytes::copy_from_slice(region)).map_err(WireError::Record)?;
+    let records = decode_all(Bytes::copy_from_slice(region)).map_err(WireError::Record)?;
     if records.len() != nrecords as usize {
-        return Err(WireError::RecordCount { want: nrecords, got: records.len() });
+        return Err(WireError::RecordCount {
+            want: nrecords,
+            got: records.len(),
+        });
     }
     let nlost = r.len("yield.lost", MAX_LOST, 8)?;
     let mut lost = Vec::with_capacity(nlost);
@@ -826,7 +860,10 @@ pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
     if payload.len() > MAX_FRAME_BYTES as usize {
         return Err(io::Error::new(
             io::ErrorKind::InvalidInput,
-            format!("frame payload {} exceeds cap {MAX_FRAME_BYTES}", payload.len()),
+            format!(
+                "frame payload {} exceeds cap {MAX_FRAME_BYTES}",
+                payload.len()
+            ),
         ));
     }
     w.write_all(&(payload.len() as u32).to_le_bytes())?;
@@ -861,7 +898,11 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Vec<u8>>, WireError> {
     let mut read = 0;
     while read < payload.len() {
         match r.read(&mut payload[read..]) {
-            Ok(0) => return Err(WireError::Truncated { field: "frame.payload" }),
+            Ok(0) => {
+                return Err(WireError::Truncated {
+                    field: "frame.payload",
+                })
+            }
             Ok(n) => read += n,
             Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
             Err(e) => return Err(WireError::Io(e.to_string())),

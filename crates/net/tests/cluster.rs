@@ -39,7 +39,12 @@ fn fixture() -> &'static Fixture {
         let file = table7_file();
         let exec = Executor::new(&file, CostModel::main_memory());
         let cluster = Cluster::new(&file, CostModel::main_memory(), ClusterConfig::default());
-        Fixture { file, exec, cluster, plan_gate: Mutex::new(()) }
+        Fixture {
+            file,
+            exec,
+            cluster,
+            plan_gate: Mutex::new(()),
+        }
     })
 }
 
@@ -49,14 +54,19 @@ fn table7_file() -> DeclusteredFile<FxDistribution> {
     for (i, &size) in sys.field_sizes().iter().enumerate() {
         builder = builder.field(format!("f{i}"), FieldType::Int, size);
     }
-    let schema = builder.devices(sys.devices()).build().expect("system is valid");
+    let schema = builder
+        .devices(sys.devices())
+        .build()
+        .expect("system is valid");
     let fx = FxDistribution::auto(sys.clone()).expect("auto always assigns");
     let mut file = DeclusteredFile::new(schema, fx, SEED).expect("schema matches system");
     assert!(file.enable_mirroring());
     for i in 0..2_000i64 {
-        let values: Vec<Value> =
-            (0..sys.num_fields()).map(|f| Value::Int(i * 131 + f as i64 * 7)).collect();
-        file.insert(Record::new(values)).expect("records type-check");
+        let values: Vec<Value> = (0..sys.num_fields())
+            .map(|f| Value::Int(i * 131 + f as i64 * 7))
+            .collect();
+        file.insert(Record::new(values))
+            .expect("records type-check");
     }
     file
 }
@@ -73,7 +83,11 @@ fn gen_query(src: &mut Source, sys: &SystemConfig) -> PartialMatchQuery {
     }
     let values: Vec<Option<u64>> = (0..n)
         .map(|i| {
-            if free.contains(&i) { None } else { Some(src.int_in(0, sys.field_size(i) - 1)) }
+            if free.contains(&i) {
+                None
+            } else {
+                Some(src.int_in(0, sys.field_size(i) - 1))
+            }
         })
         .collect();
     PartialMatchQuery::new(sys, &values).expect("values in range")
@@ -119,6 +133,13 @@ rt_proptest! {
             failover: src.weighted(0.8),
             redundancy: Redundancy::Mirror,
             seed: src.any_u64(),
+            // Random cache capacity, including disabled: gathered reports
+            // must be bit-equal at any setting.
+            cache: match src.arm(3) {
+                0 => None,
+                1 => Some(0),
+                _ => Some(src.int_in(1, 128) as usize),
+            },
         };
         let plan = if src.weighted(0.5) {
             let mut plan = FaultPlan::new(src.any_u64());
@@ -164,13 +185,18 @@ fn double_outage_with_parity_on_cluster_is_invisible() {
     for (i, &size) in sys.field_sizes().iter().enumerate() {
         builder = builder.field(format!("f{i}"), FieldType::Int, size);
     }
-    let schema = builder.devices(sys.devices()).build().expect("system is valid");
+    let schema = builder
+        .devices(sys.devices())
+        .build()
+        .expect("system is valid");
     let fx = FxDistribution::auto(sys.clone()).expect("auto always assigns");
     let mut file = DeclusteredFile::new(schema, fx, SEED).expect("schema matches system");
     for i in 0..2_000i64 {
-        let values: Vec<Value> =
-            (0..sys.num_fields()).map(|f| Value::Int(i * 131 + f as i64 * 7)).collect();
-        file.insert(Record::new(values)).expect("records type-check");
+        let values: Vec<Value> = (0..sys.num_fields())
+            .map(|f| Value::Int(i * 131 + f as i64 * 7))
+            .collect();
+        file.insert(Record::new(values))
+            .expect("records type-check");
     }
     // Parity is enabled before construction: node executors snapshot the
     // stripe directory.
@@ -182,6 +208,7 @@ fn double_outage_with_parity_on_cluster_is_invisible() {
         failover: true,
         redundancy: Redundancy::Parity { k: 4, r: 2 },
         seed: SEED,
+        cache: None,
     };
 
     // Wide query (3 unspecified fields → 512 buckets over all devices),
@@ -195,22 +222,33 @@ fn double_outage_with_parity_on_cluster_is_invisible() {
 
     // Same-node, cross-node, and extreme pairs.
     for dead in [[3u64, 7], [5, 21], [0, 31]] {
-        let plan = FaultPlan::new(SEED).with_dead_device(dead[0]).with_dead_device(dead[1]);
+        let plan = FaultPlan::new(SEED)
+            .with_dead_device(dead[0])
+            .with_dead_device(dead[1]);
         file.install_fault_plan(Some(Arc::new(plan)));
         let gathered = cluster.frontend().execute_batch(&queries, &policy);
         let local = exec.execute_batch(&queries, &policy);
         file.install_fault_plan(None);
 
-        assert_eq!(gathered, local, "dead pair {dead:?}: gathered ≡ single-process");
+        assert_eq!(
+            gathered, local,
+            "dead pair {dead:?}: gathered ≡ single-process"
+        );
         let report = &gathered[0];
         assert_eq!(report.coverage, 1.0, "dead pair {dead:?} must be invisible");
         assert!(report.lost_buckets.is_empty());
-        assert!(report.reconstructions() > 0, "dead pair {dead:?} must reconstruct, not luck out");
+        assert!(
+            report.reconstructions() > 0,
+            "dead pair {dead:?} must reconstruct, not luck out"
+        );
         let mut got: Vec<String> = report.records.iter().map(|r| format!("{r}")).collect();
         let mut want: Vec<String> = clean[0].records.iter().map(|r| format!("{r}")).collect();
         got.sort_unstable();
         want.sort_unstable();
-        assert_eq!(got, want, "dead pair {dead:?}: records must match the fault-free run");
+        assert_eq!(
+            got, want,
+            "dead pair {dead:?}: records must match the fault-free run"
+        );
     }
 }
 
@@ -227,12 +265,20 @@ fn loadgen_checksum_matches_single_process() {
         &fx.cluster,
         &queries,
         &policy,
-        &loadgen::LoadgenOpts { concurrency: 2, batch: 64, kill: None, watch: None },
+        &loadgen::LoadgenOpts {
+            concurrency: 2,
+            batch: 64,
+            kill: None,
+            watch: None,
+        },
     );
     let local = fx.exec.execute_batch(&queries, &policy);
     let expected = loadgen::reports_checksum(local.iter());
 
-    assert_eq!(summary.checksum, expected, "cluster and single-process checksums diverged");
+    assert_eq!(
+        summary.checksum, expected,
+        "cluster and single-process checksums diverged"
+    );
     assert_eq!(summary.queries, 300);
     assert_eq!(summary.degraded, 0);
     assert!((summary.mean_coverage - 1.0).abs() < 1e-12);
@@ -246,7 +292,10 @@ fn killed_node_degrades_instead_of_failing() {
     let file = table7_file();
     let cfg = ClusterConfig {
         nodes: 4,
-        frontend: FrontendConfig { deadline: Duration::from_millis(100), down_after: 2 },
+        frontend: FrontendConfig {
+            deadline: Duration::from_millis(100),
+            down_after: 2,
+        },
         net_faults: None,
     };
     let cluster = Cluster::new(&file, CostModel::main_memory(), cfg);
@@ -255,44 +304,63 @@ fn killed_node_degrades_instead_of_failing() {
 
     // Wide query: 3 unspecified fields → 512 buckets over all 32
     // devices, so every node's range matters.
-    let values: Vec<Option<u64>> =
-        vec![Some(1), None, Some(2), None, Some(3), None];
+    let values: Vec<Option<u64>> = vec![Some(1), None, Some(2), None, Some(3), None];
     let wide = PartialMatchQuery::new(&sys, &values).unwrap();
 
-    let healthy = cluster.frontend().execute_batch(std::slice::from_ref(&wide), &policy);
+    let healthy = cluster
+        .frontend()
+        .execute_batch(std::slice::from_ref(&wide), &policy);
     assert_eq!(healthy[0].coverage, 1.0);
     assert!(healthy[0].lost_buckets.is_empty());
 
     cluster.kill_node(2);
-    let degraded = cluster.frontend().execute_batch(std::slice::from_ref(&wide), &policy);
+    let degraded = cluster
+        .frontend()
+        .execute_batch(std::slice::from_ref(&wide), &policy);
     let report = &degraded[0];
-    assert!(report.coverage < 1.0, "killed node must cost coverage, got {}", report.coverage);
+    assert!(
+        report.coverage < 1.0,
+        "killed node must cost coverage, got {}",
+        report.coverage
+    );
     assert!(!report.lost_buckets.is_empty());
     // Exactly the killed node's devices (16..24) are lost.
     for d in &report.per_device {
         let in_dead_range = (16..24).contains(&d.device);
         let lost = matches!(d.outcome, pmr_storage::exec::DeviceOutcome::Lost);
-        assert_eq!(lost, in_dead_range, "device {} outcome {:?}", d.device, d.outcome);
+        assert_eq!(
+            lost, in_dead_range,
+            "device {} outcome {:?}",
+            d.device, d.outcome
+        );
         if lost {
-            assert_eq!(d.simulated_us, 0.0, "wall deadline must not be charged as simulated time");
+            assert_eq!(
+                d.simulated_us, 0.0,
+                "wall deadline must not be charged as simulated time"
+            );
         }
     }
     // Records from surviving nodes still arrive.
-    let healthy_outside: usize = healthy[0]
-        .records
-        .len();
+    let healthy_outside: usize = healthy[0].records.len();
     assert!(report.records.len() <= healthy_outside);
 
     // One more timeout trips the breaker (down_after = 2) …
-    let _ = cluster.frontend().execute_batch(std::slice::from_ref(&wide), &policy);
+    let _ = cluster
+        .frontend()
+        .execute_batch(std::slice::from_ref(&wide), &policy);
     let stats = cluster.frontend().node_stats();
-    assert!(stats[2].down, "node 2 must be circuit-broken after 2 consecutive timeouts");
+    assert!(
+        stats[2].down,
+        "node 2 must be circuit-broken after 2 consecutive timeouts"
+    );
     assert!(stats[2].timeouts >= 2);
 
     // … after which requests skip it: no more deadline stalls, still
     // degraded, and the skipped node's request counter stops moving.
     let before = cluster.frontend().node_stats()[2].requests;
-    let after_break = cluster.frontend().execute_batch(std::slice::from_ref(&wide), &policy);
+    let after_break = cluster
+        .frontend()
+        .execute_batch(std::slice::from_ref(&wide), &policy);
     assert!(after_break[0].coverage < 1.0);
     assert_eq!(cluster.frontend().node_stats()[2].requests, before);
 }
@@ -309,7 +377,10 @@ fn net_fault_drops_are_seed_deterministic() {
     let run = |seed: u64| {
         let cfg = ClusterConfig {
             nodes: 4,
-            frontend: FrontendConfig { deadline: Duration::from_millis(100), down_after: 0 },
+            frontend: FrontendConfig {
+                deadline: Duration::from_millis(100),
+                down_after: 0,
+            },
             net_faults: Some(NetFaultPlan::new(seed, 0.35)),
         };
         let cluster = Cluster::new(&file, CostModel::main_memory(), cfg);
@@ -333,7 +404,10 @@ fn breaker_disabled_keeps_asking() {
     let file = table7_file();
     let cfg = ClusterConfig {
         nodes: 2,
-        frontend: FrontendConfig { deadline: Duration::from_millis(50), down_after: 0 },
+        frontend: FrontendConfig {
+            deadline: Duration::from_millis(50),
+            down_after: 0,
+        },
         net_faults: None,
     };
     let cluster = Cluster::new(&file, CostModel::main_memory(), cfg);
@@ -341,7 +415,9 @@ fn breaker_disabled_keeps_asking() {
     let queries = loadgen::query_mix(&sys, 1, 3, 0);
     cluster.kill_node(0);
     for _ in 0..3 {
-        let _ = cluster.frontend().execute_batch(&queries, &ExecPolicy::default());
+        let _ = cluster
+            .frontend()
+            .execute_batch(&queries, &ExecPolicy::default());
     }
     let stats = cluster.frontend().node_stats();
     assert!(!stats[0].down);
@@ -382,14 +458,27 @@ fn attribution_elects_one_critical_node_per_batch() {
             "node {}: one histogram sample per gathered response",
             a.node
         );
-        assert!(a.busy_p50_us <= a.busy_p99_us, "node {}: p50 must not exceed p99", a.node);
+        assert!(
+            a.busy_p50_us <= a.busy_p99_us,
+            "node {}: p50 must not exceed p99",
+            a.node
+        );
         critical_total += a.critical_batches;
         share_total += a.critical_share;
         recent_total += a.recent_critical_share;
     }
-    assert_eq!(critical_total, batches, "each batch elects exactly one critical node");
-    assert!((share_total - 1.0).abs() < 1e-9, "critical shares must sum to 1, got {share_total}");
-    assert!((recent_total - 1.0).abs() < 1e-9, "recent shares must sum to 1, got {recent_total}");
+    assert_eq!(
+        critical_total, batches,
+        "each batch elects exactly one critical node"
+    );
+    assert!(
+        (share_total - 1.0).abs() < 1e-9,
+        "critical shares must sum to 1, got {share_total}"
+    );
+    assert!(
+        (recent_total - 1.0).abs() < 1e-9,
+        "recent shares must sum to 1, got {recent_total}"
+    );
 }
 
 /// The acceptance scenario from the issue: after a kill, the dead node's
@@ -400,7 +489,10 @@ fn killed_node_recent_critical_share_drains_to_zero() {
     let file = table7_file();
     let cfg = ClusterConfig {
         nodes: 4,
-        frontend: FrontendConfig { deadline: Duration::from_millis(100), down_after: 2 },
+        frontend: FrontendConfig {
+            deadline: Duration::from_millis(100),
+            down_after: 2,
+        },
         net_faults: None,
     };
     let cluster = Cluster::new(&file, CostModel::main_memory(), cfg);
@@ -423,9 +515,15 @@ fn killed_node_recent_critical_share_drains_to_zero() {
         attr[1].recent_critical_share, 0.0,
         "killed node must vanish from the recent window"
     );
-    let survivors: f64 =
-        attr.iter().filter(|a| a.node != 1).map(|a| a.recent_critical_share).sum();
-    assert!((survivors - 1.0).abs() < 1e-9, "survivors own the whole recent window");
+    let survivors: f64 = attr
+        .iter()
+        .filter(|a| a.node != 1)
+        .map(|a| a.recent_critical_share)
+        .sum();
+    assert!(
+        (survivors - 1.0).abs() < 1e-9,
+        "survivors own the whole recent window"
+    );
     // The historical share remembers the pre-kill era.
     assert!(attr[1].critical_share < 1.0);
 }

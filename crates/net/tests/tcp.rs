@@ -21,8 +21,9 @@ fn tcp_cluster_is_bit_equal_to_single_process() {
     let mut file = DeclusteredFile::new(schema, fx, 0xBA7C).unwrap();
     assert!(file.enable_mirroring());
     for i in 0..500i64 {
-        let values: Vec<Value> =
-            (0..sys.num_fields()).map(|f| Value::Int(i * 131 + f as i64 * 7)).collect();
+        let values: Vec<Value> = (0..sys.num_fields())
+            .map(|f| Value::Int(i * 131 + f as i64 * 7))
+            .collect();
         file.insert(Record::new(values)).unwrap();
     }
 
@@ -34,5 +35,8 @@ fn tcp_cluster_is_bit_equal_to_single_process() {
 
     let gathered = cluster.frontend().execute_batch(&queries, &policy);
     let local = exec.execute_batch(&queries, &policy);
-    assert_eq!(gathered, local, "TCP scatter/gather must be bit-equal to single-process");
+    assert_eq!(
+        gathered, local,
+        "TCP scatter/gather must be bit-equal to single-process"
+    );
 }

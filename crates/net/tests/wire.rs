@@ -47,8 +47,13 @@ fn sample_request() -> Message {
 
 /// `sample_request` plus a v1.1 trace-context section.
 fn sample_request_traced() -> Message {
-    let Message::Request(mut req) = sample_request() else { unreachable!() };
-    req.trace = Some(TraceContext { trace_id: 0x1234_5678_9ABC_DEF0, parent_span: 77 });
+    let Message::Request(mut req) = sample_request() else {
+        unreachable!()
+    };
+    req.trace = Some(TraceContext {
+        trace_id: 0x1234_5678_9ABC_DEF0,
+        parent_span: 77,
+    });
     Message::Request(req)
 }
 
@@ -116,12 +121,17 @@ fn sample_response() -> Message {
 
 /// `sample_response` plus a v1.1 telemetry block (counters + one hist).
 fn sample_response_with_telemetry() -> Message {
-    let Message::Response(mut resp) = sample_response() else { unreachable!() };
+    let Message::Response(mut resp) = sample_response() else {
+        unreachable!()
+    };
     let mut m = MetricsSnapshot::default();
     m.add_counter("requests", 1);
     m.add_counter("queries", 3);
     m.observe_us("busy_us", 1234.0);
-    resp.telemetry = Some(Telemetry { span_id: 42, metrics: m });
+    resp.telemetry = Some(Telemetry {
+        span_id: 42,
+        metrics: m,
+    });
     Message::Response(resp)
 }
 
@@ -182,7 +192,11 @@ fn trivial_yield_roundtrips_compactly() {
     });
     let frame = encode_message(&msg);
     // header(6) + resp head(20) + nqueries(4) + nyields(4) + trivial(25)
-    assert_eq!(frame.len(), 6 + 20 + 4 + 4 + 25, "trivial yields must use the compact form");
+    assert_eq!(
+        frame.len(),
+        6 + 20 + 4 + 4 + 25,
+        "trivial yields must use the compact form"
+    );
     match decode_message(&frame).unwrap() {
         Message::Response(r) => assert_eq!(r.queries[0][0], trivial),
         other => panic!("decoded wrong kind: {other:?}"),
@@ -207,7 +221,10 @@ fn bad_yield_shape_is_typed() {
 
 #[test]
 fn shutdown_roundtrips() {
-    assert_eq!(decode_message(&encode_message(&Message::Shutdown)).unwrap(), Message::Shutdown);
+    assert_eq!(
+        decode_message(&encode_message(&Message::Shutdown)).unwrap(),
+        Message::Shutdown
+    );
 }
 
 /// The core hardening property: EVERY strict prefix of a valid payload
@@ -299,7 +316,10 @@ fn header_errors_are_typed() {
 
     let mut bad = full.clone();
     bad[4] = VERSION + 1;
-    assert_eq!(decode_message(&bad), Err(WireError::BadVersion(VERSION + 1)));
+    assert_eq!(
+        decode_message(&bad),
+        Err(WireError::BadVersion(VERSION + 1))
+    );
 
     let mut bad = full.clone();
     bad[5] = 99;
@@ -367,7 +387,10 @@ fn query_count_beyond_payload_is_truncation() {
     let offset = 6 + 48;
     let mut bad = full.clone();
     bad[offset..offset + 4].copy_from_slice(&10_000u32.to_le_bytes());
-    assert_eq!(decode_message(&bad), Err(WireError::Truncated { field: "queries" }));
+    assert_eq!(
+        decode_message(&bad),
+        Err(WireError::Truncated { field: "queries" })
+    );
 }
 
 /// Record-region count mismatch is detected, not silently accepted.
@@ -388,7 +411,10 @@ fn record_count_mismatch_is_typed() {
     let offset = 6 + 20 + 4 + 4 + 1 + 49;
     let mut bad = full.clone();
     bad[offset..offset + 4].copy_from_slice(&1u32.to_le_bytes());
-    assert_eq!(decode_message(&bad), Err(WireError::RecordCount { want: 1, got: 2 }));
+    assert_eq!(
+        decode_message(&bad),
+        Err(WireError::RecordCount { want: 1, got: 2 })
+    );
 }
 
 // -----------------------------------------------------------------
@@ -406,7 +432,9 @@ fn telemetry_response_roundtrips() {
     let msg = sample_response_with_telemetry();
     let back = decode_message(&encode_message(&msg)).unwrap();
     assert_eq!(back, msg);
-    let Message::Response(r) = back else { unreachable!() };
+    let Message::Response(r) = back else {
+        unreachable!()
+    };
     let t = r.telemetry.expect("telemetry survives the roundtrip");
     assert_eq!(t.span_id, 42);
     assert_eq!(t.metrics.counter("requests"), 1);
@@ -424,7 +452,11 @@ fn absent_sections_cost_zero_bytes_and_v1_frames_decode() {
     let plain = encode_message(&sample_request());
     // The traced frame is the plain frame plus a trailing section...
     assert_eq!(&traced[..plain.len()], &plain[..]);
-    assert_eq!(traced.len(), plain.len() + 1 + 8 + 8, "tag + trace_id + parent_span");
+    assert_eq!(
+        traced.len(),
+        plain.len() + 1 + 8 + 8,
+        "tag + trace_id + parent_span"
+    );
     // ...and the plain frame (what a v1 peer sends) decodes with no trace.
     match decode_message(&plain).unwrap() {
         Message::Request(req) => assert_eq!(req.trace, None),
@@ -488,7 +520,10 @@ fn telemetry_name_errors_are_typed() {
     bad[len_offset] = 200; // over MAX_TELEMETRY_NAME
     assert!(matches!(
         decode_message(&bad),
-        Err(WireError::CapExceeded { field: "telemetry.name_len", .. })
+        Err(WireError::CapExceeded {
+            field: "telemetry.name_len",
+            ..
+        })
     ));
 
     let mut bad = full.clone();
@@ -508,9 +543,19 @@ fn frames_roundtrip_over_a_byte_stream() {
     wire::write_frame(&mut stream, &a).unwrap();
     wire::write_frame(&mut stream, &b).unwrap();
     let mut cursor = &stream[..];
-    assert_eq!(wire::read_frame(&mut cursor).unwrap().as_deref(), Some(&a[..]));
-    assert_eq!(wire::read_frame(&mut cursor).unwrap().as_deref(), Some(&b[..]));
-    assert_eq!(wire::read_frame(&mut cursor).unwrap(), None, "clean EOF is None");
+    assert_eq!(
+        wire::read_frame(&mut cursor).unwrap().as_deref(),
+        Some(&a[..])
+    );
+    assert_eq!(
+        wire::read_frame(&mut cursor).unwrap().as_deref(),
+        Some(&b[..])
+    );
+    assert_eq!(
+        wire::read_frame(&mut cursor).unwrap(),
+        None,
+        "clean EOF is None"
+    );
 }
 
 #[test]

@@ -96,7 +96,10 @@ impl Stats {
 }
 
 fn env_usize(name: &str, default: usize) -> usize {
-    std::env::var(name).ok().and_then(|v| v.trim().parse().ok()).unwrap_or(default)
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(default)
 }
 
 /// A named group of benchmarks sharing configuration; results print as
@@ -161,7 +164,8 @@ impl Group {
         // measurement while it exceeds 2× the median and budget remains.
         // The checksum is deterministic, so reruns never change it.
         let mut budget = self.reruns;
-        while budget > 0 && *samples_ns.last().expect("iters >= 1") > 2.0 * percentile(&samples_ns, 50.0)
+        while budget > 0
+            && *samples_ns.last().expect("iters >= 1") > 2.0 * percentile(&samples_ns, 50.0)
         {
             samples_ns.pop();
             let start = Instant::now();
@@ -301,9 +305,7 @@ mod tests {
     #[test]
     fn outliers_counted_against_median() {
         let mut group = Group::new("outliers").iters(9).warmup(0);
-        let stats = group.bench("steady", || {
-            std::hint::black_box((0..2000u64).sum::<u64>())
-        });
+        let stats = group.bench("steady", || std::hint::black_box((0..2000u64).sum::<u64>()));
         assert!(
             stats.outliers <= stats.iters,
             "outlier count {} exceeds sample count {}",
@@ -326,7 +328,9 @@ mod tests {
             let mut group = Group::new("det").iters(2);
             let mut rng = crate::rng::Rng::seed_from_u64(42);
             let data: Vec<u64> = (0..256).map(|_| rng.next_u64()).collect();
-            group.bench("xor", || data.iter().fold(0u64, |a, &b| a ^ b)).checksum
+            group
+                .bench("xor", || data.iter().fold(0u64, |a, &b| a ^ b))
+                .checksum
         };
         assert_eq!(run(), run());
     }

@@ -86,7 +86,9 @@ impl BytesMut {
 
     /// An empty buffer with reserved capacity.
     pub fn with_capacity(capacity: usize) -> Self {
-        BytesMut { data: Vec::with_capacity(capacity) }
+        BytesMut {
+            data: Vec::with_capacity(capacity),
+        }
     }
 
     /// Length in bytes.
@@ -212,7 +214,11 @@ impl Bytes {
     ///
     /// Panics when `at > self.len()`.
     pub fn split_to(&mut self, at: usize) -> Bytes {
-        assert!(at <= self.len(), "split_to({at}) out of bounds for length {}", self.len());
+        assert!(
+            at <= self.len(),
+            "split_to({at}) out of bounds for length {}",
+            self.len()
+        );
         let front = self.slice(0..at);
         self.start += at;
         front
@@ -227,7 +233,11 @@ impl Bytes {
 impl From<Vec<u8>> for Bytes {
     fn from(data: Vec<u8>) -> Self {
         let end = data.len();
-        Bytes { data: data.into(), start: 0, end }
+        Bytes {
+            data: data.into(),
+            start: 0,
+            end,
+        }
     }
 }
 

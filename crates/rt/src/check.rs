@@ -43,7 +43,10 @@ impl Source {
     /// A source at an explicit seed and size (tests of the harness itself;
     /// properties receive theirs from the runner).
     pub fn new(seed: u64, size: u64) -> Self {
-        Source { rng: Rng::seed_from_u64(seed), size: size.clamp(1, FULL_SIZE) }
+        Source {
+            rng: Rng::seed_from_u64(seed),
+            size: size.clamp(1, FULL_SIZE),
+        }
     }
 
     /// The raw generator, for sampling needs beyond the helpers.
@@ -218,9 +221,13 @@ pub fn run_result<F: Fn(&mut Source)>(name: &str, prop: F) -> Result<(), Failure
     // Name-derived base seed: deterministic run-to-run, different across
     // properties, overridable for replay.
     let base_seed = env_u64("PMR_CHECK_SEED").unwrap_or_else(|| {
-        name.bytes().fold(0xC0FF_EE00_D15E_A5ED_u64, |acc, b| splitmix64(acc ^ b as u64))
+        name.bytes().fold(0xC0FF_EE00_D15E_A5ED_u64, |acc, b| {
+            splitmix64(acc ^ b as u64)
+        })
     });
-    let cases = env_u64("PMR_CHECK_CASES").map(|c| c.max(1) as usize).unwrap_or(DEFAULT_CASES);
+    let cases = env_u64("PMR_CHECK_CASES")
+        .map(|c| c.max(1) as usize)
+        .unwrap_or(DEFAULT_CASES);
 
     for case in 0..cases {
         let seed = case_seed(base_seed, case);
@@ -344,7 +351,10 @@ mod tests {
         assert_eq!(failure.shrunk_size, 1);
         assert!(failure.message.contains("boom"));
         let report = failure.to_string();
-        assert!(report.contains("PMR_CHECK_SEED=0x"), "report {report} lacks replay seed");
+        assert!(
+            report.contains("PMR_CHECK_SEED=0x"),
+            "report {report} lacks replay seed"
+        );
     }
 
     /// The shrinking regression case: a property that only fails for large
@@ -384,7 +394,11 @@ mod tests {
             let mut seen = Vec::new();
             for case in 0..8 {
                 let mut s = Source::new(case_seed(0xAB, case), FULL_SIZE);
-                seen.push((s.any_u64(), s.int_in(3, 900), s.vec_of(0..=6, |s| s.any_u8())));
+                seen.push((
+                    s.any_u64(),
+                    s.int_in(3, 900),
+                    s.vec_of(0..=6, |s| s.any_u8()),
+                ));
             }
             seen
         };

@@ -99,7 +99,11 @@ const fn build_crc_table() -> [u32; 256] {
         let mut c = i as u32;
         let mut bit = 0;
         while bit < 8 {
-            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
             bit += 1;
         }
         table[i] = c;
@@ -238,12 +242,18 @@ impl ReedSolomon {
     /// [`EcError::ShardLen`] unless their lengths all match.
     pub fn parity_of(&self, data: &[&[u8]]) -> Result<Vec<Vec<u8>>, EcError> {
         if data.len() != self.k {
-            return Err(EcError::ShardCount { expected: self.k, got: data.len() });
+            return Err(EcError::ShardCount {
+                expected: self.k,
+                got: data.len(),
+            });
         }
         let len = data[0].len();
         for payload in data {
             if payload.len() != len {
-                return Err(EcError::ShardLen { expected: len, got: payload.len() });
+                return Err(EcError::ShardLen {
+                    expected: len,
+                    got: payload.len(),
+                });
             }
         }
         Ok(self
@@ -274,10 +284,12 @@ impl ReedSolomon {
                 got: shards.len(),
             });
         }
-        let present: Vec<usize> =
-            (0..shards.len()).filter(|&i| shards[i].is_some()).collect();
+        let present: Vec<usize> = (0..shards.len()).filter(|&i| shards[i].is_some()).collect();
         if present.len() < self.k {
-            return Err(EcError::TooFewShards { have: present.len(), needed: self.k });
+            return Err(EcError::TooFewShards {
+                have: present.len(),
+                needed: self.k,
+            });
         }
         let len = shards[present[0]].as_ref().map(Vec::len).unwrap_or(0);
         for &i in &present {
@@ -354,7 +366,9 @@ impl ReedSolomon {
         let mut stripe: Vec<Option<Vec<u8>>> = vec![None; shards.len()];
         for (i, shard) in shards.iter().enumerate() {
             let Some(bytes) = shard else { continue };
-            let Some((len, payload)) = unframe_shard(bytes) else { continue };
+            let Some((len, payload)) = unframe_shard(bytes) else {
+                continue;
+            };
             if payload.len() != (len as usize).div_ceil(self.k) {
                 continue;
             }
@@ -367,7 +381,10 @@ impl ReedSolomon {
         }
         let have = stripe.iter().flatten().count();
         if have < self.k {
-            return Err(EcError::TooFewShards { have, needed: self.k });
+            return Err(EcError::TooFewShards {
+                have,
+                needed: self.k,
+            });
         }
         let data_len = data_len.expect("at least k validated shards") as usize;
         self.reconstruct(&mut stripe)?;
@@ -509,8 +526,7 @@ mod tests {
         // Every way of losing exactly 2 of 6 shards still decodes.
         for lose_a in 0..6 {
             for lose_b in (lose_a + 1)..6 {
-                let mut shards: Vec<Option<Vec<u8>>> =
-                    encoded.iter().cloned().map(Some).collect();
+                let mut shards: Vec<Option<Vec<u8>>> = encoded.iter().cloned().map(Some).collect();
                 shards[lose_a] = None;
                 shards[lose_b] = None;
                 assert_eq!(
@@ -604,11 +620,17 @@ mod tests {
         // Mismatched payload lengths are typed errors.
         assert_eq!(
             rs.parity_of(&[&a, &b, &c[..2]]),
-            Err(EcError::ShardLen { expected: 4, got: 2 })
+            Err(EcError::ShardLen {
+                expected: 4,
+                got: 2
+            })
         );
         assert_eq!(
             rs.parity_of(&[&a, &b]),
-            Err(EcError::ShardCount { expected: 3, got: 2 })
+            Err(EcError::ShardCount {
+                expected: 3,
+                got: 2
+            })
         );
     }
 

@@ -284,7 +284,10 @@ fn parse_probability(key: &str, value: &str) -> Result<f64, String> {
 }
 
 fn parse_us(key: &str, value: &str) -> Result<u64, String> {
-    value.trim().parse::<u64>().map_err(|e| format!("bad {key} microseconds {value:?}: {e}"))
+    value
+        .trim()
+        .parse::<u64>()
+        .map_err(|e| format!("bad {key} microseconds {value:?}: {e}"))
 }
 
 /// Retry policy: capped exponential backoff in *simulated* microseconds.
@@ -323,14 +326,24 @@ pub struct RetryPolicy {
 impl Default for RetryPolicy {
     /// Three attempts, 100 µs base doubling to a 10 ms cap, 1 s budget.
     fn default() -> Self {
-        RetryPolicy { max_attempts: 3, base_us: 100, cap_us: 10_000, budget_us: 1_000_000 }
+        RetryPolicy {
+            max_attempts: 3,
+            base_us: 100,
+            cap_us: 10_000,
+            budget_us: 1_000_000,
+        }
     }
 }
 
 impl RetryPolicy {
     /// No retries at all: one attempt, zero backoff.
     pub fn none() -> Self {
-        RetryPolicy { max_attempts: 1, base_us: 0, cap_us: 0, budget_us: 0 }
+        RetryPolicy {
+            max_attempts: 1,
+            base_us: 0,
+            cap_us: 0,
+            budget_us: 0,
+        }
     }
 
     /// The jittered backoff before retry `attempt` (1-based) of
@@ -341,7 +354,10 @@ impl RetryPolicy {
             return 0;
         }
         let exp = attempt.saturating_sub(1).min(32);
-        let delay = self.base_us.saturating_mul(1u64 << exp).min(self.cap_us.max(self.base_us));
+        let delay = self
+            .base_us
+            .saturating_mul(1u64 << exp)
+            .min(self.cap_us.max(self.base_us));
         let key = splitmix64(DOMAIN_JITTER ^ device)
             ^ splitmix64(bucket.wrapping_add(1))
             ^ splitmix64(attempt as u64);
@@ -396,8 +412,12 @@ mod tests {
 
     #[test]
     fn decisions_are_pure_and_seeded() {
-        let plan = FaultPlan::new(7).with_read_error(0.3).with_latency(0.2, 10, 100);
-        let other_seed = FaultPlan::new(8).with_read_error(0.3).with_latency(0.2, 10, 100);
+        let plan = FaultPlan::new(7)
+            .with_read_error(0.3)
+            .with_latency(0.2, 10, 100);
+        let other_seed = FaultPlan::new(8)
+            .with_read_error(0.3)
+            .with_latency(0.2, 10, 100);
         let mut same = 0;
         for bucket in 0..512u64 {
             for attempt in 0..3 {
@@ -435,7 +455,10 @@ mod tests {
             }
         }
         for (name, count) in [("read", read), ("corrupt", corrupt), ("latency", latency)] {
-            assert!((700..1300).contains(&count), "{name} rate 0.1 gave {count}/{n}");
+            assert!(
+                (700..1300).contains(&count),
+                "{name} rate 0.1 gave {count}/{n}"
+            );
         }
     }
 
@@ -445,9 +468,8 @@ mod tests {
         // With rate 0.5 per attempt, some bucket that fails at attempt 0
         // must succeed at a later attempt (transience), and the joint
         // pattern must be reproducible.
-        let recovered = (0..64u64).any(|b| {
-            plan.decide(2, b, 0).is_some() && plan.decide(2, b, 1).is_none()
-        });
+        let recovered =
+            (0..64u64).any(|b| plan.decide(2, b, 0).is_some() && plan.decide(2, b, 1).is_none());
         assert!(recovered, "no transient recovery in 64 buckets");
     }
 
@@ -455,7 +477,10 @@ mod tests {
     fn outages_are_per_device_constants() {
         let plan = FaultPlan::new(3).with_outage_rate(0.5);
         let dead: Vec<u64> = (0..64).filter(|&d| plan.device_out(d)).collect();
-        assert!(!dead.is_empty() && dead.len() < 64, "outage rate 0.5 gave {dead:?}");
+        assert!(
+            !dead.is_empty() && dead.len() < 64,
+            "outage rate 0.5 gave {dead:?}"
+        );
         for &d in &dead {
             // An outage holds for every bucket and attempt.
             assert_eq!(plan.decide(d, 9, 0), Some(FaultKind::Outage));
@@ -478,9 +503,11 @@ mod tests {
 
     #[test]
     fn spec_parsing_round_trips() {
-        let plan =
-            FaultPlan::parse("read=0.01, corrupt=0.02, latency=0.1:200..2000, outage=3, outage=1", 42)
-                .unwrap();
+        let plan = FaultPlan::parse(
+            "read=0.01, corrupt=0.02, latency=0.1:200..2000, outage=3, outage=1",
+            42,
+        )
+        .unwrap();
         assert_eq!(plan.read_error, 0.01);
         assert_eq!(plan.corruption, 0.02);
         assert_eq!(plan.latency, 0.1);
@@ -492,40 +519,60 @@ mod tests {
         assert_eq!(FaultPlan::parse("", 42).unwrap(), FaultPlan::new(42));
 
         for bad in [
-            "read",          // not key=value
-            "read=2.0",      // probability out of range
-            "latency=0.1",   // missing :US
+            "read",             // not key=value
+            "read=2.0",         // probability out of range
+            "latency=0.1",      // missing :US
             "latency=0.1:9..3", // empty range
-            "outage=x",      // not a device id
-            "flaky=0.5",     // unknown key
+            "outage=x",         // not a device id
+            "flaky=0.5",        // unknown key
         ] {
-            assert!(FaultPlan::parse(bad, 42).is_err(), "{bad:?} should not parse");
+            assert!(
+                FaultPlan::parse(bad, 42).is_err(),
+                "{bad:?} should not parse"
+            );
         }
     }
 
     #[test]
     fn backoff_grows_caps_and_jitters() {
-        let policy = RetryPolicy { max_attempts: 8, base_us: 100, cap_us: 1000, budget_us: 1 << 20 };
+        let policy = RetryPolicy {
+            max_attempts: 8,
+            base_us: 100,
+            cap_us: 1000,
+            budget_us: 1 << 20,
+        };
         let mut last = 0;
         for attempt in 1..=6 {
             let d = policy.backoff_us(attempt, 42, 0, 0);
             let nominal = (100u64 << (attempt - 1)).min(1000);
-            assert!(d >= nominal / 2 && d <= nominal, "attempt {attempt}: {d} vs {nominal}");
+            assert!(
+                d >= nominal / 2 && d <= nominal,
+                "attempt {attempt}: {d} vs {nominal}"
+            );
             assert!(d >= last / 2, "backoff should not collapse");
             last = d;
         }
         // Capped at 1000 from attempt 5 on.
         assert!(policy.backoff_us(7, 42, 0, 0) <= 1000);
         // Deterministic in all arguments, sensitive to the bucket.
-        assert_eq!(policy.backoff_us(2, 42, 1, 9), policy.backoff_us(2, 42, 1, 9));
-        let differs = (0..32u64).any(|b| policy.backoff_us(2, 42, 1, b) != policy.backoff_us(2, 42, 1, 0));
+        assert_eq!(
+            policy.backoff_us(2, 42, 1, 9),
+            policy.backoff_us(2, 42, 1, 9)
+        );
+        let differs =
+            (0..32u64).any(|b| policy.backoff_us(2, 42, 1, b) != policy.backoff_us(2, 42, 1, 0));
         assert!(differs, "jitter ignores the bucket");
         assert_eq!(RetryPolicy::none().backoff_us(1, 42, 0, 0), 0);
     }
 
     #[test]
     fn huge_attempt_does_not_overflow() {
-        let policy = RetryPolicy { max_attempts: u32::MAX, base_us: u64::MAX / 2, cap_us: u64::MAX, budget_us: u64::MAX };
+        let policy = RetryPolicy {
+            max_attempts: u32::MAX,
+            base_us: u64::MAX / 2,
+            cap_us: u64::MAX,
+            budget_us: u64::MAX,
+        };
         // Saturates instead of panicking.
         let _ = policy.backoff_us(u32::MAX, 1, 2, 3);
     }
@@ -533,7 +580,15 @@ mod tests {
     #[test]
     fn retry_spec_parsing() {
         let p = RetryPolicy::parse("attempts=5,base=50,cap=2000,budget=100000").unwrap();
-        assert_eq!(p, RetryPolicy { max_attempts: 5, base_us: 50, cap_us: 2000, budget_us: 100_000 });
+        assert_eq!(
+            p,
+            RetryPolicy {
+                max_attempts: 5,
+                base_us: 50,
+                cap_us: 2000,
+                budget_us: 100_000
+            }
+        );
         assert_eq!(RetryPolicy::parse("none").unwrap(), RetryPolicy::none());
         let partial = RetryPolicy::parse("attempts=2").unwrap();
         assert_eq!(partial.max_attempts, 2);

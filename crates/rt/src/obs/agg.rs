@@ -65,12 +65,10 @@ impl TraceStats {
             if line.trim().is_empty() {
                 continue;
             }
-            let pairs =
-                parse_object(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+            let pairs = parse_object(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
             stats.events += 1;
             let get = |key: &str| pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v);
-            let Some(event) = get("event").and_then(JsonValue::as_str).map(str::to_owned)
-            else {
+            let Some(event) = get("event").and_then(JsonValue::as_str).map(str::to_owned) else {
                 continue; // foreign vocabulary (bench lines etc.)
             };
             let name = get("name")
@@ -82,9 +80,17 @@ impl TraceStats {
                     let elapsed_ns = get("elapsed_ns")
                         .and_then(JsonValue::as_num)
                         .ok_or_else(|| format!("line {}: span without elapsed_ns", lineno + 1))?;
-                    stats.spans.entry(name.clone()).or_default().fold(elapsed_ns);
+                    stats
+                        .spans
+                        .entry(name.clone())
+                        .or_default()
+                        .fold(elapsed_ns);
                     if let Some(device) = get("device").and_then(JsonValue::as_u64) {
-                        stats.by_device.entry((name, device)).or_default().fold(elapsed_ns);
+                        stats
+                            .by_device
+                            .entry((name, device))
+                            .or_default()
+                            .fold(elapsed_ns);
                     }
                 }
                 "counter" => {
@@ -208,7 +214,10 @@ mod tests {
         assert_eq!(stats.by_device[&("exec.device".into(), 0)].total_ns, 2000.0);
         // Last total wins.
         assert_eq!(stats.counters["inverse.plan_cache.hit"], 5);
-        assert_eq!(stats.hists["exec.device"], (vec![10.0, 100.0], vec![3, 0, 0]));
+        assert_eq!(
+            stats.hists["exec.device"],
+            (vec![10.0, 100.0], vec![3, 0, 0])
+        );
     }
 
     #[test]
@@ -238,6 +247,9 @@ mod tests {
         assert!(err.contains("line 1"), "{err}");
         let err = TraceStats::from_lines("not json").unwrap_err();
         assert!(err.contains("line 1"), "{err}");
-        assert_eq!(TraceStats::from_lines("\n\n").unwrap(), TraceStats::default());
+        assert_eq!(
+            TraceStats::from_lines("\n\n").unwrap(),
+            TraceStats::default()
+        );
     }
 }

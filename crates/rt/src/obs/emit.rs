@@ -56,7 +56,10 @@ impl Emitter {
                 emit(&mut out, &mut produce);
             }
         });
-        Emitter { stop, handle: Some(handle) }
+        Emitter {
+            stop,
+            handle: Some(handle),
+        }
     }
 
     /// Convenience: emit to stderr, next to the JSON-lines trace sink's
@@ -113,13 +116,19 @@ mod tests {
         let n = Arc::new(std::sync::atomic::AtomicU64::new(0));
         let n2 = n.clone();
         let emitter = Emitter::start(Duration::from_millis(10), buf.clone(), move || {
-            Some(format!("{{\"tick\":{}}}", n2.fetch_add(1, Ordering::Relaxed)))
+            Some(format!(
+                "{{\"tick\":{}}}",
+                n2.fetch_add(1, Ordering::Relaxed)
+            ))
         });
         std::thread::sleep(Duration::from_millis(35));
         emitter.stop();
         let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
         let lines: Vec<&str> = text.lines().collect();
-        assert!(lines.len() >= 2, "interval ticks plus the final line: {lines:?}");
+        assert!(
+            lines.len() >= 2,
+            "interval ticks plus the final line: {lines:?}"
+        );
         for (i, line) in lines.iter().enumerate() {
             assert_eq!(*line, format!("{{\"tick\":{i}}}"));
             crate::obs::json::parse_object(line).expect("watch line parses");
@@ -140,8 +149,11 @@ mod tests {
     #[test]
     fn none_skips_the_tick() {
         let buf = SharedBuf::default();
-        let emitter =
-            Emitter::start(Duration::from_millis(5), buf.clone(), move || None::<String>);
+        let emitter = Emitter::start(
+            Duration::from_millis(5),
+            buf.clone(),
+            move || None::<String>,
+        );
         std::thread::sleep(Duration::from_millis(20));
         emitter.stop();
         assert!(buf.0.lock().unwrap().is_empty());

@@ -48,7 +48,10 @@ impl JsonValue {
 /// Parses one flat JSON object (`{"k":v,...}`) into its key/value pairs,
 /// in source order.
 pub fn parse_object(line: &str) -> Result<Vec<(String, JsonValue)>, String> {
-    let mut p = Parser { bytes: line.as_bytes(), pos: 0 };
+    let mut p = Parser {
+        bytes: line.as_bytes(),
+        pos: 0,
+    };
     p.skip_ws();
     p.expect(b'{')?;
     let mut pairs = Vec::new();
@@ -147,7 +150,8 @@ impl<'a> Parser<'a> {
             self.pos += 1;
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits");
-        text.parse::<f64>().map_err(|e| format!("bad number {text:?}: {e}"))
+        text.parse::<f64>()
+            .map_err(|e| format!("bad number {text:?}: {e}"))
     }
 
     fn value(&mut self) -> Result<JsonValue, String> {

@@ -46,8 +46,7 @@ pub const ENV_VAR: &str = "PMR_TRACE";
 /// Histogram bucket upper bounds, in microseconds, used for span
 /// durations and [`observe_us`]: 10µs … 1s in decades (plus an implicit
 /// overflow bucket).
-pub const DEFAULT_US_BOUNDS: [f64; 6] =
-    [10.0, 100.0, 1_000.0, 10_000.0, 100_000.0, 1_000_000.0];
+pub const DEFAULT_US_BOUNDS: [f64; 6] = [10.0, 100.0, 1_000.0, 10_000.0, 100_000.0, 1_000_000.0];
 
 /// Tracing state: 0 = uninitialised, 1 = off, 2 = on.
 static STATE: AtomicU8 = AtomicU8::new(0);
@@ -214,7 +213,11 @@ impl Event {
             Event::Counter { name, total } => {
                 format!("{{\"event\":\"counter\",\"name\":\"{name}\",\"total\":{total}}}")
             }
-            Event::Hist { name, bounds, counts } => {
+            Event::Hist {
+                name,
+                bounds,
+                counts,
+            } => {
                 let join = |xs: &[String]| xs.join(",");
                 format!(
                     "{{\"event\":\"hist\",\"name\":\"{name}\",\"bounds\":[{}],\"counts\":[{}]}}",
@@ -285,7 +288,10 @@ impl Registry {
         if let Some(c) = unpoison_read(&self.counters).get(name) {
             return c.clone();
         }
-        unpoison_write(&self.counters).entry(name.to_string()).or_default().clone()
+        unpoison_write(&self.counters)
+            .entry(name.to_string())
+            .or_default()
+            .clone()
     }
 
     fn hist(&self, name: &str) -> Arc<Hist> {
@@ -297,7 +303,9 @@ impl Registry {
             .or_insert_with(|| {
                 Arc::new(Hist {
                     bounds: DEFAULT_US_BOUNDS.to_vec(),
-                    counts: (0..=DEFAULT_US_BOUNDS.len()).map(|_| AtomicU64::new(0)).collect(),
+                    counts: (0..=DEFAULT_US_BOUNDS.len())
+                        .map(|_| AtomicU64::new(0))
+                        .collect(),
                 })
             })
             .clone()
@@ -328,15 +336,21 @@ pub fn observe_us(name: &str, us: f64) {
         return;
     }
     let hist = registry().hist(name);
-    let bucket =
-        hist.bounds.iter().position(|&b| us <= b).unwrap_or(hist.bounds.len());
+    let bucket = hist
+        .bounds
+        .iter()
+        .position(|&b| us <= b)
+        .unwrap_or(hist.bounds.len());
     hist.counts[bucket].fetch_add(1, Ordering::Relaxed);
 }
 
 /// The named histogram's `(bounds, counts)` state, if it exists.
 pub fn histogram_counts(name: &str) -> Option<(Vec<f64>, Vec<u64>)> {
     unpoison_read(&registry().hists).get(name).map(|h| {
-        (h.bounds.clone(), h.counts.iter().map(|c| c.load(Ordering::Relaxed)).collect())
+        (
+            h.bounds.clone(),
+            h.counts.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+        )
     })
 }
 
@@ -367,8 +381,10 @@ pub fn flush() {
     for (name, total) in counters_snapshot() {
         emit(Event::Counter { name, total });
     }
-    let hists: Vec<(String, Arc<Hist>)> =
-        unpoison_read(&registry().hists).iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+    let hists: Vec<(String, Arc<Hist>)> = unpoison_read(&registry().hists)
+        .iter()
+        .map(|(k, v)| (k.clone(), v.clone()))
+        .collect();
     for (name, h) in hists {
         emit(Event::Hist {
             name,
@@ -479,7 +495,11 @@ impl Drop for SpanGuard {
             parent: span.parent,
             start_us: span.start_us,
             elapsed_ns,
-            attrs: span.attrs.iter().map(|&(k, v)| (k.to_string(), v)).collect(),
+            attrs: span
+                .attrs
+                .iter()
+                .map(|&(k, v)| (k.to_string(), v))
+                .collect(),
         }));
     }
 }
@@ -528,7 +548,10 @@ pub struct TraceSummary {
 impl TraceSummary {
     /// The delta for one counter (0 when absent).
     pub fn counter(&self, name: &str) -> u64 {
-        self.counters.iter().find(|(n, _)| n == name).map_or(0, |(_, v)| *v)
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, v)| *v)
     }
 
     /// Flat JSON rendering (`{"spans":N,"counters":{...}}`).
@@ -566,8 +589,11 @@ pub fn capture() -> Option<TraceCapture> {
 impl TraceCapture {
     /// Closes the capture: counter and span-count deltas since it opened.
     pub fn finish(self) -> TraceSummary {
-        let before: HashMap<&str, u64> =
-            self.counters_before.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+        let before: HashMap<&str, u64> = self
+            .counters_before
+            .iter()
+            .map(|(k, v)| (k.as_str(), *v))
+            .collect();
         let counters = counters_snapshot()
             .into_iter()
             .filter_map(|(name, total)| {
@@ -661,13 +687,18 @@ mod tests {
         observe_us("test.flush.lat", 1e9); // overflow bucket
         flush();
         let events = drain_events();
-        assert!(events.contains(&Event::Counter { name: "test.flush.count".into(), total: 4 }));
+        assert!(events.contains(&Event::Counter {
+            name: "test.flush.count".into(),
+            total: 4
+        }));
         let hist = events
             .iter()
             .find_map(|e| match e {
-                Event::Hist { name, bounds, counts } if name == "test.flush.lat" => {
-                    Some((bounds.clone(), counts.clone()))
-                }
+                Event::Hist {
+                    name,
+                    bounds,
+                    counts,
+                } if name == "test.flush.lat" => Some((bounds.clone(), counts.clone())),
                 _ => None,
             })
             .expect("hist flushed");

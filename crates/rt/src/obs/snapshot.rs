@@ -38,7 +38,10 @@ impl MetricsSnapshot {
 
     /// The named counter's value (0 when absent).
     pub fn counter(&self, name: &str) -> u64 {
-        match self.counters.binary_search_by(|(n, _)| n.as_str().cmp(name)) {
+        match self
+            .counters
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+        {
             Ok(i) => self.counters[i].1,
             Err(_) => 0,
         }
@@ -57,7 +60,10 @@ impl MetricsSnapshot {
         if delta == 0 {
             return;
         }
-        match self.counters.binary_search_by(|(n, _)| n.as_str().cmp(name)) {
+        match self
+            .counters
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+        {
             Ok(i) => self.counters[i].1 += delta,
             Err(i) => self.counters.insert(i, (name.to_string(), delta)),
         }
@@ -121,7 +127,10 @@ impl MetricsSnapshot {
             self.add_counter(name, *delta);
         }
         for (name, counts) in &other.hists {
-            match self.hists.binary_search_by(|(n, _)| n.as_str().cmp(name.as_str())) {
+            match self
+                .hists
+                .binary_search_by(|(n, _)| n.as_str().cmp(name.as_str()))
+            {
                 Ok(i) => {
                     let mine = &mut self.hists[i].1;
                     if mine.len() == counts.len() {
@@ -144,7 +153,10 @@ pub fn snapshot() -> MetricsSnapshot {
     let mut hists: Vec<(String, Vec<u64>)> = unpoison_read(&registry().hists)
         .iter()
         .map(|(name, h)| {
-            (name.clone(), h.counts.iter().map(|c| c.load(Ordering::Relaxed)).collect())
+            (
+                name.clone(),
+                h.counts.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+            )
         })
         .collect();
     hists.sort();

@@ -48,10 +48,11 @@ where
     let _span = crate::span!("pool.scope_map", items = items.len() as u64);
     let f = &f;
     std::thread::scope(|scope| {
-        let handles: Vec<_> =
-            items.into_iter().map(|item| scope.spawn(move || f(item))).collect();
-        let results: Vec<Result<T, _>> =
-            handles.into_iter().map(|h| h.join()).collect();
+        let handles: Vec<_> = items
+            .into_iter()
+            .map(|item| scope.spawn(move || f(item)))
+            .collect();
+        let results: Vec<Result<T, _>> = handles.into_iter().map(|h| h.join()).collect();
         results
             .into_iter()
             .map(|r| r.unwrap_or_else(|payload| resume_unwind(payload)))
@@ -68,12 +69,16 @@ pub struct Pool {
 impl Pool {
     /// A pool with an explicit worker count (at least 1).
     pub fn new(workers: usize) -> Self {
-        Pool { workers: workers.max(1) }
+        Pool {
+            workers: workers.max(1),
+        }
     }
 
     /// A pool sized to available CPU parallelism.
     pub fn per_cpu() -> Self {
-        let n = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let n = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
         Pool::new(n)
     }
 
@@ -90,8 +95,7 @@ impl Pool {
         F: FnOnce() -> T + Send,
     {
         let n = tasks.len();
-        let _span =
-            crate::span!("pool.run", tasks = n as u64, workers = self.workers as u64);
+        let _span = crate::span!("pool.run", tasks = n as u64, workers = self.workers as u64);
         let (task_tx, task_rx) = mpsc::channel::<(usize, F)>();
         let task_rx = Mutex::new(task_rx);
         {
@@ -113,8 +117,7 @@ impl Pool {
                     loop {
                         // Hold the lock only to pull the next task, not to
                         // run it.
-                        let next =
-                            task_rx.lock().unwrap_or_else(|e| e.into_inner()).recv();
+                        let next = task_rx.lock().unwrap_or_else(|e| e.into_inner()).recv();
                         match next {
                             Ok((index, task)) => {
                                 let result = catch_unwind(AssertUnwindSafe(task));

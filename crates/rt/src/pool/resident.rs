@@ -76,7 +76,9 @@ impl WorkerScratch {
     /// request. At most one slot per type exists per worker.
     pub fn get_or_default<T: Any + Send + Default>(&mut self) -> &mut T {
         if let Some(pos) = self.slots.iter().position(|s| s.is::<T>()) {
-            return self.slots[pos].downcast_mut().expect("slot position was type-checked");
+            return self.slots[pos]
+                .downcast_mut()
+                .expect("slot position was type-checked");
         }
         self.slots.push(Box::new(T::default()));
         self.slots

@@ -79,10 +79,7 @@ impl Rng {
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
         let s = &mut self.s;
-        let result = s[0]
-            .wrapping_add(s[3])
-            .rotate_left(23)
-            .wrapping_add(s[0]);
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
         let t = s[1] << 17;
         s[2] ^= s[0];
         s[3] ^= s[1];
@@ -268,9 +265,8 @@ impl_sample_signed!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize
 /// one environment variable re-randomize every experiment at once.
 pub fn seed_from_env_or(default: u64) -> u64 {
     match std::env::var("PMR_SEED") {
-        Ok(v) => parse_seed(&v).unwrap_or_else(|| {
-            panic!("PMR_SEED={v:?} is not a valid u64 (decimal or 0x-hex)")
-        }),
+        Ok(v) => parse_seed(&v)
+            .unwrap_or_else(|| panic!("PMR_SEED={v:?} is not a valid u64 (decimal or 0x-hex)")),
         Err(_) => default,
     }
 }
@@ -294,7 +290,10 @@ mod tests {
         // reference sequence for xoshiro256++.
         let mut rng = Rng { s: [1, 2, 3, 4] };
         let got: Vec<u64> = (0..4).map(|_| rng.next_u64()).collect();
-        assert_eq!(got, vec![41943041, 58720359, 3588806011781223, 3591011842654386]);
+        assert_eq!(
+            got,
+            vec![41943041, 58720359, 3588806011781223, 3591011842654386]
+        );
     }
 
     #[test]

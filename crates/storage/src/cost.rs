@@ -24,14 +24,22 @@ impl CostModel {
     /// environments are disk based, the computation time is usually not
     /// much significant compared to disk access time").
     pub fn disk_1988() -> Self {
-        CostModel { seek_us: 25_000.0, transfer_us_per_bucket: 2_000.0, cpu_us_per_address: 1.0 }
+        CostModel {
+            seek_us: 25_000.0,
+            transfer_us_per_bucket: 2_000.0,
+            cpu_us_per_address: 1.0,
+        }
     }
 
     /// A main-memory device: no positioning, cheap transfers, and address
     /// computation a visible fraction of total cost — the regime where the
     /// paper argues FX's XOR/shift addressing beats GDM's multiplies.
     pub fn main_memory() -> Self {
-        CostModel { seek_us: 0.0, transfer_us_per_bucket: 0.5, cpu_us_per_address: 0.05 }
+        CostModel {
+            seek_us: 0.0,
+            transfer_us_per_bucket: 0.5,
+            cpu_us_per_address: 0.05,
+        }
     }
 
     /// Simulated time for one device to retrieve `buckets` buckets while
@@ -58,7 +66,11 @@ mod tests {
 
     #[test]
     fn device_time_composition() {
-        let m = CostModel { seek_us: 10.0, transfer_us_per_bucket: 2.0, cpu_us_per_address: 0.5 };
+        let m = CostModel {
+            seek_us: 10.0,
+            transfer_us_per_bucket: 2.0,
+            cpu_us_per_address: 0.5,
+        };
         assert_eq!(m.device_time_us(0, 0), 0.0);
         assert_eq!(m.device_time_us(0, 4), 2.0); // CPU only, no seek
         assert_eq!(m.device_time_us(3, 0), 16.0); // 10 + 3·2

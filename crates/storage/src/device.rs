@@ -6,12 +6,13 @@
 //! workers and concurrent readers coexist without contending on a global
 //! lock.
 
+use crate::cache::{PageCache, PageKey};
 use crate::encode::{self, DecodeError};
-use pmr_rt::buf::{Bytes, BytesMut};
+use pmr_mkh::Record;
+use pmr_rt::buf::BytesMut;
 use pmr_rt::fault::{FaultKind, FaultPlan};
 use pmr_rt::obs;
 use pmr_rt::sync::RwLock;
-use pmr_mkh::Record;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -44,8 +45,10 @@ impl std::error::Error for ReadFault {}
 /// simulated clock.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BucketRead {
-    /// The bucket's records (empty when the bucket holds no data).
-    pub records: Vec<Record>,
+    /// The bucket's records (empty when the bucket holds no data),
+    /// shared with the device's decoded-page cache: a cache hit is an
+    /// `Arc` clone, never a re-decode.
+    pub records: Arc<[Record]>,
     /// Simulated microseconds of injected latency spike (0 when none).
     pub injected_latency_us: u64,
 }
@@ -84,6 +87,9 @@ pub struct Device {
     faults_on: AtomicBool,
     /// The installed fault plan, if any.
     fault_plan: RwLock<Option<Arc<FaultPlan>>>,
+    /// Decoded bucket pages keyed by (store, bucket), generation-guarded
+    /// against every mutation path. See [`crate::cache`].
+    cache: PageCache,
 }
 
 impl Device {
@@ -98,6 +104,7 @@ impl Device {
             records_written: AtomicU64::new(0),
             faults_on: AtomicBool::new(false),
             fault_plan: RwLock::new(None),
+            cache: PageCache::new(crate::cache::DEFAULT_CAPACITY),
         }
     }
 
@@ -106,30 +113,60 @@ impl Device {
         self.id
     }
 
+    /// Resizes the decoded-page cache (0 disables it). Idempotent on an
+    /// unchanged capacity, so per-execution policy application costs one
+    /// lock round-trip and never flushes a warm cache.
+    pub fn set_cache_capacity(&self, capacity: usize) {
+        self.cache.set_capacity(capacity);
+    }
+
+    /// Current decoded-page cache capacity (0 = off).
+    pub fn cache_capacity(&self) -> usize {
+        self.cache.capacity()
+    }
+
+    /// Number of decoded pages resident in the cache.
+    pub fn cached_pages(&self) -> usize {
+        self.cache.len()
+    }
+
     /// Appends a record to a resident bucket (creating the bucket page on
     /// first write).
     pub fn append(&self, bucket_index: u64, record: &Record) {
         let mut store = self.store.write();
         let region = store.entry(bucket_index).or_default();
         encode::encode_record(record, region);
+        // Inside the write-lock critical section: the generation bump and
+        // the byte change are atomic w.r.t. readers, so a reader that
+        // snapshotted the old generation can never install the old page
+        // after this write.
+        self.cache.invalidate(PageKey::Primary(bucket_index));
         self.records_written.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Reads one bucket's records (empty when the bucket has no region —
     /// an empty bucket still counts as one access, matching the paper's
-    /// bucket-access cost model).
-    pub fn read_bucket(&self, bucket_index: u64) -> Result<Vec<Record>, DecodeError> {
+    /// bucket-access cost model). A cache hit skips the store lock and
+    /// the decode entirely; a miss decodes the page borrowed under the
+    /// read lock (one copy per payload, none for the page) and installs
+    /// it generation-guarded.
+    pub fn read_bucket(&self, bucket_index: u64) -> Result<Arc<[Record]>, DecodeError> {
         self.bucket_reads.fetch_add(1, Ordering::Relaxed);
-        let store = self.store.read();
-        match store.get(&bucket_index) {
-            None => Ok(Vec::new()),
-            Some(region) => {
-                // Freeze a cheap O(1) snapshot view for decoding outside
-                // the entry.
-                let snapshot: Bytes = Bytes::copy_from_slice(region);
-                encode::decode_all(snapshot)
-            }
+        let key = PageKey::Primary(bucket_index);
+        if let Some(records) = self.cache.get(key) {
+            return Ok(records);
         }
+        let store = self.store.read();
+        let gen = self.cache.generation(key);
+        let records: Arc<[Record]> = match store.get(&bucket_index) {
+            None => Vec::new().into(),
+            Some(region) => encode::decode_all_bytes(region)?.into(),
+        };
+        drop(store);
+        // The generation was snapshotted while the read lock pinned the
+        // bytes; any write since then bumped it and this insert no-ops.
+        self.cache.insert_if(key, gen, records.clone());
+        Ok(records)
     }
 
     /// Installs (or removes, with `None`) the fault plan consulted by
@@ -187,7 +224,10 @@ impl Device {
             None => {}
         }
         let records = self.read_bucket(bucket_index).map_err(ReadFault::Decode)?;
-        Ok(BucketRead { records, injected_latency_us })
+        Ok(BucketRead {
+            records,
+            injected_latency_us,
+        })
     }
 
     /// One fault-aware read attempt against the **mirror** store — the
@@ -213,15 +253,27 @@ impl Device {
             None => {}
         }
         self.bucket_reads.fetch_add(1, Ordering::Relaxed);
+        let key = PageKey::Mirror(bucket_index);
+        if let Some(records) = self.cache.get(key) {
+            return Ok(BucketRead {
+                records,
+                injected_latency_us,
+            });
+        }
         let store = self.mirror_store.read();
-        let records = match store.get(&bucket_index) {
-            None => Vec::new(),
-            Some(region) => {
-                let snapshot: Bytes = Bytes::copy_from_slice(region);
-                encode::decode_all(snapshot).map_err(ReadFault::Decode)?
-            }
+        let gen = self.cache.generation(key);
+        let records: Arc<[Record]> = match store.get(&bucket_index) {
+            None => Vec::new().into(),
+            Some(region) => encode::decode_all_bytes(region)
+                .map_err(ReadFault::Decode)?
+                .into(),
         };
-        Ok(BucketRead { records, injected_latency_us })
+        drop(store);
+        self.cache.insert_if(key, gen, records.clone());
+        Ok(BucketRead {
+            records,
+            injected_latency_us,
+        })
     }
 
     /// One fault-aware **raw** read of a primary bucket page: the bytes
@@ -249,19 +301,22 @@ impl Device {
             None => {}
         }
         self.bucket_reads.fetch_add(1, Ordering::Relaxed);
-        let bytes = self.store.read().get(&bucket_index).map(|region| region.to_vec());
-        Ok(RawRead { bytes, injected_latency_us })
+        let bytes = self
+            .store
+            .read()
+            .get(&bucket_index)
+            .map(|region| region.to_vec());
+        Ok(RawRead {
+            bytes,
+            injected_latency_us,
+        })
     }
 
     /// One fault-aware read of a **parity** shard this device holds for
     /// stripe `stripe_id`. Fault decisions draw from the same seeded
     /// stream as bucket reads, keyed by the stripe id. `Ok(None)` means
     /// this device holds no shard for that stripe.
-    pub fn read_parity_attempt(
-        &self,
-        stripe_id: u64,
-        attempt: u32,
-    ) -> Result<RawRead, ReadFault> {
+    pub fn read_parity_attempt(&self, stripe_id: u64, attempt: u32) -> Result<RawRead, ReadFault> {
         let mut injected_latency_us = 0;
         match self.consult_faults(stripe_id, attempt) {
             Some(FaultKind::Outage) => return Err(ReadFault::Outage),
@@ -278,7 +333,10 @@ impl Device {
         }
         self.bucket_reads.fetch_add(1, Ordering::Relaxed);
         let bytes = self.parity_store.read().get(&stripe_id).cloned();
-        Ok(RawRead { bytes, injected_latency_us })
+        Ok(RawRead {
+            bytes,
+            injected_latency_us,
+        })
     }
 
     /// Installs (replacing) the parity shard this device holds for
@@ -311,6 +369,7 @@ impl Device {
         let mut store = self.mirror_store.write();
         let region = store.entry(bucket_index).or_default();
         encode::encode_record(record, region);
+        self.cache.invalidate(PageKey::Mirror(bucket_index));
     }
 
     /// Installs a pre-encoded page into the mirror store (bulk
@@ -320,6 +379,7 @@ impl Device {
         let region = store.entry(bucket_index).or_default();
         region.clear();
         region.extend_from_slice(page);
+        self.cache.invalidate(PageKey::Mirror(bucket_index));
     }
 
     /// Indices of the mirror buckets this device holds, in address order.
@@ -334,7 +394,9 @@ impl Device {
 
     /// Drops all mirror pages (primary data untouched).
     pub fn clear_mirror(&self) {
-        self.mirror_store.write().clear();
+        let mut store = self.mirror_store.write();
+        store.clear();
+        self.cache.invalidate_mirrors();
     }
 
     /// Indices of the buckets with resident data, in address order.
@@ -360,7 +422,10 @@ impl Device {
     /// Raw page bytes of a resident bucket (for persistence snapshots);
     /// `None` when the bucket holds no data.
     pub fn raw_page(&self, bucket_index: u64) -> Option<Vec<u8>> {
-        self.store.read().get(&bucket_index).map(|region| region.to_vec())
+        self.store
+            .read()
+            .get(&bucket_index)
+            .map(|region| region.to_vec())
     }
 
     /// Installs a pre-encoded page (persistence load path). `records` is
@@ -370,6 +435,7 @@ impl Device {
         let region = store.entry(bucket_index).or_default();
         region.clear();
         region.extend_from_slice(page);
+        self.cache.invalidate(PageKey::Primary(bucket_index));
         self.records_written.fetch_add(records, Ordering::Relaxed);
     }
 
@@ -383,14 +449,19 @@ impl Device {
         let region = store.entry(bucket_index).or_default();
         region.clear();
         region.extend_from_slice(bytes);
+        // At-rest corruption is a write like any other: invalidate so the
+        // next read surfaces the DecodeError instead of a stale hit.
+        self.cache.invalidate(PageKey::Primary(bucket_index));
     }
 
     /// Drops all resident data (primary and mirror) and resets counters
     /// (used when a file is redistributed after a directory expansion).
     pub fn clear(&self) {
-        self.store.write().clear();
+        let mut store = self.store.write();
+        store.clear();
         self.mirror_store.write().clear();
         self.parity_store.write().clear();
+        self.cache.invalidate_all();
         self.bucket_reads.store(0, Ordering::Relaxed);
         self.records_written.store(0, Ordering::Relaxed);
     }
@@ -404,6 +475,7 @@ impl Device {
         self.parity_store.write().clear();
         let mut store = self.store.write();
         let drained = std::mem::take(&mut *store);
+        self.cache.invalidate_all();
         drained
             .into_iter()
             .map(|(idx, region)| Ok((idx, encode::decode_all(region.freeze())?)))
@@ -427,9 +499,9 @@ mod tests {
         d.append(10, &rec(1));
         d.append(10, &rec(2));
         d.append(11, &rec(3));
-        assert_eq!(d.read_bucket(10).unwrap(), vec![rec(1), rec(2)]);
-        assert_eq!(d.read_bucket(11).unwrap(), vec![rec(3)]);
-        assert_eq!(d.read_bucket(12).unwrap(), vec![]);
+        assert_eq!(&*d.read_bucket(10).unwrap(), &[rec(1), rec(2)][..]);
+        assert_eq!(&*d.read_bucket(11).unwrap(), &[rec(3)][..]);
+        assert!(d.read_bucket(12).unwrap().is_empty());
         assert_eq!(d.resident_buckets(), vec![10, 11]);
         assert_eq!(d.resident_bucket_count(), 2);
         assert_eq!(d.bucket_reads(), 3);
@@ -466,7 +538,7 @@ mod tests {
         assert!(d.read_bucket(3).is_err());
         // Other buckets are unaffected.
         d.append(4, &rec(2));
-        assert_eq!(d.read_bucket(4).unwrap(), vec![rec(2)]);
+        assert_eq!(&*d.read_bucket(4).unwrap(), &[rec(2)][..]);
     }
 
     #[test]
@@ -474,12 +546,15 @@ mod tests {
         let d = Device::new(2);
         d.append(9, &rec(7));
         let got = d.read_bucket_attempt(9, 0).unwrap();
-        assert_eq!(got.records, vec![rec(7)]);
+        assert_eq!(&*got.records, &[rec(7)][..]);
         assert_eq!(got.injected_latency_us, 0);
-        assert_eq!(d.read_bucket_attempt(10, 0).unwrap().records, vec![]);
+        assert!(d.read_bucket_attempt(10, 0).unwrap().records.is_empty());
         // Decode failures surface as typed faults even with faults off.
         d.inject_corruption(9, &[0xff, 0x01]);
-        assert!(matches!(d.read_bucket_attempt(9, 1), Err(ReadFault::Decode(_))));
+        assert!(matches!(
+            d.read_bucket_attempt(9, 1),
+            Err(ReadFault::Decode(_))
+        ));
     }
 
     #[test]
@@ -491,10 +566,16 @@ mod tests {
         assert_eq!(d.read_mirror_attempt(1, 0), Err(ReadFault::Outage));
         // Removing the plan restores clean reads.
         d.set_fault_plan(None);
-        assert_eq!(d.read_bucket_attempt(1, 0).unwrap().records, vec![rec(1)]);
+        assert_eq!(
+            &*d.read_bucket_attempt(1, 0).unwrap().records,
+            &[rec(1)][..]
+        );
         // An all-zero-rate plan is treated as absent.
         d.set_fault_plan(Some(Arc::new(FaultPlan::new(1))));
-        assert_eq!(d.read_bucket_attempt(1, 0).unwrap().records, vec![rec(1)]);
+        assert_eq!(
+            &*d.read_bucket_attempt(1, 0).unwrap().records,
+            &[rec(1)][..]
+        );
     }
 
     #[test]
@@ -503,7 +584,7 @@ mod tests {
         d.append(0, &rec(1));
         d.set_fault_plan(Some(Arc::new(FaultPlan::new(11).with_latency(1.0, 40, 60))));
         let got = d.read_bucket_attempt(0, 0).unwrap();
-        assert_eq!(got.records, vec![rec(1)]);
+        assert_eq!(&*got.records, &[rec(1)][..]);
         assert!((40..=60).contains(&got.injected_latency_us));
         // Deterministic: the same attempt spikes identically.
         assert_eq!(d.read_bucket_attempt(0, 0).unwrap(), got);
@@ -520,12 +601,19 @@ mod tests {
         assert_eq!(d.mirror_bucket_count(), 1);
         // Mirror writes don't count toward primary occupancy.
         assert_eq!(d.records_written(), 1);
-        assert_eq!(d.read_mirror_attempt(5, 0).unwrap().records, vec![rec(2), rec(3)]);
-        assert_eq!(d.read_mirror_attempt(4, 0).unwrap().records, vec![]);
-        // install_mirror_page replaces, append_mirror appends.
+        assert_eq!(
+            &*d.read_mirror_attempt(5, 0).unwrap().records,
+            &[rec(2), rec(3)][..]
+        );
+        assert!(d.read_mirror_attempt(4, 0).unwrap().records.is_empty());
+        // install_mirror_page replaces, append_mirror appends — and both
+        // invalidate the mirror cache line just read above.
         let page = d.raw_page(4).unwrap();
         d.install_mirror_page(5, &page);
-        assert_eq!(d.read_mirror_attempt(5, 0).unwrap().records, vec![rec(1)]);
+        assert_eq!(
+            &*d.read_mirror_attempt(5, 0).unwrap().records,
+            &[rec(1)][..]
+        );
         d.clear_mirror();
         assert_eq!(d.mirror_bucket_count(), 0);
         assert_eq!(d.resident_buckets(), vec![4]);
@@ -547,6 +635,72 @@ mod tests {
     }
 
     #[test]
+    fn hot_reads_share_one_decode() {
+        let d = Device::new(0);
+        d.append(6, &rec(1));
+        let first = d.read_bucket(6).unwrap();
+        let second = d.read_bucket(6).unwrap();
+        // Hit path: the same decoded page, not a re-decode.
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(d.bucket_reads(), 2, "hits still charge bucket accesses");
+        assert_eq!(d.cached_pages(), 1);
+        // Any append invalidates; the next read re-decodes fresh data.
+        d.append(6, &rec(2));
+        let third = d.read_bucket(6).unwrap();
+        assert!(!Arc::ptr_eq(&first, &third));
+        assert_eq!(&*third, &[rec(1), rec(2)][..]);
+    }
+
+    #[test]
+    fn cache_off_reads_stay_correct() {
+        let d = Device::new(0);
+        d.set_cache_capacity(0);
+        assert_eq!(d.cache_capacity(), 0);
+        d.append(6, &rec(1));
+        assert_eq!(&*d.read_bucket(6).unwrap(), &[rec(1)][..]);
+        assert_eq!(d.cached_pages(), 0);
+        d.append(6, &rec(2));
+        assert_eq!(&*d.read_bucket(6).unwrap(), &[rec(1), rec(2)][..]);
+        // Re-enabling starts cold but coherent.
+        d.set_cache_capacity(64);
+        assert_eq!(&*d.read_bucket(6).unwrap(), &[rec(1), rec(2)][..]);
+        assert_eq!(d.cached_pages(), 1);
+    }
+
+    #[test]
+    fn clear_and_drain_invalidate_cached_pages() {
+        let d = Device::new(0);
+        d.append(1, &rec(1));
+        d.read_bucket(1).unwrap();
+        assert_eq!(d.cached_pages(), 1);
+        d.drain().unwrap();
+        assert_eq!(d.cached_pages(), 0);
+        assert!(d.read_bucket(1).unwrap().is_empty());
+        d.append(1, &rec(2));
+        d.read_bucket(1).unwrap();
+        d.clear();
+        assert_eq!(d.cached_pages(), 0);
+        assert!(d.read_bucket(1).unwrap().is_empty());
+    }
+
+    #[test]
+    fn injected_faults_never_touch_the_cache() {
+        let d = Device::new(0);
+        d.append(2, &rec(1));
+        // Read-error faults at rate 1.0: every attempt errors before the
+        // store (or cache) is consulted — nothing gets cached.
+        d.set_fault_plan(Some(Arc::new(FaultPlan::new(5).with_read_error(1.0))));
+        assert_eq!(d.read_bucket_attempt(2, 0), Err(ReadFault::Io));
+        assert_eq!(d.cached_pages(), 0);
+        d.set_fault_plan(None);
+        assert_eq!(
+            &*d.read_bucket_attempt(2, 0).unwrap().records,
+            &[rec(1)][..]
+        );
+        assert_eq!(d.cached_pages(), 1);
+    }
+
+    #[test]
     fn concurrent_appends_are_safe() {
         let d = std::sync::Arc::new(Device::new(0));
         std::thread::scope(|s| {
@@ -560,8 +714,7 @@ mod tests {
             }
         });
         assert_eq!(d.records_written(), 400);
-        let total: usize =
-            (0..4).map(|b| d.read_bucket(b).unwrap().len()).sum();
+        let total: usize = (0..4).map(|b| d.read_bucket(b).unwrap().len()).sum();
         assert_eq!(total, 400);
     }
 }

@@ -6,8 +6,8 @@
 //! payload — so a bucket page is a flat `Bytes` region a device can hand
 //! back without touching per-record allocations until decode time.
 
-use pmr_rt::buf::{Buf, BufMut, Bytes, BytesMut};
 use pmr_mkh::{Record, Value};
+use pmr_rt::buf::{Buf, BufMut, Bytes, BytesMut};
 use std::fmt;
 
 /// Errors raised while decoding a record region.
@@ -69,51 +69,62 @@ pub fn encode_one(record: &Record) -> Bytes {
 
 /// Decodes every record from a region produced by repeated
 /// [`encode_record`] calls.
-pub fn decode_all(mut region: Bytes) -> Result<Vec<Record>, DecodeError> {
+pub fn decode_all(region: Bytes) -> Result<Vec<Record>, DecodeError> {
+    decode_all_bytes(&region)
+}
+
+/// Decodes every record from a borrowed region — the zero-snapshot path:
+/// callers holding a lock over the page bytes decode in place, paying
+/// exactly one copy per `Str`/`Bytes` payload (into the owned `Value`)
+/// and none for the page itself.
+pub fn decode_all_bytes(region: &[u8]) -> Result<Vec<Record>, DecodeError> {
+    let mut cursor = region;
     let mut out = Vec::new();
-    while region.has_remaining() {
-        out.push(decode_record(&mut region)?);
+    while !cursor.is_empty() {
+        out.push(decode_record_from(&mut cursor)?);
     }
     Ok(out)
 }
 
-/// Decodes a single record from the front of `buf`.
+/// Decodes a single record from the front of `buf`, advancing it past
+/// the consumed bytes.
 pub fn decode_record(buf: &mut Bytes) -> Result<Record, DecodeError> {
-    if buf.remaining() < 4 {
+    let mut cursor: &[u8] = buf;
+    let record = decode_record_from(&mut cursor)?;
+    let consumed = buf.remaining() - cursor.len();
+    let _ = buf.split_to(consumed);
+    Ok(record)
+}
+
+fn take<'a>(cursor: &mut &'a [u8], n: usize) -> Result<&'a [u8], DecodeError> {
+    if cursor.len() < n {
         return Err(DecodeError::Truncated);
     }
-    let arity = buf.get_u32_le() as usize;
+    let (head, tail) = cursor.split_at(n);
+    *cursor = tail;
+    Ok(head)
+}
+
+/// Decodes a single record from the front of a borrowed cursor,
+/// advancing it past the consumed bytes. Each `Str`/`Bytes` payload is
+/// copied exactly once, straight from the region into its `Value`.
+pub fn decode_record_from(cursor: &mut &[u8]) -> Result<Record, DecodeError> {
+    let arity = u32::from_le_bytes(take(cursor, 4)?.try_into().unwrap()) as usize;
     // Never trust the wire for preallocation: a corrupted arity must fail
     // with `Truncated` below, not abort on a giant allocation. Every value
     // costs at least 5 encoded bytes (tag + u32 length), bounding the
     // plausible arity by the remaining region.
-    let mut values = Vec::with_capacity(arity.min(buf.remaining() / 5 + 1));
+    let mut values = Vec::with_capacity(arity.min(cursor.len() / 5 + 1));
     for _ in 0..arity {
-        if buf.remaining() < 1 {
-            return Err(DecodeError::Truncated);
-        }
-        let tag = buf.get_u8();
+        let tag = take(cursor, 1)?[0];
         let value = match tag {
-            TAG_INT => {
-                if buf.remaining() < 8 {
-                    return Err(DecodeError::Truncated);
-                }
-                Value::Int(buf.get_i64_le())
-            }
+            TAG_INT => Value::Int(i64::from_le_bytes(take(cursor, 8)?.try_into().unwrap())),
             TAG_STR | TAG_BYTES => {
-                if buf.remaining() < 4 {
-                    return Err(DecodeError::Truncated);
-                }
-                let len = buf.get_u32_le() as usize;
-                if buf.remaining() < len {
-                    return Err(DecodeError::Truncated);
-                }
-                let payload = buf.split_to(len);
+                let len = u32::from_le_bytes(take(cursor, 4)?.try_into().unwrap()) as usize;
+                let payload = take(cursor, len)?;
                 if tag == TAG_STR {
-                    let s = std::str::from_utf8(&payload)
-                        .map_err(|_| DecodeError::BadUtf8)?
-                        .to_owned();
-                    Value::Str(s)
+                    let s = std::str::from_utf8(payload).map_err(|_| DecodeError::BadUtf8)?;
+                    Value::Str(s.to_owned())
                 } else {
                     Value::Bytes(payload.to_vec())
                 }
@@ -130,7 +141,11 @@ mod tests {
     use super::*;
 
     fn sample() -> Record {
-        Record::new(vec![Value::Int(-42), "hello".into(), Value::Bytes(vec![0, 255, 7])])
+        Record::new(vec![
+            Value::Int(-42),
+            "hello".into(),
+            Value::Bytes(vec![0, 255, 7]),
+        ])
     }
 
     #[test]

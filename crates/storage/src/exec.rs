@@ -127,8 +127,14 @@ impl Redundancy {
                 let (k, r) = geometry
                     .split_once(',')
                     .ok_or_else(|| format!("parity geometry {geometry:?} is not K,R"))?;
-                let k = k.trim().parse::<u8>().map_err(|e| format!("bad parity k {k:?}: {e}"))?;
-                let r = r.trim().parse::<u8>().map_err(|e| format!("bad parity r {r:?}: {e}"))?;
+                let k = k
+                    .trim()
+                    .parse::<u8>()
+                    .map_err(|e| format!("bad parity k {k:?}: {e}"))?;
+                let r = r
+                    .trim()
+                    .parse::<u8>()
+                    .map_err(|e| format!("bad parity r {r:?}: {e}"))?;
                 if k == 0 || r == 0 {
                     return Err(format!("parity geometry k={k} r={r}: both must be >= 1"));
                 }
@@ -154,16 +160,24 @@ pub struct ExecPolicy {
     /// Seed for backoff jitter — conventionally the run's `PMR_SEED`, so
     /// retry schedules replay with the fault decisions.
     pub seed: u64,
+    /// Decoded-page cache capacity to apply to every device before the
+    /// execution (`Some(0)` turns the cache off). `None` leaves each
+    /// device's current configuration alone — the default, since the
+    /// cache is a device property, not a per-query one. Purely a
+    /// wall-clock knob: reports are bit-equal at any setting.
+    pub cache: Option<usize>,
 }
 
 impl Default for ExecPolicy {
-    /// Default retry policy, failover on through buddy mirroring, seed 0.
+    /// Default retry policy, failover on through buddy mirroring, seed 0,
+    /// device cache configuration untouched.
     fn default() -> Self {
         ExecPolicy {
             retry: RetryPolicy::default(),
             failover: true,
             redundancy: Redundancy::Mirror,
             seed: 0,
+            cache: None,
         }
     }
 }
@@ -257,7 +271,10 @@ impl ExecutionReport {
 
     /// The response histogram (qualified buckets per device).
     pub fn histogram(&self) -> Vec<u64> {
-        self.per_device.iter().map(|d| d.qualified_buckets).collect()
+        self.per_device
+            .iter()
+            .map(|d| d.qualified_buckets)
+            .collect()
     }
 
     /// `true` when every qualified bucket was served (possibly via
@@ -268,7 +285,10 @@ impl ExecutionReport {
 
     /// Total buckets served by parity reconstruction across all devices.
     pub fn reconstructions(&self) -> u64 {
-        self.per_device.iter().map(|d| u64::from(d.reconstructions)).sum()
+        self.per_device
+            .iter()
+            .map(|d| u64::from(d.reconstructions))
+            .sum()
     }
 
     /// Machine-readable rendering: one flat JSON object (the workspace's
@@ -315,7 +335,9 @@ impl ExecutionReport {
             self.coverage,
             self.redundancy,
             self.reconstructions(),
-            self.trace.as_ref().map_or("null".to_string(), TraceSummary::to_json)
+            self.trace
+                .as_ref()
+                .map_or("null".to_string(), TraceSummary::to_json)
         )
     }
 }
@@ -383,15 +405,26 @@ fn assemble(
     let mut per_device = Vec::with_capacity(yields.len());
     let mut records = Vec::new();
     let mut lost_buckets = Vec::new();
-    for DeviceYield { report, records: mut recs, lost: mut lost_codes } in yields {
+    for DeviceYield {
+        report,
+        records: mut recs,
+        lost: mut lost_codes,
+    } in yields
+    {
         per_device.push(report);
         records.append(&mut recs);
         lost_buckets.append(&mut lost_codes);
     }
     lost_buckets.sort_unstable();
-    let largest_response = per_device.iter().map(|d| d.qualified_buckets).max().unwrap_or(0);
-    let simulated_response_us =
-        per_device.iter().map(|d| d.simulated_us).fold(0.0f64, f64::max);
+    let largest_response = per_device
+        .iter()
+        .map(|d| d.qualified_buckets)
+        .max()
+        .unwrap_or(0);
+    let simulated_response_us = per_device
+        .iter()
+        .map(|d| d.simulated_us)
+        .fold(0.0f64, f64::max);
     let simulated_serial_us: f64 = per_device.iter().map(|d| d.simulated_us).sum();
     let total_qualified: u64 = per_device.iter().map(|d| d.qualified_buckets).sum();
     let coverage = if total_qualified == 0 {
@@ -469,8 +502,7 @@ fn fast_path_plan<'a>(
         None => 1,
     };
     let m = sys.devices();
-    let fast =
-        FAST_PATH_SETUP_ADDR + total_qualified + m * free_combos < m * total_qualified;
+    let fast = FAST_PATH_SETUP_ADDR + total_qualified + m * free_combos < m * total_qualified;
     (fast, free_combos, inverse)
 }
 
@@ -521,7 +553,11 @@ pub fn execute_parallel_scan<D: DistributionMethod>(
 
     let report = collect_report(results, m, Redundancy::None, capture)?;
     debug_assert_eq!(
-        report.per_device.iter().map(|d| d.qualified_buckets).sum::<u64>(),
+        report
+            .per_device
+            .iter()
+            .map(|d| d.qualified_buckets)
+            .sum::<u64>(),
         total_qualified
     );
     Ok(report)
@@ -556,8 +592,11 @@ fn run_fx(
     let m = sys.devices();
     let capture = obs::capture();
     obs::counter_add("exec.fast_path.dispatched", 1);
-    let _span =
-        pmr_rt::span!("exec.query", devices = m, qualified = query.qualified_count_in(sys));
+    let _span = pmr_rt::span!(
+        "exec.query",
+        devices = m,
+        qualified = query.qualified_count_in(sys)
+    );
     let inverse = FxInverse::new(fx, query);
     let inverse = &inverse;
     // Address work per device: one residue-class lookup per free-field
@@ -567,43 +606,42 @@ fn run_fx(
         None => 1,
     };
 
-    let results: Vec<Result<DeviceYield, FileError>> =
-        pmr_rt::pool::scope_map(0..m, |device| {
-            let _span = pmr_rt::span!("exec.device", device = device);
-            let dev = &devices[device as usize];
-            let mut records = Vec::new();
-            let mut qualified_buckets = 0u64;
-            let mut decode_error = None;
-            inverse.for_each_code_on(device, |code| {
-                if decode_error.is_some() {
-                    return;
-                }
-                qualified_buckets += 1;
-                match dev.read_bucket(code) {
-                    Ok(recs) => records.extend(recs),
-                    Err(e) => decode_error = Some(e),
-                }
-            });
-            if let Some(e) = decode_error {
-                return Err(FileError::Decode(e));
+    let results: Vec<Result<DeviceYield, FileError>> = pmr_rt::pool::scope_map(0..m, |device| {
+        let _span = pmr_rt::span!("exec.device", device = device);
+        let dev = &devices[device as usize];
+        let mut records = Vec::new();
+        let mut qualified_buckets = 0u64;
+        let mut decode_error = None;
+        inverse.for_each_code_on(device, |code| {
+            if decode_error.is_some() {
+                return;
             }
-            let addresses_computed = free_combos + qualified_buckets;
-            let simulated_us = cost.device_time_us(qualified_buckets, addresses_computed);
-            obs::observe_us("exec.device.simulated_us", simulated_us);
-            Ok(DeviceYield {
-                report: DeviceReport {
-                    device,
-                    qualified_buckets,
-                    records: records.len() as u64,
-                    addresses_computed,
-                    simulated_us,
-                    reconstructions: 0,
-                    outcome: DeviceOutcome::Ok,
-                },
-                records,
-                lost: Vec::new(),
-            })
+            qualified_buckets += 1;
+            match dev.read_bucket(code) {
+                Ok(recs) => records.extend_from_slice(&recs),
+                Err(e) => decode_error = Some(e),
+            }
         });
+        if let Some(e) = decode_error {
+            return Err(FileError::Decode(e));
+        }
+        let addresses_computed = free_combos + qualified_buckets;
+        let simulated_us = cost.device_time_us(qualified_buckets, addresses_computed);
+        obs::observe_us("exec.device.simulated_us", simulated_us);
+        Ok(DeviceYield {
+            report: DeviceReport {
+                device,
+                qualified_buckets,
+                records: records.len() as u64,
+                addresses_computed,
+                simulated_us,
+                reconstructions: 0,
+                outcome: DeviceOutcome::Ok,
+            },
+            records,
+            lost: Vec::new(),
+        })
+    });
 
     collect_report(results, m, Redundancy::None, capture)
 }
@@ -642,8 +680,19 @@ pub fn execute_parallel_with<D: DistributionMethod>(
     let capture = obs::capture();
     let _span = pmr_rt::span!("exec.query", devices = m, qualified = total_qualified);
     let devices = file.devices();
+    if let Some(capacity) = policy.cache {
+        // Idempotent per device: an unchanged capacity is one lock
+        // round-trip, never a flush.
+        for dev in devices {
+            dev.set_cache_capacity(capacity);
+        }
+    }
     let effective = policy.effective_redundancy();
-    let pairing = if effective == Redundancy::Mirror { file.mirroring().copied() } else { None };
+    let pairing = if effective == Redundancy::Mirror {
+        file.mirroring().copied()
+    } else {
+        None
+    };
     let parity = if matches!(effective, Redundancy::Parity { .. }) {
         file.parity().map(|p| p.as_ref())
     } else {
@@ -660,33 +709,33 @@ pub fn execute_parallel_with<D: DistributionMethod>(
         None => 1,
     };
 
-    let results: Vec<Result<DeviceYield, FileError>> =
-        pmr_rt::pool::scope_map(0..m, |device| {
-            let _span = pmr_rt::span!("exec.device", device = device);
-            let mut codes = Vec::new();
-            match &inverse {
-                Some(inv) => inv.for_each_code_on(device, |code| codes.push(code)),
-                None => {
-                    for_each_device_code(file.method(), sys, query, device, |code| {
-                        codes.push(code)
-                    })
-                }
+    let results: Vec<Result<DeviceYield, FileError>> = pmr_rt::pool::scope_map(0..m, |device| {
+        let _span = pmr_rt::span!("exec.device", device = device);
+        let mut codes = Vec::new();
+        match &inverse {
+            Some(inv) => inv.for_each_code_on(device, |code| codes.push(code)),
+            None => {
+                for_each_device_code(file.method(), sys, query, device, |code| codes.push(code))
             }
-            let addresses_computed = if inverse.is_some() {
-                free_combos + codes.len() as u64
-            } else {
-                total_qualified
-            };
-            Ok(resilient_device_read(
-                devices,
-                device,
-                &codes,
-                FailoverPath { buddy: pairing.as_ref().map(|p| p.buddy_of(device)), parity },
-                cost,
-                policy,
-                addresses_computed,
-            ))
-        });
+        }
+        let addresses_computed = if inverse.is_some() {
+            free_combos + codes.len() as u64
+        } else {
+            total_qualified
+        };
+        Ok(resilient_device_read(
+            devices,
+            device,
+            &codes,
+            FailoverPath {
+                buddy: pairing.as_ref().map(|p| p.buddy_of(device)),
+                parity,
+            },
+            cost,
+            policy,
+            addresses_computed,
+        ))
+    });
 
     collect_report(results, m, effective, capture)
 }
@@ -725,18 +774,21 @@ fn resilient_device_read(
     let mut reconstructions = 0u32;
     for &code in codes {
         let (primary, primary_us, primary_retries) =
-            read_with_retry(policy, device, code, |attempt| dev.read_bucket_attempt(code, attempt));
+            read_with_retry(policy, device, code, |attempt| {
+                dev.read_bucket_attempt(code, attempt)
+            });
         extra_us += primary_us;
         retries_total += primary_retries;
         if let Some(recs) = primary {
-            records.extend(recs);
+            records.extend_from_slice(&recs);
             continue;
         }
         if let Some(buddy_id) = buddy {
             let buddy_dev = &devices[buddy_id as usize];
-            let (mirror, mirror_us, mirror_retries) = read_with_retry(policy, buddy_id, code, |attempt| {
-                buddy_dev.read_mirror_attempt(code, attempt)
-            });
+            let (mirror, mirror_us, mirror_retries) =
+                read_with_retry(policy, buddy_id, code, |attempt| {
+                    buddy_dev.read_mirror_attempt(code, attempt)
+                });
             // The failover read and its backoff are charged to the home
             // worker — it is the one waiting on the bucket.
             extra_us += mirror_us + cost.device_time_us(1, 0);
@@ -744,7 +796,7 @@ fn resilient_device_read(
             if let Some(recs) = mirror {
                 obs::counter_add("exec.failover", 1);
                 failed_over = true;
-                records.extend(recs);
+                records.extend_from_slice(&recs);
                 continue;
             }
         }
@@ -804,7 +856,7 @@ fn read_with_retry<F>(
     device: u64,
     code: u64,
     mut read: F,
-) -> (Option<Vec<Record>>, f64, u32)
+) -> (Option<std::sync::Arc<[Record]>>, f64, u32)
 where
     F: FnMut(u32) -> Result<crate::device::BucketRead, ReadFault>,
 {
@@ -921,7 +973,12 @@ pub fn plan_query<D: DistributionMethod>(
         }
         None => (false, 1),
     };
-    PlannedQuery { query: query.clone(), fast_path, free_combos, total_qualified }
+    PlannedQuery {
+        query: query.clone(),
+        fast_path,
+        free_combos,
+        total_qualified,
+    }
 }
 
 /// Per-query dispatch decision, computed once on the caller thread and
@@ -1023,8 +1080,10 @@ impl<D: DistributionMethod + Clone + Send + Sync + 'static> Executor<D> {
         if queries.is_empty() {
             return Vec::new();
         }
-        let planned: Vec<PlannedQuery> =
-            queries.iter().map(|q| plan_query(&self.sys, &*self.method, q)).collect();
+        let planned: Vec<PlannedQuery> = queries
+            .iter()
+            .map(|q| plan_query(&self.sys, &*self.method, q))
+            .collect();
         let effective = policy.effective_redundancy();
         self.execute_planned(&planned, policy)
             .into_iter()
@@ -1056,15 +1115,27 @@ impl<D: DistributionMethod + Clone + Send + Sync + 'static> Executor<D> {
             return Vec::new();
         }
         let workers = self.workers();
-        let _span =
-            pmr_rt::span!("exec.batch", queries = planned.len() as u64, devices = workers);
+        let _span = pmr_rt::span!(
+            "exec.batch",
+            queries = planned.len() as u64,
+            devices = workers
+        );
         obs::counter_add("exec.batch.queries", planned.len() as u64);
+        if let Some(capacity) = policy.cache {
+            // All devices, not just the range: buddy failover reads (and
+            // their mirror cache lines) may live outside it.
+            for dev in &self.devices {
+                dev.set_cache_capacity(capacity);
+            }
+        }
         let plans: Vec<QueryPlan> = planned
             .iter()
             .map(|p| {
                 let inverse = if p.fast_path {
-                    let fx =
-                        self.method.as_fx().expect("a fast plan implies an FX method");
+                    let fx = self
+                        .method
+                        .as_fx()
+                        .expect("a fast plan implies an FX method");
                     Some(FxInverse::new(fx, &p.query).into_parts())
                 } else {
                     None
@@ -1091,7 +1162,11 @@ impl<D: DistributionMethod + Clone + Send + Sync + 'static> Executor<D> {
             devices: self.devices.clone(),
             sys: self.sys.clone(),
             method: self.method.clone(),
-            buddies: if effective == Redundancy::Mirror { self.mirroring } else { None },
+            buddies: if effective == Redundancy::Mirror {
+                self.mirroring
+            } else {
+                None
+            },
             parity: if matches!(effective, Redundancy::Parity { .. }) {
                 self.parity.clone()
             } else {
@@ -1105,13 +1180,15 @@ impl<D: DistributionMethod + Clone + Send + Sync + 'static> Executor<D> {
         for device in self.range.clone() {
             let ctx = Arc::clone(&ctx);
             let tx = tx.clone();
-            self.pool.submit((device - self.range.start) as usize, move |scratch| {
-                batch_worker(&ctx, device, scratch, &tx)
-            });
+            self.pool
+                .submit((device - self.range.start) as usize, move |scratch| {
+                    batch_worker(&ctx, device, scratch, &tx)
+                });
         }
         drop(tx);
-        let mut yields: Vec<Vec<DeviceYield>> =
-            (0..queries_in_batch).map(|_| Vec::with_capacity(workers as usize)).collect();
+        let mut yields: Vec<Vec<DeviceYield>> = (0..queries_in_batch)
+            .map(|_| Vec::with_capacity(workers as usize))
+            .collect();
         for worker_yields in rx {
             for (query_index, yielded) in worker_yields {
                 yields[query_index].push(yielded);
@@ -1154,7 +1231,10 @@ fn batch_worker<D: DistributionMethod>(
         let codes: &mut Vec<u64> = scratch.get_or_default();
         codes.clear();
         let addresses_computed = if let Some((h, base_code, inv_plan)) = &plan.inverse {
-            let fx = ctx.method.as_fx().expect("a fast plan implies an FX method");
+            let fx = ctx
+                .method
+                .as_fx()
+                .expect("a fast plan implies an FX method");
             let inverse = FxInverse::from_parts(fx, *h, *base_code, Arc::clone(inv_plan));
             inverse.for_each_code_on(device, |code| codes.push(code));
             plan.free_combos + codes.len() as u64
@@ -1168,7 +1248,10 @@ fn batch_worker<D: DistributionMethod>(
             &ctx.devices,
             device,
             codes,
-            FailoverPath { buddy, parity: ctx.parity.as_deref() },
+            FailoverPath {
+                buddy,
+                parity: ctx.parity.as_deref(),
+            },
             &ctx.cost,
             &ctx.policy,
             addresses_computed,
@@ -1204,7 +1287,7 @@ fn device_worker<D: DistributionMethod>(
         }
         qualified_buckets += 1;
         match dev.read_bucket(code) {
-            Ok(recs) => records.extend(recs),
+            Ok(recs) => records.extend_from_slice(&recs),
             Err(e) => decode_error = Some(e),
         }
     });
@@ -1244,7 +1327,8 @@ mod tests {
         let fx = FxDistribution::auto(schema.system().clone()).unwrap();
         let mut file = DeclusteredFile::new(schema, fx, 5).unwrap();
         for i in 0..records {
-            file.insert(Record::new(vec![Value::Int(i), Value::Int(i % 16)])).unwrap();
+            file.insert(Record::new(vec![Value::Int(i), Value::Int(i % 16)]))
+                .unwrap();
         }
         file
     }
@@ -1267,7 +1351,10 @@ mod tests {
         let q = file.query(&[("k", Value::Int(7))]).unwrap();
         let report = execute_parallel(&file, &q, &CostModel::main_memory()).unwrap();
         let hist = report.histogram();
-        assert_eq!(hist.iter().sum::<u64>(), q.qualified_count_in(file.system()));
+        assert_eq!(
+            hist.iter().sum::<u64>(),
+            q.qualified_count_in(file.system())
+        );
         // FX auto is perfect optimal here: 8 qualified buckets over 4
         // devices → exactly 2 each.
         assert_eq!(hist, vec![2, 2, 2, 2]);
@@ -1278,10 +1365,18 @@ mod tests {
     fn speedup_reflects_parallelism() {
         let file = build_file(2000);
         let q = file.query(&[]).unwrap(); // full scan: 64 buckets
-        let cost = CostModel { seek_us: 0.0, transfer_us_per_bucket: 1.0, cpu_us_per_address: 0.0 };
+        let cost = CostModel {
+            seek_us: 0.0,
+            transfer_us_per_bucket: 1.0,
+            cpu_us_per_address: 0.0,
+        };
         let report = execute_parallel_scan(&file, &q, &cost).unwrap();
         // Perfectly balanced 64 buckets over 4 devices: speedup 4.
-        assert!((report.speedup() - 4.0).abs() < 1e-9, "speedup {}", report.speedup());
+        assert!(
+            (report.speedup() - 4.0).abs() < 1e-9,
+            "speedup {}",
+            report.speedup()
+        );
         assert_eq!(report.simulated_response_us, 16.0);
         assert_eq!(report.simulated_serial_us, 64.0);
     }
@@ -1323,7 +1418,11 @@ mod tests {
     #[test]
     fn fx_executor_matches_generic() {
         let file = build_file(800);
-        for specs in [vec![("cat", Value::Int(5))], vec![], vec![("k", Value::Int(2))]] {
+        for specs in [
+            vec![("cat", Value::Int(5))],
+            vec![],
+            vec![("k", Value::Int(2))],
+        ] {
             let q = file.query(&specs).unwrap();
             let generic = execute_parallel_scan(&file, &q, &CostModel::main_memory()).unwrap();
             let fx_exec = execute_parallel_fx(&file, &q, &CostModel::main_memory()).unwrap();
@@ -1335,10 +1434,16 @@ mod tests {
             b.sort_by_key(|r| format!("{r}"));
             assert_eq!(a, b);
             // The fast path evaluates at most as many addresses in total.
-            let generic_addr: u64 =
-                generic.per_device.iter().map(|d| d.addresses_computed).sum();
-            let fx_addr: u64 =
-                fx_exec.per_device.iter().map(|d| d.addresses_computed).sum();
+            let generic_addr: u64 = generic
+                .per_device
+                .iter()
+                .map(|d| d.addresses_computed)
+                .sum();
+            let fx_addr: u64 = fx_exec
+                .per_device
+                .iter()
+                .map(|d| d.addresses_computed)
+                .sum();
             assert!(fx_addr <= generic_addr);
         }
     }
@@ -1377,7 +1482,9 @@ mod tests {
         // `free_combos = |R(q)|/8`, fast wins iff
         // `96 + |R(q)| + 4·|R(q)|/8 < 4·|R(q)|`, i.e. |R(q)| > 38.4 —
         // so the full grid (64) is fast and a one-field query (8) scans.
-        let fully_specified = file.query(&[("k", Value::Int(1)), ("cat", Value::Int(2))]).unwrap();
+        let fully_specified = file
+            .query(&[("k", Value::Int(1)), ("cat", Value::Int(2))])
+            .unwrap();
         assert!(!fx_fast_path_pays_off(sys, file.method(), &fully_specified));
     }
 
@@ -1420,7 +1527,10 @@ mod tests {
         file.install_fault_plan(Some(Arc::new(
             pmr_rt::fault::FaultPlan::new(7).with_dead_device(1),
         )));
-        let policy = ExecPolicy { seed: 7, ..ExecPolicy::default() };
+        let policy = ExecPolicy {
+            seed: 7,
+            ..ExecPolicy::default()
+        };
         let q = file.query(&[("cat", Value::Int(3))]).unwrap();
         let batch = exec.execute_batch(std::slice::from_ref(&q), &policy);
         let mut want =
@@ -1517,7 +1627,11 @@ mod tests {
     #[test]
     fn policy_path_without_faults_matches_strict() {
         let file = build_file(600);
-        for specs in [vec![("cat", Value::Int(5))], vec![], vec![("k", Value::Int(2))]] {
+        for specs in [
+            vec![("cat", Value::Int(5))],
+            vec![],
+            vec![("k", Value::Int(2))],
+        ] {
             let q = file.query(&specs).unwrap();
             let strict = execute_parallel(&file, &q, &CostModel::main_memory()).unwrap();
             let policied =
@@ -1568,9 +1682,9 @@ mod tests {
             failover: false,
             redundancy: Redundancy::None,
             seed: 42,
+            cache: None,
         };
-        let faulted =
-            execute_parallel_with(&file, &q, &CostModel::main_memory(), &policy).unwrap();
+        let faulted = execute_parallel_with(&file, &q, &CostModel::main_memory(), &policy).unwrap();
         assert_eq!(faulted.coverage, 1.0, "lost {:?}", faulted.lost_buckets);
         let mut a = clean.records.clone();
         let mut b = faulted.records.clone();
@@ -1578,9 +1692,16 @@ mod tests {
         b.sort_by_key(|r| format!("{r}"));
         assert_eq!(a, b, "retried run must retrieve the same records");
         assert!(
-            faulted.per_device.iter().any(|d| matches!(d.outcome, DeviceOutcome::Retried(_))),
+            faulted
+                .per_device
+                .iter()
+                .any(|d| matches!(d.outcome, DeviceOutcome::Retried(_))),
             "rate 0.3 over 64 buckets should retry somewhere: {:?}",
-            faulted.per_device.iter().map(|d| d.outcome).collect::<Vec<_>>()
+            faulted
+                .per_device
+                .iter()
+                .map(|d| d.outcome)
+                .collect::<Vec<_>>()
         );
         assert!(
             faulted.simulated_response_us > clean.simulated_response_us,
@@ -1602,9 +1723,11 @@ mod tests {
         file.install_fault_plan(Some(Arc::new(
             pmr_rt::fault::FaultPlan::new(7).with_dead_device(1),
         )));
-        let policy = ExecPolicy { seed: 7, ..ExecPolicy::default() };
-        let faulted =
-            execute_parallel_with(&file, &q, &CostModel::main_memory(), &policy).unwrap();
+        let policy = ExecPolicy {
+            seed: 7,
+            ..ExecPolicy::default()
+        };
+        let faulted = execute_parallel_with(&file, &q, &CostModel::main_memory(), &policy).unwrap();
         assert_eq!(faulted.coverage, 1.0);
         assert!(faulted.lost_buckets.is_empty());
         assert_eq!(faulted.per_device[1].outcome, DeviceOutcome::FailedOver);
@@ -1658,11 +1781,20 @@ mod tests {
         let report =
             execute_parallel_with(&file, &q, &CostModel::main_memory(), &ExecPolicy::default())
                 .unwrap();
-        assert_eq!(report.coverage, 1.0, "mirror copy must serve the corrupted bucket");
+        assert_eq!(
+            report.coverage, 1.0,
+            "mirror copy must serve the corrupted bucket"
+        );
         assert!(report.records.contains(&r));
-        assert_eq!(report.per_device[device as usize].outcome, DeviceOutcome::FailedOver);
+        assert_eq!(
+            report.per_device[device as usize].outcome,
+            DeviceOutcome::FailedOver
+        );
         // Without failover, the bucket is lost but the execution completes.
-        let no_failover = ExecPolicy { failover: false, ..ExecPolicy::default() };
+        let no_failover = ExecPolicy {
+            failover: false,
+            ..ExecPolicy::default()
+        };
         let degraded =
             execute_parallel_with(&file, &q, &CostModel::main_memory(), &no_failover).unwrap();
         assert_eq!(degraded.lost_buckets, vec![index]);
@@ -1696,7 +1828,8 @@ mod tests {
         let method = SumMod(schema.system().clone());
         let mut file = DeclusteredFile::new(schema, method, 5).unwrap();
         for i in 0..200 {
-            file.insert(Record::new(vec![Value::Int(i), Value::Int(i % 16)])).unwrap();
+            file.insert(Record::new(vec![Value::Int(i), Value::Int(i % 16)]))
+                .unwrap();
         }
         file.enable_mirroring();
         file.install_fault_plan(Some(Arc::new(
@@ -1719,13 +1852,23 @@ mod tests {
     fn redundancy_parse_round_trips() {
         assert_eq!(Redundancy::parse("none"), Ok(Redundancy::None));
         assert_eq!(Redundancy::parse("mirror"), Ok(Redundancy::Mirror));
-        assert_eq!(Redundancy::parse("parity"), Ok(Redundancy::Parity { k: 4, r: 2 }));
-        assert_eq!(Redundancy::parse(" parity:3,1 "), Ok(Redundancy::Parity { k: 3, r: 1 }));
+        assert_eq!(
+            Redundancy::parse("parity"),
+            Ok(Redundancy::Parity { k: 4, r: 2 })
+        );
+        assert_eq!(
+            Redundancy::parse(" parity:3,1 "),
+            Ok(Redundancy::Parity { k: 3, r: 1 })
+        );
         assert!(Redundancy::parse("raid6").is_err());
         assert!(Redundancy::parse("parity:0,2").is_err());
         assert!(Redundancy::parse("parity:4").is_err());
         assert!(Redundancy::parse("parity:4,x").is_err());
-        for r in [Redundancy::None, Redundancy::Mirror, Redundancy::Parity { k: 4, r: 2 }] {
+        for r in [
+            Redundancy::None,
+            Redundancy::Mirror,
+            Redundancy::Parity { k: 4, r: 2 },
+        ] {
             let spec = match r {
                 Redundancy::Parity { k, r } => format!("parity:{k},{r}"),
                 other => other.to_string(),
@@ -1746,21 +1889,22 @@ mod tests {
             ..ExecPolicy::default()
         };
         let q = file.query(&[]).unwrap();
-        let clean =
-            execute_parallel_with(&file, &q, &CostModel::main_memory(), &policy).unwrap();
+        let clean = execute_parallel_with(&file, &q, &CostModel::main_memory(), &policy).unwrap();
         assert_eq!(clean.reconstructions(), 0);
 
         file.install_fault_plan(Some(Arc::new(
             pmr_rt::fault::FaultPlan::new(9).with_dead_device(1),
         )));
-        let report =
-            execute_parallel_with(&file, &q, &CostModel::main_memory(), &policy).unwrap();
+        let report = execute_parallel_with(&file, &q, &CostModel::main_memory(), &policy).unwrap();
         file.install_fault_plan(None);
 
         assert_eq!(report.coverage, 1.0, "parity must serve the dead device");
         assert_eq!(report.per_device[1].outcome, DeviceOutcome::Reconstructed);
         assert!(report.per_device[1].reconstructions > 0);
-        assert_eq!(report.reconstructions(), u64::from(report.per_device[1].reconstructions));
+        assert_eq!(
+            report.reconstructions(),
+            u64::from(report.per_device[1].reconstructions)
+        );
         assert_eq!(report.redundancy, Redundancy::Parity { k: 2, r: 1 });
         let mut got = report.records.clone();
         let mut want = clean.records.clone();
@@ -1783,24 +1927,33 @@ mod tests {
             failover: true,
             redundancy: Redundancy::Parity { k: 2, r: 1 },
             seed: 0,
+            cache: None,
         };
         let q = file.query(&[]).unwrap();
         file.install_fault_plan(Some(Arc::new(
             pmr_rt::fault::FaultPlan::new(9).with_dead_device(1),
         )));
-        let report =
-            execute_parallel_with(&file, &q, &CostModel::main_memory(), &policy).unwrap();
+        let report = execute_parallel_with(&file, &q, &CostModel::main_memory(), &policy).unwrap();
         assert!(report.coverage < 1.0);
         assert_eq!(report.per_device[1].outcome, DeviceOutcome::Lost);
         assert_eq!(report.reconstructions(), 0);
 
         let mut file = file;
         assert!(file.enable_parity(2, 1));
-        let killed = ExecPolicy { failover: false, ..policy };
-        let report =
-            execute_parallel_with(&file, &q, &CostModel::main_memory(), &killed).unwrap();
+        let killed = ExecPolicy {
+            failover: false,
+            ..policy
+        };
+        let report = execute_parallel_with(&file, &q, &CostModel::main_memory(), &killed).unwrap();
         file.install_fault_plan(None);
-        assert!(report.coverage < 1.0, "failover:false must disable parity too");
-        assert_eq!(report.redundancy, Redundancy::None, "effective tier is reported");
+        assert!(
+            report.coverage < 1.0,
+            "failover:false must disable parity too"
+        );
+        assert_eq!(
+            report.redundancy,
+            Redundancy::None,
+            "effective tier is reported"
+        );
     }
 }

@@ -31,7 +31,10 @@ pub enum FileError {
 impl std::fmt::Display for FileError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            FileError::SystemMismatch { schema_system, method_system } => write!(
+            FileError::SystemMismatch {
+                schema_system,
+                method_system,
+            } => write!(
                 f,
                 "distribution method system ({method_system}) does not match schema \
                  system ({schema_system})"
@@ -171,6 +174,15 @@ impl<D: DistributionMethod> DeclusteredFile<D> {
         }
     }
 
+    /// Sets the decoded-page cache capacity (in pages, 0 disables) on
+    /// every device. Purely a wall-clock knob: query results and
+    /// simulated costs are identical at any setting.
+    pub fn set_cache_capacity(&self, capacity: usize) {
+        for device in &self.devices {
+            device.set_cache_capacity(capacity);
+        }
+    }
+
     /// The schema.
     pub fn schema(&self) -> &Schema {
         self.mkh.schema()
@@ -275,7 +287,9 @@ impl<D: DistributionMethod> DeclusteredFile<D> {
         let mirroring = self.mirroring;
         let records = Arc::new(records);
         let codes = Arc::new(codes);
-        let workers = std::thread::available_parallelism().map_or(1, |p| p.get()).min(m);
+        let workers = std::thread::available_parallelism()
+            .map_or(1, |p| p.get())
+            .min(m);
         let pool = (workers > 1).then(|| pmr_rt::pool::resident::ResidentPool::new(workers));
         let (tx, rx) = std::sync::mpsc::channel::<()>();
         let mut jobs = 0usize;
@@ -284,7 +298,8 @@ impl<D: DistributionMethod> DeclusteredFile<D> {
         while start < records.len() {
             let end = (start + CHUNK).min(records.len());
             let n = end - start;
-            self.method.device_of_batch(&codes[start..end], &mut devs[..n]);
+            self.method
+                .device_of_batch(&codes[start..end], &mut devs[..n]);
             pmr_rt::obs::counter_add("insert.batched_records", n as u64);
             // Stable counting sort of the chunk's record indices into
             // per-device runs: run `d` is `order[offsets[d]..offsets[d+1]]`,
@@ -376,7 +391,10 @@ impl<D: DistributionMethod> DeclusteredFile<D> {
 
     /// Per-device resident-bucket counts — the static balance of the file.
     pub fn bucket_occupancy(&self) -> Vec<usize> {
-        self.devices.iter().map(|d| d.resident_bucket_count()).collect()
+        self.devices
+            .iter()
+            .map(|d| d.resident_bucket_count())
+            .collect()
     }
 
     /// Per-device record counts.
@@ -468,7 +486,7 @@ impl<D: DistributionMethod> DeclusteredFile<D> {
         let mut it = query.qualified_buckets(sys);
         while let Some(code) = it.next_code() {
             let device = self.method.device_of_packed(code);
-            out.extend(self.devices[device as usize].read_bucket(code)?);
+            out.extend_from_slice(&self.devices[device as usize].read_bucket(code)?);
         }
         Ok(out)
     }
@@ -594,7 +612,9 @@ mod tests {
         let fx = FxDistribution::auto(schema.system().clone()).unwrap();
         let mut file = DeclusteredFile::new(schema, fx, 7).unwrap();
         file.insert_all(sample_records(400)).unwrap();
-        let got = file.retrieve_exact(&[("author", "author3".into())]).unwrap();
+        let got = file
+            .retrieve_exact(&[("author", "author3".into())])
+            .unwrap();
         let expected: Vec<Record> = sample_records(400)
             .into_iter()
             .filter(|r| r.values()[0] == Value::from("author3"))
@@ -641,8 +661,8 @@ mod tests {
             let buddy = &file.devices()[pairing.buddy_of(device.id()) as usize];
             for bucket in device.resident_buckets() {
                 assert_eq!(
-                    device.read_bucket(bucket).unwrap(),
-                    buddy.read_mirror_attempt(bucket, 0).unwrap().records,
+                    &*device.read_bucket(bucket).unwrap(),
+                    &*buddy.read_mirror_attempt(bucket, 0).unwrap().records,
                     "mirror mismatch on bucket {bucket}"
                 );
             }
@@ -684,8 +704,7 @@ mod tests {
         let fx2 = FxDistribution::auto(grown.system().clone()).unwrap();
         let file = file.redistribute(grown, fx2).unwrap();
         assert!(file.mirroring().is_some());
-        let mirrored: usize =
-            file.devices().iter().map(|d| d.mirror_bucket_count()).sum();
+        let mirrored: usize = file.devices().iter().map(|d| d.mirror_bucket_count()).sum();
         let primary: usize = file.bucket_occupancy().iter().sum();
         assert_eq!(mirrored, primary);
     }

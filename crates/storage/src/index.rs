@@ -44,11 +44,18 @@ impl LocalBucketIndex {
         let layout = sys.packed_layout();
         for &bucket in &all {
             for field in 0..layout.num_fields() {
-                postings.entry((field, layout.field(bucket, field))).or_default().push(bucket);
+                postings
+                    .entry((field, layout.field(bucket, field)))
+                    .or_default()
+                    .push(bucket);
             }
         }
         // resident_buckets() is sorted, so postings inherit sortedness.
-        LocalBucketIndex { postings, all, num_fields: sys.num_fields() }
+        LocalBucketIndex {
+            postings,
+            all,
+            num_fields: sys.num_fields(),
+        }
     }
 
     /// Resident buckets qualifying for `query` (sorted).

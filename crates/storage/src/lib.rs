@@ -14,6 +14,8 @@
 //!   [`pmr_rt::buf`] zero-copy buffers.
 //! * [`device`] — a simulated device: bucket-addressed store plus access
 //!   accounting, guarded by a [`pmr_rt::sync`] lock for parallel workers.
+//! * [`cache`] — the per-device decoded-page cache: `Arc`-shared hot
+//!   reads with generation invalidation and CLOCK eviction.
 //! * [`mod@file`] — [`DeclusteredFile`]: schema + multi-key hash + distribution
 //!   method + `M` devices; insertion and querying.
 //! * [`exec`] — the parallel query executor (one [`pmr_rt::pool`] worker
@@ -33,6 +35,7 @@
 #![warn(rust_2018_idioms)]
 #![forbid(unsafe_code)]
 
+pub mod cache;
 pub mod cost;
 pub mod device;
 pub mod encode;
@@ -47,7 +50,7 @@ pub mod persist;
 pub use cost::CostModel;
 pub use device::{BucketRead, Device, ReadFault};
 pub use exec::{
-    DeviceOutcome, DeviceReport, DeviceYield, ExecPolicy, ExecutionReport, Executor,
-    PlannedQuery, Redundancy,
+    DeviceOutcome, DeviceReport, DeviceYield, ExecPolicy, ExecutionReport, Executor, PlannedQuery,
+    Redundancy,
 };
 pub use file::DeclusteredFile;

@@ -35,7 +35,10 @@ impl BalanceMetrics {
     /// Panics on an empty histogram (a system always has `M >= 1`
     /// devices).
     pub fn of(histogram: &[u64]) -> Self {
-        assert!(!histogram.is_empty(), "histogram must cover at least one device");
+        assert!(
+            !histogram.is_empty(),
+            "histogram must cover at least one device"
+        );
         let devices = histogram.len() as u64;
         let total: u64 = histogram.iter().sum();
         let largest = histogram.iter().copied().max().unwrap_or(0);
@@ -49,7 +52,11 @@ impl BalanceMetrics {
             })
             .sum::<f64>()
             / devices as f64;
-        let imbalance = if total == 0 { 1.0 } else { largest as f64 / optimal as f64 };
+        let imbalance = if total == 0 {
+            1.0
+        } else {
+            largest as f64 / optimal as f64
+        };
         BalanceMetrics {
             devices,
             total,

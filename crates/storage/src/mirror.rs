@@ -110,8 +110,14 @@ mod tests {
         let pairing = Mirroring::new(4).unwrap();
         pairing.mirror_resident(&devices);
         // Buddy of 0 is 2, buddy of 3 is 1.
-        assert_eq!(devices[2].read_mirror_attempt(10, 0).unwrap().records, vec![rec(1), rec(2)]);
-        assert_eq!(devices[1].read_mirror_attempt(7, 0).unwrap().records, vec![rec(3)]);
+        assert_eq!(
+            &*devices[2].read_mirror_attempt(10, 0).unwrap().records,
+            &[rec(1), rec(2)][..]
+        );
+        assert_eq!(
+            &*devices[1].read_mirror_attempt(7, 0).unwrap().records,
+            &[rec(3)][..]
+        );
         // Primary stores untouched; no phantom occupancy on buddies.
         assert_eq!(devices[2].resident_bucket_count(), 0);
         assert_eq!(devices[1].records_written(), 0);
@@ -123,7 +129,10 @@ mod tests {
         let pairing = Mirroring::new(2).unwrap();
         devices[0].append(5, &rec(9));
         pairing.mirror_record(&devices, 0, 5, &rec(9));
-        assert_eq!(devices[1].read_mirror_attempt(5, 0).unwrap().records, vec![rec(9)]);
+        assert_eq!(
+            &*devices[1].read_mirror_attempt(5, 0).unwrap().records,
+            &[rec(9)][..]
+        );
         assert_eq!(
             devices[0].read_bucket(5).unwrap(),
             devices[1].read_mirror_attempt(5, 0).unwrap().records

@@ -149,7 +149,12 @@ impl ParityStore {
             return None;
         }
         let rs = ReedSolomon::new(k, r).ok()?;
-        Some(ParityStore { k, r, rs, dir: RwLock::new(Directory::default()) })
+        Some(ParityStore {
+            k,
+            r,
+            rs,
+            dir: RwLock::new(Directory::default()),
+        })
     }
 
     /// Data shards per stripe.
@@ -174,7 +179,11 @@ impl ParityStore {
         let dir = self.dir.read();
         let &(s, _) = dir.by_code.get(&code)?;
         let stripe = &dir.stripes[s];
-        Some((0..self.k + self.r).map(|j| stripe.anchor ^ j as u64).collect())
+        Some(
+            (0..self.k + self.r)
+                .map(|j| stripe.anchor ^ j as u64)
+                .collect(),
+        )
     }
 
     /// Records that `code` (homed on device `home`) was appended to and
@@ -190,7 +199,11 @@ impl ParityStore {
     /// `(code, home)` pair, then re-encodes each touched stripe once —
     /// the `insert_all_parallel` streaming path calls this after its
     /// append barrier.
-    pub fn note_appends(&self, devices: &[Arc<Device>], codes: impl IntoIterator<Item = (u64, u64)>) {
+    pub fn note_appends(
+        &self,
+        devices: &[Arc<Device>],
+        codes: impl IntoIterator<Item = (u64, u64)>,
+    ) {
         let mut dir = self.dir.write();
         let mut touched: Vec<usize> = codes
             .into_iter()
@@ -306,12 +319,18 @@ impl ParityStore {
         // failed transiently but the raw bytes are clean) — either way,
         // interpolation needs k usable shards total.
         if have < self.k {
-            return Err(ReconstructError::TooFewShards { have, needed: self.k });
+            return Err(ReconstructError::TooFewShards {
+                have,
+                needed: self.k,
+            });
         }
         shards[slot] = None; // rebuild the target from the others' span
         self.rs
             .reconstruct(&mut shards)
-            .map_err(|_| ReconstructError::TooFewShards { have, needed: self.k })?;
+            .map_err(|_| ReconstructError::TooFewShards {
+                have,
+                needed: self.k,
+            })?;
         let mut page = shards[slot].take().expect("reconstruct fills every slot");
         page.truncate(target.len as usize);
         if crc32(&page) != target.crc {
@@ -319,7 +338,11 @@ impl ParityStore {
         }
         let records = encode::decode_all(pmr_rt::buf::Bytes::copy_from_slice(&page))
             .map_err(ReconstructError::Decode)?;
-        Ok(ReconstructedPage { records, shard_reads, injected_latency_us })
+        Ok(ReconstructedPage {
+            records,
+            shard_reads,
+            injected_latency_us,
+        })
     }
 
     /// Finds or creates the (stripe, slot) for `code` homed on `home`.
@@ -341,12 +364,19 @@ impl ParityStore {
                     parity_crcs: vec![0; self.r],
                 });
                 for j in 1..self.k {
-                    dir.free_slots.entry(home ^ j as u64).or_default().push((s, j));
+                    dir.free_slots
+                        .entry(home ^ j as u64)
+                        .or_default()
+                        .push((s, j));
                 }
                 (s, 0)
             }
         };
-        dir.stripes[s].members[slot] = Some(Member { code, len: 0, crc: 0 });
+        dir.stripes[s].members[slot] = Some(Member {
+            code,
+            len: 0,
+            crc: 0,
+        });
         dir.by_code.insert(code, (s, slot));
         (s, slot)
     }
@@ -465,8 +495,7 @@ mod tests {
                 d.set_fault_plan(Some(Arc::clone(&plan)));
             }
             for dead in [a, b] {
-                let expect: Vec<Record> =
-                    (0..3).map(|n| rec((dead * 10 + n) as i64)).collect();
+                let expect: Vec<Record> = (0..3).map(|n| rec((dead * 10 + n) as i64)).collect();
                 let got = store.reconstruct(&devices, dead, 0).unwrap();
                 assert_eq!(got.records, expect, "device {dead} with {a},{b} dead");
                 assert!(got.shard_reads > 0);
@@ -566,7 +595,10 @@ mod tests {
         for d in &devices {
             d.set_fault_plan(Some(Arc::clone(&plan)));
         }
-        assert_eq!(store.reconstruct(&devices, 5, 0).unwrap().records, vec![rec(5)]);
+        assert_eq!(
+            store.reconstruct(&devices, 5, 0).unwrap().records,
+            vec![rec(5)]
+        );
     }
 
     /// k = 1 stripes are r plain copies: any member reconstructs with
@@ -578,11 +610,16 @@ mod tests {
         put(&store, &devices, 2, 9, &rec(1));
         let ds = store.stripe_devices_of(9).unwrap();
         let plan = Arc::new(
-            FaultPlan::new(1).with_dead_device(ds[0]).with_dead_device(ds[1]),
+            FaultPlan::new(1)
+                .with_dead_device(ds[0])
+                .with_dead_device(ds[1]),
         );
         for d in &devices {
             d.set_fault_plan(Some(Arc::clone(&plan)));
         }
-        assert_eq!(store.reconstruct(&devices, 9, 0).unwrap().records, vec![rec(1)]);
+        assert_eq!(
+            store.reconstruct(&devices, 9, 0).unwrap().records,
+            vec![rec(1)]
+        );
     }
 }

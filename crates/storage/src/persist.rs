@@ -64,7 +64,10 @@ impl std::fmt::Display for PersistError {
             PersistError::Io(e) => write!(f, "i/o error: {e}"),
             PersistError::BadManifest(m) => write!(f, "bad manifest: {m}"),
             PersistError::SchemaMismatch { on_disk, supplied } => {
-                write!(f, "snapshot taken for {on_disk}, supplied schema is {supplied}")
+                write!(
+                    f,
+                    "snapshot taken for {on_disk}, supplied schema is {supplied}"
+                )
             }
             PersistError::BadFrame(m) => write!(f, "bad device frame: {m}"),
             PersistError::File(e) => write!(f, "{e}"),
@@ -148,7 +151,9 @@ pub fn load<D: DistributionMethod>(
     }
     let shape_len = read_u32(&mut manifest)? as usize;
     if shape_len > 64 {
-        return Err(PersistError::BadManifest(format!("absurd shape length {shape_len}")));
+        return Err(PersistError::BadManifest(format!(
+            "absurd shape length {shape_len}"
+        )));
     }
     let mut shape = Vec::with_capacity(shape_len);
     for _ in 0..shape_len {
@@ -247,8 +252,11 @@ mod tests {
         let fx = FxDistribution::auto(schema.system().clone()).unwrap();
         let mut file = DeclusteredFile::new(schema, fx, seed).unwrap();
         for i in 0..records {
-            file.insert(Record::new(vec![Value::Int(i), format!("t{}", i % 7).into()]))
-                .unwrap();
+            file.insert(Record::new(vec![
+                Value::Int(i),
+                format!("t{}", i % 7).into(),
+            ]))
+            .unwrap();
         }
         file
     }

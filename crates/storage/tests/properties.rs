@@ -19,6 +19,20 @@ fn gen_record(src: &mut Source) -> Record {
     Record::new(values)
 }
 
+/// A heavyweight generator: arities up to 8 mixing ints, empty strings,
+/// empty byte payloads, and multi-KiB strings and blobs — the shapes a
+/// page decode has to copy exactly once each.
+fn gen_bulky_record(src: &mut Source) -> Record {
+    let values = src.vec_of(0..=8, |s| match s.arm(5) {
+        0 => Value::Int(s.any_i64()),
+        1 => Value::Str(String::new()),
+        2 => Value::Str(s.string_of(' '..='~', 1024..=4096)),
+        3 => Value::Bytes(Vec::new()),
+        _ => Value::Bytes(s.vec_of(1024..=6000, |s| s.any_u8())),
+    });
+    Record::new(values)
+}
+
 rt_proptest! {
     /// Record encoding round-trips arbitrary values, including empty
     /// records and empty payloads.
@@ -30,6 +44,50 @@ rt_proptest! {
         }
         let decoded = encode::decode_all(buf.freeze()).unwrap();
         assert_eq!(decoded, records);
+    }
+
+    /// Round trip survives bulky shapes — random arity, empty strings
+    /// and blobs, multi-KiB payloads — through both the whole-region
+    /// decode and the one-record-at-a-time cursor decode.
+    fn encode_round_trip_bulky_payloads(src) {
+        let records = src.vec_of(0..=6, gen_bulky_record);
+        let mut buf = BytesMut::new();
+        for r in &records {
+            encode::encode_record(r, &mut buf);
+        }
+        let region = buf.freeze();
+        assert_eq!(encode::decode_all(region.clone()).unwrap(), records);
+
+        // Streaming decode consumes the same region record-by-record.
+        let mut cursor = region;
+        let mut streamed = Vec::new();
+        while !cursor.is_empty() {
+            streamed.push(encode::decode_record(&mut cursor).unwrap());
+        }
+        assert_eq!(streamed, records);
+    }
+
+    /// Decode is lossless for the encoder: re-encoding the decoded
+    /// records reproduces the original region byte-for-byte, so a page
+    /// can round-trip through the decoded cache and back without drift.
+    fn re_encode_after_decode_is_byte_stable(src) {
+        let records = if src.weighted(0.5) {
+            src.vec_of(0..=11, gen_record)
+        } else {
+            src.vec_of(0..=4, gen_bulky_record)
+        };
+        let mut buf = BytesMut::new();
+        for r in &records {
+            encode::encode_record(r, &mut buf);
+        }
+        let original = buf.freeze();
+
+        let decoded = encode::decode_all(original.clone()).unwrap();
+        let mut again = BytesMut::new();
+        for r in &decoded {
+            encode::encode_record(r, &mut again);
+        }
+        assert_eq!(&again.freeze()[..], &original[..]);
     }
 
     /// Any strict prefix of an encoded non-empty region fails to decode

@@ -24,7 +24,10 @@ fn main() {
     // none of Theorems 4-9 apply and the best closed-form assignment
     // leaves one query pattern unbalanced.
     let sys = SystemConfig::new(&[4, 4, 4, 4], 16).expect("valid configuration");
-    println!("system: {sys} — {} small fields\n", sys.small_fields().len());
+    println!(
+        "system: {sys} — {} small fields\n",
+        sys.small_fields().len()
+    );
 
     for (name, strategy) in [
         ("basic (no transforms)", AssignmentStrategy::Basic),
@@ -32,8 +35,7 @@ fn main() {
         ("cycle I,U,IU2", AssignmentStrategy::CycleIu2),
         ("theorem-9 heuristic", AssignmentStrategy::TheoremNine),
     ] {
-        let fx = FxDistribution::with_strategy(sys.clone(), strategy)
-            .expect("valid configuration");
+        let fx = FxDistribution::with_strategy(sys.clone(), strategy).expect("valid configuration");
         println!(
             "closed form {name:<22} perfect optimal: {}",
             is_perfect_optimal(&fx, &sys)
@@ -41,7 +43,12 @@ fn main() {
     }
 
     println!("\nannealing generalized tables…");
-    let options = AnnealOptions { steps: 4_000, initial_temperature: 4.0, seed: 7, restarts: 6 };
+    let options = AnnealOptions {
+        steps: 4_000,
+        initial_temperature: 4.0,
+        seed: 7,
+        restarts: 6,
+    };
     let result = anneal(&sys, &options).expect("valid configuration");
     println!(
         "objective {} (analytic bound {}), strict-optimal patterns {}/{}",

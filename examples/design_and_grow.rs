@@ -25,8 +25,14 @@ fn main() {
     };
     let design = design_field_bits(&input).expect("valid design input");
     println!("query statistics  : {:?}", input.spec_probability);
-    println!("bit allocation    : {:?} (field sizes {:?})", design.bits, design.field_sizes);
-    println!("expected buckets  : {:.1} per query\n", design.expected_buckets);
+    println!(
+        "bit allocation    : {:?} (field sizes {:?})",
+        design.bits, design.field_sizes
+    );
+    println!(
+        "expected buckets  : {:.1} per query\n",
+        design.expected_buckets
+    );
 
     // Build the schema from the design and open a dynamic directory.
     let names = ["author", "year", "subject", "language"];
@@ -34,7 +40,10 @@ fn main() {
     for (name, &size) in names.iter().zip(&design.field_sizes) {
         builder = builder.field(*name, FieldType::Str, size);
     }
-    let schema = builder.devices(8).build().expect("designed schema is valid");
+    let schema = builder
+        .devices(8)
+        .build()
+        .expect("designed schema is valid");
     let mut dir = DynamicDirectory::new(schema, 99);
 
     // Grow the file: each expansion doubles one field. After every step,

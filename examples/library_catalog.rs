@@ -15,21 +15,37 @@ use pmr::baselines::ModuloDistribution;
 use pmr::core::method::DistributionMethod;
 use pmr::core::FxDistribution;
 use pmr::mkh::{FieldType, Record, Schema, Value};
+use pmr::rt::Rng;
 use pmr::storage::exec::execute_parallel;
 use pmr::storage::metrics::BalanceMetrics;
 use pmr::storage::{CostModel, DeclusteredFile};
-use pmr::rt::Rng;
 
 /// Catalog seed — override with `PMR_SEED` for a different synthetic
 /// library.
 const SEED: u64 = 7;
 
 const AUTHORS: &[&str] = &[
-    "Knuth", "Codd", "Rivest", "Gray", "Stonebraker", "Dijkstra", "Lamport",
-    "Bachman", "McCarthy", "Hopper", "Liskov", "Hamilton",
+    "Knuth",
+    "Codd",
+    "Rivest",
+    "Gray",
+    "Stonebraker",
+    "Dijkstra",
+    "Lamport",
+    "Bachman",
+    "McCarthy",
+    "Hopper",
+    "Liskov",
+    "Hamilton",
 ];
 const SUBJECTS: &[&str] = &[
-    "databases", "algorithms", "os", "networks", "graphics", "ai", "crypto",
+    "databases",
+    "algorithms",
+    "os",
+    "networks",
+    "graphics",
+    "ai",
+    "crypto",
     "compilers",
 ];
 const LANGUAGES: &[&str] = &["en", "de", "fr", "jp"];

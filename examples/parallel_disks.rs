@@ -28,7 +28,11 @@ fn main() {
     let methods: [(&str, &dyn DistributionMethod); 3] =
         [("Modulo", &dm), ("GDM1", &gdm), ("FX", &fx)];
 
-    println!("disk array: {sys}, {:.0} ms seek + {:.0} ms/bucket", cost.seek_us / 1000.0, cost.transfer_us_per_bucket / 1000.0);
+    println!(
+        "disk array: {sys}, {:.0} ms seek + {:.0} ms/bucket",
+        cost.seek_us / 1000.0,
+        cost.transfer_us_per_bucket / 1000.0
+    );
     println!();
     println!(
         "{:<4} {:>10} {:>22} {:>22} {:>22}",

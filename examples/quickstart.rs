@@ -18,7 +18,11 @@ fn main() {
     // PERFECT optimal — every partial match query is spread as evenly as
     // arithmetic allows.
     let fx = FxDistribution::auto(sys.clone()).expect("valid configuration");
-    println!("method: {} (transforms {})", fx.name(), fx.assignment().describe());
+    println!(
+        "method: {} (transforms {})",
+        fx.name(),
+        fx.assignment().describe()
+    );
 
     // Where does bucket <3, 5, 1> live?
     let bucket = [3, 5, 1];
@@ -28,7 +32,10 @@ fn main() {
     // It qualifies 8 · 4 = 32 buckets.
     let query = PartialMatchQuery::new(&sys, &[None, Some(5), None]).unwrap();
     let histogram = optimality::response_histogram(&fx, &sys, &query);
-    println!("\nquery {query}: {} qualified buckets", query.qualified_count_in(&sys));
+    println!(
+        "\nquery {query}: {} qualified buckets",
+        query.qualified_count_in(&sys)
+    );
     println!("per-device response sizes: {histogram:?}");
     println!(
         "largest response {} vs optimal bound {} -> strict optimal: {}",

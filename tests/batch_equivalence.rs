@@ -20,16 +20,29 @@ use pmr_mkh::{FieldType, Record, Schema, Value};
 use pmr_rt::check::Source;
 use pmr_rt::fault::{FaultPlan, RetryPolicy};
 use pmr_rt::rt_proptest;
-use pmr_storage::exec::{execute_parallel_with, ExecPolicy, Executor, Redundancy};
+use pmr_storage::exec::{
+    execute_parallel, execute_parallel_with, ExecPolicy, Executor, Redundancy,
+};
 use pmr_storage::{CostModel, DeclusteredFile};
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 
 const SEED: u64 = 0xBA7C;
+
+/// Serialises fault-plan installs and cache-capacity toggles on the
+/// shared `'static` fixtures: both properties mutate device-wide state,
+/// and `cargo test` runs them on concurrent threads.
+fn plan_gate() -> &'static Mutex<()> {
+    static GATE: OnceLock<Mutex<()>> = OnceLock::new();
+    GATE.get_or_init(|| Mutex::new(()))
+}
 
 /// The paper's Table 7 system (6 fields of 8 buckets, M = 32), mirrored,
 /// built once: the resident executor's 32 workers are shared by every
 /// case, which is exactly the deployment model under test.
-fn table7() -> (&'static DeclusteredFile<FxDistribution>, &'static Executor<FxDistribution>) {
+fn table7() -> (
+    &'static DeclusteredFile<FxDistribution>,
+    &'static Executor<FxDistribution>,
+) {
     static STATE: OnceLock<(DeclusteredFile<FxDistribution>, Executor<FxDistribution>)> =
         OnceLock::new();
     let (file, exec) = STATE.get_or_init(|| {
@@ -38,17 +51,56 @@ fn table7() -> (&'static DeclusteredFile<FxDistribution>, &'static Executor<FxDi
         for (i, &size) in sys.field_sizes().iter().enumerate() {
             builder = builder.field(format!("f{i}"), FieldType::Int, size);
         }
-        let schema = builder.devices(sys.devices()).build().expect("system is valid");
+        let schema = builder
+            .devices(sys.devices())
+            .build()
+            .expect("system is valid");
         let fx = FxDistribution::auto(sys.clone()).expect("auto always assigns");
         let mut file = DeclusteredFile::new(schema, fx, SEED).expect("schema matches system");
         assert!(file.enable_mirroring());
         for i in 0..2_000i64 {
-            let values: Vec<Value> =
-                (0..sys.num_fields()).map(|f| Value::Int(i * 131 + f as i64 * 7)).collect();
-            file.insert(Record::new(values)).expect("records type-check");
+            let values: Vec<Value> = (0..sys.num_fields())
+                .map(|f| Value::Int(i * 131 + f as i64 * 7))
+                .collect();
+            file.insert(Record::new(values))
+                .expect("records type-check");
         }
         // Mirroring is enabled before construction: the executor
         // snapshots the buddy pairing.
+        let exec = Executor::new(&file, CostModel::main_memory());
+        (file, exec)
+    });
+    (file, exec)
+}
+
+/// Parity twin of [`table7`]: the same system and load, protected by
+/// `Parity{k = 4, r = 2}` stripes instead of buddy mirrors.
+fn table7_parity() -> (
+    &'static DeclusteredFile<FxDistribution>,
+    &'static Executor<FxDistribution>,
+) {
+    static STATE: OnceLock<(DeclusteredFile<FxDistribution>, Executor<FxDistribution>)> =
+        OnceLock::new();
+    let (file, exec) = STATE.get_or_init(|| {
+        let sys = SystemConfig::new(&[8; 6], 32).unwrap();
+        let mut builder = Schema::builder();
+        for (i, &size) in sys.field_sizes().iter().enumerate() {
+            builder = builder.field(format!("f{i}"), FieldType::Int, size);
+        }
+        let schema = builder
+            .devices(sys.devices())
+            .build()
+            .expect("system is valid");
+        let fx = FxDistribution::auto(sys.clone()).expect("auto always assigns");
+        let mut file = DeclusteredFile::new(schema, fx, SEED).expect("schema matches system");
+        for i in 0..2_000i64 {
+            let values: Vec<Value> = (0..sys.num_fields())
+                .map(|f| Value::Int(i * 131 + f as i64 * 7))
+                .collect();
+            file.insert(Record::new(values))
+                .expect("records type-check");
+        }
+        assert!(file.enable_parity(4, 2), "k + r = 6 <= 32 devices");
         let exec = Executor::new(&file, CostModel::main_memory());
         (file, exec)
     });
@@ -69,7 +121,11 @@ fn gen_query(src: &mut Source, sys: &SystemConfig) -> PartialMatchQuery {
     }
     let values: Vec<Option<u64>> = (0..n)
         .map(|i| {
-            if free.contains(&i) { None } else { Some(src.int_in(0, sys.field_size(i) - 1)) }
+            if free.contains(&i) {
+                None
+            } else {
+                Some(src.int_in(0, sys.field_size(i) - 1))
+            }
         })
         .collect();
     PartialMatchQuery::new(sys, &values).expect("values in range")
@@ -93,6 +149,13 @@ rt_proptest! {
             failover: src.weighted(0.8),
             redundancy: Redundancy::Mirror,
             seed: src.any_u64(),
+            // Random cache capacity, including disabled: batch reports
+            // must be bit-equal at any setting.
+            cache: match src.arm(3) {
+                0 => None,
+                1 => Some(0),
+                _ => Some(src.int_in(1, 128) as usize),
+            },
         };
         let plan = if src.weighted(0.5) {
             let mut plan = FaultPlan::new(src.any_u64());
@@ -107,6 +170,7 @@ rt_proptest! {
             None
         };
 
+        let _gate = plan_gate().lock().unwrap_or_else(|e| e.into_inner());
         file.install_fault_plan(plan.clone());
         let batch = exec.execute_batch(&queries, &policy);
         let serial: Vec<_> = queries
@@ -129,5 +193,72 @@ rt_proptest! {
                 plan.is_some()
             );
         }
+    }
+
+    /// ISSUE acceptance property: the decoded-page cache never shows up
+    /// in results. Strict, policy (mirror or `Parity{4,2}`, with and
+    /// without an installed fault plan), and batch reports are
+    /// bit-identical with the cache at a random capacity — cold *and*
+    /// pre-warmed — versus disabled.
+    fn cache_on_and_off_reports_are_bit_equal(src) {
+        let cost = CostModel::main_memory();
+        let parity = src.weighted(0.3);
+        let (file, exec) = if parity { table7_parity() } else { table7() };
+        let sys = file.system().clone();
+
+        let batch_size = src.int_in(1, 4) as usize;
+        let queries: Vec<PartialMatchQuery> =
+            (0..batch_size).map(|_| gen_query(src, &sys)).collect();
+        let capacity = src.int_in(1, 256) as usize;
+        let on = ExecPolicy {
+            retry: RetryPolicy { max_attempts: 4, base_us: 10, cap_us: 1_000, budget_us: 100_000 },
+            failover: true,
+            redundancy: if parity {
+                Redundancy::Parity { k: 4, r: 2 }
+            } else {
+                Redundancy::Mirror
+            },
+            seed: src.any_u64(),
+            cache: Some(capacity),
+        };
+        let off = ExecPolicy { cache: Some(0), ..on };
+        let plan = if src.weighted(0.6) {
+            let mut plan = FaultPlan::new(src.any_u64());
+            if src.weighted(0.6) {
+                plan = plan.with_read_error(0.2);
+            }
+            if src.weighted(0.4) {
+                plan = plan.with_dead_device(src.int_in(0, sys.devices() - 1));
+            }
+            Some(Arc::new(plan))
+        } else {
+            None
+        };
+
+        let _gate = plan_gate().lock().unwrap_or_else(|e| e.into_inner());
+        file.install_fault_plan(plan.clone());
+        for q in &queries {
+            // Two cache-on passes: the first fills the cache, the second
+            // reads through it hot. Both must match the disabled run.
+            let first = execute_parallel_with(file, q, &cost, &on).expect("policy path never errors");
+            let warm = execute_parallel_with(file, q, &cost, &on).expect("policy path never errors");
+            let cold = execute_parallel_with(file, q, &cost, &off).expect("policy path never errors");
+            assert_eq!(first, cold, "cold cache-on diverged ({q}, parity {parity})");
+            assert_eq!(warm, cold, "warm cache-on diverged ({q}, parity {parity})");
+        }
+        let batch_on = exec.execute_batch(&queries, &on);
+        let batch_off = exec.execute_batch(&queries, &off);
+        assert_eq!(batch_on, batch_off, "batch path diverged (parity {parity})");
+        file.install_fault_plan(None);
+
+        // The strict dispatcher takes no policy: toggle the device-level
+        // capacity directly.
+        file.set_cache_capacity(capacity);
+        let strict_first = execute_parallel(file, &queries[0], &cost).expect("no faults installed");
+        let strict_warm = execute_parallel(file, &queries[0], &cost).expect("no faults installed");
+        file.set_cache_capacity(0);
+        let strict_off = execute_parallel(file, &queries[0], &cost).expect("no faults installed");
+        assert_eq!(strict_first, strict_off, "strict cold diverged");
+        assert_eq!(strict_warm, strict_off, "strict warm diverged");
     }
 }

@@ -6,14 +6,92 @@
 
 use pmr_bench::suite::{run_all, write_baselines, SuiteOpts};
 
+/// The `pmr loadgen --check --cache` replay contract, in-process: a
+/// 4-node cluster answers a seeded query mix with the identical
+/// order-independent checksum whether the decoded-page cache is at its
+/// default, disabled, or re-enabled at a small capacity — and every
+/// variant matches the single-process batch executor over the same
+/// queries.
+#[test]
+fn loadgen_replay_checksum_is_cache_invariant() {
+    use pmr_core::{FxDistribution, SystemConfig};
+    use pmr_mkh::{FieldType, Record, Schema, Value};
+    use pmr_net::loadgen::{self, LoadgenOpts};
+    use pmr_net::{Cluster, ClusterConfig};
+    use pmr_storage::exec::{ExecPolicy, Executor};
+    use pmr_storage::{CostModel, DeclusteredFile};
+
+    let sys = SystemConfig::new(&[4; 4], 8).unwrap();
+    let mut builder = Schema::builder();
+    for (i, &size) in sys.field_sizes().iter().enumerate() {
+        builder = builder.field(format!("f{i}"), FieldType::Int, size);
+    }
+    let schema = builder.devices(sys.devices()).build().unwrap();
+    let mut file =
+        DeclusteredFile::new(schema, FxDistribution::auto(sys.clone()).unwrap(), 7).unwrap();
+    file.enable_mirroring();
+    for i in 0..400i64 {
+        let values: Vec<Value> = (0..sys.num_fields())
+            .map(|f| Value::Int(i * 37 + f as i64))
+            .collect();
+        file.insert(Record::new(values)).unwrap();
+    }
+
+    let exec = Executor::new(&file, CostModel::main_memory());
+    let cluster = Cluster::new(&file, CostModel::main_memory(), ClusterConfig::default());
+    let queries = loadgen::query_mix(&sys, 32, 7, 2);
+    let policy = ExecPolicy::default();
+    let opts = LoadgenOpts {
+        concurrency: 2,
+        batch: 8,
+        kill: None,
+        watch: None,
+    };
+
+    // Cluster nodes share the devices by `Arc`, so one device-level
+    // toggle covers all four nodes at once.
+    let on = loadgen::run(&cluster, &queries, &policy, &opts).checksum;
+    file.set_cache_capacity(0);
+    let off = loadgen::run(&cluster, &queries, &policy, &opts).checksum;
+    file.set_cache_capacity(64);
+    let re_enabled = loadgen::run(&cluster, &queries, &policy, &opts).checksum;
+
+    let local = exec.execute_batch(&queries, &policy);
+    let expected = loadgen::reports_checksum(local.iter());
+    assert_eq!(
+        on, expected,
+        "cache-on cluster run diverged from single-process"
+    );
+    assert_eq!(
+        off, expected,
+        "cache-off cluster run diverged from single-process"
+    );
+    assert_eq!(
+        re_enabled, expected,
+        "re-enabled cache diverged from single-process"
+    );
+}
+
 /// Minimal JSON-lines sanity check: one object per line with the fields
 /// the `pmr_rt::bench::Stats::to_json` schema promises. (No JSON parser
 /// in-tree; the format is flat and machine-written, so field probes are
 /// exact.)
 fn assert_json_line(line: &str) {
-    assert!(line.starts_with("{\"bench\":\""), "not a stats object: {line}");
+    assert!(
+        line.starts_with("{\"bench\":\""),
+        "not a stats object: {line}"
+    );
     assert!(line.ends_with('}'), "unterminated object: {line}");
-    for key in ["\"bench\":", "\"iters\":", "\"median_ns\":", "\"p95_ns\":", "\"mean_ns\":", "\"min_ns\":", "\"max_ns\":", "\"checksum\":"] {
+    for key in [
+        "\"bench\":",
+        "\"iters\":",
+        "\"median_ns\":",
+        "\"p95_ns\":",
+        "\"mean_ns\":",
+        "\"min_ns\":",
+        "\"max_ns\":",
+        "\"checksum\":",
+    ] {
         assert!(line.contains(key), "missing {key} in {line}");
     }
 }
@@ -77,6 +155,9 @@ fn bench_all_fast_mode_produces_every_group() {
         "fault_overhead/strict_dispatch",
         "fault_overhead/policy_no_faults",
         "fault_overhead/read_parity_no_fault",
+        "read_path/hot_cached",
+        "read_path/cold",
+        "read_path/cache_off",
         "throughput/resident_batch_1",
         "throughput/spawn_per_query_1",
         "throughput/serial_1",
@@ -115,7 +196,11 @@ fn bench_all_fast_mode_produces_every_group() {
             .checksum
     };
     for pair in ["modulo", "gdm1", "fx_basic", "fx_iu1", "fx_iu2"] {
-        assert_eq!(core(pair), core(&format!("batched_{pair}")), "addr_compute/{pair}");
+        assert_eq!(
+            core(pair),
+            core(&format!("batched_{pair}")),
+            "addr_compute/{pair}"
+        );
     }
 
     // The streaming batched bulk insert places every record exactly where
@@ -156,6 +241,21 @@ fn bench_all_fast_mode_produces_every_group() {
     // unprotected one (ISSUE: parity never changes fault-free results).
     assert_eq!(fo("policy_no_faults"), fo("read_parity_no_fault"));
 
+    // The decoded-page cache never changes what a read returns: hot
+    // (all hits), thrashing (capacity 1), and disabled reads of the same
+    // buckets count the identical records (ISSUE: the cache is purely a
+    // wall-clock optimisation).
+    let rp = |name: &str| -> u64 {
+        files[1]
+            .stats
+            .iter()
+            .find(|s| s.bench == format!("read_path/{name}"))
+            .expect("group present")
+            .checksum
+    };
+    assert_eq!(rp("hot_cached"), rp("cache_off"));
+    assert_eq!(rp("cold"), rp("cache_off"));
+
     // The RS decode fast path and the 2-losses reconstruction both
     // recover the byte-identical page (same length checksum per iter).
     let ec = |name: &str| -> u64 {
@@ -181,7 +281,11 @@ fn bench_all_fast_mode_produces_every_group() {
     };
     for batch in [1, 16, 256] {
         let resident = tp(&format!("resident_batch_{batch}"));
-        assert_eq!(resident, tp(&format!("spawn_per_query_{batch}")), "batch {batch}");
+        assert_eq!(
+            resident,
+            tp(&format!("spawn_per_query_{batch}")),
+            "batch {batch}"
+        );
         assert_eq!(resident, tp(&format!("serial_{batch}")), "batch {batch}");
     }
 

@@ -5,10 +5,10 @@ use pmr::baselines::{GdmDistribution, ModuloDistribution, RandomDistribution};
 use pmr::core::method::DistributionMethod;
 use pmr::core::FxDistribution;
 use pmr::mkh::{FieldType, Record, Schema, Value};
-use pmr::storage::exec::execute_parallel;
-use pmr::storage::metrics::BalanceMetrics;
 use pmr::rt::rng::SliceRandom;
 use pmr::rt::Rng;
+use pmr::storage::exec::execute_parallel;
+use pmr::storage::metrics::BalanceMetrics;
 use pmr::storage::{CostModel, DeclusteredFile};
 
 fn schema() -> Schema {
@@ -54,7 +54,11 @@ fn pipeline_roundtrip<D: DistributionMethod>(method: D) {
             ])
             .unwrap();
         let got = file.retrieve_serial(&q).unwrap();
-        assert!(got.contains(r), "record {r} lost by {}", file.method().name());
+        assert!(
+            got.contains(r),
+            "record {r} lost by {}",
+            file.method().name()
+        );
     }
 
     // Parallel and serial retrieval agree on a broad query.
@@ -64,7 +68,12 @@ fn pipeline_roundtrip<D: DistributionMethod>(method: D) {
     let mut parallel = report.records.clone();
     serial.sort_by_key(|r| format!("{r}"));
     parallel.sort_by_key(|r| format!("{r}"));
-    assert_eq!(serial, parallel, "parallel/serial divergence under {}", file.method().name());
+    assert_eq!(
+        serial,
+        parallel,
+        "parallel/serial divergence under {}",
+        file.method().name()
+    );
 
     // Histogram conservation.
     assert_eq!(
@@ -108,14 +117,16 @@ fn fx_balance_guarantee_end_to_end() {
     let mut file = DeclusteredFile::new(schema, fx, 5).unwrap();
     // Heavily skewed data: one user generates half the events.
     let mut records = events(2_000, 3);
-    records.extend((0..2_000).map(|i| {
-        Record::new(vec![Value::Int(42), "view".into(), Value::Int(i % 50)])
-    }));
+    records.extend(
+        (0..2_000).map(|i| Record::new(vec![Value::Int(42), "view".into(), Value::Int(i % 50)])),
+    );
     file.insert_all(records).unwrap();
 
-    for (field, value) in
-        [("user", Value::Int(42)), ("action", "view".into()), ("region", Value::Int(7))]
-    {
+    for (field, value) in [
+        ("user", Value::Int(42)),
+        ("action", "view".into()),
+        ("region", Value::Int(7)),
+    ] {
         let q = file.query(&[(field, value)]).unwrap();
         let report = execute_parallel(&file, &q, &CostModel::main_memory()).unwrap();
         let m = BalanceMetrics::of(&report.histogram());

@@ -28,8 +28,9 @@ fn faulted_run(seed: u64) -> u64 {
         DeclusteredFile::new(schema, FxDistribution::auto(sys.clone()).unwrap(), seed).unwrap();
     file.enable_mirroring();
     for i in 0..500i64 {
-        let values: Vec<Value> =
-            (0..sys.num_fields()).map(|f| Value::Int(i * 17 + f as i64)).collect();
+        let values: Vec<Value> = (0..sys.num_fields())
+            .map(|f| Value::Int(i * 17 + f as i64))
+            .collect();
         file.insert(Record::new(values)).unwrap();
     }
     let plan = FaultPlan::parse("read=0.2,corrupt=0.05,latency=0.1:50..500", seed).unwrap();
@@ -39,13 +40,16 @@ fn faulted_run(seed: u64) -> u64 {
         failover: true,
         redundancy: Redundancy::Mirror,
         seed,
+        cache: None,
     };
     let cost = CostModel::main_memory();
     // A spread of query shapes so the counter aggregates many
     // (device, bucket, attempt) decisions.
     for unspecified in 1..sys.num_fields() {
         let values: Vec<Option<u64>> = (0..sys.num_fields())
-            .map(|i| (i < sys.num_fields() - unspecified).then(|| (i as u64 * 3) % sys.field_size(i)))
+            .map(|i| {
+                (i < sys.num_fields() - unspecified).then(|| (i as u64 * 3) % sys.field_size(i))
+            })
             .collect();
         let query = PartialMatchQuery::new(&sys, &values).unwrap();
         execute_parallel_with(&file, &query, &cost, &policy).expect("degrades, not errors");

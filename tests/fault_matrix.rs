@@ -34,7 +34,12 @@ const SEED: u64 = 0xFA11;
 /// coverage (per-bucket loss probability 0.3^8 ≈ 6.6e-5; deterministic
 /// for the pinned seed either way).
 fn patient_retry() -> RetryPolicy {
-    RetryPolicy { max_attempts: 8, base_us: 10, cap_us: 1_000, budget_us: 1_000_000 }
+    RetryPolicy {
+        max_attempts: 8,
+        base_us: 10,
+        cap_us: 1_000,
+        budget_us: 1_000_000,
+    }
 }
 
 fn build_file<D: DistributionMethod>(
@@ -47,15 +52,20 @@ fn build_file<D: DistributionMethod>(
     for (i, &size) in sys.field_sizes().iter().enumerate() {
         builder = builder.field(format!("f{i}"), FieldType::Int, size);
     }
-    let schema = builder.devices(sys.devices()).build().expect("system is valid");
+    let schema = builder
+        .devices(sys.devices())
+        .build()
+        .expect("system is valid");
     let mut file = DeclusteredFile::new(schema, method, SEED).expect("schema matches system");
     if mirror {
         assert!(file.enable_mirroring(), "M >= 2 systems mirror");
     }
     for i in 0..records {
-        let values: Vec<Value> =
-            (0..sys.num_fields()).map(|f| Value::Int(i * 131 + f as i64 * 7)).collect();
-        file.insert(Record::new(values)).expect("records type-check");
+        let values: Vec<Value> = (0..sys.num_fields())
+            .map(|f| Value::Int(i * 131 + f as i64 * 7))
+            .collect();
+        file.insert(Record::new(values))
+            .expect("records type-check");
     }
     file
 }
@@ -79,15 +89,21 @@ fn run_matrix<D: DistributionMethod>(sys: &SystemConfig, make: impl Fn() -> D, l
             failover: mirror,
             redundancy: Redundancy::Mirror,
             seed: SEED,
+            cache: None,
         };
         let reference =
             execute_parallel_with(&file, &query, &cost, &policy).expect("fault-free run");
-        assert_eq!(reference.coverage, 1.0, "{label} mirror={mirror} fault-free");
+        assert_eq!(
+            reference.coverage, 1.0,
+            "{label} mirror={mirror} fault-free"
+        );
         let reference_records = sorted_records(&reference);
 
-        for (fault, spec) in
-            [("read", "read=0.3"), ("corrupt", "corrupt=0.3"), ("outage", "outage=2")]
-        {
+        for (fault, spec) in [
+            ("read", "read=0.3"),
+            ("corrupt", "corrupt=0.3"),
+            ("outage", "outage=2"),
+        ] {
             let ctx = format!("{label} {fault} mirror={mirror}");
             let plan = FaultPlan::parse(spec, SEED).expect("spec parses");
             file.install_fault_plan(Some(Arc::new(plan)));
@@ -98,14 +114,23 @@ fn run_matrix<D: DistributionMethod>(sys: &SystemConfig, make: impl Fn() -> D, l
             // Coverage is exactly the served fraction, and served records
             // are a subset of the fault-free result.
             let expect_cov = (rq - report.lost_buckets.len() as u64) as f64 / rq as f64;
-            assert!((report.coverage - expect_cov).abs() < 1e-12, "{ctx}: coverage accounting");
+            assert!(
+                (report.coverage - expect_cov).abs() < 1e-12,
+                "{ctx}: coverage accounting"
+            );
             for r in sorted_records(&report) {
-                assert!(reference_records.binary_search(&r).is_ok(), "{ctx}: phantom record {r}");
+                assert!(
+                    reference_records.binary_search(&r).is_ok(),
+                    "{ctx}: phantom record {r}"
+                );
             }
 
             match (fault, mirror) {
                 ("outage", false) => {
-                    assert!(report.coverage < 1.0, "{ctx}: device 2 owns qualified buckets");
+                    assert!(
+                        report.coverage < 1.0,
+                        "{ctx}: device 2 owns qualified buckets"
+                    );
                     assert_eq!(report.per_device[2].outcome, DeviceOutcome::Lost, "{ctx}");
                     assert!(!report.is_complete());
                     for &code in &report.lost_buckets {
@@ -118,7 +143,11 @@ fn run_matrix<D: DistributionMethod>(sys: &SystemConfig, make: impl Fn() -> D, l
                 }
                 ("outage", true) => {
                     assert_eq!(report.coverage, 1.0, "{ctx}: buddy serves the dead device");
-                    assert_eq!(report.per_device[2].outcome, DeviceOutcome::FailedOver, "{ctx}");
+                    assert_eq!(
+                        report.per_device[2].outcome,
+                        DeviceOutcome::FailedOver,
+                        "{ctx}"
+                    );
                     assert_eq!(sorted_records(&report), reference_records, "{ctx}");
                 }
                 _ => {
@@ -156,12 +185,18 @@ fn at_rest_corruption_round_trip() {
         PartialMatchQuery::new(&sys, &vec![None; sys.num_fields()]).expect("all-unspecified");
 
     for mirror in [false, true] {
-        let file = build_file(&sys, FxDistribution::auto(sys.clone()).unwrap(), 400, mirror);
+        let file = build_file(
+            &sys,
+            FxDistribution::auto(sys.clone()).unwrap(),
+            400,
+            mirror,
+        );
         let policy = ExecPolicy {
             retry: patient_retry(),
             failover: mirror,
             redundancy: Redundancy::Mirror,
             seed: SEED,
+            cache: None,
         };
         let reference = execute_parallel_with(&file, &query, &cost, &policy).unwrap();
         let victim_device = 3u64;
@@ -179,12 +214,21 @@ fn at_rest_corruption_round_trip() {
 
         let report = execute_parallel_with(&file, &query, &cost, &policy).unwrap();
         if mirror {
-            assert_eq!(report.coverage, 1.0, "mirror copy serves the corrupted bucket");
+            assert_eq!(
+                report.coverage, 1.0,
+                "mirror copy serves the corrupted bucket"
+            );
             assert_eq!(sorted_records(&report), sorted_records(&reference));
-            assert_eq!(report.per_device[victim_device as usize].outcome, DeviceOutcome::FailedOver);
+            assert_eq!(
+                report.per_device[victim_device as usize].outcome,
+                DeviceOutcome::FailedOver
+            );
         } else {
             assert_eq!(report.lost_buckets, vec![victim_code]);
-            assert_eq!(report.per_device[victim_device as usize].outcome, DeviceOutcome::Lost);
+            assert_eq!(
+                report.per_device[victim_device as usize].outcome,
+                DeviceOutcome::Lost
+            );
             assert!(report.coverage < 1.0);
         }
     }
@@ -197,7 +241,12 @@ fn table7_file() -> &'static DeclusteredFile<FxDistribution> {
     static FILE: OnceLock<DeclusteredFile<FxDistribution>> = OnceLock::new();
     FILE.get_or_init(|| {
         let sys = SystemConfig::new(&[8; 6], 32).unwrap();
-        build_file(&sys, FxDistribution::auto(sys.clone()).unwrap(), 4_000, true)
+        build_file(
+            &sys,
+            FxDistribution::auto(sys.clone()).unwrap(),
+            4_000,
+            true,
+        )
     })
 }
 
@@ -208,7 +257,12 @@ fn table7_parity_file() -> &'static DeclusteredFile<FxDistribution> {
     static FILE: OnceLock<DeclusteredFile<FxDistribution>> = OnceLock::new();
     FILE.get_or_init(|| {
         let sys = SystemConfig::new(&[8; 6], 32).unwrap();
-        let mut file = build_file(&sys, FxDistribution::auto(sys.clone()).unwrap(), 4_000, false);
+        let mut file = build_file(
+            &sys,
+            FxDistribution::auto(sys.clone()).unwrap(),
+            4_000,
+            false,
+        );
         assert!(file.enable_parity(4, 2), "k + r = 6 <= 32 devices");
         file
     })
@@ -264,6 +318,7 @@ rt_proptest! {
             failover: true,
             redundancy: Redundancy::Mirror,
             seed: SEED,
+            cache: None,
         };
 
         file.install_fault_plan(None);
@@ -303,6 +358,7 @@ rt_proptest! {
             failover: true,
             redundancy: Redundancy::Mirror,
             seed: SEED,
+            cache: None,
         };
 
         file.install_fault_plan(None);
@@ -350,6 +406,7 @@ rt_proptest! {
             failover: true,
             redundancy: Redundancy::Parity { k: 4, r: 2 },
             seed: SEED,
+            cache: None,
         };
 
         file.install_fault_plan(None);

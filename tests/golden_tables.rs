@@ -40,7 +40,10 @@ fn table_1_device_column() {
 fn table_2_device_columns() {
     let fx = devices(Experiment::Table2, 2);
     let modulo = devices(Experiment::Table2, 3);
-    assert_eq!(fx, vec![0, 4, 8, 12, 1, 5, 9, 13, 2, 6, 10, 14, 3, 7, 11, 15]);
+    assert_eq!(
+        fx,
+        vec![0, 4, 8, 12, 1, 5, 9, 13, 2, 6, 10, 14, 3, 7, 11, 15]
+    );
     assert_eq!(modulo, vec![0, 1, 2, 3, 1, 2, 3, 4, 2, 3, 4, 5, 3, 4, 5, 6]);
 }
 

@@ -23,7 +23,10 @@ fn workspace_manifests() -> Vec<PathBuf> {
             manifests.push(manifest);
         }
     }
-    assert!(manifests.len() >= 8, "expected the root + 7 crates, found {manifests:?}");
+    assert!(
+        manifests.len() >= 8,
+        "expected the root + 7 crates, found {manifests:?}"
+    );
     manifests
 }
 
@@ -141,7 +144,9 @@ fn net_is_hermetic_std_only() {
             section = header.trim().to_string();
             continue;
         }
-        let Some((name, spec)) = line.split_once('=') else { continue };
+        let Some((name, spec)) = line.split_once('=') else {
+            continue;
+        };
         let (name, spec) = (name.trim(), spec.trim());
         if is_dependency_section(&section) {
             let name = name.trim_end_matches(".workspace");
@@ -155,7 +160,10 @@ fn net_is_hermetic_std_only() {
             assert_eq!(spec, "[]", "the tcp feature must not enable any dependency");
         }
     }
-    assert!(pmr_deps >= 4, "pmr-net should depend on the pmr-* stack, found {pmr_deps}");
+    assert!(
+        pmr_deps >= 4,
+        "pmr-net should depend on the pmr-* stack, found {pmr_deps}"
+    );
     assert!(
         offenders.is_empty(),
         "pmr-net must stay std-only (no external deps, ever):\n{}",
@@ -166,13 +174,21 @@ fn net_is_hermetic_std_only() {
 /// The six dependencies pmr-rt replaced must never come back by name.
 #[test]
 fn replaced_dependencies_stay_gone() {
-    const BANNED: [&str; 6] =
-        ["rand", "proptest", "criterion", "crossbeam", "parking_lot", "bytes"];
+    const BANNED: [&str; 6] = [
+        "rand",
+        "proptest",
+        "criterion",
+        "crossbeam",
+        "parking_lot",
+        "bytes",
+    ];
     for manifest in workspace_manifests() {
         let text = fs::read_to_string(&manifest).expect("manifest readable");
         for line in text.lines() {
             let line = line.split('#').next().unwrap_or("").trim();
-            let Some((name, _)) = line.split_once('=') else { continue };
+            let Some((name, _)) = line.split_once('=') else {
+                continue;
+            };
             let name = name.trim().trim_matches('"');
             assert!(
                 !BANNED.contains(&name),

@@ -25,8 +25,14 @@ fn all_methods(sys: &SystemConfig) -> Vec<(String, Box<dyn DistributionMethod>)>
         out.push((format!("fx/{strategy}"), Box::new(fx)));
     }
     let a = Assignment::from_strategy(sys, AssignmentStrategy::TheoremNine).unwrap();
-    out.push(("general-fx".into(), Box::new(GeneralFxDistribution::from_assignment(&a))));
-    out.push(("modulo".into(), Box::new(ModuloDistribution::new(sys.clone()))));
+    out.push((
+        "general-fx".into(),
+        Box::new(GeneralFxDistribution::from_assignment(&a)),
+    ));
+    out.push((
+        "modulo".into(),
+        Box::new(ModuloDistribution::new(sys.clone())),
+    ));
     out.push((
         "gdm(3,5,7,...)".into(),
         Box::new(
@@ -37,7 +43,10 @@ fn all_methods(sys: &SystemConfig) -> Vec<(String, Box<dyn DistributionMethod>)>
             .unwrap(),
         ),
     ));
-    out.push(("random".into(), Box::new(RandomDistribution::new(sys.clone(), 5))));
+    out.push((
+        "random".into(),
+        Box::new(RandomDistribution::new(sys.clone(), 5)),
+    ));
     if let Ok(sp) = SpanningPathDistribution::build(sys.clone()) {
         out.push(("spanning-path".into(), Box::new(sp)));
     }
@@ -92,7 +101,10 @@ fn conservation_holds_for_every_method() {
 fn zero_and_one_optimality_matrix() {
     for sys in systems() {
         for (name, method) in all_methods(&sys) {
-            assert!(is_k_optimal(method.as_ref(), &sys, 0), "{name} on {sys} not 0-optimal");
+            assert!(
+                is_k_optimal(method.as_ref(), &sys, 0),
+                "{name} on {sys} not 0-optimal"
+            );
             let one_optimal_guaranteed = name.starts_with("fx/")
                 || name == "general-fx"
                 || name == "modulo"

@@ -104,7 +104,10 @@ fn batched_insert_counters_record_dispatch_mix() {
     obs::reset();
 
     assert_eq!(batched, 600, "every record routed through the batched path");
-    assert!(calls >= 1, "each routed chunk counts one device_of_batch call");
+    assert!(
+        calls >= 1,
+        "each routed chunk counts one device_of_batch call"
+    );
 }
 
 #[test]
@@ -128,7 +131,11 @@ fn traced_run_emits_one_device_span_per_device() {
             _ => None,
         })
         .collect();
-    assert_eq!(device_spans.len() as u64, DEVICES, "one exec.device span per device");
+    assert_eq!(
+        device_spans.len() as u64,
+        DEVICES,
+        "one exec.device span per device"
+    );
 
     let mut devices: Vec<u64> = device_spans
         .iter()
@@ -141,11 +148,18 @@ fn traced_run_emits_one_device_span_per_device() {
         })
         .collect();
     devices.sort_unstable();
-    assert_eq!(devices, (0..DEVICES).collect::<Vec<u64>>(), "each device exactly once");
+    assert_eq!(
+        devices,
+        (0..DEVICES).collect::<Vec<u64>>(),
+        "each device exactly once"
+    );
 
     // The report's summary saw the same run.
     let trace = report.trace.expect("capture attached while tracing");
-    assert!(trace.spans >= DEVICES, "summary counts at least the device spans");
+    assert!(
+        trace.spans >= DEVICES,
+        "summary counts at least the device spans"
+    );
     assert_eq!(trace.counter("exec.fast_path.dispatched"), 1);
     assert!(trace.counter("exec.addresses_computed") > 0);
 }
@@ -153,8 +167,7 @@ fn traced_run_emits_one_device_span_per_device() {
 #[test]
 fn file_trace_round_trips_through_the_aggregator() {
     let _guard = lock();
-    let path = std::env::temp_dir()
-        .join(format!("pmr-obs-contract-{}.jsonl", std::process::id()));
+    let path = std::env::temp_dir().join(format!("pmr-obs-contract-{}.jsonl", std::process::id()));
     obs::install(TraceConfig::File(path.clone())).unwrap();
     obs::reset();
 
@@ -177,13 +190,19 @@ fn file_trace_round_trips_through_the_aggregator() {
         .map(|&(_, device)| device)
         .collect();
     assert_eq!(per_device, (0..DEVICES).collect::<Vec<u64>>());
-    let exec_device = stats.spans.get("exec.device").expect("exec.device aggregated");
+    let exec_device = stats
+        .spans
+        .get("exec.device")
+        .expect("exec.device aggregated");
     assert_eq!(exec_device.count, DEVICES);
 
     // Flushed counter totals agree with the report's own summary.
     let trace = report.trace.expect("capture attached while tracing");
-    for name in ["exec.fast_path.dispatched", "exec.addresses_computed", "exec.qualified_buckets"]
-    {
+    for name in [
+        "exec.fast_path.dispatched",
+        "exec.addresses_computed",
+        "exec.qualified_buckets",
+    ] {
         assert_eq!(
             stats.counters.get(name).copied().unwrap_or(0),
             trace.counter(name),
@@ -193,7 +212,129 @@ fn file_trace_round_trips_through_the_aggregator() {
     // The file carries every span the summary counted (plus the
     // enclosing exec.query span, which closes after the capture).
     let file_spans: u64 = stats.spans.values().map(|s| s.count).sum();
-    assert!(file_spans >= trace.spans, "{file_spans} file spans < {} summary", trace.spans);
+    assert!(
+        file_spans >= trace.spans,
+        "{file_spans} file spans < {} summary",
+        trace.spans
+    );
+}
+
+// -----------------------------------------------------------------
+// Decoded-page cache contract: the `cache.*` counters account for
+// every bucket read when the cache is on, and stay silent when it is
+// disabled.
+// -----------------------------------------------------------------
+
+/// Capacity 0 means OFF and *silent*: a full traced run records no
+/// `cache.hit`, `cache.miss`, `cache.evicted`, or `cache.invalidated`
+/// events at all — disabled is inert, not merely cold.
+#[test]
+fn disabled_cache_records_zero_cache_events() {
+    let _guard = lock();
+    obs::install(TraceConfig::Memory).unwrap();
+    obs::reset();
+    obs::drain_events();
+
+    let mut file = fixture();
+    file.set_cache_capacity(0);
+    let query = file.query(&[("b", Value::Int(7))]).unwrap();
+    let _ = execute_parallel(&file, &query, &CostModel::main_memory()).unwrap();
+    let _ = execute_parallel(&file, &query, &CostModel::main_memory()).unwrap();
+    file.insert(Record::new(vec![
+        Value::Int(1),
+        Value::Int(2),
+        Value::Int(3),
+    ]))
+    .unwrap();
+
+    let counters = obs::counters_snapshot();
+    obs::install(TraceConfig::Off).unwrap();
+    obs::reset();
+
+    for (name, total) in counters {
+        assert!(
+            !name.starts_with("cache."),
+            "cache counter {name} = {total} fired with the cache disabled"
+        );
+    }
+}
+
+/// With the cache enabled and no faults, every bucket read is accounted
+/// exactly once: `cache.hit + cache.miss` equals the devices' own
+/// bucket-read tally, a repeat query hits, and the simulated report is
+/// identical hot and cold (the clock still charges full accesses).
+#[test]
+fn cache_hits_plus_misses_account_for_every_bucket_read() {
+    let _guard = lock();
+    obs::install(TraceConfig::Memory).unwrap();
+    obs::reset();
+    obs::drain_events();
+
+    let file = fixture();
+    let reads_before: u64 = file.devices().iter().map(|d| d.bucket_reads()).sum();
+    let query = file.query(&[("b", Value::Int(7))]).unwrap();
+    let cold = execute_parallel(&file, &query, &CostModel::main_memory()).unwrap();
+    let hits_cold = obs::counter_total("cache.hit");
+    let hot = execute_parallel(&file, &query, &CostModel::main_memory()).unwrap();
+
+    let reads: u64 = file.devices().iter().map(|d| d.bucket_reads()).sum::<u64>() - reads_before;
+    let hits = obs::counter_total("cache.hit");
+    let misses = obs::counter_total("cache.miss");
+    obs::install(TraceConfig::Off).unwrap();
+    obs::reset();
+
+    assert_eq!(hits + misses, reads, "every bucket read is a hit or a miss");
+    assert_eq!(hits_cold, 0, "first pass over a fresh fixture cannot hit");
+    assert!(hits > 0, "the repeat query reads through the warm cache");
+    assert_eq!(
+        cold.histogram(),
+        hot.histogram(),
+        "hot and cold answer identically"
+    );
+    assert_eq!(
+        cold.simulated_response_us, hot.simulated_response_us,
+        "cache hits still charge full simulated bucket accesses"
+    );
+}
+
+/// An append to a cached bucket invalidates its page: the write counts
+/// `cache.invalidated`, and the next read of that bucket is a miss that
+/// sees the new record.
+#[test]
+fn append_invalidates_the_cached_page() {
+    let _guard = lock();
+    obs::install(TraceConfig::Memory).unwrap();
+    obs::reset();
+    obs::drain_events();
+
+    let file = fixture();
+    let query = file.query(&[("b", Value::Int(7))]).unwrap();
+    let before = execute_parallel(&file, &query, &CostModel::main_memory()).unwrap();
+    let invalidated_before = obs::counter_total("cache.invalidated");
+
+    // Route one matching record through the file: its bucket was just
+    // cached by the query above, so the append must drop that page.
+    let mut file = file;
+    file.insert(Record::new(vec![
+        Value::Int(3),
+        Value::Int(7),
+        Value::Int(11),
+    ]))
+    .unwrap();
+    let invalidated = obs::counter_total("cache.invalidated");
+    let after = execute_parallel(&file, &query, &CostModel::main_memory()).unwrap();
+    obs::install(TraceConfig::Off).unwrap();
+    obs::reset();
+
+    assert!(
+        invalidated > invalidated_before,
+        "appending to a cached bucket must count an invalidation"
+    );
+    assert_eq!(
+        after.records.len(),
+        before.records.len() + 1,
+        "the re-read sees the appended record, not the stale page"
+    );
 }
 
 // -----------------------------------------------------------------
@@ -246,20 +387,39 @@ fn cluster_round_trip_merges_node_telemetry() {
     obs::reset();
 
     assert_eq!(requests, batches * nodes, "one scatter per node per batch");
-    assert_eq!(responses, requests, "a healthy cluster answers every scatter");
+    assert_eq!(
+        responses, requests,
+        "a healthy cluster answers every scatter"
+    );
     assert_eq!(timeouts, 0);
     assert_eq!(late, 0);
     assert_eq!(node_decode_errors, 0);
 
     let mut merged_busy_total = vec![0u64; frontend_rt.1.len()];
     for (i, (node_requests, node_queries, busy)) in merged.iter().enumerate() {
-        assert_eq!(*node_requests, batches, "node{i}.requests counts its scatters");
-        assert_eq!(*node_queries, batches * queries.len() as u64, "node{i}.queries");
-        let busy = busy.as_ref().unwrap_or_else(|| panic!("node{i}.busy_us hist merged"));
-        assert_eq!(busy.iter().sum::<u64>(), batches, "one busy_us sample per response");
+        assert_eq!(
+            *node_requests, batches,
+            "node{i}.requests counts its scatters"
+        );
+        assert_eq!(
+            *node_queries,
+            batches * queries.len() as u64,
+            "node{i}.queries"
+        );
+        let busy = busy
+            .as_ref()
+            .unwrap_or_else(|| panic!("node{i}.busy_us hist merged"));
+        assert_eq!(
+            busy.iter().sum::<u64>(),
+            batches,
+            "one busy_us sample per response"
+        );
         // The merged wire histogram IS the frontend's local attribution
         // histogram: same value, same bounds, bucket for bucket.
-        assert_eq!(busy, &attribution[i].busy_hist, "node{i} busy_us reconciles");
+        assert_eq!(
+            busy, &attribution[i].busy_hist,
+            "node{i} busy_us reconciles"
+        );
         assert_eq!(attribution[i].merged_requests, batches);
         for (acc, b) in merged_busy_total.iter_mut().zip(busy) {
             *acc += b;
@@ -284,13 +444,18 @@ fn killed_node_counts_timeouts() {
     let file = fixture();
     let cfg = ClusterConfig {
         nodes: 2,
-        frontend: FrontendConfig { deadline: Duration::from_millis(40), down_after: 0 },
+        frontend: FrontendConfig {
+            deadline: Duration::from_millis(40),
+            down_after: 0,
+        },
         net_faults: None,
     };
     let cluster = Cluster::new(&file, CostModel::main_memory(), cfg);
     let queries = loadgen::query_mix(&file.system().clone(), 2, 9, 2);
     cluster.kill_node(1);
-    let _ = cluster.frontend().execute_batch(&queries, &ExecPolicy::default());
+    let _ = cluster
+        .frontend()
+        .execute_batch(&queries, &ExecPolicy::default());
 
     let timeouts = obs::counter_total("net.timeouts");
     let responses = obs::counter_total("net.responses");
@@ -331,14 +496,23 @@ fn undecodable_frame_counts_a_node_decode_error() {
         Arc::new(AtomicBool::new(false)),
         None,
     );
-    frontend_end.tx.send_frame(b"definitely not a PMRN frame").unwrap();
-    frontend_end.tx.send_frame(&encode_message(&Message::Shutdown)).unwrap();
+    frontend_end
+        .tx
+        .send_frame(b"definitely not a PMRN frame")
+        .unwrap();
+    frontend_end
+        .tx
+        .send_frame(&encode_message(&Message::Shutdown))
+        .unwrap();
     handle.join().unwrap();
 
     let decode_errors = obs::counter_total("net.node.decode_errors");
     obs::install(TraceConfig::Off).unwrap();
     obs::reset();
-    assert_eq!(decode_errors, 1, "one garbage frame, one counted decode error");
+    assert_eq!(
+        decode_errors, 1,
+        "one garbage frame, one counted decode error"
+    );
 }
 
 /// With a zero gather deadline every response arrives after its request
@@ -354,12 +528,17 @@ fn abandoned_responses_count_as_late() {
     let file = fixture();
     let cfg = ClusterConfig {
         nodes: 2,
-        frontend: FrontendConfig { deadline: Duration::ZERO, down_after: 0 },
+        frontend: FrontendConfig {
+            deadline: Duration::ZERO,
+            down_after: 0,
+        },
         net_faults: None,
     };
     let cluster = Cluster::new(&file, CostModel::main_memory(), cfg);
     let queries = loadgen::query_mix(&file.system().clone(), 2, 9, 2);
-    let _ = cluster.frontend().execute_batch(&queries, &ExecPolicy::default());
+    let _ = cluster
+        .frontend()
+        .execute_batch(&queries, &ExecPolicy::default());
 
     // The nodes still execute and answer; give the collectors a moment
     // to route the now-orphaned responses before reading the counter.
@@ -372,5 +551,8 @@ fn abandoned_responses_count_as_late() {
     drop(cluster);
     obs::install(TraceConfig::Off).unwrap();
     obs::reset();
-    assert!(late >= 1, "an orphaned response must be counted, not vanish");
+    assert!(
+        late >= 1,
+        "an orphaned response must be counted, not vanish"
+    );
 }

@@ -79,7 +79,9 @@ fn all_methods(src: &mut Source, sys: &SystemConfig) -> Vec<Box<dyn Distribution
         methods.push(Box::new(
             BinaryWeightedDistribution::new(sys.clone()).expect("binary system"),
         ));
-        methods.push(Box::new(GrayCodeDistribution::new(sys.clone()).expect("binary system")));
+        methods.push(Box::new(
+            GrayCodeDistribution::new(sys.clone()).expect("binary system"),
+        ));
     }
     methods
 }

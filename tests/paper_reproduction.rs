@@ -24,11 +24,31 @@ fn table_7_columns_match_paper() {
 
     for (i, row) in table.rows.iter().enumerate() {
         assert_eq!(row.k, (i + 2) as u32);
-        assert!((row.averages[modulo] - paper_modulo[i]).abs() < 0.05, "Modulo k={}", row.k);
-        assert!((row.averages[gdm1] - paper_gdm1[i]).abs() < 0.05, "GDM1 k={}", row.k);
-        assert!((row.averages[gdm3] - paper_gdm3[i]).abs() < 0.05, "GDM3 k={}", row.k);
-        assert!((row.averages[fx] - paper_fx[i]).abs() < 0.05, "FX k={}", row.k);
-        assert!((row.optimal - paper_optimal[i]).abs() < 0.05, "Optimal k={}", row.k);
+        assert!(
+            (row.averages[modulo] - paper_modulo[i]).abs() < 0.05,
+            "Modulo k={}",
+            row.k
+        );
+        assert!(
+            (row.averages[gdm1] - paper_gdm1[i]).abs() < 0.05,
+            "GDM1 k={}",
+            row.k
+        );
+        assert!(
+            (row.averages[gdm3] - paper_gdm3[i]).abs() < 0.05,
+            "GDM3 k={}",
+            row.k
+        );
+        assert!(
+            (row.averages[fx] - paper_fx[i]).abs() < 0.05,
+            "FX k={}",
+            row.k
+        );
+        assert!(
+            (row.optimal - paper_optimal[i]).abs() < 0.05,
+            "Optimal k={}",
+            row.k
+        );
     }
 }
 
@@ -47,9 +67,21 @@ fn table_8_columns_match_paper() {
     let paper_fx = [2.4, 8.0, 64.0, 512.0, 4096.0];
     let paper_optimal = [1.0, 8.0, 64.0, 512.0, 4096.0];
     for (i, row) in table.rows.iter().enumerate() {
-        assert!((row.averages[modulo] - paper_modulo[i]).abs() < 0.05, "Modulo k={}", row.k);
-        assert!((row.averages[fx] - paper_fx[i]).abs() < 0.05, "FX k={}", row.k);
-        assert!((row.optimal - paper_optimal[i]).abs() < 0.05, "Optimal k={}", row.k);
+        assert!(
+            (row.averages[modulo] - paper_modulo[i]).abs() < 0.05,
+            "Modulo k={}",
+            row.k
+        );
+        assert!(
+            (row.averages[fx] - paper_fx[i]).abs() < 0.05,
+            "FX k={}",
+            row.k
+        );
+        assert!(
+            (row.optimal - paper_optimal[i]).abs() < 0.05,
+            "Optimal k={}",
+            row.k
+        );
     }
     // First row: GDM1 (2.1 in the paper) beats FX (2.4) — preserve the
     // crossover even if the exact decimal differs.
@@ -82,7 +114,11 @@ fn table_9_matches_paper_shape() {
             row.averages[modulo],
             paper_modulo[i]
         );
-        assert!((row.optimal - paper_optimal[i]).abs() < 0.05, "Optimal k={}", row.k);
+        assert!(
+            (row.optimal - paper_optimal[i]).abs() < 0.05,
+            "Optimal k={}",
+            row.k
+        );
     }
     // FX = optimal for k = 5, 6 (paper: 384.0 and 4096.0).
     assert!((table.rows[3].averages[fx] - 384.0).abs() < 0.05);
@@ -93,8 +129,12 @@ fn table_9_matches_paper_shape() {
 /// collapses as every field becomes small, FX stays high.
 #[test]
 fn figures_reproduce_paper_shape() {
-    for exp in [Experiment::Figure1, Experiment::Figure2, Experiment::Figure3, Experiment::Figure4]
-    {
+    for exp in [
+        Experiment::Figure1,
+        Experiment::Figure2,
+        Experiment::Figure3,
+        Experiment::Figure4,
+    ] {
         let config = experiments::figure_config(exp);
         let curves = figure_curves(&config).unwrap();
         let n = config.num_fields;
@@ -103,10 +143,17 @@ fn figures_reproduce_paper_shape() {
         assert_eq!(curves.fd_percent[0], 100.0);
         // FX dominates throughout.
         for i in 0..=n {
-            assert!(curves.fd_percent[i] >= curves.md_percent[i] - 1e-9, "{exp:?} L={i}");
+            assert!(
+                curves.fd_percent[i] >= curves.md_percent[i] - 1e-9,
+                "{exp:?} L={i}"
+            );
         }
         // At L = n MD has collapsed, FX has not.
-        assert!(curves.md_percent[n] < 40.0, "{exp:?}: MD {}", curves.md_percent[n]);
+        assert!(
+            curves.md_percent[n] < 40.0,
+            "{exp:?}: MD {}",
+            curves.md_percent[n]
+        );
         assert!(
             curves.fd_percent[n] > curves.md_percent[n] + 20.0,
             "{exp:?}: FX {} vs MD {}",
